@@ -1,0 +1,140 @@
+//! Ablation: how sensitive are the reproduced results to the storage-model
+//! design choices? (The calibration constants live in
+//! `PfsConfig::kraken_lustre()`; DESIGN.md commits us to showing which of
+//! them carry the paper's effects.)
+//!
+//! Four sweeps, each varying one knob with everything else fixed:
+//!
+//! * interference knee — what creates the Damaris/FPP gap,
+//! * extent-lock handoff cost — what collapses collective I/O,
+//! * number of dedicated cores — the paper's "one or a few" choice,
+//! * staging-buffer depth — what governs the skip policy under overload.
+
+use cluster_sim::{run, DamarisOptions, Platform, Strategy, Workload};
+use damaris_bench::print_table;
+
+fn throughputs(platform: &Platform, seed: u64) -> (f64, f64, f64) {
+    let w = Workload::cm1(2);
+    let coll = run(platform, &w, 9216, Strategy::Collective, seed);
+    let fpp = run(platform, &w, 9216, Strategy::FilePerProcess, seed);
+    let dam = run(platform, &w, 9216, Strategy::damaris_greedy(), seed);
+    (
+        coll.agg_throughput / 1e9,
+        fpp.agg_throughput / 1e9,
+        dam.agg_throughput / 1e9,
+    )
+}
+
+fn main() {
+    let seed = 42;
+
+    // ---- 1. interference knee ----
+    let mut rows = Vec::new();
+    for knee in [1usize, 2, 4, 8, 16] {
+        let mut p = Platform::kraken().without_jitter();
+        p.pfs.interference_knee = knee;
+        let (coll, fpp, dam) = throughputs(&p, seed);
+        rows.push(vec![
+            knee.to_string(),
+            format!("{coll:.2}"),
+            format!("{fpp:.2}"),
+            format!("{dam:.2}"),
+            format!("{:.1}x", dam / fpp.max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Ablation 1 — interference knee (streams an OST absorbs at full speed); calibrated = 4",
+        &["knee", "collective [GB/s]", "fpp [GB/s]", "damaris [GB/s]", "damaris/fpp"],
+        &rows,
+    );
+    println!(
+        "the Damaris advantage needs a knee ≥ its 2–3 streams/OST; past that the\n\
+         gap is insensitive — the effect is robust, not a tuning artifact."
+    );
+
+    // ---- 2. extent-lock handoff cost ----
+    let mut rows = Vec::new();
+    for lock_ms in [0.0f64, 0.2, 0.8, 2.0] {
+        let mut p = Platform::kraken().without_jitter();
+        p.pfs.lock_switch_s = lock_ms / 1e3;
+        let (coll, _, dam) = throughputs(&p, seed);
+        rows.push(vec![
+            format!("{lock_ms:.1} ms"),
+            format!("{coll:.2}"),
+            format!("{dam:.2}"),
+        ]);
+    }
+    print_table(
+        "Ablation 2 — shared-file extent-lock handoff cost; calibrated = 0.8 ms",
+        &["lock handoff", "collective [GB/s]", "damaris [GB/s]"],
+        &rows,
+    );
+    println!(
+        "locks only touch the shared file: Damaris (private node files) is immune.\n\
+         collective's collapse is shared between lock handoffs (~10 % here) and\n\
+         the deep-queue interference floor that hundreds of writers per OST hit —\n\
+         both are consequences of the single shared file (§IV.C)."
+    );
+
+    // ---- 3. number of dedicated cores ----
+    let mut rows = Vec::new();
+    let w = Workload::cm1(2);
+    for dedicated in [1usize, 2, 3] {
+        let p = Platform::kraken().without_jitter();
+        let m = run(
+            &p,
+            &w,
+            9216,
+            Strategy::Damaris(DamarisOptions { dedicated_cores: dedicated, ..Default::default() }),
+            seed,
+        );
+        rows.push(vec![
+            dedicated.to_string(),
+            format!("{:.0}", m.wall_seconds),
+            format!("{:.1} %", m.dedicated_idle.unwrap_or(0.0) * 100.0),
+        ]);
+    }
+    print_table(
+        "Ablation 3 — dedicated cores per 12-core node (paper: \"one or a few\")",
+        &["dedicated", "wall [s]", "idle"],
+        &rows,
+    );
+    println!(
+        "every extra dedicated core costs ~9 % compute and buys nothing here —\n\
+         the paper's choice of one is the right default for pure I/O."
+    );
+
+    // ---- 4. staging-buffer depth under overload ----
+    let mut rows = Vec::new();
+    let burst = Workload {
+        name: "burst",
+        dumps: 10,
+        steps_per_dump: 1,
+        compute_seconds_per_step: 1.0,
+        bytes_per_core: 45 << 20,
+    };
+    for buffer_dumps in [1usize, 2, 4, 8] {
+        let p = Platform::kraken().without_jitter();
+        let m = run(
+            &p,
+            &burst,
+            9216,
+            Strategy::Damaris(DamarisOptions { buffer_dumps, ..Default::default() }),
+            seed,
+        );
+        rows.push(vec![
+            buffer_dumps.to_string(),
+            m.skipped_node_dumps.to_string(),
+            format!("{:.0}", m.wall_seconds),
+        ]);
+    }
+    print_table(
+        "Ablation 4 — staging buffer depth (dumps) under a 1 s/step overload burst",
+        &["buffer [dumps]", "skipped node-dumps", "wall [s]"],
+        &rows,
+    );
+    println!(
+        "a deeper buffer absorbs longer bursts before the §V.C.1 skip policy\n\
+         engages; the simulation's pace never changes — that is the invariant."
+    );
+}

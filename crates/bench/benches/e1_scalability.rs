@@ -1,0 +1,57 @@
+//! E1 (§IV.A): CM1 weak scaling under the three I/O strategies.
+//!
+//! Paper anchors: collective I/O phases reach ~800 s ≈ 70 % of run time at
+//! 9216 cores; Damaris scales near-perfectly; 3.5× end-to-end speedup over
+//! collective I/O.
+
+use cluster_sim::experiments::{e1_scalability, e1_speedup};
+use damaris_bench::print_table;
+
+fn main() {
+    let dumps = 3;
+    let seed = 42;
+    let table = e1_scalability(dumps, seed);
+    let rows: Vec<Vec<String>> = table
+        .iter()
+        .map(|r| {
+            vec![
+                r.ranks.to_string(),
+                r.strategy.clone(),
+                format!("{:.0}", r.wall_seconds),
+                format!("{:.0} %", r.io_fraction * 100.0),
+                format!("{:.1}", r.io_per_dump),
+            ]
+        })
+        .collect();
+    print_table(
+        "E1 — CM1 weak scaling on Kraken (virtual seconds)",
+        &["cores", "strategy", "wall [s]", "I/O share", "I/O per dump [s]"],
+        &rows,
+    );
+    let coll_9216 = table
+        .iter()
+        .find(|r| r.ranks == 9216 && r.strategy == "collective")
+        .expect("collective row present");
+    let speedup = e1_speedup(dumps, seed);
+    print_table(
+        "E1 — headline",
+        &["metric", "paper", "measured"],
+        &[
+            vec![
+                "I/O share of run time, collective @9216".into(),
+                "~70 %".into(),
+                format!("{:.0} %", coll_9216.io_fraction * 100.0),
+            ],
+            vec![
+                "collective I/O phase @9216".into(),
+                "up to 800 s".into(),
+                format!("{:.0} s", coll_9216.io_per_dump),
+            ],
+            vec![
+                "speedup damaris vs collective @9216".into(),
+                "3.5x".into(),
+                format!("{speedup:.2}x"),
+            ],
+        ],
+    );
+}

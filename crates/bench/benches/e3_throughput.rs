@@ -1,0 +1,32 @@
+//! E3 (§IV.C): aggregate storage throughput at 9216 cores.
+//!
+//! Paper anchors: 0.5 GB/s collective, < 1.7 GB/s file-per-process,
+//! up to 10 GB/s Damaris.
+
+use cluster_sim::experiments::e3_throughput;
+use damaris_bench::print_table;
+
+fn main() {
+    let paper = [("collective", "0.5"), ("file-per-process", "< 1.7"), ("damaris/greedy", "~10")];
+    let rows: Vec<Vec<String>> = e3_throughput(3, 42)
+        .into_iter()
+        .map(|r| {
+            let anchor = paper
+                .iter()
+                .find(|(name, _)| *name == r.strategy)
+                .map(|(_, v)| v.to_string())
+                .unwrap_or_default();
+            vec![
+                r.strategy,
+                anchor,
+                format!("{:.2}", r.throughput_gbps),
+                r.files_per_dump.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E3 — aggregate throughput at 9216 cores",
+        &["strategy", "paper [GB/s]", "measured [GB/s]", "files/dump"],
+        &rows,
+    );
+}

@@ -1,0 +1,21 @@
+//! E4 (§IV.D): how idle are the dedicated cores?
+//!
+//! Paper anchor: 92–99 % idle on Kraken with CM1 — the spare time later
+//! used for compression and in-situ analysis.
+
+use cluster_sim::experiments::e4_idle_time;
+use damaris_bench::print_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = e4_idle_time(3, 42)
+        .into_iter()
+        .map(|(ranks, idle)| {
+            vec![ranks.to_string(), "92–99 %".into(), format!("{:.1} %", idle * 100.0)]
+        })
+        .collect();
+    print_table(
+        "E4 — dedicated-core idle fraction (CM1 on Kraken)",
+        &["cores", "paper", "measured"],
+        &rows,
+    );
+}

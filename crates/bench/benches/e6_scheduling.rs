@@ -1,0 +1,30 @@
+//! E6 (§IV.D): I/O scheduling strategies for the dedicated cores.
+//!
+//! Paper anchor: "a better I/O scheduling schema […] achieving up to
+//! 12.7 GB/s of aggregate throughput on Kraken" (from ~10 GB/s greedy).
+//! In this model the winning ingredient is byte-balanced placement across
+//! OSTs; time-staggering alone does not help because 2–3 concurrent
+//! streams per OST already sit below the interference knee.
+
+use cluster_sim::experiments::e6_scheduling;
+use damaris_bench::print_table;
+
+fn main() {
+    let paper = [("greedy", "~10"), ("balanced", "12.7")];
+    let rows: Vec<Vec<String>> = e6_scheduling(3, 42)
+        .into_iter()
+        .map(|r| {
+            let anchor = paper
+                .iter()
+                .find(|(name, _)| *name == r.scheduler)
+                .map(|(_, v)| v.to_string())
+                .unwrap_or_else(|| "—".into());
+            vec![r.scheduler.to_string(), anchor, format!("{:.2}", r.throughput_gbps)]
+        })
+        .collect();
+    print_table(
+        "E6 — Damaris I/O scheduling at 9216 cores",
+        &["scheduler", "paper [GB/s]", "measured [GB/s]"],
+        &rows,
+    );
+}

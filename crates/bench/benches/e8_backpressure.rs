@@ -1,0 +1,38 @@
+//! E8 (§V.C.1): what happens when analysis outlasts the time step.
+//!
+//! Paper anchor: "it may happen that the shared memory becomes full and
+//! blocks the simulation. […] we thus implemented in Damaris a way to
+//! automatically skip some iterations of data in order to keep up with the
+//! simulation's output rate."
+//!
+//! This experiment runs the *real* middleware (threads, real shared
+//! memory, a deliberately slow plugin) under both policies.
+
+use damaris_bench::{e8_live_backpressure, fmt_s, print_table};
+
+fn main() {
+    let iterations = 60;
+    let drop = e8_live_backpressure(false, iterations);
+    let block = e8_live_backpressure(true, iterations);
+    let row = |r: &damaris_bench::BackpressureResult| {
+        vec![
+            r.policy.to_string(),
+            fmt_s(r.wall_seconds),
+            r.iterations.to_string(),
+            r.skipped.to_string(),
+            fmt_s(r.mean_write_s),
+        ]
+    };
+    print_table(
+        &format!(
+            "E8 — live middleware, slow analysis plugin, {iterations} iterations \
+             (paper: drop data rather than block)"
+        ),
+        &["policy", "wall", "iterations analyzed", "client-iterations skipped", "mean write"],
+        &[row(&drop), row(&block)],
+    );
+    println!(
+        "drop-iteration keeps the simulation at full speed and loses data;\n\
+         block loses nothing but stalls the simulation behind the plugin."
+    );
+}

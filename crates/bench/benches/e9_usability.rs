@@ -1,0 +1,31 @@
+//! E9 (§V.C.2): instrumentation burden of the two in-situ couplings.
+//!
+//! Paper anchor: "all these examples require more than a hundred lines of
+//! code with the VisIt API. Damaris only requires one line per data object
+//! […] ending up with less than 10 lines of code changes."
+//!
+//! Counts the `BEGIN/END-INSTRUMENTATION` regions of the real example
+//! sources in `examples/`.
+
+use damaris_bench::{count_instrumentation_lines, examples_dir, print_table};
+
+fn main() {
+    let path = examples_dir().join("nek_insitu.rs");
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"));
+    let visit = count_instrumentation_lines(&source, "visit");
+    let damaris = count_instrumentation_lines(&source, "damaris");
+    print_table(
+        "E9 — instrumentation lines to couple Nek5000-proxy with in-situ visualization",
+        &["coupling", "paper", "measured (examples/nek_insitu.rs)"],
+        &[
+            vec!["VisIt-libsim style".into(), "> 100 lines".into(), format!("{visit} lines")],
+            vec![
+                "Damaris".into(),
+                "< 10 lines (+ XML)".into(),
+                format!("{damaris} lines (+ external XML description)"),
+            ],
+        ],
+    );
+    assert!(visit > damaris * 10, "the gap must span an order of magnitude");
+}

@@ -1,0 +1,202 @@
+//! Run-level metrics collected by the simulator.
+
+pub use pfs_sim::stats::JitterSummary;
+
+/// Everything one simulated run produces.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Strategy name.
+    pub strategy: String,
+    /// Platform name.
+    pub platform: &'static str,
+    /// Total cores (compute + dedicated).
+    pub ranks: usize,
+    /// Nodes used.
+    pub nodes: usize,
+    /// Dumps simulated.
+    pub dumps: u64,
+    /// Application run time as the simulation experiences it (virtual
+    /// seconds): compute + sim-visible I/O + stalls. For Damaris this
+    /// excludes asynchronous writes still draining at the end.
+    pub wall_seconds: f64,
+    /// Run time including the final asynchronous drain.
+    pub wall_with_drain: f64,
+    /// Total compute seconds (per rank) across the run.
+    pub compute_seconds: f64,
+    /// Per-dump sim-visible I/O span (what the application waits for).
+    pub per_dump_io_spans: Vec<f64>,
+    /// Per-(rank, dump) sim-visible write durations — the §IV.B
+    /// variability samples.
+    pub write_samples: Vec<f64>,
+    /// Bytes actually written to storage.
+    pub bytes_written: u64,
+    /// Mean per-dump burst throughput at the storage system (bytes/s).
+    pub agg_throughput: f64,
+    /// Idle fraction of the dedicated cores (Damaris only).
+    pub dedicated_idle: Option<f64>,
+    /// Node-dumps dropped by the skip policy.
+    pub skipped_node_dumps: u64,
+    /// Files created per dump.
+    pub files_per_dump: usize,
+    /// Bytes moved over the interconnect for aggregation.
+    pub comm_bytes: u64,
+}
+
+impl RunMetrics {
+    /// Sim-visible I/O share of run time, in `[0, 1]`.
+    pub fn io_fraction(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        let io: f64 = self.per_dump_io_spans.iter().sum();
+        io / self.wall_seconds
+    }
+
+    /// Total sim-visible I/O seconds.
+    pub fn io_seconds(&self) -> f64 {
+        self.per_dump_io_spans.iter().sum()
+    }
+
+    /// Jitter summary over the per-(rank, dump) write samples.
+    pub fn jitter(&self) -> JitterSummary {
+        let mut d = self.write_samples.clone();
+        d.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        if d.is_empty() {
+            return JitterSummary::default();
+        }
+        let pick = |q: f64| d[((d.len() - 1) as f64 * q).round() as usize];
+        let min = d[0];
+        let max = d[d.len() - 1];
+        JitterSummary {
+            min,
+            median: pick(0.5),
+            p99: pick(0.99),
+            max,
+            spread: if min > 0.0 { max / min } else { f64::INFINITY },
+        }
+    }
+
+    /// Speedup of this run relative to `other` (wall time ratio).
+    pub fn speedup_over(&self, other: &RunMetrics) -> f64 {
+        other.wall_seconds / self.wall_seconds
+    }
+
+    /// CSV header matching [`RunMetrics::to_csv_row`] (for plotting the
+    /// weak-scaling and throughput figures from swept runs).
+    pub fn csv_header() -> &'static str {
+        "platform,strategy,ranks,nodes,dumps,wall_s,wall_with_drain_s,compute_s,\
+         io_s,io_fraction,throughput_gbps,dedicated_idle,skipped_node_dumps,\
+         files_per_dump,comm_bytes,jitter_min_s,jitter_median_s,jitter_p99_s,\
+         jitter_max_s"
+    }
+
+    /// One CSV row summarizing this run.
+    pub fn to_csv_row(&self) -> String {
+        let j = self.jitter();
+        format!(
+            "{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.4},{:.4},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
+            self.platform,
+            self.strategy,
+            self.ranks,
+            self.nodes,
+            self.dumps,
+            self.wall_seconds,
+            self.wall_with_drain,
+            self.compute_seconds,
+            self.io_seconds(),
+            self.io_fraction(),
+            self.agg_throughput / 1e9,
+            self.dedicated_idle.map_or(String::new(), |v| format!("{v:.4}")),
+            self.skipped_node_dumps,
+            self.files_per_dump,
+            self.comm_bytes,
+            j.min,
+            j.median,
+            j.p99,
+            j.max,
+        )
+    }
+
+    /// Render a batch of runs as a complete CSV document.
+    pub fn to_csv(runs: &[RunMetrics]) -> String {
+        let mut out = String::from(Self::csv_header());
+        out.push('\n');
+        for r in runs {
+            out.push_str(&r.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            strategy: "test".into(),
+            platform: "kraken",
+            ranks: 24,
+            nodes: 2,
+            dumps: 2,
+            wall_seconds: 100.0,
+            wall_with_drain: 110.0,
+            compute_seconds: 60.0,
+            per_dump_io_spans: vec![15.0, 25.0],
+            write_samples: vec![1.0, 2.0, 4.0, 8.0],
+            bytes_written: 1 << 30,
+            agg_throughput: 1e9,
+            dedicated_idle: Some(0.95),
+            skipped_node_dumps: 0,
+            files_per_dump: 2,
+            comm_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn io_fraction() {
+        let m = sample();
+        assert!((m.io_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(m.io_seconds(), 40.0);
+    }
+
+    #[test]
+    fn jitter_summary() {
+        let j = sample().jitter();
+        assert_eq!(j.min, 1.0);
+        assert_eq!(j.max, 8.0);
+        assert_eq!(j.spread, 8.0);
+    }
+
+    #[test]
+    fn speedup() {
+        let a = sample();
+        let mut b = sample();
+        b.wall_seconds = 300.0;
+        assert!((a.speedup_over(&b) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let runs = vec![sample(), sample()];
+        let csv = RunMetrics::to_csv(&runs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one row per run");
+        let header_cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), header_cols, "ragged row: {row}");
+        }
+        assert!(lines[1].starts_with("kraken,test,24,2,2,100.000"));
+        assert!(lines[1].contains(",0.9500,"), "idle fraction serialized");
+    }
+
+    #[test]
+    fn csv_handles_missing_idle() {
+        let mut m = sample();
+        m.dedicated_idle = None;
+        let row = m.to_csv_row();
+        // Empty field between skipped commas, not a literal "None".
+        assert!(row.contains(",,0,"), "{row}");
+    }
+}

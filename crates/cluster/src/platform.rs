@@ -1,0 +1,108 @@
+//! Platform presets: the machines of the paper's evaluation.
+
+use pfs_sim::PfsConfig;
+
+/// A cluster: nodes × cores, interconnect, storage.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Platform name (appears in tables).
+    pub name: &'static str,
+    /// Cores per SMP node.
+    pub cores_per_node: usize,
+    /// Per-node injection bandwidth into the interconnect (bytes/s).
+    pub injection_bw: f64,
+    /// Small-message latency (s) — used by collective aggregation.
+    pub latency: f64,
+    /// Effective per-core bandwidth of a memcpy into the node's shared
+    /// segment while all compute cores copy simultaneously (bytes/s).
+    /// Calibrated so a 45 MB per-core write costs ≈ 0.1 s, the §IV.B
+    /// number.
+    pub shm_bw: f64,
+    /// Storage model configuration.
+    pub pfs: PfsConfig,
+}
+
+impl Platform {
+    /// Kraken-class Cray XT5: 12 cores/node, SeaStar2+ interconnect,
+    /// Lustre (§IV's platform).
+    pub fn kraken() -> Self {
+        Platform {
+            name: "kraken",
+            cores_per_node: 12,
+            injection_bw: 2.0e9,
+            latency: 5.0e-6,
+            shm_bw: 0.5e9,
+            pfs: PfsConfig::kraken_lustre(),
+        }
+    }
+
+    /// Grid'5000-class commodity cluster: 24 cores/node, 10 GbE-ish
+    /// interconnect, PVFS (§V.C's platform).
+    pub fn grid5000() -> Self {
+        Platform {
+            name: "grid5000",
+            cores_per_node: 24,
+            injection_bw: 1.25e9,
+            latency: 2.0e-5,
+            shm_bw: 0.8e9,
+            pfs: PfsConfig::grid5000_pvfs(),
+        }
+    }
+
+    /// Power5-class cluster: 16 cores/node (the paper's third platform;
+    /// used by cross-platform sanity tests).
+    pub fn power5() -> Self {
+        Platform {
+            name: "power5",
+            cores_per_node: 16,
+            injection_bw: 1.0e9,
+            latency: 1.0e-5,
+            shm_bw: 0.6e9,
+            pfs: PfsConfig::grid5000_pvfs().with_osts(48),
+        }
+    }
+
+    /// Nodes needed for `ranks` cores (every node fully populated).
+    pub fn nodes_for(&self, ranks: usize) -> usize {
+        ranks.div_ceil(self.cores_per_node)
+    }
+
+    /// Disable storage jitter and background traffic (calibration runs).
+    pub fn without_jitter(mut self) -> Self {
+        self.pfs = self.pfs.without_jitter();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for p in [Platform::kraken(), Platform::grid5000(), Platform::power5()] {
+            assert!(p.cores_per_node >= 12);
+            assert!(p.injection_bw > 0.0);
+            assert!(p.shm_bw > 0.0);
+            assert!(p.pfs.n_osts > 0);
+        }
+        assert_eq!(Platform::kraken().cores_per_node, 12, "XT5 had 12 cores/node");
+        assert_eq!(Platform::grid5000().cores_per_node, 24);
+    }
+
+    #[test]
+    fn nodes_for_rounds_up() {
+        let k = Platform::kraken();
+        assert_eq!(k.nodes_for(9216), 768);
+        assert_eq!(k.nodes_for(13), 2);
+        assert_eq!(k.nodes_for(12), 1);
+    }
+
+    #[test]
+    fn shm_cost_matches_paper_order() {
+        // §IV.B: writing one core's output to shared memory ≈ 0.1 s.
+        let k = Platform::kraken();
+        let seconds = (45.0 * (1 << 20) as f64) / k.shm_bw;
+        assert!((0.05..0.2).contains(&seconds), "shm write = {seconds:.3}s");
+    }
+}

@@ -1,0 +1,75 @@
+//! Workload descriptions: what the simulated application does.
+
+/// A weak-scaling simulation workload (per-core work fixed as ranks grow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Name for tables.
+    pub name: &'static str,
+    /// Number of output dumps to simulate.
+    pub dumps: u64,
+    /// Simulation steps between dumps.
+    pub steps_per_dump: u64,
+    /// Seconds one step takes with *all* cores of a node computing.
+    pub compute_seconds_per_step: f64,
+    /// Bytes each core contributes per dump.
+    pub bytes_per_core: u64,
+}
+
+impl Workload {
+    /// CM1 as the paper ran it on Kraken: ~34 s steps, a dump every 9
+    /// steps (≈ 306 s of compute between dumps), 45 MiB per core per dump.
+    /// With collective I/O phases of 680–800 s this puts the I/O share of
+    /// run time at ≈ 70 %, the §IV.A operating point.
+    pub fn cm1(dumps: u64) -> Self {
+        Workload {
+            name: "cm1",
+            dumps,
+            steps_per_dump: 9,
+            compute_seconds_per_step: 34.0,
+            bytes_per_core: 45 << 20,
+        }
+    }
+
+    /// Nek5000 as the §V.C in-situ campaign ran it: short steps, a dump
+    /// (= analysis trigger) every step, smaller per-core data.
+    pub fn nek(dumps: u64) -> Self {
+        Workload {
+            name: "nek5000",
+            dumps,
+            steps_per_dump: 1,
+            compute_seconds_per_step: 4.0,
+            bytes_per_core: 8 << 20,
+        }
+    }
+
+    /// Compute seconds between two dumps (full node computing).
+    pub fn compute_per_dump(&self) -> f64 {
+        self.compute_seconds_per_step * self.steps_per_dump as f64
+    }
+
+    /// Total bytes one dump moves for `ranks` cores.
+    pub fn dump_bytes(&self, ranks: usize) -> u64 {
+        self.bytes_per_core * ranks as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm1_operating_point() {
+        let w = Workload::cm1(10);
+        assert_eq!(w.compute_per_dump(), 306.0);
+        // 9216 cores × 45 MiB ≈ 405 GiB per dump.
+        let gib = w.dump_bytes(9216) as f64 / (1u64 << 30) as f64;
+        assert!((400.0..420.0).contains(&gib), "dump = {gib:.0} GiB");
+    }
+
+    #[test]
+    fn nek_dumps_every_step() {
+        let w = Workload::nek(5);
+        assert_eq!(w.steps_per_dump, 1);
+        assert_eq!(w.compute_per_dump(), 4.0);
+    }
+}

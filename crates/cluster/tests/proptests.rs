@@ -1,0 +1,119 @@
+//! Property tests for the cluster simulator: structural invariants that
+//! must hold for any workload, scale, strategy and seed.
+
+use cluster_sim::{run, DamarisOptions, Platform, Scheduler, Strategy as IoStrategy, Workload};
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (1u64..4, 1u64..6, 1.0f64..100.0, (1u64..64).prop_map(|m| m << 20)).prop_map(
+        |(dumps, steps, compute, bytes)| Workload {
+            name: "prop",
+            dumps,
+            steps_per_dump: steps,
+            compute_seconds_per_step: compute,
+            bytes_per_core: bytes,
+        },
+    )
+}
+
+fn strategy_strategy() -> impl Strategy<Value = IoStrategy> {
+    prop_oneof![
+        Just(IoStrategy::FilePerProcess),
+        Just(IoStrategy::Collective),
+        Just(IoStrategy::damaris_greedy()),
+        Just(IoStrategy::damaris_balanced()),
+        (1usize..3, any::<bool>()).prop_map(|(buffer_dumps, skip)| {
+            IoStrategy::Damaris(DamarisOptions {
+                buffer_dumps,
+                skip_when_full: skip,
+                scheduler: Scheduler::TokenBucket { concurrent: 64 },
+                ..Default::default()
+            })
+        }),
+        (0.1f64..5.0).prop_map(|analysis_seconds| IoStrategy::SyncInSitu { analysis_seconds }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Time only moves forward and accounting stays consistent.
+    #[test]
+    fn causality_and_accounting(
+        w in workload_strategy(),
+        s in strategy_strategy(),
+        ranks_mult in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let platform = Platform::kraken();
+        let ranks = platform.cores_per_node * ranks_mult * 8;
+        let m = run(&platform, &w, ranks, s, seed);
+        prop_assert!(m.wall_seconds.is_finite() && m.wall_seconds > 0.0);
+        prop_assert!(m.wall_with_drain >= m.wall_seconds - 1e-9);
+        prop_assert!(m.compute_seconds > 0.0);
+        prop_assert!(m.wall_seconds >= m.compute_seconds - 1e-9,
+            "wall {} < compute {}", m.wall_seconds, m.compute_seconds);
+        prop_assert_eq!(m.per_dump_io_spans.len() as u64, w.dumps);
+        for &span in &m.per_dump_io_spans {
+            prop_assert!(span >= 0.0 && span.is_finite());
+        }
+        prop_assert!((0.0..=1.0).contains(&m.io_fraction()));
+        if let Some(idle) = m.dedicated_idle {
+            prop_assert!((0.0..=1.0).contains(&idle));
+        }
+        prop_assert_eq!(m.nodes, platform.nodes_for(ranks));
+    }
+
+    /// Identical seeds reproduce identical runs, bit for bit.
+    #[test]
+    fn deterministic(
+        w in workload_strategy(),
+        s in strategy_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let platform = Platform::grid5000();
+        let ranks = platform.cores_per_node * 8;
+        let a = run(&platform, &w, ranks, s, seed);
+        let b = run(&platform, &w, ranks, s, seed);
+        prop_assert_eq!(a.wall_seconds, b.wall_seconds);
+        prop_assert_eq!(a.wall_with_drain, b.wall_with_drain);
+        prop_assert_eq!(a.bytes_written, b.bytes_written);
+        prop_assert_eq!(a.write_samples, b.write_samples);
+        prop_assert_eq!(a.skipped_node_dumps, b.skipped_node_dumps);
+    }
+
+    /// Block mode never skips; written bytes match what was not skipped.
+    #[test]
+    fn skip_accounting(w in workload_strategy(), seed in any::<u64>()) {
+        let platform = Platform::kraken().without_jitter();
+        let ranks = platform.cores_per_node * 16;
+        let block = run(
+            &platform,
+            &w,
+            ranks,
+            IoStrategy::Damaris(DamarisOptions {
+                buffer_dumps: 1,
+                skip_when_full: false,
+                ..Default::default()
+            }),
+            seed,
+        );
+        prop_assert_eq!(block.skipped_node_dumps, 0);
+        let drop = run(
+            &platform,
+            &w,
+            ranks,
+            IoStrategy::Damaris(DamarisOptions {
+                buffer_dumps: 1,
+                skip_when_full: true,
+                ..Default::default()
+            }),
+            seed,
+        );
+        // Whatever was skipped was not written.
+        prop_assert!(drop.bytes_written <= block.bytes_written);
+        // And the non-blocking run never finishes later than the blocking
+        // one (sim-side).
+        prop_assert!(drop.wall_seconds <= block.wall_seconds + 1e-9);
+    }
+}

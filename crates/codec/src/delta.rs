@@ -1,0 +1,114 @@
+//! XOR-delta predictive transform for fixed-width words.
+//!
+//! Neighbouring values of a smooth field share sign, exponent and leading
+//! mantissa bits, so `x[i] ^ x[i-1]` is mostly zero bytes — which the RLE
+//! and LZSS stages then collapse. This is the core idea of float compressors
+//! such as FPC, restricted to the previous-value predictor.
+//!
+//! Size-preserving; trailing bytes that do not fill a word are copied.
+
+use crate::{Codec, CodecError};
+
+/// XOR each `width`-byte word with its predecessor.
+#[derive(Debug, Clone, Copy)]
+pub struct XorDelta {
+    /// Word width in bytes (e.g. 8 for `f64`, 4 for `f32`).
+    pub width: usize,
+}
+
+impl XorDelta {
+    /// Create a transform for the given word width (1–16 bytes).
+    pub fn new(width: usize) -> Self {
+        assert!((1..=16).contains(&width), "word width {width} out of range 1..=16");
+        XorDelta { width }
+    }
+}
+
+impl Codec for XorDelta {
+    fn name(&self) -> String {
+        format!("xor-delta{}", self.width)
+    }
+
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        let w = self.width;
+        let mut out = input.to_vec();
+        // Only full words participate; trailing remainder stays verbatim.
+        let full = input.len() - input.len() % w;
+        for i in w..full {
+            out[i] = input[i] ^ input[i - w];
+        }
+        out
+    }
+
+    fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let w = self.width;
+        let mut out = input.to_vec();
+        let full = input.len() - input.len() % w;
+        for i in w..full {
+            out[i] ^= out[i - w]; // forward pass accumulates
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(width: usize, data: &[u8]) {
+        let c = XorDelta::new(width);
+        let enc = c.encode(data);
+        assert_eq!(enc.len(), data.len(), "size-preserving");
+        assert_eq!(c.decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_widths_and_lengths() {
+        let data: Vec<u8> = (0..123u8).collect();
+        for w in [1, 2, 4, 8, 16] {
+            roundtrip(w, &data);
+        }
+        roundtrip(8, &[]);
+        roundtrip(8, &[1, 2, 3]); // shorter than one word
+        roundtrip(8, &[9; 8]); // exactly one word
+    }
+
+    #[test]
+    fn smooth_f64_becomes_sparse() {
+        let field: Vec<f64> = (0..1024).map(|i| 300.0 + (i as f64) * 1e-4).collect();
+        let bytes: Vec<u8> = field.iter().flat_map(|f| f.to_le_bytes()).collect();
+        let enc = XorDelta::new(8).encode(&bytes);
+        let zeros = enc.iter().filter(|&&b| b == 0).count();
+        let raw_zeros = bytes.iter().filter(|&&b| b == 0).count();
+        // Neighbouring values share sign/exponent/top-mantissa bits, so the
+        // delta stream has far more zero bytes than the raw stream (the low
+        // mantissa bytes stay noisy — that is expected for full precision).
+        assert!(
+            zeros > bytes.len() / 4 && zeros > raw_zeros,
+            "expected sparser delta stream: {zeros}/{} zeros vs {raw_zeros} raw",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn constant_stream_is_all_zeros_after_first_word() {
+        let bytes: Vec<u8> = std::iter::repeat_n(7.5f64.to_le_bytes(), 100).flatten().collect();
+        let enc = XorDelta::new(8).encode(&bytes);
+        assert!(enc[8..].iter().all(|&b| b == 0));
+        assert_eq!(&enc[..8], &7.5f64.to_le_bytes());
+    }
+
+    #[test]
+    fn trailing_remainder_untouched() {
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10]; // 10 bytes, width 4
+        let enc = XorDelta::new(4).encode(&data);
+        assert_eq!(&enc[8..], &data[8..], "remainder copied verbatim");
+        assert_eq!(XorDelta::new(4).decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let _ = XorDelta::new(0);
+    }
+}

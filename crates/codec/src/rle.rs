@@ -1,0 +1,150 @@
+//! PackBits run-length coding.
+//!
+//! Control byte `c`:
+//! * `0 ..= 127` — copy the next `c + 1` bytes literally,
+//! * `129 ..= 255` — repeat the next byte `257 - c` times (runs of 2–128),
+//! * `128` — reserved, never produced; rejected on decode.
+//!
+//! Worst case expansion is 1 byte per 128 literals (< 0.8 %).
+
+use crate::{Codec, CodecError};
+
+/// PackBits run-length codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rle;
+
+impl Codec for Rle {
+    fn name(&self) -> String {
+        "rle".to_string()
+    }
+
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 4 + 16);
+        let n = input.len();
+        let mut i = 0;
+        while i < n {
+            // Measure the run starting at i.
+            let b = input[i];
+            let mut run = 1;
+            while i + run < n && input[i + run] == b && run < 128 {
+                run += 1;
+            }
+            if run >= 2 {
+                out.push((257 - run) as u8);
+                out.push(b);
+                i += run;
+            } else {
+                // Collect literals until the next run of ≥ 3 (a 2-run is
+                // cheaper to emit as literals than to break a literal block).
+                let start = i;
+                i += 1;
+                while i < n && (i - start) < 128 {
+                    let b = input[i];
+                    let mut run = 1;
+                    while i + run < n && input[i + run] == b && run < 3 {
+                        run += 1;
+                    }
+                    if run >= 3 {
+                        break;
+                    }
+                    i += 1;
+                }
+                let len = i - start;
+                out.push((len - 1) as u8);
+                out.extend_from_slice(&input[start..i]);
+            }
+        }
+        out
+    }
+
+    fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::with_capacity(input.len() * 2);
+        let mut i = 0;
+        while i < input.len() {
+            let c = input[i];
+            i += 1;
+            match c {
+                0..=127 => {
+                    let len = c as usize + 1;
+                    if i + len > input.len() {
+                        return Err(CodecError::new("rle: truncated literal block"));
+                    }
+                    out.extend_from_slice(&input[i..i + len]);
+                    i += len;
+                }
+                128 => return Err(CodecError::new("rle: reserved control byte 128")),
+                129..=255 => {
+                    let len = 257 - c as usize;
+                    let b = *input
+                        .get(i)
+                        .ok_or_else(|| CodecError::new("rle: truncated run"))?;
+                    i += 1;
+                    out.resize(out.len() + len, b);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let c = Rle;
+        let enc = c.encode(data);
+        let dec = c.decode(&enc).unwrap();
+        assert_eq!(dec, data, "roundtrip mismatch");
+        enc
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(roundtrip(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_zeros_compresses_hard() {
+        let enc = roundtrip(&[0u8; 10_000]);
+        assert!(enc.len() <= 2 * (10_000 / 128 + 1), "got {}", enc.len());
+    }
+
+    #[test]
+    fn incompressible_expands_bounded() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let enc = roundtrip(&data);
+        assert!(enc.len() <= data.len() + data.len() / 128 + 2);
+    }
+
+    #[test]
+    fn mixed_runs_and_literals() {
+        let mut data = vec![1, 2, 3];
+        data.extend_from_slice(&[7; 50]);
+        data.extend_from_slice(&[9, 8]);
+        data.extend_from_slice(&[0; 300]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn run_of_exactly_two() {
+        roundtrip(&[5, 5, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_longer_than_128_splits() {
+        roundtrip(&[42u8; 129]);
+        roundtrip(&[42u8; 257]);
+    }
+
+    #[test]
+    fn decode_rejects_reserved_control() {
+        assert!(Rle.decode(&[128]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        assert!(Rle.decode(&[5, 1, 2]).is_err()); // literal block cut short
+        assert!(Rle.decode(&[200]).is_err()); // run byte missing
+    }
+}

@@ -1,0 +1,107 @@
+//! Byte-shuffle transform (HDF5 shuffle filter).
+//!
+//! For `n` elements of `width` bytes, output all first bytes, then all
+//! second bytes, … Grouping the (nearly constant) exponent bytes of a float
+//! field produces long runs for the RLE/LZSS stage. Size-preserving;
+//! trailing bytes that do not fill an element are appended verbatim.
+
+use crate::{Codec, CodecError};
+
+/// Byte-transpose elements of a fixed width.
+#[derive(Debug, Clone, Copy)]
+pub struct Shuffle {
+    /// Element width in bytes.
+    pub width: usize,
+}
+
+impl Shuffle {
+    /// Create a shuffle for the given element width (1–16 bytes).
+    pub fn new(width: usize) -> Self {
+        assert!((1..=16).contains(&width), "element width {width} out of range 1..=16");
+        Shuffle { width }
+    }
+}
+
+impl Codec for Shuffle {
+    fn name(&self) -> String {
+        format!("shuffle{}", self.width)
+    }
+
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        let w = self.width;
+        let n = input.len() / w;
+        let full = n * w;
+        let mut out = Vec::with_capacity(input.len());
+        for k in 0..w {
+            for i in 0..n {
+                out.push(input[i * w + k]);
+            }
+        }
+        out.extend_from_slice(&input[full..]);
+        out
+    }
+
+    fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let w = self.width;
+        let n = input.len() / w;
+        let full = n * w;
+        let mut out = vec![0u8; input.len()];
+        for k in 0..w {
+            for i in 0..n {
+                out[i * w + k] = input[k * n + i];
+            }
+        }
+        out[full..].copy_from_slice(&input[full..]);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(width: usize, data: &[u8]) {
+        let c = Shuffle::new(width);
+        let enc = c.encode(data);
+        assert_eq!(enc.len(), data.len());
+        assert_eq!(c.decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_assorted() {
+        let data: Vec<u8> = (0..100u8).collect();
+        for w in [1, 2, 4, 8, 16] {
+            roundtrip(w, &data);
+        }
+        roundtrip(8, &[]);
+        roundtrip(8, &[1, 2, 3]); // shorter than one element
+    }
+
+    #[test]
+    fn transpose_layout_exact() {
+        // Two 4-byte elements: [a0 a1 a2 a3][b0 b1 b2 b3]
+        let data = [0xa0, 0xa1, 0xa2, 0xa3, 0xb0, 0xb1, 0xb2, 0xb3];
+        let enc = Shuffle::new(4).encode(&data);
+        assert_eq!(enc, [0xa0, 0xb0, 0xa1, 0xb1, 0xa2, 0xb2, 0xa3, 0xb3]);
+    }
+
+    #[test]
+    fn exponent_bytes_group_into_runs() {
+        // f64 values in a narrow range share their top bytes.
+        let field: Vec<f64> = (0..512).map(|i| 1000.0 + i as f64 * 0.25).collect();
+        let bytes: Vec<u8> = field.iter().flat_map(|f| f.to_le_bytes()).collect();
+        let shuffled = Shuffle::new(8).encode(&bytes);
+        // The last `n` bytes are the top bytes of every element — all equal.
+        let n = field.len();
+        let top = &shuffled[7 * n..8 * n];
+        assert!(top.windows(2).all(|w| w[0] == w[1]), "top bytes should be constant");
+    }
+
+    #[test]
+    fn remainder_preserved() {
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]; // 11 bytes, width 4
+        let enc = Shuffle::new(4).encode(&data);
+        assert_eq!(&enc[8..], &data[8..]);
+        assert_eq!(Shuffle::new(4).decode(&enc).unwrap(), data);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: every codec and pipeline round-trips arbitrary bytes.
+
+use codec::{Codec, Lzss, Pipeline, Rle, Shuffle, XorDelta};
+use proptest::prelude::*;
+
+fn arbitrary_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..4096)
+}
+
+/// Byte streams with realistic structure: runs, ramps, noise islands.
+fn structured_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), 1usize..200).prop_map(|(b, n)| vec![b; n]),
+            (any::<u8>(), 1usize..100)
+                .prop_map(|(b, n)| (0..n).map(|i| b.wrapping_add(i as u8)).collect()),
+            proptest::collection::vec(any::<u8>(), 1..50),
+        ],
+        0..12,
+    )
+    .prop_map(|chunks| chunks.concat())
+}
+
+proptest! {
+    #[test]
+    fn rle_roundtrip(data in arbitrary_bytes()) {
+        let c = Rle;
+        prop_assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_roundtrip_structured(data in structured_bytes()) {
+        let c = Rle;
+        prop_assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_roundtrip(data in arbitrary_bytes()) {
+        let c = Lzss;
+        prop_assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_roundtrip_structured(data in structured_bytes()) {
+        let c = Lzss;
+        prop_assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn xor_delta_roundtrip(data in arbitrary_bytes(), width in 1usize..=16) {
+        let c = XorDelta::new(width);
+        prop_assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn shuffle_roundtrip(data in arbitrary_bytes(), width in 1usize..=16) {
+        let c = Shuffle::new(width);
+        prop_assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn default_pipelines_roundtrip(data in structured_bytes()) {
+        for p in [Pipeline::default_f64(), Pipeline::default_f32()] {
+            prop_assert_eq!(p.decode(&p.encode(&data)).unwrap(), data.clone());
+        }
+    }
+
+    /// Decoders must reject or survive arbitrary garbage without panicking.
+    #[test]
+    fn decoders_never_panic_on_garbage(data in arbitrary_bytes()) {
+        let _ = Rle.decode(&data);
+        let _ = Lzss.decode(&data);
+        let _ = XorDelta::new(8).decode(&data);
+        let _ = Shuffle::new(8).decode(&data);
+        let _ = Pipeline::default_f64().decode(&data);
+    }
+}

@@ -1,0 +1,266 @@
+//! The simulation-side API.
+//!
+//! Paper §III.B: "Its simulation-side API includes functions to directly
+//! access the shared memory segment and copy or allocate blocks of data."
+//! §V.C.2: "Damaris only requires one line per data object that has to be
+//! shared with dedicated cores" — that line is [`DamarisClient::write`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use damaris_shm::{Block, MessageQueue, SharedSegment};
+use damaris_xml::schema::{Configuration, SkipMode};
+use parking_lot::Mutex;
+
+use crate::error::{DamarisError, DamarisResult};
+use crate::event::Event;
+use crate::policy::SkipPolicy;
+
+/// What happened to a write call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStatus {
+    /// The block was published to the dedicated cores.
+    Written,
+    /// The skip policy dropped the iteration (memory pressure).
+    Skipped,
+}
+
+/// Timing record of the simulation-facing cost of Damaris calls.
+///
+/// The headline §IV.B claim — "the time to write from the point of view of
+/// the simulation is cut down to the time required to write in
+/// shared-memory, which is in the order of 0.1 seconds" — is measured here.
+#[derive(Debug, Default, Clone)]
+pub struct ClientStats {
+    /// Seconds spent inside `write` per successful call.
+    pub write_seconds: Vec<f64>,
+    /// Number of write calls that were skipped.
+    pub skipped_writes: u64,
+    /// Bytes published.
+    pub bytes_written: u64,
+}
+
+/// Handle held by one compute core.
+///
+/// Cloning shares the identity and statistics of the same logical client —
+/// clients are usually moved into their compute thread instead.
+pub struct DamarisClient {
+    pub(crate) id: usize,
+    pub(crate) cfg: Arc<Configuration>,
+    pub(crate) segment: SharedSegment,
+    pub(crate) queue: MessageQueue<Event>,
+    pub(crate) policy: Arc<SkipPolicy>,
+    pub(crate) stats: Arc<Mutex<ClientStats>>,
+    /// Blocks published for the current iteration (reported at
+    /// end-of-iteration so the server knows when the step's data is whole).
+    pub(crate) writes_this_iteration: Arc<AtomicU64>,
+}
+
+impl Clone for DamarisClient {
+    fn clone(&self) -> Self {
+        DamarisClient {
+            id: self.id,
+            cfg: self.cfg.clone(),
+            segment: self.segment.clone(),
+            queue: self.queue.clone(),
+            policy: self.policy.clone(),
+            stats: self.stats.clone(),
+            writes_this_iteration: self.writes_this_iteration.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for DamarisClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DamarisClient").field("id", &self.id).finish()
+    }
+}
+
+impl DamarisClient {
+    /// This client's id (its rank within the node).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The loaded configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.cfg
+    }
+
+    /// Publish one variable for one iteration — the single instrumentation
+    /// line the paper's usability comparison counts.
+    ///
+    /// Cost to the simulation: one shared-memory allocation, one memcpy,
+    /// one queue event. Everything else happens on the dedicated cores.
+    pub fn write<T: damaris_shm::segment::Pod>(
+        &self,
+        variable: &str,
+        iteration: u64,
+        data: &[T],
+    ) -> DamarisResult<WriteStatus> {
+        let t0 = Instant::now();
+        let layout = self
+            .cfg
+            .layout_of(variable)
+            .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))?;
+        let bytes = std::mem::size_of_val(data);
+        if bytes != layout.byte_size() {
+            return Err(DamarisError::LayoutMismatch {
+                variable: variable.to_string(),
+                expected: layout.byte_size(),
+                got: bytes,
+            });
+        }
+        if !self.policy.admit(iteration, &self.segment, &self.queue) {
+            self.stats.lock().skipped_writes += 1;
+            return Ok(WriteStatus::Skipped);
+        }
+        let mut block = self.allocate_block(bytes)?;
+        block.write_pod(data);
+        self.publish(variable, iteration, block)?;
+        let mut stats = self.stats.lock();
+        stats.write_seconds.push(t0.elapsed().as_secs_f64());
+        stats.bytes_written += bytes as u64;
+        Ok(WriteStatus::Written)
+    }
+
+    /// Zero-copy variant: allocate the block, let the caller fill it in
+    /// place (e.g. the simulation computes directly into shared memory —
+    /// "functions to directly access the shared memory segment"), then
+    /// [`DamarisClient::commit`] it.
+    pub fn alloc(&self, variable: &str, iteration: u64) -> DamarisResult<BlockWriter> {
+        let layout = self
+            .cfg
+            .layout_of(variable)
+            .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))?;
+        if !self.policy.admit(iteration, &self.segment, &self.queue) {
+            self.stats.lock().skipped_writes += 1;
+            return Ok(BlockWriter {
+                client: self.clone(),
+                variable: variable.to_string(),
+                iteration,
+                block: None,
+            });
+        }
+        let block = self.allocate_block(layout.byte_size())?;
+        Ok(BlockWriter {
+            client: self.clone(),
+            variable: variable.to_string(),
+            iteration,
+            block: Some(block),
+        })
+    }
+
+    /// Commit a block obtained from [`DamarisClient::alloc`].
+    pub fn commit(&self, writer: BlockWriter) -> DamarisResult<WriteStatus> {
+        writer.commit()
+    }
+
+    /// Raise a user event; actions declared with `event="name"` fire on the
+    /// dedicated cores.
+    pub fn signal(&self, name: &str, iteration: u64) -> DamarisResult<()> {
+        self.queue
+            .send(Event::Signal { name: name.to_string(), source: self.id, iteration })
+            .map_err(|_| DamarisError::QueueClosed)
+    }
+
+    /// Mark the iteration finished for this client. When every client of
+    /// the node has ended iteration `k` (and all its blocks arrived), the
+    /// dedicated cores fire the end-of-iteration actions.
+    pub fn end_iteration(&self, iteration: u64) -> DamarisResult<()> {
+        let writes = self.writes_this_iteration.swap(0, Ordering::AcqRel);
+        let skipped = self.policy.was_dropped(iteration);
+        self.queue
+            .send(Event::EndIteration { source: self.id, iteration, writes, skipped })
+            .map_err(|_| DamarisError::QueueClosed)
+    }
+
+    /// Announce that this client will send nothing further.
+    pub fn finalize(&self) -> DamarisResult<()> {
+        self.queue
+            .send(Event::ClientFinalize { source: self.id })
+            .map_err(|_| DamarisError::QueueClosed)
+    }
+
+    /// Snapshot of this client's timing statistics.
+    pub fn stats(&self) -> ClientStats {
+        self.stats.lock().clone()
+    }
+
+    /// Iterations dropped by the skip policy so far.
+    pub fn skipped_iterations(&self) -> u64 {
+        self.policy.dropped_iterations()
+    }
+
+    fn allocate_block(&self, bytes: usize) -> DamarisResult<Block> {
+        match self.policy.mode() {
+            // Block mode: wait for plugins to free memory.
+            SkipMode::Block => self
+                .segment
+                .allocate_blocking(bytes, Some(std::time::Duration::from_secs(60)))
+                .map_err(DamarisError::from),
+            // Drop mode: never stall the simulation.
+            SkipMode::DropIteration => self.segment.allocate(bytes).map_err(DamarisError::from),
+        }
+    }
+
+    fn publish(&self, variable: &str, iteration: u64, block: Block) -> DamarisResult<()> {
+        let event = Event::Write {
+            variable: variable.to_string(),
+            iteration,
+            source: self.id,
+            block: block.freeze(),
+        };
+        self.queue.send(event).map_err(|_| DamarisError::QueueClosed)?;
+        self.writes_this_iteration.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+}
+
+/// An in-place block being filled by the simulation (zero-copy path).
+pub struct BlockWriter {
+    client: DamarisClient,
+    variable: String,
+    iteration: u64,
+    /// `None` when the skip policy dropped the iteration.
+    block: Option<Block>,
+}
+
+impl BlockWriter {
+    /// Whether the skip policy dropped this iteration (the writer is inert).
+    pub fn is_skipped(&self) -> bool {
+        self.block.is_none()
+    }
+
+    /// Mutable view of the shared-memory block (empty slice when skipped).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        match &mut self.block {
+            Some(b) => b.as_mut_slice(),
+            None => &mut [],
+        }
+    }
+
+    /// Fill from a typed slice (convenience over `as_mut_slice`).
+    pub fn fill_pod<T: damaris_shm::segment::Pod>(&mut self, data: &[T]) {
+        if let Some(b) = &mut self.block {
+            b.write_pod(data);
+        }
+    }
+
+    /// Publish the block to the dedicated cores.
+    pub fn commit(self) -> DamarisResult<WriteStatus> {
+        match self.block {
+            None => Ok(WriteStatus::Skipped),
+            Some(block) => {
+                let t0 = Instant::now();
+                let bytes = block.len();
+                self.client.publish(&self.variable, self.iteration, block)?;
+                let mut stats = self.client.stats.lock();
+                stats.write_seconds.push(t0.elapsed().as_secs_f64());
+                stats.bytes_written += bytes as u64;
+                Ok(WriteStatus::Written)
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Middleware error type.
+
+use std::fmt;
+
+/// Result alias for middleware operations.
+pub type DamarisResult<T> = Result<T, DamarisError>;
+
+/// Failures surfaced by the Damaris middleware.
+#[derive(Debug)]
+pub enum DamarisError {
+    /// Configuration file/parse/validation problem.
+    Config(damaris_xml::XmlError),
+    /// Shared-memory segment failure.
+    Shm(damaris_shm::ShmError),
+    /// A write referenced a variable absent from the configuration.
+    UnknownVariable(String),
+    /// The written data does not match the variable's layout.
+    LayoutMismatch {
+        /// Variable being written.
+        variable: String,
+        /// Bytes the layout requires.
+        expected: usize,
+        /// Bytes the caller supplied.
+        got: usize,
+    },
+    /// The event queue was closed (node shut down) mid-operation.
+    QueueClosed,
+    /// Storage backend failure.
+    Storage(h5lite::H5Error),
+    /// A plugin reported a failure.
+    Plugin {
+        /// Plugin name.
+        plugin: String,
+        /// What it reported.
+        message: String,
+    },
+    /// Node lifecycle misuse (double shutdown, missing clients, …).
+    InvalidState(String),
+}
+
+impl fmt::Display for DamarisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DamarisError::Config(e) => write!(f, "configuration: {e}"),
+            DamarisError::Shm(e) => write!(f, "shared memory: {e}"),
+            DamarisError::UnknownVariable(v) => write!(f, "unknown variable '{v}'"),
+            DamarisError::LayoutMismatch { variable, expected, got } => write!(
+                f,
+                "layout mismatch writing '{variable}': layout holds {expected} bytes, caller provided {got}"
+            ),
+            DamarisError::QueueClosed => write!(f, "event queue closed (node shut down)"),
+            DamarisError::Storage(e) => write!(f, "storage: {e}"),
+            DamarisError::Plugin { plugin, message } => write!(f, "plugin '{plugin}': {message}"),
+            DamarisError::InvalidState(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DamarisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DamarisError::Config(e) => Some(e),
+            DamarisError::Shm(e) => Some(e),
+            DamarisError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<damaris_xml::XmlError> for DamarisError {
+    fn from(e: damaris_xml::XmlError) -> Self {
+        DamarisError::Config(e)
+    }
+}
+
+impl From<damaris_shm::ShmError> for DamarisError {
+    fn from(e: damaris_shm::ShmError) -> Self {
+        DamarisError::Shm(e)
+    }
+}
+
+impl From<h5lite::H5Error> for DamarisError {
+    fn from(e: h5lite::H5Error) -> Self {
+        DamarisError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DamarisError::LayoutMismatch {
+            variable: "u".into(),
+            expected: 64,
+            got: 32,
+        };
+        assert!(e.to_string().contains("'u'"));
+        assert!(DamarisError::UnknownVariable("qv".into()).to_string().contains("qv"));
+        assert!(DamarisError::QueueClosed.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: DamarisError = damaris_shm::ShmError::ZeroSize.into();
+        assert!(matches!(e, DamarisError::Shm(_)));
+    }
+}

@@ -1,0 +1,539 @@
+//! Node lifecycle: wiring the segment, queue, clients and dedicated cores.
+
+use std::path::PathBuf;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+use damaris_shm::{MessageQueue, SharedSegment};
+use damaris_xml::schema::Configuration;
+use parking_lot::Mutex;
+
+use crate::client::{ClientStats, DamarisClient};
+use crate::error::{DamarisError, DamarisResult};
+use crate::event::Event;
+use crate::plugins::{CompressPlugin, H5Writer, Plugin, StatsPlugin};
+use crate::policy::SkipPolicy;
+use crate::server::{server_loop, ServerShared};
+
+/// Builder for a [`DamarisNode`].
+pub struct NodeBuilder {
+    cfg: Option<Configuration>,
+    clients: usize,
+    node_id: usize,
+    output_dir: Option<PathBuf>,
+}
+
+impl NodeBuilder {
+    fn new() -> Self {
+        NodeBuilder { cfg: None, clients: 1, node_id: 0, output_dir: None }
+    }
+
+    /// Load configuration from XML text.
+    pub fn config_str(mut self, xml: &str) -> DamarisResult<Self> {
+        self.cfg = Some(Configuration::from_str(xml)?);
+        Ok(self)
+    }
+
+    /// Load configuration from a file.
+    pub fn config_file(mut self, path: impl AsRef<std::path::Path>) -> DamarisResult<Self> {
+        self.cfg = Some(Configuration::from_file(path)?);
+        Ok(self)
+    }
+
+    /// Use an already-built configuration.
+    pub fn config(mut self, cfg: Configuration) -> Self {
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Number of simulation clients (compute cores) on this node.
+    pub fn clients(mut self, n: usize) -> Self {
+        self.clients = n;
+        self
+    }
+
+    /// This node's id (used in output file names).
+    pub fn node_id(mut self, id: usize) -> Self {
+        self.node_id = id;
+        self
+    }
+
+    /// Directory plugins write into (default: a temp subdirectory).
+    pub fn output_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.output_dir = Some(dir.into());
+        self
+    }
+
+    /// Construct the node: allocate the segment and queue, spawn the
+    /// dedicated-core threads, pre-create the client handles.
+    pub fn build(self) -> DamarisResult<DamarisNode> {
+        let cfg = Arc::new(self.cfg.ok_or_else(|| {
+            DamarisError::InvalidState("NodeBuilder needs a configuration".into())
+        })?);
+        if self.clients == 0 {
+            return Err(DamarisError::InvalidState("a node needs at least one client".into()));
+        }
+        if cfg.architecture.dedicated_cores == 0 {
+            return Err(DamarisError::InvalidState(
+                "dedicated cores = 0 selects the synchronous baselines; use damaris_core::baseline"
+                    .into(),
+            ));
+        }
+        let output_dir = self.output_dir.unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("damaris-{}-{}", cfg.name, std::process::id()))
+        });
+        let segment = SharedSegment::new(cfg.architecture.buffer_size)?;
+        let queue: MessageQueue<Event> = MessageQueue::bounded(cfg.architecture.queue_capacity);
+
+        let shared = Arc::new(ServerShared::new(
+            cfg.clone(),
+            self.node_id,
+            self.clients,
+            output_dir.clone(),
+        ));
+        // Auto-register built-in plugins referenced by declared actions.
+        {
+            let mut plugins = shared.plugins.write();
+            for action in &cfg.actions {
+                let exists = plugins.iter().any(|p| p.name() == action.plugin);
+                if exists {
+                    continue;
+                }
+                let builtin: Option<Arc<dyn Plugin>> = match action.plugin.as_str() {
+                    "hdf5" => Some(Arc::new(H5Writer::new())),
+                    "compress" => Some(Arc::new(CompressPlugin::new())),
+                    "stats" => Some(Arc::new(StatsPlugin::new())),
+                    _ => None,
+                };
+                if let Some(p) = builtin {
+                    plugins.push(p);
+                }
+            }
+        }
+
+        let mut server_handles = Vec::new();
+        for core in 0..cfg.architecture.dedicated_cores {
+            let shared = shared.clone();
+            let queue = queue.clone();
+            server_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("damaris-dedicated-{core}"))
+                    .spawn(move || server_loop(shared, queue))
+                    .expect("failed to spawn dedicated core"),
+            );
+        }
+
+        let clients = (0..self.clients)
+            .map(|id| DamarisClient {
+                id,
+                cfg: cfg.clone(),
+                segment: segment.clone(),
+                queue: queue.clone(),
+                policy: Arc::new(SkipPolicy::new(cfg.architecture.skip)),
+                stats: Arc::new(Mutex::new(ClientStats::default())),
+                writes_this_iteration: Arc::new(AtomicU64::new(0)),
+            })
+            .collect();
+
+        Ok(DamarisNode {
+            cfg,
+            segment,
+            queue,
+            shared,
+            server_handles: Mutex::new(server_handles),
+            clients,
+            output_dir,
+        })
+    }
+}
+
+/// Summary returned by [`DamarisNode::shutdown`].
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Iterations whose actions fired.
+    pub iterations_completed: u64,
+    /// Client-iterations dropped by the skip policy.
+    pub skipped_client_iterations: u64,
+    /// Plugin error messages collected during the run.
+    pub plugin_errors: Vec<String>,
+    /// Fraction of time the dedicated cores were idle (§IV.D).
+    pub dedicated_idle_fraction: f64,
+    /// Peak shared-memory occupancy in bytes.
+    pub peak_segment_bytes: usize,
+}
+
+/// One SMP node running Damaris: `clients` compute cores plus
+/// `dedicated_cores` data-management cores sharing a memory segment and an
+/// event queue.
+pub struct DamarisNode {
+    cfg: Arc<Configuration>,
+    segment: SharedSegment,
+    queue: MessageQueue<Event>,
+    shared: Arc<ServerShared>,
+    server_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    clients: Vec<DamarisClient>,
+    output_dir: PathBuf,
+}
+
+impl DamarisNode {
+    /// Start building a node.
+    pub fn builder() -> NodeBuilder {
+        NodeBuilder::new()
+    }
+
+    /// The loaded configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.cfg
+    }
+
+    /// Directory plugins write into.
+    pub fn output_dir(&self) -> &std::path::Path {
+        &self.output_dir
+    }
+
+    /// Owned handles for every client, in id order (move each into its
+    /// compute thread).
+    pub fn clients(&self) -> impl Iterator<Item = DamarisClient> + '_ {
+        self.clients.iter().cloned()
+    }
+
+    /// Handle for one client.
+    pub fn client(&self, id: usize) -> Option<DamarisClient> {
+        self.clients.get(id).cloned()
+    }
+
+    /// Register a data-management plugin (replaces a previous plugin with
+    /// the same name, including auto-registered built-ins).
+    pub fn register_plugin(&self, plugin: Arc<dyn Plugin>) {
+        let mut plugins = self.shared.plugins.write();
+        plugins.retain(|p| p.name() != plugin.name());
+        plugins.push(plugin);
+    }
+
+    /// Current shared-segment occupancy in `[0, 1]`.
+    pub fn segment_occupancy(&self) -> f64 {
+        self.segment.occupancy()
+    }
+
+    /// Current event-queue pressure in `[0, 1]`.
+    pub fn queue_pressure(&self) -> f64 {
+        self.queue.pressure()
+    }
+
+    /// Fraction of time the dedicated cores have been idle so far.
+    pub fn dedicated_idle_fraction(&self) -> f64 {
+        self.shared.idle_fraction()
+    }
+
+    /// Wait for all clients to finalize, then stop the dedicated cores.
+    pub fn shutdown(&self) -> DamarisResult<NodeReport> {
+        let mut handles = self.server_handles.lock();
+        if handles.is_empty() {
+            return Err(DamarisError::InvalidState("node already shut down".into()));
+        }
+        if !self.shared.wait_all_finalized(Duration::from_secs(120)) {
+            return Err(DamarisError::InvalidState(
+                "timed out waiting for clients to finalize".into(),
+            ));
+        }
+        self.queue.close();
+        for h in handles.drain(..) {
+            h.join().map_err(|_| {
+                DamarisError::InvalidState("dedicated core thread panicked".into())
+            })?;
+        }
+        Ok(NodeReport {
+            iterations_completed: self
+                .shared
+                .iterations_completed
+                .load(std::sync::atomic::Ordering::Relaxed),
+            skipped_client_iterations: self
+                .shared
+                .skipped_client_iterations
+                .load(std::sync::atomic::Ordering::Relaxed),
+            plugin_errors: self.shared.errors.lock().clone(),
+            dedicated_idle_fraction: self.shared.idle_fraction(),
+            peak_segment_bytes: self.segment.stats().peak,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::WriteStatus;
+    use crate::plugins::StatsPlugin;
+
+    const XML: &str = r#"
+      <simulation name="node-test">
+        <architecture>
+          <dedicated cores="1"/>
+          <buffer size="262144"/>
+          <queue capacity="64"/>
+        </architecture>
+        <data>
+          <layout name="row" type="f64" dimensions="64"/>
+          <variable name="u" layout="row"/>
+          <variable name="v" layout="row"/>
+        </data>
+      </simulation>"#;
+
+    fn run_session(clients: usize, iterations: u64) -> (NodeReport, Arc<StatsPlugin>) {
+        let node = DamarisNode::builder()
+            .config_str(XML)
+            .unwrap()
+            .clients(clients)
+            .build()
+            .unwrap();
+        let stats = Arc::new(StatsPlugin::new());
+        node.register_plugin(stats.clone());
+        let handles: Vec<_> = node
+            .clients()
+            .map(|client| {
+                std::thread::spawn(move || {
+                    for it in 0..iterations {
+                        let data = vec![client.id() as f64; 64];
+                        assert_eq!(client.write("u", it, &data).unwrap(), WriteStatus::Written);
+                        assert_eq!(client.write("v", it, &data).unwrap(), WriteStatus::Written);
+                        client.end_iteration(it).unwrap();
+                    }
+                    client.finalize().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = node.shutdown().unwrap();
+        (report, stats)
+    }
+
+    #[test]
+    fn end_to_end_session() {
+        let (report, stats) = run_session(3, 5);
+        assert_eq!(report.iterations_completed, 5);
+        assert_eq!(report.skipped_client_iterations, 0);
+        assert!(report.plugin_errors.is_empty(), "{:?}", report.plugin_errors);
+        assert_eq!(stats.iterations_seen(), 5);
+        // Variable u at iteration 4: 3 clients × 64 values of client-id.
+        let s = stats.summary(4, "u").unwrap();
+        assert_eq!(s.count, 192);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn memory_reclaimed_across_iterations() {
+        let node =
+            DamarisNode::builder().config_str(XML).unwrap().clients(2).build().unwrap();
+        let handles: Vec<_> = node
+            .clients()
+            .map(|client| {
+                std::thread::spawn(move || {
+                    for it in 0..200 {
+                        client.write("u", it, &vec![1.0f64; 64]).unwrap();
+                        client.end_iteration(it).unwrap();
+                    }
+                    client.finalize().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = node.shutdown().unwrap();
+        assert_eq!(report.iterations_completed, 200);
+        // 200 iterations × 2 clients × 512 B each is 204 KB if leaked. Live
+        // blocks are bounded by the in-flight window the 64-slot event
+        // queue admits (~33 KB), so any value far above that is a leak.
+        assert!(
+            report.peak_segment_bytes <= 100 * 1024,
+            "peak {} suggests blocks leak",
+            report.peak_segment_bytes
+        );
+        assert_eq!(node.segment_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn unknown_variable_and_layout_mismatch() {
+        let node =
+            DamarisNode::builder().config_str(XML).unwrap().clients(1).build().unwrap();
+        let client = node.client(0).unwrap();
+        assert!(matches!(
+            client.write("nope", 0, &[0.0f64; 64]),
+            Err(DamarisError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            client.write("u", 0, &[0.0f64; 32]),
+            Err(DamarisError::LayoutMismatch { .. })
+        ));
+        client.finalize().unwrap();
+        node.shutdown().unwrap();
+    }
+
+    #[test]
+    fn zero_copy_alloc_commit_path() {
+        let node =
+            DamarisNode::builder().config_str(XML).unwrap().clients(1).build().unwrap();
+        let stats = Arc::new(StatsPlugin::new());
+        node.register_plugin(stats.clone());
+        let client = node.client(0).unwrap();
+        let mut w = client.alloc("u", 0).unwrap();
+        assert!(!w.is_skipped());
+        w.fill_pod(&[2.5f64; 64]);
+        assert_eq!(w.commit().unwrap(), WriteStatus::Written);
+        client.end_iteration(0).unwrap();
+        client.finalize().unwrap();
+        node.shutdown().unwrap();
+        assert_eq!(stats.summary(0, "u").unwrap().mean, 2.5);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(DamarisNode::builder().build().is_err(), "missing config");
+        assert!(
+            DamarisNode::builder().config_str(XML).unwrap().clients(0).build().is_err(),
+            "zero clients"
+        );
+        let sync_xml = XML.replace("cores=\"1\"", "cores=\"0\"");
+        assert!(
+            DamarisNode::builder().config_str(&sync_xml).unwrap().build().is_err(),
+            "dedicated=0 must point at baselines"
+        );
+    }
+
+    #[test]
+    fn double_shutdown_rejected() {
+        let node =
+            DamarisNode::builder().config_str(XML).unwrap().clients(1).build().unwrap();
+        node.client(0).unwrap().finalize().unwrap();
+        node.shutdown().unwrap();
+        assert!(node.shutdown().is_err());
+    }
+
+    #[test]
+    fn multiple_dedicated_cores() {
+        let xml = XML.replace("cores=\"1\"", "cores=\"3\"");
+        let node =
+            DamarisNode::builder().config_str(&xml).unwrap().clients(4).build().unwrap();
+        let stats = Arc::new(StatsPlugin::new());
+        node.register_plugin(stats.clone());
+        let handles: Vec<_> = node
+            .clients()
+            .map(|client| {
+                std::thread::spawn(move || {
+                    for it in 0..20 {
+                        client.write("u", it, &vec![1.0f64; 64]).unwrap();
+                        client.end_iteration(it).unwrap();
+                    }
+                    client.finalize().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = node.shutdown().unwrap();
+        assert_eq!(report.iterations_completed, 20);
+        assert_eq!(stats.iterations_seen(), 20);
+    }
+
+    #[test]
+    fn user_signals_reach_matching_plugins() {
+        use crate::plugins::{Plugin, SignalCtx};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let xml = XML.replace(
+            "</simulation>",
+            r#"<actions>
+                 <action name="snap" plugin="snapshotter" event="take-snapshot"/>
+               </actions></simulation>"#,
+        );
+        struct Snapshotter {
+            hits: Arc<AtomicUsize>,
+            blocks_seen: Arc<AtomicUsize>,
+        }
+        impl Plugin for Snapshotter {
+            fn name(&self) -> &str {
+                "snapshotter"
+            }
+            fn on_signal(&self, ctx: &SignalCtx<'_>) -> Result<(), String> {
+                assert_eq!(ctx.name, "take-snapshot");
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                self.blocks_seen.fetch_add(ctx.blocks.len(), Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let hits = Arc::new(AtomicUsize::new(0));
+        let blocks_seen = Arc::new(AtomicUsize::new(0));
+        let node =
+            DamarisNode::builder().config_str(&xml).unwrap().clients(1).build().unwrap();
+        node.register_plugin(Arc::new(Snapshotter {
+            hits: hits.clone(),
+            blocks_seen: blocks_seen.clone(),
+        }));
+        let client = node.client(0).unwrap();
+        // Publish a block, then raise the signal while the iteration is
+        // still open: the plugin sees the in-flight data.
+        client.write("u", 0, &[4.0f64; 64]).unwrap();
+        client.signal("take-snapshot", 0).unwrap();
+        client.signal("unrelated-event", 0).unwrap();
+        client.end_iteration(0).unwrap();
+        client.finalize().unwrap();
+        node.shutdown().unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "only the matching event fires");
+        assert_eq!(blocks_seen.load(Ordering::SeqCst), 1, "in-flight block visible");
+    }
+
+    #[test]
+    fn action_frequency_thins_plugin_invocations() {
+        let xml = XML.replace(
+            "</simulation>",
+            r#"<actions>
+                 <action name="s" plugin="stats" event="end-of-iteration" frequency="3"/>
+               </actions></simulation>"#,
+        );
+        let node =
+            DamarisNode::builder().config_str(&xml).unwrap().clients(1).build().unwrap();
+        let stats = Arc::new(StatsPlugin::new());
+        node.register_plugin(stats.clone());
+        let client = node.client(0).unwrap();
+        for it in 0..7 {
+            client.write("u", it, &[1.0f64; 64]).unwrap();
+            client.end_iteration(it).unwrap();
+        }
+        client.finalize().unwrap();
+        let report = node.shutdown().unwrap();
+        assert_eq!(report.iterations_completed, 7, "all iterations complete");
+        assert_eq!(stats.iterations_seen(), 3, "plugin fired at 0, 3, 6 only");
+        assert!(stats.summary(3, "u").is_some());
+        assert!(stats.summary(4, "u").is_none());
+    }
+
+    #[test]
+    fn register_plugin_replaces_same_name() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let node =
+            DamarisNode::builder().config_str(XML).unwrap().clients(1).build().unwrap();
+        let first = Arc::new(AtomicUsize::new(0));
+        let second = Arc::new(AtomicUsize::new(0));
+        let f1 = first.clone();
+        let f2 = second.clone();
+        node.register_plugin(Arc::new(crate::plugins::FnPlugin::new("probe", move |_| {
+            f1.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        })));
+        node.register_plugin(Arc::new(crate::plugins::FnPlugin::new("probe", move |_| {
+            f2.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        })));
+        let client = node.client(0).unwrap();
+        client.write("u", 0, &[0.0f64; 64]).unwrap();
+        client.end_iteration(0).unwrap();
+        client.finalize().unwrap();
+        node.shutdown().unwrap();
+        assert_eq!(first.load(Ordering::SeqCst), 0, "replaced plugin never fires");
+        assert_eq!(second.load(Ordering::SeqCst), 1);
+    }
+}

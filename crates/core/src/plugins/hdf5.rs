@@ -1,0 +1,317 @@
+//! The HDF5-forwarding plugin: one file per node per dump.
+//!
+//! §IV.B: "Damaris is able to group the output of multiple processes into
+//! bigger files without the communication overhead of a collective I/O
+//! approach. Thus the output of dedicated cores can be easily
+//! post-processed by analysis tools."
+
+use std::path::PathBuf;
+
+use h5lite::{Dtype, FileWriter};
+use parking_lot::Mutex;
+
+use super::{IterationCtx, Plugin};
+
+/// Record of one file written by the plugin.
+#[derive(Debug, Clone)]
+pub struct WrittenFile {
+    /// Iteration the file holds.
+    pub iteration: u64,
+    /// Path on disk.
+    pub path: PathBuf,
+    /// Logical bytes (before compression).
+    pub logical_bytes: u64,
+    /// Stored bytes (after compression).
+    pub stored_bytes: u64,
+    /// Number of datasets (blocks) in the file.
+    pub datasets: usize,
+}
+
+/// Aggregates all client blocks of a completed iteration into a single
+/// h5lite file named `{sim}_node{id}_it{iteration:06}.dh5`.
+///
+/// Action parameters:
+/// * `codec` — a [`codec::Pipeline`] spec applied to every dataset
+///   (e.g. `"xor-delta8,shuffle8,rle,lzss"`); omitted = uncompressed;
+/// * `chunk_rows` — rows per storage chunk along the slowest dimension.
+#[derive(Debug, Default)]
+pub struct H5Writer {
+    written: Mutex<Vec<WrittenFile>>,
+}
+
+impl H5Writer {
+    /// New writer with an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Files written so far (clone of the history).
+    pub fn written(&self) -> Vec<WrittenFile> {
+        self.written.lock().clone()
+    }
+
+    /// Total logical and stored bytes across all files.
+    pub fn totals(&self) -> (u64, u64) {
+        let w = self.written.lock();
+        (
+            w.iter().map(|f| f.logical_bytes).sum(),
+            w.iter().map(|f| f.stored_bytes).sum(),
+        )
+    }
+}
+
+fn elem_dtype(t: damaris_xml::schema::ElemType) -> Dtype {
+    use damaris_xml::schema::ElemType as E;
+    match t {
+        E::I8 => Dtype::I8,
+        E::I16 => Dtype::I16,
+        E::I32 => Dtype::I32,
+        E::I64 => Dtype::I64,
+        E::U8 => Dtype::U8,
+        E::U16 => Dtype::U16,
+        E::U32 => Dtype::U32,
+        E::U64 => Dtype::U64,
+        E::F32 => Dtype::F32,
+        E::F64 => Dtype::F64,
+    }
+}
+
+impl Plugin for H5Writer {
+    fn name(&self) -> &str {
+        "hdf5"
+    }
+
+    fn on_iteration(&self, ctx: &IterationCtx<'_>) -> Result<(), String> {
+        if ctx.blocks.is_empty() {
+            return Ok(()); // skipped iteration: nothing to store
+        }
+        let file_name =
+            format!("{}_node{}_it{:06}.dh5", ctx.simulation, ctx.node_id, ctx.iteration);
+        let path = ctx.output_dir.join(file_name);
+        std::fs::create_dir_all(ctx.output_dir)
+            .map_err(|e| format!("creating {:?}: {e}", ctx.output_dir))?;
+        let mut w = FileWriter::create(&path).map_err(|e| format!("creating {path:?}: {e}"))?;
+
+        let codec = ctx.action.param("codec");
+        let chunk_rows = match ctx.action.param("chunk_rows") {
+            Some(s) => Some(
+                s.parse::<u64>()
+                    .map_err(|_| format!("bad chunk_rows '{s}'"))?,
+            ),
+            None => None,
+        };
+
+        for block in ctx.blocks {
+            let layout = ctx
+                .config
+                .layout_of(&block.variable)
+                .ok_or_else(|| format!("no layout for variable '{}'", block.variable))?;
+            let var_cfg = ctx.config.variable(&block.variable);
+            if let Some(v) = var_cfg {
+                if !v.store {
+                    continue;
+                }
+            }
+            let shape: Vec<u64> = layout.dimensions.iter().map(|&d| d as u64).collect();
+            let ds_path = format!("{}/rank{}", block.variable, block.source);
+            let mut b = w
+                .dataset(&ds_path, elem_dtype(layout.elem_type), &shape)
+                .map_err(|e| format!("dataset {ds_path}: {e}"))?;
+            if let Some(spec) = codec {
+                b = b.with_codec(spec).map_err(|e| format!("codec {spec}: {e}"))?;
+            }
+            if let Some(rows) = chunk_rows {
+                b = b.chunked(rows).map_err(|e| e.to_string())?;
+            }
+            b.write_bytes(block.data.as_slice())
+                .map_err(|e| format!("writing {ds_path}: {e}"))?;
+            if let Some(v) = var_cfg {
+                if let Some(unit) = &v.unit {
+                    w.set_attr(&ds_path, "unit", unit.as_str()).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        w.set_attr("", "iteration", ctx.iteration as i64).map_err(|e| e.to_string())?;
+        w.set_attr("", "node", ctx.node_id as i64).map_err(|e| e.to_string())?;
+        w.set_attr("", "simulation", ctx.simulation).map_err(|e| e.to_string())?;
+        let stats = w.finish().map_err(|e| format!("finishing {path:?}: {e}"))?;
+        self.written.lock().push(WrittenFile {
+            iteration: ctx.iteration,
+            path,
+            logical_bytes: stats.logical_bytes,
+            stored_bytes: stats.stored_bytes,
+            datasets: stats.datasets,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoredBlock;
+    use damaris_shm::SharedSegment;
+    use damaris_xml::schema::{Action, Configuration, Trigger};
+
+    fn test_config() -> Configuration {
+        Configuration::from_str(
+            r#"<simulation name="t">
+                 <data>
+                   <layout name="l" type="f64" dimensions="2,3"/>
+                   <variable name="u" layout="l" unit="m/s"/>
+                   <variable name="hidden" layout="l" store="false"/>
+                 </data>
+               </simulation>"#,
+        )
+        .unwrap()
+    }
+
+    fn blocks(seg: &SharedSegment, cfg_vars: &[(&str, usize)]) -> Vec<StoredBlock> {
+        cfg_vars
+            .iter()
+            .map(|&(var, source)| {
+                let mut b = seg.allocate(48).unwrap();
+                b.write_pod(&[source as f64; 6]);
+                StoredBlock {
+                    variable: var.into(),
+                    source,
+                    iteration: 7,
+                    data: b.freeze(),
+                }
+            })
+            .collect()
+    }
+
+    fn action(params: Vec<(&str, &str)>) -> Action {
+        Action {
+            name: "dump".into(),
+            plugin: "hdf5".into(),
+            trigger: Trigger::EndOfIteration { frequency: 1 },
+            params: params
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("damaris-h5w-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_one_file_per_iteration_with_all_ranks() {
+        let cfg = test_config();
+        let seg = SharedSegment::new(1 << 16).unwrap();
+        let blocks = blocks(&seg, &[("u", 0), ("u", 1), ("u", 2)]);
+        let dir = tmpdir("multi");
+        let plugin = H5Writer::new();
+        let act = action(vec![]);
+        let ctx = IterationCtx {
+            iteration: 7,
+            node_id: 3,
+            simulation: "t",
+            blocks: &blocks,
+            config: &cfg,
+            output_dir: &dir,
+            action: &act,
+        };
+        plugin.on_iteration(&ctx).unwrap();
+        let written = plugin.written();
+        assert_eq!(written.len(), 1);
+        assert_eq!(written[0].datasets, 3);
+        let mut r = h5lite::FileReader::open(&written[0].path).unwrap();
+        assert_eq!(r.read_pod::<f64>("u/rank2").unwrap(), vec![2.0; 6]);
+        assert_eq!(r.attr("", "iteration").unwrap().as_i64(), Some(7));
+        assert_eq!(r.attr("u/rank0", "unit").unwrap().as_str(), Some("m/s"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn codec_param_compresses() {
+        let cfg = test_config();
+        let seg = SharedSegment::new(1 << 16).unwrap();
+        let blocks = blocks(&seg, &[("u", 0)]);
+        let dir = tmpdir("codec");
+        let plugin = H5Writer::new();
+        let act = action(vec![("codec", "xor-delta8,rle")]);
+        let ctx = IterationCtx {
+            iteration: 7,
+            node_id: 0,
+            simulation: "t",
+            blocks: &blocks,
+            config: &cfg,
+            output_dir: &dir,
+            action: &act,
+        };
+        plugin.on_iteration(&ctx).unwrap();
+        let (logical, stored) = plugin.totals();
+        assert_eq!(logical, 48);
+        assert!(stored < logical, "constant block must compress");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_false_variables_are_skipped() {
+        let cfg = test_config();
+        let seg = SharedSegment::new(1 << 16).unwrap();
+        let blocks = blocks(&seg, &[("u", 0), ("hidden", 0)]);
+        let dir = tmpdir("hidden");
+        let plugin = H5Writer::new();
+        let act = action(vec![]);
+        let ctx = IterationCtx {
+            iteration: 7,
+            node_id: 0,
+            simulation: "t",
+            blocks: &blocks,
+            config: &cfg,
+            output_dir: &dir,
+            action: &act,
+        };
+        plugin.on_iteration(&ctx).unwrap();
+        assert_eq!(plugin.written()[0].datasets, 1, "hidden variable not stored");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_iteration_writes_nothing() {
+        let cfg = test_config();
+        let dir = tmpdir("empty");
+        let plugin = H5Writer::new();
+        let act = action(vec![]);
+        let ctx = IterationCtx {
+            iteration: 0,
+            node_id: 0,
+            simulation: "t",
+            blocks: &[],
+            config: &cfg,
+            output_dir: &dir,
+            action: &act,
+        };
+        plugin.on_iteration(&ctx).unwrap();
+        assert!(plugin.written().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_chunk_rows_reported() {
+        let cfg = test_config();
+        let seg = SharedSegment::new(1 << 16).unwrap();
+        let blocks = blocks(&seg, &[("u", 0)]);
+        let dir = tmpdir("badparam");
+        let plugin = H5Writer::new();
+        let act = action(vec![("chunk_rows", "many")]);
+        let ctx = IterationCtx {
+            iteration: 0,
+            node_id: 0,
+            simulation: "t",
+            blocks: &blocks,
+            config: &cfg,
+            output_dir: &dir,
+            action: &act,
+        };
+        assert!(plugin.on_iteration(&ctx).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,157 @@
+//! Backpressure: what happens when data is produced faster than the
+//! dedicated cores can drain it.
+//!
+//! Paper §V.C.1: "A challenging problem arises when the analysis tasks take
+//! more than the duration of a simulation's time step to complete. In this
+//! case it may happen that the shared memory becomes full and blocks the
+//! simulation. Discussions with visualization specialists led us to the
+//! choice of accepting potential loss of data rather than blocking the
+//! simulation. We thus implemented in Damaris a way to automatically skip
+//! some iterations of data in order to keep up with the simulation's output
+//! rate."
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use damaris_shm::{MessageQueue, SharedSegment};
+use damaris_xml::schema::{SkipConfig, SkipMode};
+
+use crate::event::Event;
+
+/// Per-client skip-policy engine.
+///
+/// At the first write of each iteration the policy inspects segment
+/// occupancy and queue pressure; in [`SkipMode::DropIteration`] mode an
+/// iteration that begins above the high-watermark is dropped *wholesale*
+/// (partial iterations would be useless to plugins). [`SkipMode::Block`]
+/// preserves every iteration at the cost of stalling the simulation.
+#[derive(Debug)]
+pub struct SkipPolicy {
+    cfg: SkipConfig,
+    /// Iteration currently being evaluated (u64::MAX = none yet).
+    current_iteration: AtomicU64,
+    /// Whether `current_iteration` was dropped.
+    current_dropped: std::sync::atomic::AtomicBool,
+    /// Total iterations dropped by this client.
+    dropped_total: AtomicU64,
+}
+
+impl SkipPolicy {
+    /// Create the engine for one client.
+    pub fn new(cfg: SkipConfig) -> Self {
+        SkipPolicy {
+            cfg,
+            current_iteration: AtomicU64::new(u64::MAX),
+            current_dropped: std::sync::atomic::AtomicBool::new(false),
+            dropped_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> SkipMode {
+        self.cfg.mode
+    }
+
+    /// Decide whether a write belonging to `iteration` may proceed.
+    ///
+    /// Returns `true` if the write should be published, `false` if the
+    /// whole iteration is being dropped. The decision is made once per
+    /// iteration (at its first write) and then sticks.
+    pub fn admit(
+        &self,
+        iteration: u64,
+        segment: &SharedSegment,
+        queue: &MessageQueue<Event>,
+    ) -> bool {
+        if self.cfg.mode == SkipMode::Block {
+            return true;
+        }
+        let prev = self.current_iteration.swap(iteration, Ordering::AcqRel);
+        if prev != iteration {
+            // First write of a new iteration: evaluate pressure now.
+            let pressured = segment.occupancy() >= self.cfg.high_watermark
+                || queue.pressure() >= self.cfg.high_watermark;
+            self.current_dropped.store(pressured, Ordering::Release);
+            if pressured {
+                self.dropped_total.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        !self.current_dropped.load(Ordering::Acquire)
+    }
+
+    /// Whether the given iteration was dropped (valid for the iteration
+    /// most recently passed to [`SkipPolicy::admit`]).
+    pub fn was_dropped(&self, iteration: u64) -> bool {
+        self.current_iteration.load(Ordering::Acquire) == iteration
+            && self.current_dropped.load(Ordering::Acquire)
+    }
+
+    /// Total iterations dropped so far.
+    pub fn dropped_iterations(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damaris_xml::schema::{SkipConfig, SkipMode};
+
+    fn setup(hw: f64, mode: SkipMode) -> (SkipPolicy, SharedSegment, MessageQueue<Event>) {
+        let policy = SkipPolicy::new(SkipConfig { mode, high_watermark: hw });
+        let seg = SharedSegment::new(1024).unwrap();
+        let queue = MessageQueue::bounded(8);
+        (policy, seg, queue)
+    }
+
+    #[test]
+    fn block_mode_always_admits() {
+        let (policy, seg, queue) = setup(0.5, SkipMode::Block);
+        let _hog = seg.allocate(1024).unwrap(); // 100 % occupancy
+        assert!(policy.admit(0, &seg, &queue));
+        assert_eq!(policy.dropped_iterations(), 0);
+    }
+
+    #[test]
+    fn drop_mode_admits_when_quiet() {
+        let (policy, seg, queue) = setup(0.5, SkipMode::DropIteration);
+        assert!(policy.admit(0, &seg, &queue));
+        assert!(policy.admit(0, &seg, &queue), "same iteration stays admitted");
+        assert!(!policy.was_dropped(0));
+    }
+
+    #[test]
+    fn drop_mode_drops_whole_iteration_under_pressure() {
+        let (policy, seg, queue) = setup(0.5, SkipMode::DropIteration);
+        let hog = seg.allocate(768).unwrap(); // 75 % occupancy
+        assert!(!policy.admit(1, &seg, &queue), "first write rejected");
+        assert!(!policy.admit(1, &seg, &queue), "whole iteration stays rejected");
+        assert!(policy.was_dropped(1));
+        assert_eq!(policy.dropped_iterations(), 1);
+        // Pressure recedes: the *next* iteration is admitted again.
+        drop(hog);
+        assert!(policy.admit(2, &seg, &queue));
+        assert_eq!(policy.dropped_iterations(), 1);
+    }
+
+    #[test]
+    fn decision_sticks_even_if_pressure_changes_mid_iteration() {
+        let (policy, seg, queue) = setup(0.5, SkipMode::DropIteration);
+        assert!(policy.admit(3, &seg, &queue), "admitted while quiet");
+        let _hog = seg.allocate(1024).unwrap();
+        assert!(
+            policy.admit(3, &seg, &queue),
+            "iteration already admitted; later writes of it pass too"
+        );
+    }
+
+    #[test]
+    fn queue_pressure_also_triggers() {
+        let (policy, seg, queue) = setup(0.5, SkipMode::DropIteration);
+        for _ in 0..8 {
+            queue
+                .try_send(Event::ClientFinalize { source: 0 })
+                .expect("fill the queue");
+        }
+        assert!(!policy.admit(0, &seg, &queue), "full queue counts as pressure");
+    }
+}

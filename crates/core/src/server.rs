@@ -1,0 +1,490 @@
+//! The dedicated-core event loop.
+//!
+//! Each dedicated core runs [`server_loop`]: it drains the shared message
+//! queue, indexes blocks, detects iteration completion (all clients ended
+//! the step *and* all announced blocks arrived — necessary because several
+//! dedicated cores may drain the queue concurrently), fires plugins, and
+//! garbage-collects the iteration's shared memory.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use damaris_shm::MessageQueue;
+use damaris_xml::schema::{Action, Configuration, Trigger};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::event::Event;
+use crate::plugins::{IterationCtx, Plugin, SignalCtx};
+use crate::store::{StoredBlock, VariableStore};
+
+/// Progress bookkeeping for one in-flight iteration.
+#[derive(Debug, Default)]
+struct IterProgress {
+    /// Clients that sent `EndIteration`.
+    ended: usize,
+    /// Blocks those clients announced.
+    expected_blocks: u64,
+    /// Clients whose data was dropped by the skip policy.
+    skipped_clients: usize,
+    /// Guards against double-firing when two server threads race.
+    fired: bool,
+}
+
+/// State shared between all dedicated cores of a node (and the node handle).
+pub struct ServerShared {
+    pub(crate) cfg: Arc<Configuration>,
+    pub(crate) node_id: usize,
+    pub(crate) n_clients: usize,
+    pub(crate) output_dir: PathBuf,
+    pub(crate) store: Mutex<VariableStore>,
+    progress: Mutex<HashMap<u64, IterProgress>>,
+    pub(crate) plugins: RwLock<Vec<Arc<dyn Plugin>>>,
+    /// Clients that called finalize, with a condvar for shutdown waits.
+    finalized: Mutex<usize>,
+    pub(crate) all_finalized: Condvar,
+    /// Plugin failures (collected, never fatal to the service).
+    pub(crate) errors: Mutex<Vec<String>>,
+    /// Completed iterations (actions fired, memory reclaimed).
+    pub(crate) iterations_completed: AtomicU64,
+    /// Skipped client-iterations observed.
+    pub(crate) skipped_client_iterations: AtomicU64,
+    /// Nanoseconds the dedicated cores spent doing work.
+    pub(crate) busy_nanos: AtomicU64,
+    /// Nanoseconds the dedicated cores spent idle (waiting for events) —
+    /// the §IV.D "idle 92–99 % of the time" measurement at node scale.
+    pub(crate) idle_nanos: AtomicU64,
+}
+
+impl ServerShared {
+    pub(crate) fn new(
+        cfg: Arc<Configuration>,
+        node_id: usize,
+        n_clients: usize,
+        output_dir: PathBuf,
+    ) -> Self {
+        ServerShared {
+            cfg,
+            node_id,
+            n_clients,
+            output_dir,
+            store: Mutex::new(VariableStore::new()),
+            progress: Mutex::new(HashMap::new()),
+            plugins: RwLock::new(Vec::new()),
+            finalized: Mutex::new(0),
+            all_finalized: Condvar::new(),
+            errors: Mutex::new(Vec::new()),
+            iterations_completed: AtomicU64::new(0),
+            skipped_client_iterations: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            idle_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Block until every client has finalized (returns false on timeout).
+    pub(crate) fn wait_all_finalized(&self, timeout: std::time::Duration) -> bool {
+        let mut n = self.finalized.lock();
+        while *n < self.n_clients {
+            if self.all_finalized.wait_for(&mut n, timeout).timed_out() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Fraction of time the dedicated cores sat idle so far.
+    pub fn idle_fraction(&self) -> f64 {
+        let busy = self.busy_nanos.load(Ordering::Relaxed) as f64;
+        let idle = self.idle_nanos.load(Ordering::Relaxed) as f64;
+        if busy + idle == 0.0 {
+            return 1.0;
+        }
+        idle / (busy + idle)
+    }
+
+    fn actions_for_iteration(&self, iteration: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        for action in &self.cfg.actions {
+            if let Trigger::EndOfIteration { frequency } = action.trigger {
+                if iteration.is_multiple_of(frequency) {
+                    out.push(action.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Fire plugins for a completed iteration (blocks already removed from
+    /// the store by the caller, so other server threads keep running).
+    fn fire_iteration(&self, iteration: u64, blocks: &[StoredBlock]) {
+        let plugins = self.plugins.read();
+        let actions = self.actions_for_iteration(iteration);
+        for plugin in plugins.iter() {
+            // Actions referencing the plugin configure its invocation; a
+            // plugin with no matching action fires with defaults.
+            let matched: Vec<&Action> =
+                actions.iter().filter(|a| a.plugin == plugin.name()).collect();
+            let default_action = Action {
+                name: plugin.name().to_string(),
+                plugin: plugin.name().to_string(),
+                trigger: Trigger::EndOfIteration { frequency: 1 },
+                params: vec![],
+            };
+            let declared_anywhere =
+                self.cfg.actions.iter().any(|a| a.plugin == plugin.name());
+            let invocations: Vec<&Action> = if matched.is_empty() {
+                if declared_anywhere {
+                    // Declared with a frequency that excludes this step.
+                    continue;
+                }
+                vec![&default_action]
+            } else {
+                matched
+            };
+            for action in invocations {
+                let ctx = IterationCtx {
+                    iteration,
+                    node_id: self.node_id,
+                    simulation: &self.cfg.name,
+                    blocks,
+                    config: &self.cfg,
+                    output_dir: &self.output_dir,
+                    action,
+                };
+                if let Err(msg) = plugin.on_iteration(&ctx) {
+                    self.errors
+                        .lock()
+                        .push(format!("plugin '{}' at iteration {iteration}: {msg}", plugin.name()));
+                }
+            }
+        }
+        self.iterations_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn fire_signal(&self, name: &str, source: usize, iteration: u64) {
+        let plugins = self.plugins.read();
+        let store = self.store.lock();
+        let blocks: Vec<StoredBlock> = store.iteration_blocks(iteration).to_vec();
+        drop(store);
+        for action in &self.cfg.actions {
+            let Trigger::Event(event_name) = &action.trigger else {
+                continue;
+            };
+            if event_name != name {
+                continue;
+            }
+            for plugin in plugins.iter().filter(|p| p.name() == action.plugin) {
+                let ctx = SignalCtx {
+                    name,
+                    source,
+                    iteration,
+                    blocks: &blocks,
+                    config: &self.cfg,
+                    output_dir: &self.output_dir,
+                    action,
+                };
+                if let Err(msg) = plugin.on_signal(&ctx) {
+                    self.errors
+                        .lock()
+                        .push(format!("plugin '{}' on signal '{name}': {msg}", plugin.name()));
+                }
+            }
+        }
+    }
+
+    /// Fire-and-collect if iteration `it` became complete. Returns true if
+    /// this call fired it.
+    fn maybe_complete(&self, it: u64) -> bool {
+        let blocks = {
+            let mut progress = self.progress.lock();
+            let store = self.store.lock();
+            let Some(p) = progress.get_mut(&it) else {
+                return false;
+            };
+            if p.fired
+                || p.ended < self.n_clients
+                || (store.count(it) as u64) < p.expected_blocks
+            {
+                return false;
+            }
+            p.fired = true;
+            drop(store);
+            progress.remove(&it);
+            self.store.lock().remove_iteration(it)
+        };
+        self.fire_iteration(it, &blocks);
+        // `blocks` dropped here: shared memory reclaimed.
+        true
+    }
+}
+
+/// Run one dedicated core until the queue is closed and drained.
+pub fn server_loop(shared: Arc<ServerShared>, queue: MessageQueue<Event>) {
+    loop {
+        let wait_start = Instant::now();
+        let event = match queue.recv() {
+            Ok(ev) => ev,
+            Err(_) => break, // closed and drained
+        };
+        shared
+            .idle_nanos
+            .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let busy_start = Instant::now();
+        match event {
+            Event::Write { variable, iteration, source, block } => {
+                shared.store.lock().insert(StoredBlock {
+                    variable,
+                    source,
+                    iteration,
+                    data: block,
+                });
+                shared.maybe_complete(iteration);
+            }
+            Event::EndIteration { source: _, iteration, writes, skipped } => {
+                {
+                    let mut progress = shared.progress.lock();
+                    let p = progress.entry(iteration).or_default();
+                    p.ended += 1;
+                    p.expected_blocks += writes;
+                    if skipped {
+                        p.skipped_clients += 1;
+                        shared.skipped_client_iterations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                shared.maybe_complete(iteration);
+            }
+            Event::Signal { name, source, iteration } => {
+                shared.fire_signal(&name, source, iteration);
+            }
+            Event::ClientFinalize { .. } => {
+                let mut n = shared.finalized.lock();
+                *n += 1;
+                if *n >= shared.n_clients {
+                    shared.all_finalized.notify_all();
+                }
+            }
+        }
+        shared
+            .busy_nanos
+            .fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugins::FnPlugin;
+    use damaris_shm::SharedSegment;
+    use std::sync::atomic::AtomicUsize;
+
+    fn config(actions: &str) -> Arc<Configuration> {
+        Arc::new(
+            Configuration::from_str(&format!(
+                r#"<simulation name="t">
+                     <data>
+                       <layout name="l" type="f64" dimensions="2"/>
+                       <variable name="u" layout="l"/>
+                     </data>
+                     {actions}
+                   </simulation>"#
+            ))
+            .unwrap(),
+        )
+    }
+
+    fn write_event(seg: &SharedSegment, it: u64, source: usize) -> Event {
+        let mut b = seg.allocate(16).unwrap();
+        b.write_pod(&[source as f64, it as f64]);
+        Event::Write { variable: "u".into(), iteration: it, source, block: b.freeze() }
+    }
+
+    /// Drive a server loop synchronously by closing the queue first.
+    fn run_events(shared: &Arc<ServerShared>, events: Vec<Event>) {
+        let queue = MessageQueue::bounded(events.len().max(1));
+        for e in events {
+            queue.send(e).unwrap();
+        }
+        queue.close();
+        server_loop(shared.clone(), queue);
+    }
+
+    #[test]
+    fn iteration_fires_once_all_clients_and_blocks_arrive() {
+        let cfg = config("");
+        let shared = Arc::new(ServerShared::new(cfg, 0, 2, std::env::temp_dir()));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        shared.plugins.write().push(Arc::new(FnPlugin::new("probe", move |ctx| {
+            assert_eq!(ctx.blocks.len(), 2);
+            f.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        })));
+        let seg = SharedSegment::new(4096).unwrap();
+        run_events(
+            &shared,
+            vec![
+                write_event(&seg, 0, 0),
+                Event::EndIteration { source: 0, iteration: 0, writes: 1, skipped: false },
+                write_event(&seg, 0, 1),
+                Event::EndIteration { source: 1, iteration: 0, writes: 1, skipped: false },
+            ],
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(shared.iterations_completed.load(Ordering::Relaxed), 1);
+        assert_eq!(seg.used_bytes(), 0, "iteration memory reclaimed");
+    }
+
+    #[test]
+    fn out_of_order_block_after_end_iteration_still_completes() {
+        // Mimics two dedicated cores racing: EndIteration processed before
+        // the matching Write. The expected-block count holds firing back.
+        let cfg = config("");
+        let shared = Arc::new(ServerShared::new(cfg, 0, 1, std::env::temp_dir()));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        shared
+            .plugins
+            .write()
+            .push(Arc::new(FnPlugin::new("probe", move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })));
+        let seg = SharedSegment::new(4096).unwrap();
+        run_events(
+            &shared,
+            vec![
+                Event::EndIteration { source: 0, iteration: 0, writes: 1, skipped: false },
+                write_event(&seg, 0, 0),
+            ],
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn action_frequency_respected() {
+        let cfg = config(
+            r#"<actions>
+                 <action name="dump" plugin="probe" event="end-of-iteration" frequency="2"/>
+               </actions>"#,
+        );
+        let shared = Arc::new(ServerShared::new(cfg, 0, 1, std::env::temp_dir()));
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        let f = fired.clone();
+        shared
+            .plugins
+            .write()
+            .push(Arc::new(FnPlugin::new("probe", move |ctx| {
+                f.lock().push(ctx.iteration);
+                Ok(())
+            })));
+        let seg = SharedSegment::new(8192).unwrap();
+        let mut events = Vec::new();
+        for it in 0..5 {
+            events.push(write_event(&seg, it, 0));
+            events.push(Event::EndIteration { source: 0, iteration: it, writes: 1, skipped: false });
+        }
+        run_events(&shared, events);
+        assert_eq!(*fired.lock(), vec![0, 2, 4], "frequency=2 fires on even steps");
+        assert_eq!(shared.iterations_completed.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn signals_fire_matching_actions() {
+        let cfg = config(
+            r#"<actions>
+                 <action name="snap" plugin="viz" event="user-snapshot"/>
+               </actions>"#,
+        );
+        let shared = Arc::new(ServerShared::new(cfg, 0, 1, std::env::temp_dir()));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        struct SignalProbe(Arc<AtomicUsize>);
+        impl Plugin for SignalProbe {
+            fn name(&self) -> &str {
+                "viz"
+            }
+            fn on_signal(&self, ctx: &SignalCtx<'_>) -> Result<(), String> {
+                assert_eq!(ctx.name, "user-snapshot");
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        shared.plugins.write().push(Arc::new(SignalProbe(f)));
+        run_events(
+            &shared,
+            vec![
+                Event::Signal { name: "user-snapshot".into(), source: 0, iteration: 0 },
+                Event::Signal { name: "unrelated".into(), source: 0, iteration: 0 },
+            ],
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn plugin_errors_collected_not_fatal() {
+        let cfg = config("");
+        let shared = Arc::new(ServerShared::new(cfg, 0, 1, std::env::temp_dir()));
+        shared
+            .plugins
+            .write()
+            .push(Arc::new(FnPlugin::new("bad", |_| Err("kaboom".into()))));
+        let seg = SharedSegment::new(4096).unwrap();
+        run_events(
+            &shared,
+            vec![
+                write_event(&seg, 0, 0),
+                Event::EndIteration { source: 0, iteration: 0, writes: 1, skipped: false },
+                write_event(&seg, 1, 0),
+                Event::EndIteration { source: 0, iteration: 1, writes: 1, skipped: false },
+            ],
+        );
+        let errors = shared.errors.lock();
+        assert_eq!(errors.len(), 2, "one error per iteration, service kept going");
+        assert!(errors[0].contains("kaboom"));
+    }
+
+    #[test]
+    fn skipped_iterations_fire_with_partial_blocks() {
+        let cfg = config("");
+        let shared = Arc::new(ServerShared::new(cfg, 0, 2, std::env::temp_dir()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+        shared
+            .plugins
+            .write()
+            .push(Arc::new(FnPlugin::new("probe", move |ctx| {
+                s.lock().push(ctx.blocks.len());
+                Ok(())
+            })));
+        let seg = SharedSegment::new(4096).unwrap();
+        run_events(
+            &shared,
+            vec![
+                write_event(&seg, 0, 0),
+                Event::EndIteration { source: 0, iteration: 0, writes: 1, skipped: false },
+                // Client 1 skipped the whole iteration.
+                Event::EndIteration { source: 1, iteration: 0, writes: 0, skipped: true },
+            ],
+        );
+        assert_eq!(*seen.lock(), vec![1], "fires with one client's blocks");
+        assert_eq!(shared.skipped_client_iterations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn finalize_notifies_waiters() {
+        let cfg = config("");
+        let shared = Arc::new(ServerShared::new(cfg, 0, 2, std::env::temp_dir()));
+        let queue: MessageQueue<Event> = MessageQueue::bounded(8);
+        let s2 = shared.clone();
+        let q2 = queue.clone();
+        let server = std::thread::spawn(move || server_loop(s2, q2));
+        queue.send(Event::ClientFinalize { source: 0 }).unwrap();
+        queue.send(Event::ClientFinalize { source: 1 }).unwrap();
+        assert!(shared.wait_all_finalized(std::time::Duration::from_secs(5)));
+        queue.close();
+        server.join().unwrap();
+        assert!(shared.idle_fraction() > 0.0);
+    }
+}

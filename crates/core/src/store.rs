@@ -1,0 +1,146 @@
+//! The block index on the dedicated-core side.
+//!
+//! Paper §III.B: "All data blocks are indexed in a metadata structure that
+//! helps searching for particular blocks from data management services."
+
+use std::collections::BTreeMap;
+
+use damaris_shm::BlockRef;
+
+/// One indexed block: who wrote which variable at which step.
+#[derive(Debug, Clone)]
+pub struct StoredBlock {
+    /// Variable name.
+    pub variable: String,
+    /// Writing client id (rank within the node).
+    pub source: usize,
+    /// Simulation time step.
+    pub iteration: u64,
+    /// Zero-copy handle into the shared segment.
+    pub data: BlockRef,
+}
+
+/// Index of live blocks, keyed by iteration then (variable, source).
+///
+/// Blocks hold [`BlockRef`]s, so removing an iteration releases its shared
+/// memory once plugins drop their own references — this is the garbage
+/// collection that keeps the segment from filling under steady state.
+#[derive(Debug, Default)]
+pub struct VariableStore {
+    by_iteration: BTreeMap<u64, Vec<StoredBlock>>,
+}
+
+impl VariableStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index a block.
+    pub fn insert(&mut self, block: StoredBlock) {
+        self.by_iteration.entry(block.iteration).or_default().push(block);
+    }
+
+    /// All blocks of an iteration (any variable, any source).
+    pub fn iteration_blocks(&self, iteration: u64) -> &[StoredBlock] {
+        self.by_iteration.get(&iteration).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Blocks of one variable at one iteration, ordered by source.
+    pub fn variable_blocks(&self, variable: &str, iteration: u64) -> Vec<&StoredBlock> {
+        let mut v: Vec<&StoredBlock> = self
+            .iteration_blocks(iteration)
+            .iter()
+            .filter(|b| b.variable == variable)
+            .collect();
+        v.sort_by_key(|b| b.source);
+        v
+    }
+
+    /// Search a specific block (paper: "searching for particular blocks").
+    pub fn find(&self, variable: &str, iteration: u64, source: usize) -> Option<&StoredBlock> {
+        self.iteration_blocks(iteration)
+            .iter()
+            .find(|b| b.variable == variable && b.source == source)
+    }
+
+    /// Number of blocks held for an iteration.
+    pub fn count(&self, iteration: u64) -> usize {
+        self.iteration_blocks(iteration).len()
+    }
+
+    /// Total live blocks across iterations.
+    pub fn total(&self) -> usize {
+        self.by_iteration.values().map(Vec::len).sum()
+    }
+
+    /// Iterations currently holding data, ascending.
+    pub fn iterations(&self) -> Vec<u64> {
+        self.by_iteration.keys().copied().collect()
+    }
+
+    /// Drop an iteration's blocks, releasing their shared memory.
+    /// Returns the removed blocks (callers may still hold clones).
+    pub fn remove_iteration(&mut self, iteration: u64) -> Vec<StoredBlock> {
+        self.by_iteration.remove(&iteration).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use damaris_shm::SharedSegment;
+
+    fn block(seg: &SharedSegment, var: &str, it: u64, src: usize, val: f64) -> StoredBlock {
+        let mut b = seg.allocate(8).unwrap();
+        b.write_pod(&[val]);
+        StoredBlock { variable: var.into(), source: src, iteration: it, data: b.freeze() }
+    }
+
+    #[test]
+    fn index_and_query() {
+        let seg = SharedSegment::new(4096).unwrap();
+        let mut store = VariableStore::new();
+        store.insert(block(&seg, "u", 0, 1, 1.0));
+        store.insert(block(&seg, "u", 0, 0, 2.0));
+        store.insert(block(&seg, "v", 0, 0, 3.0));
+        store.insert(block(&seg, "u", 1, 0, 4.0));
+
+        assert_eq!(store.count(0), 3);
+        assert_eq!(store.total(), 4);
+        assert_eq!(store.iterations(), vec![0, 1]);
+
+        let u0 = store.variable_blocks("u", 0);
+        assert_eq!(u0.len(), 2);
+        assert_eq!(u0[0].source, 0, "ordered by source");
+        assert_eq!(u0[1].source, 1);
+
+        let found = store.find("v", 0, 0).unwrap();
+        assert_eq!(found.data.as_pod::<f64>()[0], 3.0);
+        assert!(store.find("v", 0, 1).is_none());
+        assert!(store.find("w", 0, 0).is_none());
+    }
+
+    #[test]
+    fn remove_iteration_releases_memory() {
+        let seg = SharedSegment::new(4096).unwrap();
+        let mut store = VariableStore::new();
+        store.insert(block(&seg, "u", 0, 0, 1.0));
+        store.insert(block(&seg, "u", 0, 1, 2.0));
+        assert!(seg.used_bytes() > 0);
+        let removed = store.remove_iteration(0);
+        assert_eq!(removed.len(), 2);
+        drop(removed);
+        assert_eq!(seg.used_bytes(), 0, "blocks freed after store GC");
+        assert_eq!(store.total(), 0);
+        assert!(store.remove_iteration(0).is_empty(), "idempotent");
+    }
+
+    #[test]
+    fn empty_queries_are_safe() {
+        let store = VariableStore::new();
+        assert_eq!(store.count(9), 0);
+        assert!(store.variable_blocks("u", 9).is_empty());
+        assert!(store.iterations().is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! `dh5dump` — the `h5ls`/`h5dump` equivalent for h5lite files.
+//!
+//! ```text
+//! dh5dump FILE...            # tree listing with shapes, codecs, ratios
+//! dh5dump --data PATH FILE   # also print a dataset's values
+//! ```
+
+use std::process::ExitCode;
+
+use h5lite::FileReader;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dh5dump [--data DATASET] FILE...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut data_path: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data" => match it.next() {
+                Some(p) => data_path = Some(p),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: dh5dump [--data DATASET] FILE...");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    let mut status = ExitCode::SUCCESS;
+    for file in &files {
+        match FileReader::open(file) {
+            Ok(mut reader) => {
+                println!("{file}:");
+                print!("{}", indent(&reader.dump()));
+                if let Some(path) = &data_path {
+                    match reader.dataset(path).map(|d| d.dtype) {
+                        Ok(dtype) => print_data(&mut reader, path, dtype),
+                        Err(e) => {
+                            eprintln!("dh5dump: {file}: {e}");
+                            status = ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("dh5dump: {file}: {e}");
+                status = ExitCode::FAILURE;
+            }
+        }
+    }
+    status
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("  {l}\n")).collect()
+}
+
+fn print_data(
+    reader: &mut FileReader<std::io::BufReader<std::fs::File>>,
+    path: &str,
+    dtype: h5lite::Dtype,
+) {
+    use h5lite::Dtype as D;
+    const LIMIT: usize = 64;
+    macro_rules! dump_as {
+        ($t:ty) => {{
+            match reader.read_pod::<$t>(path) {
+                Ok(values) => {
+                    let shown = values.len().min(LIMIT);
+                    let rendered: Vec<String> =
+                        values[..shown].iter().map(|v| format!("{v}")).collect();
+                    let ellipsis = if values.len() > LIMIT { ", …" } else { "" };
+                    println!("  {path} = [{}{}]", rendered.join(", "), ellipsis);
+                }
+                Err(e) => eprintln!("dh5dump: {path}: {e}"),
+            }
+        }};
+    }
+    match dtype {
+        D::I8 => dump_as!(i8),
+        D::I16 => dump_as!(i16),
+        D::I32 => dump_as!(i32),
+        D::I64 => dump_as!(i64),
+        D::U8 => dump_as!(u8),
+        D::U16 => dump_as!(u16),
+        D::U32 => dump_as!(u32),
+        D::U64 => dump_as!(u64),
+        D::F32 => dump_as!(f32),
+        D::F64 => dump_as!(f64),
+    }
+}

@@ -1,0 +1,139 @@
+//! Element types of datasets.
+
+use crate::error::{H5Error, H5Result};
+
+/// Scalar element type of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Dtype {
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+    F32,
+    F64,
+}
+
+impl Dtype {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            Dtype::I8 | Dtype::U8 => 1,
+            Dtype::I16 | Dtype::U16 => 2,
+            Dtype::I32 | Dtype::U32 | Dtype::F32 => 4,
+            Dtype::I64 | Dtype::U64 | Dtype::F64 => 8,
+        }
+    }
+
+    /// Stable wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Dtype::I8 => 0,
+            Dtype::I16 => 1,
+            Dtype::I32 => 2,
+            Dtype::I64 => 3,
+            Dtype::U8 => 4,
+            Dtype::U16 => 5,
+            Dtype::U32 => 6,
+            Dtype::U64 => 7,
+            Dtype::F32 => 8,
+            Dtype::F64 => 9,
+        }
+    }
+
+    /// Inverse of [`Dtype::code`].
+    pub fn from_code(code: u8) -> H5Result<Self> {
+        Ok(match code {
+            0 => Dtype::I8,
+            1 => Dtype::I16,
+            2 => Dtype::I32,
+            3 => Dtype::I64,
+            4 => Dtype::U8,
+            5 => Dtype::U16,
+            6 => Dtype::U32,
+            7 => Dtype::U64,
+            8 => Dtype::F32,
+            9 => Dtype::F64,
+            other => return Err(H5Error::Corrupt(format!("unknown dtype code {other}"))),
+        })
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dtype::I8 => "i8",
+            Dtype::I16 => "i16",
+            Dtype::I32 => "i32",
+            Dtype::I64 => "i64",
+            Dtype::U8 => "u8",
+            Dtype::U16 => "u16",
+            Dtype::U32 => "u32",
+            Dtype::U64 => "u64",
+            Dtype::F32 => "f32",
+            Dtype::F64 => "f64",
+        }
+    }
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Marker for element types that map onto a [`Dtype`].
+///
+/// # Safety
+///
+/// Implementors must be `Copy` with no padding and no invalid bit patterns,
+/// and `DTYPE` must match the Rust type exactly.
+pub unsafe trait H5Pod: Copy + 'static {
+    /// The corresponding dataset element type.
+    const DTYPE: Dtype;
+}
+
+macro_rules! impl_h5pod {
+    ($($t:ty => $d:expr),*) => { $(
+        unsafe impl H5Pod for $t { const DTYPE: Dtype = $d; }
+    )* };
+}
+impl_h5pod!(
+    i8 => Dtype::I8, i16 => Dtype::I16, i32 => Dtype::I32, i64 => Dtype::I64,
+    u8 => Dtype::U8, u16 => Dtype::U16, u32 => Dtype::U32, u64 => Dtype::U64,
+    f32 => Dtype::F32, f64 => Dtype::F64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for d in [
+            Dtype::I8,
+            Dtype::I16,
+            Dtype::I32,
+            Dtype::I64,
+            Dtype::U8,
+            Dtype::U16,
+            Dtype::U32,
+            Dtype::U64,
+            Dtype::F32,
+            Dtype::F64,
+        ] {
+            assert_eq!(Dtype::from_code(d.code()).unwrap(), d);
+        }
+        assert!(Dtype::from_code(200).is_err());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Dtype::F64.size_bytes(), 8);
+        assert_eq!(Dtype::U16.size_bytes(), 2);
+        assert_eq!(<f32 as H5Pod>::DTYPE, Dtype::F32);
+    }
+}

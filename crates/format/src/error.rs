@@ -1,0 +1,74 @@
+//! Error handling for h5lite.
+
+use std::fmt;
+
+/// Result alias for h5lite operations.
+pub type H5Result<T> = Result<T, H5Error>;
+
+/// Failure modes of reading or writing an h5lite file.
+#[derive(Debug)]
+pub enum H5Error {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file violates the format (bad magic, truncated footer, …).
+    Corrupt(String),
+    /// A referenced path does not exist.
+    NotFound(String),
+    /// Dataset exists but with a different type or shape than requested.
+    TypeMismatch(String),
+    /// Attempt to create an object that already exists.
+    AlreadyExists(String),
+    /// Compressed chunk failed to decode.
+    Codec(codec::CodecError),
+    /// API misuse (e.g. writing after `finish`).
+    InvalidState(String),
+}
+
+impl fmt::Display for H5Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H5Error::Io(e) => write!(f, "I/O error: {e}"),
+            H5Error::Corrupt(m) => write!(f, "corrupt file: {m}"),
+            H5Error::NotFound(p) => write!(f, "not found: {p}"),
+            H5Error::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            H5Error::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            H5Error::Codec(e) => write!(f, "{e}"),
+            H5Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            H5Error::Io(e) => Some(e),
+            H5Error::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for H5Error {
+    fn from(e: std::io::Error) -> Self {
+        H5Error::Io(e)
+    }
+}
+
+impl From<codec::CodecError> for H5Error {
+    fn from(e: codec::CodecError) -> Self {
+        H5Error::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(H5Error::NotFound("/a/b".into()).to_string().contains("/a/b"));
+        assert!(H5Error::Corrupt("bad magic".into()).to_string().contains("bad magic"));
+        let io = H5Error::from(std::io::Error::other("x"));
+        assert!(io.to_string().contains("I/O error"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # h5lite
+//!
+//! A self-contained hierarchical scientific data format — the role HDF5
+//! plays in the original Damaris deployment ("this plugin system may simply
+//! be used to forward I/O operations to the HDF5 library", §III.A).
+//!
+//! A file contains:
+//!
+//! * **groups** — a slash-separated namespace (`/cm1/it0042/u`),
+//! * **datasets** — typed n-dimensional arrays with contiguous or
+//!   row-chunked storage and an optional per-chunk compression pipeline
+//!   (from the [`codec`] crate),
+//! * **attributes** — small key/value metadata on groups and datasets
+//!   (ints, floats, strings).
+//!
+//! The on-disk layout is write-once: a fixed header, the raw (possibly
+//! compressed) dataset bytes in append order, a metadata footer describing
+//! the tree, and a trailer pointing at the footer. Readers seek to the
+//! trailer, load the footer, then read dataset extents on demand — the same
+//! access pattern HDF5 gives the paper's post-processing tools.
+//!
+//! ```
+//! use h5lite::{Dtype, FileReader, FileWriter};
+//!
+//! let mut buf = std::io::Cursor::new(Vec::new());
+//! let mut w = FileWriter::new(&mut buf).unwrap();
+//! let temps: Vec<f64> = (0..12).map(|i| 280.0 + i as f64).collect();
+//! w.dataset("cm1/it0/temperature", Dtype::F64, &[3, 4]).unwrap()
+//!     .write_pod(&temps).unwrap();
+//! w.set_attr("cm1/it0", "time", 0.25f64).unwrap();
+//! w.finish().unwrap();
+//!
+//! let bytes = buf.into_inner();
+//! let mut r = FileReader::new(std::io::Cursor::new(bytes)).unwrap();
+//! let ds = r.read_pod::<f64>("cm1/it0/temperature").unwrap();
+//! assert_eq!(ds.len(), 12);
+//! assert_eq!(r.attr("cm1/it0", "time").unwrap().as_f64(), Some(0.25));
+//! ```
+
+pub mod dtype;
+pub mod error;
+pub mod meta;
+pub mod reader;
+pub mod wire;
+pub mod writer;
+
+pub use dtype::Dtype;
+pub use error::{H5Error, H5Result};
+pub use meta::{AttrValue, DatasetMeta, FileMeta, GroupMeta, Layout};
+pub use reader::FileReader;
+pub use writer::{DatasetBuilder, FileWriter};
+
+/// Magic bytes opening every h5lite file.
+pub const MAGIC: &[u8; 8] = b"DH5LITE\0";
+/// Magic bytes closing every h5lite file (trailer integrity check).
+pub const TRAILER_MAGIC: &[u8; 8] = b"DH5LEND\0";
+/// Current format version.
+pub const VERSION: u32 = 1;

@@ -1,0 +1,175 @@
+//! Little-endian wire encoding helpers for the metadata footer.
+
+use crate::error::{H5Error, H5Result};
+
+/// Append-only encoder.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// New empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Finish, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a u8.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian f64.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append raw bytes with a length prefix.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Cursor-style decoder with bounds checking.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode from a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> H5Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(H5Error::Corrupt(format!(
+                "footer truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a u8.
+    pub fn u8(&mut self) -> H5Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> H5Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> H5Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian i64.
+    pub fn i64(&mut self) -> H5Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian f64.
+    pub fn f64(&mut self) -> H5Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> H5Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| H5Error::Corrupt("non-UTF-8 string in footer".into()))
+    }
+
+    /// Read length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> H5Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xdead_beef);
+        e.u64(u64::MAX - 3);
+        e.i64(-42);
+        e.f64(3.125);
+        e.str("damaris");
+        e.bytes(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.f64().unwrap(), 3.125);
+        assert_eq!(d.str().unwrap(), "damaris");
+        assert_eq!(d.bytes().unwrap(), vec![1, 2, 3]);
+        assert!(d.at_end());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = Enc::new();
+        e.u64(1);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes[..4]);
+        assert!(d.u64().is_err());
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let mut e = Enc::new();
+        e.u32(2);
+        let mut bytes = e.into_bytes();
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        let mut d = Dec::new(&bytes);
+        assert!(d.str().is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Integration test for the `dh5dump` inspection tool.
+
+use std::process::Command;
+
+use h5lite::{Dtype, FileWriter};
+
+fn write_sample(path: &std::path::Path) {
+    let mut w = FileWriter::create(path).expect("create");
+    w.dataset("cm1/u", Dtype::F64, &[2, 3])
+        .expect("dataset")
+        .with_codec("rle")
+        .expect("codec")
+        .write_pod(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        .expect("write");
+    w.set_attr("cm1", "time", 0.5f64).expect("attr");
+    w.finish().expect("finish");
+}
+
+fn dh5dump(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dh5dump")).args(args).output().expect("spawn dh5dump")
+}
+
+#[test]
+fn lists_tree_and_data() {
+    let dir = std::env::temp_dir().join(format!("dh5dump-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("dir");
+    let file = dir.join("sample.dh5");
+    write_sample(&file);
+
+    let out = dh5dump(&[file.to_str().expect("utf8 path")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cm1/u  f64 [2x3]"), "{stdout}");
+    assert!(stdout.contains("codec=rle"), "{stdout}");
+    assert!(stdout.contains("@time"), "{stdout}");
+
+    let out = dh5dump(&["--data", "cm1/u", file.to_str().expect("utf8 path")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[1, 2, 3, 4, 5, 6]"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_file_fails_gracefully() {
+    let dir = std::env::temp_dir().join(format!("dh5dump-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("dir");
+    let file = dir.join("junk.dh5");
+    std::fs::write(&file, b"not a dh5 file at all").expect("write junk");
+    let out = dh5dump(&[file.to_str().expect("utf8 path")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt") || stderr.contains("magic"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_args_is_usage_error() {
+    let out = dh5dump(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_dataset_reported() {
+    let dir = std::env::temp_dir().join(format!("dh5dump-miss-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("dir");
+    let file = dir.join("sample.dh5");
+    write_sample(&file);
+    let out = dh5dump(&["--data", "nope", file.to_str().expect("utf8 path")]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not found"));
+    std::fs::remove_dir_all(&dir).ok();
+}

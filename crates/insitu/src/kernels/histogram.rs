@@ -1,0 +1,96 @@
+//! Value histograms (the "statistical analysis" workload class).
+
+use super::Grid3;
+
+/// A fixed-bin histogram over a value range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower bound of the first bin.
+    pub min: f64,
+    /// Exclusive upper bound of the last bin (values == max land in the
+    /// last bin).
+    pub max: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Histogram `grid` into `bins` equal-width bins over its own min..max
+/// range (a degenerate range puts everything in bin 0).
+pub fn histogram(grid: &Grid3<'_>, bins: usize) -> Histogram {
+    let bins = bins.max(1);
+    let (min, max) = grid.min_max();
+    let mut counts = vec![0u64; bins];
+    let width = max - min;
+    for &v in grid.data {
+        let bin = if width <= 0.0 {
+            0
+        } else {
+            (((v - min) / width * bins as f64) as usize).min(bins - 1)
+        };
+        counts[bin] += 1;
+    }
+    Histogram { min, max, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ramp_spreads_evenly() {
+        let data: Vec<f64> = (0..100).map(|v| v as f64).collect();
+        let g = Grid3::new(&data, 100, 1, 1);
+        let h = histogram(&g, 10);
+        assert_eq!(h.total(), 100);
+        assert!(h.counts.iter().all(|&c| c == 10), "{:?}", h.counts);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 99.0);
+    }
+
+    #[test]
+    fn constant_field_one_bin() {
+        let data = vec![5.0; 64];
+        let g = Grid3::new(&data, 4, 4, 4);
+        let h = histogram(&g, 8);
+        assert_eq!(h.counts[0], 64);
+        assert_eq!(h.mode_bin(), 0);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let data = vec![0.0, 1.0];
+        let g = Grid3::new(&data, 2, 1, 1);
+        let h = histogram(&g, 4);
+        assert_eq!(h.counts[3], 1);
+        assert_eq!(h.counts[0], 1);
+    }
+
+    #[test]
+    fn cm1_like_field_mode_is_base_state() {
+        let mut data = vec![300.0; 1000];
+        for v in data.iter_mut().take(50) {
+            *v = 302.0;
+        }
+        let g = Grid3::new(&data, 10, 10, 10);
+        let h = histogram(&g, 20);
+        assert_eq!(h.mode_bin(), 0, "base state dominates");
+        assert_eq!(h.counts[19], 50);
+    }
+}

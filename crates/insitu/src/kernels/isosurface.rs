@@ -1,0 +1,175 @@
+//! Marching-cubes-style isosurface census.
+//!
+//! This kernel performs the classification phase of marching cubes over
+//! every cell of the grid: build the 8-bit case index from the corner
+//! signs, count surface-crossing cells and crossed edges (where the full
+//! algorithm would interpolate vertices). It is the cost- and
+//! access-pattern-faithful core of what VisIt does when asked for an
+//! isosurface, which is what the §V.C experiments measure.
+
+use rayon::prelude::*;
+
+use super::Grid3;
+
+/// Result of classifying a grid against an isovalue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IsoCensus {
+    /// Cells the surface passes through (case index not 0 or 255).
+    pub active_cells: usize,
+    /// Cell edges with a sign change (vertex-interpolation sites).
+    pub crossed_edges: usize,
+    /// Total cells inspected.
+    pub total_cells: usize,
+}
+
+impl IsoCensus {
+    /// Estimated triangle count: the canonical marching-cubes tables emit
+    /// close to one triangle per interpolated vertex in aggregate
+    /// (each triangle uses 3 edge vertices, each interior edge is shared
+    /// by up to 4 cells).
+    pub fn triangle_estimate(&self) -> usize {
+        self.crossed_edges / 2
+    }
+}
+
+/// The 12 edges of a cell as corner-index pairs (marching-cubes numbering).
+const CELL_EDGES: [(usize, usize); 12] = [
+    (0, 1),
+    (1, 2),
+    (2, 3),
+    (3, 0),
+    (4, 5),
+    (5, 6),
+    (6, 7),
+    (7, 4),
+    (0, 4),
+    (1, 5),
+    (2, 6),
+    (3, 7),
+];
+
+/// Classify every cell of `grid` against `isovalue`. Parallelized over
+/// z-slabs with rayon (the dedicated core may itself be a small pool).
+pub fn isosurface(grid: &Grid3<'_>, isovalue: f64) -> IsoCensus {
+    if grid.nx < 2 || grid.ny < 2 || grid.nz < 2 {
+        return IsoCensus::default();
+    }
+    let (nx, ny, nz) = (grid.nx, grid.ny, grid.nz);
+    let partial: Vec<IsoCensus> = (0..nz - 1)
+        .into_par_iter()
+        .map(|k| {
+            let mut census = IsoCensus::default();
+            for j in 0..ny - 1 {
+                for i in 0..nx - 1 {
+                    // Corner values in marching-cubes order.
+                    let corners = [
+                        grid.at(i, j, k),
+                        grid.at(i + 1, j, k),
+                        grid.at(i + 1, j + 1, k),
+                        grid.at(i, j + 1, k),
+                        grid.at(i, j, k + 1),
+                        grid.at(i + 1, j, k + 1),
+                        grid.at(i + 1, j + 1, k + 1),
+                        grid.at(i, j + 1, k + 1),
+                    ];
+                    let mut case = 0u8;
+                    for (bit, &v) in corners.iter().enumerate() {
+                        if v >= isovalue {
+                            case |= 1 << bit;
+                        }
+                    }
+                    census.total_cells += 1;
+                    if case != 0 && case != 0xff {
+                        census.active_cells += 1;
+                        for &(a, b) in &CELL_EDGES {
+                            if (corners[a] >= isovalue) != (corners[b] >= isovalue) {
+                                census.crossed_edges += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            census
+        })
+        .collect();
+    partial.into_iter().fold(IsoCensus::default(), |acc, c| IsoCensus {
+        active_cells: acc.active_cells + c.active_cells,
+        crossed_edges: acc.crossed_edges + c.crossed_edges,
+        total_cells: acc.total_cells + c.total_cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Signed-distance sphere field.
+    fn sphere(n: usize, radius: f64) -> Vec<f64> {
+        let c = (n - 1) as f64 / 2.0;
+        let mut data = Vec::with_capacity(n * n * n);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let d = ((i as f64 - c).powi(2)
+                        + (j as f64 - c).powi(2)
+                        + (k as f64 - c).powi(2))
+                    .sqrt();
+                    data.push(d - radius);
+                }
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn uniform_field_has_no_surface() {
+        let data = vec![1.0; 8 * 8 * 8];
+        let g = Grid3::new(&data, 8, 8, 8);
+        let census = isosurface(&g, 0.5);
+        assert_eq!(census.active_cells, 0);
+        assert_eq!(census.crossed_edges, 0);
+        assert_eq!(census.total_cells, 7 * 7 * 7);
+    }
+
+    #[test]
+    fn sphere_surface_scales_with_radius_squared() {
+        let n = 40;
+        let small = {
+            let d = sphere(n, 6.0);
+            isosurface(&Grid3::new(&d, n, n, n), 0.0)
+        };
+        let large = {
+            let d = sphere(n, 12.0);
+            isosurface(&Grid3::new(&d, n, n, n), 0.0)
+        };
+        let ratio = large.active_cells as f64 / small.active_cells as f64;
+        assert!(
+            (3.0..5.5).contains(&ratio),
+            "surface cells should scale ≈ r² (4×), got {ratio:.2}"
+        );
+        assert!(large.triangle_estimate() > large.active_cells / 2);
+    }
+
+    #[test]
+    fn plane_surface_cell_count_exact() {
+        // Field = k: the isosurface k = 2.5 crosses exactly one cell layer.
+        let n = 8;
+        let mut data = Vec::new();
+        for k in 0..n {
+            for _ in 0..n * n {
+                data.push(k as f64);
+            }
+        }
+        let g = Grid3::new(&data, n, n, n);
+        let census = isosurface(&g, 2.5);
+        assert_eq!(census.active_cells, (n - 1) * (n - 1), "one full cell layer");
+        // Each active cell crosses its 4 vertical edges.
+        assert_eq!(census.crossed_edges, (n - 1) * (n - 1) * 4);
+    }
+
+    #[test]
+    fn degenerate_grids_are_empty() {
+        let data = vec![0.0; 4];
+        assert_eq!(isosurface(&Grid3::new(&data, 4, 1, 1), 0.5), IsoCensus::default());
+    }
+}

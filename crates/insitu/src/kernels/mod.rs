@@ -1,0 +1,87 @@
+//! Analysis kernels shared by both coupling styles.
+
+pub mod histogram;
+pub mod isosurface;
+pub mod render;
+pub mod slice;
+
+pub use histogram::{histogram, Histogram};
+pub use isosurface::{isosurface, IsoCensus};
+pub use render::{render, Framebuffer};
+pub use slice::slice;
+
+/// A borrowed 3-D scalar grid, C order with `x` fastest
+/// (`idx = (k·ny + j)·nx + i`).
+#[derive(Debug, Clone, Copy)]
+pub struct Grid3<'a> {
+    /// Values, length `nx · ny · nz`.
+    pub data: &'a [f64],
+    /// Extent in x (fastest).
+    pub nx: usize,
+    /// Extent in y.
+    pub ny: usize,
+    /// Extent in z (slowest).
+    pub nz: usize,
+}
+
+impl<'a> Grid3<'a> {
+    /// Wrap a slice, checking the extents.
+    ///
+    /// Panics if `data.len() != nx·ny·nz` — a layout mismatch is a caller
+    /// bug, not a runtime condition.
+    pub fn new(data: &'a [f64], nx: usize, ny: usize, nz: usize) -> Self {
+        assert_eq!(data.len(), nx * ny * nz, "grid extents do not match data length");
+        Grid3 { data, nx, ny, nz }
+    }
+
+    /// Value at `(i, j, k)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[(k * self.ny + j) * self.nx + i]
+    }
+
+    /// Minimum and maximum value (`(0, 0)` for an empty grid).
+    pub fn min_max(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in self.data {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if self.data.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_order() {
+        let data: Vec<f64> = (0..24).map(|v| v as f64).collect();
+        let g = Grid3::new(&data, 2, 3, 4);
+        assert_eq!(g.at(0, 0, 0), 0.0);
+        assert_eq!(g.at(1, 0, 0), 1.0, "x fastest");
+        assert_eq!(g.at(0, 1, 0), 2.0);
+        assert_eq!(g.at(0, 0, 1), 6.0);
+        assert_eq!(g.at(1, 2, 3), 23.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let data = vec![3.0, -1.0, 7.0, 0.0];
+        let g = Grid3::new(&data, 4, 1, 1);
+        assert_eq!(g.min_max(), (-1.0, 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "extents do not match")]
+    fn extent_mismatch_panics() {
+        let data = vec![0.0; 5];
+        let _ = Grid3::new(&data, 2, 2, 2);
+    }
+}

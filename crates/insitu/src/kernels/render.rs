@@ -1,0 +1,94 @@
+//! Software renderer: orthographic maximum-intensity projection (MIP)
+//! along z — the "compute an image from in-memory data" workload that
+//! VisIt-style coupling performs synchronously.
+
+use rayon::prelude::*;
+
+use super::Grid3;
+
+/// A grayscale framebuffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Framebuffer {
+    /// Width (grid x).
+    pub width: usize,
+    /// Height (grid y).
+    pub height: usize,
+    /// Row-major intensities in `[0, 1]`.
+    pub pixels: Vec<f32>,
+}
+
+impl Framebuffer {
+    /// Encode as a binary PGM image (P5), the simplest portable format.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend(self.pixels.iter().map(|&p| (p.clamp(0.0, 1.0) * 255.0) as u8));
+        out
+    }
+
+    /// Mean intensity (test/telemetry diagnostic).
+    pub fn mean(&self) -> f32 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().sum::<f32>() / self.pixels.len() as f32
+    }
+}
+
+/// Render `grid` by casting one ray per (i, j) column, keeping the maximum
+/// value, normalized into the grid's own min..max range.
+pub fn render(grid: &Grid3<'_>) -> Framebuffer {
+    let (min, max) = grid.min_max();
+    let range = if max > min { max - min } else { 1.0 };
+    let (nx, ny, nz) = (grid.nx, grid.ny, grid.nz);
+    let mut pixels = vec![0.0f32; nx * ny];
+    pixels.par_chunks_mut(nx).enumerate().for_each(|(j, row)| {
+        for (i, px) in row.iter_mut().enumerate() {
+            let mut best = f64::NEG_INFINITY;
+            for k in 0..nz {
+                best = best.max(grid.at(i, j, k));
+            }
+            *px = (((best - min) / range) as f32).clamp(0.0, 1.0);
+        }
+    });
+    Framebuffer { width: nx, height: ny, pixels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_column_lights_one_pixel() {
+        let mut data = vec![0.0; 4 * 4 * 4];
+        // Column (2, 1): one hot voxel at k = 3.
+        data[(3 * 4 + 1) * 4 + 2] = 10.0;
+        let g = Grid3::new(&data, 4, 4, 4);
+        let fb = render(&g);
+        assert_eq!(fb.width, 4);
+        assert_eq!(fb.height, 4);
+        assert_eq!(fb.pixels[4 + 2], 1.0, "hot column saturates");
+        assert_eq!(fb.pixels[0], 0.0, "cold column dark");
+    }
+
+    #[test]
+    fn constant_field_renders_flat() {
+        let data = vec![7.0; 8 * 8 * 8];
+        let fb = render(&Grid3::new(&data, 8, 8, 8));
+        assert!(fb.pixels.iter().all(|&p| p == 0.0), "degenerate range → dark");
+    }
+
+    #[test]
+    fn pgm_encoding_wellformed() {
+        let data = vec![0.0, 1.0, 0.5, 0.25];
+        let fb = render(&Grid3::new(&data, 2, 2, 1));
+        let pgm = fb.to_pgm();
+        assert!(pgm.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n2 2\n255\n".len() + 4);
+    }
+
+    #[test]
+    fn mean_diagnostic() {
+        let fb = Framebuffer { width: 2, height: 1, pixels: vec![0.0, 1.0] };
+        assert_eq!(fb.mean(), 0.5);
+    }
+}

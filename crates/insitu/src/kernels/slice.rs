@@ -1,0 +1,33 @@
+//! Axis-aligned plane extraction.
+
+use super::Grid3;
+
+/// Extract the `k`-th z-plane as a row-major `ny × nx` vector.
+///
+/// Panics if `k` is out of range — slicing past the grid is a caller bug.
+pub fn slice(grid: &Grid3<'_>, k: usize) -> Vec<f64> {
+    assert!(k < grid.nz, "slice {k} out of range (nz = {})", grid.nz);
+    let plane = grid.nx * grid.ny;
+    grid.data[k * plane..(k + 1) * plane].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_the_right_plane() {
+        let data: Vec<f64> = (0..27).map(|v| v as f64).collect();
+        let g = Grid3::new(&data, 3, 3, 3);
+        assert_eq!(slice(&g, 0), (0..9).map(|v| v as f64).collect::<Vec<_>>());
+        assert_eq!(slice(&g, 2), (18..27).map(|v| v as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let data = vec![0.0; 8];
+        let g = Grid3::new(&data, 2, 2, 2);
+        let _ = slice(&g, 2);
+    }
+}

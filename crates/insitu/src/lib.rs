@@ -1,0 +1,31 @@
+//! # insitu
+//!
+//! In-situ analysis and visualization for the Damaris reproduction —
+//! everything §V of the paper needs:
+//!
+//! * [`kernels`] — the analysis workloads themselves: marching-cubes-style
+//!   isosurface cell census, histograms, plane slicing, and a software
+//!   max-intensity-projection renderer. These are the tasks that run
+//!   either *synchronously* (VisIt-style, stopping the simulation) or
+//!   *asynchronously* on dedicated cores (the Damaris way).
+//! * [`libsim`] — a faithful imitation of the VisIt *libsim* coupling
+//!   model: the simulation implements a wide adaptor interface (metadata,
+//!   mesh, variable and command callbacks) and periodically *stops* to
+//!   let the visualization run. This is the §V.C baseline whose
+//!   instrumentation burden exceeds one hundred lines per application.
+//! * [`plugin`] — [`plugin::InSituPlugin`], the Damaris-side coupling: the
+//!   same kernels packaged as a dedicated-core plugin; the simulation's
+//!   instrumentation stays at one `write` per variable.
+//!
+//! The §V.C.2 usability experiment (E9) counts instrumentation lines of
+//! both couplings on the same proxy applications; the §V.C.1 performance
+//! experiment (E7) runs the same kernels under both couplings and compares
+//! the impact on simulation run time.
+
+pub mod kernels;
+pub mod libsim;
+pub mod plugin;
+
+pub use kernels::{histogram, isosurface, render, slice, Grid3};
+pub use libsim::{LibSimAdaptor, MeshData, SimulationMetaData, SyncVisItSession, VariableData};
+pub use plugin::{AnalysisRecord, InSituPlugin};

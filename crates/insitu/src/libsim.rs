@@ -1,0 +1,326 @@
+//! VisIt-*libsim*-style synchronous coupling — the §V.C baseline.
+//!
+//! VisIt's libsim requires the simulation to implement a wide adaptor
+//! surface: metadata callbacks describing the simulation, every mesh and
+//! every variable; data callbacks producing each mesh and variable on
+//! demand; a command callback; and an explicit "visualization step" the
+//! simulation must call — **stopping itself** — whenever images are due.
+//! The paper measures two consequences: the instrumentation burden
+//! ("all these examples require more than a hundred lines of code with the
+//! VisIt API", §V.C.2) and the synchronous stalls that keep the approach
+//! from scaling (§V.C.1).
+//!
+//! This module reproduces that coupling shape honestly: implementing
+//! [`LibSimAdaptor`] for a real simulation genuinely takes ~100 lines
+//! (see `examples/nek_insitu.rs`), and [`SyncVisItSession::timestep`]
+//! really blocks the caller while analysis and rendering run.
+
+use crate::kernels::{histogram, isosurface, render, Grid3, Histogram, IsoCensus};
+
+/// Metadata for one mesh, as libsim's `VisIt_MeshMetaData` would carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshMetaData {
+    /// Mesh name.
+    pub name: String,
+    /// Topological dimension (2 or 3).
+    pub topological_dim: usize,
+    /// Number of domains (ranks) the mesh is split over.
+    pub num_domains: usize,
+    /// Axis labels.
+    pub axis_labels: [String; 3],
+    /// Axis units.
+    pub axis_units: [String; 3],
+}
+
+/// Metadata for one variable (`VisIt_VariableMetaData`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableMetaData {
+    /// Variable name.
+    pub name: String,
+    /// Mesh the variable lives on.
+    pub mesh: String,
+    /// Physical units.
+    pub units: String,
+    /// Whether values sit on nodes (true) or cells (false).
+    pub nodal: bool,
+}
+
+/// Top-level simulation metadata (`VisIt_SimulationMetaData`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationMetaData {
+    /// Simulation name.
+    pub name: String,
+    /// Current cycle (iteration).
+    pub cycle: u64,
+    /// Current simulated time.
+    pub time: f64,
+    /// Declared meshes.
+    pub meshes: Vec<MeshMetaData>,
+    /// Declared variables.
+    pub variables: Vec<VariableMetaData>,
+    /// Commands the UI could trigger.
+    pub commands: Vec<String>,
+}
+
+/// A rectilinear mesh payload (`VisIt_RectilinearMesh`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshData {
+    /// X coordinates.
+    pub x: Vec<f64>,
+    /// Y coordinates.
+    pub y: Vec<f64>,
+    /// Z coordinates.
+    pub z: Vec<f64>,
+}
+
+/// A variable payload (`VisIt_VariableData`): flat values plus grid shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableData {
+    /// Values, C order, x fastest.
+    pub values: Vec<f64>,
+    /// Grid extents `(nx, ny, nz)`.
+    pub shape: (usize, usize, usize),
+}
+
+/// The adaptor interface a simulation must implement to couple with the
+/// synchronous visualization — the direct analogue of the libsim callback
+/// registration set (`VisItSetGetMetaData`, `VisItSetGetMesh`,
+/// `VisItSetGetVariable`, `VisItSetGetDomainList`,
+/// `VisItSetCommandCallback`, …).
+pub trait LibSimAdaptor {
+    /// Produce the full simulation metadata (called every step).
+    fn get_metadata(&self) -> SimulationMetaData;
+
+    /// Produce a mesh by name.
+    fn get_mesh(&self, name: &str) -> Option<MeshData>;
+
+    /// Produce a variable by name.
+    fn get_variable(&self, name: &str) -> Option<VariableData>;
+
+    /// Which domains (rank-local pieces) this process owns for a mesh —
+    /// libsim requires this for parallel rendering.
+    fn get_domain_list(&self, mesh: &str) -> Vec<usize>;
+
+    /// Execute a UI command (e.g. "halt", "step", "dump").
+    fn execute_command(&mut self, command: &str);
+}
+
+/// Result of one synchronous visualization step.
+#[derive(Debug, Clone)]
+pub struct VisStepReport {
+    /// Iteration analyzed.
+    pub cycle: u64,
+    /// Per-variable isosurface censuses.
+    pub isosurfaces: Vec<(String, IsoCensus)>,
+    /// Per-variable histograms.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Rendered image mean intensities (one per variable).
+    pub image_means: Vec<(String, f32)>,
+    /// Seconds the *simulation* was stopped while this ran.
+    pub blocked_seconds: f64,
+}
+
+/// The synchronous in-situ session: owns the analysis configuration and
+/// pulls everything through the adaptor, on the simulation's own thread.
+pub struct SyncVisItSession {
+    /// Histogram bins.
+    pub bins: usize,
+    /// Isovalue as a fraction of each variable's value range.
+    pub iso_fraction: f64,
+    /// Set by [`SyncVisItSession::initialize`]; mirrors libsim's
+    /// `VisItSetupEnvironment` + `VisItInitializeSocketAndDumpSimFile`
+    /// prerequisite.
+    sim_file: Option<String>,
+    reports: Vec<VisStepReport>,
+}
+
+impl Default for SyncVisItSession {
+    fn default() -> Self {
+        SyncVisItSession { bins: 32, iso_fraction: 0.5, sim_file: None, reports: Vec::new() }
+    }
+}
+
+impl SyncVisItSession {
+    /// New session with default analysis settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mandatory setup before the first [`SyncVisItSession::timestep`]:
+    /// libsim requires the simulation to set up the environment and dump a
+    /// `.sim2` connection file before the viewer can attach.
+    pub fn initialize(&mut self, sim_name: &str) {
+        self.sim_file = Some(format!("{sim_name}.sim2"));
+    }
+
+    /// The connection-file name recorded at initialization.
+    pub fn sim_file(&self) -> Option<&str> {
+        self.sim_file.as_deref()
+    }
+
+    /// Run one synchronous visualization step: the simulation is stopped
+    /// until this returns (that stall is the §V.C.1 measurement).
+    ///
+    /// Panics if [`SyncVisItSession::initialize`] was never called — the
+    /// same hard failure a real libsim coupling produces.
+    pub fn timestep<A: LibSimAdaptor>(&mut self, adaptor: &mut A) -> &VisStepReport {
+        assert!(self.sim_file.is_some(), "initialize() must be called before timestep()");
+        let t0 = std::time::Instant::now();
+        let meta = adaptor.get_metadata();
+        let mut isosurfaces = Vec::new();
+        let mut histograms = Vec::new();
+        let mut image_means = Vec::new();
+        for vmeta in &meta.variables {
+            // Pull the domain list and mesh as VisIt would (even though
+            // the MIP renderer only needs extents, the data must be
+            // produced).
+            let _domains = adaptor.get_domain_list(&vmeta.mesh);
+            let _mesh = adaptor.get_mesh(&vmeta.mesh);
+            let Some(var) = adaptor.get_variable(&vmeta.name) else {
+                continue;
+            };
+            let (nx, ny, nz) = var.shape;
+            let grid = Grid3::new(&var.values, nx, ny, nz);
+            let (min, max) = grid.min_max();
+            let iso = min + (max - min) * self.iso_fraction;
+            isosurfaces.push((vmeta.name.clone(), isosurface(&grid, iso)));
+            histograms.push((vmeta.name.clone(), histogram(&grid, self.bins)));
+            image_means.push((vmeta.name.clone(), render(&grid).mean()));
+        }
+        self.reports.push(VisStepReport {
+            cycle: meta.cycle,
+            isosurfaces,
+            histograms,
+            image_means,
+            blocked_seconds: t0.elapsed().as_secs_f64(),
+        });
+        self.reports.last().expect("just pushed")
+    }
+
+    /// All step reports so far.
+    pub fn reports(&self) -> &[VisStepReport] {
+        &self.reports
+    }
+
+    /// Total seconds the simulation has been stopped by visualization.
+    pub fn total_blocked_seconds(&self) -> f64 {
+        self.reports.iter().map(|r| r.blocked_seconds).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal in-test adaptor: a ramp field on an 8³ grid.
+    struct ToyAdaptor {
+        cycle: u64,
+        commands_run: Vec<String>,
+    }
+
+    impl LibSimAdaptor for ToyAdaptor {
+        fn get_metadata(&self) -> SimulationMetaData {
+            SimulationMetaData {
+                name: "toy".into(),
+                cycle: self.cycle,
+                time: self.cycle as f64 * 0.5,
+                meshes: vec![MeshMetaData {
+                    name: "grid".into(),
+                    topological_dim: 3,
+                    num_domains: 1,
+                    axis_labels: ["x".into(), "y".into(), "z".into()],
+                    axis_units: ["m".into(), "m".into(), "m".into()],
+                }],
+                variables: vec![VariableMetaData {
+                    name: "ramp".into(),
+                    mesh: "grid".into(),
+                    units: "K".into(),
+                    nodal: true,
+                }],
+                commands: vec!["halt".into()],
+            }
+        }
+
+        fn get_mesh(&self, name: &str) -> Option<MeshData> {
+            (name == "grid").then(|| MeshData {
+                x: (0..8).map(|v| v as f64).collect(),
+                y: (0..8).map(|v| v as f64).collect(),
+                z: (0..8).map(|v| v as f64).collect(),
+            })
+        }
+
+        fn get_variable(&self, name: &str) -> Option<VariableData> {
+            (name == "ramp").then(|| VariableData {
+                values: (0..512).map(|v| v as f64).collect(),
+                shape: (8, 8, 8),
+            })
+        }
+
+        fn get_domain_list(&self, _mesh: &str) -> Vec<usize> {
+            vec![0]
+        }
+
+        fn execute_command(&mut self, command: &str) {
+            self.commands_run.push(command.to_string());
+        }
+    }
+
+    #[test]
+    fn timestep_runs_all_kernels_and_blocks() {
+        let mut adaptor = ToyAdaptor { cycle: 4, commands_run: vec![] };
+        let mut session = SyncVisItSession::new();
+        session.initialize("toy");
+        assert_eq!(session.sim_file(), Some("toy.sim2"));
+        let report = session.timestep(&mut adaptor);
+        assert_eq!(report.cycle, 4);
+        assert_eq!(report.isosurfaces.len(), 1);
+        assert!(report.isosurfaces[0].1.active_cells > 0, "ramp crosses mid-value");
+        assert_eq!(report.histograms[0].1.total(), 512);
+        assert!(report.blocked_seconds > 0.0);
+        assert_eq!(session.reports().len(), 1);
+        assert!(session.total_blocked_seconds() > 0.0);
+    }
+
+    #[test]
+    fn missing_variable_is_skipped() {
+        struct Empty;
+        impl LibSimAdaptor for Empty {
+            fn get_metadata(&self) -> SimulationMetaData {
+                SimulationMetaData {
+                    name: "e".into(),
+                    cycle: 0,
+                    time: 0.0,
+                    meshes: vec![],
+                    variables: vec![VariableMetaData {
+                        name: "ghost".into(),
+                        mesh: "none".into(),
+                        units: String::new(),
+                        nodal: true,
+                    }],
+                    commands: vec![],
+                }
+            }
+            fn get_mesh(&self, _: &str) -> Option<MeshData> {
+                None
+            }
+            fn get_variable(&self, _: &str) -> Option<VariableData> {
+                None
+            }
+            fn get_domain_list(&self, _: &str) -> Vec<usize> {
+                vec![0]
+            }
+            fn execute_command(&mut self, _: &str) {}
+        }
+        let mut session = SyncVisItSession::new();
+        session.initialize("empty");
+        let report = session.timestep(&mut Empty);
+        assert!(report.isosurfaces.is_empty());
+    }
+
+    #[test]
+    fn command_callback_plumbed() {
+        let mut adaptor = ToyAdaptor { cycle: 0, commands_run: vec![] };
+        adaptor.execute_command("halt");
+        assert_eq!(adaptor.commands_run, vec!["halt"]);
+    }
+}

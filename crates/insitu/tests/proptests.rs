@@ -1,0 +1,84 @@
+//! Property tests for the analysis kernels: conservation, bounds and
+//! panic-freedom on arbitrary grids.
+
+use insitu::kernels::{histogram, isosurface, render, slice, Grid3};
+use proptest::prelude::*;
+
+fn grid_strategy() -> impl Strategy<Value = (Vec<f64>, usize, usize, usize)> {
+    (2usize..10, 2usize..10, 2usize..8).prop_flat_map(|(nx, ny, nz)| {
+        proptest::collection::vec(-1e6f64..1e6, nx * ny * nz)
+            .prop_map(move |data| (data, nx, ny, nz))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Histogram conserves the sample count and covers the value range.
+    #[test]
+    fn histogram_conserves_counts((data, nx, ny, nz) in grid_strategy(), bins in 1usize..64) {
+        let g = Grid3::new(&data, nx, ny, nz);
+        let h = histogram(&g, bins);
+        prop_assert_eq!(h.total(), (nx * ny * nz) as u64);
+        prop_assert!(h.min <= h.max);
+        prop_assert_eq!(h.counts.len(), bins.max(1));
+    }
+
+    /// Isosurface census is bounded by grid geometry: at most all cells
+    /// active, at most 12 crossed edges per active cell.
+    #[test]
+    fn isosurface_bounds((data, nx, ny, nz) in grid_strategy(), iso in -1e6f64..1e6) {
+        let g = Grid3::new(&data, nx, ny, nz);
+        let census = isosurface(&g, iso);
+        let cells = (nx - 1) * (ny - 1) * (nz - 1);
+        prop_assert_eq!(census.total_cells, cells);
+        prop_assert!(census.active_cells <= cells);
+        prop_assert!(census.crossed_edges <= census.active_cells * 12);
+        if census.active_cells > 0 {
+            prop_assert!(census.crossed_edges >= census.active_cells * 3,
+                "a crossed cell has at least 3 crossed edges");
+        }
+    }
+
+    /// The isovalue below the minimum (or above the maximum) yields an
+    /// empty surface.
+    #[test]
+    fn isosurface_outside_range_is_empty((data, nx, ny, nz) in grid_strategy()) {
+        let g = Grid3::new(&data, nx, ny, nz);
+        let (min, max) = g.min_max();
+        prop_assert_eq!(isosurface(&g, min - 1.0).active_cells, 0);
+        prop_assert_eq!(isosurface(&g, max + 1.0).active_cells, 0);
+    }
+
+    /// Rendering normalizes into [0, 1] and the framebuffer matches the
+    /// grid footprint.
+    #[test]
+    fn render_normalized((data, nx, ny, nz) in grid_strategy()) {
+        let g = Grid3::new(&data, nx, ny, nz);
+        let fb = render(&g);
+        prop_assert_eq!(fb.width, nx);
+        prop_assert_eq!(fb.height, ny);
+        prop_assert_eq!(fb.pixels.len(), nx * ny);
+        prop_assert!(fb.pixels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // The global maximum column must be fully bright somewhere unless
+        // the field is constant.
+        let (min, max) = g.min_max();
+        if max > min {
+            prop_assert!(fb.pixels.iter().any(|&p| p >= 1.0 - 1e-6));
+        }
+    }
+
+    /// Slices reproduce exactly the stored plane.
+    #[test]
+    fn slice_matches_storage((data, nx, ny, nz) in grid_strategy(), pick in any::<usize>()) {
+        let g = Grid3::new(&data, nx, ny, nz);
+        let k = pick % nz;
+        let plane = slice(&g, k);
+        prop_assert_eq!(plane.len(), nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                prop_assert_eq!(plane[j * nx + i], g.at(i, j, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Plain-old-data marker for message payloads.
+
+use bytes::Bytes;
+
+/// Types that can be transported through mini-mpi messages by memcpy.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, contain no padding bytes and accept any bit
+/// pattern. All primitive numeric types qualify.
+pub unsafe trait MpiData: Copy + Send + 'static {}
+
+macro_rules! impl_mpidata {
+    ($($t:ty),*) => { $( unsafe impl MpiData for $t {} )* };
+}
+impl_mpidata!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+/// Serialize a typed slice into an owned byte buffer.
+pub fn to_bytes<T: MpiData>(data: &[T]) -> Bytes {
+    // SAFETY: MpiData guarantees no padding and no invalid bit patterns.
+    let raw = unsafe {
+        std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
+    };
+    Bytes::copy_from_slice(raw)
+}
+
+/// Deserialize a byte buffer produced by [`to_bytes`] back into a vector.
+///
+/// Panics if the byte length is not a multiple of `size_of::<T>()` — that is
+/// a type mismatch between sender and receiver.
+pub fn from_bytes<T: MpiData>(bytes: &Bytes) -> Vec<T> {
+    let size = std::mem::size_of::<T>();
+    assert_eq!(
+        bytes.len() % size,
+        0,
+        "received {} bytes, not a whole number of {}-byte elements",
+        bytes.len(),
+        size
+    );
+    let n = bytes.len() / size;
+    let mut out = Vec::with_capacity(n);
+    // SAFETY: any bit pattern is a valid T; alignment handled by copying.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, bytes.len());
+        out.set_len(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let data = vec![1.5f64, -2.25, f64::INFINITY, 0.0];
+        assert_eq!(from_bytes::<f64>(&to_bytes(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_u8_odd_lengths() {
+        let data = vec![1u8, 2, 3];
+        assert_eq!(from_bytes::<u8>(&to_bytes(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let data: Vec<u32> = vec![];
+        assert_eq!(from_bytes::<u32>(&to_bytes(&data)), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number")]
+    fn type_mismatch_panics() {
+        let data = vec![1u8, 2, 3];
+        let _ = from_bytes::<u32>(&to_bytes(&data));
+    }
+
+    #[test]
+    fn nan_payload_bit_exact() {
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        let back = from_bytes::<f64>(&to_bytes(&[weird]));
+        assert_eq!(back[0].to_bits(), weird.to_bits());
+    }
+}

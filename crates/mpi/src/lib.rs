@@ -1,0 +1,62 @@
+//! # mini-mpi
+//!
+//! An in-process, MPI-like message-passing runtime. **Ranks are OS threads**
+//! inside one process; the API mirrors the subset of MPI that the Damaris
+//! middleware and its baselines actually use:
+//!
+//! * point-to-point: [`Comm::send`] / [`Comm::recv`] with tag matching and
+//!   any-source receives (eager, buffered semantics — sends never block),
+//! * collectives: [`Comm::barrier`], [`Comm::bcast`], [`Comm::reduce`],
+//!   [`Comm::allreduce`], [`Comm::gather`], [`Comm::all_gather`],
+//!   [`Comm::scatter`], [`Comm::alltoall`],
+//! * communicator management: [`Comm::split`] — exactly what Damaris does
+//!   with `MPI_Comm_split` to separate dedicated cores from compute cores —
+//!   and [`Comm::dup`],
+//! * per-communicator **traffic accounting** ([`Comm::traffic`]): the
+//!   evaluation uses it to show how much data two-phase collective I/O
+//!   shuffles between processes versus Damaris' zero inter-node
+//!   communication.
+//!
+//! ## Why not real MPI?
+//!
+//! The paper ran on Kraken's Cray MPT. Offline, the `rsmpi` bindings require
+//! a system MPI that does not exist here; more importantly, the experiments
+//! at 9216 ranks are replayed by the `cluster-sim` discrete-event simulator
+//! anyway. What the *middleware* needs from MPI — identity, grouping, and
+//! collective data movement with the right volumes — is preserved exactly.
+//!
+//! ## Example
+//!
+//! ```
+//! use mini_mpi::World;
+//!
+//! let sums = World::run(4, |comm| {
+//!     let contribution = vec![comm.rank() as u64 + 1];
+//!     let total = comm.allreduce(&contribution, |a, b| *a += b);
+//!     total[0]
+//! });
+//! assert_eq!(sums, vec![10, 10, 10, 10]);
+//! ```
+
+pub mod comm;
+pub mod datatype;
+pub mod world;
+
+pub use comm::{Comm, Traffic};
+pub use datatype::MpiData;
+pub use world::World;
+
+/// Receive matcher: either a specific source rank or any source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Match only messages from this rank (communicator-relative).
+    Rank(usize),
+    /// Match a message from any rank.
+    Any,
+}
+
+impl From<usize> for Source {
+    fn from(r: usize) -> Self {
+        Source::Rank(r)
+    }
+}

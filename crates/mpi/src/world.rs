@@ -1,0 +1,163 @@
+//! World construction and rank mailboxes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::Comm;
+
+/// A message in flight: communicator context, source (communicator-relative
+/// rank), tag, payload.
+pub(crate) struct Envelope {
+    pub ctx: u64,
+    pub src: usize,
+    pub tag: u64,
+    pub payload: Bytes,
+}
+
+/// One rank's incoming-message buffer.
+pub(crate) struct Mailbox {
+    pub queue: Mutex<Vec<Envelope>>,
+    pub arrived: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox { queue: Mutex::new(Vec::new()), arrived: Condvar::new() }
+    }
+}
+
+pub(crate) struct WorldInner {
+    pub mailboxes: Vec<Mailbox>,
+    /// Allocator for communicator context ids (world = 0).
+    pub next_ctx: AtomicU64,
+    /// Total bytes moved through point-to-point sends (collectives included,
+    /// since they are built on p2p).
+    pub bytes_sent: AtomicU64,
+    /// Total messages sent.
+    pub messages_sent: AtomicU64,
+}
+
+/// Handle to a running world (shared by all ranks).
+///
+/// Created indirectly through [`World::run`]; exposes global traffic
+/// statistics once the ranks have finished.
+pub struct World;
+
+impl World {
+    /// Spawn `size` ranks, each running `f` with its own world communicator,
+    /// and return their results in rank order.
+    ///
+    /// Panics in any rank propagate after all ranks have been joined, so a
+    /// failing test names the guilty rank instead of deadlocking.
+    pub fn run<R, F>(size: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        Self::run_with_stats(size, f).0
+    }
+
+    /// Like [`World::run`], also returning `(bytes_sent, messages_sent)`
+    /// accumulated across all communicators.
+    pub fn run_with_stats<R, F>(size: usize, f: F) -> (Vec<R>, u64, u64)
+    where
+        R: Send + 'static,
+        F: Fn(&mut Comm) -> R + Send + Sync + 'static,
+    {
+        assert!(size > 0, "world size must be positive");
+        let inner = Arc::new(WorldInner {
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            next_ctx: AtomicU64::new(1),
+            bytes_sent: AtomicU64::new(0),
+            messages_sent: AtomicU64::new(0),
+        });
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(size);
+        for rank in 0..size {
+            let inner = inner.clone();
+            let f = f.clone();
+            let members: Arc<Vec<usize>> = Arc::new((0..size).collect());
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mini-mpi-rank-{rank}"))
+                    .spawn(move || {
+                        let mut comm = Comm::new_world(inner, rank, members);
+                        f(&mut comm)
+                    })
+                    .expect("failed to spawn rank thread"),
+            );
+        }
+        let mut results = Vec::with_capacity(size);
+        let mut panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    if panic.is_none() {
+                        panic = Some((rank, e));
+                    }
+                }
+            }
+        }
+        if let Some((rank, e)) = panic {
+            let msg = e
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| e.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("rank {rank} panicked: {msg}");
+        }
+        let bytes = inner.bytes_sent.load(Ordering::Relaxed);
+        let msgs = inner.messages_sent.load(Ordering::Relaxed);
+        (results, bytes, msgs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |comm| (comm.rank(), comm.size()));
+        assert_eq!(out, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = World::run(8, |comm| comm.rank() * 10);
+        assert_eq!(out, (0..8).map(|r| r * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (_, bytes, msgs) = World::run_with_stats(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[1u64, 2, 3]);
+            } else {
+                let _: Vec<u64> = comm.recv(crate::Source::Rank(0), 0);
+            }
+        });
+        assert_eq!(bytes, 24);
+        assert_eq!(msgs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn rank_panic_propagates_with_rank_id() {
+        World::run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be positive")]
+    fn zero_size_rejected() {
+        World::run(0, |_| ());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: collectives agree with sequential reference
+//! computations for arbitrary inputs and world sizes.
+
+use mini_mpi::World;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// allreduce(+) equals the element-wise sum of all contributions.
+    #[test]
+    fn allreduce_sum_matches_reference(
+        size in 1usize..9,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic per-rank contributions derived from the seed.
+        let contrib = move |rank: usize| -> Vec<i64> {
+            (0..len)
+                .map(|i| {
+                    let x = seed
+                        .wrapping_mul(0x9e3779b97f4a7c15)
+                        .wrapping_add((rank * 131 + i) as u64);
+                    (x >> 17) as i64 % 1000 - 500
+                })
+                .collect()
+        };
+        let expected: Vec<i64> = (0..size).map(contrib).fold(vec![0i64; len], |mut acc, v| {
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += x;
+            }
+            acc
+        });
+        let results = World::run(size, move |comm| {
+            comm.allreduce(&contrib(comm.rank()), |a, b| *a += b)
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    /// alltoall is a transpose: out[i][..] on rank j == in[j][..] on rank i.
+    #[test]
+    fn alltoall_is_transpose(size in 1usize..7, seed in any::<u32>()) {
+        let cell = move |from: usize, to: usize| -> Vec<u32> {
+            vec![seed ^ (from * 100 + to) as u32; (from + to) % 3 + 1]
+        };
+        let results = World::run(size, move |comm| {
+            let chunks: Vec<Vec<u32>> = (0..size).map(|to| cell(comm.rank(), to)).collect();
+            comm.alltoall(chunks)
+        });
+        for (to, received) in results.iter().enumerate() {
+            for (from, payload) in received.iter().enumerate() {
+                prop_assert_eq!(payload, &cell(from, to), "cell {}→{}", from, to);
+            }
+        }
+    }
+
+    /// bcast delivers the root's payload bit-exactly to every rank.
+    #[test]
+    fn bcast_delivers_everywhere(
+        size in 1usize..9,
+        root_pick in any::<usize>(),
+        payload in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let root = root_pick % size;
+        let expected = payload.clone();
+        let results = World::run(size, move |comm| {
+            let data = if comm.rank() == root { payload.clone() } else { Vec::new() };
+            comm.bcast(root, &data)
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    /// gather at an arbitrary root reassembles every contribution in order.
+    #[test]
+    fn gather_reassembles(size in 1usize..8, root_pick in any::<usize>()) {
+        let root = root_pick % size;
+        let results = World::run(size, move |comm| {
+            let contrib: Vec<u16> = vec![comm.rank() as u16; comm.rank() + 1];
+            comm.gather(root, &contrib)
+        });
+        for (rank, res) in results.iter().enumerate() {
+            if rank == root {
+                let parts = res.as_ref().expect("root gets the data");
+                for (r, part) in parts.iter().enumerate() {
+                    prop_assert_eq!(part, &vec![r as u16; r + 1]);
+                }
+            } else {
+                prop_assert!(res.is_none());
+            }
+        }
+    }
+
+    /// split partitions ranks: each subgroup sums exactly its members.
+    #[test]
+    fn split_partitions(size in 2usize..9, colors in any::<u64>()) {
+        let color_of = move |rank: usize| (colors >> (rank % 16)) & 1;
+        let results = World::run(size, move |comm| {
+            let sub = comm.split(Some(color_of(comm.rank())), 0).expect("member");
+            sub.allreduce(&[comm.rank() as u64], |a, b| *a += b)[0]
+        });
+        for (rank, &sum) in results.iter().enumerate() {
+            let expected: u64 = (0..size)
+                .filter(|&r| color_of(r) == color_of(rank))
+                .map(|r| r as u64)
+                .sum();
+            prop_assert_eq!(sum, expected, "rank {}", rank);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! # pfs-sim
+//!
+//! A queueing model of a **Lustre-like parallel file system** in virtual
+//! time: one metadata server (MDS), `n` object storage targets (OSTs),
+//! striping, stream-interference, shared-file extent-lock contention, and
+//! heavy-tailed service jitter.
+//!
+//! The Damaris paper's evaluation numbers are queueing phenomena:
+//!
+//! * **file-per-process** floods the MDS with one create per rank per dump
+//!   and spreads ~27 concurrent streams over every OST of Kraken at 9216
+//!   ranks — interference throttles the aggregate to < 1.7 GB/s (§IV.C);
+//! * **collective (two-phase) I/O** writes one shared file striped over all
+//!   OSTs; every OST then sees hundreds of writers whose extent locks
+//!   ping-pong, collapsing throughput to ~0.5 GB/s (§IV.C) and stretching
+//!   the I/O phase to 800 s (§IV.A);
+//! * **Damaris** writes one file per *node* (768 streams, ~2.3 per OST):
+//!   near-streaming efficiency, ~10 GB/s, and with scheduling that caps
+//!   concurrent writers per OST, ~12.7 GB/s (§IV.C–D);
+//! * run-to-run **variability** of "several orders of magnitude" (§IV.B)
+//!   comes from lock queues, MDS queues and background traffic — modeled
+//!   with log-normal chunk jitter plus background-load episodes.
+//!
+//! The model is phase-oriented: the caller (the `cluster-sim` engine or a
+//! test) submits a batch of [`WriteRequest`]s with arrival times and gets
+//! back per-request [`WriteOutcome`]s in virtual seconds. All randomness is
+//! seeded and deterministic.
+//!
+//! ```
+//! use pfs_sim::{FileSpec, Pfs, PfsConfig, WriteRequest};
+//!
+//! let mut pfs = Pfs::new(PfsConfig::kraken_lustre().without_jitter(), 42);
+//! // 768 "dedicated cores" each writing one 495 MiB node file.
+//! let reqs: Vec<WriteRequest> = (0..768)
+//!     .map(|c| WriteRequest::new(0.0, c, 495 << 20, FileSpec::private(c, true)))
+//!     .collect();
+//! let phase = pfs.simulate_writes(&reqs);
+//! let gbps = phase.aggregate_throughput() / 1e9;
+//! assert!(gbps > 8.0 && gbps < 14.0, "Damaris-style writes: {gbps:.1} GB/s");
+//! ```
+
+pub mod model;
+pub mod request;
+pub mod rng;
+pub mod stats;
+
+pub use model::Pfs;
+pub use request::{FileSpec, WriteRequest};
+pub use stats::{PhaseOutcome, WriteOutcome};
+
+/// Background-traffic episodes: other applications hammering the file
+/// system (the paper names them as a major source of variability).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackgroundLoad {
+    /// Fraction of time the storage system is degraded, in `[0, 1)`.
+    pub duty_cycle: f64,
+    /// Bandwidth multiplier while degraded, in `(0, 1]`.
+    pub slowdown: f64,
+}
+
+/// Configuration of the file-system model. All times in seconds, sizes in
+/// bytes, bandwidths in bytes/second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PfsConfig {
+    /// Number of object storage targets.
+    pub n_osts: usize,
+    /// Peak streaming bandwidth of one OST serving a single stream.
+    pub ost_bandwidth: f64,
+    /// Stream-interference coefficient (see [`PfsConfig::efficiency`]):
+    /// past the knee, an OST serving `n` distinct streams delivers
+    /// `1 / (1 + alpha * (n - knee))` of its peak.
+    pub interference_alpha: f64,
+    /// Number of concurrent streams an OST absorbs at full speed
+    /// (write-back cache + elevator merging).
+    pub interference_knee: usize,
+    /// Efficiency floor: with very deep queues, request batching keeps
+    /// per-OST efficiency from collapsing to zero.
+    pub interference_floor: f64,
+    /// Stripe unit: requests are split into chunks of this many bytes.
+    pub stripe_size: u64,
+    /// MDS service time for a file create.
+    pub mds_create_s: f64,
+    /// MDS service time for opening an existing file.
+    pub mds_open_s: f64,
+    /// Extent-lock handoff cost paid when consecutive chunks of a shared
+    /// file on one OST come from different clients.
+    pub lock_switch_s: f64,
+    /// Log-normal sigma applied per chunk (0 disables jitter).
+    pub jitter_sigma: f64,
+    /// Optional background-traffic degradation.
+    pub background: Option<BackgroundLoad>,
+}
+
+impl PfsConfig {
+    /// Kraken-class Lustre (Cray XT5; the paper's §IV platform).
+    ///
+    /// Calibration (documented so EXPERIMENTS.md can reference it):
+    /// * 336 OSTs × 40 MB/s effective ⇒ 13.4 GB/s streaming ceiling;
+    /// * knee 4 / `alpha = 0.3` / floor 0.04 fits the paper's three fixed
+    ///   points simultaneously:
+    ///   - 2–3 streams/OST (Damaris, 768 node files) sit below the knee at
+    ///     full efficiency ⇒ ≈ 10 GB/s once OST-load imbalance is counted,
+    ///   - ~27 streams/OST (file-per-process at 9216 ranks) ⇒
+    ///     eff ≈ 0.127 ⇒ ≈ 1.7 GB/s,
+    ///   - hundreds of writers per OST (collective shared file) hit the
+    ///     floor ⇒ with extent-lock handoffs ≈ 0.5 GB/s;
+    /// * `lock_switch_s = 0.8 ms` per competing writer is the extent-lock
+    ///   revoke cost behind the collective collapse;
+    /// * MDS ≈ 3000 creates/s: 9216 creates ⇒ ≈ 3 s of pure metadata wait.
+    pub fn kraken_lustre() -> Self {
+        PfsConfig {
+            n_osts: 336,
+            ost_bandwidth: 40.0e6,
+            interference_alpha: 0.3,
+            interference_knee: 4,
+            interference_floor: 0.04,
+            stripe_size: 4 << 20,
+            mds_create_s: 1.0 / 3000.0,
+            mds_open_s: 1.0 / 12000.0,
+            lock_switch_s: 0.8e-3,
+            jitter_sigma: 0.35,
+            background: Some(BackgroundLoad { duty_cycle: 0.08, slowdown: 0.45 }),
+        }
+    }
+
+    /// Grid'5000-class cluster storage (PVFS; the paper's §V.C platform):
+    /// fewer, slower servers, no extent locks (PVFS does not lock), higher
+    /// relative jitter.
+    pub fn grid5000_pvfs() -> Self {
+        PfsConfig {
+            n_osts: 24,
+            ost_bandwidth: 60.0e6,
+            interference_alpha: 0.2,
+            interference_knee: 3,
+            interference_floor: 0.05,
+            stripe_size: 1 << 20,
+            mds_create_s: 1.0 / 1500.0,
+            mds_open_s: 1.0 / 6000.0,
+            lock_switch_s: 0.0,
+            jitter_sigma: 0.45,
+            background: Some(BackgroundLoad { duty_cycle: 0.12, slowdown: 0.5 }),
+        }
+    }
+
+    /// Disable all stochastic effects (unit tests, calibration fits).
+    pub fn without_jitter(mut self) -> Self {
+        self.jitter_sigma = 0.0;
+        self.background = None;
+        self
+    }
+
+    /// Replace the OST count (scaling studies).
+    pub fn with_osts(mut self, n: usize) -> Self {
+        self.n_osts = n;
+        self
+    }
+
+    /// Streaming ceiling: every OST at peak simultaneously.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.n_osts as f64 * self.ost_bandwidth
+    }
+
+    /// The interference efficiency function:
+    ///
+    /// ```text
+    /// eff(n) = 1                                   for n ≤ knee
+    /// eff(n) = max(floor, 1 / (1 + α (n − knee)))  for n > knee
+    /// ```
+    ///
+    /// A few streams are absorbed by write-back caching and elevator
+    /// merging (the knee); beyond it, head movement and cache thrash cut
+    /// efficiency roughly hyperbolically; very deep queues re-batch enough
+    /// sequential work that efficiency saturates at the floor.
+    pub fn efficiency(&self, streams: usize) -> f64 {
+        if streams <= self.interference_knee.max(1) {
+            1.0
+        } else {
+            let excess = (streams - self.interference_knee) as f64;
+            (1.0 / (1.0 + self.interference_alpha * excess)).max(self.interference_floor)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kraken_fixed_points() {
+        let cfg = PfsConfig::kraken_lustre();
+        // File-per-process: 9216 files over 336 OSTs ≈ 27.4 streams each.
+        let fpp = cfg.peak_bandwidth() * cfg.efficiency(27);
+        assert!(
+            (1.2e9..2.2e9).contains(&fpp),
+            "FPP regime should land near 1.7 GB/s, got {:.2e}",
+            fpp
+        );
+        // Damaris: 768 node files, 2–3 streams per OST — below the knee.
+        assert_eq!(cfg.efficiency(2), 1.0);
+        assert_eq!(cfg.efficiency(3), 1.0);
+        // Collective: hundreds of writers per OST — at the floor.
+        assert_eq!(cfg.efficiency(300), cfg.interference_floor);
+        assert!(cfg.peak_bandwidth() > 13.0e9);
+    }
+
+    #[test]
+    fn efficiency_monotone_nonincreasing() {
+        let cfg = PfsConfig::kraken_lustre();
+        assert_eq!(cfg.efficiency(0), 1.0);
+        assert_eq!(cfg.efficiency(1), 1.0);
+        let mut prev = 1.0;
+        for n in 2..1000 {
+            let e = cfg.efficiency(n);
+            assert!(e <= prev, "eff must never increase");
+            assert!(e >= cfg.interference_floor);
+            prev = e;
+        }
+        assert_eq!(cfg.efficiency(1000), cfg.interference_floor);
+    }
+
+    #[test]
+    fn without_jitter_strips_randomness() {
+        let cfg = PfsConfig::kraken_lustre().without_jitter();
+        assert_eq!(cfg.jitter_sigma, 0.0);
+        assert!(cfg.background.is_none());
+    }
+}

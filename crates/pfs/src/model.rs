@@ -1,0 +1,438 @@
+//! The file-system model: MDS queue, striping, OST service with
+//! interference, extent locks, jitter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::request::WriteRequest;
+use crate::rng::lognormal_unit_mean;
+use crate::stats::{PhaseOutcome, WriteOutcome};
+use crate::PfsConfig;
+
+/// A Lustre-like parallel file system in virtual time.
+///
+/// State (MDS and OST availability) persists across
+/// [`Pfs::simulate_writes`] calls, so consecutive I/O phases queue up
+/// naturally behind each other.
+pub struct Pfs {
+    cfg: PfsConfig,
+    rng: StdRng,
+    mds_next_free: f64,
+    ost_next_free: Vec<f64>,
+}
+
+/// One stripe-sized unit of work bound for a single OST.
+struct Chunk {
+    ready: f64,
+    req_idx: usize,
+    client: u64,
+    file: u64,
+    shared: bool,
+    bytes: u64,
+    /// Position of this chunk within its request (interleaving key).
+    seq: u64,
+}
+
+impl Pfs {
+    /// Create a file system with the given configuration and RNG seed.
+    pub fn new(cfg: PfsConfig, seed: u64) -> Self {
+        assert!(cfg.n_osts > 0, "need at least one OST");
+        assert!(cfg.ost_bandwidth > 0.0, "OST bandwidth must be positive");
+        assert!(cfg.stripe_size > 0, "stripe size must be positive");
+        let n = cfg.n_osts;
+        Pfs {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            mds_next_free: 0.0,
+            ost_next_free: vec![0.0; n],
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PfsConfig {
+        &self.cfg
+    }
+
+    /// Virtual time at which the MDS becomes idle.
+    pub fn mds_backlog_until(&self) -> f64 {
+        self.mds_next_free
+    }
+
+    /// Reset all queues to idle (fresh run with the same calibration).
+    pub fn reset(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.mds_next_free = 0.0;
+        self.ost_next_free.fill(0.0);
+    }
+
+    /// Simulate a batch of write requests; returns per-request timings.
+    ///
+    /// The model, in order:
+    /// 1. every request passes the single MDS FIFO (create or open cost),
+    /// 2. its bytes are split into stripe-size chunks, distributed
+    ///    round-robin over the file's OSTs (chosen by file-id hash),
+    /// 3. each OST serves chunks FIFO; the service rate of a chunk is
+    ///    `ost_bandwidth × eff(active streams)` where `eff` is the
+    ///    configured interference curve, times a log-normal jitter
+    ///    multiplier and a background-load multiplier,
+    /// 4. consecutive chunks of a *shared* file from different clients pay
+    ///    the extent-lock handoff: `lock_switch_s × (active − 1)`.
+    pub fn simulate_writes(&mut self, requests: &[WriteRequest]) -> PhaseOutcome {
+        let n_reqs = requests.len();
+        let mut outcomes: Vec<WriteOutcome> = requests
+            .iter()
+            .map(|r| WriteOutcome {
+                client: r.client,
+                arrival: r.arrival,
+                mds_done: r.arrival,
+                finish: r.arrival,
+                bytes: r.bytes,
+                lock_wait: 0.0,
+            })
+            .collect();
+
+        // ---- 1. MDS pass, in arrival order ----
+        let mut order: Vec<usize> = (0..n_reqs).collect();
+        order.sort_by(|&a, &b| {
+            requests[a]
+                .arrival
+                .partial_cmp(&requests[b].arrival)
+                .expect("arrivals are finite")
+        });
+        for &i in &order {
+            let r = &requests[i];
+            let op = if r.file.needs_create { self.cfg.mds_create_s } else { self.cfg.mds_open_s };
+            let start = self.mds_next_free.max(r.arrival);
+            let done = start + op * lognormal_unit_mean(&mut self.rng, self.cfg.jitter_sigma);
+            self.mds_next_free = done;
+            outcomes[i].mds_done = done;
+        }
+
+        // ---- 2. chunking & striping ----
+        let n_osts = self.cfg.n_osts;
+        let mut per_ost: Vec<Vec<Chunk>> = (0..n_osts).map(|_| Vec::new()).collect();
+        for (i, r) in requests.iter().enumerate() {
+            if r.bytes == 0 {
+                continue;
+            }
+            let sc = if r.file.stripe_count == 0 {
+                n_osts
+            } else {
+                r.file.stripe_count.min(n_osts)
+            };
+            // Lustre's allocator hands out starting OSTs round-robin, so
+            // sequential file ids spread evenly — that balance is exactly
+            // what lets one-file-per-node writes run near the knee.
+            let base = (r.file.id as usize) % n_osts;
+            let stripe = self.cfg.stripe_size;
+            let n_chunks = r.bytes.div_ceil(stripe);
+            for c in 0..n_chunks {
+                let bytes = stripe.min(r.bytes - c * stripe);
+                // The OST follows the absolute file offset (writer's
+                // region offset + chunk index), as Lustre striping does.
+                let ost = (base + ((r.stripe_offset + c) as usize % sc)) % n_osts;
+                per_ost[ost].push(Chunk {
+                    ready: outcomes[i].mds_done,
+                    req_idx: i,
+                    client: r.client,
+                    file: r.file.id,
+                    shared: r.file.shared,
+                    bytes,
+                    seq: c,
+                });
+            }
+        }
+
+        // ---- 3./4. per-OST round-robin service ----
+        //
+        // Each client streams its chunks sequentially; the OST round-robins
+        // among the clients whose next chunk is ready ("armed"). This is
+        // what makes concurrent streams *interleave* — the very mechanism
+        // behind interference. Clients whose chunks only become ready later
+        // (staggered arrivals, MDS queueing) wait in a ready-time heap.
+        use std::cmp::Reverse;
+        use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+        for (ost, chunks) in per_ost.into_iter().enumerate() {
+            if chunks.is_empty() {
+                continue;
+            }
+            // Group chunks per client, each client's queue in issue order.
+            let mut queues: HashMap<u64, VecDeque<Chunk>> = HashMap::new();
+            for c in chunks {
+                queues.entry(c.client).or_default().push_back(c);
+            }
+            for q in queues.values_mut() {
+                let mut v: Vec<Chunk> = q.drain(..).collect();
+                v.sort_by(|a, b| {
+                    a.ready
+                        .partial_cmp(&b.ready)
+                        .expect("times are finite")
+                        .then(a.seq.cmp(&b.seq))
+                });
+                q.extend(v);
+            }
+            // Pending clients keyed by (first-chunk ready, client id) for
+            // deterministic arming order; armed clients round-robin.
+            let mut pending: BinaryHeap<Reverse<(OrdF64, u64)>> = queues
+                .iter()
+                .map(|(&client, q)| {
+                    Reverse((OrdF64(q.front().expect("non-empty").ready), client))
+                })
+                .collect();
+            let mut armed: VecDeque<u64> = VecDeque::new();
+            let mut cursor = self.ost_next_free[ost];
+            let mut last_writer: HashMap<u64, u64> = HashMap::new(); // file -> client
+
+            loop {
+                // Arm every pending client whose first chunk is ready.
+                while let Some(&Reverse((OrdF64(t), client))) = pending.peek() {
+                    if t <= cursor {
+                        pending.pop();
+                        armed.push_back(client);
+                    } else {
+                        break;
+                    }
+                }
+                let client = match armed.pop_front() {
+                    Some(c) => c,
+                    None => match pending.pop() {
+                        // OST idle: jump to the next arrival.
+                        Some(Reverse((OrdF64(t), client))) => {
+                            cursor = cursor.max(t);
+                            client
+                        }
+                        None => break, // all served
+                    },
+                };
+                let queue = queues.get_mut(&client).expect("armed client has a queue");
+                let c = queue.pop_front().expect("armed client has a chunk");
+                let start = cursor.max(c.ready);
+                // Streams sharing the OST right now: this one plus armed.
+                let active = 1 + armed.len();
+                let eff = self.cfg.efficiency(active);
+                let mut service = c.bytes as f64 / (self.cfg.ost_bandwidth * eff);
+                service *= lognormal_unit_mean(&mut self.rng, self.cfg.jitter_sigma);
+                if let Some(bg) = self.cfg.background {
+                    if self.rng.random::<f64>() < bg.duty_cycle {
+                        service /= bg.slowdown;
+                    }
+                }
+                let mut lock = 0.0;
+                if c.shared {
+                    let prev = last_writer.insert(c.file, c.client);
+                    if prev != Some(c.client) && prev.is_some() {
+                        lock = self.cfg.lock_switch_s * active.saturating_sub(1) as f64;
+                    }
+                }
+                let finish = start + lock + service;
+                cursor = finish;
+                let o = &mut outcomes[c.req_idx];
+                o.finish = o.finish.max(finish);
+                o.lock_wait += lock;
+                // Re-queue the client if it has more work.
+                match queue.front() {
+                    Some(next) if next.ready <= cursor => armed.push_back(client),
+                    Some(next) => pending.push(Reverse((OrdF64(next.ready), client))),
+                    None => {}
+                }
+            }
+            self.ost_next_free[ost] = cursor;
+        }
+
+        PhaseOutcome { outcomes }
+    }
+}
+
+/// Total order over finite f64 times (heap key).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("virtual times are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::FileSpec;
+
+    fn quiet(cfg: PfsConfig) -> Pfs {
+        Pfs::new(cfg.without_jitter(), 1)
+    }
+
+    fn req(client: u64, bytes: u64, file: FileSpec) -> WriteRequest {
+        WriteRequest::new(0.0, client, bytes, file)
+    }
+
+    #[test]
+    fn single_stream_gets_peak_bandwidth() {
+        let cfg = PfsConfig::kraken_lustre();
+        let mut pfs = quiet(cfg.clone());
+        let phase =
+            pfs.simulate_writes(&[req(0, 400 << 20, FileSpec::private(0, true))]);
+        let expect = (400 << 20) as f64 / cfg.ost_bandwidth;
+        let got = phase.outcomes[0].duration();
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "expected ≈{expect:.1}s at peak, got {got:.1}s"
+        );
+    }
+
+    #[test]
+    fn interference_throttles_many_streams_on_one_ost() {
+        let cfg = PfsConfig::kraken_lustre().with_osts(1);
+        let mut pfs = quiet(cfg.clone());
+        let reqs: Vec<WriteRequest> =
+            (0..27).map(|c| req(c, 45 << 20, FileSpec::private(c, true))).collect();
+        let phase = pfs.simulate_writes(&reqs);
+        let agg = phase.aggregate_throughput();
+        let ideal = cfg.ost_bandwidth;
+        assert!(
+            agg < ideal * 0.2,
+            "27 streams should collapse to ≲13 % of peak, got {:.1} %",
+            100.0 * agg / ideal
+        );
+    }
+
+    #[test]
+    fn few_streams_keep_near_peak() {
+        let cfg = PfsConfig::kraken_lustre().with_osts(1);
+        let mut pfs = quiet(cfg.clone());
+        let reqs: Vec<WriteRequest> =
+            (0..2).map(|c| req(c, 100 << 20, FileSpec::private(c, true))).collect();
+        let phase = pfs.simulate_writes(&reqs);
+        let agg = phase.aggregate_throughput();
+        assert!(
+            agg > cfg.ost_bandwidth * 0.9,
+            "2 streams sit below the knee: {:.2e} vs peak {:.2e}",
+            agg,
+            cfg.ost_bandwidth
+        );
+    }
+
+    #[test]
+    fn shared_file_pays_lock_handoffs() {
+        let cfg = PfsConfig::kraken_lustre().with_osts(4);
+        let shared: Vec<WriteRequest> = (0..32)
+            .map(|c| req(c, 16 << 20, FileSpec { id: 1, shared: true, stripe_count: 0, needs_create: c == 0 }))
+            .collect();
+        let private: Vec<WriteRequest> =
+            (0..32).map(|c| req(c, 16 << 20, FileSpec::private(c + 100, true))).collect();
+        let shared_span = quiet(cfg.clone()).simulate_writes(&shared).span();
+        let private_span = quiet(cfg).simulate_writes(&private).span();
+        assert!(
+            shared_span > private_span,
+            "shared-file writers must be slower: {shared_span:.2}s vs {private_span:.2}s"
+        );
+        let phase = quiet(PfsConfig::kraken_lustre().with_osts(4)).simulate_writes(&shared);
+        assert!(phase.outcomes.iter().any(|o| o.lock_wait > 0.0));
+    }
+
+    #[test]
+    fn mds_create_storm_queues() {
+        let cfg = PfsConfig::kraken_lustre();
+        let mut pfs = quiet(cfg.clone());
+        let reqs: Vec<WriteRequest> =
+            (0..9216).map(|c| req(c, 0, FileSpec::private(c, true))).collect();
+        let phase = pfs.simulate_writes(&reqs);
+        let last_mds = phase.outcomes.iter().map(|o| o.mds_done).fold(0.0, f64::max);
+        let expect = 9216.0 * cfg.mds_create_s;
+        assert!(
+            (last_mds - expect).abs() / expect < 0.01,
+            "MDS storm: expected ≈{expect:.2}s, got {last_mds:.2}s"
+        );
+    }
+
+    #[test]
+    fn striping_spreads_chunks() {
+        // One wide-striped file must finish ~stripe_count× faster than the
+        // same bytes on a single OST.
+        let cfg = PfsConfig::kraken_lustre().with_osts(8);
+        let wide = quiet(cfg.clone()).simulate_writes(&[req(
+            0,
+            256 << 20,
+            FileSpec { id: 3, shared: false, stripe_count: 0, needs_create: true },
+        )]);
+        let narrow =
+            quiet(cfg).simulate_writes(&[req(0, 256 << 20, FileSpec::private(3, true))]);
+        assert!(
+            wide.span() * 4.0 < narrow.span(),
+            "striping over 8 OSTs: {:.2}s vs {:.2}s",
+            wide.span(),
+            narrow.span()
+        );
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let cfg = PfsConfig::kraken_lustre();
+        let reqs: Vec<WriteRequest> =
+            (0..64).map(|c| req(c, 45 << 20, FileSpec::private(c, true))).collect();
+        let a = Pfs::new(cfg.clone(), 99).simulate_writes(&reqs);
+        let b = Pfs::new(cfg, 99).simulate_writes(&reqs);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn jitter_widens_the_distribution() {
+        let mk_reqs = || -> Vec<WriteRequest> {
+            (0..128).map(|c| req(c, 45 << 20, FileSpec::private(c, true))).collect()
+        };
+        let quiet_spread =
+            quiet(PfsConfig::kraken_lustre()).simulate_writes(&mk_reqs()).jitter().spread;
+        let noisy_spread = Pfs::new(PfsConfig::kraken_lustre(), 5)
+            .simulate_writes(&mk_reqs())
+            .jitter()
+            .spread;
+        assert!(
+            noisy_spread > quiet_spread,
+            "jitter must widen spread: {noisy_spread:.2} vs {quiet_spread:.2}"
+        );
+    }
+
+    #[test]
+    fn state_persists_across_phases() {
+        let cfg = PfsConfig::kraken_lustre().with_osts(1);
+        let mut pfs = quiet(cfg);
+        let first = pfs.simulate_writes(&[req(0, 40 << 20, FileSpec::private(0, true))]);
+        let second = pfs.simulate_writes(&[req(0, 40 << 20, FileSpec::private(1, true))]);
+        assert!(
+            second.outcomes[0].finish > first.outcomes[0].finish,
+            "second phase must queue behind the first"
+        );
+        pfs.reset(1);
+        let fresh = pfs.simulate_writes(&[req(0, 40 << 20, FileSpec::private(2, true))]);
+        assert!((fresh.outcomes[0].finish - first.outcomes[0].finish).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_respected() {
+        let cfg = PfsConfig::kraken_lustre();
+        let mut pfs = quiet(cfg);
+        let reqs =
+            vec![WriteRequest::new(100.0, 0, 4 << 20, FileSpec::private(0, true))];
+        let phase = pfs.simulate_writes(&reqs);
+        assert!(phase.outcomes[0].mds_done >= 100.0);
+        assert!(phase.outcomes[0].finish > 100.0);
+    }
+
+    #[test]
+    fn zero_byte_write_is_metadata_only() {
+        let mut pfs = quiet(PfsConfig::kraken_lustre());
+        let phase = pfs.simulate_writes(&[req(0, 0, FileSpec::private(0, true))]);
+        let o = phase.outcomes[0];
+        assert_eq!(o.finish, o.arrival, "no data chunks scheduled");
+        assert!(o.mds_done > 0.0);
+    }
+}

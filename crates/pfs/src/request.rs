@@ -1,0 +1,72 @@
+//! Write-request descriptions submitted to the model.
+
+/// How a request's bytes map onto files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileSpec {
+    /// File identity; requests with the same id target the same file.
+    pub id: u64,
+    /// Whether several clients write this file concurrently (shared files
+    /// pay extent-lock handoffs on Lustre-like systems).
+    pub shared: bool,
+    /// Number of OSTs the file is striped over (1 = all bytes on one OST,
+    /// 0 = stripe over every OST).
+    pub stripe_count: usize,
+    /// Whether the write must first create the file at the MDS (otherwise
+    /// it is an open of an existing file).
+    pub needs_create: bool,
+}
+
+impl FileSpec {
+    /// A private (single-writer) file with stripe count 1 — the Lustre
+    /// default used by file-per-process and by Damaris node files.
+    pub fn private(id: u64, needs_create: bool) -> Self {
+        FileSpec { id, shared: false, stripe_count: 1, needs_create }
+    }
+
+    /// A shared file striped over every OST — what collective I/O produces.
+    pub fn shared_wide(id: u64, needs_create: bool) -> Self {
+        FileSpec { id, shared: true, stripe_count: 0, needs_create }
+    }
+}
+
+/// One client's write of `bytes` starting no earlier than `arrival`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteRequest {
+    /// Virtual time at which the client issues the write (seconds).
+    pub arrival: f64,
+    /// Client identity (rank or dedicated-core id).
+    pub client: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Target file.
+    pub file: FileSpec,
+    /// Offset of this write within the file, in stripe units. Striping
+    /// round-robins from this position, so concurrent writers of one
+    /// shared file (two-phase aggregators, each owning its own region)
+    /// land on *different* storage targets — exactly how Lustre maps file
+    /// offsets. Private single-writer files use 0.
+    pub stripe_offset: u64,
+}
+
+impl WriteRequest {
+    /// A request starting at the beginning of its file.
+    pub fn new(arrival: f64, client: u64, bytes: u64, file: FileSpec) -> Self {
+        WriteRequest { arrival, client, bytes, file, stripe_offset: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let p = FileSpec::private(7, true);
+        assert!(!p.shared);
+        assert_eq!(p.stripe_count, 1);
+        assert!(p.needs_create);
+        let s = FileSpec::shared_wide(1, false);
+        assert!(s.shared);
+        assert_eq!(s.stripe_count, 0);
+    }
+}

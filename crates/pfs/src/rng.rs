@@ -1,0 +1,73 @@
+//! Deterministic random utilities: Box-Muller normal and log-normal
+//! multipliers (implemented locally; `rand_distr` is not in the approved
+//! dependency set).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard normal sample via Box-Muller.
+pub fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Log-normal multiplier with unit mean: `exp(sigma·Z − sigma²/2)`.
+///
+/// `sigma = 0` returns exactly 1.0, keeping the no-jitter path bit-stable.
+pub fn lognormal_unit_mean(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    (sigma * normal(rng) - sigma * sigma / 2.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_has_unit_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let mean = (0..n).map(|_| lognormal_unit_mean(&mut rng, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_sigma_is_exactly_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(lognormal_unit_mean(&mut rng, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..5).map(|_| normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..5).map(|_| normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

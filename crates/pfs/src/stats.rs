@@ -1,0 +1,147 @@
+//! Per-request outcomes and phase-level summaries.
+
+/// Timing of one completed write request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteOutcome {
+    /// Client that issued the request.
+    pub client: u64,
+    /// Arrival time (copied from the request).
+    pub arrival: f64,
+    /// When the MDS finished the create/open.
+    pub mds_done: f64,
+    /// When the last data chunk landed.
+    pub finish: f64,
+    /// Bytes written.
+    pub bytes: u64,
+    /// Seconds spent waiting on extent locks (shared files only).
+    pub lock_wait: f64,
+}
+
+impl WriteOutcome {
+    /// Total request latency (arrival → last byte).
+    pub fn duration(&self) -> f64 {
+        self.finish - self.arrival
+    }
+}
+
+/// Everything the model returns for one batch of requests.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseOutcome {
+    /// Outcomes in the order requests were submitted.
+    pub outcomes: Vec<WriteOutcome>,
+}
+
+impl PhaseOutcome {
+    /// Earliest arrival across the batch.
+    pub fn start(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.arrival).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Latest finish across the batch.
+    pub fn finish(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.finish).fold(0.0, f64::max)
+    }
+
+    /// Wall-clock span of the phase.
+    pub fn span(&self) -> f64 {
+        (self.finish() - self.start()).max(0.0)
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.bytes).sum()
+    }
+
+    /// Aggregate throughput in bytes/second over the phase span.
+    pub fn aggregate_throughput(&self) -> f64 {
+        let span = self.span();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / span
+    }
+
+    /// Per-request durations (arrival → finish), submission order.
+    pub fn durations(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.duration()).collect()
+    }
+
+    /// Jitter summary of per-request durations:
+    /// `(min, median, p99, max, max/min ratio)`.
+    pub fn jitter(&self) -> JitterSummary {
+        let mut d = self.durations();
+        d.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        if d.is_empty() {
+            return JitterSummary::default();
+        }
+        let pick = |q: f64| d[((d.len() - 1) as f64 * q).round() as usize];
+        let min = d[0];
+        let max = d[d.len() - 1];
+        JitterSummary {
+            min,
+            median: pick(0.5),
+            p99: pick(0.99),
+            max,
+            spread: if min > 0.0 { max / min } else { f64::INFINITY },
+        }
+    }
+}
+
+/// Distribution summary used by the variability experiment (E2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JitterSummary {
+    /// Fastest request.
+    pub min: f64,
+    /// Median request.
+    pub median: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Slowest request.
+    pub max: f64,
+    /// `max / min` — the "orders of magnitude" the paper talks about.
+    pub spread: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(client: u64, arrival: f64, finish: f64, bytes: u64) -> WriteOutcome {
+        WriteOutcome { client, arrival, mds_done: arrival, finish, bytes, lock_wait: 0.0 }
+    }
+
+    #[test]
+    fn aggregates() {
+        let phase = PhaseOutcome {
+            outcomes: vec![outcome(0, 0.0, 2.0, 100), outcome(1, 1.0, 3.0, 300)],
+        };
+        assert_eq!(phase.start(), 0.0);
+        assert_eq!(phase.finish(), 3.0);
+        assert_eq!(phase.span(), 3.0);
+        assert_eq!(phase.total_bytes(), 400);
+        assert!((phase.aggregate_throughput() - 400.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_summary() {
+        let phase = PhaseOutcome {
+            outcomes: (1..=100)
+                .map(|i| outcome(i, 0.0, i as f64, 1))
+                .collect(),
+        };
+        let j = phase.jitter();
+        assert_eq!(j.min, 1.0);
+        assert_eq!(j.max, 100.0);
+        // 100 samples: the 0.5 quantile rounds to index 50 → value 51.
+        assert_eq!(j.median, 51.0);
+        assert_eq!(j.p99, 99.0);
+        assert_eq!(j.spread, 100.0);
+    }
+
+    #[test]
+    fn empty_phase_is_safe() {
+        let phase = PhaseOutcome::default();
+        assert_eq!(phase.aggregate_throughput(), 0.0);
+        assert_eq!(phase.jitter(), JitterSummary::default());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the file-system model: causality, conservation,
+//! determinism.
+
+use pfs_sim::{FileSpec, Pfs, PfsConfig, WriteRequest};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    arrival: f64,
+    bytes: u64,
+    shared: bool,
+    wide: bool,
+}
+
+fn reqs_strategy() -> impl Strategy<Value = Vec<ReqSpec>> {
+    proptest::collection::vec(
+        (0.0f64..10.0, 0u64..64 << 20, any::<bool>(), any::<bool>()).prop_map(
+            |(arrival, bytes, shared, wide)| ReqSpec { arrival, bytes, shared, wide },
+        ),
+        1..40,
+    )
+}
+
+fn build(specs: &[ReqSpec]) -> Vec<WriteRequest> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| WriteRequest {
+            arrival: s.arrival,
+            client: i as u64,
+            bytes: s.bytes,
+            file: if s.shared {
+                FileSpec { id: 1, shared: true, stripe_count: if s.wide { 0 } else { 4 }, needs_create: i == 0 }
+            } else {
+                FileSpec { id: 100 + i as u64, shared: false, stripe_count: if s.wide { 0 } else { 1 }, needs_create: true }
+            },
+            stripe_offset: if s.shared { i as u64 * 7 } else { 0 },
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Causality: mds_done ≥ arrival and finish ≥ mds_done for data-carrying
+    /// requests; finish times are finite.
+    #[test]
+    fn causality_holds(specs in reqs_strategy(), seed in any::<u64>()) {
+        let mut pfs = Pfs::new(PfsConfig::kraken_lustre(), seed);
+        let reqs = build(&specs);
+        let phase = pfs.simulate_writes(&reqs);
+        for (r, o) in reqs.iter().zip(&phase.outcomes) {
+            prop_assert!(o.mds_done >= r.arrival);
+            prop_assert!(o.finish.is_finite());
+            if r.bytes > 0 {
+                prop_assert!(o.finish >= o.mds_done,
+                    "finish {} before mds_done {}", o.finish, o.mds_done);
+            }
+            prop_assert!(o.lock_wait >= 0.0);
+            prop_assert_eq!(o.bytes, r.bytes);
+        }
+    }
+
+    /// Without jitter, aggregate throughput never exceeds the streaming
+    /// ceiling.
+    #[test]
+    fn throughput_bounded_by_peak(specs in reqs_strategy()) {
+        let cfg = PfsConfig::kraken_lustre().without_jitter();
+        let peak = cfg.peak_bandwidth();
+        let mut pfs = Pfs::new(cfg, 0);
+        let reqs = build(&specs);
+        prop_assume!(reqs.iter().any(|r| r.bytes > 0));
+        let phase = pfs.simulate_writes(&reqs);
+        // The span includes MDS time, so the bound is conservative.
+        prop_assert!(phase.aggregate_throughput() <= peak * 1.0001,
+            "throughput {:.3e} above peak {:.3e}", phase.aggregate_throughput(), peak);
+    }
+
+    /// Identical seeds and inputs give identical outcomes.
+    #[test]
+    fn deterministic(specs in reqs_strategy(), seed in any::<u64>()) {
+        let reqs = build(&specs);
+        let a = Pfs::new(PfsConfig::kraken_lustre(), seed).simulate_writes(&reqs);
+        let b = Pfs::new(PfsConfig::kraken_lustre(), seed).simulate_writes(&reqs);
+        prop_assert_eq!(a.outcomes, b.outcomes);
+    }
+}

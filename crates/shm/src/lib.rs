@@ -1,0 +1,59 @@
+//! # damaris-shm
+//!
+//! The node-local **shared-memory substrate** of the Damaris approach
+//! (Dorier, IPDPS 2013 PhD Forum, §III.A):
+//!
+//! > "Central to the Damaris approach is the use of shared memory to
+//! > communicate data from the cores running the simulation to the cores
+//! > running the data management service. […] We attempt with Damaris to
+//! > have a finer control on the memory usage and to avoid unnecessary
+//! > copies."
+//!
+//! Two pieces implement that design:
+//!
+//! * [`SharedSegment`] — a fixed-capacity memory region with a first-fit,
+//!   coalescing free-list allocator. Compute cores [`SharedSegment::allocate`]
+//!   a [`Block`], write their variable into it (one memcpy — *the only copy
+//!   in the whole pipeline*), then [`Block::freeze`] it into an immutable,
+//!   reference-counted [`BlockRef`] that the dedicated core (and any number
+//!   of analysis plugins) can read in place. Dropping the last `BlockRef`
+//!   returns the space to the allocator.
+//! * [`MessageQueue`] — the bounded shared event queue through which
+//!   simulation cores notify dedicated cores ("a shared message queue is
+//!   used for the simulation processes to send events to the dedicated
+//!   cores").
+//!
+//! In the original middleware the segment is a POSIX shared-memory object
+//! shared by the processes of one SMP node. Here a *node* is one OS process
+//! and its cores are threads, so the segment is process memory shared
+//! between threads — the semantics the paper relies on (single copy, no
+//! serialization, allocator-level backpressure) are identical.
+//!
+//! ## Example
+//!
+//! ```
+//! use damaris_shm::{SharedSegment, MessageQueue};
+//!
+//! let seg = SharedSegment::new(1 << 20).unwrap();
+//! let queue = MessageQueue::<(String, damaris_shm::BlockRef)>::bounded(16);
+//!
+//! // Simulation core: allocate, fill, freeze, notify.
+//! let mut block = seg.allocate(8 * 4).unwrap();
+//! block.write_pod(&[1.0f64, 2.0, 3.0, 4.0]);
+//! queue.send(("temperature".to_string(), block.freeze())).unwrap();
+//!
+//! // Dedicated core: receive and read in place, zero copies.
+//! let (name, data) = queue.recv().unwrap();
+//! assert_eq!(name, "temperature");
+//! assert_eq!(data.as_pod::<f64>()[1], 2.0);
+//! drop(data); // space returns to the allocator
+//! assert_eq!(seg.used_bytes(), 0);
+//! ```
+
+pub mod error;
+pub mod queue;
+pub mod segment;
+
+pub use error::{RecvError, SendError, ShmError, TryRecvError, TrySendError};
+pub use queue::MessageQueue;
+pub use segment::{Block, BlockRef, Pod, SegmentStats, SharedSegment};

@@ -1,0 +1,359 @@
+//! The shared event queue between simulation cores and dedicated cores.
+//!
+//! Paper §III.B: "A shared message queue is used for the simulation
+//! processes to send events to the dedicated cores. These events activate
+//! the user-provided plugins. The message queue is also used for sending
+//! events that inform dedicated cores of the state of the simulation, and
+//! help Damaris adapting its behavior."
+//!
+//! This is a bounded multi-producer/multi-consumer queue with blocking,
+//! non-blocking and timed variants on both ends, plus an explicit
+//! [`MessageQueue::close`] for orderly shutdown (producers learn the service
+//! is gone; consumers drain remaining messages, then see
+//! [`crate::TryRecvError::Closed`]).
+//!
+//! The bound matters: queue depth is the second backpressure signal (after
+//! segment occupancy) consumed by the iteration-skip policy.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{RecvError, SendError, TryRecvError, TrySendError};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Bounded MPMC queue; clones share the same channel.
+pub struct MessageQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for MessageQueue<T> {
+    fn clone(&self) -> Self {
+        MessageQueue { inner: self.inner.clone() }
+    }
+}
+
+impl<T> std::fmt::Debug for MessageQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MessageQueue")
+            .field("capacity", &self.inner.capacity)
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+impl<T> MessageQueue<T> {
+    /// Create a queue holding at most `capacity` messages.
+    ///
+    /// Panics if `capacity` is zero (a rendezvous queue is never what the
+    /// middleware wants; events must not block the simulation by default).
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        MessageQueue {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State { buf: VecDeque::with_capacity(capacity), closed: false }),
+                capacity,
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().buf.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of queued messages.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Queue depth as a fraction of capacity, in `[0, 1]`.
+    pub fn pressure(&self) -> f64 {
+        self.len() as f64 / self.inner.capacity as f64
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().closed
+    }
+
+    /// Close the queue: subsequent sends fail, receivers drain what remains.
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock();
+        st.closed = true;
+        drop(st);
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    /// Send, blocking while the queue is full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.closed {
+                return Err(SendError(msg));
+            }
+            if st.buf.len() < self.inner.capacity {
+                st.buf.push_back(msg);
+                drop(st);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            self.inner.not_full.wait(&mut st);
+        }
+    }
+
+    /// Send without blocking.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.inner.state.lock();
+        if st.closed {
+            return Err(TrySendError::Closed(msg));
+        }
+        if st.buf.len() >= self.inner.capacity {
+            return Err(TrySendError::Full(msg));
+        }
+        st.buf.push_back(msg);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Send, blocking at most `timeout`.
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), TrySendError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.closed {
+                return Err(TrySendError::Closed(msg));
+            }
+            if st.buf.len() < self.inner.capacity {
+                st.buf.push_back(msg);
+                drop(st);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            if self.inner.not_full.wait_until(&mut st, deadline).timed_out() {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+    }
+
+    /// Receive, blocking while the queue is empty; `Err` once closed *and*
+    /// drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(msg) = st.buf.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.closed {
+                return Err(RecvError);
+            }
+            self.inner.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.inner.state.lock();
+        if let Some(msg) = st.buf.pop_front() {
+            drop(st);
+            self.inner.not_full.notify_one();
+            return Ok(msg);
+        }
+        if st.closed {
+            Err(TryRecvError::Closed)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receive, blocking at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, TryRecvError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(msg) = st.buf.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.closed {
+                return Err(TryRecvError::Closed);
+            }
+            if self.inner.not_empty.wait_until(&mut st, deadline).timed_out() {
+                return Err(TryRecvError::Empty);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = MessageQueue::bounded(8);
+        for i in 0..5 {
+            q.send(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn try_send_full_and_try_recv_empty() {
+        let q = MessageQueue::bounded(2);
+        q.try_send(1).unwrap();
+        q.try_send(2).unwrap();
+        assert_eq!(q.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(q.pressure(), 1.0);
+        q.try_recv().unwrap();
+        q.try_recv().unwrap();
+        assert_eq!(q.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn close_drains_then_errors() {
+        let q = MessageQueue::bounded(4);
+        q.send("a").unwrap();
+        q.send("b").unwrap();
+        q.close();
+        assert_eq!(q.send("c"), Err(SendError("c")));
+        assert_eq!(q.recv().unwrap(), "a");
+        assert_eq!(q.recv().unwrap(), "b");
+        assert_eq!(q.recv(), Err(RecvError));
+        assert_eq!(q.try_recv(), Err(TryRecvError::Closed));
+    }
+
+    #[test]
+    fn blocking_send_wakes_on_recv() {
+        let q = MessageQueue::bounded(1);
+        q.send(0u32).unwrap();
+        let q2 = q.clone();
+        let sender = thread::spawn(move || q2.send(1).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.recv().unwrap(), 0);
+        sender.join().unwrap();
+        assert_eq!(q.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let q = MessageQueue::<u32>::bounded(1);
+        let q2 = q.clone();
+        let receiver = thread::spawn(move || q2.recv().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        q.send(42).unwrap();
+        assert_eq!(receiver.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let q = MessageQueue::<u32>::bounded(1);
+        let err = q.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, TryRecvError::Empty);
+    }
+
+    #[test]
+    fn send_timeout_expires() {
+        let q = MessageQueue::bounded(1);
+        q.send(1).unwrap();
+        assert_eq!(
+            q.send_timeout(2, Duration::from_millis(10)),
+            Err(TrySendError::Full(2))
+        );
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver() {
+        let q = MessageQueue::<u32>::bounded(1);
+        let q2 = q.clone();
+        let receiver = thread::spawn(move || q2.recv());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(receiver.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn close_wakes_blocked_sender() {
+        let q = MessageQueue::bounded(1);
+        q.send(1).unwrap();
+        let q2 = q.clone();
+        let sender = thread::spawn(move || q2.send(2));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(sender.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_duplication() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: usize = 500;
+        let q = MessageQueue::bounded(16);
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = q.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    q.send(p * PER_PRODUCER + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let q = q.clone();
+            consumers.push(thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Ok(v) = q.recv() {
+                    seen.push(v);
+                }
+                seen
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<usize> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = MessageQueue::<u8>::bounded(0);
+    }
+}

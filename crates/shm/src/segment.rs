@@ -1,0 +1,707 @@
+//! Fixed-capacity shared segment with a first-fit, coalescing free-list
+//! allocator.
+//!
+//! The allocator is the mechanism behind two numbers in the paper:
+//!
+//! * the simulation-side cost of a "write" is one memcpy into this segment
+//!   (§IV.B: "the time to write from the point of view of the simulation is
+//!   cut down to the time required to write in shared-memory, which is in
+//!   the order of 0.1 seconds"), and
+//! * when analysis plugins cannot keep up, the segment fills and the
+//!   iteration-skip policy engages (§V.C.1) — driven by
+//!   [`SharedSegment::occupancy`].
+//!
+//! ## Safety model
+//!
+//! The backing store is a heap allocation accessed through raw pointers.
+//! Soundness rests on two invariants, both enforced by construction:
+//!
+//! 1. **Disjointness** — the free-list allocator (guarded by a mutex) never
+//!    hands out overlapping ranges, so each live [`Block`] has exclusive
+//!    access to its byte range.
+//! 2. **Write-xor-read** — a [`Block`] (unique, `&mut`-only access) must be
+//!    [`Block::freeze`]-d into an immutable [`BlockRef`] before it can be
+//!    shared; `BlockRef` only ever yields `&[u8]`. The happens-before edge
+//!    between the writing thread and readers is provided by whatever channel
+//!    transfers the `BlockRef` (the [`crate::MessageQueue`] mutex in the
+//!    middleware), exactly as with any `Send` value.
+
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::ShmError;
+
+/// Allocation granularity and guaranteed block alignment, in bytes.
+///
+/// One cache line: avoids false sharing between adjacent blocks written by
+/// different cores, and is large enough for any primitive element type.
+pub const BLOCK_ALIGN: usize = 64;
+
+/// Marker for plain-old-data element types that can be memcpy'd in and out
+/// of a segment.
+///
+/// # Safety
+///
+/// Implementors must be `Copy` types with no padding bytes and no invalid
+/// bit patterns (all primitive numeric types qualify).
+pub unsafe trait Pod: Copy + 'static {}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => { $( unsafe impl Pod for $t {} )* };
+}
+impl_pod!(i8, i16, i32, i64, u8, u16, u32, u64, f32, f64);
+
+/// Counters describing a segment's lifetime behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentStats {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Bytes currently allocated (including alignment padding).
+    pub used: usize,
+    /// High-watermark of `used` over the segment's lifetime.
+    pub peak: usize,
+    /// Number of successful allocations.
+    pub allocations: u64,
+    /// Number of allocation failures (out of memory at request time).
+    pub failures: u64,
+    /// Number of blocks returned to the free list.
+    pub frees: u64,
+}
+
+struct FreeList {
+    /// Free ranges `(offset, len)`, sorted by offset, non-adjacent
+    /// (adjacent ranges are coalesced on insert).
+    holes: Vec<(usize, usize)>,
+}
+
+impl FreeList {
+    fn new(capacity: usize) -> Self {
+        FreeList { holes: vec![(0, capacity)] }
+    }
+
+    /// First-fit allocation. `len` must already be align-rounded.
+    fn allocate(&mut self, len: usize) -> Option<usize> {
+        let idx = self.holes.iter().position(|&(_, hlen)| hlen >= len)?;
+        let (off, hlen) = self.holes[idx];
+        if hlen == len {
+            self.holes.remove(idx);
+        } else {
+            self.holes[idx] = (off + len, hlen - len);
+        }
+        Some(off)
+    }
+
+    /// Return a range, merging with adjacent holes.
+    fn free(&mut self, offset: usize, len: usize) {
+        let idx = self.holes.partition_point(|&(o, _)| o < offset);
+        // Coalesce with predecessor?
+        let merged_prev = idx > 0 && {
+            let (po, pl) = self.holes[idx - 1];
+            debug_assert!(po + pl <= offset, "double free or overlap at {offset}");
+            po + pl == offset
+        };
+        // Coalesce with successor?
+        let merged_next = idx < self.holes.len() && {
+            let (no, _) = self.holes[idx];
+            debug_assert!(offset + len <= no, "double free or overlap at {offset}");
+            offset + len == no
+        };
+        match (merged_prev, merged_next) {
+            (true, true) => {
+                let (no, nl) = self.holes.remove(idx);
+                let _ = no;
+                self.holes[idx - 1].1 += len + nl;
+            }
+            (true, false) => self.holes[idx - 1].1 += len,
+            (false, true) => {
+                self.holes[idx].0 = offset;
+                self.holes[idx].1 += len;
+            }
+            (false, false) => self.holes.insert(idx, (offset, len)),
+        }
+    }
+
+    fn total_free(&self) -> usize {
+        self.holes.iter().map(|&(_, l)| l).sum()
+    }
+
+    fn largest_hole(&self) -> usize {
+        self.holes.iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+}
+
+/// Backing storage, aligned to 16 bytes so every `BLOCK_ALIGN`-multiple
+/// offset is suitably aligned for any [`Pod`] type.
+struct Storage(Box<[u128]>);
+
+impl Storage {
+    fn new(capacity_bytes: usize) -> Self {
+        let words = capacity_bytes.div_ceil(16);
+        Storage(vec![0u128; words].into_boxed_slice())
+    }
+
+    fn base(&self) -> *mut u8 {
+        self.0.as_ptr() as *mut u8
+    }
+}
+
+struct SegmentInner {
+    storage: Storage,
+    capacity: usize,
+    state: Mutex<FreeList>,
+    space_freed: Condvar,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+    allocations: AtomicU64,
+    failures: AtomicU64,
+    frees: AtomicU64,
+}
+
+// SAFETY: all mutation of `storage` goes through `Block`s whose ranges the
+// mutex-guarded free list guarantees to be disjoint; `BlockRef` reads are
+// only possible after the unique `Block` has been consumed by `freeze`.
+unsafe impl Send for SegmentInner {}
+unsafe impl Sync for SegmentInner {}
+
+impl SegmentInner {
+    fn release(&self, offset: usize, len: usize) {
+        let mut fl = self.state.lock();
+        fl.free(offset, len);
+        self.used.fetch_sub(len, Ordering::Relaxed);
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        drop(fl);
+        self.space_freed.notify_all();
+    }
+}
+
+/// A fixed-capacity shared-memory segment.
+///
+/// Cloning the handle is cheap (`Arc`); all clones refer to the same
+/// underlying region, as all cores of an SMP node map the same POSIX
+/// segment in the original middleware.
+#[derive(Clone)]
+pub struct SharedSegment {
+    inner: Arc<SegmentInner>,
+}
+
+impl std::fmt::Debug for SharedSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSegment")
+            .field("capacity", &self.capacity())
+            .field("used", &self.used_bytes())
+            .finish()
+    }
+}
+
+impl SharedSegment {
+    /// Create a segment with the given capacity in bytes (rounded up to
+    /// [`BLOCK_ALIGN`]).
+    pub fn new(capacity: usize) -> Result<Self, ShmError> {
+        if capacity == 0 {
+            return Err(ShmError::ZeroSize);
+        }
+        let capacity = round_up(capacity, BLOCK_ALIGN);
+        Ok(SharedSegment {
+            inner: Arc::new(SegmentInner {
+                storage: Storage::new(capacity),
+                capacity,
+                state: Mutex::new(FreeList::new(capacity)),
+                space_freed: Condvar::new(),
+                used: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+                allocations: AtomicU64::new(0),
+                failures: AtomicU64::new(0),
+                frees: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Allocate `len` bytes without blocking.
+    ///
+    /// Fails with [`ShmError::OutOfMemory`] when no contiguous hole fits the
+    /// (align-rounded) request; this is the signal the iteration-skip policy
+    /// listens for.
+    pub fn allocate(&self, len: usize) -> Result<Block, ShmError> {
+        if len == 0 {
+            return Err(ShmError::ZeroSize);
+        }
+        let alloc_len = round_up(len, BLOCK_ALIGN);
+        if alloc_len > self.inner.capacity {
+            return Err(ShmError::RequestTooLarge {
+                requested: len,
+                capacity: self.inner.capacity,
+            });
+        }
+        let mut fl = self.inner.state.lock();
+        match fl.allocate(alloc_len) {
+            Some(offset) => {
+                drop(fl);
+                self.note_alloc(alloc_len);
+                Ok(Block {
+                    seg: self.inner.clone(),
+                    offset,
+                    len,
+                    alloc_len,
+                })
+            }
+            None => {
+                let free = fl.total_free();
+                drop(fl);
+                self.inner.failures.fetch_add(1, Ordering::Relaxed);
+                Err(ShmError::OutOfMemory { requested: len, free })
+            }
+        }
+    }
+
+    /// Allocate, blocking until space frees up or `timeout` expires
+    /// (`None` = wait forever).
+    pub fn allocate_blocking(
+        &self,
+        len: usize,
+        timeout: Option<Duration>,
+    ) -> Result<Block, ShmError> {
+        if len == 0 {
+            return Err(ShmError::ZeroSize);
+        }
+        let alloc_len = round_up(len, BLOCK_ALIGN);
+        if alloc_len > self.inner.capacity {
+            return Err(ShmError::RequestTooLarge {
+                requested: len,
+                capacity: self.inner.capacity,
+            });
+        }
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        let mut fl = self.inner.state.lock();
+        loop {
+            if let Some(offset) = fl.allocate(alloc_len) {
+                drop(fl);
+                self.note_alloc(alloc_len);
+                return Ok(Block {
+                    seg: self.inner.clone(),
+                    offset,
+                    len,
+                    alloc_len,
+                });
+            }
+            match deadline {
+                None => self.inner.space_freed.wait(&mut fl),
+                Some(d) => {
+                    if self.inner.space_freed.wait_until(&mut fl, d).timed_out() {
+                        return Err(ShmError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_alloc(&self, alloc_len: usize) {
+        let used = self.inner.used.fetch_add(alloc_len, Ordering::Relaxed) + alloc_len;
+        self.inner.peak.fetch_max(used, Ordering::Relaxed);
+        self.inner.allocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Bytes currently allocated (alignment-rounded).
+    pub fn used_bytes(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of the segment currently allocated, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.used_bytes() as f64 / self.inner.capacity as f64
+    }
+
+    /// Largest single allocation currently possible (contiguity-aware).
+    pub fn largest_free_block(&self) -> usize {
+        self.inner.state.lock().largest_hole()
+    }
+
+    /// Snapshot of lifetime counters.
+    pub fn stats(&self) -> SegmentStats {
+        SegmentStats {
+            capacity: self.inner.capacity,
+            used: self.inner.used.load(Ordering::Relaxed),
+            peak: self.inner.peak.load(Ordering::Relaxed),
+            allocations: self.inner.allocations.load(Ordering::Relaxed),
+            failures: self.inner.failures.load(Ordering::Relaxed),
+            frees: self.inner.frees.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A uniquely-owned, writable allocation inside a [`SharedSegment`].
+///
+/// Dropping a `Block` without freezing it returns the space immediately
+/// (used when a client aborts mid-write).
+pub struct Block {
+    seg: Arc<SegmentInner>,
+    offset: usize,
+    len: usize,
+    alloc_len: usize,
+}
+
+impl Block {
+    /// Requested length in bytes (what `freeze` exposes to readers).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block has zero requested length (never true in practice;
+    /// zero-size allocations are rejected).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte offset of this block inside the segment (useful for debugging
+    /// and for the allocator property tests).
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Exclusive access to the block's bytes.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: the allocator guarantees [offset, offset+alloc_len) is not
+        // shared with any other live Block/BlockRef, and `&mut self` makes
+        // this the only access path right now.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.seg.storage.base().add(self.offset), self.len)
+        }
+    }
+
+    /// Copy `src` into the beginning of the block.
+    ///
+    /// Panics if `src` is longer than the block — that is a logic error in
+    /// the caller (layout mismatch), not a runtime condition.
+    pub fn write_bytes(&mut self, src: &[u8]) {
+        assert!(
+            src.len() <= self.len,
+            "write of {} bytes into a {}-byte block",
+            src.len(),
+            self.len
+        );
+        self.as_mut_slice()[..src.len()].copy_from_slice(src);
+    }
+
+    /// Copy a typed slice into the block (the single memcpy of the Damaris
+    /// write path).
+    pub fn write_pod<T: Pod>(&mut self, src: &[T]) {
+        // SAFETY: Pod types have no padding and no invalid bit patterns.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(src.as_ptr() as *const u8, std::mem::size_of_val(src))
+        };
+        self.write_bytes(bytes);
+    }
+
+    /// Consume the writable block, producing a shareable read-only handle.
+    pub fn freeze(self) -> BlockRef {
+        let this = ManuallyDrop::new(self);
+        BlockRef {
+            inner: Arc::new(Frozen {
+                seg: this.seg.clone(),
+                offset: this.offset,
+                len: this.len,
+                alloc_len: this.alloc_len,
+            }),
+        }
+    }
+}
+
+impl Drop for Block {
+    fn drop(&mut self) {
+        self.seg.release(self.offset, self.alloc_len);
+    }
+}
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block").field("offset", &self.offset).field("len", &self.len).finish()
+    }
+}
+
+struct Frozen {
+    seg: Arc<SegmentInner>,
+    offset: usize,
+    len: usize,
+    alloc_len: usize,
+}
+
+impl Drop for Frozen {
+    fn drop(&mut self) {
+        self.seg.release(self.offset, self.alloc_len);
+    }
+}
+
+/// An immutable, reference-counted view of a frozen block.
+///
+/// Clones share the same bytes; the space returns to the allocator when the
+/// last clone is dropped. This is what flows through the message queue to
+/// the dedicated core and on to plugins — no copies anywhere.
+#[derive(Clone)]
+pub struct BlockRef {
+    inner: Arc<Frozen>,
+}
+
+impl BlockRef {
+    /// The block's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: frozen blocks are never written again; the range stays
+        // allocated while any BlockRef clone is alive.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.inner.seg.storage.base().add(self.inner.offset),
+                self.inner.len,
+            )
+        }
+    }
+
+    /// Reinterpret the bytes as a typed slice.
+    ///
+    /// Panics if the length is not a multiple of `size_of::<T>()` —
+    /// a layout/type mismatch between writer and reader.
+    pub fn as_pod<T: Pod>(&self) -> &[T] {
+        let size = std::mem::size_of::<T>();
+        assert_eq!(
+            self.inner.len % size,
+            0,
+            "block of {} bytes is not a whole number of {}-byte elements",
+            self.inner.len,
+            size
+        );
+        debug_assert_eq!(self.inner.offset % BLOCK_ALIGN, 0);
+        // SAFETY: base is 16-byte aligned, offsets are BLOCK_ALIGN-multiples,
+        // so the pointer is aligned for any Pod; Pod types accept any bits.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.inner.seg.storage.base().add(self.inner.offset) as *const T,
+                self.inner.len / size,
+            )
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    /// Byte offset inside the segment.
+    pub fn offset(&self) -> usize {
+        self.inner.offset
+    }
+}
+
+impl std::fmt::Debug for BlockRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockRef")
+            .field("offset", &self.inner.offset)
+            .field("len", &self.inner.len)
+            .finish()
+    }
+}
+
+fn round_up(n: usize, align: usize) -> usize {
+    n.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_write_freeze_read() {
+        let seg = SharedSegment::new(4096).unwrap();
+        let mut b = seg.allocate(32).unwrap();
+        b.write_pod(&[1.5f64, 2.5, 3.5, 4.5]);
+        let r = b.freeze();
+        assert_eq!(r.as_pod::<f64>(), &[1.5, 2.5, 3.5, 4.5]);
+        assert_eq!(r.len(), 32);
+    }
+
+    #[test]
+    fn drop_returns_space() {
+        let seg = SharedSegment::new(4096).unwrap();
+        let b = seg.allocate(100).unwrap();
+        assert_eq!(seg.used_bytes(), 128); // rounded to BLOCK_ALIGN
+        drop(b);
+        assert_eq!(seg.used_bytes(), 0);
+        assert_eq!(seg.largest_free_block(), 4096);
+    }
+
+    #[test]
+    fn frozen_clones_share_until_last_drop() {
+        let seg = SharedSegment::new(4096).unwrap();
+        let mut b = seg.allocate(64).unwrap();
+        b.write_bytes(&[7u8; 64]);
+        let r1 = b.freeze();
+        let r2 = r1.clone();
+        drop(r1);
+        assert_eq!(seg.used_bytes(), 64, "still referenced by r2");
+        assert_eq!(r2.as_slice()[63], 7);
+        drop(r2);
+        assert_eq!(seg.used_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_and_oversize_rejected() {
+        let seg = SharedSegment::new(1024).unwrap();
+        match seg.allocate(0) {
+            Err(ShmError::ZeroSize) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        match seg.allocate(4096) {
+            Err(ShmError::RequestTooLarge { requested, capacity }) => {
+                assert_eq!(requested, 4096);
+                assert_eq!(capacity, 1024);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_memory() {
+        let seg = SharedSegment::new(256).unwrap();
+        let _a = seg.allocate(128).unwrap();
+        let _b = seg.allocate(128).unwrap();
+        match seg.allocate(64) {
+            Err(ShmError::OutOfMemory { free, .. }) => assert_eq!(free, 0),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(seg.stats().failures, 1);
+    }
+
+    #[test]
+    fn fragmentation_and_coalescing() {
+        let seg = SharedSegment::new(64 * 4).unwrap();
+        let a = seg.allocate(64).unwrap();
+        let b = seg.allocate(64).unwrap();
+        let c = seg.allocate(64).unwrap();
+        let d = seg.allocate(64).unwrap();
+        // Free b and d: two separate 64-byte holes.
+        drop(b);
+        drop(d);
+        assert_eq!(seg.largest_free_block(), 64);
+        assert!(seg.allocate(128).is_err(), "fragmented: no contiguous 128");
+        // Free c: holes b+c+d coalesce into 192.
+        drop(c);
+        assert_eq!(seg.largest_free_block(), 192);
+        let big = seg.allocate(128).unwrap();
+        drop(big);
+        drop(a);
+        assert_eq!(seg.largest_free_block(), 256);
+    }
+
+    #[test]
+    fn blocking_allocation_wakes_on_free() {
+        let seg = SharedSegment::new(256).unwrap();
+        let hog = seg.allocate(256).unwrap();
+        let seg2 = seg.clone();
+        let waiter = std::thread::spawn(move || {
+            seg2.allocate_blocking(64, Some(Duration::from_secs(5))).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(hog);
+        let block = waiter.join().unwrap();
+        assert_eq!(block.len(), 64);
+    }
+
+    #[test]
+    fn blocking_allocation_times_out() {
+        let seg = SharedSegment::new(256).unwrap();
+        let _hog = seg.allocate(256).unwrap();
+        let err = seg
+            .allocate_blocking(64, Some(Duration::from_millis(20)))
+            .unwrap_err();
+        assert_eq!(err, ShmError::Timeout);
+    }
+
+    #[test]
+    fn occupancy_and_peak_track() {
+        let seg = SharedSegment::new(1000).unwrap(); // rounds to 1024
+        assert_eq!(seg.capacity(), 1024);
+        let a = seg.allocate(512).unwrap();
+        assert!((seg.occupancy() - 0.5).abs() < 1e-9);
+        drop(a);
+        assert_eq!(seg.occupancy(), 0.0);
+        assert_eq!(seg.stats().peak, 512);
+        assert_eq!(seg.stats().allocations, 1);
+        assert_eq!(seg.stats().frees, 1);
+    }
+
+    #[test]
+    fn write_bytes_shorter_than_block_ok() {
+        let seg = SharedSegment::new(256).unwrap();
+        let mut b = seg.allocate(64).unwrap();
+        b.write_bytes(&[1, 2, 3]);
+        let r = b.freeze();
+        assert_eq!(&r.as_slice()[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "write of 128 bytes into a 64-byte block")]
+    fn write_overflow_panics() {
+        let seg = SharedSegment::new(256).unwrap();
+        let mut b = seg.allocate(64).unwrap();
+        b.write_bytes(&[0u8; 128]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number")]
+    fn as_pod_misaligned_length_panics() {
+        let seg = SharedSegment::new(256).unwrap();
+        let b = seg.allocate(12).unwrap();
+        let r = b.freeze();
+        let _ = r.as_pod::<f64>(); // 12 % 8 != 0
+    }
+
+    #[test]
+    fn concurrent_alloc_free_stress() {
+        let seg = SharedSegment::new(1 << 16).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let seg = seg.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200usize {
+                    let size = 64 + (i % 7) * 64;
+                    let mut b = match seg.allocate_blocking(size, Some(Duration::from_secs(10))) {
+                        Ok(b) => b,
+                        Err(e) => panic!("thread {t}: {e}"),
+                    };
+                    b.as_mut_slice().fill(t);
+                    let r = b.freeze();
+                    assert!(r.as_slice().iter().all(|&x| x == t), "corruption detected");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seg.used_bytes(), 0);
+        assert_eq!(seg.largest_free_block(), seg.capacity());
+    }
+
+    #[test]
+    fn typed_roundtrip_various_types() {
+        let seg = SharedSegment::new(4096).unwrap();
+        let mut b = seg.allocate(16).unwrap();
+        b.write_pod(&[1u32, 2, 3, 4]);
+        let r = b.freeze();
+        assert_eq!(r.as_pod::<u32>(), &[1, 2, 3, 4]);
+
+        let mut b = seg.allocate(8).unwrap();
+        b.write_pod(&[-5i16, 6, -7, 8]);
+        let r = b.freeze();
+        assert_eq!(r.as_pod::<i16>(), &[-5, 6, -7, 8]);
+    }
+}

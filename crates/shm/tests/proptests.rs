@@ -1,0 +1,97 @@
+//! Property tests for the segment allocator and the message queue.
+
+use damaris_shm::{Block, MessageQueue, SharedSegment};
+use proptest::prelude::*;
+
+/// A scripted allocator operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a block of the given size (bytes).
+    Alloc(usize),
+    /// Free the i-th oldest live block (modulo live count).
+    Free(usize),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..2048).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::Free),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// The allocator never hands out overlapping ranges, and after freeing
+    /// everything the free list coalesces back to full capacity.
+    #[test]
+    fn allocator_disjoint_and_coalescing(ops in ops_strategy()) {
+        let capacity = 1 << 16;
+        let seg = SharedSegment::new(capacity).unwrap();
+        let mut live: Vec<Block> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Ok(b) = seg.allocate(size) {
+                        // Check disjointness against every live block.
+                        let (s, e) = (b.offset(), b.offset() + b.len());
+                        for other in &live {
+                            let (os, oe) = (other.offset(), other.offset() + other.len());
+                            prop_assert!(e <= os || oe <= s,
+                                "overlap: [{s},{e}) vs [{os},{oe})");
+                        }
+                        live.push(b);
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        live.swap_remove(idx);
+                    }
+                }
+            }
+        }
+        drop(live);
+        prop_assert_eq!(seg.used_bytes(), 0);
+        prop_assert_eq!(seg.largest_free_block(), seg.capacity());
+    }
+
+    /// Data written into a block reads back identically after freeze.
+    #[test]
+    fn block_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..4096)) {
+        let seg = SharedSegment::new(1 << 14).unwrap();
+        let mut b = seg.allocate(data.len()).unwrap();
+        b.write_bytes(&data);
+        let r = b.freeze();
+        prop_assert_eq!(r.as_slice(), &data[..]);
+    }
+
+    /// f64 payloads survive the pod round-trip bit-exactly (including NaN
+    /// payloads and signed zeros).
+    #[test]
+    fn pod_roundtrip_f64(data in proptest::collection::vec(any::<u64>(), 1..512)) {
+        let floats: Vec<f64> = data.iter().map(|&bits| f64::from_bits(bits)).collect();
+        let seg = SharedSegment::new(1 << 14).unwrap();
+        let mut b = seg.allocate(floats.len() * 8).unwrap();
+        b.write_pod(&floats);
+        let r = b.freeze();
+        let back: Vec<u64> = r.as_pod::<f64>().iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Single-threaded queue use preserves exact FIFO content.
+    #[test]
+    fn queue_fifo(content in proptest::collection::vec(any::<u32>(), 0..128)) {
+        let q = MessageQueue::bounded(content.len().max(1));
+        for &x in &content {
+            q.send(x).unwrap();
+        }
+        q.close();
+        let mut out = Vec::new();
+        while let Ok(x) = q.recv() {
+            out.push(x);
+        }
+        prop_assert_eq!(out, content);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by the XML parser and the schema loader.
+
+use std::fmt;
+
+/// Result alias used across this crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// Parse or schema-validation failure, with 1-based source position where
+/// available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Lexical/syntactic error while parsing the document text.
+    Syntax {
+        /// Human-readable description of what went wrong.
+        msg: String,
+        /// 1-based line of the offending input.
+        line: usize,
+        /// 1-based column of the offending input.
+        col: usize,
+    },
+    /// The document is well-formed XML but violates the Damaris schema.
+    Schema(String),
+}
+
+impl XmlError {
+    pub(crate) fn syntax(msg: impl Into<String>, line: usize, col: usize) -> Self {
+        XmlError::Syntax { msg: msg.into(), line, col }
+    }
+
+    /// Construct a schema-level error.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        XmlError::Schema(msg.into())
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Syntax { msg, line, col } => {
+                write!(f, "XML syntax error at {line}:{col}: {msg}")
+            }
+            XmlError::Schema(msg) => write!(f, "Damaris configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_position() {
+        let e = XmlError::syntax("unexpected '<'", 3, 14);
+        assert_eq!(e.to_string(), "XML syntax error at 3:14: unexpected '<'");
+    }
+
+    #[test]
+    fn display_formats_schema() {
+        let e = XmlError::schema("variable 'u' references unknown layout 'g'");
+        assert!(e.to_string().contains("unknown layout"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # damaris-xml
+//!
+//! A minimal, dependency-free XML 1.0 subset parser and the typed **Damaris
+//! configuration schema** built on top of it.
+//!
+//! Damaris (Dorier, IPDPS 2013 PhD Forum) keeps the description of all
+//! simulation data *outside* the simulation code, in an XML file: variables,
+//! their layouts (element type + dimensions), meshes, the sizing of the
+//! shared-memory buffer and event queue, how many cores per node are
+//! dedicated to data management, and which plugins (actions) run on which
+//! events. This crate provides:
+//!
+//! * [`parse`] / [`Element`] — a small DOM for well-formed XML documents
+//!   (elements, attributes, text, CDATA, comments, the five predefined
+//!   entities and numeric character references),
+//! * [`Element::to_xml`] — a serializer (parse ∘ serialize is a fixpoint,
+//!   property-tested),
+//! * [`schema`] — the typed [`schema::Configuration`] loader used by
+//!   `damaris-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! let doc = damaris_xml::parse(r#"
+//!   <simulation name="demo">
+//!     <data>
+//!       <layout name="grid" type="f32" dimensions="4,4"/>
+//!       <variable name="u" layout="grid"/>
+//!     </data>
+//!   </simulation>"#).unwrap();
+//! assert_eq!(doc.root.name, "simulation");
+//! assert_eq!(doc.root.attr("name"), Some("demo"));
+//! let cfg = damaris_xml::schema::Configuration::from_element(&doc.root).unwrap();
+//! assert_eq!(cfg.variables.len(), 1);
+//! ```
+
+pub mod error;
+pub mod parser;
+pub mod schema;
+pub mod tree;
+
+pub use error::{XmlError, XmlResult};
+pub use parser::{parse, parse_document, Document};
+pub use tree::{Element, Node};

@@ -1,0 +1,453 @@
+//! Recursive-descent parser for the XML subset used by Damaris
+//! configuration files.
+//!
+//! Supported: the XML declaration, elements with attributes (single- or
+//! double-quoted), nested content, character data, CDATA sections, comments,
+//! processing instructions (skipped), the five predefined entities
+//! (`&lt; &gt; &amp; &quot; &apos;`) and numeric character references
+//! (`&#NN;`, `&#xHH;`). Not supported (rejected with an error): DOCTYPE with
+//! internal subsets, custom entity definitions.
+//!
+//! Whitespace-only text between elements is dropped: Damaris configurations
+//! are structural documents, not mixed-content prose.
+
+use crate::error::{XmlError, XmlResult};
+use crate::tree::{Element, Node};
+
+/// A parsed document: the root element (prolog already consumed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// The single root element of the document.
+    pub root: Element,
+}
+
+/// Parse a complete XML document. Convenience wrapper for
+/// [`parse_document`].
+pub fn parse(input: &str) -> XmlResult<Document> {
+    parse_document(input)
+}
+
+/// Parse a complete XML document, returning its root element.
+pub fn parse_document(input: &str) -> XmlResult<Document> {
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if !p.at_end() {
+        return Err(p.err("content after the root element"));
+    }
+    Ok(Document { root })
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { src: input.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError::syntax(msg, self.line, self.col)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> XmlResult<()> {
+        if self.starts_with(s) {
+            self.bump_n(s.len());
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}'")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Skip the XML declaration, comments, PIs and whitespace before root.
+    fn skip_prolog(&mut self) -> XmlResult<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                return Err(self.err("DOCTYPE declarations are not supported"));
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skip trailing comments/PIs/whitespace after the root element.
+    fn skip_misc(&mut self) -> XmlResult<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> XmlResult<()> {
+        self.expect("<?")?;
+        while !self.starts_with("?>") {
+            if self.bump().is_none() {
+                return Err(self.err("unterminated processing instruction"));
+            }
+        }
+        self.bump_n(2);
+        Ok(())
+    }
+
+    fn skip_comment(&mut self) -> XmlResult<()> {
+        self.expect("<!--")?;
+        while !self.starts_with("-->") {
+            if self.bump().is_none() {
+                return Err(self.err("unterminated comment"));
+            }
+        }
+        self.bump_n(3);
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> XmlResult<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected a name")),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("name bytes are ASCII-checked")
+            .to_string())
+    }
+
+    fn parse_element(&mut self) -> XmlResult<Element> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut el = Element::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(c) if is_name_start(c) => {
+                    let (k, v) = self.parse_attribute()?;
+                    if el.attr(&k).is_some() {
+                        return Err(self.err(format!("duplicate attribute '{k}'")));
+                    }
+                    el.attributes.push((k, v));
+                }
+                _ => return Err(self.err("expected attribute, '>' or '/>'")),
+            }
+        }
+        // Content until matching end tag.
+        loop {
+            if self.starts_with("</") {
+                self.bump_n(2);
+                let end = self.parse_name()?;
+                if end != el.name {
+                    return Err(self.err(format!(
+                        "mismatched end tag: expected </{}>, found </{end}>",
+                        el.name
+                    )));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                return Ok(el);
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<![CDATA[") {
+                let text = self.parse_cdata()?;
+                push_text(&mut el, text);
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                el.children.push(Node::Element(child));
+            } else if self.at_end() {
+                return Err(self.err(format!("unterminated element <{}>", el.name)));
+            } else {
+                let text = self.parse_text()?;
+                // Whitespace between elements carries no meaning here.
+                if !text.trim().is_empty() {
+                    push_text(&mut el, text);
+                }
+            }
+        }
+    }
+
+    fn parse_attribute(&mut self) -> XmlResult<(String, String)> {
+        let name = self.parse_name()?;
+        self.skip_ws();
+        self.expect("=")?;
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump();
+                q
+            }
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(q) if q == quote => {
+                    self.bump();
+                    break;
+                }
+                Some(b'<') => return Err(self.err("'<' not allowed in attribute value")),
+                Some(b'&') => value.push(self.parse_entity()?),
+                Some(_) => value.push(self.bump_char()?),
+            }
+        }
+        Ok((name, value))
+    }
+
+    fn parse_text(&mut self) -> XmlResult<String> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'<') => break,
+                Some(b'&') => text.push(self.parse_entity()?),
+                Some(_) => text.push(self.bump_char()?),
+            }
+        }
+        Ok(text)
+    }
+
+    fn parse_cdata(&mut self) -> XmlResult<String> {
+        self.expect("<![CDATA[")?;
+        let start = self.pos;
+        while !self.starts_with("]]>") {
+            if self.bump().is_none() {
+                return Err(self.err("unterminated CDATA section"));
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("CDATA is not valid UTF-8"))?
+            .to_string();
+        self.bump_n(3);
+        Ok(text)
+    }
+
+    /// Consume one full UTF-8 encoded character.
+    fn bump_char(&mut self) -> XmlResult<char> {
+        let rest = std::str::from_utf8(&self.src[self.pos..])
+            .map_err(|_| self.err("invalid UTF-8"))?;
+        let c = rest.chars().next().ok_or_else(|| self.err("unexpected end of input"))?;
+        self.bump_n(c.len_utf8());
+        Ok(c)
+    }
+
+    fn parse_entity(&mut self) -> XmlResult<char> {
+        self.expect("&")?;
+        let start = self.pos;
+        while self.peek() != Some(b';') {
+            if self.bump().is_none() {
+                return Err(self.err("unterminated entity reference"));
+            }
+        }
+        let body = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in entity"))?
+            .to_string();
+        self.bump(); // ';'
+        match body.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ if body.starts_with("#x") || body.starts_with("#X") => {
+                let code = u32::from_str_radix(&body[2..], 16)
+                    .map_err(|_| self.err(format!("bad character reference &{body};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.err(format!("invalid code point in &{body};")))
+            }
+            _ if body.starts_with('#') => {
+                let code = body[1..]
+                    .parse::<u32>()
+                    .map_err(|_| self.err(format!("bad character reference &{body};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.err(format!("invalid code point in &{body};")))
+            }
+            _ => Err(self.err(format!("unknown entity &{body};"))),
+        }
+    }
+}
+
+/// Append text, merging with a preceding text node so entity boundaries do
+/// not fragment character data.
+fn push_text(el: &mut Element, text: String) {
+    if let Some(Node::Text(prev)) = el.children.last_mut() {
+        prev.push_str(&text);
+    } else {
+        el.children.push(Node::Text(text));
+    }
+}
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c == b':'
+}
+
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b':' | b'-' | b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_document() {
+        let doc = parse("<a/>").unwrap();
+        assert_eq!(doc.root, Element::new("a"));
+    }
+
+    #[test]
+    fn declaration_and_comments_skipped() {
+        let doc = parse(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!-- damaris -->\n<sim/>\n<!-- end -->",
+        )
+        .unwrap();
+        assert_eq!(doc.root.name, "sim");
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let doc = parse(r#"<v a="1" b='two'/>"#).unwrap();
+        assert_eq!(doc.root.attr("a"), Some("1"));
+        assert_eq!(doc.root.attr("b"), Some("two"));
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let doc = parse("<a><b>hi</b><c/></a>").unwrap();
+        assert_eq!(doc.root.elements().count(), 2);
+        assert_eq!(doc.root.child("b").unwrap().text(), "hi");
+    }
+
+    #[test]
+    fn entities_resolved() {
+        let doc = parse("<a t=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</a>").unwrap();
+        assert_eq!(doc.root.attr("t"), Some("<&>"));
+        assert_eq!(doc.root.text(), "\"x' AB");
+    }
+
+    #[test]
+    fn cdata_taken_verbatim() {
+        let doc = parse("<a><![CDATA[1 < 2 && 3 > 2]]></a>").unwrap();
+        assert_eq!(doc.root.text(), "1 < 2 && 3 > 2");
+    }
+
+    #[test]
+    fn interelement_whitespace_dropped() {
+        let doc = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert!(doc.root.children.iter().all(|n| matches!(n, Node::Element(_))));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(e.to_string().contains("mismatched end tag"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        assert!(parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn unterminated_element_rejected() {
+        assert!(parse("<a><b/>").is_err());
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn doctype_rejected() {
+        assert!(parse("<!DOCTYPE html><a/>").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(parse("<a>&nbsp;</a>").is_err());
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let err = parse("<a>\n  <b x=></b></a>").unwrap_err();
+        match err {
+            XmlError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn utf8_text_supported() {
+        let doc = parse("<a>héhé ∀x</a>").unwrap();
+        assert_eq!(doc.root.text(), "héhé ∀x");
+    }
+
+    #[test]
+    fn whitespace_inside_tags_tolerated() {
+        let doc = parse("<a  x = \"1\"   ></a >").unwrap();
+        assert_eq!(doc.root.attr("x"), Some("1"));
+    }
+}

@@ -1,0 +1,860 @@
+//! Typed Damaris configuration schema.
+//!
+//! The paper (§III.A) bases all data management on "a high level description
+//! of the data, coming from an external XML file in a way similar to ADIOS":
+//! variables, their relationships (dimension scales, meshes, layouts) and the
+//! configuration of the plugins that make up the data-management service.
+//! This module is that description, loaded into plain Rust types.
+//!
+//! A full configuration looks like:
+//!
+//! ```xml
+//! <simulation name="cm1">
+//!   <architecture>
+//!     <dedicated cores="1"/>
+//!     <buffer size="67108864"/>
+//!     <queue capacity="256"/>
+//!     <skip mode="drop-iteration" high-watermark="0.8"/>
+//!   </architecture>
+//!   <data>
+//!     <parameter name="nx" value="64"/>
+//!     <parameter name="ny" value="64"/>
+//!     <parameter name="nz" value="32"/>
+//!     <layout name="grid3d" type="f32" dimensions="nx,ny,nz"/>
+//!     <mesh name="atmosphere" type="rectilinear">
+//!       <coord name="x" unit="m"/>
+//!       <coord name="y" unit="m"/>
+//!       <coord name="z" unit="m"/>
+//!     </mesh>
+//!     <variable name="u" layout="grid3d" mesh="atmosphere" unit="m/s"/>
+//!     <group name="moisture">
+//!       <variable name="qv" layout="grid3d" mesh="atmosphere"/>
+//!     </group>
+//!   </data>
+//!   <actions>
+//!     <action name="dump" plugin="hdf5" event="end-of-iteration" frequency="1"/>
+//!     <action name="pack" plugin="compress" event="end-of-iteration">
+//!       <param name="pipeline" value="xor-delta,rle"/>
+//!     </action>
+//!   </actions>
+//! </simulation>
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{XmlError, XmlResult};
+use crate::tree::Element;
+
+/// Element type of a variable's layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ElemType {
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+    F32,
+    F64,
+}
+
+impl ElemType {
+    /// Size in bytes of one element.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            ElemType::I8 | ElemType::U8 => 1,
+            ElemType::I16 | ElemType::U16 => 2,
+            ElemType::I32 | ElemType::U32 | ElemType::F32 => 4,
+            ElemType::I64 | ElemType::U64 | ElemType::F64 => 8,
+        }
+    }
+
+    /// Parse the `type="…"` attribute.
+    pub fn parse(s: &str) -> XmlResult<Self> {
+        Ok(match s.trim() {
+            "i8" | "char" => ElemType::I8,
+            "i16" | "short" => ElemType::I16,
+            "i32" | "int" | "integer" => ElemType::I32,
+            "i64" | "long" => ElemType::I64,
+            "u8" => ElemType::U8,
+            "u16" => ElemType::U16,
+            "u32" => ElemType::U32,
+            "u64" => ElemType::U64,
+            "f32" | "float" | "real" => ElemType::F32,
+            "f64" | "double" => ElemType::F64,
+            other => return Err(XmlError::schema(format!("unknown element type '{other}'"))),
+        })
+    }
+
+    /// Canonical name for serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElemType::I8 => "i8",
+            ElemType::I16 => "i16",
+            ElemType::I32 => "i32",
+            ElemType::I64 => "i64",
+            ElemType::U8 => "u8",
+            ElemType::U16 => "u16",
+            ElemType::U32 => "u32",
+            ElemType::U64 => "u64",
+            ElemType::F32 => "f32",
+            ElemType::F64 => "f64",
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named memory layout: element type plus dimensions.
+///
+/// Dimension expressions may reference `<parameter>` values by name; they are
+/// resolved at load time so consumers always see concrete extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Layout name referenced by variables.
+    pub name: String,
+    /// Element type of the block.
+    pub elem_type: ElemType,
+    /// Concrete extents, slowest-varying first (C order).
+    pub dimensions: Vec<usize>,
+}
+
+impl Layout {
+    /// Number of elements in one block of this layout.
+    pub fn element_count(&self) -> usize {
+        self.dimensions.iter().product()
+    }
+
+    /// Number of bytes in one block of this layout.
+    pub fn byte_size(&self) -> usize {
+        self.element_count() * self.elem_type.size_bytes()
+    }
+}
+
+/// Mesh topology kinds understood by downstream visualization plugins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshType {
+    /// Axis-aligned, per-axis coordinate arrays.
+    Rectilinear,
+    /// Explicit per-node coordinates.
+    Curvilinear,
+    /// Point cloud.
+    Points,
+}
+
+impl MeshType {
+    fn parse(s: &str) -> XmlResult<Self> {
+        Ok(match s.trim() {
+            "rectilinear" => MeshType::Rectilinear,
+            "curvilinear" => MeshType::Curvilinear,
+            "points" => MeshType::Points,
+            other => return Err(XmlError::schema(format!("unknown mesh type '{other}'"))),
+        })
+    }
+}
+
+/// A coordinate axis of a mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coord {
+    /// Axis name (`x`, `y`, …).
+    pub name: String,
+    /// Physical unit, if declared.
+    pub unit: Option<String>,
+}
+
+/// A mesh that variables may attach to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh {
+    /// Mesh name referenced by variables.
+    pub name: String,
+    /// Topology kind.
+    pub mesh_type: MeshType,
+    /// Coordinate axes in declaration order.
+    pub coords: Vec<Coord>,
+}
+
+/// Where a variable's values live relative to mesh cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Centering {
+    /// One value per mesh node (default).
+    #[default]
+    Nodal,
+    /// One value per mesh cell.
+    Zonal,
+}
+
+/// A simulation variable shared with the dedicated cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variable {
+    /// Fully qualified name (`group/name` when declared inside a group).
+    pub name: String,
+    /// Name of the layout describing one block of this variable.
+    pub layout: String,
+    /// Optional mesh the variable is defined on.
+    pub mesh: Option<String>,
+    /// Optional physical unit.
+    pub unit: Option<String>,
+    /// Value centering on the mesh.
+    pub centering: Centering,
+    /// Whether this variable is stored by the HDF5 plugin (default true).
+    pub store: bool,
+}
+
+/// When an action fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// After every `frequency`-th completed iteration.
+    EndOfIteration {
+        /// Fire every n-th iteration (≥ 1).
+        frequency: u64,
+    },
+    /// When a client explicitly calls `signal(event_name)`.
+    Event(
+        /// Name of the user event.
+        String,
+    ),
+}
+
+/// One plugin invocation description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    /// Action name (unique).
+    pub name: String,
+    /// Plugin identifier (what code runs).
+    pub plugin: String,
+    /// Firing condition.
+    pub trigger: Trigger,
+    /// Free-form key/value parameters passed to the plugin.
+    pub params: Vec<(String, String)>,
+}
+
+impl Action {
+    /// Look up a parameter by key.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Behaviour when the shared-memory segment approaches exhaustion
+/// (paper §V.C.1: "accepting potential loss of data rather than blocking the
+/// simulation").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SkipMode {
+    /// Block the writer until space is available (classic behaviour).
+    Block,
+    /// Drop entire incoming iterations until pressure recedes.
+    DropIteration,
+}
+
+/// Backpressure policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkipConfig {
+    /// Reaction to memory pressure.
+    pub mode: SkipMode,
+    /// Fraction of segment occupancy above which the policy engages
+    /// (0 < w ≤ 1).
+    pub high_watermark: f64,
+}
+
+impl Default for SkipConfig {
+    fn default() -> Self {
+        SkipConfig { mode: SkipMode::Block, high_watermark: 0.9 }
+    }
+}
+
+/// Node-level resource configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Architecture {
+    /// Cores per node dedicated to data management (≥ 1 for Damaris mode,
+    /// 0 selects the synchronous baselines).
+    pub dedicated_cores: usize,
+    /// Shared-memory segment capacity in bytes.
+    pub buffer_size: usize,
+    /// Event queue capacity in messages.
+    pub queue_capacity: usize,
+    /// Backpressure policy.
+    pub skip: SkipConfig,
+}
+
+impl Default for Architecture {
+    fn default() -> Self {
+        Architecture {
+            dedicated_cores: 1,
+            buffer_size: 64 << 20,
+            queue_capacity: 1024,
+            skip: SkipConfig::default(),
+        }
+    }
+}
+
+/// A complete, validated Damaris configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Configuration {
+    /// Simulation name.
+    pub name: String,
+    /// Node architecture settings.
+    pub architecture: Architecture,
+    /// Named integer parameters usable in layout dimensions.
+    pub parameters: BTreeMap<String, usize>,
+    /// Declared layouts by name.
+    pub layouts: BTreeMap<String, Layout>,
+    /// Declared meshes by name.
+    pub meshes: BTreeMap<String, Mesh>,
+    /// Declared variables in document order.
+    pub variables: Vec<Variable>,
+    /// Declared actions in document order.
+    pub actions: Vec<Action>,
+}
+
+impl Configuration {
+    /// Parse and validate a configuration from XML text.
+    #[allow(clippy::should_implement_trait)] // fallible, XML-specific parse
+    pub fn from_str(xml: &str) -> XmlResult<Self> {
+        let doc = crate::parse(xml)?;
+        Self::from_element(&doc.root)
+    }
+
+    /// Load and validate a configuration from a file on disk.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> XmlResult<Self> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| XmlError::schema(format!("cannot read {:?}: {e}", path.as_ref())))?;
+        Self::from_str(&text)
+    }
+
+    /// Build from an already parsed `<simulation>` root element.
+    pub fn from_element(root: &Element) -> XmlResult<Self> {
+        if root.name != "simulation" {
+            return Err(XmlError::schema(format!(
+                "root element must be <simulation>, found <{}>",
+                root.name
+            )));
+        }
+        let mut cfg = Configuration {
+            name: root.attr("name").unwrap_or("unnamed").to_string(),
+            ..Default::default()
+        };
+
+        if let Some(arch) = root.child("architecture") {
+            cfg.architecture = parse_architecture(arch)?;
+        }
+
+        if let Some(data) = root.child("data") {
+            // Parameters first: dimensions may reference them.
+            for p in data.children_named("parameter") {
+                let name = required_attr(p, "name")?;
+                let value: usize = p
+                    .attr_parse("value")
+                    .map_err(XmlError::schema)?
+                    .ok_or_else(|| XmlError::schema("<parameter> needs value=\"…\""))?;
+                cfg.parameters.insert(name, value);
+            }
+            for l in data.children_named("layout") {
+                let layout = parse_layout(l, &cfg.parameters)?;
+                if cfg.layouts.insert(layout.name.clone(), layout.clone()).is_some() {
+                    return Err(XmlError::schema(format!("duplicate layout '{}'", layout.name)));
+                }
+            }
+            for m in data.children_named("mesh") {
+                let mesh = parse_mesh(m)?;
+                if cfg.meshes.insert(mesh.name.clone(), mesh.clone()).is_some() {
+                    return Err(XmlError::schema(format!("duplicate mesh '{}'", mesh.name)));
+                }
+            }
+            for v in data.children_named("variable") {
+                cfg.variables.push(parse_variable(v, None)?);
+            }
+            for g in data.children_named("group") {
+                let gname = required_attr(g, "name")?;
+                for v in g.children_named("variable") {
+                    cfg.variables.push(parse_variable(v, Some(&gname))?);
+                }
+            }
+        }
+
+        if let Some(actions) = root.child("actions") {
+            for a in actions.children_named("action") {
+                cfg.actions.push(parse_action(a)?);
+            }
+        }
+
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Cross-reference validation: every variable has a known layout and
+    /// mesh, names are unique, sizes are sane.
+    pub fn validate(&self) -> XmlResult<()> {
+        let mut seen = std::collections::BTreeSet::new();
+        for v in &self.variables {
+            if !seen.insert(&v.name) {
+                return Err(XmlError::schema(format!("duplicate variable '{}'", v.name)));
+            }
+            let layout = self.layouts.get(&v.layout).ok_or_else(|| {
+                XmlError::schema(format!(
+                    "variable '{}' references unknown layout '{}'",
+                    v.name, v.layout
+                ))
+            })?;
+            if layout.dimensions.is_empty() || layout.element_count() == 0 {
+                return Err(XmlError::schema(format!(
+                    "layout '{}' has an empty extent",
+                    layout.name
+                )));
+            }
+            if let Some(mesh) = &v.mesh {
+                if !self.meshes.contains_key(mesh) {
+                    return Err(XmlError::schema(format!(
+                        "variable '{}' references unknown mesh '{mesh}'",
+                        v.name
+                    )));
+                }
+            }
+            if layout.byte_size() > self.architecture.buffer_size {
+                return Err(XmlError::schema(format!(
+                    "variable '{}' ({} bytes) cannot fit the {}-byte shared buffer",
+                    v.name,
+                    layout.byte_size(),
+                    self.architecture.buffer_size
+                )));
+            }
+        }
+        let mut names = std::collections::BTreeSet::new();
+        for a in &self.actions {
+            if !names.insert(&a.name) {
+                return Err(XmlError::schema(format!("duplicate action '{}'", a.name)));
+            }
+        }
+        let w = self.architecture.skip.high_watermark;
+        if !(w > 0.0 && w <= 1.0) {
+            return Err(XmlError::schema(format!("high-watermark {w} outside (0, 1]")));
+        }
+        Ok(())
+    }
+
+    /// Look up a variable by (qualified) name.
+    pub fn variable(&self, name: &str) -> Option<&Variable> {
+        self.variables.iter().find(|v| v.name == name)
+    }
+
+    /// The layout of a variable, if both exist.
+    pub fn layout_of(&self, variable: &str) -> Option<&Layout> {
+        self.variable(variable).and_then(|v| self.layouts.get(&v.layout))
+    }
+
+    /// Total bytes one client writes per iteration (all stored variables).
+    pub fn bytes_per_iteration(&self) -> usize {
+        self.variables
+            .iter()
+            .filter(|v| v.store)
+            .filter_map(|v| self.layouts.get(&v.layout))
+            .map(Layout::byte_size)
+            .sum()
+    }
+
+    /// Serialize back to XML (used by tooling and round-trip tests).
+    pub fn to_xml(&self) -> String {
+        let mut root = Element::new("simulation").with_attr("name", &self.name);
+        let arch = Element::new("architecture")
+            .with_child(
+                Element::new("dedicated")
+                    .with_attr("cores", self.architecture.dedicated_cores.to_string()),
+            )
+            .with_child(
+                Element::new("buffer")
+                    .with_attr("size", self.architecture.buffer_size.to_string()),
+            )
+            .with_child(
+                Element::new("queue")
+                    .with_attr("capacity", self.architecture.queue_capacity.to_string()),
+            )
+            .with_child(
+                Element::new("skip")
+                    .with_attr(
+                        "mode",
+                        match self.architecture.skip.mode {
+                            SkipMode::Block => "block",
+                            SkipMode::DropIteration => "drop-iteration",
+                        },
+                    )
+                    .with_attr(
+                        "high-watermark",
+                        format!("{}", self.architecture.skip.high_watermark),
+                    ),
+            );
+        root = root.with_child(arch);
+
+        let mut data = Element::new("data");
+        for (name, value) in &self.parameters {
+            data = data.with_child(
+                Element::new("parameter")
+                    .with_attr("name", name)
+                    .with_attr("value", value.to_string()),
+            );
+        }
+        for layout in self.layouts.values() {
+            let dims: Vec<String> = layout.dimensions.iter().map(|d| d.to_string()).collect();
+            data = data.with_child(
+                Element::new("layout")
+                    .with_attr("name", &layout.name)
+                    .with_attr("type", layout.elem_type.name())
+                    .with_attr("dimensions", dims.join(",")),
+            );
+        }
+        for mesh in self.meshes.values() {
+            let mut m = Element::new("mesh").with_attr("name", &mesh.name).with_attr(
+                "type",
+                match mesh.mesh_type {
+                    MeshType::Rectilinear => "rectilinear",
+                    MeshType::Curvilinear => "curvilinear",
+                    MeshType::Points => "points",
+                },
+            );
+            for c in &mesh.coords {
+                let mut ce = Element::new("coord").with_attr("name", &c.name);
+                if let Some(u) = &c.unit {
+                    ce = ce.with_attr("unit", u);
+                }
+                m = m.with_child(ce);
+            }
+            data = data.with_child(m);
+        }
+        for v in &self.variables {
+            let mut ve =
+                Element::new("variable").with_attr("name", &v.name).with_attr("layout", &v.layout);
+            if let Some(m) = &v.mesh {
+                ve = ve.with_attr("mesh", m);
+            }
+            if let Some(u) = &v.unit {
+                ve = ve.with_attr("unit", u);
+            }
+            if v.centering == Centering::Zonal {
+                ve = ve.with_attr("centering", "zonal");
+            }
+            if !v.store {
+                ve = ve.with_attr("store", "false");
+            }
+            data = data.with_child(ve);
+        }
+        root = root.with_child(data);
+
+        if !self.actions.is_empty() {
+            let mut actions = Element::new("actions");
+            for a in &self.actions {
+                let mut ae =
+                    Element::new("action").with_attr("name", &a.name).with_attr("plugin", &a.plugin);
+                match &a.trigger {
+                    Trigger::EndOfIteration { frequency } => {
+                        ae = ae
+                            .with_attr("event", "end-of-iteration")
+                            .with_attr("frequency", frequency.to_string());
+                    }
+                    Trigger::Event(name) => {
+                        ae = ae.with_attr("event", name);
+                    }
+                }
+                for (k, v) in &a.params {
+                    ae = ae.with_child(
+                        Element::new("param").with_attr("name", k).with_attr("value", v),
+                    );
+                }
+                actions = actions.with_child(ae);
+            }
+            root = root.with_child(actions);
+        }
+        root.to_xml()
+    }
+}
+
+fn required_attr(el: &Element, name: &str) -> XmlResult<String> {
+    el.attr(name)
+        .map(str::to_string)
+        .ok_or_else(|| XmlError::schema(format!("<{}> requires {name}=\"…\"", el.name)))
+}
+
+fn parse_architecture(el: &Element) -> XmlResult<Architecture> {
+    let mut arch = Architecture::default();
+    if let Some(d) = el.child("dedicated") {
+        arch.dedicated_cores =
+            d.attr_parse("cores").map_err(XmlError::schema)?.unwrap_or(arch.dedicated_cores);
+    }
+    if let Some(b) = el.child("buffer") {
+        arch.buffer_size =
+            b.attr_parse("size").map_err(XmlError::schema)?.unwrap_or(arch.buffer_size);
+        if arch.buffer_size == 0 {
+            return Err(XmlError::schema("<buffer size> must be positive"));
+        }
+    }
+    if let Some(q) = el.child("queue") {
+        arch.queue_capacity =
+            q.attr_parse("capacity").map_err(XmlError::schema)?.unwrap_or(arch.queue_capacity);
+        if arch.queue_capacity == 0 {
+            return Err(XmlError::schema("<queue capacity> must be positive"));
+        }
+    }
+    if let Some(s) = el.child("skip") {
+        let mode = match s.attr("mode").unwrap_or("block") {
+            "block" => SkipMode::Block,
+            "drop-iteration" => SkipMode::DropIteration,
+            other => {
+                return Err(XmlError::schema(format!("unknown skip mode '{other}'")));
+            }
+        };
+        let hw = s
+            .attr_parse::<f64>("high-watermark")
+            .map_err(XmlError::schema)?
+            .unwrap_or(SkipConfig::default().high_watermark);
+        arch.skip = SkipConfig { mode, high_watermark: hw };
+    }
+    Ok(arch)
+}
+
+fn parse_layout(el: &Element, params: &BTreeMap<String, usize>) -> XmlResult<Layout> {
+    let name = required_attr(el, "name")?;
+    let elem_type = ElemType::parse(&required_attr(el, "type")?)?;
+    let dims_attr = required_attr(el, "dimensions")?;
+    let mut dimensions = Vec::new();
+    for token in dims_attr.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            return Err(XmlError::schema(format!("layout '{name}' has an empty dimension token")));
+        }
+        let extent = if let Ok(n) = token.parse::<usize>() {
+            n
+        } else {
+            *params.get(token).ok_or_else(|| {
+                XmlError::schema(format!(
+                    "layout '{name}' dimension '{token}' is neither a number nor a declared parameter"
+                ))
+            })?
+        };
+        dimensions.push(extent);
+    }
+    Ok(Layout { name, elem_type, dimensions })
+}
+
+fn parse_mesh(el: &Element) -> XmlResult<Mesh> {
+    let name = required_attr(el, "name")?;
+    let mesh_type = MeshType::parse(el.attr("type").unwrap_or("rectilinear"))?;
+    let mut coords = Vec::new();
+    for c in el.children_named("coord") {
+        coords.push(Coord { name: required_attr(c, "name")?, unit: c.attr("unit").map(Into::into) });
+    }
+    Ok(Mesh { name, mesh_type, coords })
+}
+
+fn parse_variable(el: &Element, group: Option<&str>) -> XmlResult<Variable> {
+    let base = required_attr(el, "name")?;
+    let name = match group {
+        Some(g) => format!("{g}/{base}"),
+        None => base,
+    };
+    let centering = match el.attr("centering").unwrap_or("nodal") {
+        "nodal" => Centering::Nodal,
+        "zonal" => Centering::Zonal,
+        other => return Err(XmlError::schema(format!("unknown centering '{other}'"))),
+    };
+    let store = match el.attr("store").unwrap_or("true") {
+        "true" | "1" | "yes" => true,
+        "false" | "0" | "no" => false,
+        other => return Err(XmlError::schema(format!("bad store flag '{other}'"))),
+    };
+    Ok(Variable {
+        name,
+        layout: required_attr(el, "layout")?,
+        mesh: el.attr("mesh").map(Into::into),
+        unit: el.attr("unit").map(Into::into),
+        centering,
+        store,
+    })
+}
+
+fn parse_action(el: &Element) -> XmlResult<Action> {
+    let name = required_attr(el, "name")?;
+    let plugin = required_attr(el, "plugin")?;
+    let trigger = match el.attr("event").unwrap_or("end-of-iteration") {
+        "end-of-iteration" => {
+            let frequency = el.attr_parse::<u64>("frequency").map_err(XmlError::schema)?.unwrap_or(1);
+            if frequency == 0 {
+                return Err(XmlError::schema(format!("action '{name}': frequency must be ≥ 1")));
+            }
+            Trigger::EndOfIteration { frequency }
+        }
+        custom => Trigger::Event(custom.to_string()),
+    };
+    let mut params = Vec::new();
+    for p in el.children_named("param") {
+        params.push((required_attr(p, "name")?, required_attr(p, "value")?));
+    }
+    Ok(Action { name, plugin, trigger, params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+      <simulation name="cm1">
+        <architecture>
+          <dedicated cores="1"/>
+          <buffer size="67108864"/>
+          <queue capacity="256"/>
+          <skip mode="drop-iteration" high-watermark="0.8"/>
+        </architecture>
+        <data>
+          <parameter name="nx" value="64"/>
+          <parameter name="ny" value="64"/>
+          <parameter name="nz" value="32"/>
+          <layout name="grid3d" type="f32" dimensions="nx,ny,nz"/>
+          <mesh name="atmosphere" type="rectilinear">
+            <coord name="x" unit="m"/>
+            <coord name="y" unit="m"/>
+            <coord name="z" unit="m"/>
+          </mesh>
+          <variable name="u" layout="grid3d" mesh="atmosphere" unit="m/s"/>
+          <variable name="theta" layout="grid3d" mesh="atmosphere" unit="K"/>
+          <group name="moisture">
+            <variable name="qv" layout="grid3d" mesh="atmosphere"/>
+          </group>
+        </data>
+        <actions>
+          <action name="dump" plugin="hdf5" event="end-of-iteration" frequency="2"/>
+          <action name="pack" plugin="compress" event="end-of-iteration">
+            <param name="pipeline" value="xor-delta,rle"/>
+          </action>
+          <action name="snapshot" plugin="viz" event="user-snapshot"/>
+        </actions>
+      </simulation>"#;
+
+    #[test]
+    fn full_configuration_loads() {
+        let cfg = Configuration::from_str(FULL).unwrap();
+        assert_eq!(cfg.name, "cm1");
+        assert_eq!(cfg.architecture.dedicated_cores, 1);
+        assert_eq!(cfg.architecture.buffer_size, 64 << 20);
+        assert_eq!(cfg.architecture.queue_capacity, 256);
+        assert_eq!(cfg.architecture.skip.mode, SkipMode::DropIteration);
+        assert_eq!(cfg.variables.len(), 3);
+        assert_eq!(cfg.variables[2].name, "moisture/qv");
+        assert_eq!(cfg.layouts["grid3d"].dimensions, vec![64, 64, 32]);
+        assert_eq!(cfg.layouts["grid3d"].byte_size(), 64 * 64 * 32 * 4);
+        assert_eq!(cfg.actions.len(), 3);
+        assert_eq!(cfg.actions[0].trigger, Trigger::EndOfIteration { frequency: 2 });
+        assert_eq!(cfg.actions[1].param("pipeline"), Some("xor-delta,rle"));
+        assert_eq!(cfg.actions[2].trigger, Trigger::Event("user-snapshot".into()));
+    }
+
+    #[test]
+    fn bytes_per_iteration_sums_stored_variables() {
+        let cfg = Configuration::from_str(FULL).unwrap();
+        assert_eq!(cfg.bytes_per_iteration(), 3 * 64 * 64 * 32 * 4);
+    }
+
+    #[test]
+    fn parameters_resolve_in_dimensions() {
+        let cfg = Configuration::from_str(FULL).unwrap();
+        assert_eq!(cfg.layout_of("u").unwrap().element_count(), 64 * 64 * 32);
+    }
+
+    #[test]
+    fn unknown_layout_rejected() {
+        let xml = r#"<simulation><data>
+            <variable name="u" layout="nope"/>
+        </data></simulation>"#;
+        let err = Configuration::from_str(xml).unwrap_err();
+        assert!(err.to_string().contains("unknown layout"), "{err}");
+    }
+
+    #[test]
+    fn unknown_mesh_rejected() {
+        let xml = r#"<simulation><data>
+            <layout name="l" type="f64" dimensions="2"/>
+            <variable name="u" layout="l" mesh="ghost"/>
+        </data></simulation>"#;
+        assert!(Configuration::from_str(xml).is_err());
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let xml = r#"<simulation><data>
+            <layout name="l" type="f64" dimensions="2"/>
+            <variable name="u" layout="l"/>
+            <variable name="u" layout="l"/>
+        </data></simulation>"#;
+        assert!(Configuration::from_str(xml).is_err());
+    }
+
+    #[test]
+    fn oversized_variable_rejected() {
+        let xml = r#"<simulation>
+          <architecture><buffer size="16"/></architecture>
+          <data>
+            <layout name="big" type="f64" dimensions="1024"/>
+            <variable name="u" layout="big"/>
+          </data></simulation>"#;
+        let err = Configuration::from_str(xml).unwrap_err();
+        assert!(err.to_string().contains("cannot fit"), "{err}");
+    }
+
+    #[test]
+    fn bad_watermark_rejected() {
+        let xml = r#"<simulation>
+          <architecture><skip mode="block" high-watermark="1.5"/></architecture>
+        </simulation>"#;
+        assert!(Configuration::from_str(xml).is_err());
+    }
+
+    #[test]
+    fn zero_frequency_rejected() {
+        let xml = r#"<simulation><actions>
+            <action name="a" plugin="p" event="end-of-iteration" frequency="0"/>
+        </actions></simulation>"#;
+        assert!(Configuration::from_str(xml).is_err());
+    }
+
+    #[test]
+    fn undeclared_dimension_parameter_rejected() {
+        let xml = r#"<simulation><data>
+            <layout name="l" type="f32" dimensions="nx"/>
+        </data></simulation>"#;
+        let err = Configuration::from_str(xml).unwrap_err();
+        assert!(err.to_string().contains("neither a number nor a declared parameter"));
+    }
+
+    #[test]
+    fn elem_type_sizes() {
+        assert_eq!(ElemType::parse("double").unwrap(), ElemType::F64);
+        assert_eq!(ElemType::F64.size_bytes(), 8);
+        assert_eq!(ElemType::parse("int").unwrap().size_bytes(), 4);
+        assert_eq!(ElemType::U16.size_bytes(), 2);
+        assert!(ElemType::parse("quaternion").is_err());
+    }
+
+    #[test]
+    fn xml_roundtrip_is_stable() {
+        let cfg = Configuration::from_str(FULL).unwrap();
+        let xml = cfg.to_xml();
+        let cfg2 = Configuration::from_str(&xml).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn defaults_when_sections_missing() {
+        let cfg = Configuration::from_str("<simulation name=\"x\"/>").unwrap();
+        assert_eq!(cfg.architecture.dedicated_cores, 1);
+        assert!(cfg.variables.is_empty());
+        assert_eq!(cfg.bytes_per_iteration(), 0);
+    }
+
+    #[test]
+    fn non_simulation_root_rejected() {
+        assert!(Configuration::from_str("<config/>").is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! DOM tree produced by the parser: [`Element`] and [`Node`].
+
+use std::fmt::Write as _;
+
+/// A child of an element: nested element or character data.
+///
+/// Comments and processing instructions are discarded at parse time; CDATA
+/// sections are folded into [`Node::Text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data (entity references already resolved).
+    Text(String),
+}
+
+/// An XML element: name, ordered attributes, ordered children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name (including any namespace prefix, kept verbatim).
+    pub name: String,
+    /// Attributes in document order as `(name, value)` pairs.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an element with the given tag name and no content.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), ..Default::default() }
+    }
+
+    /// Builder-style: add an attribute.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder-style: add a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style: add a text child.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Value of the first attribute with the given name, if any.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute parsed with `FromStr`, `None` if absent, `Err` if malformed.
+    pub fn attr_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.attr(name) {
+            None => Ok(None),
+            Some(s) => s
+                .trim()
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("attribute '{name}'='{s}' of <{}> is malformed", self.name)),
+        }
+    }
+
+    /// Iterator over child elements (skipping text nodes).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// Concatenated text content of this element (direct text children only).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Serialize to XML with 2-space indentation.
+    ///
+    /// Text nodes are escaped; round-tripping through [`crate::parse`]
+    /// reproduces the same tree (whitespace-only text nodes between elements
+    /// are not preserved — the parser drops them, matching how the Damaris
+    /// configuration treats layout).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_indented(&mut out, 0);
+        out
+    }
+
+    fn write_indented(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let _ = write!(out, "{pad}<{}", self.name);
+        for (k, v) in &self.attributes {
+            let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        // Elements whose only children are text render inline.
+        let inline = self.children.iter().all(|n| matches!(n, Node::Text(_)));
+        if inline {
+            out.push('>');
+            for n in &self.children {
+                if let Node::Text(t) = n {
+                    out.push_str(&escape_text(t));
+                }
+            }
+            let _ = writeln!(out, "</{}>", self.name);
+            return;
+        }
+        out.push_str(">\n");
+        for n in &self.children {
+            match n {
+                Node::Element(e) => e.write_indented(out, depth + 1),
+                Node::Text(t) => {
+                    let trimmed = t.trim();
+                    if !trimmed.is_empty() {
+                        let _ = writeln!(out, "{pad}  {}", escape_text(trimmed));
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, "{pad}</{}>", self.name);
+    }
+}
+
+/// Escape `&`, `<` and `"` for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `&`, `<` and `>` for use in character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("data")
+            .with_attr("name", "wind")
+            .with_child(
+                Element::new("variable")
+                    .with_attr("name", "u")
+                    .with_attr("layout", "grid"),
+            )
+            .with_child(Element::new("note").with_text("x < y & z"))
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let e = sample();
+        assert_eq!(e.attr("name"), Some("wind"));
+        assert_eq!(e.attr("missing"), None);
+    }
+
+    #[test]
+    fn attr_parse_ok_and_err() {
+        let e = Element::new("buffer").with_attr("size", "4096").with_attr("bad", "4k");
+        assert_eq!(e.attr_parse::<usize>("size").unwrap(), Some(4096));
+        assert_eq!(e.attr_parse::<usize>("missing").unwrap(), None);
+        assert!(e.attr_parse::<usize>("bad").is_err());
+    }
+
+    #[test]
+    fn child_navigation() {
+        let e = sample();
+        assert!(e.child("variable").is_some());
+        assert_eq!(e.children_named("variable").count(), 1);
+        assert_eq!(e.child("note").unwrap().text(), "x < y & z");
+    }
+
+    #[test]
+    fn serialize_escapes() {
+        let xml = sample().to_xml();
+        assert!(xml.contains("x &lt; y &amp; z"), "{xml}");
+        assert!(xml.contains("<variable name=\"u\" layout=\"grid\"/>"));
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let xml = sample().to_xml();
+        let doc = crate::parse(&xml).unwrap();
+        assert_eq!(doc.root, sample());
+    }
+
+    #[test]
+    fn empty_element_serializes_self_closing() {
+        assert_eq!(Element::new("queue").to_xml(), "<queue/>\n");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: parse ∘ serialize is a fixpoint for arbitrary trees, and
+//! arbitrary text/attribute content survives escaping.
+
+use damaris_xml::{parse, Element};
+use proptest::prelude::*;
+
+/// Strategy for XML names (subset accepted by the parser).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,11}"
+}
+
+/// Strategy for attribute values / text content including characters that
+/// require escaping. Excludes control characters and carriage returns, which
+/// XML 1.0 normalizes.
+fn content_strategy() -> impl Strategy<Value = String> {
+    "[ -~&&[^\r]]{0,24}".prop_map(|s| s.replace('\r', " "))
+}
+
+/// Recursive element strategy, bounded depth and fanout.
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), content_strategy()), 0..4))
+        .prop_map(|(name, raw_attrs)| {
+            let mut el = Element::new(name);
+            for (k, v) in raw_attrs {
+                if el.attr(&k).is_none() {
+                    el.attributes.push((k, v));
+                }
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), content_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+            proptest::option::of(content_strategy()),
+        )
+            .prop_map(|(name, raw_attrs, children, text)| {
+                let mut el = Element::new(name);
+                for (k, v) in raw_attrs {
+                    if el.attr(&k).is_none() {
+                        el.attributes.push((k, v));
+                    }
+                }
+                // A single optional text child first (mixed content with
+                // whitespace-only text does not round-trip by design).
+                if let Some(t) = text {
+                    let t = t.trim().to_string();
+                    if !t.is_empty() && children.is_empty() {
+                        el = el.with_text(t);
+                    }
+                }
+                for c in children {
+                    el = el.with_child(c);
+                }
+                el
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn serialize_then_parse_is_identity(el in element_strategy()) {
+        let xml = el.to_xml();
+        let doc = parse(&xml).unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
+        // Text nodes are trimmed by the serializer for non-inline content;
+        // compare against a normalized version of the original.
+        prop_assert_eq!(doc.root, el);
+    }
+
+    #[test]
+    fn attribute_values_roundtrip(v in content_strategy()) {
+        let el = Element::new("a").with_attr("v", v.clone());
+        let doc = parse(&el.to_xml()).unwrap();
+        prop_assert_eq!(doc.root.attr("v"), Some(v.as_str()));
+    }
+
+    #[test]
+    fn text_content_roundtrips(t in content_strategy()) {
+        prop_assume!(!t.trim().is_empty());
+        let el = Element::new("a").with_text(t.trim().to_string());
+        let doc = parse(&el.to_xml()).unwrap();
+        prop_assert_eq!(doc.root.text(), t.trim());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+}

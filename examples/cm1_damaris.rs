@@ -1,0 +1,193 @@
+//! CM1 through Damaris vs the two state-of-the-art baselines — the
+//! laptop-scale twin of the paper's §IV Kraken campaign.
+//!
+//! Eight "cores" simulate a warm-bubble atmosphere. Three I/O strategies
+//! persist every iteration's five 3-D fields:
+//!
+//! * file-per-process (synchronous, one file per rank per dump),
+//! * collective two-phase (synchronous, one shared file per dump),
+//! * Damaris (asynchronous: 7 compute clients + 1 dedicated core, one
+//!   node file per dump, compression in the dedicated core's spare time).
+//!
+//! The program prints what the *simulation* saw: per-iteration write cost,
+//! total run time, files produced, bytes stored.
+//!
+//! Run with: `cargo run --release --example cm1_damaris`
+
+use std::sync::Arc;
+
+use damaris::apps::{Cm1, Cm1Config, ProxyApp};
+use damaris::core::baseline;
+use damaris::core::plugins::{CompressPlugin, H5Writer};
+use damaris::core::prelude::*;
+use damaris::mpi::World;
+
+const NX: usize = 48;
+const NY: usize = 48;
+const NZ: usize = 24;
+const ITERATIONS: u64 = 4;
+
+fn config(clients: usize) -> String {
+    // Five variables per client, one layout.
+    let _ = clients;
+    format!(
+        r#"<simulation name="cm1">
+             <architecture>
+               <dedicated cores="1"/>
+               <buffer size="{}"/>
+               <queue capacity="512"/>
+               <skip mode="block" high-watermark="0.95"/>
+             </architecture>
+             <data>
+               <layout name="vol" type="f64" dimensions="{NZ},{NY},{NX}"/>
+               <mesh name="atmosphere" type="rectilinear">
+                 <coord name="x" unit="m"/>
+                 <coord name="y" unit="m"/>
+                 <coord name="z" unit="m"/>
+               </mesh>
+               <variable name="u" layout="vol" mesh="atmosphere" unit="m/s"/>
+               <variable name="v" layout="vol" mesh="atmosphere" unit="m/s"/>
+               <variable name="w" layout="vol" mesh="atmosphere" unit="m/s"/>
+               <variable name="theta" layout="vol" mesh="atmosphere" unit="K"/>
+               <variable name="qv" layout="vol" mesh="atmosphere" unit="kg/kg"/>
+             </data>
+             <actions>
+               <action name="dump" plugin="hdf5" event="end-of-iteration">
+                 <param name="codec" value="xor-delta8,shuffle8,rle,lzss"/>
+               </action>
+               <action name="pack" plugin="compress" event="end-of-iteration"/>
+             </actions>
+           </simulation>"#,
+        64 << 20
+    )
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn damaris_run(out: &std::path::Path) {
+    let clients = 7usize; // 8 cores: 7 compute + 1 dedicated
+    let node = DamarisNode::builder()
+        .config_str(&config(clients))
+        .expect("valid config")
+        .clients(clients)
+        .output_dir(out)
+        .build()
+        .expect("node starts");
+    let h5 = Arc::new(H5Writer::new());
+    let pack = Arc::new(CompressPlugin::new());
+    node.register_plugin(h5.clone());
+    node.register_plugin(pack.clone());
+
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = node
+        .clients()
+        .map(|client| {
+            std::thread::spawn(move || {
+                let mut sim = Cm1::new(Cm1Config {
+                    nx: NX,
+                    ny: NY,
+                    nz: NZ,
+                    seed: client.id() as u64,
+                    ..Default::default()
+                });
+                for it in 0..ITERATIONS {
+                    sim.step();
+                    for (name, values) in sim.fields() {
+                        client.write(name, it, values).expect("write");
+                    }
+                    client.end_iteration(it).expect("end iteration");
+                }
+                client.finalize().expect("finalize");
+                client.stats()
+            })
+        })
+        .collect();
+    let stats: Vec<_> = handles.into_iter().map(|h| h.join().expect("client")).collect();
+    let report = node.shutdown().expect("shutdown");
+    let wall = t0.elapsed().as_secs_f64();
+
+    let writes: Vec<f64> = stats.iter().flat_map(|s| s.write_seconds.iter().copied()).collect();
+    let (logical, stored) = h5.totals();
+    println!("--- damaris (7 compute + 1 dedicated) ---");
+    println!("wall: {wall:.2}s  iterations: {}", report.iterations_completed);
+    println!(
+        "sim-visible write cost: mean {:.3} ms, max {:.3} ms",
+        mean(&writes) * 1e3,
+        writes.iter().cloned().fold(0.0, f64::max) * 1e3
+    );
+    println!(
+        "files: {} (one per node per dump)  bytes: {logical} logical → {stored} stored ({:.1}:1)",
+        h5.written().len(),
+        logical as f64 / stored.max(1) as f64
+    );
+    println!(
+        "spare-time compression ratio: {:.1}:1  dedicated idle: {:.0} %",
+        pack.overall_ratio(),
+        report.dedicated_idle_fraction * 100.0
+    );
+}
+
+fn baseline_run(which: &str, out: std::path::PathBuf) {
+    let ranks = 8usize;
+    let which_owned = which.to_string();
+    let t0 = std::time::Instant::now();
+    let reports = World::run(ranks, move |comm| {
+        let mut sim = Cm1::new(Cm1Config {
+            nx: NX,
+            ny: NY,
+            nz: NZ,
+            seed: comm.rank() as u64,
+            ..Default::default()
+        });
+        let mut write_secs = Vec::new();
+        let mut files = 0usize;
+        for it in 0..ITERATIONS {
+            sim.step();
+            let fields = sim.fields();
+            let vars: Vec<(&str, &[f64])> = fields.iter().map(|&(n, v)| (n, v)).collect();
+            let report = if which_owned == "file-per-process" {
+                baseline::file_per_process(comm, &out, "cm1", it, &vars).expect("fpp dump")
+            } else {
+                baseline::collective(comm, &out, "cm1", it, &vars, 2).expect("collective dump")
+            };
+            write_secs.push(report.seconds);
+            files += report.files_created;
+        }
+        (write_secs, files)
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let all_writes: Vec<f64> = reports.iter().flat_map(|(w, _)| w.iter().copied()).collect();
+    let files: usize = reports.iter().map(|(_, f)| f).sum();
+    println!("--- {which} (8 ranks, synchronous) ---");
+    println!("wall: {wall:.2}s");
+    println!(
+        "sim-visible write cost: mean {:.3} ms, max {:.3} ms",
+        mean(&all_writes) * 1e3,
+        all_writes.iter().cloned().fold(0.0, f64::max) * 1e3
+    );
+    println!("files: {files}");
+}
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("damaris-cm1-{}", std::process::id()));
+    println!(
+        "CM1 warm bubble, {NX}x{NY}x{NZ} per rank, {ITERATIONS} iterations, 5 variables/dump\n"
+    );
+    damaris_run(&base.join("damaris"));
+    baseline_run("file-per-process", base.join("fpp"));
+    baseline_run("collective", base.join("collective"));
+    println!(
+        "\nNote: at laptop scale the file system is a local disk — the paper's\n\
+         contention effects live in the cluster model (see `cargo bench`).\n\
+         What this example demonstrates for real: the sim-visible write cost\n\
+         of Damaris stays at shared-memory speed and does not include any\n\
+         file I/O, while both baselines block the simulation for every dump."
+    );
+    std::fs::remove_dir_all(&base).ok();
+}

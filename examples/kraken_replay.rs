@@ -1,0 +1,57 @@
+//! Replay the paper's Kraken campaign in the cluster model and print the
+//! headline numbers next to the paper's — a fast tour of every §IV result.
+//!
+//! Run with: `cargo run --release --example kraken_replay`
+
+use damaris::cluster::experiments;
+
+fn main() {
+    let dumps = 3;
+    let seed = 42;
+
+    println!("Replaying the §IV Kraken campaign (CM1, weak scaling, {dumps} dumps)\n");
+
+    println!("E1 — weak scaling (application run time, virtual seconds)");
+    println!("{:>6}  {:<18} {:>10} {:>8} {:>12}", "cores", "strategy", "wall", "I/O %", "io/dump");
+    for row in experiments::e1_scalability(dumps, seed) {
+        println!(
+            "{:>6}  {:<18} {:>9.0}s {:>7.0}% {:>11.1}s",
+            row.ranks,
+            row.strategy,
+            row.wall_seconds,
+            row.io_fraction * 100.0,
+            row.io_per_dump
+        );
+    }
+    println!(
+        "\nheadline speedup damaris vs collective at 9216 cores: {:.2}x (paper: 3.5x)",
+        experiments::e1_speedup(dumps, seed)
+    );
+
+    println!("\nE3 — aggregate throughput at 9216 cores (paper: 0.5 / <1.7 / ~10 GB/s)");
+    for row in experiments::e3_throughput(dumps, seed) {
+        println!(
+            "  {:<18} {:>6.2} GB/s  ({} files/dump)",
+            row.strategy, row.throughput_gbps, row.files_per_dump
+        );
+    }
+
+    println!("\nE4 — dedicated-core idle time (paper: 92-99 %)");
+    for (ranks, idle) in experiments::e4_idle_time(dumps, seed) {
+        println!("  {ranks:>6} cores: {:.1} % idle", idle * 100.0);
+    }
+
+    println!("\nE6 — I/O scheduling (paper: 10 -> 12.7 GB/s)");
+    for row in experiments::e6_scheduling(dumps, seed) {
+        println!("  {:<14} {:>6.2} GB/s", row.scheduler, row.throughput_gbps);
+    }
+
+    println!("\nE7 — in-situ coupling on Grid'5000 (paper: sync VisIt does not scale)");
+    println!("{:>6} {:>14} {:>16}", "cores", "sync stall", "damaris stall");
+    for row in experiments::e7_insitu(dumps, 1.0, seed) {
+        println!(
+            "{:>6} {:>12.2}s {:>14.2}s",
+            row.ranks, row.sync_overhead_s, row.damaris_overhead_s
+        );
+    }
+}

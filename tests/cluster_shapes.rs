@@ -1,0 +1,90 @@
+//! Integration: the cluster model must keep reproducing the paper's
+//! qualitative shape — who wins, by what factor, where the crossovers are.
+//! (Exact calibration is asserted inside `cluster-sim`'s own tests; these
+//! are the cross-crate contract.)
+
+use damaris::cluster::{experiments, run, Platform, Strategy, Workload};
+
+#[test]
+fn headline_numbers_land_in_paper_bands() {
+    let rows = experiments::e3_throughput(2, 7);
+    let by_name = |n: &str| {
+        rows.iter().find(|r| r.strategy == n).map(|r| r.throughput_gbps).expect("strategy present")
+    };
+    let coll = by_name("collective");
+    let fpp = by_name("file-per-process");
+    let dam = by_name("damaris/greedy");
+    // Paper: 0.5 / <1.7 / ~10 GB/s. Bands are generous: the jittered model
+    // varies with seed, the ordering and rough factors must not.
+    assert!((0.2..1.0).contains(&coll), "collective {coll:.2} GB/s");
+    assert!((0.9..2.2).contains(&fpp), "fpp {fpp:.2} GB/s");
+    assert!((7.0..13.0).contains(&dam), "damaris {dam:.2} GB/s");
+    assert!(dam / coll > 10.0, "damaris/collective factor {:.1}", dam / coll);
+    assert!(dam / fpp > 4.0, "damaris/fpp factor {:.1}", dam / fpp);
+}
+
+#[test]
+fn speedup_band() {
+    let speedup = experiments::e1_speedup(2, 11);
+    assert!((2.5..4.5).contains(&speedup), "paper 3.5x, model {speedup:.2}x");
+}
+
+#[test]
+fn jitter_collapse() {
+    let rows = experiments::e2_variability(2304, 2, 13);
+    let damaris = rows.iter().find(|r| r.strategy.starts_with("damaris")).expect("damaris row");
+    let fpp = rows.iter().find(|r| r.strategy == "file-per-process").expect("fpp row");
+    assert!(damaris.spread < 1.01, "damaris writes are constant-time");
+    assert!(fpp.max / damaris.max > 20.0, "baselines are orders of magnitude worse");
+}
+
+#[test]
+fn idle_band_across_scales() {
+    for (ranks, idle) in experiments::e4_idle_time(2, 17) {
+        assert!(
+            (0.80..1.0).contains(&idle),
+            "idle at {ranks} cores: {:.1} % (paper: 92–99 %)",
+            idle * 100.0
+        );
+    }
+}
+
+#[test]
+fn scheduling_improves_throughput() {
+    let rows = experiments::e6_scheduling(2, 19);
+    let greedy = rows.iter().find(|r| r.scheduler == "greedy").expect("greedy").throughput_gbps;
+    let balanced =
+        rows.iter().find(|r| r.scheduler == "balanced").expect("balanced").throughput_gbps;
+    assert!(balanced > greedy * 1.1, "balanced {balanced:.1} vs greedy {greedy:.1}");
+}
+
+#[test]
+fn insitu_shape() {
+    let rows = experiments::e7_insitu(2, 1.0, 23);
+    let first = rows.first().expect("rows");
+    let last = rows.last().expect("rows");
+    assert!(last.sync_overhead_s > first.sync_overhead_s, "sync coupling degrades with scale");
+    assert!(last.damaris_overhead_s < first.sync_overhead_s / 5.0);
+}
+
+#[test]
+fn damaris_weak_scaling_flat_while_collective_grows() {
+    let p = Platform::kraken().without_jitter();
+    let w = Workload::cm1(2);
+    let damaris_small = run(&p, &w, 576, Strategy::damaris_greedy(), 29);
+    let damaris_large = run(&p, &w, 9216, Strategy::damaris_greedy(), 29);
+    let coll_small = run(&p, &w, 576, Strategy::Collective, 29);
+    let coll_large = run(&p, &w, 9216, Strategy::Collective, 29);
+    assert!(
+        damaris_large.wall_seconds / damaris_small.wall_seconds < 1.1,
+        "damaris: {:.0}s → {:.0}s",
+        damaris_small.wall_seconds,
+        damaris_large.wall_seconds
+    );
+    assert!(
+        coll_large.wall_seconds / coll_small.wall_seconds > 2.0,
+        "collective: {:.0}s → {:.0}s",
+        coll_small.wall_seconds,
+        coll_large.wall_seconds
+    );
+}

@@ -1,0 +1,131 @@
+//! Integration: CM1 proxy → Damaris → in-situ analysis plugin, checking
+//! that the analysis sees physically meaningful data.
+
+use std::sync::Arc;
+
+use damaris::apps::{Cm1, Cm1Config, ProxyApp};
+use damaris::core::plugins::StatsPlugin;
+use damaris::core::prelude::*;
+use damaris::insitu::InSituPlugin;
+
+const NX: usize = 24;
+const NY: usize = 24;
+const NZ: usize = 16;
+
+fn config() -> String {
+    format!(
+        r#"<simulation name="cm1-insitu">
+             <architecture>
+               <dedicated cores="1"/>
+               <buffer size="33554432"/>
+               <queue capacity="128"/>
+             </architecture>
+             <data>
+               <layout name="vol" type="f64" dimensions="{NZ},{NY},{NX}"/>
+               <variable name="theta" layout="vol" unit="K"/>
+               <variable name="w" layout="vol" unit="m/s"/>
+             </data>
+             <actions>
+               <action name="viz" plugin="insitu" event="end-of-iteration">
+                 <param name="iso_fraction" value="0.5"/>
+               </action>
+               <action name="summary" plugin="stats" event="end-of-iteration"/>
+             </actions>
+           </simulation>"#
+    )
+}
+
+#[test]
+fn analysis_tracks_the_simulation() {
+    const STEPS: u64 = 6;
+    let node = DamarisNode::builder()
+        .config_str(&config())
+        .expect("config")
+        .clients(1)
+        .build()
+        .expect("node");
+    let viz = Arc::new(InSituPlugin::new());
+    let stats = Arc::new(StatsPlugin::new());
+    node.register_plugin(viz.clone());
+    node.register_plugin(stats.clone());
+
+    let client = node.client(0).expect("client");
+    let worker = std::thread::spawn(move || {
+        let mut sim =
+            Cm1::new(Cm1Config { nx: NX, ny: NY, nz: NZ, ..Default::default() });
+        for it in 0..STEPS {
+            sim.step();
+            client.write("theta", it, sim.field("theta").expect("theta")).expect("write");
+            client.write("w", it, sim.field("w").expect("w")).expect("write");
+            client.end_iteration(it).expect("end");
+        }
+        client.finalize().expect("finalize");
+    });
+    worker.join().expect("sim thread");
+    let report = node.shutdown().expect("shutdown");
+    assert!(report.plugin_errors.is_empty(), "{:?}", report.plugin_errors);
+
+    // Analysis ran for every step.
+    let records = viz.records();
+    assert_eq!(records.len(), STEPS as usize);
+    for r in &records {
+        // Two 3-D variables analyzed per iteration.
+        assert_eq!(r.isosurfaces.len(), 2, "iteration {}", r.iteration);
+        assert_eq!(r.image_means.len(), 2);
+        // The warm bubble's theta isosurface at mid-range must exist.
+        let theta_iso = r
+            .isosurfaces
+            .iter()
+            .find(|(tag, _)| tag.starts_with("theta"))
+            .map(|(_, census)| *census)
+            .expect("theta analyzed");
+        assert!(
+            theta_iso.active_cells > 0,
+            "bubble surface missing at iteration {}",
+            r.iteration
+        );
+    }
+
+    // Statistics agree with physics: theta stays near the base state and
+    // the updraft strengthens over the early steps.
+    let first_w = stats.summary(0, "w").expect("w stats");
+    let last_w = stats.summary(STEPS - 1, "w").expect("w stats");
+    assert!(last_w.max > first_w.max, "updraft should strengthen");
+    let theta = stats.summary(STEPS - 1, "theta").expect("theta stats");
+    assert!((299.0..305.0).contains(&theta.mean), "theta mean {:.2}", theta.mean);
+}
+
+#[test]
+fn analysis_cost_stays_off_the_write_path() {
+    // Writes must cost shared-memory time even while the dedicated core
+    // crunches isosurfaces — the whole point of the architecture.
+    const STEPS: u64 = 4;
+    let node = DamarisNode::builder()
+        .config_str(&config())
+        .expect("config")
+        .clients(1)
+        .build()
+        .expect("node");
+    node.register_plugin(Arc::new(InSituPlugin::new()));
+    let client = node.client(0).expect("client");
+    let stats = std::thread::spawn(move || {
+        let mut sim =
+            Cm1::new(Cm1Config { nx: NX, ny: NY, nz: NZ, ..Default::default() });
+        for it in 0..STEPS {
+            sim.step();
+            client.write("theta", it, sim.field("theta").expect("theta")).expect("write");
+            client.write("w", it, sim.field("w").expect("w")).expect("write");
+            client.end_iteration(it).expect("end");
+        }
+        client.finalize().expect("finalize");
+        client.stats()
+    })
+    .join()
+    .expect("sim thread");
+    node.shutdown().expect("shutdown");
+    let worst = stats.write_seconds.iter().cloned().fold(0.0, f64::max);
+    // A 24×24×16 f64 block is 73 KB; its memcpy is microseconds. Allow
+    // generous scheduler noise; anything near the analysis cost (ms+)
+    // would mean the write path is coupled to the plugin.
+    assert!(worst < 0.02, "write should be memcpy-fast, worst {worst:.4}s");
+}
