@@ -68,7 +68,12 @@ impl Cm1Config {
         // Factor into a boxy grid: nz = 16, nx = ny = sqrt(points / 16).
         let nz = 16usize;
         let side = ((points / nz) as f64).sqrt().max(4.0) as usize;
-        Cm1Config { nx: side, ny: side, nz, ..Default::default() }
+        Cm1Config {
+            nx: side,
+            ny: side,
+            nz,
+            ..Default::default()
+        }
     }
 }
 
@@ -188,11 +193,23 @@ impl Cm1 {
                         + at(i, j, km)
                         - 6.0 * here;
                     // First-order upwind advection.
-                    let du = if u[idx] >= 0.0 { here - at(im, j, k) } else { at(ip, j, k) - here };
-                    let dv = if v[idx] >= 0.0 { here - at(i, jm, k) } else { at(i, jp, k) - here };
-                    let dw = if w[idx] >= 0.0 { here - at(i, j, km) } else { at(i, j, kp) - here };
-                    slab[j * nx + i] = here + k_diff * lap
-                        - c_adv * (u[idx] * du + v[idx] * dv + w[idx] * dw);
+                    let du = if u[idx] >= 0.0 {
+                        here - at(im, j, k)
+                    } else {
+                        at(ip, j, k) - here
+                    };
+                    let dv = if v[idx] >= 0.0 {
+                        here - at(i, jm, k)
+                    } else {
+                        at(i, jp, k) - here
+                    };
+                    let dw = if w[idx] >= 0.0 {
+                        here - at(i, j, km)
+                    } else {
+                        at(i, j, kp) - here
+                    };
+                    slab[j * nx + i] =
+                        here + k_diff * lap - c_adv * (u[idx] * du + v[idx] * dv + w[idx] * dw);
                 }
             }
         });
@@ -259,7 +276,12 @@ mod tests {
     use super::*;
 
     fn small() -> Cm1 {
-        Cm1::new(Cm1Config { nx: 16, ny: 16, nz: 12, ..Default::default() })
+        Cm1::new(Cm1Config {
+            nx: 16,
+            ny: 16,
+            nz: 12,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -283,14 +305,23 @@ mod tests {
         }
         let w = sim.field("w").unwrap();
         let max_w = w.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(max_w > 0.0, "warm bubble must induce updraft, max w = {max_w}");
+        assert!(
+            max_w > 0.0,
+            "warm bubble must induce updraft, max w = {max_w}"
+        );
         assert_eq!(sim.iteration(), 10);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut sim = Cm1::new(Cm1Config { nx: 12, ny: 12, nz: 8, seed, ..Default::default() });
+            let mut sim = Cm1::new(Cm1Config {
+                nx: 12,
+                ny: 12,
+                nz: 8,
+                seed,
+                ..Default::default()
+            });
             for _ in 0..5 {
                 sim.step();
             }

@@ -26,7 +26,12 @@ pub struct NekConfig {
 
 impl Default for NekConfig {
     fn default() -> Self {
-        NekConfig { elements: 64, order: 8, viscosity: 1e-3, seed: 0 }
+        NekConfig {
+            elements: 64,
+            order: 8,
+            viscosity: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -53,9 +58,9 @@ impl Nek {
         // Smooth initial condition: per-element standing wave with a
         // seed/element dependent phase.
         for e in 0..cfg.elements {
-            let phase =
-                ((cfg.seed.wrapping_add(e as u64)).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64
-                    / 1e4;
+            let phase = ((cfg.seed.wrapping_add(e as u64)).wrapping_mul(0x9e3779b97f4a7c15) >> 40)
+                as f64
+                / 1e4;
             for k in 0..p {
                 for j in 0..p {
                     for i in 0..p {
@@ -86,7 +91,13 @@ impl Nek {
                 op[r * p + r] = 0.95;
             }
         }
-        Nek { iteration: 0, scratch: vec![0.0; n], field, op, cfg }
+        Nek {
+            iteration: 0,
+            scratch: vec![0.0; n],
+            field,
+            op,
+            cfg,
+        }
     }
 
     /// The configuration.
@@ -163,7 +174,11 @@ mod tests {
     use super::*;
 
     fn small() -> Nek {
-        Nek::new(NekConfig { elements: 8, order: 6, ..Default::default() })
+        Nek::new(NekConfig {
+            elements: 8,
+            order: 6,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -187,14 +202,22 @@ mod tests {
             sim.step();
         }
         let after = range(sim.values());
-        assert!(after < before, "averaging operator must contract: {after} vs {before}");
+        assert!(
+            after < before,
+            "averaging operator must contract: {after} vs {before}"
+        );
         assert!(after > 0.0, "forcing keeps structure alive");
     }
 
     #[test]
     fn deterministic() {
         let run = |seed| {
-            let mut sim = Nek::new(NekConfig { elements: 4, order: 5, seed, ..Default::default() });
+            let mut sim = Nek::new(NekConfig {
+                elements: 4,
+                order: 5,
+                seed,
+                ..Default::default()
+            });
             for _ in 0..3 {
                 sim.step();
             }
@@ -216,7 +239,12 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let r = std::panic::catch_unwind(|| Nek::new(NekConfig { order: 1, ..Default::default() }));
+        let r = std::panic::catch_unwind(|| {
+            Nek::new(NekConfig {
+                order: 1,
+                ..Default::default()
+            })
+        });
         assert!(r.is_err());
     }
 }

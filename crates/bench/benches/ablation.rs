@@ -44,7 +44,13 @@ fn main() {
     }
     print_table(
         "Ablation 1 — interference knee (streams an OST absorbs at full speed); calibrated = 4",
-        &["knee", "collective [GB/s]", "fpp [GB/s]", "damaris [GB/s]", "damaris/fpp"],
+        &[
+            "knee",
+            "collective [GB/s]",
+            "fpp [GB/s]",
+            "damaris [GB/s]",
+            "damaris/fpp",
+        ],
         &rows,
     );
     println!(
@@ -85,7 +91,10 @@ fn main() {
             &p,
             &w,
             9216,
-            Strategy::Damaris(DamarisOptions { dedicated_cores: dedicated, ..Default::default() }),
+            Strategy::Damaris(DamarisOptions {
+                dedicated_cores: dedicated,
+                ..Default::default()
+            }),
             seed,
         );
         rows.push(vec![
@@ -119,7 +128,10 @@ fn main() {
             &p,
             &burst,
             9216,
-            Strategy::Damaris(DamarisOptions { buffer_dumps, ..Default::default() }),
+            Strategy::Damaris(DamarisOptions {
+                buffer_dumps,
+                ..Default::default()
+            }),
             seed,
         );
         rows.push(vec![

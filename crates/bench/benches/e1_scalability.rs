@@ -25,7 +25,13 @@ fn main() {
         .collect();
     print_table(
         "E1 — CM1 weak scaling on Kraken (virtual seconds)",
-        &["cores", "strategy", "wall [s]", "I/O share", "I/O per dump [s]"],
+        &[
+            "cores",
+            "strategy",
+            "wall [s]",
+            "I/O share",
+            "I/O per dump [s]",
+        ],
         &rows,
     );
     let coll_9216 = table

@@ -7,7 +7,11 @@ use cluster_sim::experiments::e3_throughput;
 use damaris_bench::print_table;
 
 fn main() {
-    let paper = [("collective", "0.5"), ("file-per-process", "< 1.7"), ("damaris/greedy", "~10")];
+    let paper = [
+        ("collective", "0.5"),
+        ("file-per-process", "< 1.7"),
+        ("damaris/greedy", "~10"),
+    ];
     let rows: Vec<Vec<String>> = e3_throughput(3, 42)
         .into_iter()
         .map(|r| {

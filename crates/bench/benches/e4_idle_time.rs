@@ -10,7 +10,11 @@ fn main() {
     let rows: Vec<Vec<String>> = e4_idle_time(3, 42)
         .into_iter()
         .map(|(ranks, idle)| {
-            vec![ranks.to_string(), "92–99 %".into(), format!("{:.1} %", idle * 100.0)]
+            vec![
+                ranks.to_string(),
+                "92–99 %".into(),
+                format!("{:.1} %", idle * 100.0),
+            ]
         })
         .collect();
     print_table(

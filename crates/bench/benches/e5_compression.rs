@@ -10,9 +10,10 @@ use cluster_sim::experiments::e5_compression_at_scale;
 use damaris_bench::{e5_real_compression, print_table};
 
 fn main() {
-    for (label, steps) in
-        [("initial fields (mostly base state)", 0), ("evolved fields (30 steps)", 30)]
-    {
+    for (label, steps) in [
+        ("initial fields (mostly base state)", 0),
+        ("evolved fields (30 steps)", 30),
+    ] {
         let rows: Vec<Vec<String>> = e5_real_compression(steps)
             .into_iter()
             .map(|r| {
@@ -42,8 +43,14 @@ fn main() {
             ],
             vec![
                 "bytes written per run".into(),
-                format!("{:.0} GiB", plain.bytes_written as f64 / (1u64 << 30) as f64),
-                format!("{:.0} GiB", compressed.bytes_written as f64 / (1u64 << 30) as f64),
+                format!(
+                    "{:.0} GiB",
+                    plain.bytes_written as f64 / (1u64 << 30) as f64
+                ),
+                format!(
+                    "{:.0} GiB",
+                    compressed.bytes_written as f64 / (1u64 << 30) as f64
+                ),
             ],
             vec![
                 "dedicated idle".into(),

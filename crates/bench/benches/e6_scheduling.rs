@@ -19,7 +19,11 @@ fn main() {
                 .find(|(name, _)| *name == r.scheduler)
                 .map(|(_, v)| v.to_string())
                 .unwrap_or_else(|| "—".into());
-            vec![r.scheduler.to_string(), anchor, format!("{:.2}", r.throughput_gbps)]
+            vec![
+                r.scheduler.to_string(),
+                anchor,
+                format!("{:.2}", r.throughput_gbps),
+            ]
         })
         .collect();
     print_table(

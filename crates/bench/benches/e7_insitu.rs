@@ -22,7 +22,13 @@ fn main() {
         .collect();
     print_table(
         "E7 — per-step simulation stall from in-situ visualization (Nek5000, Grid'5000)",
-        &["cores", "sync (VisIt-style)", "damaris", "sync slowdown", "damaris slowdown"],
+        &[
+            "cores",
+            "sync (VisIt-style)",
+            "damaris",
+            "sync slowdown",
+            "damaris slowdown",
+        ],
         &rows,
     );
     println!(

@@ -28,7 +28,13 @@ fn main() {
             "E8 — live middleware, slow analysis plugin, {iterations} iterations \
              (paper: drop data rather than block)"
         ),
-        &["policy", "wall", "iterations analyzed", "client-iterations skipped", "mean write"],
+        &[
+            "policy",
+            "wall",
+            "iterations analyzed",
+            "client-iterations skipped",
+            "mean write",
+        ],
         &[row(&drop), row(&block)],
     );
     println!(

@@ -19,7 +19,11 @@ fn main() {
         "E9 — instrumentation lines to couple Nek5000-proxy with in-situ visualization",
         &["coupling", "paper", "measured (examples/nek_insitu.rs)"],
         &[
-            vec!["VisIt-libsim style".into(), "> 100 lines".into(), format!("{visit} lines")],
+            vec![
+                "VisIt-libsim style".into(),
+                "> 100 lines".into(),
+                format!("{visit} lines"),
+            ],
             vec![
                 "Damaris".into(),
                 "< 10 lines (+ XML)".into(),
@@ -27,5 +31,8 @@ fn main() {
             ],
         ],
     );
-    assert!(visit > damaris * 10, "the gap must span an order of magnitude");
+    assert!(
+        visit > damaris * 10,
+        "the gap must span an order of magnitude"
+    );
 }

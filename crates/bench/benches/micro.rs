@@ -12,6 +12,9 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use codec::{Codec, Pipeline};
+use damaris_shm::transport::{
+    EventChannel, EventConsumer, EventProducer, ShardedChannel, TransportKind,
+};
 use damaris_shm::{MessageQueue, SharedSegment};
 use h5lite::{Dtype, FileWriter};
 use insitu::{isosurface, Grid3};
@@ -19,7 +22,13 @@ use mini_mpi::World;
 
 fn cm1_like_bytes(n_doubles: usize) -> Vec<u8> {
     (0..n_doubles)
-        .map(|i| if i % 5 == 0 { 300.0 + (i as f64 * 0.001).sin() } else { 300.0 })
+        .map(|i| {
+            if i % 5 == 0 {
+                300.0 + (i as f64 * 0.001).sin()
+            } else {
+                300.0
+            }
+        })
         .flat_map(|f: f64| f.to_le_bytes())
         .collect()
 }
@@ -33,15 +42,19 @@ fn bench_shm_write(c: &mut Criterion) {
         let queue = MessageQueue::bounded(16);
         let data = vec![300.0f64; bytes / 8];
         group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{mib}MiB")), &mib, |b, _| {
-            b.iter(|| {
-                // The complete sim-side Damaris write path.
-                let mut block = seg.allocate(bytes).expect("allocate");
-                block.write_pod(&data);
-                queue.send(block.freeze()).expect("enqueue");
-                let _ = queue.recv().expect("drain"); // drop frees the block
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mib}MiB")),
+            &mib,
+            |b, _| {
+                b.iter(|| {
+                    // The complete sim-side Damaris write path.
+                    let mut block = seg.allocate(bytes).expect("allocate");
+                    block.write_pod(&data);
+                    queue.send(block.freeze()).expect("enqueue");
+                    let _ = queue.recv().expect("drain"); // drop frees the block
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -59,12 +72,139 @@ fn bench_queue(c: &mut Criterion) {
     group.finish();
 }
 
+/// One full post+drain burst of `producers × EVENTS` events through a
+/// transport; the per-iteration time divided by the event count compares
+/// event-post cost across transports at growing contention (§IV.B's
+/// "independent of scale" claim). Expect mutex cost to climb with the
+/// producer count and sharded cost to stay flat — sharded wins clearly
+/// from 16 producers up.
+///
+/// Producer threads are long-lived and re-armed with a barrier each
+/// iteration, so thread spawn/join cost never pollutes the numbers
+/// (at 64 producers it would otherwise dominate the sharded figure).
+fn bench_transport_post(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier};
+    use std::thread;
+
+    const EVENTS: usize = 2_000;
+
+    /// Persistent producer pool: each `fire` runs one burst of
+    /// `EVENTS` posts per producer between two barrier crossings.
+    struct Pool {
+        start: Arc<Barrier>,
+        stop: Arc<AtomicBool>,
+        handles: Vec<thread::JoinHandle<()>>,
+    }
+
+    impl Pool {
+        fn spawn<C: EventChannel<u64>>(channel: &C, producers: usize) -> Pool {
+            let start = Arc::new(Barrier::new(producers + 1));
+            let stop = Arc::new(AtomicBool::new(false));
+            let handles = (0..producers)
+                .map(|p| {
+                    let producer = channel.producer(p);
+                    let start = start.clone();
+                    let stop = stop.clone();
+                    thread::spawn(move || loop {
+                        start.wait();
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        for i in 0..EVENTS {
+                            producer.send(i as u64).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            Pool {
+                start,
+                stop,
+                handles,
+            }
+        }
+
+        /// Run one burst, draining on the calling thread.
+        fn fire(&self, mut drain: impl FnMut(), total: usize) {
+            self.start.wait();
+            for _ in 0..total {
+                drain();
+            }
+        }
+
+        fn shutdown(self) {
+            self.stop.store(true, Ordering::Release);
+            self.start.wait();
+            for h in self.handles {
+                h.join().unwrap();
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("transport_event_post");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for producers in [1usize, 4, 16, 64] {
+        group.throughput(Throughput::Elements((producers * EVENTS) as u64));
+        for kind in [TransportKind::Mutex, TransportKind::Sharded] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), producers),
+                &producers,
+                |b, &producers| {
+                    // Capacity covers the burst: measure posting, not
+                    // backpressure sleeps.
+                    match kind {
+                        TransportKind::Mutex => {
+                            let q = MessageQueue::<u64>::bounded(producers * EVENTS);
+                            let pool = Pool::spawn(&q, producers);
+                            let consumer = q.consumer(0, 1);
+                            b.iter(|| {
+                                pool.fire(
+                                    || {
+                                        while consumer.try_recv().is_err() {
+                                            std::hint::spin_loop();
+                                        }
+                                    },
+                                    producers * EVENTS,
+                                )
+                            });
+                            pool.shutdown();
+                        }
+                        TransportKind::Sharded => {
+                            let ch = ShardedChannel::<u64>::new(producers, EVENTS);
+                            let pool = Pool::spawn(&ch, producers);
+                            let mut consumer = ch.consumer(0, 1);
+                            b.iter(|| {
+                                pool.fire(
+                                    || {
+                                        while consumer.try_recv().is_err() {
+                                            std::hint::spin_loop();
+                                        }
+                                    },
+                                    producers * EVENTS,
+                                )
+                            });
+                            pool.shutdown();
+                        }
+                    }
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_codecs(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
     group.sample_size(15);
     let data = cm1_like_bytes(512 * 1024); // 4 MiB
     group.throughput(Throughput::Bytes(data.len() as u64));
-    for spec in ["rle", "lzss", "xor-delta8,rle", "xor-delta8,shuffle8,rle,lzss"] {
+    for spec in [
+        "rle",
+        "lzss",
+        "xor-delta8,rle",
+        "xor-delta8,shuffle8,rle,lzss",
+    ] {
         let p = Pipeline::from_spec(spec).expect("valid spec");
         group.bench_with_input(BenchmarkId::new("encode", spec), &p, |b, p| {
             b.iter(|| p.encode(&data));
@@ -133,6 +273,7 @@ criterion_group!(
     benches,
     bench_shm_write,
     bench_queue,
+    bench_transport_post,
     bench_codecs,
     bench_h5lite,
     bench_isosurface,

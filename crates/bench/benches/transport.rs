@@ -1,0 +1,192 @@
+//! Transport shoot-out: mutex `MessageQueue` vs sharded SPSC rings.
+//!
+//! Measures, at 1/4/16/64 producers:
+//!
+//! * **event-post latency** — mean nanoseconds a producer spends inside
+//!   `send`, the §IV.B "one memcpy + one event post" cost that must stay
+//!   flat as clients scale;
+//! * **aggregate drain throughput** — events/s the consumer side sustains
+//!   while all producers post flat out (2 stealing consumers vs 2 queue
+//!   drainers).
+//!
+//! Prints a `paper | measured` style table and records the numbers in
+//! `BENCH_transport.json` at the workspace root so the perf trajectory is
+//! tracked across PRs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+use damaris_bench::print_table;
+use damaris_shm::transport::{
+    EventChannel, EventConsumer, EventProducer, ShardedChannel, TransportKind,
+};
+use damaris_shm::MessageQueue;
+
+/// Events each producer posts per measured run.
+const EVENTS_PER_PRODUCER: usize = 20_000;
+/// Consumers draining during the measurement.
+const CONSUMERS: usize = 2;
+
+struct Sample {
+    kind: TransportKind,
+    producers: usize,
+    post_ns: f64,
+    drain_meps: f64,
+}
+
+/// Run one contended post/drain burst; returns (mean post ns, drain Mev/s).
+fn measure<C>(channel: C, producers: usize) -> (f64, f64)
+where
+    C: EventChannel<u64>,
+{
+    let barrier = Arc::new(Barrier::new(producers + 1));
+    let mut producer_handles = Vec::new();
+    for p in 0..producers {
+        let producer = channel.producer(p);
+        let barrier = barrier.clone();
+        producer_handles.push(thread::spawn(move || {
+            barrier.wait();
+            let t0 = Instant::now();
+            for i in 0..EVENTS_PER_PRODUCER {
+                producer.send((p * EVENTS_PER_PRODUCER + i) as u64).unwrap();
+            }
+            t0.elapsed().as_nanos() as f64 / EVENTS_PER_PRODUCER as f64
+        }));
+    }
+    let done = Arc::new(AtomicBool::new(false));
+    let mut consumer_handles = Vec::new();
+    for core in 0..CONSUMERS {
+        let mut consumer = channel.consumer(core, CONSUMERS);
+        let done = done.clone();
+        consumer_handles.push(thread::spawn(move || {
+            let mut drained = 0u64;
+            loop {
+                match consumer.try_recv() {
+                    Ok(_) => drained += 1,
+                    Err(damaris_shm::TryRecvError::Closed) => break,
+                    Err(damaris_shm::TryRecvError::Empty) => {
+                        if done.load(Ordering::Acquire) {
+                            // Producers finished; drain the tail then stop.
+                            while consumer.try_recv().is_ok() {
+                                drained += 1;
+                            }
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            drained
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    let mean_post_ns = producer_handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .sum::<f64>()
+        / producers as f64;
+    done.store(true, Ordering::Release);
+    let drained: u64 = consumer_handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .sum();
+    let wall = t0.elapsed().as_secs_f64();
+    let total = (producers * EVENTS_PER_PRODUCER) as u64;
+    assert_eq!(drained, total, "no loss, no duplication");
+    let meps = total as f64 / wall / 1e6;
+    (mean_post_ns, meps)
+}
+
+fn run_kind(kind: TransportKind, producers: usize) -> Sample {
+    // Warm-up run, then the measured run.
+    for measured in [false, true] {
+        // Capacity covers the whole burst so the numbers measure the
+        // post operation itself (§IV.B's claim), not backpressure sleeps.
+        let (post_ns, drain_meps) = match kind {
+            TransportKind::Mutex => measure(
+                MessageQueue::<u64>::bounded(producers * EVENTS_PER_PRODUCER),
+                producers,
+            ),
+            TransportKind::Sharded => measure(
+                ShardedChannel::<u64>::new(producers, EVENTS_PER_PRODUCER),
+                producers,
+            ),
+        };
+        if measured {
+            return Sample {
+                kind,
+                producers,
+                post_ns,
+                drain_meps,
+            };
+        }
+    }
+    unreachable!()
+}
+
+fn main() {
+    let mut samples = Vec::new();
+    for producers in [1usize, 4, 16, 64] {
+        for kind in [TransportKind::Mutex, TransportKind::Sharded] {
+            samples.push(run_kind(kind, producers));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.kind.name().to_string(),
+                s.producers.to_string(),
+                format!("{:.0}", s.post_ns),
+                format!("{:.2}", s.drain_meps),
+            ]
+        })
+        .collect();
+    print_table(
+        "M1 — event transport: post latency and drain throughput",
+        &["transport", "producers", "post ns/event", "drain Mev/s"],
+        &rows,
+    );
+
+    for producers in [16usize, 64] {
+        let post = |k: TransportKind| {
+            samples
+                .iter()
+                .find(|s| s.kind == k && s.producers == producers)
+                .unwrap()
+                .post_ns
+        };
+        let (m, s) = (post(TransportKind::Mutex), post(TransportKind::Sharded));
+        println!(
+            "at {producers} producers: sharded posts {:.1}x faster than mutex ({s:.0} vs {m:.0} ns)",
+            m / s
+        );
+    }
+
+    // Machine-readable trajectory record at the workspace root.
+    let mut json = String::from("{\n  \"benchmark\": \"transport\",\n  \"events_per_producer\": ");
+    json.push_str(&EVENTS_PER_PRODUCER.to_string());
+    json.push_str(",\n  \"consumers\": ");
+    json.push_str(&CONSUMERS.to_string());
+    json.push_str(",\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"producers\": {}, \"post_ns_per_event\": {:.1}, \"drain_meps\": {:.3}}}{}\n",
+            s.kind.name(),
+            s.producers,
+            s.post_ns,
+            s.drain_meps,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}

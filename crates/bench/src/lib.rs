@@ -41,14 +41,21 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: &[String]| {
-        let joined: Vec<String> =
-            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
         println!("| {} |", joined.join(" | "));
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
     println!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
     );
     for row in rows {
         line(row);
@@ -81,7 +88,12 @@ pub struct CompressionResult {
 /// on this machine. `steps` evolves the field first (later fields are less
 /// compressible than the initial state — both are reported).
 pub fn e5_real_compression(steps: usize) -> Vec<CompressionResult> {
-    let mut sim = Cm1::new(Cm1Config { nx: 96, ny: 96, nz: 32, ..Default::default() });
+    let mut sim = Cm1::new(Cm1Config {
+        nx: 96,
+        ny: 96,
+        nz: 32,
+        ..Default::default()
+    });
     for _ in 0..steps {
         sim.step();
     }
@@ -90,21 +102,26 @@ pub fn e5_real_compression(steps: usize) -> Vec<CompressionResult> {
         .iter()
         .flat_map(|(_, v)| v.iter().flat_map(|f| f.to_le_bytes()))
         .collect();
-    ["rle", "lzss", "xor-delta8,rle", "xor-delta8,shuffle8,rle,lzss"]
-        .into_iter()
-        .map(|spec| {
-            let p = Pipeline::from_spec(spec).expect("specs are valid");
-            let t0 = Instant::now();
-            let packed = p.encode(&bytes);
-            let dt = t0.elapsed().as_secs_f64();
-            assert_eq!(p.decode(&packed).expect("roundtrip"), bytes);
-            CompressionResult {
-                pipeline: spec.to_string(),
-                ratio: codec::compression_ratio(bytes.len(), packed.len()),
-                throughput: bytes.len() as f64 / dt.max(1e-9),
-            }
-        })
-        .collect()
+    [
+        "rle",
+        "lzss",
+        "xor-delta8,rle",
+        "xor-delta8,shuffle8,rle,lzss",
+    ]
+    .into_iter()
+    .map(|spec| {
+        let p = Pipeline::from_spec(spec).expect("specs are valid");
+        let t0 = Instant::now();
+        let packed = p.encode(&bytes);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(p.decode(&packed).expect("roundtrip"), bytes);
+        CompressionResult {
+            pipeline: spec.to_string(),
+            ratio: codec::compression_ratio(bytes.len(), packed.len()),
+            throughput: bytes.len() as f64 / dt.max(1e-9),
+        }
+    })
+    .collect()
 }
 
 /// Result of the live backpressure experiment (E8).
@@ -169,11 +186,16 @@ pub fn e8_live_backpressure(block: bool, iterations: u64) -> BackpressureResult 
             })
         })
         .collect();
-    let stats: Vec<_> = handles.into_iter().map(|h| h.join().expect("client ok")).collect();
+    let stats: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client ok"))
+        .collect();
     let report = node.shutdown().expect("shutdown");
     let wall = t0.elapsed().as_secs_f64();
-    let all_writes: Vec<f64> =
-        stats.iter().flat_map(|s| s.write_seconds.iter().copied()).collect();
+    let all_writes: Vec<f64> = stats
+        .iter()
+        .flat_map(|s| s.write_seconds.iter().copied())
+        .collect();
     BackpressureResult {
         policy: if block { "block" } else { "drop-iteration" },
         wall_seconds: wall,
@@ -227,18 +249,22 @@ mod tests {
     #[test]
     fn real_compression_reaches_paper_regime_on_early_fields() {
         let results = e5_real_compression(0);
-        let best = results
-            .iter()
-            .map(|r| r.ratio)
-            .fold(0.0f64, f64::max);
-        assert!(best >= 6.0, "initial CM1 fields must compress ≥6:1, best {best:.1}");
+        let best = results.iter().map(|r| r.ratio).fold(0.0f64, f64::max);
+        assert!(
+            best >= 6.0,
+            "initial CM1 fields must compress ≥6:1, best {best:.1}"
+        );
     }
 
     #[test]
     fn backpressure_drop_mode_skips_and_stays_fast() {
         let drop = e8_live_backpressure(false, 40);
         assert!(drop.skipped > 0, "overload must force skips, got {drop:?}");
-        assert!(drop.mean_write_s < 0.05, "writes stay cheap: {}", drop.mean_write_s);
+        assert!(
+            drop.mean_write_s < 0.05,
+            "writes stay cheap: {}",
+            drop.mean_write_s
+        );
     }
 
     #[test]

@@ -36,9 +36,11 @@ pub fn e1_scalability(dumps: u64, seed: u64) -> Vec<E1Row> {
     let workload = Workload::cm1(dumps);
     let mut rows = Vec::new();
     for &ranks in &KRAKEN_SCALES {
-        for strategy in
-            [Strategy::FilePerProcess, Strategy::Collective, Strategy::damaris_greedy()]
-        {
+        for strategy in [
+            Strategy::FilePerProcess,
+            Strategy::Collective,
+            Strategy::damaris_greedy(),
+        ] {
             let m = run(&platform, &workload, ranks, strategy, seed);
             rows.push(E1Row {
                 ranks,
@@ -86,21 +88,25 @@ pub struct E2Row {
 pub fn e2_variability(ranks: usize, dumps: u64, seed: u64) -> Vec<E2Row> {
     let platform = Platform::kraken(); // jitter and background ON
     let workload = Workload::cm1(dumps);
-    [Strategy::FilePerProcess, Strategy::Collective, Strategy::damaris_greedy()]
-        .into_iter()
-        .map(|s| {
-            let m = run(&platform, &workload, ranks, s, seed);
-            let j = m.jitter();
-            E2Row {
-                strategy: m.strategy,
-                min: j.min,
-                median: j.median,
-                p99: j.p99,
-                max: j.max,
-                spread: j.spread,
-            }
-        })
-        .collect()
+    [
+        Strategy::FilePerProcess,
+        Strategy::Collective,
+        Strategy::damaris_greedy(),
+    ]
+    .into_iter()
+    .map(|s| {
+        let m = run(&platform, &workload, ranks, s, seed);
+        let j = m.jitter();
+        E2Row {
+            strategy: m.strategy,
+            min: j.min,
+            median: j.median,
+            p99: j.p99,
+            max: j.max,
+            spread: j.spread,
+        }
+    })
+    .collect()
 }
 
 /// E2 companion: Damaris sim-side write cost across scales (must be flat).
@@ -110,7 +116,13 @@ pub fn e2_scale_independence(dumps: u64, seed: u64) -> Vec<(usize, f64)> {
     KRAKEN_SCALES
         .iter()
         .map(|&ranks| {
-            let m = run(&platform, &workload, ranks, Strategy::damaris_greedy(), seed);
+            let m = run(
+                &platform,
+                &workload,
+                ranks,
+                Strategy::damaris_greedy(),
+                seed,
+            );
             (ranks, m.jitter().median)
         })
         .collect()
@@ -134,17 +146,21 @@ pub struct E3Row {
 pub fn e3_throughput(dumps: u64, seed: u64) -> Vec<E3Row> {
     let platform = Platform::kraken();
     let workload = Workload::cm1(dumps);
-    [Strategy::Collective, Strategy::FilePerProcess, Strategy::damaris_greedy()]
-        .into_iter()
-        .map(|s| {
-            let m = run(&platform, &workload, 9216, s, seed);
-            E3Row {
-                strategy: m.strategy,
-                throughput_gbps: m.agg_throughput / 1e9,
-                files_per_dump: m.files_per_dump,
-            }
-        })
-        .collect()
+    [
+        Strategy::Collective,
+        Strategy::FilePerProcess,
+        Strategy::damaris_greedy(),
+    ]
+    .into_iter()
+    .map(|s| {
+        let m = run(&platform, &workload, 9216, s, seed);
+        E3Row {
+            strategy: m.strategy,
+            throughput_gbps: m.agg_throughput / 1e9,
+            files_per_dump: m.files_per_dump,
+        }
+    })
+    .collect()
 }
 
 /// E4 (§IV.D): dedicated-core idle fraction across scales.
@@ -156,7 +172,13 @@ pub fn e4_idle_time(dumps: u64, seed: u64) -> Vec<(usize, f64)> {
     KRAKEN_SCALES
         .iter()
         .map(|&ranks| {
-            let m = run(&platform, &workload, ranks, Strategy::damaris_greedy(), seed);
+            let m = run(
+                &platform,
+                &workload,
+                ranks,
+                Strategy::damaris_greedy(),
+                seed,
+            );
             (ranks, m.dedicated_idle.expect("damaris run reports idle"))
         })
         .collect()
@@ -180,7 +202,9 @@ pub fn e6_scheduling(dumps: u64, seed: u64) -> Vec<E6Row> {
     [
         Scheduler::Greedy,
         Scheduler::Staggered { groups: 3 },
-        Scheduler::TokenBucket { concurrent: platform.pfs.n_osts },
+        Scheduler::TokenBucket {
+            concurrent: platform.pfs.n_osts,
+        },
         Scheduler::Balanced,
     ]
     .into_iter()
@@ -189,10 +213,16 @@ pub fn e6_scheduling(dumps: u64, seed: u64) -> Vec<E6Row> {
             &platform,
             &workload,
             9216,
-            Strategy::Damaris(DamarisOptions { scheduler: sched, ..Default::default() }),
+            Strategy::Damaris(DamarisOptions {
+                scheduler: sched,
+                ..Default::default()
+            }),
             seed,
         );
-        E6Row { scheduler: sched.name(), throughput_gbps: m.agg_throughput / 1e9 }
+        E6Row {
+            scheduler: sched.name(),
+            throughput_gbps: m.agg_throughput / 1e9,
+        }
     })
     .collect()
 }
@@ -254,11 +284,7 @@ pub fn e7_insitu(dumps: u64, analysis_seconds: f64, seed: u64) -> Vec<E7Row> {
 
 /// E5 companion at scale: Damaris with and without in-spare-time
 /// compression — run time must be unchanged while written bytes shrink.
-pub fn e5_compression_at_scale(
-    dumps: u64,
-    ratio: f64,
-    seed: u64,
-) -> (RunMetrics, RunMetrics) {
+pub fn e5_compression_at_scale(dumps: u64, ratio: f64, seed: u64) -> (RunMetrics, RunMetrics) {
     let platform = Platform::kraken();
     let workload = Workload::cm1(dumps);
     let plain = run(&platform, &workload, 9216, Strategy::damaris_greedy(), seed);
@@ -294,7 +320,10 @@ mod tests {
             .collect();
         let spread = damaris.iter().cloned().fold(f64::MIN, f64::max)
             / damaris.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread < 1.15, "Damaris weak scaling should be near-perfect: {spread:.3}");
+        assert!(
+            spread < 1.15,
+            "Damaris weak scaling should be near-perfect: {spread:.3}"
+        );
         // Collective degrades with scale.
         let coll: Vec<f64> = rows
             .iter()
@@ -309,7 +338,9 @@ mod tests {
         let medians = e2_scale_independence(1, 2);
         let (min, max) = medians
             .iter()
-            .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, m)| (lo.min(m), hi.max(m)));
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, m)| {
+                (lo.min(m), hi.max(m))
+            });
         assert!(max / min < 1.05, "shm write cost must not depend on scale");
     }
 
@@ -327,10 +358,20 @@ mod tests {
     #[test]
     fn e6_balanced_wins() {
         let rows = e6_scheduling(1, 4);
-        let greedy = rows.iter().find(|r| r.scheduler == "greedy").unwrap().throughput_gbps;
-        let balanced =
-            rows.iter().find(|r| r.scheduler == "balanced").unwrap().throughput_gbps;
-        assert!(balanced > greedy, "balanced {balanced:.1} vs greedy {greedy:.1}");
+        let greedy = rows
+            .iter()
+            .find(|r| r.scheduler == "greedy")
+            .unwrap()
+            .throughput_gbps;
+        let balanced = rows
+            .iter()
+            .find(|r| r.scheduler == "balanced")
+            .unwrap()
+            .throughput_gbps;
+        assert!(
+            balanced > greedy,
+            "balanced {balanced:.1} vs greedy {greedy:.1}"
+        );
     }
 
     #[test]
@@ -338,7 +379,11 @@ mod tests {
         let rows = e7_insitu(2, 1.0, 5);
         assert!(rows.last().unwrap().sync_overhead_s > rows.first().unwrap().sync_overhead_s);
         for r in &rows {
-            assert!(r.damaris_overhead_s < 0.3, "damaris overhead {:.2}s", r.damaris_overhead_s);
+            assert!(
+                r.damaris_overhead_s < 0.3,
+                "damaris overhead {:.2}s",
+                r.damaris_overhead_s
+            );
             assert!(r.sync_slowdown > r.damaris_slowdown);
         }
     }

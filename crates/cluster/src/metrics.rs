@@ -40,6 +40,9 @@ pub struct RunMetrics {
     pub files_per_dump: usize,
     /// Bytes moved over the interconnect for aggregation.
     pub comm_bytes: u64,
+    /// Sim-visible seconds one rank spent posting events to the transport
+    /// (Damaris only; zero for the baselines, which have no event queue).
+    pub event_post_seconds: f64,
 }
 
 impl RunMetrics {
@@ -151,6 +154,7 @@ mod tests {
             skipped_node_dumps: 0,
             files_per_dump: 2,
             comm_bytes: 0,
+            event_post_seconds: 0.0,
         }
     }
 

@@ -86,7 +86,11 @@ mod tests {
             assert!(p.shm_bw > 0.0);
             assert!(p.pfs.n_osts > 0);
         }
-        assert_eq!(Platform::kraken().cores_per_node, 12, "XT5 had 12 cores/node");
+        assert_eq!(
+            Platform::kraken().cores_per_node,
+            12,
+            "XT5 had 12 cores/node"
+        );
         assert_eq!(Platform::grid5000().cores_per_node, 24);
     }
 

@@ -9,8 +9,19 @@ use pfs_sim::{FileSpec, Pfs, WriteRequest};
 
 use crate::metrics::RunMetrics;
 use crate::platform::Platform;
-use crate::strategy::{DamarisOptions, Strategy};
+use crate::strategy::{DamarisOptions, Strategy, TransportKind};
 use crate::workload::Workload;
+
+/// Modeled cost of posting one event on the mutex transport with a single
+/// uncontended client (lock + condvar signal), calibrated against
+/// `benches/transport.rs` on commodity hardware. Under contention the
+/// expected cost grows linearly with the number of clients serialized on
+/// the node's one lock.
+const MUTEX_POST_SECONDS: f64 = 120e-9;
+/// Modeled cost of posting one event on the sharded transport: one slot
+/// write plus one release store into the client's own ring, flat in the
+/// client count.
+const SHARDED_POST_SECONDS: f64 = 25e-9;
 
 /// Simulate one run of `workload` on `ranks` cores of `platform` under
 /// `strategy`, deterministically from `seed`.
@@ -21,7 +32,10 @@ pub fn run(
     strategy: Strategy,
     seed: u64,
 ) -> RunMetrics {
-    assert!(ranks >= platform.cores_per_node, "need at least one full node");
+    assert!(
+        ranks >= platform.cores_per_node,
+        "need at least one full node"
+    );
     match strategy {
         Strategy::FilePerProcess => run_fpp(platform, workload, ranks, seed),
         Strategy::Collective => run_collective(platform, workload, ranks, seed),
@@ -55,6 +69,7 @@ fn base_metrics(
         skipped_node_dumps: 0,
         files_per_dump: 0,
         comm_bytes: 0,
+        event_post_seconds: 0.0,
     }
 }
 
@@ -92,7 +107,10 @@ fn run_fpp(platform: &Platform, workload: &Workload, ranks: usize, seed: u64) ->
         let phase = pfs.simulate_writes(&requests);
         let span = phase.finish() - t;
         m.per_dump_io_spans.push(span);
-        push_samples(&mut m.write_samples, phase.outcomes.iter().map(|o| o.duration()));
+        push_samples(
+            &mut m.write_samples,
+            phase.outcomes.iter().map(|o| o.duration()),
+        );
         m.bytes_written += workload.dump_bytes(ranks);
         burst_tputs.push(workload.dump_bytes(ranks) as f64 / span.max(1e-9));
         t = phase.finish();
@@ -177,8 +195,16 @@ fn run_damaris(
     let bytes_per_client = (workload.bytes_per_core as f64 * inflate) as u64;
     let node_bytes = bytes_per_client * compute_cores as u64;
     let written_node_bytes = (node_bytes as f64 / opts.compression_ratio.max(1.0)) as u64;
-    // Sim-visible cost of one dump: the shared-memory memcpy (§IV.B).
+    // Sim-visible cost of one dump: the shared-memory memcpy (§IV.B)
+    // plus the event posts (one block publish + one end-of-iteration per
+    // client). The transport decides whether post cost scales with the
+    // contending client count (mutex) or stays flat (sharded).
     let shm_seconds = bytes_per_client as f64 / platform.shm_bw;
+    let post_each = match opts.transport {
+        TransportKind::Mutex => MUTEX_POST_SECONDS * compute_cores as f64,
+        TransportKind::Sharded => SHARDED_POST_SECONDS,
+    };
+    let event_post_seconds = 2.0 * post_each;
 
     let mut pfs = Pfs::new(platform.pfs.clone(), seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xda3a);
@@ -221,12 +247,14 @@ fn run_damaris(
             }
         }
 
-        // Staging: one memcpy per client, sim-visible.
-        sim_t += shm_seconds;
-        m.per_dump_io_spans.push(shm_seconds + stall);
+        // Staging: one memcpy plus the event posts per client, sim-visible.
+        sim_t += shm_seconds + event_post_seconds;
+        m.event_post_seconds += event_post_seconds;
+        m.per_dump_io_spans
+            .push(shm_seconds + event_post_seconds + stall);
         push_samples(
             &mut m.write_samples,
-            std::iter::repeat_n(shm_seconds, compute_cores * nodes),
+            std::iter::repeat_n(shm_seconds + event_post_seconds, compute_cores * nodes),
         );
 
         // The dedicated cores write asynchronously.
@@ -258,9 +286,8 @@ fn run_damaris(
         burst_tputs.push(written as f64 / burst_span.max(1e-9));
         for (o, &node) in phase.outcomes.iter().zip(&writers) {
             outstanding[node].push(o.finish);
-            dedicated_busy[node] +=
-                (o.finish - o.arrival) + opts.plugin_seconds_per_dump
-                    * lognormal_unit_mean(&mut rng, 0.05);
+            dedicated_busy[node] += (o.finish - o.arrival)
+                + opts.plugin_seconds_per_dump * lognormal_unit_mean(&mut rng, 0.05);
             last_finish = last_finish.max(o.finish);
         }
     }
@@ -316,7 +343,7 @@ fn mean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategy::Scheduler;
+    use crate::strategy::{Scheduler, TransportKind};
 
     fn quiet_kraken() -> Platform {
         Platform::kraken().without_jitter()
@@ -400,7 +427,11 @@ mod tests {
         let dj = dam.jitter();
         let fj = fpp.jitter();
         assert!(dj.spread < 1.01, "sim-side writes are constant: {dj:?}");
-        assert!((0.05..0.2).contains(&dj.median), "≈0.1 s shm copy, got {}", dj.median);
+        assert!(
+            (0.05..0.2).contains(&dj.median),
+            "≈0.1 s shm copy, got {}",
+            dj.median
+        );
         assert!(fj.spread > 1.5, "baseline must show jitter: {fj:?}");
         assert!(fj.max > dj.max * 50.0, "orders of magnitude apart");
     }
@@ -456,7 +487,10 @@ mod tests {
             &p,
             &w,
             1152,
-            Strategy::Damaris(DamarisOptions { compression_ratio: 6.0, ..Default::default() }),
+            Strategy::Damaris(DamarisOptions {
+                compression_ratio: 6.0,
+                ..Default::default()
+            }),
             8,
         );
         assert!(compressed.bytes_written * 5 < plain.bytes_written);
@@ -477,7 +511,10 @@ mod tests {
             compute_seconds_per_step: 1.0,
             bytes_per_core: 45 << 20,
         };
-        let opts = DamarisOptions { buffer_dumps: 1, ..Default::default() };
+        let opts = DamarisOptions {
+            buffer_dumps: 1,
+            ..Default::default()
+        };
         let skip = run(&p, &w, 9216, Strategy::Damaris(opts), 9);
         assert!(skip.skipped_node_dumps > 0, "overload must trigger skips");
         // Block mode instead stalls the simulation.
@@ -505,8 +542,24 @@ mod tests {
     fn sync_insitu_straggler_grows_with_scale() {
         let p = Platform::grid5000();
         let w = Workload::nek(5);
-        let small = run(&p, &w, 96, Strategy::SyncInSitu { analysis_seconds: 1.0 }, 10);
-        let large = run(&p, &w, 768, Strategy::SyncInSitu { analysis_seconds: 1.0 }, 10);
+        let small = run(
+            &p,
+            &w,
+            96,
+            Strategy::SyncInSitu {
+                analysis_seconds: 1.0,
+            },
+            10,
+        );
+        let large = run(
+            &p,
+            &w,
+            768,
+            Strategy::SyncInSitu {
+                analysis_seconds: 1.0,
+            },
+            10,
+        );
         assert!(
             large.io_seconds() > small.io_seconds(),
             "synchronous coupling must degrade with scale"
@@ -536,6 +589,58 @@ mod tests {
     }
 
     #[test]
+    fn sharded_transport_cuts_event_post_cost() {
+        // §IV.B: a post must not grow with core count. The mutex model
+        // serializes a node's clients on one lock, so its aggregate post
+        // time is ~(cores × base) per event; the sharded transport stays
+        // flat. Both are microseconds — invisible in wall time — but the
+        // accounting must show the contention gap and the wall-clock
+        // ordering must never invert.
+        let p = quiet_kraken();
+        let w = Workload::cm1(2);
+        let ranks = 9216;
+        let mutex = run(&p, &w, ranks, Strategy::damaris_greedy(), 13);
+        let sharded = run(&p, &w, ranks, Strategy::damaris_sharded(), 13);
+        assert!(mutex.event_post_seconds > 0.0 && sharded.event_post_seconds > 0.0);
+        assert!(
+            mutex.event_post_seconds > 5.0 * sharded.event_post_seconds,
+            "mutex {} vs sharded {}: contention model missing",
+            mutex.event_post_seconds,
+            sharded.event_post_seconds
+        );
+        assert!(sharded.wall_seconds <= mutex.wall_seconds);
+        // Baselines have no event queue at all.
+        let fpp = run(&p, &w, ranks, Strategy::FilePerProcess, 13);
+        assert_eq!(fpp.event_post_seconds, 0.0);
+    }
+
+    #[test]
+    fn damaris_options_from_config() {
+        use damaris_xml::schema::Configuration;
+        let cfg = Configuration::from_str(
+            r#"<simulation name="x">
+                 <architecture>
+                   <dedicated cores="2"/>
+                   <buffer size="16777216"/>
+                   <queue capacity="256" kind="sharded"/>
+                   <skip mode="drop-iteration" high-watermark="0.8"/>
+                 </architecture>
+                 <data>
+                   <layout name="l" type="f64" dimensions="1024"/>
+                   <variable name="u" layout="l"/>
+                 </data>
+               </simulation>"#,
+        )
+        .unwrap();
+        let opts = DamarisOptions::from_config(&cfg);
+        assert_eq!(opts.dedicated_cores, 2);
+        assert_eq!(opts.transport, TransportKind::Sharded);
+        assert!(opts.skip_when_full);
+        // 16 MiB buffer ÷ 8 KiB per iteration = 2048 staged dumps.
+        assert_eq!(opts.buffer_dumps, 2048);
+    }
+
+    #[test]
     fn scheduler_variants_run() {
         let p = quiet_kraken();
         let w = Workload::cm1(1);
@@ -549,7 +654,10 @@ mod tests {
                 &p,
                 &w,
                 1152,
-                Strategy::Damaris(DamarisOptions { scheduler: sched, ..Default::default() }),
+                Strategy::Damaris(DamarisOptions {
+                    scheduler: sched,
+                    ..Default::default()
+                }),
                 12,
             );
             assert!(m.agg_throughput > 0.0, "{:?} produced no throughput", sched);

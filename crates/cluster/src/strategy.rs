@@ -3,6 +3,8 @@
 
 use pfs_sim::FileSpec;
 
+pub use damaris_shm::transport::TransportKind;
+
 /// How the dedicated cores time and place their node-file writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheduler {
@@ -48,9 +50,10 @@ impl Scheduler {
             Scheduler::Staggered { groups } => {
                 Staggered { groups: *groups }.plan_starts(ready, est_write_s)
             }
-            Scheduler::TokenBucket { concurrent } => {
-                TokenBucket { concurrent: *concurrent }.plan_starts(ready, est_write_s)
+            Scheduler::TokenBucket { concurrent } => TokenBucket {
+                concurrent: *concurrent,
             }
+            .plan_starts(ready, est_write_s),
         }
     }
 
@@ -93,7 +96,11 @@ fn balanced_placement(nodes: usize, n_osts: usize, dump: u64) -> Vec<FileSpec> {
     // bulk load. Choose starting OSTs spaced evenly around the ring.
     let excess = nodes - bulk;
     for e in 0..excess {
-        let start = if excess == 0 { 0 } else { (e * 2 * n_osts / (excess * 2).max(1)) % n_osts };
+        let start = if excess == 0 {
+            0
+        } else {
+            (e * 2 * n_osts / (excess * 2).max(1)) % n_osts
+        };
         let ost = (start + rotation) % n_osts;
         specs.push(FileSpec {
             // id ≡ ost (mod n_osts) places the first stripe there; keep
@@ -126,6 +133,10 @@ pub struct DamarisOptions {
     /// Dedicated-core seconds of plugin work per dump (e.g. in-situ
     /// analysis); 0 for pure I/O.
     pub plugin_seconds_per_dump: f64,
+    /// Event-transport implementation: a mutex queue's post cost grows
+    /// with the number of contending compute cores, the sharded
+    /// transport's stays flat (mirrors `damaris_shm::transport`).
+    pub transport: TransportKind,
 }
 
 impl Default for DamarisOptions {
@@ -137,6 +148,30 @@ impl Default for DamarisOptions {
             skip_when_full: true,
             compression_ratio: 1.0,
             plugin_seconds_per_dump: 0.0,
+            transport: TransportKind::Mutex,
+        }
+    }
+}
+
+impl DamarisOptions {
+    /// Derive simulator options from a real middleware configuration, so
+    /// one XML file drives both the node runtime and the cluster model
+    /// (`<queue kind>` selects the transport here too).
+    pub fn from_config(cfg: &damaris_xml::schema::Configuration) -> Self {
+        let arch = &cfg.architecture;
+        let bytes = cfg.bytes_per_iteration();
+        DamarisOptions {
+            dedicated_cores: arch.dedicated_cores.max(1),
+            buffer_dumps: arch
+                .buffer_size
+                .checked_div(bytes)
+                .map_or(2, |dumps| dumps.max(1)),
+            skip_when_full: arch.skip.mode == damaris_xml::schema::SkipMode::DropIteration,
+            transport: match arch.queue_kind {
+                damaris_xml::schema::QueueKind::Mutex => TransportKind::Mutex,
+                damaris_xml::schema::QueueKind::Sharded => TransportKind::Sharded,
+            },
+            ..Default::default()
         }
     }
 }
@@ -167,7 +202,18 @@ impl Strategy {
 
     /// Damaris with balanced-placement scheduling (the 12.7 GB/s setup).
     pub fn damaris_balanced() -> Self {
-        Strategy::Damaris(DamarisOptions { scheduler: Scheduler::Balanced, ..Default::default() })
+        Strategy::Damaris(DamarisOptions {
+            scheduler: Scheduler::Balanced,
+            ..Default::default()
+        })
+    }
+
+    /// Damaris over the sharded lock-free event transport.
+    pub fn damaris_sharded() -> Self {
+        Strategy::Damaris(DamarisOptions {
+            transport: TransportKind::Sharded,
+            ..Default::default()
+        })
     }
 
     /// Name for tables.

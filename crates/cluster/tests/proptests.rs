@@ -5,15 +5,19 @@ use cluster_sim::{run, DamarisOptions, Platform, Scheduler, Strategy as IoStrate
 use proptest::prelude::*;
 
 fn workload_strategy() -> impl Strategy<Value = Workload> {
-    (1u64..4, 1u64..6, 1.0f64..100.0, (1u64..64).prop_map(|m| m << 20)).prop_map(
-        |(dumps, steps, compute, bytes)| Workload {
+    (
+        1u64..4,
+        1u64..6,
+        1.0f64..100.0,
+        (1u64..64).prop_map(|m| m << 20),
+    )
+        .prop_map(|(dumps, steps, compute, bytes)| Workload {
             name: "prop",
             dumps,
             steps_per_dump: steps,
             compute_seconds_per_step: compute,
             bytes_per_core: bytes,
-        },
-    )
+        })
 }
 
 fn strategy_strategy() -> impl Strategy<Value = IoStrategy> {

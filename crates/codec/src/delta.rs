@@ -19,7 +19,10 @@ pub struct XorDelta {
 impl XorDelta {
     /// Create a transform for the given word width (1–16 bytes).
     pub fn new(width: usize) -> Self {
-        assert!((1..=16).contains(&width), "word width {width} out of range 1..=16");
+        assert!(
+            (1..=16).contains(&width),
+            "word width {width} out of range 1..=16"
+        );
         XorDelta { width }
     }
 }
@@ -92,7 +95,9 @@ mod tests {
 
     #[test]
     fn constant_stream_is_all_zeros_after_first_word() {
-        let bytes: Vec<u8> = std::iter::repeat_n(7.5f64.to_le_bytes(), 100).flatten().collect();
+        let bytes: Vec<u8> = std::iter::repeat_n(7.5f64.to_le_bytes(), 100)
+            .flatten()
+            .collect();
         let enc = XorDelta::new(8).encode(&bytes);
         assert!(enc[8..].iter().all(|&b| b == 0));
         assert_eq!(&enc[..8], &7.5f64.to_le_bytes());

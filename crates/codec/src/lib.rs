@@ -106,6 +106,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(CodecError::new("truncated").to_string(), "codec error: truncated");
+        assert_eq!(
+            CodecError::new("truncated").to_string(),
+            "codec error: truncated"
+        );
     }
 }

@@ -192,7 +192,12 @@ mod tests {
     fn repetitive_text_compresses() {
         let data = b"abcabcabcabcabcabcabcabcabcabcabcabc".repeat(20);
         let enc = roundtrip(&data);
-        assert!(enc.len() * 4 < data.len(), "{} vs {}", enc.len(), data.len());
+        assert!(
+            enc.len() * 4 < data.len(),
+            "{} vs {}",
+            enc.len(),
+            data.len()
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub struct Pipeline {
 
 impl std::fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Pipeline").field("spec", &self.spec).finish()
+        f.debug_struct("Pipeline")
+            .field("spec", &self.spec)
+            .finish()
     }
 }
 
@@ -39,7 +41,10 @@ impl Pipeline {
         if stages.is_empty() {
             return Err(CodecError::new(format!("empty pipeline spec '{spec}'")));
         }
-        Ok(Pipeline { stages, spec: spec.to_string() })
+        Ok(Pipeline {
+            stages,
+            spec: spec.to_string(),
+        })
     }
 
     fn stage(token: &str) -> Result<Box<dyn Codec>, CodecError> {
@@ -57,7 +62,9 @@ impl Pipeline {
                 .parse()
                 .map_err(|_| CodecError::new(format!("bad width in '{token}'")))?;
             if !(1..=16).contains(&w) {
-                return Err(CodecError::new(format!("width {w} out of range in '{token}'")));
+                return Err(CodecError::new(format!(
+                    "width {w} out of range in '{token}'"
+                )));
             }
             return Ok(Box::new(XorDelta::new(w)));
         }
@@ -66,7 +73,9 @@ impl Pipeline {
                 .parse()
                 .map_err(|_| CodecError::new(format!("bad width in '{token}'")))?;
             if !(1..=16).contains(&w) {
-                return Err(CodecError::new(format!("width {w} out of range in '{token}'")));
+                return Err(CodecError::new(format!(
+                    "width {w} out of range in '{token}'"
+                )));
             }
             return Ok(Box::new(Shuffle::new(w)));
         }
@@ -162,8 +171,16 @@ mod tests {
     #[test]
     fn spec_parsing() {
         assert_eq!(Pipeline::from_spec("rle").unwrap().len(), 1);
-        assert_eq!(Pipeline::from_spec("xor-delta8, shuffle8 ,rle").unwrap().len(), 3);
-        assert_eq!(Pipeline::from_spec("xor-delta").unwrap().name(), "xor-delta");
+        assert_eq!(
+            Pipeline::from_spec("xor-delta8, shuffle8 ,rle")
+                .unwrap()
+                .len(),
+            3
+        );
+        assert_eq!(
+            Pipeline::from_spec("xor-delta").unwrap().name(),
+            "xor-delta"
+        );
         assert!(Pipeline::from_spec("zstd").is_err());
         assert!(Pipeline::from_spec("").is_err());
         assert!(Pipeline::from_spec("shuffle0").is_err());
@@ -174,7 +191,12 @@ mod tests {
     #[test]
     fn pipeline_roundtrip() {
         let data = smooth_field(2048);
-        for spec in ["rle", "lzss", "xor-delta8,rle", "xor-delta8,shuffle8,rle,lzss"] {
+        for spec in [
+            "rle",
+            "lzss",
+            "xor-delta8,rle",
+            "xor-delta8,shuffle8,rle,lzss",
+        ] {
             let p = Pipeline::from_spec(spec).unwrap();
             let enc = p.encode(&data);
             assert_eq!(p.decode(&enc).unwrap(), data, "spec {spec}");
@@ -189,7 +211,10 @@ mod tests {
         let p = Pipeline::default_f64();
         let enc = p.encode(&data);
         let ratio = compression_ratio(data.len(), enc.len());
-        assert!(ratio >= 6.0, "expected ≥6:1 on CM1-like f64 data, got {ratio:.2}:1");
+        assert!(
+            ratio >= 6.0,
+            "expected ≥6:1 on CM1-like f64 data, got {ratio:.2}:1"
+        );
         assert_eq!(p.decode(&enc).unwrap(), data);
     }
 
@@ -206,8 +231,9 @@ mod tests {
 
     #[test]
     fn constant_field_compresses_extremely() {
-        let data: Vec<u8> =
-            std::iter::repeat_n(1013.25f64.to_le_bytes(), 8192).flatten().collect();
+        let data: Vec<u8> = std::iter::repeat_n(1013.25f64.to_le_bytes(), 8192)
+            .flatten()
+            .collect();
         let p = Pipeline::default_f64();
         let enc = p.encode(&data);
         assert!(compression_ratio(data.len(), enc.len()) > 100.0);

@@ -17,7 +17,10 @@ pub struct Shuffle {
 impl Shuffle {
     /// Create a shuffle for the given element width (1–16 bytes).
     pub fn new(width: usize) -> Self {
-        assert!((1..=16).contains(&width), "element width {width} out of range 1..=16");
+        assert!(
+            (1..=16).contains(&width),
+            "element width {width} out of range 1..=16"
+        );
         Shuffle { width }
     }
 }
@@ -94,7 +97,10 @@ mod tests {
         // The last `n` bytes are the top bytes of every element — all equal.
         let n = field.len();
         let top = &shuffled[7 * n..8 * n];
-        assert!(top.windows(2).all(|w| w[0] == w[1]), "top bytes should be constant");
+        assert!(
+            top.windows(2).all(|w| w[0] == w[1]),
+            "top bytes should be constant"
+        );
     }
 
     #[test]

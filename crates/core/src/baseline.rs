@@ -49,7 +49,8 @@ pub fn file_per_process(
     let mut w = FileWriter::create(&path)?;
     let mut payload = 0u64;
     for (name, values) in vars {
-        w.dataset(name, Dtype::F64, &[values.len() as u64])?.write_pod(values)?;
+        w.dataset(name, Dtype::F64, &[values.len() as u64])?
+            .write_pod(values)?;
         payload += (values.len() * 8) as u64;
     }
     w.set_attr("", "iteration", iteration as i64)?;
@@ -134,16 +135,17 @@ pub fn collective(
         std::fs::create_dir_all(dir).map_err(h5lite::H5Error::from)?;
         let path = dir.join(format!("{sim}_shared_it{iteration:06}.dh5"));
         let mut w = FileWriter::create(&path)?;
-        let write_rank = |rank: usize, lens: &[u64], data: &[f64], w: &mut FileWriter<_>| -> DamarisResult<()> {
-            let mut offset = 0usize;
-            for ((name, _), &len) in vars.iter().zip(lens) {
-                let len = len as usize;
-                w.dataset(&format!("{name}/rank{rank}"), Dtype::F64, &[len as u64])?
-                    .write_pod(&data[offset..offset + len])?;
-                offset += len;
-            }
-            Ok(())
-        };
+        let write_rank =
+            |rank: usize, lens: &[u64], data: &[f64], w: &mut FileWriter<_>| -> DamarisResult<()> {
+                let mut offset = 0usize;
+                for ((name, _), &len) in vars.iter().zip(lens) {
+                    let len = len as usize;
+                    w.dataset(&format!("{name}/rank{rank}"), Dtype::F64, &[len as u64])?
+                        .write_pod(&data[offset..offset + len])?;
+                    offset += len;
+                }
+                Ok(())
+            };
         // Own group first.
         for (r, l, d) in &group_data {
             write_rank(*r, l, d, &mut w)?;
@@ -246,17 +248,17 @@ mod tests {
         let dir = tmpdir("match");
         let d2 = dir.clone();
         World::run(4, move |comm| {
-            let data: Vec<f64> = (0..8).map(|i| (comm.rank() as f64) * 1.5 + i as f64).collect();
+            let data: Vec<f64> = (0..8)
+                .map(|i| (comm.rank() as f64) * 1.5 + i as f64)
+                .collect();
             file_per_process(comm, &d2.join("fpp"), "t", 0, &[("u", &data)]).unwrap();
             collective(comm, &d2.join("coll"), "t", 0, &[("u", &data)], 2).unwrap();
         });
-        let mut shared =
-            h5lite::FileReader::open(dir.join("coll/t_shared_it000000.dh5")).unwrap();
+        let mut shared = h5lite::FileReader::open(dir.join("coll/t_shared_it000000.dh5")).unwrap();
         for rank in 0..4 {
-            let mut own = h5lite::FileReader::open(
-                dir.join(format!("fpp/t_rank{rank:05}_it000000.dh5")),
-            )
-            .unwrap();
+            let mut own =
+                h5lite::FileReader::open(dir.join(format!("fpp/t_rank{rank:05}_it000000.dh5")))
+                    .unwrap();
             assert_eq!(
                 own.read_pod::<f64>("u").unwrap(),
                 shared.read_pod::<f64>(&format!("u/rank{rank}")).unwrap()

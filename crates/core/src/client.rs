@@ -9,7 +9,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use damaris_shm::{Block, MessageQueue, SharedSegment};
+use damaris_shm::transport::{AnyTransport, EventChannel, EventProducer};
+use damaris_shm::{Block, SharedSegment};
 use damaris_xml::schema::{Configuration, SkipMode};
 use parking_lot::Mutex;
 
@@ -43,13 +44,20 @@ pub struct ClientStats {
 
 /// Handle held by one compute core.
 ///
+/// Generic over the event transport `C`; the default is the
+/// runtime-selected [`AnyTransport`] chosen from the XML
+/// `<queue kind="…">` attribute. With the sharded transport the client's
+/// producer handle posts into the client's own lock-free ring.
+///
 /// Cloning shares the identity and statistics of the same logical client —
-/// clients are usually moved into their compute thread instead.
-pub struct DamarisClient {
+/// clients are usually moved into their compute thread instead. (Clones
+/// of a sharded client serialize their posts on a per-client guard, so
+/// sharing a clone across threads is safe but momentarily spins.)
+pub struct DamarisClient<C: EventChannel<Event> = AnyTransport<Event>> {
     pub(crate) id: usize,
     pub(crate) cfg: Arc<Configuration>,
     pub(crate) segment: SharedSegment,
-    pub(crate) queue: MessageQueue<Event>,
+    pub(crate) producer: C::Producer,
     pub(crate) policy: Arc<SkipPolicy>,
     pub(crate) stats: Arc<Mutex<ClientStats>>,
     /// Blocks published for the current iteration (reported at
@@ -57,13 +65,13 @@ pub struct DamarisClient {
     pub(crate) writes_this_iteration: Arc<AtomicU64>,
 }
 
-impl Clone for DamarisClient {
+impl<C: EventChannel<Event>> Clone for DamarisClient<C> {
     fn clone(&self) -> Self {
         DamarisClient {
             id: self.id,
             cfg: self.cfg.clone(),
             segment: self.segment.clone(),
-            queue: self.queue.clone(),
+            producer: self.producer.clone(),
             policy: self.policy.clone(),
             stats: self.stats.clone(),
             writes_this_iteration: self.writes_this_iteration.clone(),
@@ -71,13 +79,15 @@ impl Clone for DamarisClient {
     }
 }
 
-impl std::fmt::Debug for DamarisClient {
+impl<C: EventChannel<Event>> std::fmt::Debug for DamarisClient<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DamarisClient").field("id", &self.id).finish()
+        f.debug_struct("DamarisClient")
+            .field("id", &self.id)
+            .finish()
     }
 }
 
-impl DamarisClient {
+impl<C: EventChannel<Event>> DamarisClient<C> {
     /// This client's id (its rank within the node).
     pub fn id(&self) -> usize {
         self.id
@@ -112,7 +122,10 @@ impl DamarisClient {
                 got: bytes,
             });
         }
-        if !self.policy.admit(iteration, &self.segment, &self.queue) {
+        if !self
+            .policy
+            .admit(iteration, &self.segment, || self.producer.pressure())
+        {
             self.stats.lock().skipped_writes += 1;
             return Ok(WriteStatus::Skipped);
         }
@@ -129,12 +142,15 @@ impl DamarisClient {
     /// place (e.g. the simulation computes directly into shared memory —
     /// "functions to directly access the shared memory segment"), then
     /// [`DamarisClient::commit`] it.
-    pub fn alloc(&self, variable: &str, iteration: u64) -> DamarisResult<BlockWriter> {
+    pub fn alloc(&self, variable: &str, iteration: u64) -> DamarisResult<BlockWriter<C>> {
         let layout = self
             .cfg
             .layout_of(variable)
             .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))?;
-        if !self.policy.admit(iteration, &self.segment, &self.queue) {
+        if !self
+            .policy
+            .admit(iteration, &self.segment, || self.producer.pressure())
+        {
             self.stats.lock().skipped_writes += 1;
             return Ok(BlockWriter {
                 client: self.clone(),
@@ -153,15 +169,19 @@ impl DamarisClient {
     }
 
     /// Commit a block obtained from [`DamarisClient::alloc`].
-    pub fn commit(&self, writer: BlockWriter) -> DamarisResult<WriteStatus> {
+    pub fn commit(&self, writer: BlockWriter<C>) -> DamarisResult<WriteStatus> {
         writer.commit()
     }
 
     /// Raise a user event; actions declared with `event="name"` fire on the
     /// dedicated cores.
     pub fn signal(&self, name: &str, iteration: u64) -> DamarisResult<()> {
-        self.queue
-            .send(Event::Signal { name: name.to_string(), source: self.id, iteration })
+        self.producer
+            .send(Event::Signal {
+                name: name.to_string(),
+                source: self.id,
+                iteration,
+            })
             .map_err(|_| DamarisError::QueueClosed)
     }
 
@@ -171,14 +191,19 @@ impl DamarisClient {
     pub fn end_iteration(&self, iteration: u64) -> DamarisResult<()> {
         let writes = self.writes_this_iteration.swap(0, Ordering::AcqRel);
         let skipped = self.policy.was_dropped(iteration);
-        self.queue
-            .send(Event::EndIteration { source: self.id, iteration, writes, skipped })
+        self.producer
+            .send(Event::EndIteration {
+                source: self.id,
+                iteration,
+                writes,
+                skipped,
+            })
             .map_err(|_| DamarisError::QueueClosed)
     }
 
     /// Announce that this client will send nothing further.
     pub fn finalize(&self) -> DamarisResult<()> {
-        self.queue
+        self.producer
             .send(Event::ClientFinalize { source: self.id })
             .map_err(|_| DamarisError::QueueClosed)
     }
@@ -212,22 +237,24 @@ impl DamarisClient {
             source: self.id,
             block: block.freeze(),
         };
-        self.queue.send(event).map_err(|_| DamarisError::QueueClosed)?;
+        self.producer
+            .send(event)
+            .map_err(|_| DamarisError::QueueClosed)?;
         self.writes_this_iteration.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 }
 
 /// An in-place block being filled by the simulation (zero-copy path).
-pub struct BlockWriter {
-    client: DamarisClient,
+pub struct BlockWriter<C: EventChannel<Event> = AnyTransport<Event>> {
+    client: DamarisClient<C>,
     variable: String,
     iteration: u64,
     /// `None` when the skip policy dropped the iteration.
     block: Option<Block>,
 }
 
-impl BlockWriter {
+impl<C: EventChannel<Event>> BlockWriter<C> {
     /// Whether the skip policy dropped this iteration (the writer is inert).
     pub fn is_skipped(&self) -> bool {
         self.block.is_none()

@@ -97,7 +97,9 @@ mod tests {
             got: 32,
         };
         assert!(e.to_string().contains("'u'"));
-        assert!(DamarisError::UnknownVariable("qv".into()).to_string().contains("qv"));
+        assert!(DamarisError::UnknownVariable("qv".into())
+            .to_string()
+            .contains("qv"));
         assert!(DamarisError::QueueClosed.to_string().contains("closed"));
     }
 

@@ -98,7 +98,12 @@ mod tests {
         assert_eq!(ev.kind(), "write");
         assert_eq!(Event::ClientFinalize { source: 7 }.source(), 7);
         assert_eq!(
-            Event::Signal { name: "snap".into(), source: 1, iteration: 0 }.kind(),
+            Event::Signal {
+                name: "snap".into(),
+                source: 1,
+                iteration: 0
+            }
+            .kind(),
             "signal"
         );
     }

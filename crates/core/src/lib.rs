@@ -16,14 +16,20 @@
 //! Concretely, per node:
 //!
 //! * compute cores hold a [`client::DamarisClient`]; a *write* is one memcpy
-//!   into the node's shared-memory segment plus one event on the shared
-//!   message queue — ~0.1 s for typical per-core output, independent of
-//!   scale (§IV.B);
-//! * one or a few dedicated cores run [`server::DedicatedCore`] event loops:
-//!   they index incoming blocks in a [`store::VariableStore`], detect
-//!   iteration completion, and fire user [`plugins`] (HDF5 output,
-//!   compression, statistics, in-situ analysis) — all overlapped with the
-//!   simulation's next compute phase;
+//!   into the node's shared-memory segment plus one event post — ~0.1 s for
+//!   typical per-core output, independent of scale (§IV.B);
+//! * events travel over a pluggable **transport**
+//!   ([`damaris_shm::EventChannel`]), selected by the XML
+//!   `<queue kind="mutex|sharded">` attribute (or
+//!   [`node::NodeBuilder::transport`]): `mutex` is the classic bounded
+//!   MPMC queue, `sharded` gives every client its own lock-free SPSC ring
+//!   drained by work-stealing dedicated cores, keeping the post cost flat
+//!   as clients scale;
+//! * one or a few dedicated cores run [`server::server_loop`] event loops
+//!   over their transport consumer handle: they index incoming blocks in a
+//!   [`store::VariableStore`], detect iteration completion, and fire user
+//!   [`plugins`] (HDF5 output, compression, statistics, in-situ analysis)
+//!   — all overlapped with the simulation's next compute phase;
 //! * when plugins cannot keep up and memory pressure rises, the
 //!   [`policy::SkipPolicy`] drops whole iterations instead of blocking the
 //!   simulation (§V.C.1);

@@ -1,12 +1,20 @@
-//! Node lifecycle: wiring the segment, queue, clients and dedicated cores.
+//! Node lifecycle: wiring the segment, event transport, clients and
+//! dedicated cores.
+//!
+//! The transport is selected at build time from the XML
+//! `<queue kind="mutex|sharded">` attribute (see
+//! [`damaris_xml::schema::QueueKind`]) or overridden programmatically via
+//! [`NodeBuilder::transport`]; everything downstream is generic over
+//! [`EventChannel`].
 
 use std::path::PathBuf;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Duration;
 
-use damaris_shm::{MessageQueue, SharedSegment};
-use damaris_xml::schema::Configuration;
+use damaris_shm::transport::{AnyTransport, EventChannel, TransportKind};
+use damaris_shm::SharedSegment;
+use damaris_xml::schema::{Configuration, QueueKind};
 use parking_lot::Mutex;
 
 use crate::client::{ClientStats, DamarisClient};
@@ -22,11 +30,18 @@ pub struct NodeBuilder {
     clients: usize,
     node_id: usize,
     output_dir: Option<PathBuf>,
+    transport: Option<TransportKind>,
 }
 
 impl NodeBuilder {
     fn new() -> Self {
-        NodeBuilder { cfg: None, clients: 1, node_id: 0, output_dir: None }
+        NodeBuilder {
+            cfg: None,
+            clients: 1,
+            node_id: 0,
+            output_dir: None,
+            transport: None,
+        }
     }
 
     /// Load configuration from XML text.
@@ -65,6 +80,13 @@ impl NodeBuilder {
         self
     }
 
+    /// Override the event-transport kind (normally taken from the XML
+    /// `<queue kind="…">` attribute).
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = Some(kind);
+        self
+    }
+
     /// Construct the node: allocate the segment and queue, spawn the
     /// dedicated-core threads, pre-create the client handles.
     pub fn build(self) -> DamarisResult<DamarisNode> {
@@ -72,7 +94,9 @@ impl NodeBuilder {
             DamarisError::InvalidState("NodeBuilder needs a configuration".into())
         })?);
         if self.clients == 0 {
-            return Err(DamarisError::InvalidState("a node needs at least one client".into()));
+            return Err(DamarisError::InvalidState(
+                "a node needs at least one client".into(),
+            ));
         }
         if cfg.architecture.dedicated_cores == 0 {
             return Err(DamarisError::InvalidState(
@@ -84,7 +108,12 @@ impl NodeBuilder {
             std::env::temp_dir().join(format!("damaris-{}-{}", cfg.name, std::process::id()))
         });
         let segment = SharedSegment::new(cfg.architecture.buffer_size)?;
-        let queue: MessageQueue<Event> = MessageQueue::bounded(cfg.architecture.queue_capacity);
+        let kind = self.transport.unwrap_or(match cfg.architecture.queue_kind {
+            QueueKind::Mutex => TransportKind::Mutex,
+            QueueKind::Sharded => TransportKind::Sharded,
+        });
+        let transport: AnyTransport<Event> =
+            AnyTransport::for_kind(kind, self.clients, cfg.architecture.queue_capacity);
 
         let shared = Arc::new(ServerShared::new(
             cfg.clone(),
@@ -112,14 +141,17 @@ impl NodeBuilder {
             }
         }
 
+        let n_cores = cfg.architecture.dedicated_cores;
         let mut server_handles = Vec::new();
-        for core in 0..cfg.architecture.dedicated_cores {
+        for core in 0..n_cores {
             let shared = shared.clone();
-            let queue = queue.clone();
+            // Each dedicated core gets its own consumer handle owning a
+            // disjoint shard set (it steals from the rest when idle).
+            let consumer = transport.consumer(core, n_cores);
             server_handles.push(
                 std::thread::Builder::new()
                     .name(format!("damaris-dedicated-{core}"))
-                    .spawn(move || server_loop(shared, queue))
+                    .spawn(move || server_loop(shared, consumer))
                     .expect("failed to spawn dedicated core"),
             );
         }
@@ -129,7 +161,7 @@ impl NodeBuilder {
                 id,
                 cfg: cfg.clone(),
                 segment: segment.clone(),
-                queue: queue.clone(),
+                producer: transport.producer(id),
                 policy: Arc::new(SkipPolicy::new(cfg.architecture.skip)),
                 stats: Arc::new(Mutex::new(ClientStats::default())),
                 writes_this_iteration: Arc::new(AtomicU64::new(0)),
@@ -139,7 +171,7 @@ impl NodeBuilder {
         Ok(DamarisNode {
             cfg,
             segment,
-            queue,
+            transport,
             shared,
             server_handles: Mutex::new(server_handles),
             clients,
@@ -165,14 +197,17 @@ pub struct NodeReport {
 
 /// One SMP node running Damaris: `clients` compute cores plus
 /// `dedicated_cores` data-management cores sharing a memory segment and an
-/// event queue.
-pub struct DamarisNode {
+/// event transport.
+///
+/// Generic over the transport `C` (default: the runtime-selected
+/// [`AnyTransport`]); [`NodeBuilder::build`] always produces the default.
+pub struct DamarisNode<C: EventChannel<Event> = AnyTransport<Event>> {
     cfg: Arc<Configuration>,
     segment: SharedSegment,
-    queue: MessageQueue<Event>,
+    transport: C,
     shared: Arc<ServerShared>,
     server_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    clients: Vec<DamarisClient>,
+    clients: Vec<DamarisClient<C>>,
     output_dir: PathBuf,
 }
 
@@ -181,7 +216,9 @@ impl DamarisNode {
     pub fn builder() -> NodeBuilder {
         NodeBuilder::new()
     }
+}
 
+impl<C: EventChannel<Event>> DamarisNode<C> {
     /// The loaded configuration.
     pub fn config(&self) -> &Configuration {
         &self.cfg
@@ -194,12 +231,12 @@ impl DamarisNode {
 
     /// Owned handles for every client, in id order (move each into its
     /// compute thread).
-    pub fn clients(&self) -> impl Iterator<Item = DamarisClient> + '_ {
+    pub fn clients(&self) -> impl Iterator<Item = DamarisClient<C>> + '_ {
         self.clients.iter().cloned()
     }
 
     /// Handle for one client.
-    pub fn client(&self, id: usize) -> Option<DamarisClient> {
+    pub fn client(&self, id: usize) -> Option<DamarisClient<C>> {
         self.clients.get(id).cloned()
     }
 
@@ -216,9 +253,9 @@ impl DamarisNode {
         self.segment.occupancy()
     }
 
-    /// Current event-queue pressure in `[0, 1]`.
+    /// Current event-transport pressure (aggregate occupancy) in `[0, 1]`.
     pub fn queue_pressure(&self) -> f64 {
-        self.queue.pressure()
+        self.transport.pressure()
     }
 
     /// Fraction of time the dedicated cores have been idle so far.
@@ -237,11 +274,10 @@ impl DamarisNode {
                 "timed out waiting for clients to finalize".into(),
             ));
         }
-        self.queue.close();
+        self.transport.close();
         for h in handles.drain(..) {
-            h.join().map_err(|_| {
-                DamarisError::InvalidState("dedicated core thread panicked".into())
-            })?;
+            h.join()
+                .map_err(|_| DamarisError::InvalidState("dedicated core thread panicked".into()))?;
         }
         Ok(NodeReport {
             iterations_completed: self
@@ -314,7 +350,11 @@ mod tests {
         let (report, stats) = run_session(3, 5);
         assert_eq!(report.iterations_completed, 5);
         assert_eq!(report.skipped_client_iterations, 0);
-        assert!(report.plugin_errors.is_empty(), "{:?}", report.plugin_errors);
+        assert!(
+            report.plugin_errors.is_empty(),
+            "{:?}",
+            report.plugin_errors
+        );
         assert_eq!(stats.iterations_seen(), 5);
         // Variable u at iteration 4: 3 clients × 64 values of client-id.
         let s = stats.summary(4, "u").unwrap();
@@ -325,8 +365,12 @@ mod tests {
 
     #[test]
     fn memory_reclaimed_across_iterations() {
-        let node =
-            DamarisNode::builder().config_str(XML).unwrap().clients(2).build().unwrap();
+        let node = DamarisNode::builder()
+            .config_str(XML)
+            .unwrap()
+            .clients(2)
+            .build()
+            .unwrap();
         let handles: Vec<_> = node
             .clients()
             .map(|client| {
@@ -357,8 +401,12 @@ mod tests {
 
     #[test]
     fn unknown_variable_and_layout_mismatch() {
-        let node =
-            DamarisNode::builder().config_str(XML).unwrap().clients(1).build().unwrap();
+        let node = DamarisNode::builder()
+            .config_str(XML)
+            .unwrap()
+            .clients(1)
+            .build()
+            .unwrap();
         let client = node.client(0).unwrap();
         assert!(matches!(
             client.write("nope", 0, &[0.0f64; 64]),
@@ -374,8 +422,12 @@ mod tests {
 
     #[test]
     fn zero_copy_alloc_commit_path() {
-        let node =
-            DamarisNode::builder().config_str(XML).unwrap().clients(1).build().unwrap();
+        let node = DamarisNode::builder()
+            .config_str(XML)
+            .unwrap()
+            .clients(1)
+            .build()
+            .unwrap();
         let stats = Arc::new(StatsPlugin::new());
         node.register_plugin(stats.clone());
         let client = node.client(0).unwrap();
@@ -393,30 +445,153 @@ mod tests {
     fn builder_validation() {
         assert!(DamarisNode::builder().build().is_err(), "missing config");
         assert!(
-            DamarisNode::builder().config_str(XML).unwrap().clients(0).build().is_err(),
+            DamarisNode::builder()
+                .config_str(XML)
+                .unwrap()
+                .clients(0)
+                .build()
+                .is_err(),
             "zero clients"
         );
         let sync_xml = XML.replace("cores=\"1\"", "cores=\"0\"");
         assert!(
-            DamarisNode::builder().config_str(&sync_xml).unwrap().build().is_err(),
+            DamarisNode::builder()
+                .config_str(&sync_xml)
+                .unwrap()
+                .build()
+                .is_err(),
             "dedicated=0 must point at baselines"
         );
     }
 
     #[test]
     fn double_shutdown_rejected() {
-        let node =
-            DamarisNode::builder().config_str(XML).unwrap().clients(1).build().unwrap();
+        let node = DamarisNode::builder()
+            .config_str(XML)
+            .unwrap()
+            .clients(1)
+            .build()
+            .unwrap();
         node.client(0).unwrap().finalize().unwrap();
         node.shutdown().unwrap();
         assert!(node.shutdown().is_err());
     }
 
     #[test]
+    fn end_to_end_session_sharded_transport() {
+        // The same end-to-end flow with <queue kind="sharded">: per-client
+        // rings, one stealing consumer.
+        let xml = XML.replace(
+            "<queue capacity=\"64\"/>",
+            "<queue capacity=\"64\" kind=\"sharded\"/>",
+        );
+        let node = DamarisNode::builder()
+            .config_str(&xml)
+            .unwrap()
+            .clients(3)
+            .build()
+            .unwrap();
+        let stats = Arc::new(StatsPlugin::new());
+        node.register_plugin(stats.clone());
+        let handles: Vec<_> = node
+            .clients()
+            .map(|client| {
+                std::thread::spawn(move || {
+                    for it in 0..5 {
+                        let data = vec![client.id() as f64; 64];
+                        assert_eq!(client.write("u", it, &data).unwrap(), WriteStatus::Written);
+                        assert_eq!(client.write("v", it, &data).unwrap(), WriteStatus::Written);
+                        client.end_iteration(it).unwrap();
+                    }
+                    client.finalize().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = node.shutdown().unwrap();
+        assert_eq!(report.iterations_completed, 5);
+        assert_eq!(report.skipped_client_iterations, 0);
+        assert!(
+            report.plugin_errors.is_empty(),
+            "{:?}",
+            report.plugin_errors
+        );
+        assert_eq!(stats.iterations_seen(), 5);
+        let s = stats.summary(4, "u").unwrap();
+        assert_eq!(s.count, 192);
+    }
+
+    #[test]
+    fn builder_transport_override_beats_xml() {
+        use damaris_shm::transport::TransportKind;
+        // XML says mutex (default); the builder forces sharded. One
+        // quick session proves the override path works end to end.
+        let node = DamarisNode::builder()
+            .config_str(XML)
+            .unwrap()
+            .clients(2)
+            .transport(TransportKind::Sharded)
+            .build()
+            .unwrap();
+        let stats = Arc::new(StatsPlugin::new());
+        node.register_plugin(stats.clone());
+        for client in node.clients() {
+            client.write("u", 0, &vec![1.0f64; 64]).unwrap();
+            client.end_iteration(0).unwrap();
+            client.finalize().unwrap();
+        }
+        let report = node.shutdown().unwrap();
+        assert_eq!(report.iterations_completed, 1);
+        assert_eq!(stats.iterations_seen(), 1);
+    }
+
+    #[test]
+    fn multiple_dedicated_cores_sharded_transport() {
+        // 3 stealing consumers over 4 client shards; completion logic
+        // must hold under cross-core racing and stealing.
+        let xml = XML.replace("cores=\"1\"", "cores=\"3\"").replace(
+            "<queue capacity=\"64\"/>",
+            "<queue capacity=\"64\" kind=\"sharded\"/>",
+        );
+        let node = DamarisNode::builder()
+            .config_str(&xml)
+            .unwrap()
+            .clients(4)
+            .build()
+            .unwrap();
+        let stats = Arc::new(StatsPlugin::new());
+        node.register_plugin(stats.clone());
+        let handles: Vec<_> = node
+            .clients()
+            .map(|client| {
+                std::thread::spawn(move || {
+                    for it in 0..20 {
+                        client.write("u", it, &vec![1.0f64; 64]).unwrap();
+                        client.end_iteration(it).unwrap();
+                    }
+                    client.finalize().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = node.shutdown().unwrap();
+        assert_eq!(report.iterations_completed, 20);
+        assert_eq!(stats.iterations_seen(), 20);
+    }
+
+    #[test]
     fn multiple_dedicated_cores() {
         let xml = XML.replace("cores=\"1\"", "cores=\"3\"");
-        let node =
-            DamarisNode::builder().config_str(&xml).unwrap().clients(4).build().unwrap();
+        let node = DamarisNode::builder()
+            .config_str(&xml)
+            .unwrap()
+            .clients(4)
+            .build()
+            .unwrap();
         let stats = Arc::new(StatsPlugin::new());
         node.register_plugin(stats.clone());
         let handles: Vec<_> = node
@@ -461,14 +636,19 @@ mod tests {
             fn on_signal(&self, ctx: &SignalCtx<'_>) -> Result<(), String> {
                 assert_eq!(ctx.name, "take-snapshot");
                 self.hits.fetch_add(1, Ordering::SeqCst);
-                self.blocks_seen.fetch_add(ctx.blocks.len(), Ordering::SeqCst);
+                self.blocks_seen
+                    .fetch_add(ctx.blocks.len(), Ordering::SeqCst);
                 Ok(())
             }
         }
         let hits = Arc::new(AtomicUsize::new(0));
         let blocks_seen = Arc::new(AtomicUsize::new(0));
-        let node =
-            DamarisNode::builder().config_str(&xml).unwrap().clients(1).build().unwrap();
+        let node = DamarisNode::builder()
+            .config_str(&xml)
+            .unwrap()
+            .clients(1)
+            .build()
+            .unwrap();
         node.register_plugin(Arc::new(Snapshotter {
             hits: hits.clone(),
             blocks_seen: blocks_seen.clone(),
@@ -482,8 +662,16 @@ mod tests {
         client.end_iteration(0).unwrap();
         client.finalize().unwrap();
         node.shutdown().unwrap();
-        assert_eq!(hits.load(Ordering::SeqCst), 1, "only the matching event fires");
-        assert_eq!(blocks_seen.load(Ordering::SeqCst), 1, "in-flight block visible");
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            1,
+            "only the matching event fires"
+        );
+        assert_eq!(
+            blocks_seen.load(Ordering::SeqCst),
+            1,
+            "in-flight block visible"
+        );
     }
 
     #[test]
@@ -494,8 +682,12 @@ mod tests {
                  <action name="s" plugin="stats" event="end-of-iteration" frequency="3"/>
                </actions></simulation>"#,
         );
-        let node =
-            DamarisNode::builder().config_str(&xml).unwrap().clients(1).build().unwrap();
+        let node = DamarisNode::builder()
+            .config_str(&xml)
+            .unwrap()
+            .clients(1)
+            .build()
+            .unwrap();
         let stats = Arc::new(StatsPlugin::new());
         node.register_plugin(stats.clone());
         let client = node.client(0).unwrap();
@@ -514,26 +706,40 @@ mod tests {
     #[test]
     fn register_plugin_replaces_same_name() {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let node =
-            DamarisNode::builder().config_str(XML).unwrap().clients(1).build().unwrap();
+        let node = DamarisNode::builder()
+            .config_str(XML)
+            .unwrap()
+            .clients(1)
+            .build()
+            .unwrap();
         let first = Arc::new(AtomicUsize::new(0));
         let second = Arc::new(AtomicUsize::new(0));
         let f1 = first.clone();
         let f2 = second.clone();
-        node.register_plugin(Arc::new(crate::plugins::FnPlugin::new("probe", move |_| {
-            f1.fetch_add(1, Ordering::SeqCst);
-            Ok(())
-        })));
-        node.register_plugin(Arc::new(crate::plugins::FnPlugin::new("probe", move |_| {
-            f2.fetch_add(1, Ordering::SeqCst);
-            Ok(())
-        })));
+        node.register_plugin(Arc::new(crate::plugins::FnPlugin::new(
+            "probe",
+            move |_| {
+                f1.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )));
+        node.register_plugin(Arc::new(crate::plugins::FnPlugin::new(
+            "probe",
+            move |_| {
+                f2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        )));
         let client = node.client(0).unwrap();
         client.write("u", 0, &[0.0f64; 64]).unwrap();
         client.end_iteration(0).unwrap();
         client.finalize().unwrap();
         node.shutdown().unwrap();
-        assert_eq!(first.load(Ordering::SeqCst), 0, "replaced plugin never fires");
+        assert_eq!(
+            first.load(Ordering::SeqCst),
+            0,
+            "replaced plugin never fires"
+        );
         assert_eq!(second.load(Ordering::SeqCst), 1);
     }
 }

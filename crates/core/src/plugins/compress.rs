@@ -50,7 +50,9 @@ impl Default for CompressPlugin {
 impl CompressPlugin {
     /// New plugin with empty history.
     pub fn new() -> Self {
-        CompressPlugin { records: Mutex::new(Vec::new()) }
+        CompressPlugin {
+            records: Mutex::new(Vec::new()),
+        }
     }
 
     /// History of compression work (clone).
@@ -76,7 +78,10 @@ impl Plugin for CompressPlugin {
         if ctx.blocks.is_empty() {
             return Ok(());
         }
-        let spec = ctx.action.param("pipeline").unwrap_or("xor-delta8,shuffle8,rle,lzss");
+        let spec = ctx
+            .action
+            .param("pipeline")
+            .unwrap_or("xor-delta8,shuffle8,rle,lzss");
         let pipeline = Pipeline::from_spec(spec).map_err(|e| e.to_string())?;
         let t0 = std::time::Instant::now();
         let mut raw = 0u64;
@@ -140,7 +145,9 @@ mod tests {
             params: vec![],
         };
         let plugin = CompressPlugin::new();
-        plugin.on_iteration(&ctx_with_blocks(&blocks, &cfg, &action)).unwrap();
+        plugin
+            .on_iteration(&ctx_with_blocks(&blocks, &cfg, &action))
+            .unwrap();
         let records = plugin.records();
         assert_eq!(records.len(), 1);
         assert!(records[0].ratio() > 6.0, "got {}", records[0].ratio());
@@ -167,11 +174,15 @@ mod tests {
             params: vec![("pipeline".into(), "rle".into())],
         };
         let plugin = CompressPlugin::new();
-        plugin.on_iteration(&ctx_with_blocks(&blocks, &cfg, &action)).unwrap();
+        plugin
+            .on_iteration(&ctx_with_blocks(&blocks, &cfg, &action))
+            .unwrap();
         assert_eq!(plugin.records().len(), 1);
 
         action.params[0].1 = "no-such-codec".into();
-        assert!(plugin.on_iteration(&ctx_with_blocks(&blocks, &cfg, &action)).is_err());
+        assert!(plugin
+            .on_iteration(&ctx_with_blocks(&blocks, &cfg, &action))
+            .is_err());
     }
 
     #[test]
@@ -184,7 +195,9 @@ mod tests {
             params: vec![],
         };
         let plugin = CompressPlugin::new();
-        plugin.on_iteration(&ctx_with_blocks(&[], &cfg, &action)).unwrap();
+        plugin
+            .on_iteration(&ctx_with_blocks(&[], &cfg, &action))
+            .unwrap();
         assert!(plugin.records().is_empty());
     }
 }

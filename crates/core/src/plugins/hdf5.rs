@@ -85,8 +85,10 @@ impl Plugin for H5Writer {
         if ctx.blocks.is_empty() {
             return Ok(()); // skipped iteration: nothing to store
         }
-        let file_name =
-            format!("{}_node{}_it{:06}.dh5", ctx.simulation, ctx.node_id, ctx.iteration);
+        let file_name = format!(
+            "{}_node{}_it{:06}.dh5",
+            ctx.simulation, ctx.node_id, ctx.iteration
+        );
         let path = ctx.output_dir.join(file_name);
         std::fs::create_dir_all(ctx.output_dir)
             .map_err(|e| format!("creating {:?}: {e}", ctx.output_dir))?;
@@ -118,7 +120,9 @@ impl Plugin for H5Writer {
                 .dataset(&ds_path, elem_dtype(layout.elem_type), &shape)
                 .map_err(|e| format!("dataset {ds_path}: {e}"))?;
             if let Some(spec) = codec {
-                b = b.with_codec(spec).map_err(|e| format!("codec {spec}: {e}"))?;
+                b = b
+                    .with_codec(spec)
+                    .map_err(|e| format!("codec {spec}: {e}"))?;
             }
             if let Some(rows) = chunk_rows {
                 b = b.chunked(rows).map_err(|e| e.to_string())?;
@@ -127,13 +131,17 @@ impl Plugin for H5Writer {
                 .map_err(|e| format!("writing {ds_path}: {e}"))?;
             if let Some(v) = var_cfg {
                 if let Some(unit) = &v.unit {
-                    w.set_attr(&ds_path, "unit", unit.as_str()).map_err(|e| e.to_string())?;
+                    w.set_attr(&ds_path, "unit", unit.as_str())
+                        .map_err(|e| e.to_string())?;
                 }
             }
         }
-        w.set_attr("", "iteration", ctx.iteration as i64).map_err(|e| e.to_string())?;
-        w.set_attr("", "node", ctx.node_id as i64).map_err(|e| e.to_string())?;
-        w.set_attr("", "simulation", ctx.simulation).map_err(|e| e.to_string())?;
+        w.set_attr("", "iteration", ctx.iteration as i64)
+            .map_err(|e| e.to_string())?;
+        w.set_attr("", "node", ctx.node_id as i64)
+            .map_err(|e| e.to_string())?;
+        w.set_attr("", "simulation", ctx.simulation)
+            .map_err(|e| e.to_string())?;
         let stats = w.finish().map_err(|e| format!("finishing {path:?}: {e}"))?;
         self.written.lock().push(WrittenFile {
             iteration: ctx.iteration,
@@ -270,7 +278,11 @@ mod tests {
             action: &act,
         };
         plugin.on_iteration(&ctx).unwrap();
-        assert_eq!(plugin.written()[0].datasets, 1, "hidden variable not stored");
+        assert_eq!(
+            plugin.written()[0].datasets,
+            1,
+            "hidden variable not stored"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

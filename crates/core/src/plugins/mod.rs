@@ -111,7 +111,10 @@ where
 {
     /// Wrap a closure as an end-of-iteration plugin.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnPlugin { name: name.into(), f }
+        FnPlugin {
+            name: name.into(),
+            f,
+        }
     }
 }
 

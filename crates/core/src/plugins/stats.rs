@@ -43,7 +43,13 @@ impl VariableSummary {
         }
         let mean = sum / count as f64;
         let var = (sumsq / count as f64 - mean * mean).max(0.0);
-        Some(VariableSummary { count, min, max, mean, stddev: var.sqrt() })
+        Some(VariableSummary {
+            count,
+            min,
+            max,
+            mean,
+            stddev: var.sqrt(),
+        })
     }
 }
 
@@ -68,7 +74,11 @@ impl StatsPlugin {
 
     /// Summary for a variable at an iteration, if computed.
     pub fn summary(&self, iteration: u64, variable: &str) -> Option<VariableSummary> {
-        self.results.lock().get(&iteration).and_then(|m| m.get(variable)).copied()
+        self.results
+            .lock()
+            .get(&iteration)
+            .and_then(|m| m.get(variable))
+            .copied()
     }
 
     /// All results (clone).
@@ -90,10 +100,18 @@ impl Plugin for StatsPlugin {
             };
             let values: Vec<f64> = match layout.elem_type {
                 ElemType::F64 => block.data.as_pod::<f64>().to_vec(),
-                ElemType::F32 => block.data.as_pod::<f32>().iter().map(|&v| v as f64).collect(),
+                ElemType::F32 => block
+                    .data
+                    .as_pod::<f32>()
+                    .iter()
+                    .map(|&v| v as f64)
+                    .collect(),
                 _ => continue,
             };
-            per_var.entry(block.variable.clone()).or_default().extend(values);
+            per_var
+                .entry(block.variable.clone())
+                .or_default()
+                .extend(values);
         }
         let mut summaries = BTreeMap::new();
         for (var, values) in per_var {
@@ -156,11 +174,21 @@ mod tests {
         // f32 variable.
         let mut b = seg.allocate(16).unwrap();
         b.write_pod(&[1.0f32, 1.0, 1.0, 1.0]);
-        blocks.push(StoredBlock { variable: "b".into(), source: 0, iteration: 2, data: b.freeze() });
+        blocks.push(StoredBlock {
+            variable: "b".into(),
+            source: 0,
+            iteration: 2,
+            data: b.freeze(),
+        });
         // Integer variable: skipped by the summarizer.
         let mut b = seg.allocate(16).unwrap();
         b.write_pod(&[5i32, 5, 5, 5]);
-        blocks.push(StoredBlock { variable: "c".into(), source: 0, iteration: 2, data: b.freeze() });
+        blocks.push(StoredBlock {
+            variable: "c".into(),
+            source: 0,
+            iteration: 2,
+            data: b.freeze(),
+        });
 
         let plugin = StatsPlugin::new();
         let act = action();

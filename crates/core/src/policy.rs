@@ -12,18 +12,23 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use damaris_shm::{MessageQueue, SharedSegment};
+use damaris_shm::SharedSegment;
 use damaris_xml::schema::{SkipConfig, SkipMode};
-
-use crate::event::Event;
 
 /// Per-client skip-policy engine.
 ///
 /// At the first write of each iteration the policy inspects segment
-/// occupancy and queue pressure; in [`SkipMode::DropIteration`] mode an
-/// iteration that begins above the high-watermark is dropped *wholesale*
-/// (partial iterations would be useless to plugins). [`SkipMode::Block`]
-/// preserves every iteration at the cost of stalling the simulation.
+/// occupancy and event-transport pressure; in [`SkipMode::DropIteration`]
+/// mode an iteration that begins above the high-watermark is dropped
+/// *wholesale* (partial iterations would be useless to plugins).
+/// [`SkipMode::Block`] preserves every iteration at the cost of stalling
+/// the simulation.
+///
+/// The transport signal arrives as a plain occupancy fraction
+/// ([`damaris_shm::EventProducer::pressure`]) so the policy works
+/// unchanged over any [`damaris_shm::EventChannel`] implementation — for
+/// the sharded transport that number is the *aggregate* occupancy across
+/// every client's shard, not just this client's.
 #[derive(Debug)]
 pub struct SkipPolicy {
     cfg: SkipConfig,
@@ -53,6 +58,10 @@ impl SkipPolicy {
 
     /// Decide whether a write belonging to `iteration` may proceed.
     ///
+    /// `transport_pressure` yields the event-transport occupancy in
+    /// `[0, 1]`; it is taken lazily because computing it costs a scan over
+    /// every shard's hot counters on the sharded transport, and the value
+    /// only matters at the first write of a new iteration in drop mode.
     /// Returns `true` if the write should be published, `false` if the
     /// whole iteration is being dropped. The decision is made once per
     /// iteration (at its first write) and then sticks.
@@ -60,7 +69,7 @@ impl SkipPolicy {
         &self,
         iteration: u64,
         segment: &SharedSegment,
-        queue: &MessageQueue<Event>,
+        transport_pressure: impl FnOnce() -> f64,
     ) -> bool {
         if self.cfg.mode == SkipMode::Block {
             return true;
@@ -69,7 +78,7 @@ impl SkipPolicy {
         if prev != iteration {
             // First write of a new iteration: evaluate pressure now.
             let pressured = segment.occupancy() >= self.cfg.high_watermark
-                || queue.pressure() >= self.cfg.high_watermark;
+                || transport_pressure() >= self.cfg.high_watermark;
             self.current_dropped.store(pressured, Ordering::Release);
             if pressured {
                 self.dropped_total.fetch_add(1, Ordering::Relaxed);
@@ -96,62 +105,69 @@ mod tests {
     use super::*;
     use damaris_xml::schema::{SkipConfig, SkipMode};
 
-    fn setup(hw: f64, mode: SkipMode) -> (SkipPolicy, SharedSegment, MessageQueue<Event>) {
-        let policy = SkipPolicy::new(SkipConfig { mode, high_watermark: hw });
+    fn setup(hw: f64, mode: SkipMode) -> (SkipPolicy, SharedSegment) {
+        let policy = SkipPolicy::new(SkipConfig {
+            mode,
+            high_watermark: hw,
+        });
         let seg = SharedSegment::new(1024).unwrap();
-        let queue = MessageQueue::bounded(8);
-        (policy, seg, queue)
+        (policy, seg)
     }
 
     #[test]
     fn block_mode_always_admits() {
-        let (policy, seg, queue) = setup(0.5, SkipMode::Block);
+        let (policy, seg) = setup(0.5, SkipMode::Block);
         let _hog = seg.allocate(1024).unwrap(); // 100 % occupancy
-        assert!(policy.admit(0, &seg, &queue));
+        assert!(policy.admit(0, &seg, || 0.0));
         assert_eq!(policy.dropped_iterations(), 0);
     }
 
     #[test]
     fn drop_mode_admits_when_quiet() {
-        let (policy, seg, queue) = setup(0.5, SkipMode::DropIteration);
-        assert!(policy.admit(0, &seg, &queue));
-        assert!(policy.admit(0, &seg, &queue), "same iteration stays admitted");
+        let (policy, seg) = setup(0.5, SkipMode::DropIteration);
+        assert!(policy.admit(0, &seg, || 0.0));
+        assert!(
+            policy.admit(0, &seg, || 0.0),
+            "same iteration stays admitted"
+        );
         assert!(!policy.was_dropped(0));
     }
 
     #[test]
     fn drop_mode_drops_whole_iteration_under_pressure() {
-        let (policy, seg, queue) = setup(0.5, SkipMode::DropIteration);
+        let (policy, seg) = setup(0.5, SkipMode::DropIteration);
         let hog = seg.allocate(768).unwrap(); // 75 % occupancy
-        assert!(!policy.admit(1, &seg, &queue), "first write rejected");
-        assert!(!policy.admit(1, &seg, &queue), "whole iteration stays rejected");
+        assert!(!policy.admit(1, &seg, || 0.0), "first write rejected");
+        assert!(
+            !policy.admit(1, &seg, || 0.0),
+            "whole iteration stays rejected"
+        );
         assert!(policy.was_dropped(1));
         assert_eq!(policy.dropped_iterations(), 1);
         // Pressure recedes: the *next* iteration is admitted again.
         drop(hog);
-        assert!(policy.admit(2, &seg, &queue));
+        assert!(policy.admit(2, &seg, || 0.0));
         assert_eq!(policy.dropped_iterations(), 1);
     }
 
     #[test]
     fn decision_sticks_even_if_pressure_changes_mid_iteration() {
-        let (policy, seg, queue) = setup(0.5, SkipMode::DropIteration);
-        assert!(policy.admit(3, &seg, &queue), "admitted while quiet");
+        let (policy, seg) = setup(0.5, SkipMode::DropIteration);
+        assert!(policy.admit(3, &seg, || 0.0), "admitted while quiet");
         let _hog = seg.allocate(1024).unwrap();
         assert!(
-            policy.admit(3, &seg, &queue),
+            policy.admit(3, &seg, || 0.0),
             "iteration already admitted; later writes of it pass too"
         );
     }
 
     #[test]
-    fn queue_pressure_also_triggers() {
-        let (policy, seg, queue) = setup(0.5, SkipMode::DropIteration);
-        for _ in 0..8 {
-            queue
-                .try_send(Event::ClientFinalize { source: 0 })
-                .expect("fill the queue");
-        }
-        assert!(!policy.admit(0, &seg, &queue), "full queue counts as pressure");
+    fn transport_pressure_also_triggers() {
+        let (policy, seg) = setup(0.5, SkipMode::DropIteration);
+        assert!(
+            !policy.admit(0, &seg, || 1.0),
+            "full transport counts as pressure"
+        );
+        assert!(policy.admit(1, &seg, || 0.49), "below the watermark admits");
     }
 }

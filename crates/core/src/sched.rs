@@ -147,10 +147,7 @@ mod tests {
         assert_eq!(sorted, vec![0.0, 0.0, 10.0, 10.0, 20.0, 20.0]);
         // Verify the invariant directly: overlap never exceeds 2.
         for &t in &starts {
-            let overlapping = starts
-                .iter()
-                .filter(|&&s| s <= t && t < s + est)
-                .count();
+            let overlapping = starts.iter().filter(|&&s| s <= t && t < s + est).count();
             assert!(overlapping <= 2, "{overlapping} writers at t={t}");
         }
     }
@@ -159,7 +156,11 @@ mod tests {
     fn token_bucket_respects_staggered_readiness() {
         let ready = vec![0.0, 100.0];
         let starts = TokenBucket { concurrent: 1 }.plan_starts(&ready, 5.0);
-        assert_eq!(starts, vec![0.0, 100.0], "no artificial delay when load is light");
+        assert_eq!(
+            starts,
+            vec![0.0, 100.0],
+            "no artificial delay when load is light"
+        );
     }
 
     #[test]

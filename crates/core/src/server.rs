@@ -1,10 +1,17 @@
 //! The dedicated-core event loop.
 //!
-//! Each dedicated core runs [`server_loop`]: it drains the shared message
-//! queue, indexes blocks, detects iteration completion (all clients ended
-//! the step *and* all announced blocks arrived — necessary because several
-//! dedicated cores may drain the queue concurrently), fires plugins, and
-//! garbage-collects the iteration's shared memory.
+//! Each dedicated core runs [`server_loop`] over an
+//! [`EventConsumer`] handle of the node's event transport: it drains
+//! events, indexes blocks, detects iteration completion (all clients
+//! ended the step *and* all announced blocks arrived — necessary because
+//! several dedicated cores may drain events concurrently, and, with the
+//! sharded transport, because events from different clients may arrive
+//! reordered), fires plugins, and garbage-collects the iteration's shared
+//! memory.
+//!
+//! The loop is transport-agnostic: a mutex [`damaris_shm::MessageQueue`]
+//! and a work-stealing [`damaris_shm::StealingConsumer`] plug in
+//! unchanged.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -12,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use damaris_shm::MessageQueue;
+use damaris_shm::transport::EventConsumer;
 use damaris_xml::schema::{Action, Configuration, Trigger};
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -27,8 +34,6 @@ struct IterProgress {
     ended: usize,
     /// Blocks those clients announced.
     expected_blocks: u64,
-    /// Clients whose data was dropped by the skip policy.
-    skipped_clients: usize,
     /// Guards against double-firing when two server threads race.
     fired: bool,
 }
@@ -124,16 +129,17 @@ impl ServerShared {
         for plugin in plugins.iter() {
             // Actions referencing the plugin configure its invocation; a
             // plugin with no matching action fires with defaults.
-            let matched: Vec<&Action> =
-                actions.iter().filter(|a| a.plugin == plugin.name()).collect();
+            let matched: Vec<&Action> = actions
+                .iter()
+                .filter(|a| a.plugin == plugin.name())
+                .collect();
             let default_action = Action {
                 name: plugin.name().to_string(),
                 plugin: plugin.name().to_string(),
                 trigger: Trigger::EndOfIteration { frequency: 1 },
                 params: vec![],
             };
-            let declared_anywhere =
-                self.cfg.actions.iter().any(|a| a.plugin == plugin.name());
+            let declared_anywhere = self.cfg.actions.iter().any(|a| a.plugin == plugin.name());
             let invocations: Vec<&Action> = if matched.is_empty() {
                 if declared_anywhere {
                     // Declared with a frequency that excludes this step.
@@ -154,9 +160,10 @@ impl ServerShared {
                     action,
                 };
                 if let Err(msg) = plugin.on_iteration(&ctx) {
-                    self.errors
-                        .lock()
-                        .push(format!("plugin '{}' at iteration {iteration}: {msg}", plugin.name()));
+                    self.errors.lock().push(format!(
+                        "plugin '{}' at iteration {iteration}: {msg}",
+                        plugin.name()
+                    ));
                 }
             }
         }
@@ -186,9 +193,10 @@ impl ServerShared {
                     action,
                 };
                 if let Err(msg) = plugin.on_signal(&ctx) {
-                    self.errors
-                        .lock()
-                        .push(format!("plugin '{}' on signal '{name}': {msg}", plugin.name()));
+                    self.errors.lock().push(format!(
+                        "plugin '{}' on signal '{name}': {msg}",
+                        plugin.name()
+                    ));
                 }
             }
         }
@@ -203,10 +211,7 @@ impl ServerShared {
             let Some(p) = progress.get_mut(&it) else {
                 return false;
             };
-            if p.fired
-                || p.ended < self.n_clients
-                || (store.count(it) as u64) < p.expected_blocks
-            {
+            if p.fired || p.ended < self.n_clients || (store.count(it) as u64) < p.expected_blocks {
                 return false;
             }
             p.fired = true;
@@ -220,11 +225,11 @@ impl ServerShared {
     }
 }
 
-/// Run one dedicated core until the queue is closed and drained.
-pub fn server_loop(shared: Arc<ServerShared>, queue: MessageQueue<Event>) {
+/// Run one dedicated core until the transport is closed and drained.
+pub fn server_loop<C: EventConsumer<Event>>(shared: Arc<ServerShared>, mut events: C) {
     loop {
         let wait_start = Instant::now();
-        let event = match queue.recv() {
+        let event = match events.recv() {
             Ok(ev) => ev,
             Err(_) => break, // closed and drained
         };
@@ -233,7 +238,12 @@ pub fn server_loop(shared: Arc<ServerShared>, queue: MessageQueue<Event>) {
             .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let busy_start = Instant::now();
         match event {
-            Event::Write { variable, iteration, source, block } => {
+            Event::Write {
+                variable,
+                iteration,
+                source,
+                block,
+            } => {
                 shared.store.lock().insert(StoredBlock {
                     variable,
                     source,
@@ -242,20 +252,30 @@ pub fn server_loop(shared: Arc<ServerShared>, queue: MessageQueue<Event>) {
                 });
                 shared.maybe_complete(iteration);
             }
-            Event::EndIteration { source: _, iteration, writes, skipped } => {
+            Event::EndIteration {
+                source: _,
+                iteration,
+                writes,
+                skipped,
+            } => {
                 {
                     let mut progress = shared.progress.lock();
                     let p = progress.entry(iteration).or_default();
                     p.ended += 1;
                     p.expected_blocks += writes;
                     if skipped {
-                        p.skipped_clients += 1;
-                        shared.skipped_client_iterations.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .skipped_client_iterations
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 shared.maybe_complete(iteration);
             }
-            Event::Signal { name, source, iteration } => {
+            Event::Signal {
+                name,
+                source,
+                iteration,
+            } => {
                 shared.fire_signal(&name, source, iteration);
             }
             Event::ClientFinalize { .. } => {
@@ -276,7 +296,8 @@ pub fn server_loop(shared: Arc<ServerShared>, queue: MessageQueue<Event>) {
 mod tests {
     use super::*;
     use crate::plugins::FnPlugin;
-    use damaris_shm::SharedSegment;
+    use damaris_shm::transport::{EventChannel, EventProducer, ShardedChannel};
+    use damaris_shm::{MessageQueue, SharedSegment};
     use std::sync::atomic::AtomicUsize;
 
     fn config(actions: &str) -> Arc<Configuration> {
@@ -297,7 +318,12 @@ mod tests {
     fn write_event(seg: &SharedSegment, it: u64, source: usize) -> Event {
         let mut b = seg.allocate(16).unwrap();
         b.write_pod(&[source as f64, it as f64]);
-        Event::Write { variable: "u".into(), iteration: it, source, block: b.freeze() }
+        Event::Write {
+            variable: "u".into(),
+            iteration: it,
+            source,
+            block: b.freeze(),
+        }
     }
 
     /// Drive a server loop synchronously by closing the queue first.
@@ -310,25 +336,49 @@ mod tests {
         server_loop(shared.clone(), queue);
     }
 
+    /// Same, but through the sharded transport (events keyed by source).
+    fn run_events_sharded(shared: &Arc<ServerShared>, clients: usize, events: Vec<Event>) {
+        let ch: ShardedChannel<Event> = ShardedChannel::new(clients, events.len().max(1));
+        for e in events {
+            let p = ch.producer(e.source());
+            p.send(e).unwrap();
+        }
+        EventChannel::close(&ch);
+        server_loop(shared.clone(), ch.consumer(0, 1));
+    }
+
     #[test]
     fn iteration_fires_once_all_clients_and_blocks_arrive() {
         let cfg = config("");
         let shared = Arc::new(ServerShared::new(cfg, 0, 2, std::env::temp_dir()));
         let fired = Arc::new(AtomicUsize::new(0));
         let f = fired.clone();
-        shared.plugins.write().push(Arc::new(FnPlugin::new("probe", move |ctx| {
-            assert_eq!(ctx.blocks.len(), 2);
-            f.fetch_add(1, Ordering::SeqCst);
-            Ok(())
-        })));
+        shared
+            .plugins
+            .write()
+            .push(Arc::new(FnPlugin::new("probe", move |ctx| {
+                assert_eq!(ctx.blocks.len(), 2);
+                f.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })));
         let seg = SharedSegment::new(4096).unwrap();
         run_events(
             &shared,
             vec![
                 write_event(&seg, 0, 0),
-                Event::EndIteration { source: 0, iteration: 0, writes: 1, skipped: false },
+                Event::EndIteration {
+                    source: 0,
+                    iteration: 0,
+                    writes: 1,
+                    skipped: false,
+                },
                 write_event(&seg, 0, 1),
-                Event::EndIteration { source: 1, iteration: 0, writes: 1, skipped: false },
+                Event::EndIteration {
+                    source: 1,
+                    iteration: 0,
+                    writes: 1,
+                    skipped: false,
+                },
             ],
         );
         assert_eq!(fired.load(Ordering::SeqCst), 1);
@@ -355,7 +405,12 @@ mod tests {
         run_events(
             &shared,
             vec![
-                Event::EndIteration { source: 0, iteration: 0, writes: 1, skipped: false },
+                Event::EndIteration {
+                    source: 0,
+                    iteration: 0,
+                    writes: 1,
+                    skipped: false,
+                },
                 write_event(&seg, 0, 0),
             ],
         );
@@ -383,10 +438,19 @@ mod tests {
         let mut events = Vec::new();
         for it in 0..5 {
             events.push(write_event(&seg, it, 0));
-            events.push(Event::EndIteration { source: 0, iteration: it, writes: 1, skipped: false });
+            events.push(Event::EndIteration {
+                source: 0,
+                iteration: it,
+                writes: 1,
+                skipped: false,
+            });
         }
         run_events(&shared, events);
-        assert_eq!(*fired.lock(), vec![0, 2, 4], "frequency=2 fires on even steps");
+        assert_eq!(
+            *fired.lock(),
+            vec![0, 2, 4],
+            "frequency=2 fires on even steps"
+        );
         assert_eq!(shared.iterations_completed.load(Ordering::Relaxed), 5);
     }
 
@@ -415,8 +479,16 @@ mod tests {
         run_events(
             &shared,
             vec![
-                Event::Signal { name: "user-snapshot".into(), source: 0, iteration: 0 },
-                Event::Signal { name: "unrelated".into(), source: 0, iteration: 0 },
+                Event::Signal {
+                    name: "user-snapshot".into(),
+                    source: 0,
+                    iteration: 0,
+                },
+                Event::Signal {
+                    name: "unrelated".into(),
+                    source: 0,
+                    iteration: 0,
+                },
             ],
         );
         assert_eq!(fired.load(Ordering::SeqCst), 1);
@@ -435,13 +507,27 @@ mod tests {
             &shared,
             vec![
                 write_event(&seg, 0, 0),
-                Event::EndIteration { source: 0, iteration: 0, writes: 1, skipped: false },
+                Event::EndIteration {
+                    source: 0,
+                    iteration: 0,
+                    writes: 1,
+                    skipped: false,
+                },
                 write_event(&seg, 1, 0),
-                Event::EndIteration { source: 0, iteration: 1, writes: 1, skipped: false },
+                Event::EndIteration {
+                    source: 0,
+                    iteration: 1,
+                    writes: 1,
+                    skipped: false,
+                },
             ],
         );
         let errors = shared.errors.lock();
-        assert_eq!(errors.len(), 2, "one error per iteration, service kept going");
+        assert_eq!(
+            errors.len(),
+            2,
+            "one error per iteration, service kept going"
+        );
         assert!(errors[0].contains("kaboom"));
     }
 
@@ -463,13 +549,65 @@ mod tests {
             &shared,
             vec![
                 write_event(&seg, 0, 0),
-                Event::EndIteration { source: 0, iteration: 0, writes: 1, skipped: false },
+                Event::EndIteration {
+                    source: 0,
+                    iteration: 0,
+                    writes: 1,
+                    skipped: false,
+                },
                 // Client 1 skipped the whole iteration.
-                Event::EndIteration { source: 1, iteration: 0, writes: 0, skipped: true },
+                Event::EndIteration {
+                    source: 1,
+                    iteration: 0,
+                    writes: 0,
+                    skipped: true,
+                },
             ],
         );
         assert_eq!(*seen.lock(), vec![1], "fires with one client's blocks");
         assert_eq!(shared.skipped_client_iterations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn iteration_completes_over_sharded_transport() {
+        // The same completion logic must hold when events arrive through
+        // per-client rings drained by a stealing consumer.
+        let cfg = config("");
+        let shared = Arc::new(ServerShared::new(cfg, 0, 2, std::env::temp_dir()));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        shared
+            .plugins
+            .write()
+            .push(Arc::new(FnPlugin::new("probe", move |ctx| {
+                assert_eq!(ctx.blocks.len(), 2);
+                f.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })));
+        let seg = SharedSegment::new(4096).unwrap();
+        run_events_sharded(
+            &shared,
+            2,
+            vec![
+                write_event(&seg, 0, 0),
+                Event::EndIteration {
+                    source: 0,
+                    iteration: 0,
+                    writes: 1,
+                    skipped: false,
+                },
+                write_event(&seg, 0, 1),
+                Event::EndIteration {
+                    source: 1,
+                    iteration: 0,
+                    writes: 1,
+                    skipped: false,
+                },
+            ],
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(shared.iterations_completed.load(Ordering::Relaxed), 1);
+        assert_eq!(seg.used_bytes(), 0, "iteration memory reclaimed");
     }
 
     #[test]

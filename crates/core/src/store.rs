@@ -38,12 +38,18 @@ impl VariableStore {
 
     /// Index a block.
     pub fn insert(&mut self, block: StoredBlock) {
-        self.by_iteration.entry(block.iteration).or_default().push(block);
+        self.by_iteration
+            .entry(block.iteration)
+            .or_default()
+            .push(block);
     }
 
     /// All blocks of an iteration (any variable, any source).
     pub fn iteration_blocks(&self, iteration: u64) -> &[StoredBlock] {
-        self.by_iteration.get(&iteration).map(Vec::as_slice).unwrap_or(&[])
+        self.by_iteration
+            .get(&iteration)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Blocks of one variable at one iteration, ordered by source.
@@ -94,7 +100,12 @@ mod tests {
     fn block(seg: &SharedSegment, var: &str, it: u64, src: usize, val: f64) -> StoredBlock {
         let mut b = seg.allocate(8).unwrap();
         b.write_pod(&[val]);
-        StoredBlock { variable: var.into(), source: src, iteration: it, data: b.freeze() }
+        StoredBlock {
+            variable: var.into(),
+            source: src,
+            iteration: it,
+            data: b.freeze(),
+        }
     }
 
     #[test]

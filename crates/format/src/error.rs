@@ -66,8 +66,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(H5Error::NotFound("/a/b".into()).to_string().contains("/a/b"));
-        assert!(H5Error::Corrupt("bad magic".into()).to_string().contains("bad magic"));
+        assert!(H5Error::NotFound("/a/b".into())
+            .to_string()
+            .contains("/a/b"));
+        assert!(H5Error::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
         let io = H5Error::from(std::io::Error::other("x"));
         assert!(io.to_string().contains("I/O error"));
     }

@@ -111,21 +111,24 @@ impl DatasetMeta {
     /// accessors feed validation code that must report corruption rather
     /// than overflow.
     pub fn element_count(&self) -> u64 {
-        self.shape.iter().fold(1u64, |acc, &s| acc.saturating_mul(s))
+        self.shape
+            .iter()
+            .fold(1u64, |acc, &s| acc.saturating_mul(s))
     }
 
     /// Uncompressed byte size (saturating, see [`Self::element_count`]).
     pub fn byte_size(&self) -> u64 {
-        self.element_count().saturating_mul(self.dtype.size_bytes() as u64)
+        self.element_count()
+            .saturating_mul(self.dtype.size_bytes() as u64)
     }
 
     /// Stored (on-disk) byte size across all extents (saturating).
     pub fn stored_size(&self) -> u64 {
         match &self.layout {
             Layout::Contiguous { stored_len, .. } => *stored_len,
-            Layout::Chunked { chunks, .. } => {
-                chunks.iter().fold(0u64, |acc, &(_, l)| acc.saturating_add(l))
-            }
+            Layout::Chunked { chunks, .. } => chunks
+                .iter()
+                .fold(0u64, |acc, &(_, l)| acc.saturating_add(l)),
         }
     }
 }
@@ -214,7 +217,10 @@ impl FileMeta {
                     e.u64(*offset);
                     e.u64(*stored_len);
                 }
-                Layout::Chunked { rows_per_chunk, chunks } => {
+                Layout::Chunked {
+                    rows_per_chunk,
+                    chunks,
+                } => {
                     e.u8(1);
                     e.u64(*rows_per_chunk);
                     e.u32(chunks.len() as u32);
@@ -245,7 +251,9 @@ impl FileMeta {
             let dtype = Dtype::from_code(d.u8()?)?;
             let ndims = d.u32()? as usize;
             if ndims > 32 {
-                return Err(H5Error::Corrupt(format!("{ndims} dimensions is implausible")));
+                return Err(H5Error::Corrupt(format!(
+                    "{ndims} dimensions is implausible"
+                )));
             }
             let mut shape = Vec::with_capacity(ndims);
             for _ in 0..ndims {
@@ -253,7 +261,10 @@ impl FileMeta {
             }
             let codec_spec = d.str()?;
             let layout = match d.u8()? {
-                0 => Layout::Contiguous { offset: d.u64()?, stored_len: d.u64()? },
+                0 => Layout::Contiguous {
+                    offset: d.u64()?,
+                    stored_len: d.u64()?,
+                },
                 1 => {
                     let rows_per_chunk = d.u64()?;
                     let n = d.u32()? as usize;
@@ -261,14 +272,26 @@ impl FileMeta {
                     for _ in 0..n {
                         chunks.push((d.u64()?, d.u64()?));
                     }
-                    Layout::Chunked { rows_per_chunk, chunks }
+                    Layout::Chunked {
+                        rows_per_chunk,
+                        chunks,
+                    }
                 }
                 other => {
                     return Err(H5Error::Corrupt(format!("unknown layout code {other}")));
                 }
             };
             let attrs = decode_attrs(&mut d)?;
-            meta.datasets.insert(path, DatasetMeta { dtype, shape, layout, codec_spec, attrs });
+            meta.datasets.insert(
+                path,
+                DatasetMeta {
+                    dtype,
+                    shape,
+                    layout,
+                    codec_spec,
+                    attrs,
+                },
+            );
         }
         if !d.at_end() {
             return Err(H5Error::Corrupt("trailing bytes after footer".into()));
@@ -331,7 +354,10 @@ mod tests {
             DatasetMeta {
                 dtype: Dtype::F32,
                 shape: vec![64, 64, 32],
-                layout: Layout::Contiguous { offset: 16, stored_len: 64 * 64 * 32 * 4 },
+                layout: Layout::Contiguous {
+                    offset: 16,
+                    stored_len: 64 * 64 * 32 * 4,
+                },
                 codec_spec: String::new(),
                 attrs: BTreeMap::new(),
             },

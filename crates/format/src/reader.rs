@@ -40,13 +40,17 @@ impl<R: Read + Seek> FileReader<R> {
         }
         let end = r.seek(SeekFrom::End(0))?;
         if end < 16 + 24 {
-            return Err(H5Error::Corrupt("file shorter than header + trailer".into()));
+            return Err(H5Error::Corrupt(
+                "file shorter than header + trailer".into(),
+            ));
         }
         r.seek(SeekFrom::End(-24))?;
         let mut trailer = [0u8; 24];
         r.read_exact(&mut trailer)?;
         if &trailer[16..] != TRAILER_MAGIC {
-            return Err(H5Error::Corrupt("bad trailer magic (file not finished?)".into()));
+            return Err(H5Error::Corrupt(
+                "bad trailer magic (file not finished?)".into(),
+            ));
         }
         let footer_offset = u64::from_le_bytes(trailer[..8].try_into().unwrap());
         let footer_len = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
@@ -216,7 +220,10 @@ impl<R: Read + Seek> FileReader<R> {
                     all[want_start as usize..(want_start + want_len) as usize].to_vec()
                 }
             }
-            Layout::Chunked { rows_per_chunk, chunks } => {
+            Layout::Chunked {
+                rows_per_chunk,
+                chunks,
+            } => {
                 if *rows_per_chunk == 0 {
                     return Err(H5Error::Corrupt(format!(
                         "dataset '{path}' declares zero rows per chunk"
@@ -235,10 +242,9 @@ impl<R: Read + Seek> FileReader<R> {
                         "dataset '{path}' chunk table too short for its shape"
                     )));
                 }
-                let mut assembled =
-                    Vec::with_capacity(((last_chunk - first_chunk + 1) as u64
-                        * rows_per_chunk
-                        * row_bytes) as usize);
+                let mut assembled = Vec::with_capacity(
+                    ((last_chunk - first_chunk + 1) as u64 * rows_per_chunk * row_bytes) as usize,
+                );
                 for &(offset, len) in &chunks[first_chunk..=last_chunk] {
                     if offset.checked_add(len).is_none_or(|end| end > file_size) {
                         return Err(H5Error::Corrupt(format!(
@@ -304,7 +310,10 @@ impl<R: Read + Seek> FileReader<R> {
             };
             let layout = match &d.layout {
                 Layout::Contiguous { .. } => "contiguous".to_string(),
-                Layout::Chunked { chunks, rows_per_chunk } => {
+                Layout::Chunked {
+                    chunks,
+                    rows_per_chunk,
+                } => {
                     format!("chunked[{} x {} rows]", chunks.len(), rows_per_chunk)
                 }
             };
@@ -333,7 +342,10 @@ mod tests {
         let mut cur = Cursor::new(Vec::new());
         let mut w = FileWriter::new(&mut cur).unwrap();
         let u: Vec<f64> = (0..60).map(|i| i as f64 * 0.5).collect();
-        w.dataset("cm1/it0/u", Dtype::F64, &[3, 4, 5]).unwrap().write_pod(&u).unwrap();
+        w.dataset("cm1/it0/u", Dtype::F64, &[3, 4, 5])
+            .unwrap()
+            .write_pod(&u)
+            .unwrap();
         let theta: Vec<f32> = (0..64).map(|i| 300.0 + i as f32).collect();
         w.dataset("cm1/it0/theta", Dtype::F32, &[8, 8])
             .unwrap()
@@ -372,7 +384,10 @@ mod tests {
             vec![("theta".to_string(), true), ("u".to_string(), true)]
         );
         let dump = r.dump();
-        assert!(dump.contains("cm1/it0/u  f64 [3x4x5]  contiguous"), "{dump}");
+        assert!(
+            dump.contains("cm1/it0/u  f64 [3x4x5]  contiguous"),
+            "{dump}"
+        );
         assert!(dump.contains("chunked[4 x 2 rows]"), "{dump}");
         assert!(dump.contains("codec=xor-delta4,rle"), "{dump}");
     }
@@ -398,7 +413,10 @@ mod tests {
     fn unfinished_file_rejected() {
         let mut cur = Cursor::new(Vec::new());
         let mut w = FileWriter::new(&mut cur).unwrap();
-        w.dataset("d", Dtype::U8, &[4]).unwrap().write_pod(&[1u8, 2, 3, 4]).unwrap();
+        w.dataset("d", Dtype::U8, &[4])
+            .unwrap()
+            .write_pod(&[1u8, 2, 3, 4])
+            .unwrap();
         // No finish().
         drop(w);
         let bytes = cur.into_inner();
@@ -454,8 +472,9 @@ mod tests {
     fn rows_sample(codec: Option<&str>, chunk: Option<u64>) -> Vec<u8> {
         let mut cur = Cursor::new(Vec::new());
         let mut w = FileWriter::new(&mut cur).unwrap();
-        let data: Vec<f64> =
-            (0..10).flat_map(|r| (0..4).map(move |c| (100 * r + c) as f64)).collect();
+        let data: Vec<f64> = (0..10)
+            .flat_map(|r| (0..4).map(move |c| (100 * r + c) as f64))
+            .collect();
         let mut b = w.dataset("grid", Dtype::F64, &[10, 4]).unwrap();
         if let Some(spec) = codec {
             b = b.with_codec(spec).unwrap();
@@ -477,12 +496,12 @@ mod tests {
     #[test]
     fn read_rows_all_layouts() {
         for (codec, chunk) in [
-            (None, None),                       // contiguous raw
-            (Some("xor-delta8,rle"), None),     // contiguous compressed
-            (None, Some(3)),                    // chunked raw
-            (Some("xor-delta8,rle"), Some(3)),  // chunked compressed
-            (None, Some(1)),                    // one row per chunk
-            (Some("rle"), Some(16)),            // single oversized chunk
+            (None, None),                      // contiguous raw
+            (Some("xor-delta8,rle"), None),    // contiguous compressed
+            (None, Some(3)),                   // chunked raw
+            (Some("xor-delta8,rle"), Some(3)), // chunked compressed
+            (None, Some(1)),                   // one row per chunk
+            (Some("rle"), Some(16)),           // single oversized chunk
         ] {
             let bytes = rows_sample(codec, chunk);
             let mut r = FileReader::new(Cursor::new(bytes)).unwrap();

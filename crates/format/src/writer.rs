@@ -53,7 +53,13 @@ impl<W: Write + Seek> FileWriter<W> {
         w.write_all(&0u32.to_le_bytes())?; // flags, reserved
         let mut meta = FileMeta::default();
         meta.groups.insert(String::new(), GroupMeta::default()); // root
-        Ok(FileWriter { w, meta, pos: 16, logical_bytes: 0, finished: false })
+        Ok(FileWriter {
+            w,
+            meta,
+            pos: 16,
+            logical_bytes: 0,
+            finished: false,
+        })
     }
 
     fn check_open(&self) -> H5Result<()> {
@@ -83,12 +89,7 @@ impl<W: Write + Seek> FileWriter<W> {
 
     /// Attach an attribute to a group or dataset. Creates the group if the
     /// path names nothing yet.
-    pub fn set_attr(
-        &mut self,
-        path: &str,
-        key: &str,
-        value: impl Into<AttrValue>,
-    ) -> H5Result<()> {
+    pub fn set_attr(&mut self, path: &str, key: &str, value: impl Into<AttrValue>) -> H5Result<()> {
         self.check_open()?;
         let path = FileMeta::normalize(path);
         let value = value.into();
@@ -117,7 +118,9 @@ impl<W: Write + Seek> FileWriter<W> {
         self.check_open()?;
         let path = FileMeta::normalize(path);
         if path.is_empty() {
-            return Err(H5Error::InvalidState("dataset path must be non-empty".into()));
+            return Err(H5Error::InvalidState(
+                "dataset path must be non-empty".into(),
+            ));
         }
         if shape.is_empty() || shape.contains(&0) {
             return Err(H5Error::InvalidState(format!(
@@ -193,7 +196,9 @@ impl<'a, W: Write + Seek> DatasetBuilder<'a, W> {
     /// Chunk along the slowest dimension, `rows` rows per chunk.
     pub fn chunked(mut self, rows: u64) -> H5Result<Self> {
         if rows == 0 {
-            return Err(H5Error::InvalidState("rows_per_chunk must be positive".into()));
+            return Err(H5Error::InvalidState(
+                "rows_per_chunk must be positive".into(),
+            ));
         }
         self.rows_per_chunk = Some(rows);
         Ok(self)
@@ -228,7 +233,11 @@ impl<'a, W: Write + Seek> DatasetBuilder<'a, W> {
                 bytes.len()
             )));
         }
-        let codec_spec = self.pipeline.as_ref().map(|p| p.spec().to_string()).unwrap_or_default();
+        let codec_spec = self
+            .pipeline
+            .as_ref()
+            .map(|p| p.spec().to_string())
+            .unwrap_or_default();
         let encode = |b: &[u8]| -> Vec<u8> {
             match &self.pipeline {
                 Some(p) => p.encode(b),
@@ -251,7 +260,10 @@ impl<'a, W: Write + Seek> DatasetBuilder<'a, W> {
                     let stored = encode(chunk);
                     chunks.push(self.fw.append_extent(&stored)?);
                 }
-                Layout::Chunked { rows_per_chunk: rows, chunks }
+                Layout::Chunked {
+                    rows_per_chunk: rows,
+                    chunks,
+                }
             }
         };
         self.fw.logical_bytes += bytes.len() as u64;
@@ -286,7 +298,10 @@ mod tests {
         let _ = FileWriter::new(&mut c).unwrap();
         let bytes = c.into_inner();
         assert_eq!(&bytes[..8], MAGIC);
-        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), VERSION);
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            VERSION
+        );
     }
 
     #[test]
@@ -314,14 +329,23 @@ mod tests {
     #[test]
     fn duplicate_dataset_rejected() {
         let mut w = new_writer();
-        w.dataset("d", Dtype::U8, &[1]).unwrap().write_pod(&[1u8]).unwrap();
-        assert!(matches!(w.dataset("d", Dtype::U8, &[1]), Err(H5Error::AlreadyExists(_))));
+        w.dataset("d", Dtype::U8, &[1])
+            .unwrap()
+            .write_pod(&[1u8])
+            .unwrap();
+        assert!(matches!(
+            w.dataset("d", Dtype::U8, &[1]),
+            Err(H5Error::AlreadyExists(_))
+        ));
     }
 
     #[test]
     fn groups_auto_created_for_datasets() {
         let mut w = new_writer();
-        w.dataset("a/b/c/d", Dtype::U8, &[1]).unwrap().write_pod(&[1u8]).unwrap();
+        w.dataset("a/b/c/d", Dtype::U8, &[1])
+            .unwrap()
+            .write_pod(&[1u8])
+            .unwrap();
         assert!(w.meta().groups.contains_key("a"));
         assert!(w.meta().groups.contains_key("a/b"));
         assert!(w.meta().groups.contains_key("a/b/c"));
@@ -362,7 +386,10 @@ mod tests {
             .write_pod(&data)
             .unwrap();
         match &w.meta().datasets["d"].layout {
-            Layout::Chunked { rows_per_chunk, chunks } => {
+            Layout::Chunked {
+                rows_per_chunk,
+                chunks,
+            } => {
                 assert_eq!(*rows_per_chunk, 3);
                 assert_eq!(chunks.len(), 4); // 3+3+3+1 rows
             }

@@ -17,7 +17,10 @@ fn write_sample(path: &std::path::Path) {
 }
 
 fn dh5dump(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_dh5dump")).args(args).output().expect("spawn dh5dump")
+    Command::new(env!("CARGO_BIN_EXE_dh5dump"))
+        .args(args)
+        .output()
+        .expect("spawn dh5dump")
 }
 
 #[test]
@@ -50,7 +53,10 @@ fn bad_file_fails_gracefully() {
     let out = dh5dump(&[file.to_str().expect("utf8 path")]);
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("corrupt") || stderr.contains("magic"), "{stderr}");
+    assert!(
+        stderr.contains("corrupt") || stderr.contains("magic"),
+        "{stderr}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -92,11 +92,13 @@ pub fn isosurface(grid: &Grid3<'_>, isovalue: f64) -> IsoCensus {
             census
         })
         .collect();
-    partial.into_iter().fold(IsoCensus::default(), |acc, c| IsoCensus {
-        active_cells: acc.active_cells + c.active_cells,
-        crossed_edges: acc.crossed_edges + c.crossed_edges,
-        total_cells: acc.total_cells + c.total_cells,
-    })
+    partial
+        .into_iter()
+        .fold(IsoCensus::default(), |acc, c| IsoCensus {
+            active_cells: acc.active_cells + c.active_cells,
+            crossed_edges: acc.crossed_edges + c.crossed_edges,
+            total_cells: acc.total_cells + c.total_cells,
+        })
 }
 
 #[cfg(test)]
@@ -110,10 +112,9 @@ mod tests {
         for k in 0..n {
             for j in 0..n {
                 for i in 0..n {
-                    let d = ((i as f64 - c).powi(2)
-                        + (j as f64 - c).powi(2)
-                        + (k as f64 - c).powi(2))
-                    .sqrt();
+                    let d =
+                        ((i as f64 - c).powi(2) + (j as f64 - c).powi(2) + (k as f64 - c).powi(2))
+                            .sqrt();
                     data.push(d - radius);
                 }
             }
@@ -162,7 +163,11 @@ mod tests {
         }
         let g = Grid3::new(&data, n, n, n);
         let census = isosurface(&g, 2.5);
-        assert_eq!(census.active_cells, (n - 1) * (n - 1), "one full cell layer");
+        assert_eq!(
+            census.active_cells,
+            (n - 1) * (n - 1),
+            "one full cell layer"
+        );
         // Each active cell crosses its 4 vertical edges.
         assert_eq!(census.crossed_edges, (n - 1) * (n - 1) * 4);
     }
@@ -170,6 +175,9 @@ mod tests {
     #[test]
     fn degenerate_grids_are_empty() {
         let data = vec![0.0; 4];
-        assert_eq!(isosurface(&Grid3::new(&data, 4, 1, 1), 0.5), IsoCensus::default());
+        assert_eq!(
+            isosurface(&Grid3::new(&data, 4, 1, 1), 0.5),
+            IsoCensus::default()
+        );
     }
 }

@@ -30,7 +30,11 @@ impl<'a> Grid3<'a> {
     /// Panics if `data.len() != nx·ny·nz` — a layout mismatch is a caller
     /// bug, not a runtime condition.
     pub fn new(data: &'a [f64], nx: usize, ny: usize, nz: usize) -> Self {
-        assert_eq!(data.len(), nx * ny * nz, "grid extents do not match data length");
+        assert_eq!(
+            data.len(),
+            nx * ny * nz,
+            "grid extents do not match data length"
+        );
         Grid3 { data, nx, ny, nz }
     }
 

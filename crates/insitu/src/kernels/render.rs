@@ -21,7 +21,11 @@ impl Framebuffer {
     /// Encode as a binary PGM image (P5), the simplest portable format.
     pub fn to_pgm(&self) -> Vec<u8> {
         let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
-        out.extend(self.pixels.iter().map(|&p| (p.clamp(0.0, 1.0) * 255.0) as u8));
+        out.extend(
+            self.pixels
+                .iter()
+                .map(|&p| (p.clamp(0.0, 1.0) * 255.0) as u8),
+        );
         out
     }
 
@@ -50,7 +54,11 @@ pub fn render(grid: &Grid3<'_>) -> Framebuffer {
             *px = (((best - min) / range) as f32).clamp(0.0, 1.0);
         }
     });
-    Framebuffer { width: nx, height: ny, pixels }
+    Framebuffer {
+        width: nx,
+        height: ny,
+        pixels,
+    }
 }
 
 #[cfg(test)]
@@ -74,7 +82,10 @@ mod tests {
     fn constant_field_renders_flat() {
         let data = vec![7.0; 8 * 8 * 8];
         let fb = render(&Grid3::new(&data, 8, 8, 8));
-        assert!(fb.pixels.iter().all(|&p| p == 0.0), "degenerate range → dark");
+        assert!(
+            fb.pixels.iter().all(|&p| p == 0.0),
+            "degenerate range → dark"
+        );
     }
 
     #[test]
@@ -88,7 +99,11 @@ mod tests {
 
     #[test]
     fn mean_diagnostic() {
-        let fb = Framebuffer { width: 2, height: 1, pixels: vec![0.0, 1.0] };
+        let fb = Framebuffer {
+            width: 2,
+            height: 1,
+            pixels: vec![0.0, 1.0],
+        };
         assert_eq!(fb.mean(), 0.5);
     }
 }

@@ -136,7 +136,12 @@ pub struct SyncVisItSession {
 
 impl Default for SyncVisItSession {
     fn default() -> Self {
-        SyncVisItSession { bins: 32, iso_fraction: 0.5, sim_file: None, reports: Vec::new() }
+        SyncVisItSession {
+            bins: 32,
+            iso_fraction: 0.5,
+            sim_file: None,
+            reports: Vec::new(),
+        }
     }
 }
 
@@ -164,7 +169,10 @@ impl SyncVisItSession {
     /// Panics if [`SyncVisItSession::initialize`] was never called — the
     /// same hard failure a real libsim coupling produces.
     pub fn timestep<A: LibSimAdaptor>(&mut self, adaptor: &mut A) -> &VisStepReport {
-        assert!(self.sim_file.is_some(), "initialize() must be called before timestep()");
+        assert!(
+            self.sim_file.is_some(),
+            "initialize() must be called before timestep()"
+        );
         let t0 = std::time::Instant::now();
         let meta = adaptor.get_metadata();
         let mut isosurfaces = Vec::new();
@@ -267,14 +275,20 @@ mod tests {
 
     #[test]
     fn timestep_runs_all_kernels_and_blocks() {
-        let mut adaptor = ToyAdaptor { cycle: 4, commands_run: vec![] };
+        let mut adaptor = ToyAdaptor {
+            cycle: 4,
+            commands_run: vec![],
+        };
         let mut session = SyncVisItSession::new();
         session.initialize("toy");
         assert_eq!(session.sim_file(), Some("toy.sim2"));
         let report = session.timestep(&mut adaptor);
         assert_eq!(report.cycle, 4);
         assert_eq!(report.isosurfaces.len(), 1);
-        assert!(report.isosurfaces[0].1.active_cells > 0, "ramp crosses mid-value");
+        assert!(
+            report.isosurfaces[0].1.active_cells > 0,
+            "ramp crosses mid-value"
+        );
         assert_eq!(report.histograms[0].1.total(), 512);
         assert!(report.blocked_seconds > 0.0);
         assert_eq!(session.reports().len(), 1);
@@ -319,7 +333,10 @@ mod tests {
 
     #[test]
     fn command_callback_plumbed() {
-        let mut adaptor = ToyAdaptor { cycle: 0, commands_run: vec![] };
+        let mut adaptor = ToyAdaptor {
+            cycle: 0,
+            commands_run: vec![],
+        };
         adaptor.execute_command("halt");
         assert_eq!(adaptor.commands_run, vec!["halt"]);
     }

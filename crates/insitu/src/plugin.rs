@@ -105,16 +105,25 @@ impl Plugin for InSituPlugin {
             };
             let values: Vec<f64> = match layout.elem_type {
                 ElemType::F64 => block.data.as_pod::<f64>().to_vec(),
-                ElemType::F32 => block.data.as_pod::<f32>().iter().map(|&v| v as f64).collect(),
+                ElemType::F32 => block
+                    .data
+                    .as_pod::<f32>()
+                    .iter()
+                    .map(|&v| v as f64)
+                    .collect(),
                 _ => continue,
             };
             let grid = Grid3::new(&values, nx, ny, nz);
             let (min, max) = grid.min_max();
             let iso = min + (max - min) * iso_fraction;
             let tag = format!("{}/rank{}", block.variable, block.source);
-            record.isosurfaces.push((tag.clone(), isosurface(&grid, iso)));
+            record
+                .isosurfaces
+                .push((tag.clone(), isosurface(&grid, iso)));
             record.image_means.push((tag.clone(), render(&grid).mean()));
-            record.mode_bins.push((tag, histogram(&grid, bins).mode_bin()));
+            record
+                .mode_bins
+                .push((tag, histogram(&grid, bins).mode_bin()));
         }
         record.seconds = t0.elapsed().as_secs_f64();
         self.records.lock().push(record);
@@ -146,7 +155,10 @@ mod tests {
             name: "viz".into(),
             plugin: "insitu".into(),
             trigger: Trigger::EndOfIteration { frequency: 1 },
-            params: params.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
+            params: params
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
         }
     }
 
@@ -165,7 +177,12 @@ mod tests {
         }
         let mut b = seg.allocate(512 * 8).unwrap();
         b.write_pod(&vals);
-        StoredBlock { variable: var.into(), source: 0, iteration: 1, data: b.freeze() }
+        StoredBlock {
+            variable: var.into(),
+            source: 0,
+            iteration: 1,
+            data: b.freeze(),
+        }
     }
 
     #[test]
@@ -196,7 +213,10 @@ mod tests {
         let records = plugin.records();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].isosurfaces.len(), 1, "1-D diagnostic skipped");
-        assert!(records[0].isosurfaces[0].1.active_cells > 0, "sphere surface found");
+        assert!(
+            records[0].isosurfaces[0].1.active_cells > 0,
+            "sphere surface found"
+        );
         assert!(plugin.total_seconds() >= 0.0);
     }
 

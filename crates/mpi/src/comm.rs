@@ -88,11 +88,18 @@ impl Comm {
         t.bytes_sent += payload.len() as u64;
         t.messages_sent += 1;
         self.traffic.set(t);
-        self.world.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.world
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.world.messages_sent.fetch_add(1, Ordering::Relaxed);
         let mailbox = &self.world.mailboxes[world_rank];
         let mut q = mailbox.queue.lock();
-        q.push(Envelope { ctx: self.ctx, src: self.rank, tag, payload });
+        q.push(Envelope {
+            ctx: self.ctx,
+            src: self.rank,
+            tag,
+            payload,
+        });
         drop(q);
         mailbox.arrived.notify_all();
     }
@@ -129,7 +136,11 @@ impl Comm {
     /// Send a typed slice to `dest` with a user tag. Eager-buffered: never
     /// blocks (the "network" is process memory).
     pub fn send<T: MpiData>(&self, dest: usize, tag: u32, data: &[T]) {
-        assert!(dest < self.size(), "send to rank {dest} in a {}-rank communicator", self.size());
+        assert!(
+            dest < self.size(),
+            "send to rank {dest} in a {}-rank communicator",
+            self.size()
+        );
         self.post(dest, tag as u64, to_bytes(data));
     }
 
@@ -192,7 +203,11 @@ impl Comm {
         };
         // Forward to virtual children: vrank | (1 << k) for k above our
         // lowest set bit (or all bits if we are the root).
-        let lowest = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+        let lowest = if vrank == 0 {
+            usize::BITS
+        } else {
+            vrank.trailing_zeros()
+        };
         for k in (0..lowest).rev() {
             let child_v = vrank | (1usize << k);
             if child_v < p && child_v != vrank {
@@ -220,7 +235,11 @@ impl Comm {
                 }
                 let (_, payload) = self.wait_match(Source::Rank(r), coll_tag(seq, 0));
                 let other: Vec<T> = from_bytes(&payload);
-                assert_eq!(other.len(), acc.len(), "reduce contribution length mismatch");
+                assert_eq!(
+                    other.len(),
+                    acc.len(),
+                    "reduce contribution length mismatch"
+                );
                 for (a, x) in acc.iter_mut().zip(other) {
                     op(a, x);
                 }
@@ -291,7 +310,11 @@ impl Comm {
         let seq = self.next_seq();
         if self.rank == root {
             let chunks = chunks.expect("root must provide scatter chunks");
-            assert_eq!(chunks.len(), self.size(), "scatter needs one chunk per rank");
+            assert_eq!(
+                chunks.len(),
+                self.size(),
+                "scatter needs one chunk per rank"
+            );
             let mut own = Vec::new();
             for (r, chunk) in chunks.into_iter().enumerate() {
                 if r == self.rank {
@@ -310,7 +333,11 @@ impl Comm {
     /// Personalized all-to-all exchange (MPI_Alltoallv): `chunks[j]` goes to
     /// rank `j`; the result's element `i` came from rank `i`.
     pub fn alltoall<T: MpiData>(&self, chunks: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(chunks.len(), self.size(), "alltoall needs one chunk per rank");
+        assert_eq!(
+            chunks.len(),
+            self.size(),
+            "alltoall needs one chunk per rank"
+        );
         let seq = self.next_seq();
         let mut out: Vec<Vec<T>> = (0..self.size()).map(|_| Vec::new()).collect();
         for (j, chunk) in chunks.into_iter().enumerate() {
@@ -350,8 +377,11 @@ impl Comm {
         let assignment: Vec<i64> = if let Some(rows) = gathered {
             let mut per_rank: Vec<Vec<i64>> = vec![Vec::new(); self.size()];
             // Distinct colors in ascending order get consecutive contexts.
-            let mut colors: Vec<u64> =
-                rows.iter().filter(|r| r[0] != 0).map(|r| r[0] as u64).collect();
+            let mut colors: Vec<u64> = rows
+                .iter()
+                .filter(|r| r[0] != 0)
+                .map(|r| r[0] as u64)
+                .collect();
             colors.sort_unstable();
             colors.dedup();
             let base_ctx = self
@@ -366,8 +396,7 @@ impl Comm {
                     .map(|r| (r[1], r[2] as usize))
                     .collect();
                 members.sort_unstable();
-                let member_old_ranks: Vec<i64> =
-                    members.iter().map(|&(_, r)| r as i64).collect();
+                let member_old_ranks: Vec<i64> = members.iter().map(|&(_, r)| r as i64).collect();
                 for (new_rank, &(_, old_rank)) in members.iter().enumerate() {
                     let mut msg = vec![ctx as i64, new_rank as i64];
                     msg.extend_from_slice(&member_old_ranks);
@@ -391,8 +420,10 @@ impl Comm {
         let new_rank = assignment[1] as usize;
         // Member list maps new communicator ranks to *parent* communicator
         // ranks; translate to world ranks through our own member table.
-        let members: Vec<usize> =
-            assignment[2..].iter().map(|&r| self.members[r as usize]).collect();
+        let members: Vec<usize> = assignment[2..]
+            .iter()
+            .map(|&r| self.members[r as usize])
+            .collect();
         Some(Comm {
             world: self.world.clone(),
             ctx,
@@ -566,8 +597,9 @@ mod tests {
     fn alltoall_transpose() {
         let out = World::run(3, |comm| {
             // Rank r sends value 10*r + j to rank j.
-            let chunks: Vec<Vec<u32>> =
-                (0..3).map(|j| vec![10 * comm.rank() as u32 + j as u32]).collect();
+            let chunks: Vec<Vec<u32>> = (0..3)
+                .map(|j| vec![10 * comm.rank() as u32 + j as u32])
+                .collect();
             comm.alltoall(chunks)
         });
         assert_eq!(out[0], vec![vec![0], vec![10], vec![20]]);
@@ -594,7 +626,8 @@ mod tests {
     fn split_with_undefined_members() {
         let out = World::run(4, |comm| {
             let color = if comm.rank() == 3 { None } else { Some(0) };
-            comm.split(color, -(comm.rank() as i64)).map(|sub| (sub.rank(), sub.size()))
+            comm.split(color, -(comm.rank() as i64))
+                .map(|sub| (sub.rank(), sub.size()))
         });
         // Key is -rank, so new rank order is reversed: world 2→0, 1→1, 0→2.
         assert_eq!(out[0], Some((2, 3)));

@@ -25,7 +25,10 @@ pub(crate) struct Mailbox {
 
 impl Mailbox {
     fn new() -> Self {
-        Mailbox { queue: Mutex::new(Vec::new()), arrived: Condvar::new() }
+        Mailbox {
+            queue: Mutex::new(Vec::new()),
+            arrived: Condvar::new(),
+        }
     }
 }
 

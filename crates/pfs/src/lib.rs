@@ -119,7 +119,10 @@ impl PfsConfig {
             mds_open_s: 1.0 / 12000.0,
             lock_switch_s: 0.8e-3,
             jitter_sigma: 0.35,
-            background: Some(BackgroundLoad { duty_cycle: 0.08, slowdown: 0.45 }),
+            background: Some(BackgroundLoad {
+                duty_cycle: 0.08,
+                slowdown: 0.45,
+            }),
         }
     }
 
@@ -138,7 +141,10 @@ impl PfsConfig {
             mds_open_s: 1.0 / 6000.0,
             lock_switch_s: 0.0,
             jitter_sigma: 0.45,
-            background: Some(BackgroundLoad { duty_cycle: 0.12, slowdown: 0.5 }),
+            background: Some(BackgroundLoad {
+                duty_cycle: 0.12,
+                slowdown: 0.5,
+            }),
         }
     }
 

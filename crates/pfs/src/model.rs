@@ -101,7 +101,11 @@ impl Pfs {
         });
         for &i in &order {
             let r = &requests[i];
-            let op = if r.file.needs_create { self.cfg.mds_create_s } else { self.cfg.mds_open_s };
+            let op = if r.file.needs_create {
+                self.cfg.mds_create_s
+            } else {
+                self.cfg.mds_open_s
+            };
             let start = self.mds_next_free.max(r.arrival);
             let done = start + op * lognormal_unit_mean(&mut self.rng, self.cfg.jitter_sigma);
             self.mds_next_free = done;
@@ -176,9 +180,7 @@ impl Pfs {
             // deterministic arming order; armed clients round-robin.
             let mut pending: BinaryHeap<Reverse<(OrdF64, u64)>> = queues
                 .iter()
-                .map(|(&client, q)| {
-                    Reverse((OrdF64(q.front().expect("non-empty").ready), client))
-                })
+                .map(|(&client, q)| Reverse((OrdF64(q.front().expect("non-empty").ready), client)))
                 .collect();
             let mut armed: VecDeque<u64> = VecDeque::new();
             let mut cursor = self.ost_next_free[ost];
@@ -258,7 +260,9 @@ impl PartialOrd for OrdF64 {
 
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("virtual times are finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("virtual times are finite")
     }
 }
 
@@ -279,8 +283,7 @@ mod tests {
     fn single_stream_gets_peak_bandwidth() {
         let cfg = PfsConfig::kraken_lustre();
         let mut pfs = quiet(cfg.clone());
-        let phase =
-            pfs.simulate_writes(&[req(0, 400 << 20, FileSpec::private(0, true))]);
+        let phase = pfs.simulate_writes(&[req(0, 400 << 20, FileSpec::private(0, true))]);
         let expect = (400 << 20) as f64 / cfg.ost_bandwidth;
         let got = phase.outcomes[0].duration();
         assert!(
@@ -293,8 +296,9 @@ mod tests {
     fn interference_throttles_many_streams_on_one_ost() {
         let cfg = PfsConfig::kraken_lustre().with_osts(1);
         let mut pfs = quiet(cfg.clone());
-        let reqs: Vec<WriteRequest> =
-            (0..27).map(|c| req(c, 45 << 20, FileSpec::private(c, true))).collect();
+        let reqs: Vec<WriteRequest> = (0..27)
+            .map(|c| req(c, 45 << 20, FileSpec::private(c, true)))
+            .collect();
         let phase = pfs.simulate_writes(&reqs);
         let agg = phase.aggregate_throughput();
         let ideal = cfg.ost_bandwidth;
@@ -309,8 +313,9 @@ mod tests {
     fn few_streams_keep_near_peak() {
         let cfg = PfsConfig::kraken_lustre().with_osts(1);
         let mut pfs = quiet(cfg.clone());
-        let reqs: Vec<WriteRequest> =
-            (0..2).map(|c| req(c, 100 << 20, FileSpec::private(c, true))).collect();
+        let reqs: Vec<WriteRequest> = (0..2)
+            .map(|c| req(c, 100 << 20, FileSpec::private(c, true)))
+            .collect();
         let phase = pfs.simulate_writes(&reqs);
         let agg = phase.aggregate_throughput();
         assert!(
@@ -325,10 +330,22 @@ mod tests {
     fn shared_file_pays_lock_handoffs() {
         let cfg = PfsConfig::kraken_lustre().with_osts(4);
         let shared: Vec<WriteRequest> = (0..32)
-            .map(|c| req(c, 16 << 20, FileSpec { id: 1, shared: true, stripe_count: 0, needs_create: c == 0 }))
+            .map(|c| {
+                req(
+                    c,
+                    16 << 20,
+                    FileSpec {
+                        id: 1,
+                        shared: true,
+                        stripe_count: 0,
+                        needs_create: c == 0,
+                    },
+                )
+            })
             .collect();
-        let private: Vec<WriteRequest> =
-            (0..32).map(|c| req(c, 16 << 20, FileSpec::private(c + 100, true))).collect();
+        let private: Vec<WriteRequest> = (0..32)
+            .map(|c| req(c, 16 << 20, FileSpec::private(c + 100, true)))
+            .collect();
         let shared_span = quiet(cfg.clone()).simulate_writes(&shared).span();
         let private_span = quiet(cfg).simulate_writes(&private).span();
         assert!(
@@ -343,10 +360,15 @@ mod tests {
     fn mds_create_storm_queues() {
         let cfg = PfsConfig::kraken_lustre();
         let mut pfs = quiet(cfg.clone());
-        let reqs: Vec<WriteRequest> =
-            (0..9216).map(|c| req(c, 0, FileSpec::private(c, true))).collect();
+        let reqs: Vec<WriteRequest> = (0..9216)
+            .map(|c| req(c, 0, FileSpec::private(c, true)))
+            .collect();
         let phase = pfs.simulate_writes(&reqs);
-        let last_mds = phase.outcomes.iter().map(|o| o.mds_done).fold(0.0, f64::max);
+        let last_mds = phase
+            .outcomes
+            .iter()
+            .map(|o| o.mds_done)
+            .fold(0.0, f64::max);
         let expect = 9216.0 * cfg.mds_create_s;
         assert!(
             (last_mds - expect).abs() / expect < 0.01,
@@ -362,10 +384,14 @@ mod tests {
         let wide = quiet(cfg.clone()).simulate_writes(&[req(
             0,
             256 << 20,
-            FileSpec { id: 3, shared: false, stripe_count: 0, needs_create: true },
+            FileSpec {
+                id: 3,
+                shared: false,
+                stripe_count: 0,
+                needs_create: true,
+            },
         )]);
-        let narrow =
-            quiet(cfg).simulate_writes(&[req(0, 256 << 20, FileSpec::private(3, true))]);
+        let narrow = quiet(cfg).simulate_writes(&[req(0, 256 << 20, FileSpec::private(3, true))]);
         assert!(
             wide.span() * 4.0 < narrow.span(),
             "striping over 8 OSTs: {:.2}s vs {:.2}s",
@@ -377,8 +403,9 @@ mod tests {
     #[test]
     fn deterministic_with_seed() {
         let cfg = PfsConfig::kraken_lustre();
-        let reqs: Vec<WriteRequest> =
-            (0..64).map(|c| req(c, 45 << 20, FileSpec::private(c, true))).collect();
+        let reqs: Vec<WriteRequest> = (0..64)
+            .map(|c| req(c, 45 << 20, FileSpec::private(c, true)))
+            .collect();
         let a = Pfs::new(cfg.clone(), 99).simulate_writes(&reqs);
         let b = Pfs::new(cfg, 99).simulate_writes(&reqs);
         assert_eq!(a.outcomes, b.outcomes);
@@ -387,10 +414,14 @@ mod tests {
     #[test]
     fn jitter_widens_the_distribution() {
         let mk_reqs = || -> Vec<WriteRequest> {
-            (0..128).map(|c| req(c, 45 << 20, FileSpec::private(c, true))).collect()
+            (0..128)
+                .map(|c| req(c, 45 << 20, FileSpec::private(c, true)))
+                .collect()
         };
-        let quiet_spread =
-            quiet(PfsConfig::kraken_lustre()).simulate_writes(&mk_reqs()).jitter().spread;
+        let quiet_spread = quiet(PfsConfig::kraken_lustre())
+            .simulate_writes(&mk_reqs())
+            .jitter()
+            .spread;
         let noisy_spread = Pfs::new(PfsConfig::kraken_lustre(), 5)
             .simulate_writes(&mk_reqs())
             .jitter()
@@ -420,8 +451,12 @@ mod tests {
     fn arrivals_respected() {
         let cfg = PfsConfig::kraken_lustre();
         let mut pfs = quiet(cfg);
-        let reqs =
-            vec![WriteRequest::new(100.0, 0, 4 << 20, FileSpec::private(0, true))];
+        let reqs = vec![WriteRequest::new(
+            100.0,
+            0,
+            4 << 20,
+            FileSpec::private(0, true),
+        )];
         let phase = pfs.simulate_writes(&reqs);
         assert!(phase.outcomes[0].mds_done >= 100.0);
         assert!(phase.outcomes[0].finish > 100.0);

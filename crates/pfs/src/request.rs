@@ -20,12 +20,22 @@ impl FileSpec {
     /// A private (single-writer) file with stripe count 1 — the Lustre
     /// default used by file-per-process and by Damaris node files.
     pub fn private(id: u64, needs_create: bool) -> Self {
-        FileSpec { id, shared: false, stripe_count: 1, needs_create }
+        FileSpec {
+            id,
+            shared: false,
+            stripe_count: 1,
+            needs_create,
+        }
     }
 
     /// A shared file striped over every OST — what collective I/O produces.
     pub fn shared_wide(id: u64, needs_create: bool) -> Self {
-        FileSpec { id, shared: true, stripe_count: 0, needs_create }
+        FileSpec {
+            id,
+            shared: true,
+            stripe_count: 0,
+            needs_create,
+        }
     }
 }
 
@@ -51,7 +61,13 @@ pub struct WriteRequest {
 impl WriteRequest {
     /// A request starting at the beginning of its file.
     pub fn new(arrival: f64, client: u64, bytes: u64, file: FileSpec) -> Self {
-        WriteRequest { arrival, client, bytes, file, stripe_offset: 0 }
+        WriteRequest {
+            arrival,
+            client,
+            bytes,
+            file,
+            stripe_offset: 0,
+        }
     }
 }
 

@@ -46,7 +46,10 @@ mod tests {
     fn lognormal_has_unit_mean() {
         let mut rng = StdRng::seed_from_u64(9);
         let n = 50_000;
-        let mean = (0..n).map(|_| lognormal_unit_mean(&mut rng, 0.5)).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| lognormal_unit_mean(&mut rng, 0.5))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
     }
 

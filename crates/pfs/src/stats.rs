@@ -34,7 +34,10 @@ pub struct PhaseOutcome {
 impl PhaseOutcome {
     /// Earliest arrival across the batch.
     pub fn start(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.arrival).fold(f64::INFINITY, f64::min)
+        self.outcomes
+            .iter()
+            .map(|o| o.arrival)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Latest finish across the batch.
@@ -107,7 +110,14 @@ mod tests {
     use super::*;
 
     fn outcome(client: u64, arrival: f64, finish: f64, bytes: u64) -> WriteOutcome {
-        WriteOutcome { client, arrival, mds_done: arrival, finish, bytes, lock_wait: 0.0 }
+        WriteOutcome {
+            client,
+            arrival,
+            mds_done: arrival,
+            finish,
+            bytes,
+            lock_wait: 0.0,
+        }
     }
 
     #[test]
@@ -125,9 +135,7 @@ mod tests {
     #[test]
     fn jitter_summary() {
         let phase = PhaseOutcome {
-            outcomes: (1..=100)
-                .map(|i| outcome(i, 0.0, i as f64, 1))
-                .collect(),
+            outcomes: (1..=100).map(|i| outcome(i, 0.0, i as f64, 1)).collect(),
         };
         let j = phase.jitter();
         assert_eq!(j.min, 1.0);

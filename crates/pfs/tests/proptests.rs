@@ -15,7 +15,12 @@ struct ReqSpec {
 fn reqs_strategy() -> impl Strategy<Value = Vec<ReqSpec>> {
     proptest::collection::vec(
         (0.0f64..10.0, 0u64..64 << 20, any::<bool>(), any::<bool>()).prop_map(
-            |(arrival, bytes, shared, wide)| ReqSpec { arrival, bytes, shared, wide },
+            |(arrival, bytes, shared, wide)| ReqSpec {
+                arrival,
+                bytes,
+                shared,
+                wide,
+            },
         ),
         1..40,
     )
@@ -30,9 +35,19 @@ fn build(specs: &[ReqSpec]) -> Vec<WriteRequest> {
             client: i as u64,
             bytes: s.bytes,
             file: if s.shared {
-                FileSpec { id: 1, shared: true, stripe_count: if s.wide { 0 } else { 4 }, needs_create: i == 0 }
+                FileSpec {
+                    id: 1,
+                    shared: true,
+                    stripe_count: if s.wide { 0 } else { 4 },
+                    needs_create: i == 0,
+                }
             } else {
-                FileSpec { id: 100 + i as u64, shared: false, stripe_count: if s.wide { 0 } else { 1 }, needs_create: true }
+                FileSpec {
+                    id: 100 + i as u64,
+                    shared: false,
+                    stripe_count: if s.wide { 0 } else { 1 },
+                    needs_create: true,
+                }
             },
             stripe_offset: if s.shared { i as u64 * 7 } else { 0 },
         })

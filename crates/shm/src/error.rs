@@ -30,12 +30,18 @@ pub enum ShmError {
 impl fmt::Display for ShmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ShmError::RequestTooLarge { requested, capacity } => write!(
+            ShmError::RequestTooLarge {
+                requested,
+                capacity,
+            } => write!(
                 f,
                 "allocation of {requested} bytes exceeds segment capacity of {capacity} bytes"
             ),
             ShmError::OutOfMemory { requested, free } => {
-                write!(f, "segment exhausted: {requested} bytes requested, {free} bytes free")
+                write!(
+                    f,
+                    "segment exhausted: {requested} bytes requested, {free} bytes free"
+                )
             }
             ShmError::Timeout => write!(f, "blocking allocation timed out"),
             ShmError::ZeroSize => write!(f, "zero-byte allocation"),
@@ -120,16 +126,28 @@ mod tests {
 
     #[test]
     fn shm_error_messages() {
-        let e = ShmError::OutOfMemory { requested: 100, free: 10 };
+        let e = ShmError::OutOfMemory {
+            requested: 100,
+            free: 10,
+        };
         assert!(e.to_string().contains("100 bytes requested"));
-        let e = ShmError::RequestTooLarge { requested: 10, capacity: 4 };
+        let e = ShmError::RequestTooLarge {
+            requested: 10,
+            capacity: 4,
+        };
         assert!(e.to_string().contains("exceeds"));
     }
 
     #[test]
     fn queue_error_messages() {
-        assert_eq!(TrySendError::Full(7u32).to_string(), "message queue is full");
-        assert_eq!(TryRecvError::Closed.to_string(), "message queue is closed and drained");
+        assert_eq!(
+            TrySendError::Full(7u32).to_string(),
+            "message queue is full"
+        );
+        assert_eq!(
+            TryRecvError::Closed.to_string(),
+            "message queue is closed and drained"
+        );
         assert_eq!(SendError(1u8).to_string(), "message queue is closed");
     }
 }

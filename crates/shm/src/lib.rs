@@ -53,7 +53,14 @@
 pub mod error;
 pub mod queue;
 pub mod segment;
+pub mod spsc;
+pub mod transport;
 
 pub use error::{RecvError, SendError, ShmError, TryRecvError, TrySendError};
 pub use queue::MessageQueue;
 pub use segment::{Block, BlockRef, Pod, SegmentStats, SharedSegment};
+pub use spsc::SpscRing;
+pub use transport::{
+    AnyConsumer, AnyProducer, AnyTransport, EventChannel, EventConsumer, EventProducer,
+    ShardProducer, ShardedChannel, StealingConsumer, TransportKind,
+};

@@ -42,7 +42,9 @@ pub struct MessageQueue<T> {
 
 impl<T> Clone for MessageQueue<T> {
     fn clone(&self) -> Self {
-        MessageQueue { inner: self.inner.clone() }
+        MessageQueue {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -65,7 +67,10 @@ impl<T> MessageQueue<T> {
         assert!(capacity > 0, "queue capacity must be positive");
         MessageQueue {
             inner: Arc::new(Inner {
-                state: Mutex::new(State { buf: VecDeque::with_capacity(capacity), closed: false }),
+                state: Mutex::new(State {
+                    buf: VecDeque::with_capacity(capacity),
+                    closed: false,
+                }),
                 capacity,
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
@@ -140,8 +145,12 @@ impl<T> MessageQueue<T> {
     }
 
     /// Send, blocking at most `timeout`.
+    ///
+    /// A timeout too large to represent as a deadline (e.g.
+    /// `Duration::MAX`) degrades to an untimed blocking wait instead of
+    /// panicking on `Instant` overflow.
     pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), TrySendError<T>> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now().checked_add(timeout);
         let mut st = self.inner.state.lock();
         loop {
             if st.closed {
@@ -153,8 +162,13 @@ impl<T> MessageQueue<T> {
                 self.inner.not_empty.notify_one();
                 return Ok(());
             }
-            if self.inner.not_full.wait_until(&mut st, deadline).timed_out() {
-                return Err(TrySendError::Full(msg));
+            match deadline {
+                Some(d) => {
+                    if self.inner.not_full.wait_until(&mut st, d).timed_out() {
+                        return Err(TrySendError::Full(msg));
+                    }
+                }
+                None => self.inner.not_full.wait(&mut st),
             }
         }
     }
@@ -192,8 +206,11 @@ impl<T> MessageQueue<T> {
     }
 
     /// Receive, blocking at most `timeout`.
+    ///
+    /// As with [`send_timeout`](Self::send_timeout), an unrepresentable
+    /// deadline falls back to an untimed wait rather than panicking.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, TryRecvError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now().checked_add(timeout);
         let mut st = self.inner.state.lock();
         loop {
             if let Some(msg) = st.buf.pop_front() {
@@ -204,8 +221,13 @@ impl<T> MessageQueue<T> {
             if st.closed {
                 return Err(TryRecvError::Closed);
             }
-            if self.inner.not_empty.wait_until(&mut st, deadline).timed_out() {
-                return Err(TryRecvError::Empty);
+            match deadline {
+                Some(d) => {
+                    if self.inner.not_empty.wait_until(&mut st, d).timed_out() {
+                        return Err(TryRecvError::Empty);
+                    }
+                }
+                None => self.inner.not_empty.wait(&mut st),
             }
         }
     }
@@ -355,5 +377,21 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = MessageQueue::<u8>::bounded(0);
+    }
+
+    #[test]
+    fn huge_timeouts_do_not_panic() {
+        // Instant::now() + Duration::MAX overflows; checked_add must turn
+        // these into (effectively) untimed waits that still succeed when
+        // the queue can make progress immediately.
+        let q = MessageQueue::bounded(1);
+        q.send_timeout(1, Duration::MAX).unwrap();
+        assert_eq!(q.recv_timeout(Duration::MAX).unwrap(), 1);
+        // And wake up on close rather than sleeping forever.
+        let q2 = q.clone();
+        let waiter = thread::spawn(move || q2.recv_timeout(Duration::MAX));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), Err(TryRecvError::Closed));
     }
 }

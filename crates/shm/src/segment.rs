@@ -80,7 +80,9 @@ struct FreeList {
 
 impl FreeList {
     fn new(capacity: usize) -> Self {
-        FreeList { holes: vec![(0, capacity)] }
+        FreeList {
+            holes: vec![(0, capacity)],
+        }
     }
 
     /// First-fit allocation. `len` must already be align-rounded.
@@ -252,7 +254,10 @@ impl SharedSegment {
                 let free = fl.total_free();
                 drop(fl);
                 self.inner.failures.fetch_add(1, Ordering::Relaxed);
-                Err(ShmError::OutOfMemory { requested: len, free })
+                Err(ShmError::OutOfMemory {
+                    requested: len,
+                    free,
+                })
             }
         }
     }
@@ -422,7 +427,10 @@ impl Drop for Block {
 
 impl std::fmt::Debug for Block {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Block").field("offset", &self.offset).field("len", &self.len).finish()
+        f.debug_struct("Block")
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .finish()
     }
 }
 
@@ -561,7 +569,10 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         match seg.allocate(4096) {
-            Err(ShmError::RequestTooLarge { requested, capacity }) => {
+            Err(ShmError::RequestTooLarge {
+                requested,
+                capacity,
+            }) => {
                 assert_eq!(requested, 4096);
                 assert_eq!(capacity, 1024);
             }
@@ -608,7 +619,8 @@ mod tests {
         let hog = seg.allocate(256).unwrap();
         let seg2 = seg.clone();
         let waiter = std::thread::spawn(move || {
-            seg2.allocate_blocking(64, Some(Duration::from_secs(5))).unwrap()
+            seg2.allocate_blocking(64, Some(Duration::from_secs(5)))
+                .unwrap()
         });
         std::thread::sleep(Duration::from_millis(30));
         drop(hog);

@@ -95,3 +95,121 @@ proptest! {
         prop_assert_eq!(out, content);
     }
 }
+
+/// A scripted operation against the sharded transport.
+#[derive(Debug, Clone)]
+enum ChanOp {
+    /// Producer `p % producers` sends one event.
+    Send(usize),
+    /// Consumer `c % consumers` tries to receive one event.
+    Recv(usize),
+    /// Close the channel.
+    Close,
+}
+
+fn chan_ops() -> impl Strategy<Value = Vec<ChanOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..8).prop_map(ChanOp::Send),
+            (0usize..4).prop_map(ChanOp::Recv),
+            Just(ChanOp::Close),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    /// Interleaved sends, receives and close against the sharded
+    /// transport: every accepted event is delivered exactly once, in
+    /// per-producer FIFO order, and after close the consumers drain what
+    /// remains and then see `Closed` — never a lost or duplicated event.
+    #[test]
+    fn sharded_transport_interleaved_close_drain(
+        ops in chan_ops(),
+        producers in 1usize..5,
+        consumers in 1usize..4,
+        shard_capacity in 1usize..9,
+    ) {
+        use damaris_shm::transport::{
+            EventChannel, EventConsumer, EventProducer, ShardedChannel,
+        };
+        use damaris_shm::{TryRecvError, TrySendError};
+
+        let ch: ShardedChannel<(usize, u64)> = ShardedChannel::new(producers, shard_capacity);
+        let prods: Vec<_> = (0..producers).map(|p| ch.producer(p)).collect();
+        let mut cons: Vec<_> = (0..consumers).map(|c| ch.consumer(c, consumers)).collect();
+
+        let mut seq = vec![0u64; producers];   // per-producer send counter
+        let mut accepted: Vec<Vec<u64>> = vec![Vec::new(); producers];
+        // Per (consumer, producer) receive streams: each must be strictly
+        // increasing (per-producer FIFO holds within one consumer; across
+        // consumers no MPMC drain — mutex queue included — orders events).
+        let mut received: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); producers]; consumers];
+        let mut closed = false;
+
+        for op in ops {
+            match op {
+                ChanOp::Send(p) => {
+                    let p = p % producers;
+                    let tag = seq[p];
+                    seq[p] += 1;
+                    match prods[p].try_send((p, tag)) {
+                        Ok(()) => accepted[p].push(tag),
+                        Err(TrySendError::Full(_)) => prop_assert!(!closed, "Full after close"),
+                        Err(TrySendError::Closed(_)) => {
+                            prop_assert!(closed, "Closed error before close()")
+                        }
+                    }
+                }
+                ChanOp::Recv(c) => {
+                    let c = c % consumers;
+                    match cons[c].try_recv() {
+                        Ok((p, tag)) => received[c][p].push(tag),
+                        Err(TryRecvError::Empty) => {}
+                        Err(TryRecvError::Closed) => prop_assert!(closed, "Closed before close()"),
+                    }
+                }
+                ChanOp::Close => {
+                    EventChannel::close(&ch);
+                    closed = true;
+                }
+            }
+        }
+
+        // Final drain: every consumer empties its local batch buffer and
+        // the rings; everything accepted must still be deliverable.
+        EventChannel::close(&ch);
+        for (c, consumer) in cons.iter_mut().enumerate() {
+            loop {
+                match consumer.try_recv() {
+                    Ok((p, tag)) => received[c][p].push(tag),
+                    Err(TryRecvError::Closed) => break,
+                    // No other thread holds drain guards here, so Empty
+                    // cannot occur once the channel is closed.
+                    Err(TryRecvError::Empty) => prop_assert!(false, "Empty after close"),
+                }
+            }
+        }
+
+        for p in 0..producers {
+            let mut all: Vec<u64> = Vec::new();
+            for (c, streams) in received.iter().enumerate() {
+                // FIFO within each consumer's stream of this producer.
+                for w in streams[p].windows(2) {
+                    prop_assert!(
+                        w[0] < w[1],
+                        "consumer {} saw producer {} events out of order: {:?}",
+                        c, p, streams[p]
+                    );
+                }
+                all.extend(&streams[p]);
+            }
+            // Exactly-once delivery of every accepted event.
+            all.sort_unstable();
+            prop_assert_eq!(
+                &all, &accepted[p],
+                "producer {} events lost or duplicated", p
+            );
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimal in-tree stand-in for `criterion`.
+//!
+//! Provides the group/bencher API surface `benches/micro.rs` uses and a
+//! simple measurement loop: warm up briefly, take `sample_size` samples of
+//! an adaptively sized batch, report the median ns/iter (and derived
+//! throughput when declared) on stdout. No plots, no statistics beyond the
+//! median — enough to compare transports and codecs on one machine.
+
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to the closure under test; runs and times the workload.
+pub struct Bencher {
+    /// Median nanoseconds per iteration of the last `iter` call.
+    ns_per_iter: f64,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, storing the median ns/iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up + batch sizing: aim for samples of ≥ ~1 ms each.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let one = t0.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 10_000) as usize;
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (report nothing extra; rows were printed as run).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        let mut line = format!("{}/{}: {:>12.1} ns/iter", self.name, id, b.ns_per_iter);
+        match self.throughput {
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                let gbps = n as f64 / b.ns_per_iter; // bytes/ns == GB/s
+                line.push_str(&format!("  ({gbps:.3} GB/s)"));
+            }
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                let meps = n as f64 / b.ns_per_iter * 1e3; // Melem/s
+                line.push_str(&format!("  ({meps:.1} Melem/s)"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group-runner function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        g.throughput(Throughput::Bytes(8));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1u64 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("enc", "rle").to_string(), "enc/rle");
+        assert_eq!(BenchmarkId::from_parameter("8MiB").to_string(), "8MiB");
+    }
+}

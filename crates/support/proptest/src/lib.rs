@@ -1,0 +1,634 @@
+//! Minimal in-tree stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, range and tuple strategies, [`any`],
+//! [`Just`], regex-subset string strategies (`impl Strategy for &str`),
+//! [`collection::vec`], [`option::of`], the [`proptest!`] /
+//! [`prop_oneof!`] / `prop_assert*` macros and [`ProptestConfig`].
+//!
+//! Semantics differ from real proptest in one deliberate way: failing
+//! cases are **not shrunk** — the failing input is printed as generated
+//! (each case runs under a deterministic per-test RNG, so failures
+//! reproduce exactly on re-run).
+
+use std::rc::Rc;
+
+pub mod strings;
+
+/// Deterministic xoshiro256++ RNG driving test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from an arbitrary byte string (e.g. the test name), so each
+    /// test gets an independent, reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Seed from a 64-bit value via SplitMix64 expansion.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift rejection-free mapping (bias < 2^-64, irrelevant
+        // for test generation).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the whole workspace's
+        // property suites fast while still exploring meaningfully.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values.
+///
+/// Unlike real proptest there is no shrinking: `generate` draws one value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then a strategy derived from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `self` generates leaves; `recurse` lifts a
+    /// strategy for depth-`d` values into one for depth-`d+1` values.
+    /// `desired_size` and `expected_branch_size` are accepted for API
+    /// compatibility but unused (sizes are bounded by the closure itself).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            depth,
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<V> {
+    base: BoxedStrategy<V>,
+    depth: u32,
+    #[allow(clippy::type_complexity)]
+    recurse: Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let levels = rng.below(self.depth as u64 + 1) as u32;
+        let mut strat = self.base.clone();
+        for _ in 0..levels {
+            strat = (self.recurse)(strat);
+        }
+        strat.generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Choose uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+// ---- primitive strategies ------------------------------------------------
+
+/// Types with a full-range uniform generator, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw a uniform value over the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform strategy over all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8, u16, u32, u64, usize);
+
+macro_rules! range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64 as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+range_strategy_float!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let n = self.size.min + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` a quarter of the time, otherwise `Some`.
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option<T>` from an inner value strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    /// Interpret the string as a regex (the subset in
+    /// [`strings::Pattern`]) and generate matching strings.
+    fn generate(&self, rng: &mut TestRng) -> String {
+        strings::Pattern::compile(self).generate(rng)
+    }
+}
+
+// ---- macros --------------------------------------------------------------
+
+/// Define property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property test (no shrinking; panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current generated case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// The usual `use proptest::prelude::*;` import set.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let x = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&x));
+            let y = (1u64..=4).generate(&mut rng);
+            assert!((1..=4).contains(&y));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_and_oneof() {
+        let mut rng = TestRng::from_seed(2);
+        let s = crate::collection::vec(any::<u8>(), 2..5);
+        let mut saw_none = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let o = Strategy::generate(&crate::option::of(1usize..3), &mut rng);
+            saw_none |= o.is_none();
+            let c = Strategy::generate(&prop_oneof![Just(1), Just(2)], &mut rng);
+            assert!(c == 1 || c == 2);
+        }
+        assert!(saw_none, "option::of must sometimes yield None");
+        // Exact-size form.
+        let exact = crate::collection::vec(any::<u8>(), 7usize);
+        assert_eq!(Strategy::generate(&exact, &mut rng).len(), 7);
+    }
+
+    #[test]
+    fn flat_map_and_map_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let s = (2usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0u8..10, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = Strategy::generate(&s, &mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn recursive_bounded() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0u8..10).prop_map(Tree::Leaf);
+        let s = leaf.prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::from_seed(4);
+        let mut saw_node = false;
+        for _ in 0..100 {
+            match Strategy::generate(&s, &mut rng) {
+                Tree::Leaf(v) => assert!(v < 10),
+                Tree::Node(_) => saw_node = true,
+            }
+        }
+        assert!(saw_node);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, multiple args, assume, trailing comma.
+        #[test]
+        fn macro_smoke((a, b) in (0u8..10, 0u8..10), flag in any::<bool>(),) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 9 && b < 10);
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+}

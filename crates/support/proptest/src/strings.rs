@@ -1,0 +1,330 @@
+//! Regex-subset string generation backing `impl Strategy for &str`.
+//!
+//! Supports the constructs the workspace's property tests use:
+//! literals, escapes (`\r`, `\n`, `\t`, `\\`), character classes with
+//! ranges / negation / `&&`-intersection (`[a-z]`, `[^\r]`,
+//! `[ -~&&[^\r]]`), the Unicode-category shorthand `\PC` ("not control",
+//! generated as printable ASCII), and the quantifiers `{n}`, `{m,n}`,
+//! `?`, `*`, `+`.
+//!
+//! Generation draws from an ASCII universe (tab, LF, CR, 0x20–0x7E);
+//! generating a subset of a pattern's language is sound for property
+//! tests — every produced string still matches the pattern.
+
+use crate::TestRng;
+
+/// All characters a class may draw from.
+fn universe() -> impl Iterator<Item = char> {
+    ['\t', '\n', '\r']
+        .into_iter()
+        .chain((0x20u8..=0x7e).map(|b| b as char))
+}
+
+/// A set of candidate characters.
+#[derive(Debug, Clone)]
+struct CharSet(Vec<char>);
+
+impl CharSet {
+    fn from_pred(pred: impl Fn(char) -> bool) -> Self {
+        CharSet(universe().filter(|&c| pred(c)).collect())
+    }
+
+    fn singleton(c: char) -> Self {
+        CharSet(vec![c])
+    }
+
+    fn intersect(&self, other: &CharSet) -> CharSet {
+        CharSet(
+            self.0
+                .iter()
+                .copied()
+                .filter(|c| other.0.contains(c))
+                .collect(),
+        )
+    }
+}
+
+/// One atom of the pattern plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct Group {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled pattern: a sequence of repeated character sets.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    groups: Vec<Group>,
+}
+
+impl Pattern {
+    /// Compile the supported regex subset; panics on constructs outside
+    /// it, which is what a typo in a test strategy should do.
+    pub fn compile(pattern: &str) -> Self {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut groups = Vec::new();
+        while i < chars.len() {
+            let set = parse_atom(&chars, &mut i);
+            let (min, max) = parse_quantifier(&chars, &mut i);
+            groups.push(Group { set, min, max });
+        }
+        Pattern { groups }
+    }
+
+    /// Generate one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for g in &self.groups {
+            let n = g.min + rng.below((g.max - g.min + 1) as u64) as usize;
+            if g.set.0.is_empty() {
+                continue; // empty class can only match zero occurrences
+            }
+            for _ in 0..n {
+                out.push(g.set.0[rng.below(g.set.0.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+fn parse_atom(chars: &[char], i: &mut usize) -> CharSet {
+    match chars[*i] {
+        '[' => {
+            *i += 1;
+            parse_class(chars, i)
+        }
+        '\\' => {
+            *i += 1;
+            let set = parse_escape(chars, i);
+            *i += 1;
+            set
+        }
+        '.' => {
+            *i += 1;
+            CharSet::from_pred(|c| c != '\n')
+        }
+        c => {
+            *i += 1;
+            CharSet::singleton(c)
+        }
+    }
+}
+
+/// Escapes, with `*i` on the escape's identifying character.
+fn parse_escape(chars: &[char], i: &mut usize) -> CharSet {
+    match chars[*i] {
+        'r' => CharSet::singleton('\r'),
+        'n' => CharSet::singleton('\n'),
+        't' => CharSet::singleton('\t'),
+        // \PC / \pC Unicode one-letter category (only C, control, is used):
+        // \PC = NOT control → printable; \pC = control.
+        'P' | 'p' => {
+            let negated = chars[*i] == 'P';
+            *i += 1;
+            assert!(
+                chars.get(*i) == Some(&'C'),
+                "only the C (control) category is supported in \\p/\\P"
+            );
+            if negated {
+                CharSet::from_pred(|c| !c.is_control())
+            } else {
+                CharSet::from_pred(|c| c.is_control())
+            }
+        }
+        c
+        @ ('\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '-' | '^' | '$' | '*' | '+' | '?') => {
+            CharSet::singleton(c)
+        }
+        other => panic!("unsupported escape \\{other} in string strategy"),
+    }
+}
+
+/// Parse a class body after `[`, consuming the closing `]`.
+fn parse_class(chars: &[char], i: &mut usize) -> CharSet {
+    let negated = chars.get(*i) == Some(&'^');
+    if negated {
+        *i += 1;
+    }
+    let mut members: Vec<char> = Vec::new();
+    let mut intersections: Vec<CharSet> = Vec::new();
+    loop {
+        match chars.get(*i) {
+            None => panic!("unterminated character class"),
+            Some(']') => {
+                *i += 1;
+                break;
+            }
+            Some('&') if chars.get(*i + 1) == Some(&'&') => {
+                *i += 2;
+                // Intersection operand: a nested class or a bare item run.
+                let rhs = if chars.get(*i) == Some(&'[') {
+                    *i += 1;
+                    parse_class(chars, i)
+                } else {
+                    // Bare items up to `]` form the operand.
+                    let mut inner = Vec::new();
+                    while chars.get(*i).is_some_and(|&c| c != ']') {
+                        collect_class_item(chars, i, &mut inner);
+                    }
+                    CharSet(inner)
+                };
+                intersections.push(rhs);
+            }
+            Some(_) => collect_class_item(chars, i, &mut members),
+        }
+    }
+    let mut set = if negated {
+        CharSet::from_pred(|c| !members.contains(&c))
+    } else {
+        CharSet(members)
+    };
+    for rhs in &intersections {
+        set = set.intersect(rhs);
+    }
+    set
+}
+
+/// One item inside a class: a literal, an escape, or a `a-z` range.
+fn collect_class_item(chars: &[char], i: &mut usize, out: &mut Vec<char>) {
+    let lo = match chars[*i] {
+        '\\' => {
+            *i += 1;
+            let set = parse_escape(chars, i);
+            *i += 1;
+            // Multi-char escapes (\PC) contribute all their members and
+            // cannot open a range.
+            if set.0.len() != 1 {
+                out.extend(set.0);
+                return;
+            }
+            set.0[0]
+        }
+        c => {
+            *i += 1;
+            c
+        }
+    };
+    // Range if a `-` follows and is not the final char before `]`.
+    if chars.get(*i) == Some(&'-') && chars.get(*i + 1).is_some_and(|&c| c != ']') {
+        *i += 1;
+        let hi = match chars[*i] {
+            '\\' => {
+                *i += 1;
+                let set = parse_escape(chars, i);
+                *i += 1;
+                assert!(set.0.len() == 1, "range upper bound must be a single char");
+                set.0[0]
+            }
+            c => {
+                *i += 1;
+                c
+            }
+        };
+        out.extend(universe().filter(|&c| c >= lo && c <= hi));
+    } else {
+        out.push(lo);
+    }
+}
+
+/// Parse an optional quantifier; defaults to exactly one.
+fn parse_quantifier(chars: &[char], i: &mut usize) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            *i += 1;
+            let mut min = String::new();
+            while chars[*i].is_ascii_digit() {
+                min.push(chars[*i]);
+                *i += 1;
+            }
+            let min: usize = min.parse().expect("quantifier lower bound");
+            let max = if chars[*i] == ',' {
+                *i += 1;
+                let mut max = String::new();
+                while chars[*i].is_ascii_digit() {
+                    max.push(chars[*i]);
+                    *i += 1;
+                }
+                max.parse().expect("quantifier upper bound")
+            } else {
+                min
+            };
+            assert!(chars[*i] == '}', "unterminated quantifier");
+            *i += 1;
+            (min, max)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        Pattern::compile(pattern).generate(&mut TestRng::from_seed(seed))
+    }
+
+    #[test]
+    fn simple_classes_and_quantifiers() {
+        for seed in 0..50 {
+            let s = gen("[a-z][a-z0-9]{0,6}", seed);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn xml_name_pattern() {
+        for seed in 0..50 {
+            let s = gen("[a-zA-Z_][a-zA-Z0-9_.-]{0,11}", seed);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            assert!(s.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn intersection_excludes() {
+        for seed in 0..100 {
+            let s = gen("[ -~&&[^\r]]{0,24}", seed);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn not_control_category() {
+        let mut long = false;
+        for seed in 0..30 {
+            let s = gen("\\PC{0,200}", seed);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.len() <= 200);
+            long |= s.len() > 50;
+        }
+        assert!(long, "quantifier must reach long strings");
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        assert_eq!(gen("abc", 0), "abc");
+        assert_eq!(gen("a\\.b", 0), "a.b");
+        let s = gen("x{3}", 1);
+        assert_eq!(s, "xxx");
+    }
+}

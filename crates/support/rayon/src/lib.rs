@@ -1,0 +1,78 @@
+//! Minimal in-tree stand-in for `rayon`.
+//!
+//! `par_iter`/`par_chunks`/`into_par_iter` & friends return ordinary
+//! `std` iterators, so every downstream adapter (`map`, `zip`,
+//! `enumerate`, `for_each`, `collect`) works unchanged — the work just
+//! runs sequentially. Numerically this is *more* deterministic than real
+//! rayon; the proxy-app step functions only rely on element-wise
+//! independence, not on actual parallel speedup, for correctness.
+
+/// The subset of `rayon::prelude` this workspace imports.
+pub mod prelude {
+    /// `into_par_iter()` for any owned iterable (ranges, vectors).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's parallel iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter` / `par_chunks` over shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` over mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_compose_like_rayon() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v[9], 18);
+        let mut out = vec![0usize; 4];
+        out.par_iter_mut()
+            .zip(v.par_iter())
+            .for_each(|(o, &x)| *o = x + 1);
+        assert_eq!(out, vec![1, 3, 5, 7]);
+        let sums: Vec<usize> = v.par_chunks(5).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![20, 70]);
+        let mut buf = vec![1usize; 6];
+        buf.par_chunks_mut(3)
+            .enumerate()
+            .for_each(|(i, c)| c[0] = i);
+        assert_eq!(buf, vec![0, 1, 1, 1, 1, 1]);
+    }
+}

@@ -24,7 +24,11 @@ pub enum XmlError {
 
 impl XmlError {
     pub(crate) fn syntax(msg: impl Into<String>, line: usize, col: usize) -> Self {
-        XmlError::Syntax { msg: msg.into(), line, col }
+        XmlError::Syntax {
+            msg: msg.into(),
+            line,
+            col,
+        }
     }
 
     /// Construct a schema-level error.

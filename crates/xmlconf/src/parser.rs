@@ -48,7 +48,12 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { src: input.as_bytes(), pos: 0, line: 1, col: 1 }
+        Parser {
+            src: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> XmlError {
@@ -286,9 +291,12 @@ impl<'a> Parser<'a> {
 
     /// Consume one full UTF-8 encoded character.
     fn bump_char(&mut self) -> XmlResult<char> {
-        let rest = std::str::from_utf8(&self.src[self.pos..])
-            .map_err(|_| self.err("invalid UTF-8"))?;
-        let c = rest.chars().next().ok_or_else(|| self.err("unexpected end of input"))?;
+        let rest =
+            std::str::from_utf8(&self.src[self.pos..]).map_err(|_| self.err("invalid UTF-8"))?;
+        let c = rest
+            .chars()
+            .next()
+            .ok_or_else(|| self.err("unexpected end of input"))?;
         self.bump_n(c.len_utf8());
         Ok(c)
     }
@@ -396,7 +404,11 @@ mod tests {
     #[test]
     fn interelement_whitespace_dropped() {
         let doc = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
-        assert!(doc.root.children.iter().all(|n| matches!(n, Node::Element(_))));
+        assert!(doc
+            .root
+            .children
+            .iter()
+            .all(|n| matches!(n, Node::Element(_))));
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct Element {
 impl Element {
     /// Create an element with the given tag name and no content.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), ..Default::default() }
+        Element {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Builder-style: add an attribute.
@@ -61,11 +64,11 @@ impl Element {
     pub fn attr_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         match self.attr(name) {
             None => Ok(None),
-            Some(s) => s
-                .trim()
-                .parse::<T>()
-                .map(Some)
-                .map_err(|_| format!("attribute '{name}'='{s}' of <{}> is malformed", self.name)),
+            Some(s) => {
+                s.trim().parse::<T>().map(Some).map_err(|_| {
+                    format!("attribute '{name}'='{s}' of <{}> is malformed", self.name)
+                })
+            }
         }
     }
 
@@ -200,7 +203,9 @@ mod tests {
 
     #[test]
     fn attr_parse_ok_and_err() {
-        let e = Element::new("buffer").with_attr("size", "4096").with_attr("bad", "4k");
+        let e = Element::new("buffer")
+            .with_attr("size", "4096")
+            .with_attr("bad", "4k");
         assert_eq!(e.attr_parse::<usize>("size").unwrap(), Some(4096));
         assert_eq!(e.attr_parse::<usize>("missing").unwrap(), None);
         assert!(e.attr_parse::<usize>("bad").is_err());

@@ -18,7 +18,10 @@ fn content_strategy() -> impl Strategy<Value = String> {
 
 /// Recursive element strategy, bounded depth and fanout.
 fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), content_strategy()), 0..4))
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), content_strategy()), 0..4),
+    )
         .prop_map(|(name, raw_attrs)| {
             let mut el = Element::new(name);
             for (k, v) in raw_attrs {

@@ -108,14 +108,23 @@ fn damaris_run(out: &std::path::Path) {
             })
         })
         .collect();
-    let stats: Vec<_> = handles.into_iter().map(|h| h.join().expect("client")).collect();
+    let stats: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
     let report = node.shutdown().expect("shutdown");
     let wall = t0.elapsed().as_secs_f64();
 
-    let writes: Vec<f64> = stats.iter().flat_map(|s| s.write_seconds.iter().copied()).collect();
+    let writes: Vec<f64> = stats
+        .iter()
+        .flat_map(|s| s.write_seconds.iter().copied())
+        .collect();
     let (logical, stored) = h5.totals();
     println!("--- damaris (7 compute + 1 dedicated) ---");
-    println!("wall: {wall:.2}s  iterations: {}", report.iterations_completed);
+    println!(
+        "wall: {wall:.2}s  iterations: {}",
+        report.iterations_completed
+    );
     println!(
         "sim-visible write cost: mean {:.3} ms, max {:.3} ms",
         mean(&writes) * 1e3,
@@ -162,7 +171,10 @@ fn baseline_run(which: &str, out: std::path::PathBuf) {
         (write_secs, files)
     });
     let wall = t0.elapsed().as_secs_f64();
-    let all_writes: Vec<f64> = reports.iter().flat_map(|(w, _)| w.iter().copied()).collect();
+    let all_writes: Vec<f64> = reports
+        .iter()
+        .flat_map(|(w, _)| w.iter().copied())
+        .collect();
     let files: usize = reports.iter().map(|(_, f)| f).sum();
     println!("--- {which} (8 ranks, synchronous) ---");
     println!("wall: {wall:.2}s");

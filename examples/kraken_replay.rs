@@ -12,7 +12,10 @@ fn main() {
     println!("Replaying the §IV Kraken campaign (CM1, weak scaling, {dumps} dumps)\n");
 
     println!("E1 — weak scaling (application run time, virtual seconds)");
-    println!("{:>6}  {:<18} {:>10} {:>8} {:>12}", "cores", "strategy", "wall", "I/O %", "io/dump");
+    println!(
+        "{:>6}  {:<18} {:>10} {:>8} {:>12}",
+        "cores", "strategy", "wall", "I/O %", "io/dump"
+    );
     for row in experiments::e1_scalability(dumps, seed) {
         println!(
             "{:>6}  {:<18} {:>9.0}s {:>7.0}% {:>11.1}s",
@@ -47,7 +50,10 @@ fn main() {
     }
 
     println!("\nE7 — in-situ coupling on Grid'5000 (paper: sync VisIt does not scale)");
-    println!("{:>6} {:>14} {:>16}", "cores", "sync stall", "damaris stall");
+    println!(
+        "{:>6} {:>14} {:>16}",
+        "cores", "sync stall", "damaris stall"
+    );
     for row in experiments::e7_insitu(dumps, 1.0, seed) {
         println!(
             "{:>6} {:>12.2}s {:>14.2}s",

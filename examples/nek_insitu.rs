@@ -83,7 +83,11 @@ impl LibSimAdaptor for NekVisItAdaptor {
         }
         let (nx, ny, nz) = self.grid_shape();
         let axis = |n: usize| (0..n).map(|i| i as f64 / n as f64).collect::<Vec<f64>>();
-        Some(MeshData { x: axis(nx), y: axis(ny), z: axis(nz) })
+        Some(MeshData {
+            x: axis(nx),
+            y: axis(ny),
+            z: axis(nz),
+        })
     }
 
     fn get_variable(&self, name: &str) -> Option<VariableData> {
@@ -91,7 +95,10 @@ impl LibSimAdaptor for NekVisItAdaptor {
             return None;
         }
         let (nx, ny, nz) = self.grid_shape();
-        Some(VariableData { values: self.sim.values().to_vec(), shape: (nx, ny, nz) })
+        Some(VariableData {
+            values: self.sim.values().to_vec(),
+            shape: (nx, ny, nz),
+        })
     }
 
     fn get_domain_list(&self, mesh: &str) -> Vec<usize> {
@@ -156,7 +163,11 @@ fn visit_mainloop(adaptor: &mut NekVisItAdaptor, session: &mut SyncVisItSession,
 }
 
 fn run_visit_coupled() -> (f64, f64) {
-    let sim = Nek::new(NekConfig { elements: ELEMENTS, order: ORDER, ..Default::default() });
+    let sim = Nek::new(NekConfig {
+        elements: ELEMENTS,
+        order: ORDER,
+        ..Default::default()
+    });
     let mut adaptor = NekVisItAdaptor::new(sim);
     let mut session = SyncVisItSession::new();
     // libsim prerequisite: environment setup + .sim2 connection file.
@@ -214,11 +225,17 @@ fn run_damaris_coupled() -> (f64, f64) {
     node.register_plugin(viz.clone());
     let client = node.client(0).expect("client 0");
     let t0 = std::time::Instant::now();
-    let mut sim = Nek::new(NekConfig { elements: ELEMENTS, order: ORDER, ..Default::default() });
+    let mut sim = Nek::new(NekConfig {
+        elements: ELEMENTS,
+        order: ORDER,
+        ..Default::default()
+    });
     for it in 0..STEPS {
         sim.step();
         // BEGIN-INSTRUMENTATION(damaris)
-        client.write("velocity_magnitude", it, sim.values()).expect("write");
+        client
+            .write("velocity_magnitude", it, sim.values())
+            .expect("write");
         client.end_iteration(it).expect("end iteration");
         // END-INSTRUMENTATION(damaris)
     }

@@ -21,29 +21,48 @@ fn main() {
     );
 
     println!("interference efficiency vs concurrent streams per OST");
-    println!("(knee {} streams, floor {:.0} %)", cfg.interference_knee, cfg.interference_floor * 100.0);
+    println!(
+        "(knee {} streams, floor {:.0} %)",
+        cfg.interference_knee,
+        cfg.interference_floor * 100.0
+    );
     for streams in [1usize, 2, 3, 4, 6, 9, 14, 27, 55, 110, 300] {
         let eff = cfg.efficiency(streams);
-        println!("{streams:>4} streams  {}  {:>5.1} %", bar(eff, 40), eff * 100.0);
+        println!(
+            "{streams:>4} streams  {}  {:>5.1} %",
+            bar(eff, 40),
+            eff * 100.0
+        );
     }
 
     println!("\nwho puts how many streams on each OST at 9216 cores:");
-    println!("  file-per-process : 9216 files / 336 OSTs ≈ 27 streams → eff {:>5.1} %",
-        cfg.efficiency(27) * 100.0);
+    println!(
+        "  file-per-process : 9216 files / 336 OSTs ≈ 27 streams → eff {:>5.1} %",
+        cfg.efficiency(27) * 100.0
+    );
     println!("  collective       : 1 shared file, every OST sees ~300 writers → eff {:>5.1} % + lock handoffs",
         cfg.efficiency(300) * 100.0);
-    println!("  damaris          : 768 node files ≈ 2–3 streams → eff {:>5.1} % (below the knee)",
-        cfg.efficiency(3) * 100.0);
+    println!(
+        "  damaris          : 768 node files ≈ 2–3 streams → eff {:>5.1} % (below the knee)",
+        cfg.efficiency(3) * 100.0
+    );
 
     // MDS create storm: the metadata cost of file-per-process.
-    println!("\nMDS create storm (one create per file, {:.0} creates/s):", 1.0 / cfg.mds_create_s);
+    println!(
+        "\nMDS create storm (one create per file, {:.0} creates/s):",
+        1.0 / cfg.mds_create_s
+    );
     for files in [768u64, 2304, 9216, 36864] {
         let mut pfs = Pfs::new(cfg.clone().without_jitter(), 1);
         let reqs: Vec<WriteRequest> = (0..files)
             .map(|c| WriteRequest::new(0.0, c, 0, FileSpec::private(c, true)))
             .collect();
         let phase = pfs.simulate_writes(&reqs);
-        let last = phase.outcomes.iter().map(|o| o.mds_done).fold(0.0f64, f64::max);
+        let last = phase
+            .outcomes
+            .iter()
+            .map(|o| o.mds_done)
+            .fold(0.0f64, f64::max);
         println!("  {files:>6} files → last create finishes at {last:>6.2} s");
     }
 
@@ -53,8 +72,13 @@ fn main() {
     let one_ost = cfg.clone().with_osts(1).without_jitter();
     let node_file = {
         let mut pfs = Pfs::new(one_ost.clone(), 2);
-        pfs.simulate_writes(&[WriteRequest::new(0.0, 0, 495 << 20, FileSpec::private(0, true))])
-            .span()
+        pfs.simulate_writes(&[WriteRequest::new(
+            0.0,
+            0,
+            495 << 20,
+            FileSpec::private(0, true),
+        )])
+        .span()
     };
     let per_core = {
         let mut pfs = Pfs::new(one_ost, 2);
@@ -64,5 +88,8 @@ fn main() {
         pfs.simulate_writes(&reqs).span()
     };
     println!("  1 node file (damaris)      : {node_file:>6.1} s");
-    println!("  11 per-core files (FPP)    : {per_core:>6.1} s  ({:.1}x slower)", per_core / node_file);
+    println!(
+        "  11 per-core files (FPP)    : {per_core:>6.1} s  ({:.1}x slower)",
+        per_core / node_file
+    );
 }

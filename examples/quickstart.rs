@@ -64,10 +64,12 @@ fn main() {
                     let field: Vec<f64> = (0..64 * 64)
                         .map(|p| {
                             let (x, y) = ((p % 64) as f64, (p / 64) as f64);
-                            300.0 + id + ((x - 32.0 - it as f64).powi(2) + (y - 32.0).powi(2))
-                                .sqrt()
-                                .recip()
-                                .min(1.0)
+                            300.0
+                                + id
+                                + ((x - 32.0 - it as f64).powi(2) + (y - 32.0).powi(2))
+                                    .sqrt()
+                                    .recip()
+                                    .min(1.0)
                         })
                         .collect();
                     // The single line of Damaris instrumentation:
@@ -80,11 +82,20 @@ fn main() {
         })
         .collect();
 
-    let client_stats: Vec<_> = handles.into_iter().map(|h| h.join().expect("client")).collect();
+    let client_stats: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
     let report = node.shutdown().expect("clean shutdown");
 
-    println!("quickstart: {} iterations completed", report.iterations_completed);
-    println!("dedicated core idle: {:.1} %", report.dedicated_idle_fraction * 100.0);
+    println!(
+        "quickstart: {} iterations completed",
+        report.iterations_completed
+    );
+    println!(
+        "dedicated core idle: {:.1} %",
+        report.dedicated_idle_fraction * 100.0
+    );
     for (i, s) in client_stats.iter().enumerate() {
         let mean_ms = if s.write_seconds.is_empty() {
             0.0
@@ -105,7 +116,9 @@ fn main() {
             f.stored_bytes
         );
     }
-    let last = stats.summary(iterations - 1, "temperature").expect("stats ran");
+    let last = stats
+        .summary(iterations - 1, "temperature")
+        .expect("stats ran");
     println!(
         "temperature @ last iteration: min {:.2} K, max {:.2} K, mean {:.2} K",
         last.min, last.max, last.mean

@@ -40,10 +40,19 @@ fn run(
         std::thread::sleep(Duration::from_millis(plugin_ms));
         Ok(())
     })));
+    // Real simulations advance in lockstep (the MPI timestep synchronizes
+    // ranks), so model that with a per-iteration barrier. Without it,
+    // free-running clients can skew further apart than the segment holds
+    // (8 slabs here); in block mode the leader then owns every slot with
+    // blocks of iterations that cannot complete without the laggard — a
+    // genuine deadlock until the 60 s allocation timeout, seen on
+    // single-core runners.
+    let barrier = Arc::new(std::sync::Barrier::new(2));
     let t0 = Instant::now();
     let handles: Vec<_> = node
         .clients()
         .map(|client| {
+            let barrier = barrier.clone();
             std::thread::spawn(move || {
                 let data = vec![2.5f64; 2048];
                 for it in 0..iterations {
@@ -51,6 +60,7 @@ fn run(
                     if compute_ms > 0 {
                         std::thread::sleep(Duration::from_millis(compute_ms));
                     }
+                    barrier.wait();
                     client.write("field", it, &data).expect("write");
                     client.end_iteration(it).expect("end");
                 }
@@ -77,7 +87,10 @@ fn drop_mode_skips_under_pressure_and_keeps_sim_fast() {
     assert_eq!(report.iterations_completed, 60);
     // The simulation never waits for the plugin: it finishes long before
     // 60 × 10 ms of serialized analysis would take.
-    assert!(wall < 1.2, "drop mode must not serialize on the plugin: {wall:.2}s");
+    assert!(
+        wall < 1.2,
+        "drop mode must not serialize on the plugin: {wall:.2}s"
+    );
 }
 
 #[test]

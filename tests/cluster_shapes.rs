@@ -9,7 +9,10 @@ use damaris::cluster::{experiments, run, Platform, Strategy, Workload};
 fn headline_numbers_land_in_paper_bands() {
     let rows = experiments::e3_throughput(2, 7);
     let by_name = |n: &str| {
-        rows.iter().find(|r| r.strategy == n).map(|r| r.throughput_gbps).expect("strategy present")
+        rows.iter()
+            .find(|r| r.strategy == n)
+            .map(|r| r.throughput_gbps)
+            .expect("strategy present")
     };
     let coll = by_name("collective");
     let fpp = by_name("file-per-process");
@@ -19,23 +22,39 @@ fn headline_numbers_land_in_paper_bands() {
     assert!((0.2..1.0).contains(&coll), "collective {coll:.2} GB/s");
     assert!((0.9..2.2).contains(&fpp), "fpp {fpp:.2} GB/s");
     assert!((7.0..13.0).contains(&dam), "damaris {dam:.2} GB/s");
-    assert!(dam / coll > 10.0, "damaris/collective factor {:.1}", dam / coll);
+    assert!(
+        dam / coll > 10.0,
+        "damaris/collective factor {:.1}",
+        dam / coll
+    );
     assert!(dam / fpp > 4.0, "damaris/fpp factor {:.1}", dam / fpp);
 }
 
 #[test]
 fn speedup_band() {
     let speedup = experiments::e1_speedup(2, 11);
-    assert!((2.5..4.5).contains(&speedup), "paper 3.5x, model {speedup:.2}x");
+    assert!(
+        (2.5..4.5).contains(&speedup),
+        "paper 3.5x, model {speedup:.2}x"
+    );
 }
 
 #[test]
 fn jitter_collapse() {
     let rows = experiments::e2_variability(2304, 2, 13);
-    let damaris = rows.iter().find(|r| r.strategy.starts_with("damaris")).expect("damaris row");
-    let fpp = rows.iter().find(|r| r.strategy == "file-per-process").expect("fpp row");
+    let damaris = rows
+        .iter()
+        .find(|r| r.strategy.starts_with("damaris"))
+        .expect("damaris row");
+    let fpp = rows
+        .iter()
+        .find(|r| r.strategy == "file-per-process")
+        .expect("fpp row");
     assert!(damaris.spread < 1.01, "damaris writes are constant-time");
-    assert!(fpp.max / damaris.max > 20.0, "baselines are orders of magnitude worse");
+    assert!(
+        fpp.max / damaris.max > 20.0,
+        "baselines are orders of magnitude worse"
+    );
 }
 
 #[test]
@@ -52,10 +71,20 @@ fn idle_band_across_scales() {
 #[test]
 fn scheduling_improves_throughput() {
     let rows = experiments::e6_scheduling(2, 19);
-    let greedy = rows.iter().find(|r| r.scheduler == "greedy").expect("greedy").throughput_gbps;
-    let balanced =
-        rows.iter().find(|r| r.scheduler == "balanced").expect("balanced").throughput_gbps;
-    assert!(balanced > greedy * 1.1, "balanced {balanced:.1} vs greedy {greedy:.1}");
+    let greedy = rows
+        .iter()
+        .find(|r| r.scheduler == "greedy")
+        .expect("greedy")
+        .throughput_gbps;
+    let balanced = rows
+        .iter()
+        .find(|r| r.scheduler == "balanced")
+        .expect("balanced")
+        .throughput_gbps;
+    assert!(
+        balanced > greedy * 1.1,
+        "balanced {balanced:.1} vs greedy {greedy:.1}"
+    );
 }
 
 #[test]
@@ -63,7 +92,10 @@ fn insitu_shape() {
     let rows = experiments::e7_insitu(2, 1.0, 23);
     let first = rows.first().expect("rows");
     let last = rows.last().expect("rows");
-    assert!(last.sync_overhead_s > first.sync_overhead_s, "sync coupling degrades with scale");
+    assert!(
+        last.sync_overhead_s > first.sync_overhead_s,
+        "sync coupling degrades with scale"
+    );
     assert!(last.damaris_overhead_s < first.sync_overhead_s / 5.0);
 }
 

@@ -38,7 +38,9 @@ fn config(n: usize) -> String {
 
 /// The deterministic per-rank data every path writes.
 fn rank_data(rank: usize, it: u64, n: usize) -> (Vec<f64>, Vec<f64>) {
-    let u: Vec<f64> = (0..n).map(|i| (rank * 1000 + i) as f64 + it as f64 * 0.5).collect();
+    let u: Vec<f64> = (0..n)
+        .map(|i| (rank * 1000 + i) as f64 + it as f64 * 0.5)
+        .collect();
     let theta: Vec<f64> = (0..n).map(|i| 300.0 + (rank + i) as f64 * 0.25).collect();
     (u, theta)
 }
@@ -82,7 +84,11 @@ fn damaris_session_files_verified_by_reader() {
     }
     let report = node.shutdown().expect("shutdown");
     assert_eq!(report.iterations_completed, ITERATIONS);
-    assert!(report.plugin_errors.is_empty(), "{:?}", report.plugin_errors);
+    assert!(
+        report.plugin_errors.is_empty(),
+        "{:?}",
+        report.plugin_errors
+    );
 
     // One file per iteration, each holding every client's blocks.
     let written = h5.written();
@@ -90,16 +96,26 @@ fn damaris_session_files_verified_by_reader() {
     for it in 0..ITERATIONS {
         let path = dir.join(format!("e2e_node7_it{it:06}.dh5"));
         let mut reader = FileReader::open(&path).expect("file readable");
-        assert_eq!(reader.attr("", "iteration").and_then(|a| a.as_i64()), Some(it as i64));
+        assert_eq!(
+            reader.attr("", "iteration").and_then(|a| a.as_i64()),
+            Some(it as i64)
+        );
         for rank in 0..CLIENTS {
             let (u, theta) = rank_data(rank, it, N);
-            assert_eq!(reader.read_pod::<f64>(&format!("u/rank{rank}")).expect("u"), u);
             assert_eq!(
-                reader.read_pod::<f64>(&format!("theta/rank{rank}")).expect("theta"),
+                reader.read_pod::<f64>(&format!("u/rank{rank}")).expect("u"),
+                u
+            );
+            assert_eq!(
+                reader
+                    .read_pod::<f64>(&format!("theta/rank{rank}"))
+                    .expect("theta"),
                 theta
             );
             assert_eq!(
-                reader.attr(&format!("u/rank{rank}"), "unit").and_then(|a| a.as_str()),
+                reader
+                    .attr(&format!("u/rank{rank}"), "unit")
+                    .and_then(|a| a.as_str()),
                 Some("m/s")
             );
         }
@@ -155,18 +171,24 @@ fn all_three_paths_persist_identical_values() {
     let mut shared =
         FileReader::open(dir.join("coll/e2e_shared_it000000.dh5")).expect("shared file");
     for rank in 0..RANKS {
-        let mut own = FileReader::open(
-            dir.join(format!("fpp/e2e_rank{rank:05}_it000000.dh5")),
-        )
-        .expect("fpp file");
+        let mut own = FileReader::open(dir.join(format!("fpp/e2e_rank{rank:05}_it000000.dh5")))
+            .expect("fpp file");
         for var in ["u", "theta"] {
             let from_fpp = own.read_pod::<f64>(var).expect("fpp data");
-            let from_damaris =
-                damaris.read_pod::<f64>(&format!("{var}/rank{rank}")).expect("damaris data");
-            let from_shared =
-                shared.read_pod::<f64>(&format!("{var}/rank{rank}")).expect("shared data");
-            assert_eq!(from_fpp, from_damaris, "{var} rank {rank}: damaris diverged");
-            assert_eq!(from_fpp, from_shared, "{var} rank {rank}: collective diverged");
+            let from_damaris = damaris
+                .read_pod::<f64>(&format!("{var}/rank{rank}"))
+                .expect("damaris data");
+            let from_shared = shared
+                .read_pod::<f64>(&format!("{var}/rank{rank}"))
+                .expect("shared data");
+            assert_eq!(
+                from_fpp, from_damaris,
+                "{var} rank {rank}: damaris diverged"
+            );
+            assert_eq!(
+                from_fpp, from_shared,
+                "{var} rank {rank}: collective diverged"
+            );
         }
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -211,7 +233,10 @@ fn two_nodes_write_disjoint_files() {
     for node_id in 0..2 {
         let path = dir.join(format!("e2e_node{node_id}_it000000.dh5"));
         let reader = FileReader::open(&path).expect("node file exists");
-        assert_eq!(reader.list(""), vec![("theta".to_string(), false), ("u".to_string(), false)]);
+        assert_eq!(
+            reader.list(""),
+            vec![("theta".to_string(), false), ("u".to_string(), false)]
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -256,11 +281,13 @@ fn zero_copy_path_equals_copy_path() {
         h.join().expect("client");
     }
     node.shutdown().expect("shutdown");
-    let mut reader =
-        FileReader::open(dir.join("e2e_node0_it000000.dh5")).expect("file");
+    let mut reader = FileReader::open(dir.join("e2e_node0_it000000.dh5")).expect("file");
     for rank in 0..2 {
         let (u, _) = rank_data(rank, 0, N);
-        assert_eq!(reader.read_pod::<f64>(&format!("u/rank{rank}")).expect("u"), u);
+        assert_eq!(
+            reader.read_pod::<f64>(&format!("u/rank{rank}")).expect("u"),
+            u
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -23,8 +23,12 @@ const XML: &str = r#"
 
 #[test]
 fn bad_writes_fail_fast_without_poisoning_the_session() {
-    let node =
-        DamarisNode::builder().config_str(XML).expect("config").clients(1).build().expect("node");
+    let node = DamarisNode::builder()
+        .config_str(XML)
+        .expect("config")
+        .clients(1)
+        .build()
+        .expect("node");
     let client = node.client(0).expect("client");
 
     assert!(matches!(
@@ -36,7 +40,10 @@ fn bad_writes_fail_fast_without_poisoning_the_session() {
         Err(DamarisError::LayoutMismatch { .. })
     ));
     // The session is still healthy after both failures.
-    assert_eq!(client.write("u", 0, &[1.0f64; 64]).expect("good write"), WriteStatus::Written);
+    assert_eq!(
+        client.write("u", 0, &[1.0f64; 64]).expect("good write"),
+        WriteStatus::Written
+    );
     client.end_iteration(0).expect("end");
     client.finalize().expect("finalize");
     let report = node.shutdown().expect("shutdown");
@@ -45,8 +52,12 @@ fn bad_writes_fail_fast_without_poisoning_the_session() {
 
 #[test]
 fn failing_plugin_is_reported_but_not_fatal() {
-    let node =
-        DamarisNode::builder().config_str(XML).expect("config").clients(1).build().expect("node");
+    let node = DamarisNode::builder()
+        .config_str(XML)
+        .expect("config")
+        .clients(1)
+        .build()
+        .expect("node");
     node.register_plugin(Arc::new(FnPlugin::new("faulty", |ctx| {
         if ctx.iteration % 2 == 0 {
             Err(format!("induced failure at {}", ctx.iteration))
@@ -61,7 +72,10 @@ fn failing_plugin_is_reported_but_not_fatal() {
     }
     client.finalize().expect("finalize");
     let report = node.shutdown().expect("shutdown");
-    assert_eq!(report.iterations_completed, 4, "service survived the failures");
+    assert_eq!(
+        report.iterations_completed, 4,
+        "service survived the failures"
+    );
     assert_eq!(report.plugin_errors.len(), 2);
     assert!(report.plugin_errors[0].contains("induced failure"));
 }
@@ -89,19 +103,21 @@ fn bad_plugin_parameter_surfaces_as_error() {
     client.finalize().expect("finalize");
     let report = node.shutdown().expect("shutdown");
     assert_eq!(report.plugin_errors.len(), 1);
-    assert!(report.plugin_errors[0].contains("no-such-codec"), "{:?}", report.plugin_errors);
+    assert!(
+        report.plugin_errors[0].contains("no-such-codec"),
+        "{:?}",
+        report.plugin_errors
+    );
 }
 
 #[test]
 fn corrupt_output_detected_on_read() {
     let dir = std::env::temp_dir().join(format!("damaris-fault-corrupt-{}", std::process::id()));
     let node = DamarisNode::builder()
-        .config_str(
-            &XML.replace(
-                "</simulation>",
-                r#"<actions><action name="dump" plugin="hdf5"/></actions></simulation>"#,
-            ),
-        )
+        .config_str(&XML.replace(
+            "</simulation>",
+            r#"<actions><action name="dump" plugin="hdf5"/></actions></simulation>"#,
+        ))
         .expect("config")
         .clients(1)
         .output_dir(&dir)
@@ -131,15 +147,31 @@ fn corrupt_output_detected_on_read() {
 
 #[test]
 fn double_shutdown_and_post_shutdown_writes_error() {
-    let node =
-        DamarisNode::builder().config_str(XML).expect("config").clients(1).build().expect("node");
+    let node = DamarisNode::builder()
+        .config_str(XML)
+        .expect("config")
+        .clients(1)
+        .build()
+        .expect("node");
     let client = node.client(0).expect("client");
     client.finalize().expect("finalize");
     node.shutdown().expect("first shutdown");
-    assert!(matches!(node.shutdown(), Err(DamarisError::InvalidState(_))));
-    assert!(matches!(client.write("u", 0, &[0.0f64; 64]), Err(DamarisError::QueueClosed)));
-    assert!(matches!(client.end_iteration(0), Err(DamarisError::QueueClosed)));
-    assert!(matches!(client.signal("snap", 0), Err(DamarisError::QueueClosed)));
+    assert!(matches!(
+        node.shutdown(),
+        Err(DamarisError::InvalidState(_))
+    ));
+    assert!(matches!(
+        client.write("u", 0, &[0.0f64; 64]),
+        Err(DamarisError::QueueClosed)
+    ));
+    assert!(matches!(
+        client.end_iteration(0),
+        Err(DamarisError::QueueClosed)
+    ));
+    assert!(matches!(
+        client.signal("snap", 0),
+        Err(DamarisError::QueueClosed)
+    ));
 }
 
 #[test]

@@ -51,19 +51,31 @@ fn analysis_tracks_the_simulation() {
 
     let client = node.client(0).expect("client");
     let worker = std::thread::spawn(move || {
-        let mut sim =
-            Cm1::new(Cm1Config { nx: NX, ny: NY, nz: NZ, ..Default::default() });
+        let mut sim = Cm1::new(Cm1Config {
+            nx: NX,
+            ny: NY,
+            nz: NZ,
+            ..Default::default()
+        });
         for it in 0..STEPS {
             sim.step();
-            client.write("theta", it, sim.field("theta").expect("theta")).expect("write");
-            client.write("w", it, sim.field("w").expect("w")).expect("write");
+            client
+                .write("theta", it, sim.field("theta").expect("theta"))
+                .expect("write");
+            client
+                .write("w", it, sim.field("w").expect("w"))
+                .expect("write");
             client.end_iteration(it).expect("end");
         }
         client.finalize().expect("finalize");
     });
     worker.join().expect("sim thread");
     let report = node.shutdown().expect("shutdown");
-    assert!(report.plugin_errors.is_empty(), "{:?}", report.plugin_errors);
+    assert!(
+        report.plugin_errors.is_empty(),
+        "{:?}",
+        report.plugin_errors
+    );
 
     // Analysis ran for every step.
     let records = viz.records();
@@ -92,7 +104,11 @@ fn analysis_tracks_the_simulation() {
     let last_w = stats.summary(STEPS - 1, "w").expect("w stats");
     assert!(last_w.max > first_w.max, "updraft should strengthen");
     let theta = stats.summary(STEPS - 1, "theta").expect("theta stats");
-    assert!((299.0..305.0).contains(&theta.mean), "theta mean {:.2}", theta.mean);
+    assert!(
+        (299.0..305.0).contains(&theta.mean),
+        "theta mean {:.2}",
+        theta.mean
+    );
 }
 
 #[test]
@@ -109,12 +125,20 @@ fn analysis_cost_stays_off_the_write_path() {
     node.register_plugin(Arc::new(InSituPlugin::new()));
     let client = node.client(0).expect("client");
     let stats = std::thread::spawn(move || {
-        let mut sim =
-            Cm1::new(Cm1Config { nx: NX, ny: NY, nz: NZ, ..Default::default() });
+        let mut sim = Cm1::new(Cm1Config {
+            nx: NX,
+            ny: NY,
+            nz: NZ,
+            ..Default::default()
+        });
         for it in 0..STEPS {
             sim.step();
-            client.write("theta", it, sim.field("theta").expect("theta")).expect("write");
-            client.write("w", it, sim.field("w").expect("w")).expect("write");
+            client
+                .write("theta", it, sim.field("theta").expect("theta"))
+                .expect("write");
+            client
+                .write("w", it, sim.field("w").expect("w"))
+                .expect("write");
             client.end_iteration(it).expect("end");
         }
         client.finalize().expect("finalize");
@@ -127,5 +151,8 @@ fn analysis_cost_stays_off_the_write_path() {
     // A 24×24×16 f64 block is 73 KB; its memcpy is microseconds. Allow
     // generous scheduler noise; anything near the analysis cost (ms+)
     // would mean the write path is coupled to the plugin.
-    assert!(worst < 0.02, "write should be memcpy-fast, worst {worst:.4}s");
+    assert!(
+        worst < 0.02,
+        "write should be memcpy-fast, worst {worst:.4}s"
+    );
 }
