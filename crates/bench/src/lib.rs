@@ -192,19 +192,17 @@ pub fn e8_live_backpressure(block: bool, iterations: u64) -> BackpressureResult 
         .collect();
     let report = node.shutdown().expect("shutdown");
     let wall = t0.elapsed().as_secs_f64();
-    let all_writes: Vec<f64> = stats
-        .iter()
-        .flat_map(|s| s.write_seconds.iter().copied())
-        .collect();
+    let total_writes: u64 = stats.iter().map(|s| s.writes).sum();
+    let total_write_s: f64 = stats.iter().map(|s| s.total_write_seconds).sum();
     BackpressureResult {
         policy: if block { "block" } else { "drop-iteration" },
         wall_seconds: wall,
         iterations: report.iterations_completed,
         skipped: report.skipped_client_iterations,
-        mean_write_s: if all_writes.is_empty() {
+        mean_write_s: if total_writes == 0 {
             0.0
         } else {
-            all_writes.iter().sum::<f64>() / all_writes.len() as f64
+            total_write_s / total_writes as f64
         },
     }
 }

@@ -43,6 +43,9 @@ pub struct RunMetrics {
     /// Sim-visible seconds one rank spent posting events to the transport
     /// (Damaris only; zero for the baselines, which have no event queue).
     pub event_post_seconds: f64,
+    /// Sim-visible seconds one rank spent allocating shared-memory blocks
+    /// (Damaris only; zero for the baselines, which have no segment).
+    pub alloc_seconds: f64,
 }
 
 impl RunMetrics {
@@ -155,6 +158,7 @@ mod tests {
             files_per_dump: 2,
             comm_bytes: 0,
             event_post_seconds: 0.0,
+            alloc_seconds: 0.0,
         }
     }
 

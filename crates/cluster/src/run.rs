@@ -9,7 +9,7 @@ use pfs_sim::{FileSpec, Pfs, WriteRequest};
 
 use crate::metrics::RunMetrics;
 use crate::platform::Platform;
-use crate::strategy::{DamarisOptions, Strategy, TransportKind};
+use crate::strategy::{AllocatorKind, DamarisOptions, Strategy, TransportKind};
 use crate::workload::Workload;
 
 /// Modeled cost of posting one event on the mutex transport with a single
@@ -22,6 +22,15 @@ const MUTEX_POST_SECONDS: f64 = 120e-9;
 /// write plus one release store into the client's own ring, flat in the
 /// client count.
 const SHARDED_POST_SECONDS: f64 = 25e-9;
+/// Modeled cost of one block allocation from the first-fit free list with
+/// a single uncontended client (mutex + linear hole scan), calibrated
+/// against `benches/write_path.rs`. Under contention the expected cost
+/// grows linearly with the clients serialized on the node's one lock.
+const FIRSTFIT_ALLOC_SECONDS: f64 = 150e-9;
+/// Modeled cost of one block allocation from the size-class allocator:
+/// a slab-cache slot swap or one lock-free class-queue pop, flat in the
+/// client count.
+const SIZECLASS_ALLOC_SECONDS: f64 = 30e-9;
 
 /// Simulate one run of `workload` on `ranks` cores of `platform` under
 /// `strategy`, deterministically from `seed`.
@@ -70,6 +79,7 @@ fn base_metrics(
         files_per_dump: 0,
         comm_bytes: 0,
         event_post_seconds: 0.0,
+        alloc_seconds: 0.0,
     }
 }
 
@@ -205,6 +215,12 @@ fn run_damaris(
         TransportKind::Sharded => SHARDED_POST_SECONDS,
     };
     let event_post_seconds = 2.0 * post_each;
+    // One shared-memory block allocation per client dump (§IV.B: the rest
+    // of the write is the memcpy itself, already in shm_seconds).
+    let alloc_seconds = match opts.allocator {
+        AllocatorKind::FirstFit => FIRSTFIT_ALLOC_SECONDS * compute_cores as f64,
+        AllocatorKind::SizeClass => SIZECLASS_ALLOC_SECONDS,
+    };
 
     let mut pfs = Pfs::new(platform.pfs.clone(), seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xda3a);
@@ -247,14 +263,19 @@ fn run_damaris(
             }
         }
 
-        // Staging: one memcpy plus the event posts per client, sim-visible.
-        sim_t += shm_seconds + event_post_seconds;
+        // Staging: one block allocation, one memcpy and the event posts
+        // per client, sim-visible.
+        sim_t += shm_seconds + event_post_seconds + alloc_seconds;
         m.event_post_seconds += event_post_seconds;
+        m.alloc_seconds += alloc_seconds;
         m.per_dump_io_spans
-            .push(shm_seconds + event_post_seconds + stall);
+            .push(shm_seconds + event_post_seconds + alloc_seconds + stall);
         push_samples(
             &mut m.write_samples,
-            std::iter::repeat_n(shm_seconds + event_post_seconds, compute_cores * nodes),
+            std::iter::repeat_n(
+                shm_seconds + event_post_seconds + alloc_seconds,
+                compute_cores * nodes,
+            ),
         );
 
         // The dedicated cores write asynchronously.
@@ -612,6 +633,39 @@ mod tests {
         // Baselines have no event queue at all.
         let fpp = run(&p, &w, ranks, Strategy::FilePerProcess, 13);
         assert_eq!(fpp.event_post_seconds, 0.0);
+    }
+
+    #[test]
+    fn sizeclass_allocator_cuts_alloc_overhead() {
+        // Mirrors the transport contention model at the allocator layer:
+        // the first-fit mutex free list serializes a node's clients per
+        // block allocation (~cores × base), the size-class allocator's
+        // lock-free pop stays flat.
+        let p = quiet_kraken();
+        let w = Workload::cm1(2);
+        let ranks = 9216;
+        let firstfit = run(
+            &p,
+            &w,
+            ranks,
+            Strategy::Damaris(DamarisOptions {
+                allocator: AllocatorKind::FirstFit,
+                ..Default::default()
+            }),
+            13,
+        );
+        let sizeclass = run(&p, &w, ranks, Strategy::damaris_greedy(), 13);
+        assert!(firstfit.alloc_seconds > 0.0 && sizeclass.alloc_seconds > 0.0);
+        assert!(
+            firstfit.alloc_seconds > 5.0 * sizeclass.alloc_seconds,
+            "first-fit {} vs size-class {}: contention model missing",
+            firstfit.alloc_seconds,
+            sizeclass.alloc_seconds
+        );
+        assert!(sizeclass.wall_seconds <= firstfit.wall_seconds);
+        // Baselines have no shared segment at all.
+        let fpp = run(&p, &w, ranks, Strategy::FilePerProcess, 13);
+        assert_eq!(fpp.alloc_seconds, 0.0);
     }
 
     #[test]

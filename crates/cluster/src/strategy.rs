@@ -4,6 +4,7 @@
 use pfs_sim::FileSpec;
 
 pub use damaris_shm::transport::TransportKind;
+pub use damaris_xml::schema::AllocatorKind;
 
 /// How the dedicated cores time and place their node-file writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +138,10 @@ pub struct DamarisOptions {
     /// with the number of contending compute cores, the sharded
     /// transport's stays flat (mirrors `damaris_shm::transport`).
     pub transport: TransportKind,
+    /// Shared-memory allocator: the first-fit mutex free list serializes
+    /// a node's clients per block allocation, the size-class allocator's
+    /// lock-free pop stays flat (mirrors `damaris_shm::SharedSegment`).
+    pub allocator: AllocatorKind,
 }
 
 impl Default for DamarisOptions {
@@ -149,6 +154,7 @@ impl Default for DamarisOptions {
             compression_ratio: 1.0,
             plugin_seconds_per_dump: 0.0,
             transport: TransportKind::Mutex,
+            allocator: AllocatorKind::SizeClass,
         }
     }
 }
@@ -171,6 +177,7 @@ impl DamarisOptions {
                 damaris_xml::schema::QueueKind::Mutex => TransportKind::Mutex,
                 damaris_xml::schema::QueueKind::Sharded => TransportKind::Sharded,
             },
+            allocator: arch.allocator,
             ..Default::default()
         }
     }

@@ -4,15 +4,23 @@
 //! access the shared memory segment and copy or allocate blocks of data."
 //! §V.C.2: "Damaris only requires one line per data object that has to be
 //! shared with dedicated cores" — that line is [`DamarisClient::write`].
+//!
+//! The steady-state write path performs **zero heap allocations and takes
+//! no global lock**: the variable name resolves to an interned
+//! [`VarId`] through one hash lookup, the block comes from the
+//! per-client slab cache (or the segment's lock-free size-class queues),
+//! freezing keeps the reference count in the segment's slot table, the
+//! event moves into the client's own ring, and timing lands in atomic
+//! histogram buckets.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use damaris_shm::transport::{AnyTransport, EventChannel, EventProducer};
-use damaris_shm::{Block, SharedSegment};
+use damaris_shm::{Block, SlabCache};
 use damaris_xml::schema::{Configuration, SkipMode};
-use parking_lot::Mutex;
+use damaris_xml::VarId;
 
 use crate::error::{DamarisError, DamarisResult};
 use crate::event::Event;
@@ -27,19 +35,152 @@ pub enum WriteStatus {
     Skipped,
 }
 
-/// Timing record of the simulation-facing cost of Damaris calls.
+/// Number of log-scale latency buckets (bucket `i` holds writes that took
+/// `[2^i, 2^(i+1))` nanoseconds; bucket 0 also absorbs 0 ns).
+const NS_BUCKETS: usize = 64;
+
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        63 - ns.leading_zeros() as usize
+    }
+}
+
+/// Geometric midpoint of a bucket, in seconds.
+fn bucket_mid_seconds(bucket: usize) -> f64 {
+    // Bucket i covers [2^i, 2^(i+1)) ns; 1.5 * 2^i is its midpoint.
+    1.5 * (bucket as f64).exp2() * 1e-9
+}
+
+/// Lock-free recorder behind [`DamarisClient::stats`]: plain atomic
+/// counters plus a fixed-size log-scale latency histogram. Unlike the
+/// previous `Mutex<Vec<f64>>`, recording a write is a handful of relaxed
+/// atomic adds — no lock, no allocation, and bounded memory over runs of
+/// any length.
+#[derive(Debug)]
+pub(crate) struct StatsRecorder {
+    writes: AtomicU64,
+    skipped_writes: AtomicU64,
+    bytes_written: AtomicU64,
+    write_ns_total: AtomicU64,
+    write_ns_max: AtomicU64,
+    buckets: [AtomicU64; NS_BUCKETS],
+}
+
+impl StatsRecorder {
+    pub(crate) fn new() -> Self {
+        StatsRecorder {
+            writes: AtomicU64::new(0),
+            skipped_writes: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            write_ns_total: AtomicU64::new(0),
+            write_ns_max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record_write(&self, ns: u64, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.write_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.write_ns_max.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_skip(&self) {
+        self.skipped_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ClientStats {
+        ClientStats {
+            writes: self.writes.load(Ordering::Relaxed),
+            skipped_writes: self.skipped_writes.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            total_write_seconds: self.write_ns_total.load(Ordering::Relaxed) as f64 * 1e-9,
+            max_write_seconds: self.write_ns_max.load(Ordering::Relaxed) as f64 * 1e-9,
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Timing snapshot of the simulation-facing cost of Damaris calls.
 ///
 /// The headline §IV.B claim — "the time to write from the point of view of
 /// the simulation is cut down to the time required to write in
 /// shared-memory, which is in the order of 0.1 seconds" — is measured here.
-#[derive(Debug, Default, Clone)]
+/// Latencies live in a log-scale histogram (factor-of-two resolution), so
+/// quantiles are available without per-call storage.
+#[derive(Debug, Clone)]
 pub struct ClientStats {
-    /// Seconds spent inside `write` per successful call.
-    pub write_seconds: Vec<f64>,
+    /// Successful write calls.
+    pub writes: u64,
     /// Number of write calls that were skipped.
     pub skipped_writes: u64,
     /// Bytes published.
     pub bytes_written: u64,
+    /// Total seconds spent inside successful writes.
+    pub total_write_seconds: f64,
+    /// Slowest single write, in seconds.
+    pub max_write_seconds: f64,
+    /// Log-scale latency histogram (bucket `i` = `[2^i, 2^(i+1))` ns).
+    buckets: [u64; NS_BUCKETS],
+}
+
+impl Default for ClientStats {
+    fn default() -> Self {
+        ClientStats {
+            writes: 0,
+            skipped_writes: 0,
+            bytes_written: 0,
+            total_write_seconds: 0.0,
+            max_write_seconds: 0.0,
+            buckets: [0; NS_BUCKETS],
+        }
+    }
+}
+
+impl ClientStats {
+    /// Mean seconds per successful write (0 when none happened).
+    pub fn mean_write_seconds(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.total_write_seconds / self.writes as f64
+        }
+    }
+
+    /// Latency quantile in seconds from the log-scale histogram
+    /// (`q` in `[0, 1]`; factor-of-two resolution).
+    pub fn quantile_write_seconds(&self, q: f64) -> f64 {
+        if self.writes == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.writes as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_mid_seconds(i);
+            }
+        }
+        self.max_write_seconds
+    }
+
+    /// Median write latency in seconds.
+    pub fn p50_write_seconds(&self) -> f64 {
+        self.quantile_write_seconds(0.50)
+    }
+
+    /// 99th-percentile write latency in seconds.
+    pub fn p99_write_seconds(&self) -> f64 {
+        self.quantile_write_seconds(0.99)
+    }
+
+    /// Raw histogram counts (bucket `i` = `[2^i, 2^(i+1))` ns).
+    pub fn bucket_counts(&self) -> &[u64; NS_BUCKETS] {
+        &self.buckets
+    }
 }
 
 /// Handle held by one compute core.
@@ -49,17 +190,19 @@ pub struct ClientStats {
 /// `<queue kind="…">` attribute. With the sharded transport the client's
 /// producer handle posts into the client's own lock-free ring.
 ///
-/// Cloning shares the identity and statistics of the same logical client —
-/// clients are usually moved into their compute thread instead. (Clones
-/// of a sharded client serialize their posts on a per-client guard, so
-/// sharing a clone across threads is safe but momentarily spins.)
+/// Cloning shares the identity, statistics and slab cache of the same
+/// logical client — clients are usually moved into their compute thread
+/// instead. (Clones of a sharded client serialize their posts on a
+/// per-client guard, so sharing a clone across threads is safe but
+/// momentarily spins.)
 pub struct DamarisClient<C: EventChannel<Event> = AnyTransport<Event>> {
     pub(crate) id: usize,
     pub(crate) cfg: Arc<Configuration>,
-    pub(crate) segment: SharedSegment,
+    /// Per-client allocation front-end over the node's shared segment.
+    pub(crate) slab: Arc<SlabCache>,
     pub(crate) producer: C::Producer,
     pub(crate) policy: Arc<SkipPolicy>,
-    pub(crate) stats: Arc<Mutex<ClientStats>>,
+    pub(crate) stats: Arc<StatsRecorder>,
     /// Blocks published for the current iteration (reported at
     /// end-of-iteration so the server knows when the step's data is whole).
     pub(crate) writes_this_iteration: Arc<AtomicU64>,
@@ -70,7 +213,7 @@ impl<C: EventChannel<Event>> Clone for DamarisClient<C> {
         DamarisClient {
             id: self.id,
             cfg: self.cfg.clone(),
-            segment: self.segment.clone(),
+            slab: self.slab.clone(),
             producer: self.producer.clone(),
             policy: self.policy.clone(),
             stats: self.stats.clone(),
@@ -98,43 +241,60 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
         &self.cfg
     }
 
+    /// Resolve a variable name to its interned id once, so repeated
+    /// writes can skip even the hash lookup
+    /// (see [`DamarisClient::write_id`]).
+    pub fn var_id(&self, variable: &str) -> DamarisResult<VarId> {
+        self.cfg
+            .registry()
+            .var_id(variable)
+            .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))
+    }
+
     /// Publish one variable for one iteration — the single instrumentation
     /// line the paper's usability comparison counts.
     ///
     /// Cost to the simulation: one shared-memory allocation, one memcpy,
-    /// one queue event. Everything else happens on the dedicated cores.
+    /// one queue event — no heap allocation, no global lock.
     pub fn write<T: damaris_shm::segment::Pod>(
         &self,
         variable: &str,
         iteration: u64,
         data: &[T],
     ) -> DamarisResult<WriteStatus> {
+        let var = self.var_id(variable)?;
+        self.write_id(var, iteration, data)
+    }
+
+    /// [`DamarisClient::write`] with a pre-resolved [`VarId`].
+    pub fn write_id<T: damaris_shm::segment::Pod>(
+        &self,
+        var: VarId,
+        iteration: u64,
+        data: &[T],
+    ) -> DamarisResult<WriteStatus> {
         let t0 = Instant::now();
-        let layout = self
-            .cfg
-            .layout_of(variable)
-            .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))?;
+        let expected = self.cfg.registry().byte_size(var);
         let bytes = std::mem::size_of_val(data);
-        if bytes != layout.byte_size() {
+        if bytes != expected {
             return Err(DamarisError::LayoutMismatch {
-                variable: variable.to_string(),
-                expected: layout.byte_size(),
+                variable: self.cfg.var_name(var).to_string(),
+                expected,
                 got: bytes,
             });
         }
         if !self
             .policy
-            .admit(iteration, &self.segment, || self.producer.pressure())
+            .admit(iteration, self.slab.segment(), || self.producer.pressure())
         {
-            self.stats.lock().skipped_writes += 1;
+            self.stats.record_skip();
             return Ok(WriteStatus::Skipped);
         }
         let mut block = self.allocate_block(bytes)?;
         block.write_pod(data);
-        self.publish(variable, iteration, block)?;
-        let mut stats = self.stats.lock();
-        stats.write_seconds.push(t0.elapsed().as_secs_f64());
-        stats.bytes_written += bytes as u64;
+        self.publish(var, iteration, block)?;
+        self.stats
+            .record_write(t0.elapsed().as_nanos() as u64, bytes as u64);
         Ok(WriteStatus::Written)
     }
 
@@ -142,29 +302,33 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
     /// place (e.g. the simulation computes directly into shared memory —
     /// "functions to directly access the shared memory segment"), then
     /// [`DamarisClient::commit`] it.
+    ///
+    /// The write-timing clock starts here, so the §IV.B "time to write"
+    /// statistic covers allocation and in-place fill, not just the final
+    /// publish.
     pub fn alloc(&self, variable: &str, iteration: u64) -> DamarisResult<BlockWriter<C>> {
-        let layout = self
-            .cfg
-            .layout_of(variable)
-            .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))?;
+        let t0 = Instant::now();
+        let var = self.var_id(variable)?;
         if !self
             .policy
-            .admit(iteration, &self.segment, || self.producer.pressure())
+            .admit(iteration, self.slab.segment(), || self.producer.pressure())
         {
-            self.stats.lock().skipped_writes += 1;
+            self.stats.record_skip();
             return Ok(BlockWriter {
                 client: self.clone(),
-                variable: variable.to_string(),
+                var,
                 iteration,
                 block: None,
+                t0,
             });
         }
-        let block = self.allocate_block(layout.byte_size())?;
+        let block = self.allocate_block(self.cfg.registry().byte_size(var))?;
         Ok(BlockWriter {
             client: self.clone(),
-            variable: variable.to_string(),
+            var,
             iteration,
             block: Some(block),
+            t0,
         })
     }
 
@@ -175,10 +339,16 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
 
     /// Raise a user event; actions declared with `event="name"` fire on the
     /// dedicated cores.
+    ///
+    /// A name no `<action>` references resolves to nothing and is silently
+    /// dropped at this edge — no action could match it on the server side.
     pub fn signal(&self, name: &str, iteration: u64) -> DamarisResult<()> {
+        let Some(event) = self.cfg.registry().event_id(name) else {
+            return Ok(());
+        };
         self.producer
             .send(Event::Signal {
-                name: name.to_string(),
+                event,
                 source: self.id,
                 iteration,
             })
@@ -210,7 +380,7 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
 
     /// Snapshot of this client's timing statistics.
     pub fn stats(&self) -> ClientStats {
-        self.stats.lock().clone()
+        self.stats.snapshot()
     }
 
     /// Iterations dropped by the skip policy so far.
@@ -222,17 +392,17 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
         match self.policy.mode() {
             // Block mode: wait for plugins to free memory.
             SkipMode::Block => self
-                .segment
+                .slab
                 .allocate_blocking(bytes, Some(std::time::Duration::from_secs(60)))
                 .map_err(DamarisError::from),
             // Drop mode: never stall the simulation.
-            SkipMode::DropIteration => self.segment.allocate(bytes).map_err(DamarisError::from),
+            SkipMode::DropIteration => self.slab.allocate(bytes).map_err(DamarisError::from),
         }
     }
 
-    fn publish(&self, variable: &str, iteration: u64, block: Block) -> DamarisResult<()> {
+    fn publish(&self, variable: VarId, iteration: u64, block: Block) -> DamarisResult<()> {
         let event = Event::Write {
-            variable: variable.to_string(),
+            variable,
             iteration,
             source: self.id,
             block: block.freeze(),
@@ -248,10 +418,14 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
 /// An in-place block being filled by the simulation (zero-copy path).
 pub struct BlockWriter<C: EventChannel<Event> = AnyTransport<Event>> {
     client: DamarisClient<C>,
-    variable: String,
+    var: VarId,
     iteration: u64,
     /// `None` when the skip policy dropped the iteration.
     block: Option<Block>,
+    /// Started in [`DamarisClient::alloc`], so the recorded write time
+    /// includes allocation and fill — previously the clock only started
+    /// at commit, under-reporting most of the zero-copy path's cost.
+    t0: Instant,
 }
 
 impl<C: EventChannel<Event>> BlockWriter<C> {
@@ -280,14 +454,63 @@ impl<C: EventChannel<Event>> BlockWriter<C> {
         match self.block {
             None => Ok(WriteStatus::Skipped),
             Some(block) => {
-                let t0 = Instant::now();
                 let bytes = block.len();
-                self.client.publish(&self.variable, self.iteration, block)?;
-                let mut stats = self.client.stats.lock();
-                stats.write_seconds.push(t0.elapsed().as_secs_f64());
-                stats.bytes_written += bytes as u64;
+                self.client.publish(self.var, self.iteration, block)?;
+                self.client
+                    .stats
+                    .record_write(self.t0.elapsed().as_nanos() as u64, bytes as u64);
                 Ok(WriteStatus::Written)
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let rec = StatsRecorder::new();
+        // 90 fast writes (~1 µs) and 10 slow ones (~1 ms).
+        for _ in 0..90 {
+            rec.record_write(1_000, 8);
+        }
+        for _ in 0..10 {
+            rec.record_write(1_000_000, 8);
+        }
+        let s = rec.snapshot();
+        assert_eq!(s.writes, 100);
+        assert_eq!(s.bytes_written, 800);
+        // p50 lands in the microsecond bucket, p99 in the millisecond one.
+        let p50 = s.p50_write_seconds();
+        let p99 = s.p99_write_seconds();
+        assert!((5e-7..4e-6).contains(&p50), "p50 {p50}");
+        assert!((5e-4..4e-3).contains(&p99), "p99 {p99}");
+        assert!(s.max_write_seconds >= 1e-3);
+        assert!((s.mean_write_seconds() - 1.009e-4).abs() < 2e-5);
+        assert_eq!(s.bucket_counts().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn zero_and_extreme_ns_bucket_safely() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        let rec = StatsRecorder::new();
+        rec.record_write(0, 1);
+        rec.record_write(u64::MAX, 1);
+        let s = rec.snapshot();
+        assert_eq!(s.writes, 2);
+        assert!(s.quantile_write_seconds(1.0) > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ClientStats::default();
+        assert_eq!(s.mean_write_seconds(), 0.0);
+        assert_eq!(s.p50_write_seconds(), 0.0);
+        assert_eq!(s.p99_write_seconds(), 0.0);
     }
 }

@@ -4,8 +4,14 @@
 //! processes to send events to the dedicated cores. These events activate
 //! the user-provided plugins. The message queue is also used for sending
 //! events that inform dedicated cores of the state of the simulation."
+//!
+//! Events carry interned [`VarId`]/[`EventId`] handles instead of strings:
+//! posting one is a plain move of `Copy` metadata plus a [`BlockRef`]
+//! handle — no heap allocation, nothing for the dedicated core to
+//! re-compare byte by byte.
 
 use damaris_shm::BlockRef;
+use damaris_xml::{EventId, VarId};
 
 /// A message from a simulation core to the dedicated cores.
 #[derive(Debug, Clone)]
@@ -17,8 +23,9 @@ pub enum Event {
     /// (usually its MPI rank), and the associated time step" (§III.B) —
     /// plus the zero-copy handle to the data itself.
     Write {
-        /// Variable name (must exist in the configuration).
-        variable: String,
+        /// Interned variable id (resolved from the configuration at the
+        /// client edge).
+        variable: VarId,
         /// Simulation time step the block belongs to.
         iteration: u64,
         /// Writer's client id (rank within the node).
@@ -42,8 +49,10 @@ pub enum Event {
     /// A user-defined event (fires [`damaris_xml::schema::Trigger::Event`]
     /// actions).
     Signal {
-        /// Event name as referenced by `<action event="…">`.
-        name: String,
+        /// Interned id of the event name referenced by
+        /// `<action event="…">`. Names no action declares are filtered at
+        /// the client edge (they could fire nothing).
+        event: EventId,
         /// Emitting client id.
         source: usize,
         /// Iteration during which the signal was raised.
@@ -89,7 +98,7 @@ mod tests {
         let mut b = seg.allocate(8).unwrap();
         b.write_pod(&[1.0f64]);
         let ev = Event::Write {
-            variable: "u".into(),
+            variable: VarId::from_raw(0),
             iteration: 3,
             source: 2,
             block: b.freeze(),
@@ -99,7 +108,7 @@ mod tests {
         assert_eq!(Event::ClientFinalize { source: 7 }.source(), 7);
         assert_eq!(
             Event::Signal {
-                name: "snap".into(),
+                event: EventId::from_raw(0),
                 source: 1,
                 iteration: 0
             }

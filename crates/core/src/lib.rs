@@ -104,9 +104,10 @@ pub use plugins::Plugin;
 
 /// One-stop imports for applications embedding Damaris.
 pub mod prelude {
-    pub use crate::client::{DamarisClient, WriteStatus};
+    pub use crate::client::{ClientStats, DamarisClient, WriteStatus};
     pub use crate::error::{DamarisError, DamarisResult};
     pub use crate::node::{DamarisNode, NodeBuilder};
     pub use crate::plugins::{FnPlugin, Plugin};
     pub use damaris_xml::schema::Configuration;
+    pub use damaris_xml::{EventId, VarId};
 }

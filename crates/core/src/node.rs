@@ -13,11 +13,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use damaris_shm::transport::{AnyTransport, EventChannel, TransportKind};
-use damaris_shm::SharedSegment;
-use damaris_xml::schema::{Configuration, QueueKind};
+use damaris_shm::{SharedSegment, SlabCache};
+use damaris_xml::schema::{AllocatorKind, Configuration, QueueKind};
 use parking_lot::Mutex;
 
-use crate::client::{ClientStats, DamarisClient};
+use crate::client::{DamarisClient, StatsRecorder};
 use crate::error::{DamarisError, DamarisResult};
 use crate::event::Event;
 use crate::plugins::{CompressPlugin, H5Writer, Plugin, StatsPlugin};
@@ -31,6 +31,7 @@ pub struct NodeBuilder {
     node_id: usize,
     output_dir: Option<PathBuf>,
     transport: Option<TransportKind>,
+    allocator: Option<AllocatorKind>,
 }
 
 impl NodeBuilder {
@@ -41,6 +42,7 @@ impl NodeBuilder {
             node_id: 0,
             output_dir: None,
             transport: None,
+            allocator: None,
         }
     }
 
@@ -87,6 +89,13 @@ impl NodeBuilder {
         self
     }
 
+    /// Override the shared-memory allocator (normally taken from the XML
+    /// `<buffer allocator="…">` attribute).
+    pub fn allocator(mut self, kind: AllocatorKind) -> Self {
+        self.allocator = Some(kind);
+        self
+    }
+
     /// Construct the node: allocate the segment and queue, spawn the
     /// dedicated-core threads, pre-create the client handles.
     pub fn build(self) -> DamarisResult<DamarisNode> {
@@ -107,7 +116,16 @@ impl NodeBuilder {
         let output_dir = self.output_dir.unwrap_or_else(|| {
             std::env::temp_dir().join(format!("damaris-{}-{}", cfg.name, std::process::id()))
         });
-        let segment = SharedSegment::new(cfg.architecture.buffer_size)?;
+        // Size classes come from the declared variable layouts: the block
+        // sizes every iteration reallocates. First-fit remains available
+        // as the measured baseline (and for odd configurations).
+        let segment = match self.allocator.unwrap_or(cfg.architecture.allocator) {
+            AllocatorKind::SizeClass => SharedSegment::with_classes(
+                cfg.architecture.buffer_size,
+                &cfg.registry().distinct_byte_sizes(),
+            )?,
+            AllocatorKind::FirstFit => SharedSegment::new(cfg.architecture.buffer_size)?,
+        };
         let kind = self.transport.unwrap_or(match cfg.architecture.queue_kind {
             QueueKind::Mutex => TransportKind::Mutex,
             QueueKind::Sharded => TransportKind::Sharded,
@@ -160,10 +178,10 @@ impl NodeBuilder {
             .map(|id| DamarisClient {
                 id,
                 cfg: cfg.clone(),
-                segment: segment.clone(),
+                slab: Arc::new(SlabCache::new(&segment)),
                 producer: transport.producer(id),
                 policy: Arc::new(SkipPolicy::new(cfg.architecture.skip)),
-                stats: Arc::new(Mutex::new(ClientStats::default())),
+                stats: Arc::new(StatsRecorder::new()),
                 writes_this_iteration: Arc::new(AtomicU64::new(0)),
             })
             .collect();
@@ -253,6 +271,21 @@ impl<C: EventChannel<Event>> DamarisNode<C> {
         self.segment.occupancy()
     }
 
+    /// Lifetime counters of the shared segment (allocations, class hits,
+    /// peak occupancy, …).
+    pub fn segment_stats(&self) -> damaris_shm::SegmentStats {
+        self.segment.stats()
+    }
+
+    /// Iterations whose end-of-iteration actions have fired so far — the
+    /// dedicated cores' progress through the pipeline (useful for pacing
+    /// producers against the analysis side without sampling occupancy).
+    pub fn iterations_completed(&self) -> u64 {
+        self.shared
+            .iterations_completed
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Current event-transport pressure (aggregate occupancy) in `[0, 1]`.
     pub fn queue_pressure(&self) -> f64 {
         self.transport.pressure()
@@ -278,6 +311,11 @@ impl<C: EventChannel<Event>> DamarisNode<C> {
         for h in handles.drain(..) {
             h.join()
                 .map_err(|_| DamarisError::InvalidState("dedicated core thread panicked".into()))?;
+        }
+        // All clients finalized and all dedicated cores drained: return the
+        // slab caches' reservations so occupancy reads 0 on an idle node.
+        for client in &self.clients {
+            client.slab.flush();
         }
         Ok(NodeReport {
             iterations_completed: self

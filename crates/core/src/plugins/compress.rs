@@ -132,7 +132,7 @@ mod tests {
         let mut b = seg.allocate(8 * 4096).unwrap();
         b.write_pod(&[300.0f64; 4096]);
         let blocks = vec![StoredBlock {
-            variable: "u".into(),
+            variable: damaris_xml::VarId::from_raw(0),
             source: 0,
             iteration: 1,
             data: b.freeze(),
@@ -161,7 +161,7 @@ mod tests {
         let mut b = seg.allocate(64).unwrap();
         b.write_pod(&[0u8; 64]);
         let blocks = vec![StoredBlock {
-            variable: "u".into(),
+            variable: damaris_xml::VarId::from_raw(0),
             source: 0,
             iteration: 1,
             data: b.freeze(),

@@ -104,18 +104,17 @@ impl Plugin for H5Writer {
         };
 
         for block in ctx.blocks {
-            let layout = ctx
-                .config
-                .layout_of(&block.variable)
-                .ok_or_else(|| format!("no layout for variable '{}'", block.variable))?;
-            let var_cfg = ctx.config.variable(&block.variable);
-            if let Some(v) = var_cfg {
-                if !v.store {
-                    continue;
-                }
+            let layout = ctx.config.layout_of_id(block.variable);
+            let var_cfg = ctx.config.variable_by_id(block.variable);
+            if !var_cfg.store {
+                continue;
             }
             let shape: Vec<u64> = layout.dimensions.iter().map(|&d| d as u64).collect();
-            let ds_path = format!("{}/rank{}", block.variable, block.source);
+            let ds_path = format!(
+                "{}/rank{}",
+                ctx.config.var_name(block.variable),
+                block.source
+            );
             let mut b = w
                 .dataset(&ds_path, elem_dtype(layout.elem_type), &shape)
                 .map_err(|e| format!("dataset {ds_path}: {e}"))?;
@@ -129,11 +128,9 @@ impl Plugin for H5Writer {
             }
             b.write_bytes(block.data.as_slice())
                 .map_err(|e| format!("writing {ds_path}: {e}"))?;
-            if let Some(v) = var_cfg {
-                if let Some(unit) = &v.unit {
-                    w.set_attr(&ds_path, "unit", unit.as_str())
-                        .map_err(|e| e.to_string())?;
-                }
+            if let Some(unit) = &var_cfg.unit {
+                w.set_attr(&ds_path, "unit", unit.as_str())
+                    .map_err(|e| e.to_string())?;
             }
         }
         w.set_attr("", "iteration", ctx.iteration as i64)
@@ -174,14 +171,18 @@ mod tests {
         .unwrap()
     }
 
-    fn blocks(seg: &SharedSegment, cfg_vars: &[(&str, usize)]) -> Vec<StoredBlock> {
+    fn blocks(
+        seg: &SharedSegment,
+        cfg: &Configuration,
+        cfg_vars: &[(&str, usize)],
+    ) -> Vec<StoredBlock> {
         cfg_vars
             .iter()
             .map(|&(var, source)| {
                 let mut b = seg.allocate(48).unwrap();
                 b.write_pod(&[source as f64; 6]);
                 StoredBlock {
-                    variable: var.into(),
+                    variable: cfg.registry().var_id(var).unwrap(),
                     source,
                     iteration: 7,
                     data: b.freeze(),
@@ -212,7 +213,7 @@ mod tests {
     fn writes_one_file_per_iteration_with_all_ranks() {
         let cfg = test_config();
         let seg = SharedSegment::new(1 << 16).unwrap();
-        let blocks = blocks(&seg, &[("u", 0), ("u", 1), ("u", 2)]);
+        let blocks = blocks(&seg, &cfg, &[("u", 0), ("u", 1), ("u", 2)]);
         let dir = tmpdir("multi");
         let plugin = H5Writer::new();
         let act = action(vec![]);
@@ -240,7 +241,7 @@ mod tests {
     fn codec_param_compresses() {
         let cfg = test_config();
         let seg = SharedSegment::new(1 << 16).unwrap();
-        let blocks = blocks(&seg, &[("u", 0)]);
+        let blocks = blocks(&seg, &cfg, &[("u", 0)]);
         let dir = tmpdir("codec");
         let plugin = H5Writer::new();
         let act = action(vec![("codec", "xor-delta8,rle")]);
@@ -264,7 +265,7 @@ mod tests {
     fn store_false_variables_are_skipped() {
         let cfg = test_config();
         let seg = SharedSegment::new(1 << 16).unwrap();
-        let blocks = blocks(&seg, &[("u", 0), ("hidden", 0)]);
+        let blocks = blocks(&seg, &cfg, &[("u", 0), ("hidden", 0)]);
         let dir = tmpdir("hidden");
         let plugin = H5Writer::new();
         let act = action(vec![]);
@@ -310,7 +311,7 @@ mod tests {
     fn bad_chunk_rows_reported() {
         let cfg = test_config();
         let seg = SharedSegment::new(1 << 16).unwrap();
-        let blocks = blocks(&seg, &[("u", 0)]);
+        let blocks = blocks(&seg, &cfg, &[("u", 0)]);
         let dir = tmpdir("badparam");
         let plugin = H5Writer::new();
         let act = action(vec![("chunk_rows", "many")]);

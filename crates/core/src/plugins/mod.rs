@@ -42,7 +42,9 @@ pub struct IterationCtx<'a> {
     /// Simulation name from the configuration.
     pub simulation: &'a str,
     /// Every block published for this iteration (all variables, all
-    /// clients), in arrival order. Zero-copy views into shared memory.
+    /// clients), ordered by `(variable, source)`. Zero-copy views into
+    /// shared memory; resolve names and layouts through
+    /// [`Configuration::var_name`] / [`Configuration::layout_of_id`].
     pub blocks: &'a [StoredBlock],
     /// The full data description.
     pub config: &'a Configuration,

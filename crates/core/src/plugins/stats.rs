@@ -95,9 +95,7 @@ impl Plugin for StatsPlugin {
     fn on_iteration(&self, ctx: &IterationCtx<'_>) -> Result<(), String> {
         let mut per_var: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for block in ctx.blocks {
-            let Some(layout) = ctx.config.layout_of(&block.variable) else {
-                continue;
-            };
+            let layout = ctx.config.layout_of_id(block.variable);
             let values: Vec<f64> = match layout.elem_type {
                 ElemType::F64 => block.data.as_pod::<f64>().to_vec(),
                 ElemType::F32 => block
@@ -109,7 +107,7 @@ impl Plugin for StatsPlugin {
                 _ => continue,
             };
             per_var
-                .entry(block.variable.clone())
+                .entry(ctx.config.var_name(block.variable).to_string())
                 .or_default()
                 .extend(values);
         }
@@ -165,7 +163,7 @@ mod tests {
             let vals: Vec<f64> = (0..4).map(|i| (src * 4 + i) as f64).collect();
             b.write_pod(&vals);
             blocks.push(StoredBlock {
-                variable: "a".into(),
+                variable: cfg.registry().var_id("a").unwrap(),
                 source: src,
                 iteration: 2,
                 data: b.freeze(),
@@ -175,7 +173,7 @@ mod tests {
         let mut b = seg.allocate(16).unwrap();
         b.write_pod(&[1.0f32, 1.0, 1.0, 1.0]);
         blocks.push(StoredBlock {
-            variable: "b".into(),
+            variable: cfg.registry().var_id("b").unwrap(),
             source: 0,
             iteration: 2,
             data: b.freeze(),
@@ -184,7 +182,7 @@ mod tests {
         let mut b = seg.allocate(16).unwrap();
         b.write_pod(&[5i32, 5, 5, 5]);
         blocks.push(StoredBlock {
-            variable: "c".into(),
+            variable: cfg.registry().var_id("c").unwrap(),
             source: 0,
             iteration: 2,
             data: b.freeze(),

@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use damaris_shm::transport::EventConsumer;
 use damaris_xml::schema::{Action, Configuration, Trigger};
+use damaris_xml::EventId;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::event::Event;
@@ -46,6 +47,9 @@ pub struct ServerShared {
     pub(crate) output_dir: PathBuf,
     pub(crate) store: Mutex<VariableStore>,
     progress: Mutex<HashMap<u64, IterProgress>>,
+    /// Actions per interned user event, precomputed so a signal dispatch
+    /// is an index instead of a scan over every declared action.
+    signal_actions: Vec<Vec<Action>>,
     pub(crate) plugins: RwLock<Vec<Arc<dyn Plugin>>>,
     /// Clients that called finalize, with a condvar for shutdown waits.
     finalized: Mutex<usize>,
@@ -70,6 +74,15 @@ impl ServerShared {
         n_clients: usize,
         output_dir: PathBuf,
     ) -> Self {
+        let registry = cfg.registry();
+        let mut signal_actions = vec![Vec::new(); registry.event_count()];
+        for action in &cfg.actions {
+            if let Trigger::Event(name) = &action.trigger {
+                if let Some(id) = registry.event_id(name) {
+                    signal_actions[id.index()].push(action.clone());
+                }
+            }
+        }
         ServerShared {
             cfg,
             node_id,
@@ -77,6 +90,7 @@ impl ServerShared {
             output_dir,
             store: Mutex::new(VariableStore::new()),
             progress: Mutex::new(HashMap::new()),
+            signal_actions,
             plugins: RwLock::new(Vec::new()),
             finalized: Mutex::new(0),
             all_finalized: Condvar::new(),
@@ -170,18 +184,13 @@ impl ServerShared {
         self.iterations_completed.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn fire_signal(&self, name: &str, source: usize, iteration: u64) {
+    fn fire_signal(&self, event: EventId, source: usize, iteration: u64) {
+        let name = self.cfg.registry().event_name(event);
         let plugins = self.plugins.read();
         let store = self.store.lock();
-        let blocks: Vec<StoredBlock> = store.iteration_blocks(iteration).to_vec();
+        let blocks: Vec<StoredBlock> = store.iteration_blocks(iteration).cloned().collect();
         drop(store);
-        for action in &self.cfg.actions {
-            let Trigger::Event(event_name) = &action.trigger else {
-                continue;
-            };
-            if event_name != name {
-                continue;
-            }
+        for action in &self.signal_actions[event.index()] {
             for plugin in plugins.iter().filter(|p| p.name() == action.plugin) {
                 let ctx = SignalCtx {
                     name,
@@ -272,11 +281,11 @@ pub fn server_loop<C: EventConsumer<Event>>(shared: Arc<ServerShared>, mut event
                 shared.maybe_complete(iteration);
             }
             Event::Signal {
-                name,
+                event,
                 source,
                 iteration,
             } => {
-                shared.fire_signal(&name, source, iteration);
+                shared.fire_signal(event, source, iteration);
             }
             Event::ClientFinalize { .. } => {
                 let mut n = shared.finalized.lock();
@@ -319,7 +328,7 @@ mod tests {
         let mut b = seg.allocate(16).unwrap();
         b.write_pod(&[source as f64, it as f64]);
         Event::Write {
-            variable: "u".into(),
+            variable: damaris_xml::VarId::from_raw(0), // "u" in `config()`
             iteration: it,
             source,
             block: b.freeze(),
@@ -459,8 +468,11 @@ mod tests {
         let cfg = config(
             r#"<actions>
                  <action name="snap" plugin="viz" event="user-snapshot"/>
+                 <action name="other" plugin="someone-else" event="unrelated"/>
                </actions>"#,
         );
+        let snapshot = cfg.registry().event_id("user-snapshot").unwrap();
+        let unrelated = cfg.registry().event_id("unrelated").unwrap();
         let shared = Arc::new(ServerShared::new(cfg, 0, 1, std::env::temp_dir()));
         let fired = Arc::new(AtomicUsize::new(0));
         let f = fired.clone();
@@ -480,12 +492,12 @@ mod tests {
             &shared,
             vec![
                 Event::Signal {
-                    name: "user-snapshot".into(),
+                    event: snapshot,
                     source: 0,
                     iteration: 0,
                 },
                 Event::Signal {
-                    name: "unrelated".into(),
+                    event: unrelated,
                     source: 0,
                     iteration: 0,
                 },

@@ -91,9 +91,7 @@ impl Plugin for InSituPlugin {
             seconds: 0.0,
         };
         for block in ctx.blocks {
-            let Some(layout) = ctx.config.layout_of(&block.variable) else {
-                continue;
-            };
+            let layout = ctx.config.layout_of_id(block.variable);
             if layout.dimensions.len() < min_dims {
                 continue;
             }
@@ -116,7 +114,11 @@ impl Plugin for InSituPlugin {
             let grid = Grid3::new(&values, nx, ny, nz);
             let (min, max) = grid.min_max();
             let iso = min + (max - min) * iso_fraction;
-            let tag = format!("{}/rank{}", block.variable, block.source);
+            let tag = format!(
+                "{}/rank{}",
+                ctx.config.var_name(block.variable),
+                block.source
+            );
             record
                 .isosurfaces
                 .push((tag.clone(), isosurface(&grid, iso)));
@@ -162,7 +164,7 @@ mod tests {
         }
     }
 
-    fn sphere_block(seg: &SharedSegment, var: &str) -> StoredBlock {
+    fn sphere_block(seg: &SharedSegment, cfg: &Configuration, var: &str) -> StoredBlock {
         let mut vals = Vec::with_capacity(512);
         for k in 0..8 {
             for j in 0..8 {
@@ -178,7 +180,7 @@ mod tests {
         let mut b = seg.allocate(512 * 8).unwrap();
         b.write_pod(&vals);
         StoredBlock {
-            variable: var.into(),
+            variable: cfg.registry().var_id(var).unwrap(),
             source: 0,
             iteration: 1,
             data: b.freeze(),
@@ -189,11 +191,11 @@ mod tests {
     fn analyzes_3d_blocks_only() {
         let cfg = config();
         let seg = SharedSegment::new(1 << 16).unwrap();
-        let mut blocks = vec![sphere_block(&seg, "field")];
+        let mut blocks = vec![sphere_block(&seg, &cfg, "field")];
         let mut b = seg.allocate(16 * 8).unwrap();
         b.write_pod(&[1.0f64; 16]);
         blocks.push(StoredBlock {
-            variable: "diag".into(),
+            variable: cfg.registry().var_id("diag").unwrap(),
             source: 0,
             iteration: 1,
             data: b.freeze(),
@@ -224,7 +226,7 @@ mod tests {
     fn params_validated() {
         let cfg = config();
         let seg = SharedSegment::new(1 << 16).unwrap();
-        let blocks = vec![sphere_block(&seg, "field")];
+        let blocks = vec![sphere_block(&seg, &cfg, "field")];
         let plugin = InSituPlugin::new();
         let act = action(vec![("bins", "lots")]);
         let ctx = IterationCtx {

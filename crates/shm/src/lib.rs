@@ -11,13 +11,18 @@
 //!
 //! Two pieces implement that design:
 //!
-//! * [`SharedSegment`] — a fixed-capacity memory region with a first-fit,
-//!   coalescing free-list allocator. Compute cores [`SharedSegment::allocate`]
-//!   a [`Block`], write their variable into it (one memcpy — *the only copy
-//!   in the whole pipeline*), then [`Block::freeze`] it into an immutable,
+//! * [`SharedSegment`] — a fixed-capacity memory region with a two-tier
+//!   allocator: lock-free size-class free lists (seeded from the declared
+//!   variable layouts, see [`SharedSegment::with_classes`] and the
+//!   per-client [`SlabCache`]) over a first-fit, coalescing fallback
+//!   list. Compute cores [`SharedSegment::allocate`] a [`Block`], write
+//!   their variable into it (one memcpy — *the only copy in the whole
+//!   pipeline*), then [`Block::freeze`] it into an immutable,
 //!   reference-counted [`BlockRef`] that the dedicated core (and any number
 //!   of analysis plugins) can read in place. Dropping the last `BlockRef`
-//!   returns the space to the allocator.
+//!   returns the space to the allocator. Freeze, clone and drop keep the
+//!   reference count in a per-slot table inside the segment, so the whole
+//!   steady-state write path performs zero heap allocations.
 //! * [`MessageQueue`] — the bounded shared event queue through which
 //!   simulation cores notify dedicated cores ("a shared message queue is
 //!   used for the simulation processes to send events to the dedicated
@@ -50,12 +55,14 @@
 //! assert_eq!(seg.used_bytes(), 0);
 //! ```
 
+pub mod arena;
 pub mod error;
 pub mod queue;
 pub mod segment;
 pub mod spsc;
 pub mod transport;
 
+pub use arena::SlabCache;
 pub use error::{RecvError, SendError, ShmError, TryRecvError, TrySendError};
 pub use queue::MessageQueue;
 pub use segment::{Block, BlockRef, Pod, SegmentStats, SharedSegment};

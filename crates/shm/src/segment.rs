@@ -1,5 +1,5 @@
-//! Fixed-capacity shared segment with a first-fit, coalescing free-list
-//! allocator.
+//! Fixed-capacity shared segment with a two-tier allocator: lock-free
+//! size-class free lists over a first-fit, coalescing fallback list.
 //!
 //! The allocator is the mechanism behind two numbers in the paper:
 //!
@@ -11,28 +11,44 @@
 //!   iteration-skip policy engages (§V.C.1) — driven by
 //!   [`SharedSegment::occupancy`].
 //!
+//! ## Allocator tiers
+//!
+//! HPC output is highly regular: every variable has a fixed layout, so
+//! every iteration reallocates the same block sizes. A segment built with
+//! [`SharedSegment::with_classes`] owns one lock-free queue of free
+//! offsets per declared size (see [`crate::arena`]); steady-state
+//! allocate and free are each a single CAS, and a per-client
+//! [`crate::SlabCache`] removes even that shared CAS from the repeat
+//! path. Odd sizes — and class misses — fall back to the mutex-guarded
+//! first-fit free list, which the class queues drain back into under
+//! pressure so adjacent holes can coalesce before the allocator reports
+//! out-of-memory.
+//!
 //! ## Safety model
 //!
 //! The backing store is a heap allocation accessed through raw pointers.
 //! Soundness rests on two invariants, both enforced by construction:
 //!
-//! 1. **Disjointness** — the free-list allocator (guarded by a mutex) never
-//!    hands out overlapping ranges, so each live [`Block`] has exclusive
-//!    access to its byte range.
+//! 1. **Disjointness** — the allocator never hands out overlapping ranges
+//!    (each range is owned by exactly one tier at any time: the free list,
+//!    one class queue slot, one slab-cache slot, or one live [`Block`]/
+//!    frozen ref), so each live [`Block`] has exclusive access to its
+//!    byte range.
 //! 2. **Write-xor-read** — a [`Block`] (unique, `&mut`-only access) must be
 //!    [`Block::freeze`]-d into an immutable [`BlockRef`] before it can be
 //!    shared; `BlockRef` only ever yields `&[u8]`. The happens-before edge
 //!    between the writing thread and readers is provided by whatever channel
-//!    transfers the `BlockRef` (the [`crate::MessageQueue`] mutex in the
-//!    middleware), exactly as with any `Send` value.
+//!    transfers the `BlockRef` (the event transport in the middleware),
+//!    exactly as with any `Send` value.
 
 use std::mem::ManuallyDrop;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::arena::{CacheSlots, SizeClasses};
 use crate::error::ShmError;
 
 /// Allocation granularity and guaranteed block alignment, in bytes.
@@ -40,6 +56,13 @@ use crate::error::ShmError;
 /// One cache line: avoids false sharing between adjacent blocks written by
 /// different cores, and is large enough for any primitive element type.
 pub const BLOCK_ALIGN: usize = 64;
+
+/// How long a blocked allocation sleeps between free-list re-checks. A
+/// release into a lock-free class queue signals the condvar without
+/// holding the lock, so a waiter could in principle miss one notification;
+/// the poll bound turns that race into bounded extra latency instead of a
+/// hang.
+const BLOCKED_ALLOC_POLL: Duration = Duration::from_millis(20);
 
 /// Marker for plain-old-data element types that can be memcpy'd in and out
 /// of a segment.
@@ -60,7 +83,8 @@ impl_pod!(i8, i16, i32, i64, u8, u16, u32, u64, f32, f64);
 pub struct SegmentStats {
     /// Total capacity in bytes.
     pub capacity: usize,
-    /// Bytes currently allocated (including alignment padding).
+    /// Bytes currently allocated (including alignment padding and offsets
+    /// reserved in slab caches).
     pub used: usize,
     /// High-watermark of `used` over the segment's lifetime.
     pub peak: usize,
@@ -68,11 +92,14 @@ pub struct SegmentStats {
     pub allocations: u64,
     /// Number of allocation failures (out of memory at request time).
     pub failures: u64,
-    /// Number of blocks returned to the free list.
+    /// Number of blocks returned to the allocator.
     pub frees: u64,
+    /// Allocations served without touching the free-list mutex (size-class
+    /// queue or slab-cache hits).
+    pub class_hits: u64,
 }
 
-struct FreeList {
+pub(crate) struct FreeList {
     /// Free ranges `(offset, len)`, sorted by offset, non-adjacent
     /// (adjacent ranges are coalesced on insert).
     holes: Vec<(usize, usize)>,
@@ -155,28 +182,98 @@ struct SegmentInner {
     storage: Storage,
     capacity: usize,
     state: Mutex<FreeList>,
+    classes: SizeClasses,
+    /// Registered slab caches, raided (their parked reservations pulled
+    /// back into the free list) when a first-fit attempt fails even after
+    /// draining the class queues. Lock ordering: always `state` before
+    /// `caches`; no path locks them in the other order.
+    caches: Mutex<Vec<std::sync::Weak<CacheSlots>>>,
+    /// One reference count per `BLOCK_ALIGN` slot; the slot at a frozen
+    /// block's starting offset counts its live [`BlockRef`] clones, so
+    /// freezing and cloning never touch the heap.
+    refcounts: Box<[AtomicU32]>,
     space_freed: Condvar,
+    /// Blocked allocations currently waiting; releases fall back to the
+    /// mutex + condvar path while any are present.
+    waiters: AtomicUsize,
     used: AtomicUsize,
     peak: AtomicUsize,
     allocations: AtomicU64,
     failures: AtomicU64,
     frees: AtomicU64,
+    class_hits: AtomicU64,
 }
 
 // SAFETY: all mutation of `storage` goes through `Block`s whose ranges the
-// mutex-guarded free list guarantees to be disjoint; `BlockRef` reads are
-// only possible after the unique `Block` has been consumed by `freeze`.
+// allocator guarantees to be disjoint; `BlockRef` reads are only possible
+// after the unique `Block` has been consumed by `freeze`.
 unsafe impl Send for SegmentInner {}
 unsafe impl Sync for SegmentInner {}
 
 impl SegmentInner {
+    /// Return a range to the allocator: class queue when possible (no
+    /// lock), else the coalescing free list.
     fn release(&self, offset: usize, len: usize) {
-        let mut fl = self.state.lock();
-        fl.free(offset, len);
         self.used.fetch_sub(len, Ordering::Relaxed);
         self.frees.fetch_add(1, Ordering::Relaxed);
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            if let Some(ci) = self.classes.index_of(len) {
+                if self.classes.push(ci, offset) {
+                    return;
+                }
+            }
+        }
+        let mut fl = self.state.lock();
+        fl.free(offset, len);
         drop(fl);
         self.space_freed.notify_all();
+    }
+
+    /// First-fit under the lock; on a miss, drain the class queues back
+    /// into the list (coalescing adjacent holes) and retry, then raid the
+    /// registered slab caches' parked reservations and retry once more.
+    /// Only after all three tiers miss is the request genuinely
+    /// unsatisfiable.
+    fn alloc_locked(&self, fl: &mut FreeList, alloc_len: usize) -> Option<usize> {
+        if let Some(off) = fl.allocate(alloc_len) {
+            return Some(off);
+        }
+        if self.classes.len() == 0 {
+            return None;
+        }
+        let mut progressed = false;
+        for (off, len) in self.classes.drain() {
+            fl.free(off, len);
+            progressed = true;
+        }
+        if progressed {
+            if let Some(off) = fl.allocate(alloc_len) {
+                return Some(off);
+            }
+        }
+        // Last resort: reclaim reservations parked in (possibly idle)
+        // clients' slab caches — they are counted as used, so raiding
+        // must give those bytes back.
+        let mut raided = Vec::new();
+        {
+            let mut caches = self.caches.lock();
+            caches.retain(|w| match w.upgrade() {
+                Some(slots) => {
+                    slots.drain(&mut raided);
+                    true
+                }
+                None => false,
+            });
+        }
+        if raided.is_empty() {
+            return None;
+        }
+        for &(ci, off) in &raided {
+            let size = self.classes.size(ci);
+            self.used.fetch_sub(size, Ordering::Relaxed);
+            fl.free(off, size);
+        }
+        fl.allocate(alloc_len)
     }
 }
 
@@ -195,60 +292,124 @@ impl std::fmt::Debug for SharedSegment {
         f.debug_struct("SharedSegment")
             .field("capacity", &self.capacity())
             .field("used", &self.used_bytes())
+            .field("classes", &self.inner.classes.len())
             .finish()
     }
 }
 
+/// The alloc-rounded length `len` bytes occupy, or `None` when the
+/// request is zero or overflows the rounding.
+pub(crate) fn class_len(len: usize) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    round_up(len, BLOCK_ALIGN)
+}
+
 impl SharedSegment {
     /// Create a segment with the given capacity in bytes (rounded up to
-    /// [`BLOCK_ALIGN`]).
+    /// [`BLOCK_ALIGN`]) and no size classes: every allocation uses the
+    /// first-fit list.
     pub fn new(capacity: usize) -> Result<Self, ShmError> {
+        Self::build(capacity, &[])
+    }
+
+    /// Create a segment with lock-free size classes for the given block
+    /// sizes (each rounded up to [`BLOCK_ALIGN`]; zero, oversized and
+    /// duplicate sizes are ignored).
+    ///
+    /// The middleware seeds the classes from the configuration's variable
+    /// layouts, so every steady-state `write` allocation is an exact class
+    /// hit.
+    pub fn with_classes(capacity: usize, class_sizes: &[usize]) -> Result<Self, ShmError> {
+        Self::build(capacity, class_sizes)
+    }
+
+    fn build(capacity: usize, class_sizes: &[usize]) -> Result<Self, ShmError> {
         if capacity == 0 {
             return Err(ShmError::ZeroSize);
         }
-        let capacity = round_up(capacity, BLOCK_ALIGN);
+        let capacity = round_up(capacity, BLOCK_ALIGN).ok_or(ShmError::RequestTooLarge {
+            requested: capacity,
+            capacity: usize::MAX - (BLOCK_ALIGN - 1),
+        })?;
+        let rounded: Vec<usize> = class_sizes
+            .iter()
+            .filter_map(|&s| {
+                if s == 0 {
+                    None
+                } else {
+                    round_up(s, BLOCK_ALIGN)
+                }
+            })
+            .collect();
+        let classes = if rounded.is_empty() {
+            SizeClasses::none()
+        } else {
+            SizeClasses::new(capacity, &rounded)
+        };
+        let refcounts = (0..capacity / BLOCK_ALIGN)
+            .map(|_| AtomicU32::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Ok(SharedSegment {
             inner: Arc::new(SegmentInner {
                 storage: Storage::new(capacity),
                 capacity,
                 state: Mutex::new(FreeList::new(capacity)),
+                classes,
+                caches: Mutex::new(Vec::new()),
+                refcounts,
                 space_freed: Condvar::new(),
+                waiters: AtomicUsize::new(0),
                 used: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
                 allocations: AtomicU64::new(0),
                 failures: AtomicU64::new(0),
                 frees: AtomicU64::new(0),
+                class_hits: AtomicU64::new(0),
             }),
         })
     }
 
-    /// Allocate `len` bytes without blocking.
-    ///
-    /// Fails with [`ShmError::OutOfMemory`] when no contiguous hole fits the
-    /// (align-rounded) request; this is the signal the iteration-skip policy
-    /// listens for.
-    pub fn allocate(&self, len: usize) -> Result<Block, ShmError> {
+    fn check_len(&self, len: usize) -> Result<usize, ShmError> {
         if len == 0 {
             return Err(ShmError::ZeroSize);
         }
-        let alloc_len = round_up(len, BLOCK_ALIGN);
+        let alloc_len = round_up(len, BLOCK_ALIGN).ok_or(ShmError::RequestTooLarge {
+            requested: len,
+            capacity: self.inner.capacity,
+        })?;
         if alloc_len > self.inner.capacity {
             return Err(ShmError::RequestTooLarge {
                 requested: len,
                 capacity: self.inner.capacity,
             });
         }
+        Ok(alloc_len)
+    }
+
+    /// Allocate `len` bytes without blocking.
+    ///
+    /// Fails with [`ShmError::OutOfMemory`] when no free range fits the
+    /// (align-rounded) request even after coalescing; this is the signal
+    /// the iteration-skip policy listens for.
+    pub fn allocate(&self, len: usize) -> Result<Block, ShmError> {
+        let alloc_len = self.check_len(len)?;
+        // Lock-free fast path: exact size-class hit.
+        if let Some(ci) = self.inner.classes.index_of(alloc_len) {
+            if let Some(offset) = self.inner.classes.pop(ci) {
+                self.note_alloc(alloc_len);
+                self.inner.class_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(self.block(offset, len, alloc_len));
+            }
+        }
         let mut fl = self.inner.state.lock();
-        match fl.allocate(alloc_len) {
+        match self.inner.alloc_locked(&mut fl, alloc_len) {
             Some(offset) => {
                 drop(fl);
                 self.note_alloc(alloc_len);
-                Ok(Block {
-                    seg: self.inner.clone(),
-                    offset,
-                    len,
-                    alloc_len,
-                })
+                Ok(self.block(offset, len, alloc_len))
             }
             None => {
                 let free = fl.total_free();
@@ -269,37 +430,64 @@ impl SharedSegment {
         len: usize,
         timeout: Option<Duration>,
     ) -> Result<Block, ShmError> {
-        if len == 0 {
-            return Err(ShmError::ZeroSize);
+        let alloc_len = self.check_len(len)?;
+        // Lock-free fast path first, exactly as in `allocate` — blocking
+        // mode must not serialize class hits on the free-list mutex.
+        if let Some(ci) = self.inner.classes.index_of(alloc_len) {
+            if let Some(offset) = self.inner.classes.pop(ci) {
+                self.note_alloc(alloc_len);
+                self.inner.class_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(self.block(offset, len, alloc_len));
+            }
         }
-        let alloc_len = round_up(len, BLOCK_ALIGN);
-        if alloc_len > self.inner.capacity {
-            return Err(ShmError::RequestTooLarge {
-                requested: len,
-                capacity: self.inner.capacity,
-            });
-        }
-        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        // A timeout so large it overflows the clock means: wait forever.
+        let deadline = timeout.and_then(|t| std::time::Instant::now().checked_add(t));
         let mut fl = self.inner.state.lock();
         loop {
-            if let Some(offset) = fl.allocate(alloc_len) {
+            if let Some(ci) = self.inner.classes.index_of(alloc_len) {
+                if let Some(offset) = self.inner.classes.pop(ci) {
+                    drop(fl);
+                    self.note_alloc(alloc_len);
+                    self.inner.class_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(self.block(offset, len, alloc_len));
+                }
+            }
+            if let Some(offset) = self.inner.alloc_locked(&mut fl, alloc_len) {
                 drop(fl);
                 self.note_alloc(alloc_len);
-                return Ok(Block {
-                    seg: self.inner.clone(),
-                    offset,
-                    len,
-                    alloc_len,
-                });
+                return Ok(self.block(offset, len, alloc_len));
             }
-            match deadline {
-                None => self.inner.space_freed.wait(&mut fl),
-                Some(d) => {
-                    if self.inner.space_freed.wait_until(&mut fl, d).timed_out() {
+            // Sleep in bounded slices: a class-queue release may signal
+            // without the lock held, so never sleep unboundedly on the
+            // condvar alone.
+            let wait_until = std::time::Instant::now() + BLOCKED_ALLOC_POLL;
+            let wake_at = match deadline {
+                Some(d) if d < wait_until => d,
+                _ => wait_until,
+            };
+            self.inner.waiters.fetch_add(1, Ordering::SeqCst);
+            let timed_out = self
+                .inner
+                .space_freed
+                .wait_until(&mut fl, wake_at)
+                .timed_out();
+            self.inner.waiters.fetch_sub(1, Ordering::SeqCst);
+            if timed_out {
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
                         return Err(ShmError::Timeout);
                     }
                 }
             }
+        }
+    }
+
+    fn block(&self, offset: usize, len: usize, alloc_len: usize) -> Block {
+        Block {
+            seg: self.inner.clone(),
+            offset,
+            len,
+            alloc_len,
         }
     }
 
@@ -309,24 +497,87 @@ impl SharedSegment {
         self.inner.allocations.fetch_add(1, Ordering::Relaxed);
     }
 
+    // ----- slab-cache hooks (crate-internal) -------------------------------
+
+    /// Register a slab cache's slot array so the pressure path can raid
+    /// its reservations.
+    pub(crate) fn register_cache(&self, slots: std::sync::Weak<CacheSlots>) {
+        self.inner.caches.lock().push(slots);
+    }
+
+    /// Number of configured size classes.
+    pub(crate) fn class_count(&self) -> usize {
+        self.inner.classes.len()
+    }
+
+    /// Index of the class serving exactly `alloc_len` bytes.
+    pub(crate) fn class_index(&self, alloc_len: usize) -> Option<usize> {
+        self.inner.classes.index_of(alloc_len)
+    }
+
+    /// Pop an offset from class `ci` and account its bytes as used
+    /// (reserved for a cache; not yet an allocation).
+    pub(crate) fn class_pop_reserved(&self, ci: usize) -> Option<usize> {
+        let offset = self.inner.classes.pop(ci)?;
+        let size = self.inner.classes.size(ci);
+        let used = self.inner.used.fetch_add(size, Ordering::Relaxed) + size;
+        self.inner.peak.fetch_max(used, Ordering::Relaxed);
+        Some(offset)
+    }
+
+    /// Turn a reserved offset into a live [`Block`] (bytes already counted
+    /// as used by [`SharedSegment::class_pop_reserved`]).
+    pub(crate) fn adopt_reserved(&self, ci: usize, offset: usize, len: usize) -> Block {
+        let alloc_len = self.inner.classes.size(ci);
+        debug_assert!(len <= alloc_len);
+        self.inner.allocations.fetch_add(1, Ordering::Relaxed);
+        self.inner.class_hits.fetch_add(1, Ordering::Relaxed);
+        self.block(offset, len, alloc_len)
+    }
+
+    /// Give a reserved offset back to the shared pool (cache drop/overflow).
+    pub(crate) fn return_reserved(&self, ci: usize, offset: usize) {
+        let size = self.inner.classes.size(ci);
+        self.inner.used.fetch_sub(size, Ordering::Relaxed);
+        if self.inner.waiters.load(Ordering::SeqCst) == 0 && self.inner.classes.push(ci, offset) {
+            return;
+        }
+        let mut fl = self.inner.state.lock();
+        fl.free(offset, size);
+        drop(fl);
+        self.inner.space_freed.notify_all();
+    }
+
+    // -----------------------------------------------------------------------
+
     /// Total capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.inner.capacity
     }
 
-    /// Bytes currently allocated (alignment-rounded).
+    /// Bytes currently allocated (alignment-rounded, including slab-cache
+    /// reservations).
     pub fn used_bytes(&self) -> usize {
         self.inner.used.load(Ordering::Relaxed)
     }
 
-    /// Fraction of the segment currently allocated, in `[0, 1]`.
+    /// Fraction of the segment currently allocated, in `[0, 1]` — one
+    /// atomic load, O(1) regardless of allocator tier.
     pub fn occupancy(&self) -> f64 {
         self.used_bytes() as f64 / self.inner.capacity as f64
     }
 
     /// Largest single allocation currently possible (contiguity-aware).
+    ///
+    /// Drains the size-class queues into the coalescing list first, so the
+    /// answer reflects every free byte; intended for diagnostics and
+    /// tests, not hot paths.
     pub fn largest_free_block(&self) -> usize {
-        self.inner.state.lock().largest_hole()
+        let mut fl = self.inner.state.lock();
+        for (off, len) in self.inner.classes.drain() {
+            fl.free(off, len);
+        }
+        fl.largest_hole()
     }
 
     /// Snapshot of lifetime counters.
@@ -338,6 +589,7 @@ impl SharedSegment {
             allocations: self.inner.allocations.load(Ordering::Relaxed),
             failures: self.inner.failures.load(Ordering::Relaxed),
             frees: self.inner.frees.load(Ordering::Relaxed),
+            class_hits: self.inner.class_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -406,15 +658,21 @@ impl Block {
     }
 
     /// Consume the writable block, producing a shareable read-only handle.
+    ///
+    /// Allocation-free: the reference count lives in the segment's slot
+    /// table, not in a fresh heap cell, so the steady-state write path
+    /// never touches the global allocator.
     pub fn freeze(self) -> BlockRef {
         let this = ManuallyDrop::new(self);
+        this.seg.refcounts[this.offset / BLOCK_ALIGN].store(1, Ordering::Release);
         BlockRef {
-            inner: Arc::new(Frozen {
-                seg: this.seg.clone(),
-                offset: this.offset,
-                len: this.len,
-                alloc_len: this.alloc_len,
-            }),
+            // SAFETY: `this` is ManuallyDrop, so the Arc is moved out
+            // exactly once and the Block's Drop (which would release the
+            // range) never runs.
+            seg: unsafe { std::ptr::read(&this.seg) },
+            offset: this.offset,
+            len: this.len,
+            alloc_len: this.alloc_len,
         }
     }
 }
@@ -434,27 +692,42 @@ impl std::fmt::Debug for Block {
     }
 }
 
-struct Frozen {
+/// An immutable, reference-counted view of a frozen block.
+///
+/// Clones share the same bytes; the space returns to the allocator when the
+/// last clone is dropped. This is what flows through the event transport to
+/// the dedicated core and on to plugins — no copies anywhere. The count
+/// lives in the segment's per-slot table, so cloning and dropping are plain
+/// atomic ops with no heap traffic.
+pub struct BlockRef {
     seg: Arc<SegmentInner>,
     offset: usize,
     len: usize,
     alloc_len: usize,
 }
 
-impl Drop for Frozen {
-    fn drop(&mut self) {
-        self.seg.release(self.offset, self.alloc_len);
+impl Clone for BlockRef {
+    fn clone(&self) -> Self {
+        let old = self.seg.refcounts[self.offset / BLOCK_ALIGN].fetch_add(1, Ordering::Relaxed);
+        debug_assert!(old > 0, "cloning a dead BlockRef");
+        BlockRef {
+            seg: self.seg.clone(),
+            offset: self.offset,
+            len: self.len,
+            alloc_len: self.alloc_len,
+        }
     }
 }
 
-/// An immutable, reference-counted view of a frozen block.
-///
-/// Clones share the same bytes; the space returns to the allocator when the
-/// last clone is dropped. This is what flows through the message queue to
-/// the dedicated core and on to plugins — no copies anywhere.
-#[derive(Clone)]
-pub struct BlockRef {
-    inner: Arc<Frozen>,
+impl Drop for BlockRef {
+    fn drop(&mut self) {
+        if self.seg.refcounts[self.offset / BLOCK_ALIGN].fetch_sub(1, Ordering::Release) == 1 {
+            // Pair with the Release decrements of other clones before the
+            // range is handed back for reuse.
+            fence(Ordering::Acquire);
+            self.seg.release(self.offset, self.alloc_len);
+        }
+    }
 }
 
 impl BlockRef {
@@ -462,12 +735,7 @@ impl BlockRef {
     pub fn as_slice(&self) -> &[u8] {
         // SAFETY: frozen blocks are never written again; the range stays
         // allocated while any BlockRef clone is alive.
-        unsafe {
-            std::slice::from_raw_parts(
-                self.inner.seg.storage.base().add(self.inner.offset),
-                self.inner.len,
-            )
-        }
+        unsafe { std::slice::from_raw_parts(self.seg.storage.base().add(self.offset), self.len) }
     }
 
     /// Reinterpret the bytes as a typed slice.
@@ -477,50 +745,53 @@ impl BlockRef {
     pub fn as_pod<T: Pod>(&self) -> &[T] {
         let size = std::mem::size_of::<T>();
         assert_eq!(
-            self.inner.len % size,
+            self.len % size,
             0,
             "block of {} bytes is not a whole number of {}-byte elements",
-            self.inner.len,
+            self.len,
             size
         );
-        debug_assert_eq!(self.inner.offset % BLOCK_ALIGN, 0);
+        debug_assert_eq!(self.offset % BLOCK_ALIGN, 0);
         // SAFETY: base is 16-byte aligned, offsets are BLOCK_ALIGN-multiples,
         // so the pointer is aligned for any Pod; Pod types accept any bits.
         unsafe {
             std::slice::from_raw_parts(
-                self.inner.seg.storage.base().add(self.inner.offset) as *const T,
-                self.inner.len / size,
+                self.seg.storage.base().add(self.offset) as *const T,
+                self.len / size,
             )
         }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.inner.len
+        self.len
     }
 
     /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.len == 0
+        self.len == 0
     }
 
     /// Byte offset inside the segment.
     pub fn offset(&self) -> usize {
-        self.inner.offset
+        self.offset
     }
 }
 
 impl std::fmt::Debug for BlockRef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BlockRef")
-            .field("offset", &self.inner.offset)
-            .field("len", &self.inner.len)
+            .field("offset", &self.offset)
+            .field("len", &self.len)
             .finish()
     }
 }
 
-fn round_up(n: usize, align: usize) -> usize {
-    n.div_ceil(align) * align
+/// Round `n` up to a multiple of `align`; `None` on overflow (satellite
+/// fix: a near-`usize::MAX` request must surface as `RequestTooLarge`,
+/// not overflow the arithmetic).
+fn round_up(n: usize, align: usize) -> Option<usize> {
+    n.checked_add(align - 1).map(|v| v / align * align)
 }
 
 #[cfg(test)]
@@ -581,6 +852,25 @@ mod tests {
     }
 
     #[test]
+    fn near_max_request_is_rejected_not_overflowed() {
+        // Satellite fix: `round_up(usize::MAX - k)` used to overflow in
+        // debug builds; it must report RequestTooLarge instead.
+        let seg = SharedSegment::new(1024).unwrap();
+        for req in [usize::MAX, usize::MAX - 1, usize::MAX - BLOCK_ALIGN + 1] {
+            match seg.allocate(req) {
+                Err(ShmError::RequestTooLarge { requested, .. }) => assert_eq!(requested, req),
+                other => panic!("unexpected: {other:?}"),
+            }
+            match seg.allocate_blocking(req, Some(Duration::from_millis(1))) {
+                Err(ShmError::RequestTooLarge { .. }) => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        // A capacity that cannot be rounded is equally rejected.
+        assert!(SharedSegment::new(usize::MAX - 2).is_err());
+    }
+
+    #[test]
     fn exhaustion_reports_out_of_memory() {
         let seg = SharedSegment::new(256).unwrap();
         let _a = seg.allocate(128).unwrap();
@@ -614,6 +904,44 @@ mod tests {
     }
 
     #[test]
+    fn class_hit_reuses_offset_without_lock_contention() {
+        let seg = SharedSegment::with_classes(4096, &[512]).unwrap();
+        let b = seg.allocate(512).unwrap();
+        let first_offset = b.offset();
+        drop(b); // returns to the class queue, not the free list
+        let b2 = seg.allocate(512).unwrap();
+        assert_eq!(b2.offset(), first_offset, "class queue recycled the slot");
+        assert_eq!(seg.stats().class_hits, 1, "second allocation was a hit");
+        drop(b2);
+        assert_eq!(seg.used_bytes(), 0);
+        assert_eq!(seg.largest_free_block(), 4096, "drain coalesces fully");
+    }
+
+    #[test]
+    fn class_miss_falls_back_and_flushes_under_pressure() {
+        // Two 512-byte blocks fill the segment; both return to the class
+        // queue. A 1024-byte request has no class and the free list is
+        // empty — the allocator must drain the class queues, coalesce,
+        // and satisfy it.
+        let seg = SharedSegment::with_classes(1024, &[512]).unwrap();
+        let a = seg.allocate(512).unwrap();
+        let b = seg.allocate(512).unwrap();
+        drop(a);
+        drop(b);
+        let big = seg.allocate(1024).expect("coalesced after class drain");
+        drop(big);
+    }
+
+    #[test]
+    fn classed_segment_odd_sizes_use_free_list() {
+        let seg = SharedSegment::with_classes(4096, &[512]).unwrap();
+        let odd = seg.allocate(100).unwrap(); // no 128-byte class
+        assert_eq!(seg.stats().class_hits, 0);
+        drop(odd);
+        assert_eq!(seg.used_bytes(), 0);
+    }
+
+    #[test]
     fn blocking_allocation_wakes_on_free() {
         let seg = SharedSegment::new(256).unwrap();
         let hog = seg.allocate(256).unwrap();
@@ -626,6 +954,23 @@ mod tests {
         drop(hog);
         let block = waiter.join().unwrap();
         assert_eq!(block.len(), 64);
+    }
+
+    #[test]
+    fn blocking_allocation_wakes_on_class_release() {
+        // The hog's release goes to the lock-free class queue; the blocked
+        // waiter (of the same class size) must still obtain it.
+        let seg = SharedSegment::with_classes(256, &[256]).unwrap();
+        let hog = seg.allocate(256).unwrap();
+        let seg2 = seg.clone();
+        let waiter = std::thread::spawn(move || {
+            seg2.allocate_blocking(256, Some(Duration::from_secs(5)))
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(hog);
+        let block = waiter.join().unwrap();
+        assert_eq!(block.len(), 256);
     }
 
     #[test]
@@ -704,6 +1049,35 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_classed_alloc_free_stress() {
+        // Same stress, but with every size a class: alloc/free races go
+        // through the lock-free queues.
+        let sizes: Vec<usize> = (1..8).map(|k| k * 64).collect();
+        let seg = SharedSegment::with_classes(1 << 16, &sizes).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let seg = seg.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200usize {
+                    let size = 64 + (i % 7) * 64;
+                    let mut b = seg
+                        .allocate_blocking(size, Some(Duration::from_secs(10)))
+                        .unwrap();
+                    b.as_mut_slice().fill(t);
+                    let r = b.freeze();
+                    assert!(r.as_slice().iter().all(|&x| x == t), "corruption detected");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seg.used_bytes(), 0);
+        assert_eq!(seg.largest_free_block(), seg.capacity());
+        assert!(seg.stats().class_hits > 0, "classes actually served hits");
+    }
+
+    #[test]
     fn typed_roundtrip_various_types() {
         let seg = SharedSegment::new(4096).unwrap();
         let mut b = seg.allocate(16).unwrap();
@@ -715,5 +1089,55 @@ mod tests {
         b.write_pod(&[-5i16, 6, -7, 8]);
         let r = b.freeze();
         assert_eq!(r.as_pod::<i16>(), &[-5, 6, -7, 8]);
+    }
+
+    #[test]
+    fn slab_cache_round_trips_blocks() {
+        let seg = SharedSegment::with_classes(1 << 14, &[512]).unwrap();
+        let cache = crate::SlabCache::new(&seg);
+        let b = cache.allocate(512).unwrap();
+        let off = b.offset();
+        drop(b);
+        // The freed offset sits in the shared class queue; the cache pulls
+        // it (and accounts it as used while held).
+        let b2 = cache.allocate(512).unwrap();
+        assert_eq!(b2.offset(), off);
+        drop(b2);
+        drop(cache);
+        assert_eq!(seg.used_bytes(), 0, "cache drop returns reservations");
+        assert_eq!(seg.largest_free_block(), seg.capacity());
+    }
+
+    #[test]
+    fn pressure_raids_idle_slab_caches() {
+        // A reservation parked in a (now idle) client's cache must not
+        // strand memory: an allocation that would otherwise fail reclaims
+        // it through the raid tier.
+        let seg = SharedSegment::with_classes(512, &[256]).unwrap();
+        let cache = crate::SlabCache::new(&seg);
+        let a = cache.allocate(256).unwrap();
+        let b = cache.allocate(256).unwrap();
+        drop(a);
+        drop(b); // both offsets now in the shared class queue
+        let block = cache.allocate(256).unwrap(); // pops one, warm-stashes the other
+        drop(block); // queue holds one, cache holds one (counted as used)
+        assert_eq!(seg.used_bytes(), 256, "one reservation parked");
+        // 512 bytes need the queued block AND the cached one, coalesced.
+        let big = seg.allocate(512).expect("raid reclaims cached reservation");
+        assert_eq!(big.len(), 512);
+        drop(big);
+        drop(cache);
+        assert_eq!(seg.used_bytes(), 0);
+        assert_eq!(seg.largest_free_block(), 512);
+    }
+
+    #[test]
+    fn slab_cache_falls_back_for_odd_sizes() {
+        let seg = SharedSegment::with_classes(1 << 14, &[512]).unwrap();
+        let cache = crate::SlabCache::new(&seg);
+        let b = cache.allocate(100).unwrap();
+        drop(b);
+        drop(cache);
+        assert_eq!(seg.used_bytes(), 0);
     }
 }

@@ -213,3 +213,115 @@ proptest! {
         }
     }
 }
+
+/// Size classes used by the classed-allocator property tests. Chosen so
+/// `ops_strategy`'s 1..2048-byte requests produce a healthy mix of class
+/// hits (requests rounding to exactly 64, 192 or 640) and first-fit
+/// fallbacks (everything else).
+const CLASS_SIZES: [usize; 3] = [64, 192, 640];
+
+proptest! {
+    /// The two-tier allocator never hands out overlapping ranges, and
+    /// after freeing everything the class queues drain back into the
+    /// free list and coalesce to full capacity.
+    #[test]
+    fn classed_allocator_disjoint_and_coalesces_on_drain(ops in ops_strategy()) {
+        let capacity = 1 << 16;
+        let seg = SharedSegment::with_classes(capacity, &CLASS_SIZES).unwrap();
+        let mut live: Vec<Block> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Ok(b) = seg.allocate(size) {
+                        let (s, e) = (b.offset(), b.offset() + b.len());
+                        for other in &live {
+                            let (os, oe) = (other.offset(), other.offset() + other.len());
+                            prop_assert!(e <= os || oe <= s,
+                                "overlap: [{s},{e}) vs [{os},{oe})");
+                        }
+                        live.push(b);
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        live.swap_remove(idx);
+                    }
+                }
+            }
+        }
+        drop(live);
+        prop_assert_eq!(seg.used_bytes(), 0);
+        prop_assert_eq!(seg.largest_free_block(), seg.capacity());
+    }
+
+    /// Same invariants when every allocation goes through a per-client
+    /// slab cache, plus the reuse bound: with a single class size, the
+    /// allocator materializes at most (peak live + cache slots) distinct
+    /// offsets — freed blocks are recycled, not re-carved.
+    #[test]
+    fn slab_cache_reuse_and_no_overlap(ops in ops_strategy()) {
+        let capacity = 1 << 16;
+        let class = 640usize;
+        let seg = SharedSegment::with_classes(capacity, &[class]).unwrap();
+        let cache = damaris_shm::SlabCache::new(&seg);
+        let mut live: Vec<Block> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut peak_live = 0usize;
+        for op in ops {
+            match op {
+                Op::Alloc(_) => {
+                    // Fixed-size requests: the steady-state Damaris shape.
+                    if let Ok(b) = cache.allocate(class) {
+                        let (s, e) = (b.offset(), b.offset() + b.len());
+                        for other in &live {
+                            let (os, oe) = (other.offset(), other.offset() + other.len());
+                            prop_assert!(e <= os || oe <= s,
+                                "overlap: [{s},{e}) vs [{os},{oe})");
+                        }
+                        seen.insert(b.offset());
+                        live.push(b);
+                        peak_live = peak_live.max(live.len());
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        live.swap_remove(idx);
+                    }
+                }
+            }
+        }
+        // 2 cache slots per class (SLAB_SLOTS_PER_CLASS): carving a fresh
+        // offset only happens when cache and class queue are both empty.
+        prop_assert!(seen.len() <= peak_live + 2,
+            "{} distinct offsets for peak {} live blocks: slab reuse broken",
+            seen.len(), peak_live);
+        drop(live);
+        cache.flush();
+        prop_assert_eq!(seg.used_bytes(), 0);
+        prop_assert_eq!(seg.largest_free_block(), seg.capacity());
+        drop(cache);
+    }
+
+    /// Frozen-block data written through the classed fast path reads back
+    /// intact while unrelated alloc/free churn reuses neighbouring slots.
+    #[test]
+    fn classed_blocks_keep_data_under_churn(vals in proptest::collection::vec(any::<u64>(), 1..24)) {
+        let seg = SharedSegment::with_classes(1 << 14, &[192]).unwrap();
+        let mut kept = Vec::new();
+        for (i, &v) in vals.iter().enumerate() {
+            let mut b = seg.allocate(192).unwrap();
+            b.write_pod(&[v; 24]);
+            let r = b.freeze();
+            if i % 2 == 0 {
+                kept.push((v, r));
+            } // odd ones drop immediately → class queue → reused
+        }
+        for (v, r) in &kept {
+            prop_assert_eq!(r.as_pod::<u64>(), &[*v; 24][..]);
+        }
+        drop(kept);
+        prop_assert_eq!(seg.used_bytes(), 0);
+    }
+}

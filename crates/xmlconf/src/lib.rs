@@ -36,9 +36,11 @@
 
 pub mod error;
 pub mod parser;
+pub mod registry;
 pub mod schema;
 pub mod tree;
 
 pub use error::{XmlError, XmlResult};
 pub use parser::{parse, parse_document, Document};
+pub use registry::{EventId, VarEntry, VarId, VarRegistry};
 pub use tree::{Element, Node};

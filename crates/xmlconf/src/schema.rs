@@ -44,6 +44,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::{XmlError, XmlResult};
+use crate::registry::{VarId, VarRegistry};
 use crate::tree::Element;
 
 /// Element type of a variable's layout.
@@ -322,6 +323,49 @@ impl fmt::Display for QueueKind {
     }
 }
 
+/// Which shared-memory allocator backs the segment
+/// (`<buffer allocator="…">`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocatorKind {
+    /// Lock-free size-class free lists seeded from the declared variable
+    /// layouts, first-fit fallback for odd sizes. Steady-state write
+    /// allocations take no lock. The default.
+    #[default]
+    SizeClass,
+    /// The classic single-mutex first-fit coalescing free list (the
+    /// baseline the write-path benchmark measures against).
+    FirstFit,
+}
+
+impl AllocatorKind {
+    /// Parse the `allocator="…"` attribute.
+    pub fn parse(s: &str) -> XmlResult<Self> {
+        Ok(match s.trim() {
+            "size-class" => AllocatorKind::SizeClass,
+            "first-fit" => AllocatorKind::FirstFit,
+            other => {
+                return Err(XmlError::schema(format!(
+                    "unknown allocator kind '{other}'"
+                )))
+            }
+        })
+    }
+
+    /// Canonical name for serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::SizeClass => "size-class",
+            AllocatorKind::FirstFit => "first-fit",
+        }
+    }
+}
+
+impl fmt::Display for AllocatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Node-level resource configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Architecture {
@@ -330,6 +374,8 @@ pub struct Architecture {
     pub dedicated_cores: usize,
     /// Shared-memory segment capacity in bytes.
     pub buffer_size: usize,
+    /// Shared-memory allocator implementation.
+    pub allocator: AllocatorKind,
     /// Event queue capacity in messages (aggregate across shards for the
     /// sharded transport).
     pub queue_capacity: usize,
@@ -344,6 +390,7 @@ impl Default for Architecture {
         Architecture {
             dedicated_cores: 1,
             buffer_size: 64 << 20,
+            allocator: AllocatorKind::default(),
             queue_capacity: 1024,
             queue_kind: QueueKind::default(),
             skip: SkipConfig::default(),
@@ -368,6 +415,10 @@ pub struct Configuration {
     pub variables: Vec<Variable>,
     /// Declared actions in document order.
     pub actions: Vec<Action>,
+    /// Interned variable/event ids with precomputed layout sizes, built at
+    /// load time (see [`VarRegistry`]). `VarId` i refers to
+    /// `variables[i]`.
+    registry: VarRegistry,
 }
 
 impl Configuration {
@@ -449,6 +500,7 @@ impl Configuration {
         }
 
         cfg.validate()?;
+        cfg.rebuild_registry();
         Ok(cfg)
     }
 
@@ -504,15 +556,56 @@ impl Configuration {
         Ok(())
     }
 
-    /// Look up a variable by (qualified) name.
+    /// The interning table (variable and user-event ids). Built by the
+    /// loaders; call [`Configuration::rebuild_registry`] after mutating a
+    /// configuration by hand.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.registry
+    }
+
+    /// Rebuild the interning table from the current variables, layouts
+    /// and actions.
+    pub fn rebuild_registry(&mut self) {
+        self.registry = VarRegistry::build(&self.variables, &self.layouts, &self.actions);
+    }
+
+    /// Look up a variable by (qualified) name — O(1) through the registry
+    /// index (linear fallback for hand-assembled configurations whose
+    /// registry was not rebuilt).
     pub fn variable(&self, name: &str) -> Option<&Variable> {
+        // Fast path through the registry index, with a staleness check:
+        // the declaration behind the id must still carry the queried name
+        // (a hand-mutated `variables` without `rebuild_registry` falls
+        // back to the scan instead of silently answering from stale data).
+        if let Some(id) = self.registry.var_id(name) {
+            if let Some(v) = self.variables.get(id.index()) {
+                if v.name == name {
+                    return Some(v);
+                }
+            }
+        }
         self.variables.iter().find(|v| v.name == name)
+    }
+
+    /// The variable declaration behind an interned id.
+    pub fn variable_by_id(&self, id: VarId) -> &Variable {
+        &self.variables[id.index()]
+    }
+
+    /// The (qualified) name of an interned variable.
+    pub fn var_name(&self, id: VarId) -> &str {
+        self.registry.name(id)
     }
 
     /// The layout of a variable, if both exist.
     pub fn layout_of(&self, variable: &str) -> Option<&Layout> {
         self.variable(variable)
             .and_then(|v| self.layouts.get(&v.layout))
+    }
+
+    /// The resolved layout of an interned variable.
+    pub fn layout_of_id(&self, id: VarId) -> &Layout {
+        self.registry.layout(id)
     }
 
     /// Total bytes one client writes per iteration (all stored variables).
@@ -534,7 +627,9 @@ impl Configuration {
                     .with_attr("cores", self.architecture.dedicated_cores.to_string()),
             )
             .with_child(
-                Element::new("buffer").with_attr("size", self.architecture.buffer_size.to_string()),
+                Element::new("buffer")
+                    .with_attr("size", self.architecture.buffer_size.to_string())
+                    .with_attr("allocator", self.architecture.allocator.name()),
             )
             .with_child(
                 Element::new("queue")
@@ -666,6 +761,9 @@ fn parse_architecture(el: &Element) -> XmlResult<Architecture> {
             .unwrap_or(arch.buffer_size);
         if arch.buffer_size == 0 {
             return Err(XmlError::schema("<buffer size> must be positive"));
+        }
+        if let Some(kind) = b.attr("allocator") {
+            arch.allocator = AllocatorKind::parse(kind)?;
         }
     }
     if let Some(q) = el.child("queue") {
@@ -985,6 +1083,59 @@ mod tests {
             r#"<simulation><architecture><queue kind="warp"/></architecture></simulation>"#,
         );
         assert!(bad.unwrap_err().to_string().contains("unknown queue kind"));
+    }
+
+    #[test]
+    fn allocator_kind_parses_and_roundtrips() {
+        let xml = r#"<simulation name="s">
+          <architecture><buffer size="4096" allocator="first-fit"/></architecture>
+        </simulation>"#;
+        let cfg = Configuration::from_str(xml).unwrap();
+        assert_eq!(cfg.architecture.allocator, AllocatorKind::FirstFit);
+        let back = Configuration::from_str(&cfg.to_xml()).unwrap();
+        assert_eq!(back.architecture.allocator, AllocatorKind::FirstFit);
+        assert_eq!(back, cfg);
+        // Default is the size-class allocator; junk is rejected.
+        let cfg = Configuration::from_str("<simulation name=\"x\"/>").unwrap();
+        assert_eq!(cfg.architecture.allocator, AllocatorKind::SizeClass);
+        let bad = Configuration::from_str(
+            r#"<simulation><architecture><buffer size="1" allocator="bump"/></architecture></simulation>"#,
+        );
+        assert!(bad.unwrap_err().to_string().contains("unknown allocator"));
+    }
+
+    #[test]
+    fn stale_registry_falls_back_to_scan() {
+        // Mutating `variables` in place without rebuild_registry() must
+        // not produce silently wrong lookups: the name check detects the
+        // stale index and the scan answers from the live declarations.
+        let mut cfg = Configuration::from_str(FULL).unwrap();
+        cfg.variables[0].name = "renamed".to_string();
+        assert_eq!(cfg.variable("renamed").unwrap().layout, "grid3d");
+        assert!(cfg.variable("u").is_none(), "old name no longer resolves");
+        assert!(cfg.layout_of("renamed").is_some());
+        cfg.rebuild_registry();
+        assert!(cfg.registry().var_id("renamed").is_some());
+    }
+
+    #[test]
+    fn var_ids_stable_across_xml_roundtrip() {
+        let cfg = Configuration::from_str(FULL).unwrap();
+        let cfg2 = Configuration::from_str(&cfg.to_xml()).unwrap();
+        assert_eq!(cfg.registry(), cfg2.registry());
+        for v in &cfg.variables {
+            let id = cfg.registry().var_id(&v.name).unwrap();
+            assert_eq!(cfg2.registry().var_id(&v.name), Some(id));
+            assert_eq!(cfg2.var_name(id), v.name);
+            assert_eq!(
+                cfg2.registry().byte_size(id),
+                cfg.layout_of(&v.name).unwrap().byte_size()
+            );
+        }
+        // O(1) lookups agree with the declarations.
+        let id = cfg.registry().var_id("moisture/qv").unwrap();
+        assert_eq!(cfg.variable_by_id(id).layout, "grid3d");
+        assert_eq!(cfg.layout_of_id(id).element_count(), 64 * 64 * 32);
     }
 
     #[test]

@@ -91,3 +91,53 @@ proptest! {
         let _ = parse(&s);
     }
 }
+
+/// Strategy for a set of distinct variable names (optionally grouped).
+fn var_names_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z][a-z0-9_]{0,9}", 1..12).prop_map(|mut names| {
+        names.sort();
+        names.dedup();
+        names
+    })
+}
+
+proptest! {
+    /// VarId interning survives an XML serialize → parse round trip: every
+    /// variable resolves to the same dense id with the same precomputed
+    /// layout size, for arbitrary variable sets.
+    #[test]
+    fn var_id_interning_roundtrips_through_serializer(
+        names in var_names_strategy(),
+        dims in proptest::collection::vec(1usize..64, 1..3),
+    ) {
+        let dims_attr = dims
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let vars = names
+            .iter()
+            .map(|n| format!(r#"<variable name="{n}" layout="l"/>"#))
+            .collect::<String>();
+        let xml = format!(
+            r#"<simulation name="p">
+                 <data>
+                   <layout name="l" type="f64" dimensions="{dims_attr}"/>
+                   {vars}
+                 </data>
+               </simulation>"#
+        );
+        let cfg = damaris_xml::schema::Configuration::from_str(&xml).unwrap();
+        let cfg2 = damaris_xml::schema::Configuration::from_str(&cfg.to_xml()).unwrap();
+        prop_assert_eq!(cfg.registry(), cfg2.registry());
+        let byte_size: usize = dims.iter().product::<usize>() * 8;
+        for (i, name) in names.iter().enumerate() {
+            let id = cfg.registry().var_id(name).unwrap();
+            prop_assert_eq!(id.index(), i, "dense, declaration-ordered");
+            prop_assert_eq!(cfg2.registry().var_id(name), Some(id));
+            prop_assert_eq!(cfg2.registry().byte_size(id), byte_size);
+            prop_assert_eq!(cfg2.var_name(id), name.as_str());
+        }
+        prop_assert!(cfg.registry().var_id("not-a-variable").is_none());
+    }
+}

@@ -97,14 +97,11 @@ fn main() {
         report.dedicated_idle_fraction * 100.0
     );
     for (i, s) in client_stats.iter().enumerate() {
-        let mean_ms = if s.write_seconds.is_empty() {
-            0.0
-        } else {
-            s.write_seconds.iter().sum::<f64>() / s.write_seconds.len() as f64 * 1e3
-        };
         println!(
-            "client {i}: {} writes, mean sim-visible cost {mean_ms:.3} ms",
-            s.write_seconds.len()
+            "client {i}: {} writes, mean sim-visible cost {:.3} ms (p99 {:.3} ms)",
+            s.writes,
+            s.mean_write_seconds() * 1e3,
+            s.p99_write_seconds() * 1e3
         );
     }
     for f in h5.written() {

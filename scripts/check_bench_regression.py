@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Fail CI when a benchmark JSON regresses against its committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json
+                              [--threshold 0.25] [--strict]
+
+Both files must be records produced by the `damaris_bench` bench targets
+(`BENCH_transport.json`, `BENCH_write_path.json`, …): an object with a
+"samples" array of flat objects. Samples are matched on their identity
+keys (strings and integers, e.g. allocator/transport + clients); floats
+are metrics.
+
+Gating tiers — absolute timings are machine-dependent (a committed
+baseline usually comes from a different box than the CI runner), so:
+
+* metrics ending in `_ratio` (within-run comparisons such as the
+  size-class scaling factor) are machine-independent and always gated at
+  THRESHOLD;
+* absolute metrics (`…_ns…`, `…_seconds…` lower-better; `…_meps…`,
+  `…_throughput…` higher-better) are gated only with `--strict` — use it
+  when baseline and current run came from the same machine;
+* tail latencies (`_p90`/`_p99`) and hit fractions (`_frac…`) are
+  recorded for trend reading but never gated.
+
+Missing samples (layout changes) always fail, so a bench cannot silently
+drop coverage. Metrics measured as 0 in the baseline are skipped.
+
+Stdlib only; exit code 0 = pass, 1 = regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER = ("_ns", "_seconds", "_ratio")
+HIGHER_IS_BETTER = ("_meps", "_throughput")
+# Too scheduler/machine-sensitive to gate on at all.
+UNGATED = ("_p90", "_p99", "_frac")
+
+
+def is_metric(value):
+    # JSON integers are identity coordinates (clients, producers, sizes);
+    # measured values are emitted with decimals and parse as floats.
+    return isinstance(value, float)
+
+
+def sample_key(sample):
+    return tuple(sorted((k, v) for k, v in sample.items() if not is_metric(v)))
+
+
+def direction(metric, strict):
+    if any(s in metric for s in UNGATED):
+        return None
+    if not strict and not metric.endswith("_ratio"):
+        return None  # absolute metric, cross-machine comparison
+    if any(s in metric for s in LOWER_IS_BETTER):
+        return "lower"
+    if any(s in metric for s in HIGHER_IS_BETTER):
+        return "higher"
+    return None  # uninterpreted metric: informational only
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Compare a bench JSON against its committed baseline."
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also gate absolute metrics (same-machine baselines only)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot load bench JSON: {e}", file=sys.stderr)
+        return 2
+
+    base_by_key = {sample_key(s): s for s in baseline.get("samples", [])}
+    cur_by_key = {sample_key(s): s for s in current.get("samples", [])}
+
+    failures = []
+    checked = 0
+    for key, base in base_by_key.items():
+        cur = cur_by_key.get(key)
+        ident = ", ".join(f"{k}={v}" for k, v in key)
+        if cur is None:
+            failures.append(f"sample disappeared: {ident}")
+            continue
+        for metric, base_val in base.items():
+            if not is_metric(base_val) or metric not in cur:
+                continue
+            sense = direction(metric, args.strict)
+            if sense is None or base_val == 0:
+                continue
+            cur_val = cur[metric]
+            delta = (
+                (cur_val - base_val) / base_val
+                if sense == "lower"
+                else (base_val - cur_val) / base_val
+            )
+            checked += 1
+            if delta > args.threshold:
+                failures.append(
+                    f"{ident}: {metric} {base_val:g} -> {cur_val:g} "
+                    f"({delta * 100:+.0f}% worse, limit {args.threshold * 100:.0f}%)"
+                )
+
+    name = current.get("benchmark", args.current)
+    if failures:
+        print(f"bench regression in '{name}' ({len(failures)} failures):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(
+        f"bench '{name}': {checked} metrics within "
+        f"{args.threshold * 100:.0f}% of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

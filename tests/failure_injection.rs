@@ -147,8 +147,15 @@ fn corrupt_output_detected_on_read() {
 
 #[test]
 fn double_shutdown_and_post_shutdown_writes_error() {
+    // Declare the "snap" event so the post-shutdown signal actually posts
+    // (undeclared event names are filtered at the client edge and never
+    // reach the queue).
+    let xml = XML.replace(
+        "</simulation>",
+        r#"<actions><action name="s" plugin="viz" event="snap"/></actions></simulation>"#,
+    );
     let node = DamarisNode::builder()
-        .config_str(XML)
+        .config_str(&xml)
         .expect("config")
         .clients(1)
         .build()

@@ -147,7 +147,7 @@ fn analysis_cost_stays_off_the_write_path() {
     .join()
     .expect("sim thread");
     node.shutdown().expect("shutdown");
-    let worst = stats.write_seconds.iter().cloned().fold(0.0, f64::max);
+    let worst = stats.max_write_seconds;
     // A 24×24×16 f64 block is 73 KB; its memcpy is microseconds. Allow
     // generous scheduler noise; anything near the analysis cost (ms+)
     // would mean the write path is coupled to the plugin.
