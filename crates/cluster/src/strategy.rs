@@ -4,7 +4,7 @@
 use pfs_sim::FileSpec;
 
 pub use damaris_shm::transport::TransportKind;
-pub use damaris_xml::schema::AllocatorKind;
+pub use damaris_xml::schema::{AllocatorKind, WorldKind};
 
 /// How the dedicated cores time and place their node-file writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +142,11 @@ pub struct DamarisOptions {
     /// a node's clients per block allocation, the size-class allocator's
     /// lock-free pop stays flat (mirrors `damaris_shm::SharedSegment`).
     pub allocator: AllocatorKind,
+    /// Rank realization: `Threads` posts events through in-memory queues;
+    /// `Processes` crosses a Unix-domain socket per event (mirrors
+    /// `mini_mpi::World::run_spawned` + `damaris_core::process`, with
+    /// costs calibrated from `BENCH_mpi_transport.json`).
+    pub world: WorldKind,
 }
 
 impl Default for DamarisOptions {
@@ -155,6 +160,7 @@ impl Default for DamarisOptions {
             plugin_seconds_per_dump: 0.0,
             transport: TransportKind::Mutex,
             allocator: AllocatorKind::SizeClass,
+            world: WorldKind::Threads,
         }
     }
 }
@@ -178,6 +184,7 @@ impl DamarisOptions {
                 damaris_xml::schema::QueueKind::Sharded => TransportKind::Sharded,
             },
             allocator: arch.allocator,
+            world: arch.world,
             ..Default::default()
         }
     }
@@ -219,6 +226,15 @@ impl Strategy {
     pub fn damaris_sharded() -> Self {
         Strategy::Damaris(DamarisOptions {
             transport: TransportKind::Sharded,
+            ..Default::default()
+        })
+    }
+
+    /// Damaris with every rank its own OS process: events cross Unix
+    /// sockets instead of in-memory queues.
+    pub fn damaris_processes() -> Self {
+        Strategy::Damaris(DamarisOptions {
+            world: WorldKind::Processes,
             ..Default::default()
         })
     }

@@ -93,6 +93,7 @@ pub mod event;
 pub mod node;
 pub mod plugins;
 pub mod policy;
+pub mod process;
 pub mod sched;
 pub mod server;
 pub mod store;
@@ -101,6 +102,7 @@ pub use client::{DamarisClient, WriteStatus};
 pub use error::{DamarisError, DamarisResult};
 pub use node::{DamarisNode, NodeBuilder};
 pub use plugins::Plugin;
+pub use process::{ProcessClient, ProcessServer, ProcessSink};
 
 /// One-stop imports for applications embedding Damaris.
 pub mod prelude {
@@ -108,6 +110,7 @@ pub mod prelude {
     pub use crate::error::{DamarisError, DamarisResult};
     pub use crate::node::{DamarisNode, NodeBuilder};
     pub use crate::plugins::{FnPlugin, Plugin};
+    pub use crate::process::{ProcessClient, ProcessServer, ProcessSink, StatsSink};
     pub use damaris_xml::schema::Configuration;
     pub use damaris_xml::{EventId, VarId};
 }

@@ -174,7 +174,7 @@ impl NodeBuilder {
             );
         }
 
-        let clients = (0..self.clients)
+        let clients: Vec<DamarisClient> = (0..self.clients)
             .map(|id| DamarisClient {
                 id,
                 cfg: cfg.clone(),
@@ -185,6 +185,21 @@ impl NodeBuilder {
                 writes_this_iteration: Arc::new(AtomicU64::new(0)),
             })
             .collect();
+        // Seed the slab caches (one reserved block per slot per size
+        // class per client) so even iteration 0 allocates via a slot swap
+        // instead of taking the first-fit mutex — the caches warmed
+        // lazily before, leaving the very first write of every variable
+        // serialized on one lock. All-or-nothing, and only when the
+        // footprint is a small fraction of the segment: reservations
+        // count as used bytes, so warming a tightly-sized segment would
+        // start it near the occupancy watermark and distort the skip
+        // policy (asymmetrically, if only some clients fit).
+        let prewarm_total: usize = clients.iter().map(|c| c.slab.prewarm_bytes()).sum();
+        if prewarm_total > 0 && prewarm_total * 8 <= segment.capacity() {
+            for client in &clients {
+                client.slab.prewarm();
+            }
+        }
 
         Ok(DamarisNode {
             cfg,

@@ -1,0 +1,434 @@
+//! Process-mode Damaris: clients and the dedicated core as separate OS
+//! **processes**, exactly like the original middleware's MPI ranks.
+//!
+//! The thread-mode [`crate::DamarisNode`] shares one address space, which
+//! makes its shared segment and event queue trivially "shared". The paper's
+//! architecture is stronger: every core of an SMP node is its own MPI
+//! process, the segment is a POSIX shared-memory object all of them map,
+//! and events travel through real IPC. This module reproduces that
+//! boundary on top of two substrate pieces:
+//!
+//! * a [`mini_mpi`] **socket world** ([`mini_mpi::World::run_spawned`]) —
+//!   one process per rank, envelopes over Unix-domain sockets;
+//! * a [`damaris_shm::ShmFile`] — a `/dev/shm` file every rank maps, so
+//!   block payloads move through genuine shared memory while only tiny
+//!   *descriptors* (variable id, iteration, file offset, length) cross
+//!   the socket.
+//!
+//! ## Roles and protocol
+//!
+//! Rank 0 is the dedicated core ([`ProcessServer`]); ranks 1.. are
+//! clients ([`ProcessClient`]). The shared file is partitioned into one
+//! slice per client; each client lays a private allocator
+//! ([`damaris_shm::SharedSegment::over_mapping`]) over its slice, so
+//! allocation never needs cross-process coordination. A write is: carve a
+//! block, one memcpy into the mapping, send a descriptor (§IV.B's "the
+//! time to write … is the time required to write in shared-memory").
+//!
+//! Flow control is iteration-grained: the server acknowledges an
+//! iteration once every client has ended it and its blocks are consumed;
+//! clients keep at most [`ACK_WINDOW`] iterations of blocks alive before
+//! blocking on acknowledgements — the same bounded-buffer behaviour the
+//! thread-mode segment enforces by occupancy, expressed over messages
+//! (the server cannot free ranges in another process's allocator).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use damaris_shm::{BlockRef, SharedSegment, ShmFile};
+use damaris_xml::schema::{AllocatorKind, Configuration};
+use damaris_xml::VarId;
+use mini_mpi::{Comm, Source};
+
+use crate::error::{DamarisError, DamarisResult};
+
+/// World rank of the dedicated core.
+pub const DEDICATED_RANK: usize = 0;
+
+/// Iterations a client may keep un-acknowledged before `end_iteration`
+/// blocks (bounded staging, like the thread-mode segment watermark).
+pub const ACK_WINDOW: u64 = 2;
+
+/// Client → server messages (tag [`TAG_MSG`]), `u64`-encoded with a
+/// leading kind word.
+const TAG_MSG: u32 = 1;
+/// Server → client iteration acknowledgements (tag [`TAG_ACK`]).
+const TAG_ACK: u32 = 2;
+
+const KIND_WRITE: u64 = 1;
+const KIND_END: u64 = 2;
+const KIND_FIN: u64 = 3;
+
+/// Where the node's segment file lives, given a directory every rank can
+/// derive (e.g. [`mini_mpi::World::spawn_dir`]).
+pub fn segment_path(dir: &std::path::Path) -> std::path::PathBuf {
+    dir.join("damaris-segment.shm")
+}
+
+fn slice_bytes(cfg: &Configuration, clients: usize) -> DamarisResult<usize> {
+    let align = damaris_shm::segment::BLOCK_ALIGN;
+    let slice = (cfg.architecture.buffer_size / clients.max(1)) / align * align;
+    let largest = cfg
+        .registry()
+        .distinct_byte_sizes()
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    if slice < largest.max(align) {
+        return Err(DamarisError::InvalidState(format!(
+            "buffer of {} bytes over {clients} clients leaves {slice}-byte slices, \
+             smaller than the largest declared layout ({largest} bytes)",
+            cfg.architecture.buffer_size
+        )));
+    }
+    Ok(slice)
+}
+
+/// What the dedicated core does with arriving blocks (the process-mode
+/// analogue of a plugin).
+pub trait ProcessSink {
+    /// One block arrived: variable, iteration, writing client (1-based
+    /// world rank), and the block's bytes viewed in place in the mapping.
+    fn on_block(&mut self, var: VarId, iteration: u64, source: usize, data: &[u8]);
+    /// Every client ended `iteration` and all its blocks were delivered.
+    fn on_iteration_complete(&mut self, iteration: u64) {
+        let _ = iteration;
+    }
+}
+
+/// A [`ProcessSink`] computing per-variable f64 statistics — enough for
+/// the examples and tests to verify end-to-end data integrity.
+#[derive(Debug, Default)]
+pub struct StatsSink {
+    /// `(iteration, var_index)` → (count, sum, min, max).
+    per_var: HashMap<(u64, usize), (u64, f64, f64, f64)>,
+    /// Iterations completed, in completion order.
+    pub completed: Vec<u64>,
+}
+
+impl StatsSink {
+    /// New, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(count, sum, min, max)` of a variable's f64 values at an iteration.
+    pub fn summary(&self, iteration: u64, var: VarId) -> Option<(u64, f64, f64, f64)> {
+        self.per_var.get(&(iteration, var.index())).copied()
+    }
+}
+
+impl ProcessSink for StatsSink {
+    fn on_block(&mut self, var: VarId, iteration: u64, _source: usize, data: &[u8]) {
+        let entry = self.per_var.entry((iteration, var.index())).or_insert((
+            0,
+            0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ));
+        for chunk in data.chunks_exact(8) {
+            let v = f64::from_le_bytes(chunk.try_into().unwrap());
+            entry.0 += 1;
+            entry.1 += v;
+            entry.2 = entry.2.min(v);
+            entry.3 = entry.3.max(v);
+        }
+    }
+
+    fn on_iteration_complete(&mut self, iteration: u64) {
+        self.completed.push(iteration);
+    }
+}
+
+/// Summary returned by [`ProcessServer::serve`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Iterations fully completed (all clients, all blocks).
+    pub iterations_completed: u64,
+    /// Blocks consumed.
+    pub blocks_received: u64,
+    /// Payload bytes consumed out of the shared mapping.
+    pub bytes_received: u64,
+}
+
+#[derive(Default)]
+struct IterationState {
+    ended_clients: usize,
+    announced_writes: u64,
+    received_writes: u64,
+}
+
+/// The dedicated-core role: owns the segment file, consumes descriptors,
+/// reads blocks in place, acknowledges completed iterations.
+pub struct ProcessServer {
+    cfg: Arc<Configuration>,
+    shm: Arc<ShmFile>,
+}
+
+impl ProcessServer {
+    /// Create the segment file (sized from the configuration's buffer,
+    /// one slice per client) and synchronize with the clients. Must be
+    /// called by rank [`DEDICATED_RANK`] of `comm`; every rank must enter
+    /// its constructor at the same time (internal barrier).
+    pub fn new(comm: &Comm, cfg: Configuration, dir: &std::path::Path) -> DamarisResult<Self> {
+        assert_eq!(comm.rank(), DEDICATED_RANK, "server must be rank 0");
+        let clients = comm.size() - 1;
+        if clients == 0 {
+            return Err(DamarisError::InvalidState(
+                "a process node needs at least one client rank".into(),
+            ));
+        }
+        let slice = slice_bytes(&cfg, clients)?;
+        let shm = ShmFile::create(segment_path(dir), slice * clients)?;
+        comm.barrier(); // clients may open the file now
+        Ok(ProcessServer {
+            cfg: Arc::new(cfg),
+            shm: Arc::new(shm),
+        })
+    }
+
+    /// The loaded configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.cfg
+    }
+
+    /// Serve until every client finalizes; blocks are handed to `sink`
+    /// as views into the shared mapping (no copies).
+    pub fn serve(&self, comm: &Comm, sink: &mut dyn ProcessSink) -> DamarisResult<ServeReport> {
+        let clients = comm.size() - 1;
+        let mut report = ServeReport::default();
+        let mut iterations: HashMap<u64, IterationState> = HashMap::new();
+        let mut finalized = 0usize;
+        while finalized < clients {
+            let (msg, source) = comm.recv_with_source::<u64>(Source::Any, TAG_MSG);
+            match msg.first().copied() {
+                Some(KIND_WRITE) => {
+                    let [_, var_raw, iteration, offset, len] = msg[..] else {
+                        return Err(DamarisError::InvalidState(format!(
+                            "malformed write descriptor from rank {source}: {msg:?}"
+                        )));
+                    };
+                    let var = VarId::from_raw(var_raw as u32);
+                    self.shm.with_bytes(offset as usize, len as usize, |bytes| {
+                        sink.on_block(var, iteration, source, bytes)
+                    });
+                    report.blocks_received += 1;
+                    report.bytes_received += len;
+                    iterations.entry(iteration).or_default().received_writes += 1;
+                }
+                Some(KIND_END) => {
+                    let [_, iteration, writes] = msg[..] else {
+                        return Err(DamarisError::InvalidState(format!(
+                            "malformed end-of-iteration from rank {source}: {msg:?}"
+                        )));
+                    };
+                    let state = iterations.entry(iteration).or_default();
+                    state.ended_clients += 1;
+                    state.announced_writes += writes;
+                    if state.ended_clients == clients {
+                        // FIFO per (source, tag) guarantees each client's
+                        // writes precede its END, so everything announced
+                        // has been consumed; this is a pure sanity check.
+                        debug_assert_eq!(state.received_writes, state.announced_writes);
+                        iterations.remove(&iteration);
+                        sink.on_iteration_complete(iteration);
+                        report.iterations_completed += 1;
+                        for client in 1..=clients {
+                            comm.send(client, TAG_ACK, &[iteration]);
+                        }
+                    }
+                }
+                Some(KIND_FIN) => finalized += 1,
+                other => {
+                    return Err(DamarisError::InvalidState(format!(
+                        "unknown process-mode message kind {other:?} from rank {source}"
+                    )));
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// The client role: a private allocator over this rank's slice of the
+/// shared file, plus the descriptor protocol to the dedicated core.
+pub struct ProcessClient {
+    cfg: Arc<Configuration>,
+    seg: SharedSegment,
+    /// File offset of this client's slice inside the mapping.
+    base: usize,
+    /// Blocks alive until the server acknowledges their iteration.
+    pending: HashMap<u64, Vec<BlockRef>>,
+    /// Writes published for the currently open iteration.
+    writes_this_iteration: u64,
+    /// Highest iteration acknowledged by the server (None before any).
+    acked: Option<u64>,
+}
+
+impl ProcessClient {
+    /// Join the node as client rank `comm.rank()` (≥ 1): wait for the
+    /// server to create the segment file, map it, and carve this rank's
+    /// slice. Every rank must enter its constructor at the same time
+    /// (internal barrier).
+    pub fn new(comm: &Comm, cfg: Configuration, dir: &std::path::Path) -> DamarisResult<Self> {
+        assert_ne!(comm.rank(), DEDICATED_RANK, "rank 0 is the dedicated core");
+        let clients = comm.size() - 1;
+        let slice = slice_bytes(&cfg, clients)?;
+        comm.barrier(); // server created the file before this returns
+        let shm = Arc::new(ShmFile::open(segment_path(dir))?);
+        let base = (comm.rank() - 1) * slice;
+        let classes = match cfg.architecture.allocator {
+            AllocatorKind::SizeClass => cfg.registry().distinct_byte_sizes(),
+            AllocatorKind::FirstFit => Vec::new(),
+        };
+        let seg = SharedSegment::over_mapping(&shm, base, slice, &classes)?;
+        Ok(ProcessClient {
+            cfg: Arc::new(cfg),
+            seg,
+            base,
+            pending: HashMap::new(),
+            writes_this_iteration: 0,
+            acked: None,
+        })
+    }
+
+    /// The loaded configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.cfg
+    }
+
+    /// Occupancy of this client's slice in `[0, 1]`.
+    pub fn slice_occupancy(&self) -> f64 {
+        self.seg.occupancy()
+    }
+
+    /// Lifetime allocator counters of this client's slice.
+    pub fn slice_stats(&self) -> damaris_shm::SegmentStats {
+        self.seg.stats()
+    }
+
+    /// Publish one variable for one iteration: allocate in the shared
+    /// mapping, one memcpy, one descriptor message.
+    pub fn write<T: damaris_shm::Pod>(
+        &mut self,
+        comm: &Comm,
+        variable: &str,
+        iteration: u64,
+        data: &[T],
+    ) -> DamarisResult<()> {
+        let var = self
+            .cfg
+            .registry()
+            .var_id(variable)
+            .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))?;
+        let expected = self.cfg.registry().byte_size(var);
+        let bytes = std::mem::size_of_val(data);
+        if bytes != expected {
+            return Err(DamarisError::LayoutMismatch {
+                variable: variable.to_string(),
+                expected,
+                got: bytes,
+            });
+        }
+        // Opportunistically retire acknowledged iterations so the slice
+        // recycles without blocking.
+        self.drain_acks(comm);
+        // On exhaustion, wait on *acknowledgements*, not on the segment
+        // condvar: in process mode every free of this slice happens on
+        // this very thread (ack retirement), so blocking inside the
+        // allocator could never be woken — the ack message is the real
+        // "space freed" signal here.
+        let mut block = loop {
+            match self.seg.allocate(bytes) {
+                Ok(b) => break b,
+                Err(damaris_shm::ShmError::OutOfMemory { .. }) => {
+                    // Acks only ever retire iterations whose END was sent;
+                    // if nothing older than the current iteration is
+                    // staged, no ack can come and the slice genuinely
+                    // cannot hold this iteration's working set.
+                    if !self.pending.keys().any(|&k| k != iteration) {
+                        return Err(DamarisError::InvalidState(format!(
+                            "client slice of {} bytes cannot hold one iteration's blocks \
+                             (writing '{variable}', {bytes} bytes): grow <buffer size> or \
+                             reduce per-iteration data",
+                            self.seg.capacity()
+                        )));
+                    }
+                    self.wait_ack(comm);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        block.write_pod(data);
+        let offset = (self.base + block.offset()) as u64;
+        let frozen = block.freeze();
+        comm.send(
+            DEDICATED_RANK,
+            TAG_MSG,
+            &[
+                KIND_WRITE,
+                u64::from(var.raw()),
+                iteration,
+                offset,
+                bytes as u64,
+            ],
+        );
+        self.pending.entry(iteration).or_default().push(frozen);
+        self.writes_this_iteration += 1;
+        Ok(())
+    }
+
+    /// Mark `iteration` finished. Blocks while more than [`ACK_WINDOW`]
+    /// iterations are staged un-acknowledged.
+    pub fn end_iteration(&mut self, comm: &Comm, iteration: u64) -> DamarisResult<()> {
+        comm.send(
+            DEDICATED_RANK,
+            TAG_MSG,
+            &[KIND_END, iteration, self.writes_this_iteration],
+        );
+        self.writes_this_iteration = 0;
+        self.drain_acks(comm);
+        while self.pending.len() as u64 > ACK_WINDOW {
+            self.wait_ack(comm);
+        }
+        Ok(())
+    }
+
+    /// Announce that this client is done, then wait for every staged
+    /// iteration to be acknowledged (so the slice reads empty).
+    pub fn finalize(mut self, comm: &Comm) -> DamarisResult<()> {
+        while !self.pending.is_empty() {
+            self.wait_ack(comm);
+        }
+        comm.send(DEDICATED_RANK, TAG_MSG, &[KIND_FIN]);
+        Ok(())
+    }
+
+    fn retire(&mut self, iteration: u64) {
+        self.acked = Some(self.acked.map_or(iteration, |a| a.max(iteration)));
+        // Dropping the BlockRefs frees the ranges back into this slice's
+        // allocator (class queues first — the zero-lock recycle path).
+        self.pending.remove(&iteration);
+    }
+
+    fn drain_acks(&mut self, comm: &Comm) {
+        while let Some((ack, _)) = comm.try_recv::<u64>(Source::Rank(DEDICATED_RANK), TAG_ACK) {
+            self.retire(ack[0]);
+        }
+    }
+
+    fn wait_ack(&mut self, comm: &Comm) {
+        let ack = comm.recv::<u64>(Source::Rank(DEDICATED_RANK), TAG_ACK);
+        self.retire(ack[0]);
+    }
+}
+
+impl std::fmt::Debug for ProcessClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessClient")
+            .field("base", &self.base)
+            .field("pending_iterations", &self.pending.len())
+            .field("acked", &self.acked)
+            .finish()
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end process mode: clients and the dedicated core as separate OS
+//! processes, events over Unix-domain sockets, block payloads through a
+//! file-backed shared-memory segment.
+
+use damaris_core::prelude::*;
+use damaris_core::process::{
+    segment_path, ProcessClient, ProcessServer, ServeReport, DEDICATED_RANK,
+};
+use mini_mpi::World;
+
+const XML: &str = r#"
+  <simulation name="process-mode">
+    <architecture>
+      <dedicated cores="1"/>
+      <buffer size="262144"/>
+      <queue capacity="64"/>
+    </architecture>
+    <data>
+      <layout name="row" type="f64" dimensions="64"/>
+      <variable name="u" layout="row"/>
+      <variable name="v" layout="row"/>
+    </data>
+  </simulation>"#;
+
+const ITERATIONS: u64 = 8;
+
+fn le_u64s(values: &[u64]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn from_le_u64s(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[test]
+fn clients_and_dedicated_core_as_processes() {
+    // 1 dedicated core + 2 clients, each a real OS process.
+    let out = World::run_spawned_test(
+        3,
+        "clients_and_dedicated_core_as_processes",
+        &[],
+        |comm, _| {
+            let cfg = Configuration::from_str(XML).unwrap();
+            let dir = World::spawn_dir().expect("rank runs inside a spawned world");
+            if comm.rank() == DEDICATED_RANK {
+                let server = ProcessServer::new(comm, cfg, &dir).unwrap();
+                let mut sink = StatsSink::new();
+                let report: ServeReport = server.serve(comm, &mut sink).unwrap();
+                // Verify data integrity on the server side: iteration 3,
+                // variable "u" = 2 clients × 64 values of (client_rank + 3).
+                let u = server.config().registry().var_id("u").unwrap();
+                let (count, sum, min, max) = sink.summary(3, u).unwrap();
+                assert_eq!(count, 2 * 64);
+                assert_eq!(min, 1.0 + 3.0);
+                assert_eq!(max, 2.0 + 3.0);
+                assert_eq!(sum, 64.0 * (4.0 + 5.0));
+                assert_eq!(sink.completed.len(), ITERATIONS as usize);
+                le_u64s(&[
+                    report.iterations_completed,
+                    report.blocks_received,
+                    report.bytes_received,
+                ])
+            } else {
+                let mut client = ProcessClient::new(comm, cfg, &dir).unwrap();
+                for it in 0..ITERATIONS {
+                    let data = vec![comm.rank() as f64 + it as f64; 64];
+                    client.write(comm, "u", it, &data).unwrap();
+                    client.write(comm, "v", it, &data).unwrap();
+                    client.end_iteration(comm, it).unwrap();
+                }
+                // Bad writes fail fast without wedging the protocol.
+                assert!(matches!(
+                    client.write(comm, "ghost", 0, &[0.0f64; 64]),
+                    Err(DamarisError::UnknownVariable(_))
+                ));
+                assert!(matches!(
+                    client.write(comm, "u", 0, &[0.0f64; 3]),
+                    Err(DamarisError::LayoutMismatch { .. })
+                ));
+                let stats = client.slice_stats();
+                let occupancy_zero = client.slice_occupancy();
+                client.finalize(comm).unwrap();
+                le_u64s(&[
+                    stats.allocations,
+                    stats.class_hits,
+                    (occupancy_zero >= 0.0) as u64,
+                ])
+            }
+        },
+    )
+    .expect("process node must succeed");
+
+    let server = from_le_u64s(&out[DEDICATED_RANK]);
+    assert_eq!(server[0], ITERATIONS, "iterations completed");
+    assert_eq!(server[1], ITERATIONS * 2 * 2, "2 vars × 2 clients per iter");
+    assert_eq!(server[2], ITERATIONS * 2 * 2 * 512, "512 bytes per block");
+    for (rank, bytes) in out.iter().enumerate().skip(1) {
+        let client = from_le_u64s(bytes);
+        assert_eq!(client[0], ITERATIONS * 2, "one allocation per write");
+        assert!(
+            client[1] > 0,
+            "recycled iterations must come from the class queues (rank {rank})"
+        );
+    }
+}
+
+#[test]
+fn oversized_iteration_fails_fast_not_timeout() {
+    // A slice that fits exactly one block cannot hold a two-block
+    // iteration: no acknowledgement can ever retire the *current*
+    // iteration (its END is not sent yet), so the second write must fail
+    // immediately with a sizing error — not ride a 60 s allocator
+    // timeout, and not deadlock on the segment condvar that nothing in
+    // this process could ever signal.
+    const TIGHT: &str = r#"
+      <simulation name="tight">
+        <architecture>
+          <dedicated cores="1"/>
+          <buffer size="576"/>
+          <queue capacity="8"/>
+        </architecture>
+        <data>
+          <layout name="row" type="f64" dimensions="64"/>
+          <variable name="u" layout="row"/>
+        </data>
+      </simulation>"#;
+    let out = World::run_spawned_test(2, "oversized_iteration_fails_fast_not_timeout", &[], {
+        |comm, _| {
+            let cfg = Configuration::from_str(TIGHT).unwrap();
+            let dir = World::spawn_dir().unwrap();
+            if comm.rank() == DEDICATED_RANK {
+                let server = ProcessServer::new(comm, cfg, &dir).unwrap();
+                let mut sink = StatsSink::new();
+                let report = server.serve(comm, &mut sink).unwrap();
+                le_u64s(&[report.blocks_received])
+            } else {
+                let mut client = ProcessClient::new(comm, cfg, &dir).unwrap();
+                let data = vec![1.0f64; 64];
+                client.write(comm, "u", 0, &data).unwrap();
+                let t0 = std::time::Instant::now();
+                let err = client.write(comm, "u", 0, &data).unwrap_err();
+                assert!(
+                    t0.elapsed() < std::time::Duration::from_secs(5),
+                    "sizing error must be immediate"
+                );
+                assert!(
+                    matches!(err, DamarisError::InvalidState(_)),
+                    "expected a sizing error, got {err}"
+                );
+                // The session stays usable: finish the iteration with the
+                // one block that did fit.
+                client.end_iteration(comm, 0).unwrap();
+                client.finalize(comm).unwrap();
+                le_u64s(&[1])
+            }
+        }
+    })
+    .expect("world must succeed");
+    assert_eq!(from_le_u64s(&out[0]), vec![1], "server saw the one block");
+}
+
+#[test]
+fn segment_file_cleaned_up() {
+    // The server owns the segment file and must unlink it on drop; the
+    // rendezvous dir disappears with the world.
+    let out = World::run_spawned_test(2, "segment_file_cleaned_up", &[], |comm, _| {
+        let cfg = Configuration::from_str(XML).unwrap();
+        let dir = World::spawn_dir().unwrap();
+        let path = segment_path(&dir);
+        if comm.rank() == DEDICATED_RANK {
+            let server = ProcessServer::new(comm, cfg, &dir).unwrap();
+            let mut sink = StatsSink::new();
+            server.serve(comm, &mut sink).unwrap();
+            let existed = path.exists();
+            drop(server);
+            le_u64s(&[u64::from(existed), u64::from(path.exists())])
+        } else {
+            let mut client = ProcessClient::new(comm, cfg, &dir).unwrap();
+            client.write(comm, "u", 0, &vec![1.0f64; 64]).unwrap();
+            client.end_iteration(comm, 0).unwrap();
+            client.finalize(comm).unwrap();
+            le_u64s(&[])
+        }
+    })
+    .expect("world must succeed");
+    assert_eq!(
+        from_le_u64s(&out[0]),
+        vec![1, 0],
+        "segment file exists while serving, unlinked after drop"
+    );
+}

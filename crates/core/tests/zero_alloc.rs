@@ -125,3 +125,34 @@ fn steady_state_write_makes_zero_heap_allocations() {
     });
     assert!(observed >= 1, "counting allocator must see explicit allocs");
 }
+
+#[test]
+fn iteration_zero_hits_classes() {
+    use damaris_core::prelude::*;
+
+    // NodeBuilder pre-carves one slab block per size class per client, so
+    // the *first* write of every variable — iteration 0, before any block
+    // has ever been freed — must already bypass the first-fit mutex.
+    let node = DamarisNode::builder()
+        .config_str(XML)
+        .unwrap()
+        .clients(2)
+        .build()
+        .unwrap();
+    let data = vec![0.5f64; 128];
+    for client in node.clients() {
+        assert_eq!(client.write("u", 0, &data).unwrap(), WriteStatus::Written);
+        assert_eq!(client.write("v", 0, &data).unwrap(), WriteStatus::Written);
+        client.end_iteration(0).unwrap();
+    }
+    let stats = node.segment_stats();
+    assert_eq!(stats.allocations, 4);
+    assert_eq!(
+        stats.class_hits, 4,
+        "every iteration-0 allocation must be a class hit (prewarmed slabs)"
+    );
+    for client in node.clients() {
+        client.finalize().unwrap();
+    }
+    node.shutdown().unwrap();
+}

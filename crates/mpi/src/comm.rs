@@ -38,6 +38,9 @@ pub struct Comm {
     members: Arc<Vec<usize>>,
     /// Collective sequence number (same progression on every member).
     coll_seq: Cell<u64>,
+    /// Child-context allocation counter (same progression on every
+    /// member; see [`derive_ctx`]).
+    ctx_alloc: Cell<u64>,
     traffic: Cell<Traffic>,
 }
 
@@ -49,6 +52,27 @@ fn coll_tag(seq: u64, phase: u64) -> u64 {
     COLLECTIVE_BIT | (seq << 8) | phase
 }
 
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic child-context derivation: mixes the parent context, the
+/// parent's allocation index (how many `split`/`dup` calls preceded this
+/// one — synchronized by collective calling order) and the branch (color
+/// index within a split; 0 for `dup`).
+///
+/// Every member computes the same value without any shared counter, which
+/// is what makes context allocation work across *process* boundaries: a
+/// socket world has no shared memory to host the old global `next_ctx`,
+/// and per-process counters would drift apart as soon as disjoint
+/// sub-communicators allocated children independently.
+fn derive_ctx(parent: u64, alloc_idx: u64, branch: u64) -> u64 {
+    splitmix64(splitmix64(parent ^ splitmix64(alloc_idx.wrapping_add(1))).wrapping_add(branch))
+}
+
 impl Comm {
     pub(crate) fn new_world(world: Arc<WorldInner>, rank: usize, members: Arc<Vec<usize>>) -> Self {
         Comm {
@@ -57,6 +81,7 @@ impl Comm {
             rank,
             members,
             coll_seq: Cell::new(0),
+            ctx_alloc: Cell::new(0),
             traffic: Cell::new(Traffic::default()),
         }
     }
@@ -92,41 +117,57 @@ impl Comm {
             .bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.world.messages_sent.fetch_add(1, Ordering::Relaxed);
-        let mailbox = &self.world.mailboxes[world_rank];
-        let mut q = mailbox.queue.lock();
-        q.push(Envelope {
-            ctx: self.ctx,
-            src: self.rank,
-            tag,
-            payload,
-        });
-        drop(q);
-        mailbox.arrived.notify_all();
+        self.world.post(
+            world_rank,
+            Envelope {
+                ctx: self.ctx,
+                src: self.rank,
+                tag,
+                payload,
+            },
+        );
+    }
+
+    fn note_received(&self, payload: &Bytes) {
+        let mut t = self.traffic.get();
+        t.bytes_received += payload.len() as u64;
+        t.messages_received += 1;
+        self.traffic.set(t);
     }
 
     fn wait_match(&self, src: Source, tag: u64) -> (usize, Bytes) {
-        let mailbox = &self.world.mailboxes[self.members[self.rank]];
-        let mut q = mailbox.queue.lock();
+        let mailbox = self.world.mailbox(self.members[self.rank]);
+        let mut st = mailbox.state.lock();
         loop {
-            let pos = q.iter().position(|e| {
-                e.ctx == self.ctx
-                    && e.tag == tag
-                    && match src {
-                        Source::Rank(r) => e.src == r,
-                        Source::Any => true,
-                    }
-            });
-            if let Some(i) = pos {
-                let env = q.remove(i);
-                drop(q);
-                let mut t = self.traffic.get();
-                t.bytes_received += env.payload.len() as u64;
-                t.messages_received += 1;
-                self.traffic.set(t);
-                return (env.src, env.payload);
+            if let Some((from, payload)) = st.pop(self.ctx, src, tag) {
+                drop(st);
+                self.note_received(&payload);
+                return (from, payload);
             }
-            mailbox.arrived.wait(&mut q);
+            // A dead peer process poisons the mailbox: fail every receive
+            // loudly (MPI-abort semantics) instead of deadlocking on a
+            // message that can never arrive.
+            if let Some(reason) = st.poisoned.clone() {
+                drop(st);
+                panic!("mini-mpi: receive failed: {reason}");
+            }
+            mailbox.arrived.wait(&mut st);
         }
+    }
+
+    fn try_match(&self, src: Source, tag: u64) -> Option<(usize, Bytes)> {
+        let mailbox = self.world.mailbox(self.members[self.rank]);
+        let mut st = mailbox.state.lock();
+        if let Some((from, payload)) = st.pop(self.ctx, src, tag) {
+            drop(st);
+            self.note_received(&payload);
+            return Some((from, payload));
+        }
+        if let Some(reason) = st.poisoned.clone() {
+            drop(st);
+            panic!("mini-mpi: receive failed: {reason}");
+        }
+        None
     }
 
     // ------------------------------------------------------------------
@@ -154,6 +195,15 @@ impl Comm {
     pub fn recv_with_source<T: MpiData>(&self, src: Source, tag: u32) -> (Vec<T>, usize) {
         let (from, payload) = self.wait_match(src, tag as u64);
         (from_bytes(&payload), from)
+    }
+
+    /// Non-blocking receive: `Some((data, source))` when a matching
+    /// message is already queued, `None` otherwise (MPI_Iprobe+recv).
+    /// Used by servers that multiplex several message kinds without
+    /// dedicating a thread per tag.
+    pub fn try_recv<T: MpiData>(&self, src: Source, tag: u32) -> Option<(Vec<T>, usize)> {
+        let (from, payload) = self.try_match(src, tag as u64)?;
+        Some((from_bytes(&payload), from))
     }
 
     // ------------------------------------------------------------------
@@ -369,6 +419,10 @@ impl Comm {
     /// This is how Damaris carves the "clients" communicator and the
     /// "dedicated cores" communicator out of MPI_COMM_WORLD.
     pub fn split(&self, color: Option<u64>, key: i64) -> Option<Comm> {
+        // Every member consumes one allocation index, whether or not it
+        // participates — calling order keeps the counters in lockstep.
+        let alloc_idx = self.ctx_alloc.get();
+        self.ctx_alloc.set(alloc_idx + 1);
         // Gather (color+1 (0 = undefined), key) pairs at rank 0.
         let encoded = [color.map_or(0, |c| c + 1) as i64, key, self.rank as i64];
         let gathered = self.gather(0, &encoded);
@@ -376,7 +430,8 @@ impl Comm {
         // member world ranks) to each rank; opted-out ranks get ctx = 0.
         let assignment: Vec<i64> = if let Some(rows) = gathered {
             let mut per_rank: Vec<Vec<i64>> = vec![Vec::new(); self.size()];
-            // Distinct colors in ascending order get consecutive contexts.
+            // Distinct colors in ascending order get distinct derived
+            // contexts (branch = color index).
             let mut colors: Vec<u64> = rows
                 .iter()
                 .filter(|r| r[0] != 0)
@@ -384,12 +439,8 @@ impl Comm {
                 .collect();
             colors.sort_unstable();
             colors.dedup();
-            let base_ctx = self
-                .world
-                .next_ctx
-                .fetch_add(colors.len() as u64, Ordering::Relaxed);
             for (ci, &color) in colors.iter().enumerate() {
-                let ctx = base_ctx + ci as u64;
+                let ctx = derive_ctx(self.ctx, alloc_idx, ci as u64);
                 let mut members: Vec<(i64, usize)> = rows
                     .iter()
                     .filter(|r| r[0] as u64 == color)
@@ -430,25 +481,24 @@ impl Comm {
             rank: new_rank,
             members: Arc::new(members),
             coll_seq: Cell::new(0),
+            ctx_alloc: Cell::new(0),
             traffic: Cell::new(Traffic::default()),
         })
     }
 
     /// Duplicate the communicator into a fresh context (MPI_Comm_dup):
-    /// same ranks, isolated traffic.
+    /// same ranks, isolated traffic. Communication-free: every member
+    /// derives the same child context from the shared allocation index.
     pub fn dup(&self) -> Comm {
-        let ctx = if self.rank == 0 {
-            let ctx = self.world.next_ctx.fetch_add(1, Ordering::Relaxed);
-            self.bcast(0, &[ctx])[0]
-        } else {
-            self.bcast::<u64>(0, &[])[0]
-        };
+        let alloc_idx = self.ctx_alloc.get();
+        self.ctx_alloc.set(alloc_idx + 1);
         Comm {
             world: self.world.clone(),
-            ctx,
+            ctx: derive_ctx(self.ctx, alloc_idx, 0),
             rank: self.rank,
             members: self.members.clone(),
             coll_seq: Cell::new(0),
+            ctx_alloc: Cell::new(0),
             traffic: Cell::new(Traffic::default()),
         }
     }
@@ -511,6 +561,56 @@ mod tests {
                 for i in 0..10u32 {
                     assert_eq!(comm.recv::<u32>(Source::Rank(0), 3), vec![i]);
                 }
+            }
+        });
+    }
+
+    #[test]
+    fn out_of_order_tag_stress_10k() {
+        // Satellite fix regression test: rank 1 receives 10 000 messages in
+        // the *reverse* of their send order, so at peak ~10 000 unmatched
+        // envelopes sit in the mailbox. With the old flat-Vec mailbox every
+        // wakeup rescanned all of them (O(n²)); the keyed mailbox pops each
+        // in O(log n) index maintenance. The test asserts correctness and
+        // must finish quickly enough for CI either way.
+        const N: u32 = 10_000;
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for tag in 0..N {
+                    comm.send(1, tag, &[tag as u64]);
+                }
+                // Interleaved any-source block at a tag above the burst.
+                comm.send(1, N + 1, &[u64::from(N) + 1]);
+            } else {
+                // Drain in reverse tag order: worst case for a scan-based
+                // mailbox, every receive is the last match in the queue.
+                for tag in (0..N).rev() {
+                    assert_eq!(comm.recv::<u64>(Source::Rank(0), tag), vec![tag as u64]);
+                }
+                let (v, src) = comm.recv_with_source::<u64>(Source::Any, N + 1);
+                assert_eq!((v, src), (vec![u64::from(N) + 1], 0));
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                assert!(comm.try_recv::<u8>(Source::Any, 9).is_none());
+                comm.send(1, 5, &[42u8]);
+                // Handshake so the try_recv below observes the message.
+                let _: Vec<u8> = comm.recv(Source::Rank(1), 6);
+            } else {
+                let data = loop {
+                    if let Some((data, src)) = comm.try_recv::<u8>(Source::Rank(0), 5) {
+                        assert_eq!(src, 0);
+                        break data;
+                    }
+                    std::thread::yield_now();
+                };
+                assert_eq!(data, vec![42]);
+                comm.send(0, 6, &[1u8]);
             }
         });
     }

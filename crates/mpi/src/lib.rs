@@ -1,8 +1,10 @@
 //! # mini-mpi
 //!
-//! An in-process, MPI-like message-passing runtime. **Ranks are OS threads**
-//! inside one process; the API mirrors the subset of MPI that the Damaris
-//! middleware and its baselines actually use:
+//! An MPI-like message-passing runtime with two transports: **thread
+//! ranks** inside one process ([`World::run`]) and **process ranks** over
+//! Unix-domain sockets with a TCP loopback fallback
+//! ([`World::run_spawned`]). The API mirrors the subset of MPI that the
+//! Damaris middleware and its baselines actually use:
 //!
 //! * point-to-point: [`Comm::send`] / [`Comm::recv`] with tag matching and
 //!   any-source receives (eager, buffered semantics — sends never block),
@@ -24,6 +26,10 @@
 //! at 9216 ranks are replayed by the `cluster-sim` discrete-event simulator
 //! anyway. What the *middleware* needs from MPI — identity, grouping, and
 //! collective data movement with the right volumes — is preserved exactly.
+//! The socket world closes the remaining credibility gap for single-node
+//! claims: Damaris clients and dedicated cores are separate MPI *processes*
+//! sharing a memory segment, and [`World::run_spawned`] reproduces exactly
+//! that boundary (see `damaris_core::process`).
 //!
 //! ## Example
 //!
@@ -40,11 +46,97 @@
 
 pub mod comm;
 pub mod datatype;
+pub mod socket;
 pub mod world;
 
 pub use comm::{Comm, Traffic};
 pub use datatype::MpiData;
 pub use world::World;
+
+/// Knobs for [`World::run_spawned_with`].
+#[derive(Debug, Clone)]
+pub struct SpawnOptions {
+    /// Re-execute children with `--exact <program> --nocapture` so a
+    /// libtest harness runs only the calling test (use
+    /// [`World::run_spawned_test`]).
+    pub harness_args: bool,
+    /// Force the TCP loopback transport instead of Unix-domain sockets
+    /// (the fallback is otherwise automatic when UDS is unavailable).
+    pub tcp: bool,
+    /// How long the parent waits for all ranks before killing stragglers
+    /// and reporting [`SpawnError::Timeout`].
+    pub timeout: std::time::Duration,
+}
+
+impl Default for SpawnOptions {
+    fn default() -> Self {
+        SpawnOptions {
+            harness_args: false,
+            tcp: false,
+            timeout: std::time::Duration::from_secs(120),
+        }
+    }
+}
+
+/// Failures of a spawned (multi-process) world.
+#[derive(Debug)]
+pub enum SpawnError {
+    /// Process management or rendezvous I/O failed.
+    Io(std::io::Error),
+    /// One or more ranks exited abnormally or without reporting a result
+    /// (e.g. a rank died and the survivors aborted instead of
+    /// deadlocking). One human-readable line per failed rank.
+    RanksFailed(Vec<String>),
+    /// Not all ranks finished within [`SpawnOptions::timeout`]; stragglers
+    /// were killed.
+    Timeout {
+        /// How long the parent waited.
+        waited: std::time::Duration,
+        /// Per-rank failure descriptions collected so far.
+        failed: Vec<String>,
+    },
+    /// This process is a spawned rank of a *different* `run_spawned` call
+    /// site (the re-executed binary reached the wrong program first).
+    ProgramMismatch {
+        /// The program this process was spawned for.
+        expected: String,
+        /// The program of the call site that was actually reached.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::Io(e) => write!(f, "spawn I/O error: {e}"),
+            SpawnError::RanksFailed(ranks) => {
+                write!(f, "ranks failed: {}", ranks.join("; "))
+            }
+            SpawnError::Timeout { waited, failed } => write!(
+                f,
+                "spawned world timed out after {waited:?} ({})",
+                if failed.is_empty() {
+                    "no rank failures recorded".to_string()
+                } else {
+                    failed.join("; ")
+                }
+            ),
+            SpawnError::ProgramMismatch { expected, found } => write!(
+                f,
+                "spawned child for program '{expected}' reached call site '{found}'"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpawnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Receive matcher: either a specific source rank or any source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

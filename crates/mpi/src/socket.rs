@@ -1,0 +1,929 @@
+//! Multi-process transport: Unix-domain sockets (TCP loopback fallback),
+//! rendezvous, framing, and the `run_spawned` process orchestration.
+//!
+//! ## Rendezvous
+//!
+//! The parent creates a temporary directory and re-executes the current
+//! binary once per rank with `MINI_MPI_{DIR,RANK,SIZE,PROGRAM,INPUT}` in
+//! the environment. Every rank binds a listener in the directory
+//! (`r<k>.sock` for UDS, `r<k>.port` holding a TCP loopback port when UDS
+//! is unavailable or forced off), connects to every lower rank, and
+//! accepts one connection from every higher rank — a full mesh. Peers
+//! identify themselves with a `Hello` frame immediately after connecting,
+//! so accept order does not matter.
+//!
+//! ## Framing
+//!
+//! Every message is one length-prefixed frame: `[u32 body_len][u8 kind]`
+//! followed by the body. Data frames carry `(ctx, src, tag, payload)` —
+//! exactly the in-process [`Envelope`] — and are demuxed by a per-peer
+//! reader thread into the local rank's mailbox, where the ordinary
+//! matching logic picks them up. Sends go through a per-peer writer
+//! thread (an unbounded channel in between), so `send` keeps its eager,
+//! never-blocking semantics even when a socket back-pressures.
+//!
+//! ## Teardown and failure semantics
+//!
+//! When a rank's program finishes it reports its result to the parent
+//! over an out-of-band control connection, flushes a `Goodbye` frame to
+//! every peer, and only closes its sockets after receiving every peer's
+//! `Goodbye` — a teardown barrier that guarantees no rank observes an
+//! end-of-stream while envelopes are still in flight. An EOF *without* a
+//! preceding `Goodbye` therefore means the peer died: the local mailbox
+//! is poisoned and every pending and future receive fails with
+//! "rank N died" instead of deadlocking. The parent collects exit
+//! statuses and per-rank results, and reports any failed rank.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::Comm;
+use crate::world::{Envelope, Mailbox, Transport, WorldInner};
+use crate::{SpawnError, SpawnOptions};
+
+pub(crate) const ENV_DIR: &str = "MINI_MPI_DIR";
+const ENV_RANK: &str = "MINI_MPI_RANK";
+const ENV_SIZE: &str = "MINI_MPI_SIZE";
+const ENV_PROGRAM: &str = "MINI_MPI_PROGRAM";
+const ENV_INPUT: &str = "MINI_MPI_INPUT";
+const ENV_TCP: &str = "MINI_MPI_TCP";
+
+/// How long a rank retries connecting to a peer's endpoint before giving
+/// up (covers slow process startup under load).
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long a finished rank waits for peers' goodbyes before closing its
+/// sockets anyway (a dead peer must not wedge survivors in teardown).
+const GOODBYE_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---------------------------------------------------------------------------
+// Stream / listener abstraction (UDS with TCP loopback fallback)
+// ---------------------------------------------------------------------------
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+            Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
+        })
+    }
+}
+
+fn sock_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.sock"))
+}
+
+fn port_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.port"))
+}
+
+/// Bind an endpoint named `name` inside `dir`: a Unix socket unless TCP
+/// is forced (or the UDS bind fails, e.g. a rendezvous path too long for
+/// `sockaddr_un`), in which case a loopback TCP listener is announced by
+/// atomically publishing its port number to `<name>.port`.
+fn bind_endpoint(dir: &Path, name: &str, force_tcp: bool) -> io::Result<Listener> {
+    if !force_tcp {
+        match UnixListener::bind(sock_path(dir, name)) {
+            Ok(l) => return Ok(Listener::Unix(l)),
+            Err(_) => { /* fall through to TCP */ }
+        }
+    }
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let port = listener.local_addr()?.port();
+    let tmp = dir.join(format!("{name}.port.tmp"));
+    std::fs::write(&tmp, port.to_string())?;
+    std::fs::rename(&tmp, port_path(dir, name))?;
+    Ok(Listener::Tcp(listener))
+}
+
+/// Connect to the endpoint `name` inside `dir`, retrying until `deadline`
+/// (the peer may not have bound yet). Tries the Unix socket first, then
+/// the published TCP port.
+fn connect_endpoint(dir: &Path, name: &str, deadline: Instant) -> io::Result<Stream> {
+    let sock = sock_path(dir, name);
+    let port = port_path(dir, name);
+    loop {
+        if sock.exists() {
+            match UnixStream::connect(&sock) {
+                Ok(s) => return Ok(Stream::Unix(s)),
+                Err(_) => { /* listener may still be setting up */ }
+            }
+        }
+        if let Ok(text) = std::fs::read_to_string(&port) {
+            if let Ok(p) = text.trim().parse::<u16>() {
+                if let Ok(s) = TcpStream::connect(("127.0.0.1", p)) {
+                    return Ok(Stream::Tcp(s));
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("no endpoint '{name}' appeared in {dir:?}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+const KIND_DATA: u8 = 0;
+const KIND_GOODBYE: u8 = 1;
+const KIND_HELLO: u8 = 2;
+const KIND_RESULT: u8 = 3;
+
+/// Upper bound on a frame body. The length prefix is untrusted input
+/// (a corrupted byte or a desynced stream after a partial write must
+/// not make the reader allocate gigabytes before noticing); anything
+/// larger fails as a malformed frame and poisons the mailbox cleanly.
+/// Generous for this workspace's messages — a send above this limit is
+/// rejected at the writer, not silently truncated.
+const MAX_FRAME_BODY: usize = 256 << 20;
+
+enum Frame {
+    Data(Envelope),
+    Goodbye,
+    Hello { rank: u32 },
+    Result { rank: u32, data: Vec<u8> },
+}
+
+fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    if let Frame::Data(env) = frame {
+        // Hot path: fixed-size header on the stack, payload written
+        // directly from its shared buffer — no per-frame allocation, no
+        // full-payload copy.
+        let body_len = 24 + env.payload.len();
+        if body_len > MAX_FRAME_BODY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "message of {} bytes exceeds the frame limit",
+                    env.payload.len()
+                ),
+            ));
+        }
+        let mut head = [0u8; 5 + 24];
+        head[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        head[4] = KIND_DATA;
+        head[5..13].copy_from_slice(&env.ctx.to_le_bytes());
+        head[13..17].copy_from_slice(&(env.src as u32).to_le_bytes());
+        head[17..25].copy_from_slice(&env.tag.to_le_bytes());
+        head[25..29].copy_from_slice(&(env.payload.len() as u32).to_le_bytes());
+        w.write_all(&head)?;
+        w.write_all(&env.payload)?;
+        return w.flush();
+    }
+    let mut body = Vec::new();
+    let kind = match frame {
+        Frame::Data(_) => unreachable!("handled above"),
+        Frame::Goodbye => KIND_GOODBYE,
+        Frame::Hello { rank } => {
+            body.extend_from_slice(&rank.to_le_bytes());
+            KIND_HELLO
+        }
+        Frame::Result { rank, data } => {
+            body.extend_from_slice(&rank.to_le_bytes());
+            body.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            body.extend_from_slice(data);
+            KIND_RESULT
+        }
+    };
+    if body.len() > MAX_FRAME_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame body exceeds the frame limit",
+        ));
+    }
+    let mut head = [0u8; 5];
+    head[..4].copy_from_slice(&(body.len() as u32).to_le_bytes());
+    head[4] = kind;
+    w.write_all(&head)?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let body_len = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+    let kind = head[4];
+    // The length prefix is untrusted: validate before allocating, so a
+    // corrupted byte yields a clean "malformed frame" poison instead of
+    // a multi-gigabyte allocation.
+    if body_len > MAX_FRAME_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {body_len} bytes exceeds the frame limit"),
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    match kind {
+        KIND_DATA => {
+            if body.len() < 24 {
+                return Err(bad("short data frame"));
+            }
+            let ctx = read_u64(&body, 0);
+            let src = read_u32(&body, 8) as usize;
+            let tag = read_u64(&body, 12);
+            let len = read_u32(&body, 20) as usize;
+            if body.len() != 24 + len {
+                return Err(bad("data frame length mismatch"));
+            }
+            Ok(Frame::Data(Envelope {
+                ctx,
+                src,
+                tag,
+                payload: Bytes::copy_from_slice(&body[24..]),
+            }))
+        }
+        KIND_GOODBYE => Ok(Frame::Goodbye),
+        KIND_HELLO => {
+            if body.len() != 4 {
+                return Err(bad("bad hello frame"));
+            }
+            Ok(Frame::Hello {
+                rank: read_u32(&body, 0),
+            })
+        }
+        KIND_RESULT => {
+            if body.len() < 8 {
+                return Err(bad("short result frame"));
+            }
+            let rank = read_u32(&body, 0);
+            let len = read_u32(&body, 4) as usize;
+            if body.len() != 8 + len {
+                return Err(bad("result frame length mismatch"));
+            }
+            Ok(Frame::Result {
+                rank,
+                data: body[8..].to_vec(),
+            })
+        }
+        other => Err(bad(&format!("unknown frame kind {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Peer mesh
+// ---------------------------------------------------------------------------
+
+enum WireMsg {
+    Data(Envelope),
+    Goodbye,
+}
+
+struct GoodbyeState {
+    received: usize,
+    /// First observed peer failure, if any.
+    dead: Option<String>,
+}
+
+/// One rank's view of a socket world: the local mailbox plus per-peer
+/// writer channels. Reader and writer threads hold clones of the shared
+/// pieces; the struct itself lives inside [`WorldInner`].
+pub(crate) struct SocketPeers {
+    rank: usize,
+    mailbox: Arc<Mailbox>,
+    senders: Vec<Option<mpsc::Sender<WireMsg>>>,
+    writer_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    goodbyes: Arc<(Mutex<GoodbyeState>, Condvar)>,
+    streams: Vec<Option<Stream>>,
+}
+
+impl SocketPeers {
+    pub(crate) fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub(crate) fn mailbox(&self) -> &Mailbox {
+        &self.mailbox
+    }
+
+    /// Enqueue an envelope for `dest` (own rank: direct mailbox push).
+    /// Panics if the world is already poisoned — a send to (or via) a
+    /// dead mesh must fail loudly, exactly like a receive.
+    pub(crate) fn post(&self, dest: usize, env: Envelope) {
+        if let Some(reason) = self.mailbox.is_poisoned() {
+            panic!("mini-mpi: send failed: {reason}");
+        }
+        if dest == self.rank {
+            self.mailbox.push(env);
+            return;
+        }
+        let sender = self.senders[dest]
+            .as_ref()
+            .expect("non-self peer must have a writer");
+        if sender.send(WireMsg::Data(env)).is_err() {
+            let reason = self
+                .mailbox
+                .is_poisoned()
+                .unwrap_or_else(|| format!("rank {dest} unreachable (writer gone)"));
+            panic!("mini-mpi: send failed: {reason}");
+        }
+    }
+
+    /// Establish the full mesh for `rank` of `size` inside `dir`.
+    fn connect(dir: &Path, rank: usize, size: usize, force_tcp: bool) -> io::Result<SocketPeers> {
+        let deadline = Instant::now() + CONNECT_TIMEOUT;
+        let listener = bind_endpoint(dir, &format!("r{rank}"), force_tcp)?;
+        let mut streams: Vec<Option<Stream>> = (0..size).map(|_| None).collect();
+        // Connect to every lower rank, identifying ourselves.
+        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+            let mut s = connect_endpoint(dir, &format!("r{peer}"), deadline)?;
+            write_frame(&mut s, &Frame::Hello { rank: rank as u32 })?;
+            *slot = Some(s);
+        }
+        // Accept one connection from every higher rank.
+        for _ in rank + 1..size {
+            let mut s = listener.accept()?;
+            match read_frame(&mut s)? {
+                Frame::Hello { rank: peer } => {
+                    let peer = peer as usize;
+                    if peer <= rank || peer >= size || streams[peer].is_some() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected hello from rank {peer}"),
+                        ));
+                    }
+                    streams[peer] = Some(s);
+                }
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "expected hello frame",
+                    ))
+                }
+            }
+        }
+
+        let mailbox = Arc::new(Mailbox::new());
+        let goodbyes = Arc::new((
+            Mutex::new(GoodbyeState {
+                received: 0,
+                dead: None,
+            }),
+            Condvar::new(),
+        ));
+        let mut senders: Vec<Option<mpsc::Sender<WireMsg>>> = (0..size).map(|_| None).collect();
+        let mut writer_handles = Vec::new();
+        for (peer, slot) in streams.iter_mut().enumerate() {
+            let Some(stream) = slot else { continue };
+            // Writer thread: owns a clone of the stream's write half,
+            // drains the channel, stops after Goodbye (or channel close).
+            let (tx, rx) = mpsc::channel::<WireMsg>();
+            let mut write_half = stream.try_clone()?;
+            let mb = mailbox.clone();
+            writer_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mini-mpi-w{rank}-to-{peer}"))
+                    .spawn(move || {
+                        for msg in rx {
+                            let frame = match msg {
+                                WireMsg::Data(env) => Frame::Data(env),
+                                WireMsg::Goodbye => Frame::Goodbye,
+                            };
+                            let last = matches!(frame, Frame::Goodbye);
+                            if let Err(e) = write_frame(&mut write_half, &frame) {
+                                mb.poison(format!("rank {peer} died (write failed: {e})"));
+                                return;
+                            }
+                            if last {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("failed to spawn writer thread"),
+            );
+            senders[peer] = Some(tx);
+            // Reader thread: demux incoming frames into the mailbox until
+            // Goodbye; an earlier EOF/error means the peer died.
+            let mut read_half = stream.try_clone()?;
+            let mb = mailbox.clone();
+            let gb = goodbyes.clone();
+            std::thread::Builder::new()
+                .name(format!("mini-mpi-r{rank}-from-{peer}"))
+                .spawn(move || loop {
+                    match read_frame(&mut read_half) {
+                        Ok(Frame::Data(env)) => mb.push(env),
+                        Ok(Frame::Goodbye) => {
+                            let (lock, cvar) = &*gb;
+                            lock.lock().received += 1;
+                            cvar.notify_all();
+                            return;
+                        }
+                        Ok(_) => {
+                            let reason = format!("rank {peer} sent an unexpected control frame");
+                            mb.poison(reason.clone());
+                            let (lock, cvar) = &*gb;
+                            lock.lock().dead.get_or_insert(reason);
+                            cvar.notify_all();
+                            return;
+                        }
+                        Err(e) => {
+                            let reason = if e.kind() == io::ErrorKind::UnexpectedEof {
+                                format!("rank {peer} died (connection closed before goodbye)")
+                            } else {
+                                format!("rank {peer} died ({e})")
+                            };
+                            mb.poison(reason.clone());
+                            let (lock, cvar) = &*gb;
+                            lock.lock().dead.get_or_insert(reason);
+                            cvar.notify_all();
+                            return;
+                        }
+                    }
+                })
+                .expect("failed to spawn reader thread");
+        }
+        Ok(SocketPeers {
+            rank,
+            mailbox,
+            senders,
+            writer_handles: Mutex::new(writer_handles),
+            goodbyes,
+            streams: streams.into_iter().collect(),
+        })
+    }
+
+    /// Teardown barrier: flush a goodbye to every peer, join the writers
+    /// (all queued envelopes are on the wire), then wait until every peer's
+    /// goodbye arrived — or a peer is known dead, or the timeout expires —
+    /// before the sockets may be closed.
+    fn shutdown(&self) {
+        for sender in self.senders.iter().flatten() {
+            let _ = sender.send(WireMsg::Goodbye);
+        }
+        for handle in self.writer_handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+        let expected = self.senders.iter().flatten().count();
+        let (lock, cvar) = &*self.goodbyes;
+        let mut st = lock.lock();
+        let deadline = Instant::now() + GOODBYE_TIMEOUT;
+        while st.received < expected && st.dead.is_none() {
+            if cvar.wait_until(&mut st, deadline).timed_out() {
+                break;
+            }
+        }
+        drop(st);
+        for stream in self.streams.iter().flatten() {
+            stream.shutdown();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Child / parent orchestration
+// ---------------------------------------------------------------------------
+
+/// Environment of a spawned rank.
+pub(crate) struct ChildEnv {
+    pub dir: PathBuf,
+    pub rank: usize,
+    pub size: usize,
+    pub program: String,
+    pub input: Vec<u8>,
+    pub tcp: bool,
+}
+
+/// Decode the child-side environment, if present.
+pub(crate) fn child_env() -> Option<ChildEnv> {
+    let rank = std::env::var(ENV_RANK).ok()?.parse().ok()?;
+    let size = std::env::var(ENV_SIZE).ok()?.parse().ok()?;
+    let dir = PathBuf::from(std::env::var(ENV_DIR).ok()?);
+    let program = std::env::var(ENV_PROGRAM).ok()?;
+    let input = hex_decode(&std::env::var(ENV_INPUT).unwrap_or_default())?;
+    let tcp = std::env::var(ENV_TCP).is_ok_and(|v| v == "1");
+    Some(ChildEnv {
+        dir,
+        rank,
+        size,
+        program,
+        input,
+        tcp,
+    })
+}
+
+fn hex_encode(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+/// Entry point shared by all `run_spawned*` flavours: dispatches to the
+/// child path when the rank environment is present, otherwise spawns and
+/// supervises the children.
+pub(crate) fn run_spawned_impl<F>(
+    size: usize,
+    program: &str,
+    input: &[u8],
+    opts: SpawnOptions,
+    f: F,
+) -> Result<Vec<Vec<u8>>, SpawnError>
+where
+    F: FnOnce(&mut Comm, &[u8]) -> Vec<u8>,
+{
+    assert!(size > 0, "world size must be positive");
+    if let Some(env) = child_env() {
+        if env.program != program {
+            // A different call site in the re-executed binary: not ours.
+            return Err(SpawnError::ProgramMismatch {
+                expected: env.program,
+                found: program.to_string(),
+            });
+        }
+        child_main(env, f) // never returns
+    }
+    parent_main(size, program, input, opts)
+}
+
+/// Run this process as one rank: connect the mesh, run the rank program,
+/// report the result, tear down, exit.
+fn child_main<F>(env: ChildEnv, f: F) -> !
+where
+    F: FnOnce(&mut Comm, &[u8]) -> Vec<u8>,
+{
+    let fail = |msg: String| -> ! {
+        eprintln!("mini-mpi rank {}: {msg}", env.rank);
+        std::process::exit(102);
+    };
+    let mut control = match connect_endpoint(&env.dir, "control", Instant::now() + CONNECT_TIMEOUT)
+    {
+        Ok(s) => s,
+        Err(e) => fail(format!("cannot reach parent control endpoint: {e}")),
+    };
+    if let Err(e) = write_frame(
+        &mut control,
+        &Frame::Hello {
+            rank: env.rank as u32,
+        },
+    ) {
+        fail(format!("control hello failed: {e}"));
+    }
+    let peers = match SocketPeers::connect(&env.dir, env.rank, env.size, env.tcp) {
+        Ok(p) => p,
+        Err(e) => fail(format!("rendezvous failed: {e}")),
+    };
+    let inner = Arc::new(WorldInner {
+        transport: Transport::Socket(peers),
+        bytes_sent: std::sync::atomic::AtomicU64::new(0),
+        messages_sent: std::sync::atomic::AtomicU64::new(0),
+    });
+    let members: Arc<Vec<usize>> = Arc::new((0..env.size).collect());
+    let mut comm = Comm::new_world(inner.clone(), env.rank, members);
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm, &env.input)));
+    drop(comm);
+    match result {
+        Ok(data) => {
+            if let Err(e) = write_frame(
+                &mut control,
+                &Frame::Result {
+                    rank: env.rank as u32,
+                    data,
+                },
+            ) {
+                fail(format!("result report failed: {e}"));
+            }
+            if let Transport::Socket(peers) = &inner.transport {
+                peers.shutdown();
+            }
+            std::process::exit(0);
+        }
+        Err(_) => {
+            // The panic hook already printed the message; the missing
+            // result plus the exit code tell the parent this rank failed.
+            std::process::exit(101);
+        }
+    }
+}
+
+/// Spawn and supervise `size` rank processes; collect their results.
+fn parent_main(
+    size: usize,
+    program: &str,
+    input: &[u8],
+    opts: SpawnOptions,
+) -> Result<Vec<Vec<u8>>, SpawnError> {
+    static SPAWN_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mini-mpi-{}-{}",
+        std::process::id(),
+        SPAWN_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).map_err(SpawnError::Io)?;
+    let cleanup = DirCleanup(dir.clone());
+
+    let listener = bind_endpoint(&dir, "control", opts.tcp).map_err(SpawnError::Io)?;
+    let results: Arc<Mutex<Vec<Option<Vec<u8>>>>> = Arc::new(Mutex::new(vec![None; size]));
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_handle = {
+        let results = results.clone();
+        let stop = stop.clone();
+        std::thread::Builder::new()
+            .name("mini-mpi-control".into())
+            .spawn(move || {
+                let mut handlers = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    let Ok(mut stream) = listener.accept() else {
+                        break;
+                    };
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let results = results.clone();
+                    handlers.push(std::thread::spawn(move || {
+                        let Ok(Frame::Hello { rank }) = read_frame(&mut stream) else {
+                            return;
+                        };
+                        // Block until the rank reports (or dies: EOF).
+                        if let Ok(Frame::Result { rank: r, data }) = read_frame(&mut stream) {
+                            if r == rank && (r as usize) < results.lock().len() {
+                                results.lock()[r as usize] = Some(data);
+                            }
+                        }
+                    }));
+                }
+                for h in handlers {
+                    let _ = h.join();
+                }
+            })
+            .expect("failed to spawn control thread")
+    };
+
+    let exe = std::env::current_exe().map_err(SpawnError::Io)?;
+    let input_hex = hex_encode(input);
+    let mut children = Vec::with_capacity(size);
+    for rank in 0..size {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.env(ENV_DIR, &dir)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_SIZE, size.to_string())
+            .env(ENV_PROGRAM, program)
+            .env(ENV_INPUT, &input_hex);
+        if opts.tcp {
+            cmd.env(ENV_TCP, "1");
+        }
+        if opts.harness_args {
+            cmd.args(["--exact", program, "--nocapture", "--test-threads", "1"]);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(Some(child)),
+            Err(e) => {
+                // Kill whatever already started, then report.
+                for c in children.iter_mut().flatten() {
+                    let _ = c.kill();
+                }
+                stop_control(&stop, &dir, accept_handle);
+                drop(cleanup);
+                return Err(SpawnError::Io(e));
+            }
+        }
+    }
+
+    // Supervise: poll exit statuses until all children are gone or the
+    // deadline passes (then kill the stragglers).
+    let deadline = Instant::now() + opts.timeout;
+    let mut statuses: Vec<Option<std::process::ExitStatus>> = vec![None; size];
+    let mut timed_out = false;
+    loop {
+        let mut all_done = true;
+        for (rank, slot) in children.iter_mut().enumerate() {
+            let Some(child) = slot else { continue };
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    statuses[rank] = Some(status);
+                    *slot = None;
+                }
+                Ok(None) => all_done = false,
+                Err(_) => all_done = false,
+            }
+        }
+        if all_done {
+            break;
+        }
+        if Instant::now() >= deadline {
+            timed_out = true;
+            for slot in children.iter_mut() {
+                if let Some(child) = slot {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                *slot = None;
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop_control(&stop, &dir, accept_handle);
+
+    let results = Arc::try_unwrap(results)
+        .map(|m| m.into_inner())
+        .unwrap_or_default();
+    let mut failed = Vec::new();
+    let mut ok = Vec::with_capacity(size);
+    for (rank, status) in statuses.iter().enumerate() {
+        let status_ok = status.map(|s| s.success()).unwrap_or(false);
+        let result = results.get(rank).cloned().flatten();
+        match (result, status_ok) {
+            (Some(data), true) => ok.push(data),
+            (result, _) => {
+                let status = match status {
+                    Some(s) => format!("exit {}", s.code().map_or(-1, |c| c)),
+                    None => "killed (timeout)".to_string(),
+                };
+                let what = if result.is_none() {
+                    "no result"
+                } else {
+                    "result but bad exit"
+                };
+                failed.push(format!("rank {rank}: {status}, {what}"));
+            }
+        }
+    }
+    drop(cleanup);
+    if timed_out {
+        return Err(SpawnError::Timeout {
+            waited: opts.timeout,
+            failed,
+        });
+    }
+    if !failed.is_empty() {
+        return Err(SpawnError::RanksFailed(failed));
+    }
+    Ok(ok)
+}
+
+/// Unblock and join the control accept loop.
+fn stop_control(stop: &AtomicBool, dir: &Path, handle: std::thread::JoinHandle<()>) {
+    stop.store(true, Ordering::Release);
+    // A throwaway connection unblocks the (blocking) accept call. Retry
+    // briefly (transient ECONNREFUSED under backlog pressure); if it
+    // still fails, leak the thread rather than joining a blocked accept
+    // forever — the listener dies with the process.
+    match connect_endpoint(dir, "control", Instant::now() + Duration::from_secs(2)) {
+        Ok(_) => {
+            let _ = handle.join();
+        }
+        Err(_) => drop(handle),
+    }
+}
+
+/// Best-effort removal of the rendezvous directory.
+struct DirCleanup(PathBuf);
+
+impl Drop for DirCleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for data in [vec![], vec![0u8], vec![0xde, 0xad, 0xbe, 0xef], vec![7; 33]] {
+            assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        }
+        assert!(hex_decode("abc").is_none());
+        assert!(hex_decode("zz").is_none());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frames = [
+            Frame::Data(Envelope {
+                ctx: 7,
+                src: 3,
+                tag: (1 << 63) | 42,
+                payload: Bytes::copy_from_slice(b"hello"),
+            }),
+            Frame::Goodbye,
+            Frame::Hello { rank: 9 },
+            Frame::Result {
+                rank: 2,
+                data: vec![1, 2, 3],
+            },
+        ];
+        for frame in &frames {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, frame).unwrap();
+            let mut cursor = &buf[..];
+            match (frame, read_frame(&mut cursor).unwrap()) {
+                (Frame::Data(a), Frame::Data(b)) => {
+                    assert_eq!((a.ctx, a.src, a.tag), (b.ctx, b.src, b.tag));
+                    assert_eq!(&a.payload[..], &b.payload[..]);
+                }
+                (Frame::Goodbye, Frame::Goodbye) => {}
+                (Frame::Hello { rank: a }, Frame::Hello { rank: b }) => assert_eq!(a, &b),
+                (Frame::Result { rank, data }, Frame::Result { rank: r, data: d }) => {
+                    assert_eq!((rank, data), (&r, &d));
+                }
+                _ => panic!("frame kind changed across the wire"),
+            }
+            assert!(cursor.is_empty(), "frame must consume exactly its bytes");
+        }
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Data(Envelope {
+                ctx: 0,
+                src: 0,
+                tag: 0,
+                payload: Bytes::copy_from_slice(&[1, 2, 3, 4]),
+            }),
+        )
+        .unwrap();
+        for cut in 1..buf.len() {
+            let mut cursor = &buf[..cut];
+            assert!(read_frame(&mut cursor).is_err(), "cut at {cut} must fail");
+        }
+    }
+}

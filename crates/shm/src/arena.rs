@@ -290,6 +290,14 @@ impl SlabCache {
         &self.seg
     }
 
+    /// Bytes a full [`SlabCache::prewarm`] would park in this cache
+    /// (every slot of every class).
+    pub fn prewarm_bytes(&self) -> usize {
+        (0..self.seg.class_count())
+            .map(|ci| SLAB_SLOTS_PER_CLASS * self.seg.class_size(ci))
+            .sum()
+    }
+
     fn class_slots(&self, ci: usize) -> &[AtomicUsize] {
         self.slots.class_slots(ci)
     }
@@ -351,6 +359,48 @@ impl SlabCache {
 }
 
 impl SlabCache {
+    /// Seed every empty cache slot (`SLAB_SLOTS_PER_CLASS` per size
+    /// class) with a reserved block, pulled from the shared class queues
+    /// when they already hold free offsets and carved from the first-fit
+    /// list otherwise.
+    ///
+    /// Called at node-build time so a client's *first* allocations of
+    /// every declared layout (iteration 0) are already slot swaps —
+    /// without this, the cache warms lazily and iteration 0 serializes
+    /// every client on the first-fit mutex. Best-effort: classes the
+    /// segment cannot spare bytes for (see the half-capacity guard on the
+    /// carve path) simply stay cold.
+    ///
+    /// Reservations count as *used* segment bytes, so callers sizing for
+    /// occupancy-driven backpressure should check
+    /// [`SlabCache::prewarm_bytes`] against their headroom first (as
+    /// `NodeBuilder` does) — prewarming a segment that barely fits its
+    /// working set would start it near the skip watermark.
+    pub fn prewarm(&self) {
+        for ci in 0..self.seg.class_count() {
+            for slot in self.class_slots(ci) {
+                if slot.load(Ordering::Relaxed) != 0 {
+                    continue;
+                }
+                let Some(offset) = self
+                    .seg
+                    .class_pop_reserved(ci)
+                    .or_else(|| self.seg.carve_reserved(ci))
+                else {
+                    break;
+                };
+                if slot
+                    .compare_exchange(0, offset + 1, Ordering::Release, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // Lost a race against a concurrent stash; hand the
+                    // reservation back rather than leaking it.
+                    self.seg.return_reserved(ci, offset);
+                }
+            }
+        }
+    }
+
     /// Return every cached reservation to the shared pool (e.g. at node
     /// shutdown, once no further writes can arrive). The cache remains
     /// usable and will re-warm on the next allocation.
@@ -460,6 +510,50 @@ mod tests {
         let got: u64 = sums.into_iter().map(|h| h.join().unwrap()).sum();
         let total = n * per;
         assert_eq!(got, (total * (total + 1) / 2) as u64);
+    }
+
+    #[test]
+    fn prewarm_makes_first_allocation_a_class_hit() {
+        let seg = crate::SharedSegment::with_classes(1 << 14, &[256, 512]).unwrap();
+        let cache = crate::SlabCache::new(&seg);
+        cache.prewarm();
+        assert_eq!(seg.stats().class_hits, 0, "prewarm reserves, not allocates");
+        assert_eq!(
+            seg.used_bytes(),
+            SLAB_SLOTS_PER_CLASS * (256 + 512),
+            "reservations counted as used"
+        );
+        // The very first allocations of each class must be cache hits —
+        // no trip through the first-fit mutex, even for two blocks of the
+        // same class (e.g. two variables sharing a layout).
+        let a = cache.allocate(256).unwrap();
+        let b = cache.allocate(512).unwrap();
+        let c = cache.allocate(512).unwrap();
+        assert_eq!(seg.stats().class_hits, 3, "iteration 0 hits the classes");
+        drop(a);
+        drop(b);
+        drop(c);
+        // Idempotent: occupied slots are left alone.
+        cache.prewarm();
+        cache.prewarm();
+        drop(cache);
+        assert_eq!(seg.used_bytes(), 0);
+        assert_eq!(seg.largest_free_block(), seg.capacity());
+    }
+
+    #[test]
+    fn prewarm_respects_half_capacity_guard() {
+        // A segment too small to park a reservation per class stays cold
+        // instead of committing most of its bytes to idle caches.
+        let seg = crate::SharedSegment::with_classes(512, &[512]).unwrap();
+        let cache = crate::SlabCache::new(&seg);
+        cache.prewarm();
+        assert_eq!(seg.used_bytes(), 0, "512 of 512 would exceed half capacity");
+        // Allocation still works through the normal tiers.
+        let b = cache.allocate(512).unwrap();
+        drop(b);
+        drop(cache);
+        assert_eq!(seg.used_bytes(), 0);
     }
 
     #[test]

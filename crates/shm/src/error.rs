@@ -25,6 +25,11 @@ pub enum ShmError {
     Timeout,
     /// Zero-byte allocations are not representable.
     ZeroSize,
+    /// Creating/opening/mapping a file-backed segment failed.
+    MapFailed(
+        /// Underlying I/O error text.
+        String,
+    ),
 }
 
 impl fmt::Display for ShmError {
@@ -45,6 +50,7 @@ impl fmt::Display for ShmError {
             }
             ShmError::Timeout => write!(f, "blocking allocation timed out"),
             ShmError::ZeroSize => write!(f, "zero-byte allocation"),
+            ShmError::MapFailed(e) => write!(f, "shared-memory mapping failed: {e}"),
         }
     }
 }

@@ -57,6 +57,7 @@
 
 pub mod arena;
 pub mod error;
+pub mod mapping;
 pub mod queue;
 pub mod segment;
 pub mod spsc;
@@ -64,6 +65,7 @@ pub mod transport;
 
 pub use arena::SlabCache;
 pub use error::{RecvError, SendError, ShmError, TryRecvError, TrySendError};
+pub use mapping::ShmFile;
 pub use queue::MessageQueue;
 pub use segment::{Block, BlockRef, Pod, SegmentStats, SharedSegment};
 pub use spsc::SpscRing;

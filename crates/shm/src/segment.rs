@@ -57,12 +57,14 @@ use crate::error::ShmError;
 /// different cores, and is large enough for any primitive element type.
 pub const BLOCK_ALIGN: usize = 64;
 
-/// How long a blocked allocation sleeps between free-list re-checks. A
-/// release into a lock-free class queue signals the condvar without
-/// holding the lock, so a waiter could in principle miss one notification;
-/// the poll bound turns that race into bounded extra latency instead of a
-/// hang.
-const BLOCKED_ALLOC_POLL: Duration = Duration::from_millis(20);
+/// Failsafe re-check interval for blocked allocations. Wakeups are driven
+/// by an eventcount handshake (`release_gen` + `waiters`, see
+/// [`SegmentInner::signal_release`]): every release bumps a generation
+/// counter and notifies the condvar whenever waiters are registered, so a
+/// blocked allocation wakes within microseconds of a cross-thread free.
+/// This long-interval poll only guards against bugs in that handshake —
+/// it should never be what wakes a waiter.
+const BLOCKED_ALLOC_FAILSAFE: Duration = Duration::from_millis(250);
 
 /// Marker for plain-old-data element types that can be memcpy'd in and out
 /// of a segment.
@@ -163,18 +165,33 @@ impl FreeList {
     }
 }
 
-/// Backing storage, aligned to 16 bytes so every `BLOCK_ALIGN`-multiple
-/// offset is suitably aligned for any [`Pod`] type.
-struct Storage(Box<[u128]>);
+/// Backing storage, aligned to at least 16 bytes so every
+/// `BLOCK_ALIGN`-multiple offset is suitably aligned for any [`Pod`] type.
+enum Storage {
+    /// Process-private heap allocation (thread worlds).
+    Heap(Box<[u128]>),
+    /// A slice of a shared file mapping (process worlds): the same bytes
+    /// are visible in every process that maps the file. `base_offset` is
+    /// `BLOCK_ALIGN`-aligned, and `mmap` returns page-aligned pointers,
+    /// so the alignment guarantee carries over.
+    Mapped {
+        shm: Arc<crate::ShmFile>,
+        base_offset: usize,
+    },
+}
 
 impl Storage {
-    fn new(capacity_bytes: usize) -> Self {
+    fn heap(capacity_bytes: usize) -> Self {
         let words = capacity_bytes.div_ceil(16);
-        Storage(vec![0u128; words].into_boxed_slice())
+        Storage::Heap(vec![0u128; words].into_boxed_slice())
     }
 
     fn base(&self) -> *mut u8 {
-        self.0.as_ptr() as *mut u8
+        match self {
+            Storage::Heap(words) => words.as_ptr() as *mut u8,
+            // SAFETY: `base_offset` was bounds-checked at construction.
+            Storage::Mapped { shm, base_offset } => unsafe { shm.base().add(*base_offset) },
+        }
     }
 }
 
@@ -193,9 +210,14 @@ struct SegmentInner {
     /// freezing and cloning never touch the heap.
     refcounts: Box<[AtomicU32]>,
     space_freed: Condvar,
-    /// Blocked allocations currently waiting; releases fall back to the
-    /// mutex + condvar path while any are present.
+    /// Blocked allocations currently waiting; releases notify the condvar
+    /// only while any are present (see [`SegmentInner::signal_release`]).
     waiters: AtomicUsize,
+    /// Eventcount generation: bumped by every release. A blocked
+    /// allocation reads it before re-checking the tiers and sleeps only
+    /// if it is unchanged after registering as a waiter, so a lock-free
+    /// class-queue release between check and sleep can never be missed.
+    release_gen: AtomicU64,
     used: AtomicUsize,
     peak: AtomicUsize,
     allocations: AtomicU64,
@@ -212,21 +234,37 @@ unsafe impl Sync for SegmentInner {}
 
 impl SegmentInner {
     /// Return a range to the allocator: class queue when possible (no
-    /// lock), else the coalescing free list.
+    /// lock), else the coalescing free list. Either way the eventcount is
+    /// bumped so blocked allocations wake immediately — a waiter needing
+    /// a larger contiguous range re-runs `alloc_locked`, which drains the
+    /// class queues back into the coalescing list.
     fn release(&self, offset: usize, len: usize) {
         self.used.fetch_sub(len, Ordering::Relaxed);
         self.frees.fetch_add(1, Ordering::Relaxed);
-        if self.waiters.load(Ordering::SeqCst) == 0 {
-            if let Some(ci) = self.classes.index_of(len) {
-                if self.classes.push(ci, offset) {
-                    return;
-                }
+        if let Some(ci) = self.classes.index_of(len) {
+            if self.classes.push(ci, offset) {
+                self.signal_release();
+                return;
             }
         }
         let mut fl = self.state.lock();
         fl.free(offset, len);
         drop(fl);
-        self.space_freed.notify_all();
+        self.signal_release();
+    }
+
+    /// Eventcount publish side: bump the generation, then wake any
+    /// registered waiters. Acquiring (and immediately dropping) the
+    /// free-list mutex before notifying serializes with a waiter that has
+    /// registered but not yet slept — it holds the lock from its
+    /// generation read until `Condvar::wait` releases it, so the notify
+    /// cannot fire in that window and be lost.
+    fn signal_release(&self) {
+        self.release_gen.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.state.lock());
+            self.space_freed.notify_all();
+        }
     }
 
     /// First-fit under the lock; on a miss, drain the class queues back
@@ -311,7 +349,7 @@ impl SharedSegment {
     /// [`BLOCK_ALIGN`]) and no size classes: every allocation uses the
     /// first-fit list.
     pub fn new(capacity: usize) -> Result<Self, ShmError> {
-        Self::build(capacity, &[])
+        Self::build(capacity, &[], None)
     }
 
     /// Create a segment with lock-free size classes for the given block
@@ -322,10 +360,54 @@ impl SharedSegment {
     /// layouts, so every steady-state `write` allocation is an exact class
     /// hit.
     pub fn with_classes(capacity: usize, class_sizes: &[usize]) -> Result<Self, ShmError> {
-        Self::build(capacity, class_sizes)
+        Self::build(capacity, class_sizes, None)
     }
 
-    fn build(capacity: usize, class_sizes: &[usize]) -> Result<Self, ShmError> {
+    /// Lay a segment over `capacity` bytes of a shared file mapping,
+    /// starting at `base_offset` (both `BLOCK_ALIGN`-aligned multiples).
+    ///
+    /// The allocator state (free lists, class queues, refcounts) is
+    /// process-local: this is the *writer's* view, carving blocks out of
+    /// its own region of the file. Readers in other processes locate
+    /// blocks by file offset (`base_offset + Block::offset()`) through
+    /// their own [`crate::ShmFile`] mapping — the cross-process protocol
+    /// (who may read when, and when a range is recycled) lives one layer
+    /// up, in the event transport.
+    pub fn over_mapping(
+        shm: &Arc<crate::ShmFile>,
+        base_offset: usize,
+        capacity: usize,
+        class_sizes: &[usize],
+    ) -> Result<Self, ShmError> {
+        if !base_offset.is_multiple_of(BLOCK_ALIGN) || !capacity.is_multiple_of(BLOCK_ALIGN) {
+            return Err(ShmError::MapFailed(format!(
+                "segment region ({base_offset}, {capacity}) not {BLOCK_ALIGN}-byte aligned"
+            )));
+        }
+        if base_offset
+            .checked_add(capacity)
+            .is_none_or(|end| end > shm.len())
+        {
+            return Err(ShmError::MapFailed(format!(
+                "segment region ({base_offset}, {capacity}) outside the {}-byte mapping",
+                shm.len()
+            )));
+        }
+        Self::build(
+            capacity,
+            class_sizes,
+            Some(Storage::Mapped {
+                shm: shm.clone(),
+                base_offset,
+            }),
+        )
+    }
+
+    fn build(
+        capacity: usize,
+        class_sizes: &[usize],
+        storage: Option<Storage>,
+    ) -> Result<Self, ShmError> {
         if capacity == 0 {
             return Err(ShmError::ZeroSize);
         }
@@ -354,7 +436,7 @@ impl SharedSegment {
             .into_boxed_slice();
         Ok(SharedSegment {
             inner: Arc::new(SegmentInner {
-                storage: Storage::new(capacity),
+                storage: storage.unwrap_or_else(|| Storage::heap(capacity)),
                 capacity,
                 state: Mutex::new(FreeList::new(capacity)),
                 classes,
@@ -362,6 +444,7 @@ impl SharedSegment {
                 refcounts,
                 space_freed: Condvar::new(),
                 waiters: AtomicUsize::new(0),
+                release_gen: AtomicU64::new(0),
                 used: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
                 allocations: AtomicU64::new(0),
@@ -444,6 +527,11 @@ impl SharedSegment {
         let deadline = timeout.and_then(|t| std::time::Instant::now().checked_add(t));
         let mut fl = self.inner.state.lock();
         loop {
+            // Eventcount wait side: read the generation *before*
+            // re-checking the tiers. If a release lands after the checks,
+            // the generation no longer matches below and the sleep is
+            // skipped entirely.
+            let gen = self.inner.release_gen.load(Ordering::SeqCst);
             if let Some(ci) = self.inner.classes.index_of(alloc_len) {
                 if let Some(offset) = self.inner.classes.pop(ci) {
                     drop(fl);
@@ -457,20 +545,24 @@ impl SharedSegment {
                 self.note_alloc(alloc_len);
                 return Ok(self.block(offset, len, alloc_len));
             }
-            // Sleep in bounded slices: a class-queue release may signal
-            // without the lock held, so never sleep unboundedly on the
-            // condvar alone.
-            let wait_until = std::time::Instant::now() + BLOCKED_ALLOC_POLL;
+            let wait_until = std::time::Instant::now() + BLOCKED_ALLOC_FAILSAFE;
             let wake_at = match deadline {
                 Some(d) if d < wait_until => d,
                 _ => wait_until,
             };
             self.inner.waiters.fetch_add(1, Ordering::SeqCst);
-            let timed_out = self
-                .inner
-                .space_freed
-                .wait_until(&mut fl, wake_at)
-                .timed_out();
+            // Releases since the generation read are handled by retrying
+            // immediately; otherwise the registered waiter count makes
+            // the next `signal_release` take the lock and notify, which
+            // cannot race ahead of the `wait` below (we still hold `fl`).
+            let timed_out = if self.inner.release_gen.load(Ordering::SeqCst) == gen {
+                self.inner
+                    .space_freed
+                    .wait_until(&mut fl, wake_at)
+                    .timed_out()
+            } else {
+                false
+            };
             self.inner.waiters.fetch_sub(1, Ordering::SeqCst);
             if timed_out {
                 if let Some(d) = deadline {
@@ -515,11 +607,35 @@ impl SharedSegment {
         self.inner.classes.index_of(alloc_len)
     }
 
+    /// Byte size served by class `ci`.
+    pub(crate) fn class_size(&self, ci: usize) -> usize {
+        self.inner.classes.size(ci)
+    }
+
     /// Pop an offset from class `ci` and account its bytes as used
     /// (reserved for a cache; not yet an allocation).
     pub(crate) fn class_pop_reserved(&self, ci: usize) -> Option<usize> {
         let offset = self.inner.classes.pop(ci)?;
         let size = self.inner.classes.size(ci);
+        let used = self.inner.used.fetch_add(size, Ordering::Relaxed) + size;
+        self.inner.peak.fetch_max(used, Ordering::Relaxed);
+        Some(offset)
+    }
+
+    /// Carve a fresh range for class `ci` straight from the first-fit
+    /// list and account it as used (reserved for a cache; not yet an
+    /// allocation). Used by [`crate::SlabCache::prewarm`] to seed caches
+    /// at node-build time, before any block has been freed into the class
+    /// queues. Best-effort: `None` when the segment cannot spare the
+    /// bytes (more than half the capacity already committed).
+    pub(crate) fn carve_reserved(&self, ci: usize) -> Option<usize> {
+        let size = self.inner.classes.size(ci);
+        if self.inner.used.load(Ordering::Relaxed).saturating_add(size) > self.inner.capacity / 2 {
+            return None;
+        }
+        let mut fl = self.inner.state.lock();
+        let offset = fl.allocate(size)?;
+        drop(fl);
         let used = self.inner.used.fetch_add(size, Ordering::Relaxed) + size;
         self.inner.peak.fetch_max(used, Ordering::Relaxed);
         Some(offset)
@@ -539,13 +655,14 @@ impl SharedSegment {
     pub(crate) fn return_reserved(&self, ci: usize, offset: usize) {
         let size = self.inner.classes.size(ci);
         self.inner.used.fetch_sub(size, Ordering::Relaxed);
-        if self.inner.waiters.load(Ordering::SeqCst) == 0 && self.inner.classes.push(ci, offset) {
+        if self.inner.classes.push(ci, offset) {
+            self.inner.signal_release();
             return;
         }
         let mut fl = self.inner.state.lock();
         fl.free(offset, size);
         drop(fl);
-        self.inner.space_freed.notify_all();
+        self.inner.signal_release();
     }
 
     // -----------------------------------------------------------------------
@@ -974,6 +1091,40 @@ mod tests {
     }
 
     #[test]
+    fn blocked_allocation_wakes_sub_millisecond() {
+        // The eventcount handshake must wake a blocked allocation on the
+        // release itself, not on the failsafe poll (the old 20 ms
+        // BLOCKED_ALLOC_POLL tail). The release under test is the
+        // lock-free class-queue push — the path that used to rely on the
+        // poll. Scheduling noise on a loaded CI box can stretch any one
+        // wakeup, so the bound is on the best of several trials.
+        let mut best = Duration::from_secs(1);
+        for _ in 0..5 {
+            let seg = SharedSegment::with_classes(256, &[256]).unwrap();
+            let hog = seg.allocate(256).unwrap();
+            let seg2 = seg.clone();
+            let (tx, rx) = std::sync::mpsc::channel();
+            let waiter = std::thread::spawn(move || {
+                tx.send(()).unwrap();
+                seg2.allocate_blocking(256, Some(Duration::from_secs(5)))
+                    .map(|b| (b.len(), std::time::Instant::now()))
+            });
+            rx.recv().unwrap();
+            // Give the waiter time to actually park on the condvar.
+            std::thread::sleep(Duration::from_millis(20));
+            let released_at = std::time::Instant::now();
+            drop(hog);
+            let (len, woke_at) = waiter.join().unwrap().expect("waiter must get the block");
+            assert_eq!(len, 256);
+            best = best.min(woke_at.duration_since(released_at));
+        }
+        assert!(
+            best < Duration::from_millis(1),
+            "best-of-5 wakeup latency {best:?} is not sub-millisecond"
+        );
+    }
+
+    #[test]
     fn blocking_allocation_times_out() {
         let seg = SharedSegment::new(256).unwrap();
         let _hog = seg.allocate(256).unwrap();
@@ -1075,6 +1226,33 @@ mod tests {
         assert_eq!(seg.used_bytes(), 0);
         assert_eq!(seg.largest_free_block(), seg.capacity());
         assert!(seg.stats().class_hits > 0, "classes actually served hits");
+    }
+
+    #[test]
+    fn segment_over_mapping_shares_bytes() {
+        // A classed segment laid over a slice of a shared file mapping:
+        // blocks written through the segment must be readable — at
+        // base_offset + block offset — through an independent mapping of
+        // the same file, exactly as a second process would see them.
+        let path = crate::ShmFile::default_dir()
+            .join(format!("damaris-seg-map-test-{}", std::process::id()));
+        let shm = Arc::new(crate::ShmFile::create(&path, 8192).unwrap());
+        let base = 4096;
+        let seg = SharedSegment::over_mapping(&shm, base, 4096, &[512]).unwrap();
+        let mut b = seg.allocate(512).unwrap();
+        b.write_pod(&[7.5f64; 64]);
+        let file_offset = base + b.offset();
+        let r = b.freeze();
+        let other = crate::ShmFile::open(&path).unwrap();
+        assert_eq!(other.read_at(file_offset, 512), r.as_slice());
+        other.with_bytes(file_offset, 512, |bytes| {
+            assert!(bytes.chunks_exact(8).all(|c| c == 7.5f64.to_le_bytes()));
+        });
+        drop(r);
+        assert_eq!(seg.used_bytes(), 0);
+        // Misaligned or out-of-range regions are rejected.
+        assert!(SharedSegment::over_mapping(&shm, 8, 4096, &[]).is_err());
+        assert!(SharedSegment::over_mapping(&shm, 4096, 8192, &[]).is_err());
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Process-mode Damaris: one dedicated core and three clients as separate
+//! OS **processes**, exchanging events over Unix-domain sockets while the
+//! block payloads flow through a file-backed shared-memory segment — the
+//! paper's actual architecture (every core an MPI process, a POSIX shm
+//! segment per node), not a thread approximation.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example process_mode
+//! ```
+//!
+//! The binary re-executes itself once per rank (watch `ps` while it runs):
+//! rank 0 serves as the dedicated core, ranks 1..3 simulate compute cores
+//! writing two variables per iteration.
+
+use damaris::core::prelude::*;
+use damaris::core::process::{ProcessClient, ProcessServer, StatsSink, DEDICATED_RANK};
+use damaris::mpi::World;
+
+const XML: &str = r#"
+  <simulation name="process-mode-example">
+    <architecture>
+      <dedicated cores="1"/>
+      <buffer size="8388608"/>
+      <queue capacity="256"/>
+    </architecture>
+    <data>
+      <parameter name="n" value="4096"/>
+      <layout name="field" type="f64" dimensions="n"/>
+      <variable name="pressure" layout="field"/>
+      <variable name="energy" layout="field"/>
+    </data>
+  </simulation>"#;
+
+const RANKS: usize = 4; // 1 dedicated core + 3 clients
+const ITERATIONS: u64 = 20;
+
+fn main() {
+    let results = World::run_spawned(RANKS, "process-mode-example", &[], |comm, _| {
+        let cfg = Configuration::from_str(XML).expect("embedded config is valid");
+        let dir = World::spawn_dir().expect("ranks run inside the spawned world");
+        if comm.rank() == DEDICATED_RANK {
+            // ---- dedicated core process -------------------------------
+            let server = ProcessServer::new(comm, cfg, &dir).expect("server setup");
+            let mut sink = StatsSink::new();
+            let report = server.serve(comm, &mut sink).expect("serve");
+            let pressure = server.config().registry().var_id("pressure").unwrap();
+            let (count, sum, ..) = sink
+                .summary(ITERATIONS - 1, pressure)
+                .expect("last iteration analyzed");
+            println!(
+                "[dedicated] {} iterations, {} blocks, {:.1} MiB through shared memory; \
+                 pressure@{}: count={count} mean={:.3}",
+                report.iterations_completed,
+                report.blocks_received,
+                report.bytes_received as f64 / (1024.0 * 1024.0),
+                ITERATIONS - 1,
+                sum / count as f64,
+            );
+            report.iterations_completed.to_le_bytes().to_vec()
+        } else {
+            // ---- compute core process ---------------------------------
+            let mut client = ProcessClient::new(comm, cfg, &dir).expect("client setup");
+            let n = 4096;
+            for it in 0..ITERATIONS {
+                let base = comm.rank() as f64 + it as f64 / 100.0;
+                let pressure: Vec<f64> = (0..n).map(|i| base + (i as f64).sin()).collect();
+                let energy: Vec<f64> = (0..n).map(|i| base * 0.5 + (i as f64).cos()).collect();
+                client
+                    .write(comm, "pressure", it, &pressure)
+                    .expect("write");
+                client.write(comm, "energy", it, &energy).expect("write");
+                client.end_iteration(comm, it).expect("end iteration");
+            }
+            let stats = client.slice_stats();
+            println!(
+                "[client {}] {} allocations, {} class hits, slice peak {} KiB",
+                comm.rank(),
+                stats.allocations,
+                stats.class_hits,
+                stats.peak / 1024,
+            );
+            client.finalize(comm).expect("finalize");
+            Vec::new()
+        }
+    });
+    match results {
+        Ok(out) => {
+            let completed = u64::from_le_bytes(out[DEDICATED_RANK][..8].try_into().unwrap());
+            assert_eq!(completed, ITERATIONS);
+            println!("process-mode node finished: {completed} iterations across {RANKS} processes");
+        }
+        Err(e) => {
+            eprintln!("process-mode example failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -23,8 +23,9 @@ baseline usually comes from a different box than the CI runner), so:
 * tail latencies (`_p90`/`_p99`) and hit fractions (`_frac…`) are
   recorded for trend reading but never gated.
 
-Missing samples (layout changes) always fail, so a bench cannot silently
-drop coverage. Metrics measured as 0 in the baseline are skipped.
+Missing samples and missing metrics (layout changes) always fail, so a
+bench cannot silently drop coverage. Metrics measured as 0 in the
+baseline are skipped.
 
 Stdlib only; exit code 0 = pass, 1 = regression, 2 = usage/parse error.
 """
@@ -96,7 +97,12 @@ def main(argv):
             failures.append(f"sample disappeared: {ident}")
             continue
         for metric, base_val in base.items():
-            if not is_metric(base_val) or metric not in cur:
+            if not is_metric(base_val):
+                continue
+            if metric not in cur:
+                # A renamed/dropped metric silently loses coverage the
+                # same way a dropped sample would — fail loudly.
+                failures.append(f"{ident}: metric disappeared: {metric}")
                 continue
             sense = direction(metric, args.strict)
             if sense is None or base_val == 0:
