@@ -82,6 +82,31 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
+/// The per-client workload, generic over the [`SimHandle`] facade (the
+/// measured call is the facade's `write`, so the bench gates the API
+/// applications actually use). `pace` blocks until the dedicated core
+/// has caught up to within the pipelining window.
+fn client_loop<H: SimHandle>(
+    h: &mut H,
+    data: &[f64],
+    from: u64,
+    to: u64,
+    pace: impl Fn(u64),
+    mut sample: Option<&mut Vec<f64>>,
+) {
+    for it in from..to {
+        for _ in 0..WRITES_PER_ITER {
+            let t0 = Instant::now();
+            h.write("field", it, data).expect("write");
+            if let Some(samples) = sample.as_deref_mut() {
+                samples.push(t0.elapsed().as_nanos() as f64);
+            }
+        }
+        h.end_iteration(it).expect("end");
+        pace(it);
+    }
+}
+
 fn run_case(allocator: AllocatorKind, clients: usize) -> Sample {
     let node = DamarisNode::builder()
         .config_str(&config(clients))
@@ -110,32 +135,27 @@ fn run_case(allocator: AllocatorKind, clients: usize) -> Sample {
                 let start = start.clone();
                 let node = &node;
                 scope.spawn(move || {
+                    let mut h = Damaris::threads(client);
                     let data = vec![1.0f64; ELEMS];
                     let mut samples = Vec::with_capacity(MEASURED_ITERS as usize * WRITES_PER_ITER);
-                    for it in 0..WARMUP_ITERS {
-                        for _ in 0..WRITES_PER_ITER {
-                            client.write("field", it, &data).expect("warmup write");
-                        }
-                        client.end_iteration(it).expect("warmup end");
+                    // "Compute phase" pacing: let the dedicated core recycle.
+                    let pace = |it: u64| {
                         while node.iterations_completed() + WINDOW <= it {
                             thread::yield_now();
                         }
-                    }
+                    };
+                    client_loop(&mut h, &data, 0, WARMUP_ITERS, pace, None);
                     warmed.wait();
                     start.wait();
-                    for it in WARMUP_ITERS..WARMUP_ITERS + MEASURED_ITERS {
-                        for _ in 0..WRITES_PER_ITER {
-                            let t0 = Instant::now();
-                            client.write("field", it, &data).expect("write");
-                            samples.push(t0.elapsed().as_nanos() as f64);
-                        }
-                        client.end_iteration(it).expect("end");
-                        // "Compute phase": let the dedicated core recycle.
-                        while node.iterations_completed() + WINDOW <= it {
-                            thread::yield_now();
-                        }
-                    }
-                    client.finalize().expect("finalize");
+                    client_loop(
+                        &mut h,
+                        &data,
+                        WARMUP_ITERS,
+                        WARMUP_ITERS + MEASURED_ITERS,
+                        pace,
+                        Some(&mut samples),
+                    );
+                    h.finalize().expect("finalize");
                     samples
                 })
             })

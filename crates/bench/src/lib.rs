@@ -169,21 +169,24 @@ pub fn e8_live_backpressure(block: bool, iterations: u64) -> BackpressureResult 
         std::thread::sleep(std::time::Duration::from_millis(15));
         Ok(())
     })));
+    // The producer loop is generic over the facade: the identical
+    // function would overload a process-mode node.
+    fn produce<H: SimHandle>(h: &mut H, iterations: u64) -> ClientStats {
+        let data = vec![1.5f64; 4096];
+        for it in 0..iterations {
+            h.write("field", it, &data).expect("write path works");
+            h.end_iteration(it).expect("end iteration");
+            // The simulation's own step is fast.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        h.finalize().expect("finalize");
+        h.stats()
+    }
     let t0 = Instant::now();
     let handles: Vec<_> = node
         .clients()
         .map(|client| {
-            std::thread::spawn(move || {
-                let data = vec![1.5f64; 4096];
-                for it in 0..iterations {
-                    client.write("field", it, &data).expect("write path works");
-                    client.end_iteration(it).expect("end iteration");
-                    // The simulation's own step is fast.
-                    std::thread::sleep(std::time::Duration::from_millis(1));
-                }
-                client.finalize().expect("finalize");
-                client.stats()
-            })
+            std::thread::spawn(move || produce(&mut Damaris::threads(client), iterations))
         })
         .collect();
     let stats: Vec<_> = handles

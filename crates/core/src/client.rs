@@ -13,7 +13,7 @@
 //! event moves into the client's own ring, and timing lands in atomic
 //! histogram buckets.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -24,6 +24,7 @@ use damaris_xml::VarId;
 
 use crate::error::{DamarisError, DamarisResult};
 use crate::event::Event;
+use crate::facade::{check_layout, resolve_var};
 use crate::policy::SkipPolicy;
 
 /// What happened to a write call.
@@ -80,7 +81,7 @@ impl StatsRecorder {
         }
     }
 
-    fn record_write(&self, ns: u64, bytes: u64) {
+    pub(crate) fn record_write(&self, ns: u64, bytes: u64) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         self.write_ns_total.fetch_add(ns, Ordering::Relaxed);
@@ -88,11 +89,11 @@ impl StatsRecorder {
         self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_skip(&self) {
+    pub(crate) fn record_skip(&self) {
         self.skipped_writes.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> ClientStats {
+    pub(crate) fn snapshot(&self) -> ClientStats {
         ClientStats {
             writes: self.writes.load(Ordering::Relaxed),
             skipped_writes: self.skipped_writes.load(Ordering::Relaxed),
@@ -206,6 +207,9 @@ pub struct DamarisClient<C: EventChannel<Event> = AnyTransport<Event>> {
     /// Blocks published for the current iteration (reported at
     /// end-of-iteration so the server knows when the step's data is whole).
     pub(crate) writes_this_iteration: Arc<AtomicU64>,
+    /// Whether this logical client already finalized (shared by clones;
+    /// makes [`DamarisClient::finalize`] idempotent, like process mode).
+    pub(crate) finalized: Arc<AtomicBool>,
 }
 
 impl<C: EventChannel<Event>> Clone for DamarisClient<C> {
@@ -218,6 +222,7 @@ impl<C: EventChannel<Event>> Clone for DamarisClient<C> {
             policy: self.policy.clone(),
             stats: self.stats.clone(),
             writes_this_iteration: self.writes_this_iteration.clone(),
+            finalized: self.finalized.clone(),
         }
     }
 }
@@ -245,10 +250,7 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
     /// writes can skip even the hash lookup
     /// (see [`DamarisClient::write_id`]).
     pub fn var_id(&self, variable: &str) -> DamarisResult<VarId> {
-        self.cfg
-            .registry()
-            .var_id(variable)
-            .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))
+        resolve_var(&self.cfg, variable)
     }
 
     /// Publish one variable for one iteration — the single instrumentation
@@ -274,15 +276,8 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
         data: &[T],
     ) -> DamarisResult<WriteStatus> {
         let t0 = Instant::now();
-        let expected = self.cfg.registry().byte_size(var);
         let bytes = std::mem::size_of_val(data);
-        if bytes != expected {
-            return Err(DamarisError::LayoutMismatch {
-                variable: self.cfg.var_name(var).to_string(),
-                expected,
-                got: bytes,
-            });
-        }
+        check_layout(&self.cfg, var, bytes)?;
         if !self
             .policy
             .admit(iteration, self.slab.segment(), || self.producer.pressure())
@@ -290,7 +285,9 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
             self.stats.record_skip();
             return Ok(WriteStatus::Skipped);
         }
-        let mut block = self.allocate_block(bytes)?;
+        let Some(mut block) = self.allocate_admitted(iteration, bytes)? else {
+            return Ok(WriteStatus::Skipped);
+        };
         block.write_pod(data);
         self.publish(var, iteration, block)?;
         self.stats
@@ -322,12 +319,12 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
                 t0,
             });
         }
-        let block = self.allocate_block(self.cfg.registry().byte_size(var))?;
+        let block = self.allocate_admitted(iteration, self.cfg.registry().byte_size(var))?;
         Ok(BlockWriter {
             client: self.clone(),
             var,
             iteration,
-            block: Some(block),
+            block,
             t0,
         })
     }
@@ -371,11 +368,21 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
             .map_err(|_| DamarisError::QueueClosed)
     }
 
-    /// Announce that this client will send nothing further.
+    /// Announce that this client will send nothing further. Idempotent
+    /// (shared across clones of the same logical client): repeated calls
+    /// are no-ops, so the dedicated cores' finalize count can never
+    /// overshoot and release shutdown while another client still runs —
+    /// the same contract process mode gives [`crate::facade::SimHandle`].
     pub fn finalize(&self) -> DamarisResult<()> {
+        if self.finalized.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
         self.producer
             .send(Event::ClientFinalize { source: self.id })
-            .map_err(|_| DamarisError::QueueClosed)
+            .map_err(|_| {
+                self.finalized.store(false, Ordering::Release);
+                DamarisError::QueueClosed
+            })
     }
 
     /// Snapshot of this client's timing statistics.
@@ -388,15 +395,29 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
         self.policy.dropped_iterations()
     }
 
-    fn allocate_block(&self, bytes: usize) -> DamarisResult<Block> {
+    /// Allocate for an already-admitted iteration. `Ok(None)` means the
+    /// segment ran out *after* admission in drop mode and the rest of the
+    /// iteration was dropped (§V.C.1: lose data rather than stall or
+    /// error) — the same semantics process mode applies on slice
+    /// exhaustion, so the facade behaves identically on both backends.
+    fn allocate_admitted(&self, iteration: u64, bytes: usize) -> DamarisResult<Option<Block>> {
         match self.policy.mode() {
             // Block mode: wait for plugins to free memory.
             SkipMode::Block => self
                 .slab
                 .allocate_blocking(bytes, Some(std::time::Duration::from_secs(60)))
+                .map(Some)
                 .map_err(DamarisError::from),
             // Drop mode: never stall the simulation.
-            SkipMode::DropIteration => self.slab.allocate(bytes).map_err(DamarisError::from),
+            SkipMode::DropIteration => match self.slab.allocate(bytes) {
+                Ok(b) => Ok(Some(b)),
+                Err(damaris_shm::ShmError::OutOfMemory { .. }) => {
+                    self.policy.drop_current(iteration);
+                    self.stats.record_skip();
+                    Ok(None)
+                }
+                Err(e) => Err(e.into()),
+            },
         }
     }
 

@@ -1,0 +1,801 @@
+//! **The one Damaris client API** — a facade that hides where the
+//! dedicated core lives.
+//!
+//! The paper's usability claim rests on a *single* simulation-side
+//! surface (`damaris_write`, `damaris_alloc`/`damaris_commit`,
+//! `damaris_signal`, `damaris_end_iteration`, `damaris_finalize`) that is
+//! identical whether the dedicated core is a thread of the simulation
+//! process or a separate MPI process on the same node. This module is
+//! that seam:
+//!
+//! * [`SimHandle`] — the paper-shaped trait, implemented by the
+//!   thread-mode [`DamarisClient`] and the process-mode
+//!   [`ProcessHandle`];
+//! * [`Damaris`] — the enum-dispatched handle applications hold, so a
+//!   simulation is written exactly once as
+//!   `fn simulate<H: SimHandle>(h: &mut H)` (or directly against
+//!   `&mut Damaris`) and runs unmodified on either world;
+//! * [`Damaris::launch`] — the one construction point: it reads
+//!   `<world kind="threads|processes"/>` and `<clients count="…"/>` from
+//!   the configuration, stands up the matching world (an in-process
+//!   [`DamarisNode`] or a spawned [`mini_mpi::World`] with a
+//!   [`ProcessServer`] on rank 0), runs
+//!   the simulation function once per client, and returns a
+//!   world-independent [`SimReport`].
+//!
+//! The report carries an order-independent digest of every block the
+//! dedicated core consumed, so tests can assert that both worlds received
+//! byte-identical data without poking world-specific internals.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use damaris_xml::schema::Configuration;
+use damaris_xml::VarId;
+use mini_mpi::World;
+
+use crate::client::{ClientStats, DamarisClient, WriteStatus};
+use crate::error::{DamarisError, DamarisResult};
+use crate::node::DamarisNode;
+use crate::plugins::FnPlugin;
+use crate::process::{DigestSink, ProcessHandle, ProcessServer, DEDICATED_RANK};
+
+// ---------------------------------------------------------------------------
+// Shared validation (used by both backends)
+// ---------------------------------------------------------------------------
+
+/// Resolve a variable name against the configuration's interned registry.
+///
+/// The single construction point of [`DamarisError::UnknownVariable`]:
+/// both the thread-mode client and the process-mode client route name
+/// lookups through here, so the two backends cannot drift in how they
+/// reject undeclared variables.
+pub(crate) fn resolve_var(cfg: &Configuration, variable: &str) -> DamarisResult<VarId> {
+    cfg.registry()
+        .var_id(variable)
+        .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))
+}
+
+/// Check that `got` bytes match the declared layout of `var`.
+///
+/// The single construction point of [`DamarisError::LayoutMismatch`],
+/// shared by both backends (see [`resolve_var`]).
+pub(crate) fn check_layout(cfg: &Configuration, var: VarId, got: usize) -> DamarisResult<()> {
+    let expected = cfg.registry().byte_size(var);
+    if got != expected {
+        return Err(DamarisError::LayoutMismatch {
+            variable: cfg.var_name(var).to_string(),
+            expected,
+            got,
+        });
+    }
+    Ok(())
+}
+
+/// FNV-1a hash of one published block (variable, iteration, 0-based
+/// client index, payload bytes). Blocks arrive at the dedicated core in a
+/// scheduling-dependent order, so world-level digests combine per-block
+/// hashes with a wrapping sum — order-independent, identical across
+/// worlds when and only when the same blocks arrived.
+pub(crate) fn block_digest(var: u64, iteration: u64, client: u64, data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [var, iteration, client] {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// The facade traits
+// ---------------------------------------------------------------------------
+
+/// A shared-memory block being filled in place by the simulation (the
+/// zero-copy path), independent of which backend allocated it.
+pub trait SimWriter {
+    /// Whether the skip policy dropped this iteration (the writer is
+    /// inert: filling it is a no-op and committing reports
+    /// [`WriteStatus::Skipped`]).
+    fn is_skipped(&self) -> bool;
+
+    /// Mutable view of the shared-memory block (empty slice when
+    /// skipped).
+    fn as_mut_slice(&mut self) -> &mut [u8];
+
+    /// Fill from a typed slice (convenience over
+    /// [`SimWriter::as_mut_slice`]).
+    fn fill_pod<T: damaris_shm::segment::Pod>(&mut self, data: &[T]);
+}
+
+/// The paper-shaped simulation-side API, identical over both worlds.
+///
+/// Each method corresponds to one function of the original middleware's C
+/// API; simulation code written against this trait (or the
+/// enum-dispatched [`Damaris`]) runs unmodified whether the dedicated
+/// core is a thread ([`DamarisClient`]) or a separate OS process
+/// ([`ProcessHandle`]).
+pub trait SimHandle {
+    /// Backend-specific zero-copy writer returned by [`SimHandle::alloc`].
+    type Writer: SimWriter;
+
+    /// This client's 0-based index among the node's compute cores (the
+    /// paper's client rank within the node).
+    fn id(&self) -> usize;
+
+    /// The loaded configuration.
+    fn config(&self) -> &Configuration;
+
+    /// Resolve a variable name to its interned id once, so repeated
+    /// writes can skip the hash lookup (paper: the variable handle
+    /// `damaris_parameter_get`-style lookups cache).
+    fn var_id(&self, variable: &str) -> DamarisResult<VarId>;
+
+    /// Publish one variable for one iteration — the paper's
+    /// `damaris_write`, the single instrumentation line its usability
+    /// comparison counts (§V.C.2).
+    fn write<T: damaris_shm::segment::Pod>(
+        &mut self,
+        variable: &str,
+        iteration: u64,
+        data: &[T],
+    ) -> DamarisResult<WriteStatus> {
+        let var = self.var_id(variable)?;
+        self.write_id(var, iteration, data)
+    }
+
+    /// [`SimHandle::write`] with a pre-resolved [`VarId`].
+    fn write_id<T: damaris_shm::segment::Pod>(
+        &mut self,
+        var: VarId,
+        iteration: u64,
+        data: &[T],
+    ) -> DamarisResult<WriteStatus>;
+
+    /// Allocate the variable's block in shared memory for in-place
+    /// filling — the paper's `damaris_alloc` ("functions to directly
+    /// access the shared memory segment", §III.B). The write-timing
+    /// clock starts here, so [`SimHandle::stats`] covers allocation and
+    /// fill, not just the final publish.
+    fn alloc(&mut self, variable: &str, iteration: u64) -> DamarisResult<Self::Writer>;
+
+    /// Publish a block obtained from [`SimHandle::alloc`] — the paper's
+    /// `damaris_commit`.
+    fn commit(&mut self, writer: Self::Writer) -> DamarisResult<WriteStatus>;
+
+    /// Raise a user event — the paper's `damaris_signal`; actions
+    /// declared with `event="name"` fire on the dedicated core. Names no
+    /// `<action>` references are silently dropped at this edge on both
+    /// backends (nothing could match them).
+    fn signal(&mut self, name: &str, iteration: u64) -> DamarisResult<()>;
+
+    /// Mark the iteration finished for this client — the paper's
+    /// `damaris_end_iteration`. When every client of the node has ended
+    /// iteration `k` and all its blocks arrived, the dedicated core
+    /// fires the end-of-iteration actions.
+    fn end_iteration(&mut self, iteration: u64) -> DamarisResult<()>;
+
+    /// Announce that this client will send nothing further — the
+    /// paper's `damaris_finalize`.
+    fn finalize(&mut self) -> DamarisResult<()>;
+
+    /// Snapshot of this client's timing statistics (writes, bytes,
+    /// latency histogram) — uniform per-rank instrumentation regardless
+    /// of backend.
+    fn stats(&self) -> ClientStats;
+
+    /// Iterations dropped by the skip policy so far.
+    fn skipped_iterations(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// Trait impl for the thread-mode client
+// ---------------------------------------------------------------------------
+
+impl<C: damaris_shm::transport::EventChannel<crate::event::Event>> SimWriter
+    for crate::client::BlockWriter<C>
+{
+    fn is_skipped(&self) -> bool {
+        crate::client::BlockWriter::is_skipped(self)
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        crate::client::BlockWriter::as_mut_slice(self)
+    }
+
+    fn fill_pod<T: damaris_shm::segment::Pod>(&mut self, data: &[T]) {
+        crate::client::BlockWriter::fill_pod(self, data)
+    }
+}
+
+impl<C: damaris_shm::transport::EventChannel<crate::event::Event>> SimHandle for DamarisClient<C> {
+    type Writer = crate::client::BlockWriter<C>;
+
+    fn id(&self) -> usize {
+        DamarisClient::id(self)
+    }
+
+    fn config(&self) -> &Configuration {
+        DamarisClient::config(self)
+    }
+
+    fn var_id(&self, variable: &str) -> DamarisResult<VarId> {
+        DamarisClient::var_id(self, variable)
+    }
+
+    fn write_id<T: damaris_shm::segment::Pod>(
+        &mut self,
+        var: VarId,
+        iteration: u64,
+        data: &[T],
+    ) -> DamarisResult<WriteStatus> {
+        DamarisClient::write_id(self, var, iteration, data)
+    }
+
+    fn alloc(&mut self, variable: &str, iteration: u64) -> DamarisResult<Self::Writer> {
+        DamarisClient::alloc(self, variable, iteration)
+    }
+
+    fn commit(&mut self, writer: Self::Writer) -> DamarisResult<WriteStatus> {
+        DamarisClient::commit(self, writer)
+    }
+
+    fn signal(&mut self, name: &str, iteration: u64) -> DamarisResult<()> {
+        DamarisClient::signal(self, name, iteration)
+    }
+
+    fn end_iteration(&mut self, iteration: u64) -> DamarisResult<()> {
+        DamarisClient::end_iteration(self, iteration)
+    }
+
+    fn finalize(&mut self) -> DamarisResult<()> {
+        DamarisClient::finalize(self)
+    }
+
+    fn stats(&self) -> ClientStats {
+        DamarisClient::stats(self)
+    }
+
+    fn skipped_iterations(&self) -> u64 {
+        DamarisClient::skipped_iterations(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The enum-dispatched handle and launcher
+// ---------------------------------------------------------------------------
+
+/// A zero-copy writer from either backend (see [`SimHandle::alloc`] on
+/// [`Damaris`]).
+pub enum DamarisWriter {
+    /// Writer over the thread-mode node's shared segment.
+    Threads(crate::client::BlockWriter),
+    /// Writer over the process-mode client's slice of the shared mapping.
+    Processes(crate::process::ProcessBlockWriter),
+}
+
+impl SimWriter for DamarisWriter {
+    fn is_skipped(&self) -> bool {
+        match self {
+            DamarisWriter::Threads(w) => SimWriter::is_skipped(w),
+            DamarisWriter::Processes(w) => SimWriter::is_skipped(w),
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        match self {
+            DamarisWriter::Threads(w) => SimWriter::as_mut_slice(w),
+            DamarisWriter::Processes(w) => SimWriter::as_mut_slice(w),
+        }
+    }
+
+    fn fill_pod<T: damaris_shm::segment::Pod>(&mut self, data: &[T]) {
+        match self {
+            DamarisWriter::Threads(w) => SimWriter::fill_pod(w, data),
+            DamarisWriter::Processes(w) => SimWriter::fill_pod(w, data),
+        }
+    }
+}
+
+enum DamarisInner<'a> {
+    Threads(DamarisClient),
+    // Boxed: the process client embeds its stats histogram (~700 bytes),
+    // which would bloat every thread-mode handle.
+    Processes(Box<ProcessHandle<'a>>),
+}
+
+/// The unified client handle applications hold: one of the two backends
+/// behind one [`SimHandle`] surface.
+///
+/// Constructed by [`Damaris::launch`] (which picks the backend from
+/// `<world kind="…"/>`), or directly via [`Damaris::threads`] /
+/// [`Damaris::processes`] when embedding into an existing node or world.
+///
+/// [`SimHandle::finalize`] is idempotent on this handle (the launcher
+/// calls it defensively after the simulation function returns).
+pub struct Damaris<'a> {
+    inner: DamarisInner<'a>,
+    finalized: bool,
+}
+
+impl<'a> Damaris<'a> {
+    /// Wrap a thread-mode client of an existing [`DamarisNode`].
+    pub fn threads(client: DamarisClient) -> Self {
+        Damaris {
+            inner: DamarisInner::Threads(client),
+            finalized: false,
+        }
+    }
+
+    /// Wrap a process-mode client rank of an existing socket world.
+    pub fn processes(handle: ProcessHandle<'a>) -> Self {
+        Damaris {
+            inner: DamarisInner::Processes(Box::new(handle)),
+            finalized: false,
+        }
+    }
+
+    /// Stand up whichever world `cfg` names and run `sim` once per
+    /// client — the facade's `damaris_initialize`-through-`finalize`
+    /// lifecycle in one call.
+    ///
+    /// * `<world kind="threads"/>`: builds an in-process [`DamarisNode`]
+    ///   with `<clients count="…"/>` compute threads; actions fire
+    ///   plugins as usual.
+    /// * `<world kind="processes"/>`: spawns `<clients count> + 1` OS
+    ///   processes by re-executing the current binary
+    ///   ([`World::run_spawned`]); rank 0 serves as the dedicated core.
+    ///   `program` must uniquely identify this call site across
+    ///   re-execution (any constant string for a plain binary; inside a
+    ///   `#[test]`, use [`Damaris::launch_test`] with the test's path).
+    ///
+    /// `sim` receives the unified handle plus `input`, and must derive
+    /// all rank behaviour from those two arguments alone — in process
+    /// mode it runs in a re-executed child where captured state from the
+    /// spawning scope may differ (the configuration itself travels to
+    /// the children alongside `input`, so it is always consistent).
+    /// `sim` should end with [`SimHandle::finalize`]; the launcher also
+    /// finalizes defensively.
+    pub fn launch<F>(
+        cfg: Configuration,
+        program: &str,
+        input: &[u8],
+        sim: F,
+    ) -> DamarisResult<SimReport>
+    where
+        F: Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync,
+    {
+        launch_impl(cfg, program, input, false, sim)
+    }
+
+    /// [`Damaris::launch`] for call sites inside `#[test]` functions:
+    /// process-mode children are re-executed through the libtest harness
+    /// (`--exact <program>`), so `program` must be the test's full path
+    /// within its binary.
+    pub fn launch_test<F>(
+        cfg: Configuration,
+        program: &str,
+        input: &[u8],
+        sim: F,
+    ) -> DamarisResult<SimReport>
+    where
+        F: Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync,
+    {
+        launch_impl(cfg, program, input, true, sim)
+    }
+}
+
+impl SimHandle for Damaris<'_> {
+    type Writer = DamarisWriter;
+
+    fn id(&self) -> usize {
+        match &self.inner {
+            DamarisInner::Threads(c) => SimHandle::id(c),
+            DamarisInner::Processes(h) => SimHandle::id(h.as_ref()),
+        }
+    }
+
+    fn config(&self) -> &Configuration {
+        match &self.inner {
+            DamarisInner::Threads(c) => SimHandle::config(c),
+            DamarisInner::Processes(h) => SimHandle::config(h.as_ref()),
+        }
+    }
+
+    fn var_id(&self, variable: &str) -> DamarisResult<VarId> {
+        match &self.inner {
+            DamarisInner::Threads(c) => SimHandle::var_id(c, variable),
+            DamarisInner::Processes(h) => SimHandle::var_id(h.as_ref(), variable),
+        }
+    }
+
+    fn write_id<T: damaris_shm::segment::Pod>(
+        &mut self,
+        var: VarId,
+        iteration: u64,
+        data: &[T],
+    ) -> DamarisResult<WriteStatus> {
+        match &mut self.inner {
+            DamarisInner::Threads(c) => SimHandle::write_id(c, var, iteration, data),
+            DamarisInner::Processes(h) => SimHandle::write_id(h.as_mut(), var, iteration, data),
+        }
+    }
+
+    fn alloc(&mut self, variable: &str, iteration: u64) -> DamarisResult<Self::Writer> {
+        match &mut self.inner {
+            DamarisInner::Threads(c) => {
+                SimHandle::alloc(c, variable, iteration).map(DamarisWriter::Threads)
+            }
+            DamarisInner::Processes(h) => {
+                SimHandle::alloc(h.as_mut(), variable, iteration).map(DamarisWriter::Processes)
+            }
+        }
+    }
+
+    fn commit(&mut self, writer: Self::Writer) -> DamarisResult<WriteStatus> {
+        match (&mut self.inner, writer) {
+            (DamarisInner::Threads(c), DamarisWriter::Threads(w)) => SimHandle::commit(c, w),
+            (DamarisInner::Processes(h), DamarisWriter::Processes(w)) => {
+                SimHandle::commit(h.as_mut(), w)
+            }
+            _ => Err(DamarisError::InvalidState(
+                "writer committed through a handle of the other backend".into(),
+            )),
+        }
+    }
+
+    fn signal(&mut self, name: &str, iteration: u64) -> DamarisResult<()> {
+        match &mut self.inner {
+            DamarisInner::Threads(c) => SimHandle::signal(c, name, iteration),
+            DamarisInner::Processes(h) => SimHandle::signal(h.as_mut(), name, iteration),
+        }
+    }
+
+    fn end_iteration(&mut self, iteration: u64) -> DamarisResult<()> {
+        match &mut self.inner {
+            DamarisInner::Threads(c) => SimHandle::end_iteration(c, iteration),
+            DamarisInner::Processes(h) => SimHandle::end_iteration(h.as_mut(), iteration),
+        }
+    }
+
+    fn finalize(&mut self) -> DamarisResult<()> {
+        if self.finalized {
+            return Ok(());
+        }
+        match &mut self.inner {
+            DamarisInner::Threads(c) => SimHandle::finalize(c),
+            DamarisInner::Processes(h) => SimHandle::finalize(h.as_mut()),
+        }?;
+        self.finalized = true;
+        Ok(())
+    }
+
+    fn stats(&self) -> ClientStats {
+        match &self.inner {
+            DamarisInner::Threads(c) => SimHandle::stats(c),
+            DamarisInner::Processes(h) => SimHandle::stats(h.as_ref()),
+        }
+    }
+
+    fn skipped_iterations(&self) -> u64 {
+        match &self.inner {
+            DamarisInner::Threads(c) => SimHandle::skipped_iterations(c),
+            DamarisInner::Processes(h) => SimHandle::skipped_iterations(h.as_ref()),
+        }
+    }
+}
+
+/// World-independent outcome of a [`Damaris::launch`] session: what the
+/// simulation produced and what the dedicated core saw, with identical
+/// meaning over both backends (the transport-equivalence tests compare
+/// these structs field by field across worlds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Each client's bytes returned from the simulation function, in
+    /// client order.
+    pub outputs: Vec<Vec<u8>>,
+    /// Iterations the dedicated core completed (all clients, all
+    /// announced blocks).
+    pub iterations_completed: u64,
+    /// Client-iterations the skip policy dropped.
+    pub skipped_client_iterations: u64,
+    /// User signals that reached the dedicated core (names without a
+    /// declared `<action>` are filtered at the client edge and never
+    /// counted).
+    pub signals_delivered: u64,
+    /// Blocks the dedicated core consumed.
+    pub blocks_received: u64,
+    /// Payload bytes the dedicated core consumed out of shared memory.
+    pub bytes_received: u64,
+    /// Order-independent digest of every block belonging to a
+    /// *completed* iteration (variable, iteration, client, payload) —
+    /// byte-identical data across worlds produces equal digests. Blocks
+    /// of iterations that never complete (a client skips
+    /// `end_iteration`) are excluded on both backends.
+    pub data_digest: u64,
+}
+
+fn encode_wire(cfg: &Configuration, input: &[u8]) -> Vec<u8> {
+    let xml = cfg.to_xml();
+    let mut wire = Vec::with_capacity(8 + xml.len() + input.len());
+    wire.extend((xml.len() as u64).to_le_bytes());
+    wire.extend(xml.as_bytes());
+    wire.extend(input);
+    wire
+}
+
+fn decode_wire(wire: &[u8]) -> (Configuration, &[u8]) {
+    let len = u64::from_le_bytes(wire[..8].try_into().expect("wire header")) as usize;
+    let xml = std::str::from_utf8(&wire[8..8 + len]).expect("wire config is utf-8");
+    let cfg = Configuration::from_str(xml).expect("wire config re-parses");
+    (cfg, &wire[8 + len..])
+}
+
+fn launch_impl<F>(
+    cfg: Configuration,
+    program: &str,
+    input: &[u8],
+    test_harness: bool,
+    sim: F,
+) -> DamarisResult<SimReport>
+where
+    F: Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync,
+{
+    match cfg.architecture.world {
+        damaris_xml::schema::WorldKind::Threads => launch_threads(cfg, input, sim),
+        damaris_xml::schema::WorldKind::Processes => {
+            launch_processes(cfg, program, input, test_harness, sim)
+        }
+    }
+}
+
+fn launch_threads<F>(cfg: Configuration, input: &[u8], sim: F) -> DamarisResult<SimReport>
+where
+    F: Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync,
+{
+    let node = DamarisNode::builder().config(cfg).build()?;
+    let digest = Arc::new(AtomicU64::new(0));
+    let d = digest.clone();
+    node.register_plugin(Arc::new(FnPlugin::new("__launch-digest", move |ctx| {
+        let mut sum = 0u64;
+        for b in ctx.blocks {
+            sum = sum.wrapping_add(block_digest(
+                b.variable.index() as u64,
+                b.iteration,
+                b.source as u64,
+                b.data.as_slice(),
+            ));
+        }
+        d.fetch_add(sum, Ordering::Relaxed);
+        Ok(())
+    })));
+    let sim = &sim;
+    let outputs: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = node
+            .clients()
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut h = Damaris::threads(client);
+                    let out = sim(&mut h, input);
+                    let _ = SimHandle::finalize(&mut h);
+                    out
+                })
+            })
+            .collect();
+        // Join *every* handle before inspecting results: a short-circuit
+        // on the first panic would leave later panicked handles
+        // un-observed, and `thread::scope` re-raises those at scope exit —
+        // escaping as a panic instead of the mapped error below.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        joined.into_iter().collect::<Result<_, _>>()
+    })
+    .map_err(|_| DamarisError::InvalidState("a simulation client thread panicked".into()))?;
+    let report = node.shutdown()?;
+    Ok(SimReport {
+        outputs,
+        iterations_completed: report.iterations_completed,
+        skipped_client_iterations: report.skipped_client_iterations,
+        signals_delivered: report.signals_delivered,
+        blocks_received: report.blocks_received,
+        bytes_received: report.bytes_received,
+        data_digest: digest.load(Ordering::Relaxed),
+    })
+}
+
+fn launch_processes<F>(
+    cfg: Configuration,
+    program: &str,
+    input: &[u8],
+    test_harness: bool,
+    sim: F,
+) -> DamarisResult<SimReport>
+where
+    F: Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync,
+{
+    let size = cfg.architecture.clients + 1;
+    let wire = encode_wire(&cfg, input);
+    let rank_program = |comm: &mut mini_mpi::Comm, wire: &[u8]| -> Vec<u8> {
+        // All rank behaviour derives from the wire bytes: in a
+        // re-executed child the surrounding scope's captures (cfg,
+        // input) may belong to a *different* invocation of the caller.
+        let (cfg, input) = decode_wire(wire);
+        let dir = World::spawn_dir().expect("rank runs inside a spawned world");
+        if comm.rank() == DEDICATED_RANK {
+            let server = ProcessServer::new(comm, cfg, &dir).expect("dedicated core starts");
+            let mut sink = DigestSink::default();
+            let report = server
+                .serve(comm, &mut sink)
+                .expect("dedicated core serves");
+            let words = [
+                report.iterations_completed,
+                report.skipped_client_iterations,
+                report.signals_delivered,
+                report.blocks_received,
+                report.bytes_received,
+                sink.digest(),
+            ];
+            words.iter().flat_map(|w| w.to_le_bytes()).collect()
+        } else {
+            let handle = ProcessHandle::new(comm, cfg, &dir).expect("client joins the node");
+            let mut h = Damaris::processes(handle);
+            let out = sim(&mut h, input);
+            let _ = SimHandle::finalize(&mut h);
+            out
+        }
+    };
+    let result = if test_harness {
+        World::run_spawned_test(size, program, &wire, rank_program)
+    } else {
+        World::run_spawned(size, program, &wire, rank_program)
+    };
+    let mut outputs =
+        result.map_err(|e| DamarisError::InvalidState(format!("process world failed: {e}")))?;
+    let server = outputs.remove(DEDICATED_RANK);
+    let words: Vec<u64> = server
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    let [iterations_completed, skipped_client_iterations, signals_delivered, blocks_received, bytes_received, data_digest] =
+        words[..]
+    else {
+        return Err(DamarisError::InvalidState(
+            "malformed dedicated-core report".into(),
+        ));
+    };
+    Ok(SimReport {
+        outputs,
+        iterations_completed,
+        skipped_client_iterations,
+        signals_delivered,
+        blocks_received,
+        bytes_received,
+        data_digest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XML: &str = r#"
+      <simulation name="facade-test">
+        <architecture>
+          <dedicated cores="1"/>
+          <clients count="2"/>
+          <buffer size="262144"/>
+          <queue capacity="64"/>
+        </architecture>
+        <data>
+          <layout name="row" type="f64" dimensions="64"/>
+          <variable name="u" layout="row"/>
+        </data>
+        <actions>
+          <action name="snap" plugin="stats" event="take-snapshot"/>
+        </actions>
+      </simulation>"#;
+
+    #[test]
+    fn resolve_var_rejects_undeclared_names() {
+        let cfg = Configuration::from_str(XML).unwrap();
+        assert!(resolve_var(&cfg, "u").is_ok());
+        let err = resolve_var(&cfg, "ghost").unwrap_err();
+        assert!(matches!(err, DamarisError::UnknownVariable(ref v) if v == "ghost"));
+    }
+
+    #[test]
+    fn check_layout_rejects_wrong_byte_counts() {
+        let cfg = Configuration::from_str(XML).unwrap();
+        let u = cfg.registry().var_id("u").unwrap();
+        assert!(check_layout(&cfg, u, 64 * 8).is_ok());
+        let err = check_layout(&cfg, u, 24).unwrap_err();
+        match err {
+            DamarisError::LayoutMismatch {
+                variable,
+                expected,
+                got,
+            } => {
+                assert_eq!(variable, "u");
+                assert_eq!(expected, 512);
+                assert_eq!(got, 24);
+            }
+            other => panic!("expected LayoutMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn block_digest_is_order_independent_by_sum_and_content_sensitive() {
+        let a = block_digest(0, 1, 0, &[1, 2, 3]);
+        let b = block_digest(1, 1, 1, &[4, 5, 6]);
+        assert_eq!(
+            a.wrapping_add(b),
+            b.wrapping_add(a),
+            "wrapping sum commutes"
+        );
+        assert_ne!(a, block_digest(0, 1, 0, &[1, 2, 4]), "payload matters");
+        assert_ne!(a, block_digest(0, 2, 0, &[1, 2, 3]), "iteration matters");
+        assert_ne!(a, block_digest(0, 1, 1, &[1, 2, 3]), "client matters");
+    }
+
+    #[test]
+    fn wire_roundtrips_config_and_input() {
+        let cfg = Configuration::from_str(XML).unwrap();
+        let wire = encode_wire(&cfg, &[7, 8, 9]);
+        let (back, input) = decode_wire(&wire);
+        assert_eq!(back, cfg);
+        assert_eq!(input, &[7, 8, 9]);
+    }
+
+    #[test]
+    fn launch_runs_a_threads_world_from_the_config_alone() {
+        let cfg = Configuration::from_str(XML).unwrap();
+        let report = Damaris::launch(cfg, "unused-for-threads", &[3], |h, input| {
+            let iterations = u64::from(input[0]);
+            let data = vec![h.id() as f64 + 1.0; 64];
+            for it in 0..iterations {
+                assert_eq!(h.write("u", it, &data).unwrap(), WriteStatus::Written);
+                h.signal("take-snapshot", it).unwrap();
+                h.signal("undeclared-event", it).unwrap();
+                h.end_iteration(it).unwrap();
+            }
+            h.finalize().unwrap();
+            h.stats().writes.to_le_bytes().to_vec()
+        })
+        .unwrap();
+        assert_eq!(report.iterations_completed, 3);
+        assert_eq!(report.outputs.len(), 2, "<clients count=\"2\"/> clients");
+        for out in &report.outputs {
+            assert_eq!(u64::from_le_bytes(out[..8].try_into().unwrap()), 3);
+        }
+        assert_eq!(report.blocks_received, 6);
+        assert_eq!(report.bytes_received, 6 * 512);
+        assert_eq!(
+            report.signals_delivered, 6,
+            "undeclared names filtered at the edge"
+        );
+        assert_ne!(report.data_digest, 0);
+    }
+
+    #[test]
+    fn mismatched_writer_is_rejected() {
+        let cfg = Configuration::from_str(XML).unwrap();
+        let node = DamarisNode::builder().config(cfg).build().unwrap();
+        let mut a = Damaris::threads(node.client(0).unwrap());
+        let mut b = Damaris::threads(node.client(1).unwrap());
+        let mut w = SimHandle::alloc(&mut a, "u", 0).unwrap();
+        w.fill_pod(&[1.0f64; 64]);
+        // Same backend, different handle: committing through another
+        // *threads* handle is fine (the writer carries its own client) —
+        // the mismatch arm guards cross-backend confusion, which we can
+        // only provoke cheaply by committing a skipped process writer.
+        assert_eq!(SimHandle::commit(&mut b, w).unwrap(), WriteStatus::Written);
+        for c in node.clients() {
+            c.finalize().unwrap();
+        }
+        node.shutdown().unwrap();
+    }
+}

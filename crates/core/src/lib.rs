@@ -43,18 +43,31 @@
 //! ([`damaris_xml::schema::Configuration`]), so instrumenting a simulation
 //! takes one line per variable (§V.C.2).
 //!
+//! ## One API over two worlds
+//!
+//! The middleware runs in two realizations of the paper's architecture —
+//! dedicated cores as **threads** of the simulation process
+//! ([`DamarisNode`]) or as separate OS **processes** over sockets and a
+//! file-backed segment ([`process`]) — and both sit behind one facade:
+//! the [`facade::SimHandle`] trait and the enum-dispatched
+//! [`facade::Damaris`] handle. Simulation code is written exactly once
+//! (`fn simulate<H: SimHandle>(h: &mut H)`) and
+//! [`facade::Damaris::launch`] stands up whichever world the XML
+//! `<world kind="threads|processes"/>` names.
+//!
 //! ## Quickstart
 //!
 //! ```
 //! use damaris_core::prelude::*;
-//! use std::sync::Arc;
 //!
 //! let xml = r#"
 //!   <simulation name="demo">
 //!     <architecture>
 //!       <dedicated cores="1"/>
+//!       <clients count="2"/>
 //!       <buffer size="1048576"/>
 //!       <queue capacity="64"/>
+//!       <world kind="threads"/>
 //!     </architecture>
 //!     <data>
 //!       <layout name="row" type="f64" dimensions="128"/>
@@ -62,34 +75,30 @@
 //!     </data>
 //!   </simulation>"#;
 //!
-//! let node = DamarisNode::builder().config_str(xml).unwrap().clients(2).build().unwrap();
-//! let stats = Arc::new(damaris_core::plugins::StatsPlugin::new());
-//! node.register_plugin(stats.clone());
-//!
-//! let handles: Vec<_> = node
-//!     .clients()
-//!     .map(|client| {
-//!         std::thread::spawn(move || {
-//!             let field = vec![300.0_f64; 128];
-//!             for it in 0..3 {
-//!                 client.write("temperature", it, &field).unwrap();
-//!                 client.end_iteration(it).unwrap();
-//!             }
-//!             client.finalize().unwrap();
-//!         })
-//!     })
-//!     .collect();
-//! for h in handles {
-//!     h.join().unwrap();
-//! }
-//! node.shutdown().unwrap();
-//! assert_eq!(stats.iterations_seen(), 3);
+//! let cfg = Configuration::from_str(xml).unwrap();
+//! let report = Damaris::launch(cfg, "demo", &[], |h, _input| {
+//!     let field = vec![300.0_f64; 128];
+//!     for it in 0..3 {
+//!         h.write("temperature", it, &field).unwrap();
+//!         h.end_iteration(it).unwrap();
+//!     }
+//!     h.finalize().unwrap();
+//!     Vec::new()
+//! })
+//! .unwrap();
+//! assert_eq!(report.iterations_completed, 3);
+//! assert_eq!(report.blocks_received, 6);
+//! // Flip <world kind> to "processes" and the same closure runs with one
+//! // OS process per rank. For custom plugins or finer control, embed the
+//! // node directly (see `DamarisNode::builder`) and wrap its clients in
+//! // `Damaris::threads`.
 //! ```
 
 pub mod baseline;
 pub mod client;
 pub mod error;
 pub mod event;
+pub mod facade;
 pub mod node;
 pub mod plugins;
 pub mod policy;
@@ -100,17 +109,19 @@ pub mod store;
 
 pub use client::{DamarisClient, WriteStatus};
 pub use error::{DamarisError, DamarisResult};
+pub use facade::{Damaris, DamarisWriter, SimHandle, SimReport, SimWriter};
 pub use node::{DamarisNode, NodeBuilder};
 pub use plugins::Plugin;
-pub use process::{ProcessClient, ProcessServer, ProcessSink};
+pub use process::{ProcessClient, ProcessHandle, ProcessServer, ProcessSink};
 
 /// One-stop imports for applications embedding Damaris.
 pub mod prelude {
     pub use crate::client::{ClientStats, DamarisClient, WriteStatus};
     pub use crate::error::{DamarisError, DamarisResult};
+    pub use crate::facade::{Damaris, DamarisWriter, SimHandle, SimReport, SimWriter};
     pub use crate::node::{DamarisNode, NodeBuilder};
     pub use crate::plugins::{FnPlugin, Plugin};
-    pub use crate::process::{ProcessClient, ProcessServer, ProcessSink, StatsSink};
+    pub use crate::process::{ProcessClient, ProcessHandle, ProcessServer, ProcessSink, StatsSink};
     pub use damaris_xml::schema::Configuration;
     pub use damaris_xml::{EventId, VarId};
 }

@@ -27,7 +27,7 @@ use crate::server::{server_loop, ServerShared};
 /// Builder for a [`DamarisNode`].
 pub struct NodeBuilder {
     cfg: Option<Configuration>,
-    clients: usize,
+    clients: Option<usize>,
     node_id: usize,
     output_dir: Option<PathBuf>,
     transport: Option<TransportKind>,
@@ -38,7 +38,7 @@ impl NodeBuilder {
     fn new() -> Self {
         NodeBuilder {
             cfg: None,
-            clients: 1,
+            clients: None,
             node_id: 0,
             output_dir: None,
             transport: None,
@@ -64,9 +64,10 @@ impl NodeBuilder {
         self
     }
 
-    /// Number of simulation clients (compute cores) on this node.
+    /// Number of simulation clients (compute cores) on this node
+    /// (default: the XML `<clients count="…"/>` attribute).
     pub fn clients(mut self, n: usize) -> Self {
-        self.clients = n;
+        self.clients = Some(n);
         self
     }
 
@@ -102,7 +103,8 @@ impl NodeBuilder {
         let cfg = Arc::new(self.cfg.ok_or_else(|| {
             DamarisError::InvalidState("NodeBuilder needs a configuration".into())
         })?);
-        if self.clients == 0 {
+        let n_clients = self.clients.unwrap_or(cfg.architecture.clients);
+        if n_clients == 0 {
             return Err(DamarisError::InvalidState(
                 "a node needs at least one client".into(),
             ));
@@ -131,12 +133,12 @@ impl NodeBuilder {
             QueueKind::Sharded => TransportKind::Sharded,
         });
         let transport: AnyTransport<Event> =
-            AnyTransport::for_kind(kind, self.clients, cfg.architecture.queue_capacity);
+            AnyTransport::for_kind(kind, n_clients, cfg.architecture.queue_capacity);
 
         let shared = Arc::new(ServerShared::new(
             cfg.clone(),
             self.node_id,
-            self.clients,
+            n_clients,
             output_dir.clone(),
         ));
         // Auto-register built-in plugins referenced by declared actions.
@@ -174,7 +176,7 @@ impl NodeBuilder {
             );
         }
 
-        let clients: Vec<DamarisClient> = (0..self.clients)
+        let clients: Vec<DamarisClient> = (0..n_clients)
             .map(|id| DamarisClient {
                 id,
                 cfg: cfg.clone(),
@@ -183,6 +185,7 @@ impl NodeBuilder {
                 policy: Arc::new(SkipPolicy::new(cfg.architecture.skip)),
                 stats: Arc::new(StatsRecorder::new()),
                 writes_this_iteration: Arc::new(AtomicU64::new(0)),
+                finalized: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             })
             .collect();
         // Seed the slab caches (one reserved block per slot per size
@@ -220,6 +223,12 @@ pub struct NodeReport {
     pub iterations_completed: u64,
     /// Client-iterations dropped by the skip policy.
     pub skipped_client_iterations: u64,
+    /// User signals processed by the dedicated cores.
+    pub signals_delivered: u64,
+    /// Blocks the dedicated cores consumed.
+    pub blocks_received: u64,
+    /// Payload bytes of those blocks.
+    pub bytes_received: u64,
     /// Plugin error messages collected during the run.
     pub plugin_errors: Vec<String>,
     /// Fraction of time the dedicated cores were idle (§IV.D).
@@ -340,6 +349,18 @@ impl<C: EventChannel<Event>> DamarisNode<C> {
             skipped_client_iterations: self
                 .shared
                 .skipped_client_iterations
+                .load(std::sync::atomic::Ordering::Relaxed),
+            signals_delivered: self
+                .shared
+                .signals_delivered
+                .load(std::sync::atomic::Ordering::Relaxed),
+            blocks_received: self
+                .shared
+                .blocks_received
+                .load(std::sync::atomic::Ordering::Relaxed),
+            bytes_received: self
+                .shared
+                .bytes_received
                 .load(std::sync::atomic::Ordering::Relaxed),
             plugin_errors: self.shared.errors.lock().clone(),
             dedicated_idle_fraction: self.shared.idle_fraction(),

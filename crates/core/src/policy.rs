@@ -10,10 +10,17 @@
 //! some iterations of data in order to keep up with the simulation's output
 //! rate."
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use damaris_shm::SharedSegment;
 use damaris_xml::schema::{SkipConfig, SkipMode};
+use parking_lot::Mutex;
+
+/// Dropped iterations older than this many steps behind the newest drop
+/// are pruned from the log (bounds memory over arbitrarily long runs;
+/// `end_iteration` never lags the write front anywhere near this far).
+const DROP_LOG_HORIZON: u64 = 1024;
 
 /// Per-client skip-policy engine.
 ///
@@ -38,6 +45,13 @@ pub struct SkipPolicy {
     current_dropped: std::sync::atomic::AtomicBool,
     /// Total iterations dropped by this client.
     dropped_total: AtomicU64,
+    /// Every dropped iteration within [`DROP_LOG_HORIZON`], so
+    /// [`SkipPolicy::was_dropped`] stays correct for pipelined apps that
+    /// open iteration N+1 before ending iteration N (the current-slot
+    /// atomics alone would forget N's verdict at N+1's first write).
+    /// Touched only on drops and end-of-iteration — never on the
+    /// admitted write fast path.
+    dropped_log: Mutex<BTreeSet<u64>>,
 }
 
 impl SkipPolicy {
@@ -48,6 +62,19 @@ impl SkipPolicy {
             current_iteration: AtomicU64::new(u64::MAX),
             current_dropped: std::sync::atomic::AtomicBool::new(false),
             dropped_total: AtomicU64::new(0),
+            dropped_log: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    fn note_drop(&self, iteration: u64) {
+        let mut log = self.dropped_log.lock();
+        log.insert(iteration);
+        let horizon = iteration.saturating_sub(DROP_LOG_HORIZON);
+        while let Some(&oldest) = log.iter().next() {
+            if oldest >= horizon {
+                break;
+            }
+            log.remove(&oldest);
         }
     }
 
@@ -82,16 +109,35 @@ impl SkipPolicy {
             self.current_dropped.store(pressured, Ordering::Release);
             if pressured {
                 self.dropped_total.fetch_add(1, Ordering::Relaxed);
+                self.note_drop(iteration);
             }
         }
         !self.current_dropped.load(Ordering::Acquire)
     }
 
-    /// Whether the given iteration was dropped (valid for the iteration
-    /// most recently passed to [`SkipPolicy::admit`]).
+    /// Force-drop `iteration` after it was already admitted — the
+    /// mid-iteration escape hatch for allocation exhaustion in drop mode
+    /// (process-mode slices can run out *after* admission, since admission
+    /// samples occupancy only at the iteration's first write). Subsequent
+    /// writes of the iteration are skipped; no-op in [`SkipMode::Block`].
+    pub fn drop_current(&self, iteration: u64) {
+        if self.cfg.mode == SkipMode::Block {
+            return;
+        }
+        let prev = self.current_iteration.swap(iteration, Ordering::AcqRel);
+        let already = prev == iteration && self.current_dropped.load(Ordering::Acquire);
+        self.current_dropped.store(true, Ordering::Release);
+        if !already {
+            self.dropped_total.fetch_add(1, Ordering::Relaxed);
+        }
+        self.note_drop(iteration);
+    }
+
+    /// Whether the given iteration was dropped. Correct even for
+    /// pipelined apps that have already opened a later iteration by the
+    /// time they end this one (within `DROP_LOG_HORIZON` = 1024 steps).
     pub fn was_dropped(&self, iteration: u64) -> bool {
-        self.current_iteration.load(Ordering::Acquire) == iteration
-            && self.current_dropped.load(Ordering::Acquire)
+        self.dropped_log.lock().contains(&iteration)
     }
 
     /// Total iterations dropped so far.
@@ -159,6 +205,36 @@ mod tests {
             policy.admit(3, &seg, || 0.0),
             "iteration already admitted; later writes of it pass too"
         );
+    }
+
+    #[test]
+    fn drop_current_rejects_rest_of_iteration_once() {
+        let (policy, seg) = setup(0.9, SkipMode::DropIteration);
+        assert!(policy.admit(0, &seg, || 0.0), "quiet iteration admitted");
+        policy.drop_current(0);
+        assert!(!policy.admit(0, &seg, || 0.0), "later writes now rejected");
+        assert!(policy.was_dropped(0));
+        policy.drop_current(0); // idempotent
+        assert_eq!(policy.dropped_iterations(), 1);
+        // Block mode ignores the escape hatch entirely.
+        let (policy, seg) = setup(0.9, SkipMode::Block);
+        policy.drop_current(0);
+        assert!(policy.admit(0, &seg, || 1.0));
+        assert_eq!(policy.dropped_iterations(), 0);
+    }
+
+    #[test]
+    fn dropped_verdict_survives_opening_the_next_iteration() {
+        // Pipelined apps open iteration N+1 before ending N; the END of a
+        // dropped N must still carry skipped=true.
+        let (policy, seg) = setup(0.5, SkipMode::DropIteration);
+        let hog = seg.allocate(768).unwrap(); // 75 % occupancy
+        assert!(!policy.admit(5, &seg, || 0.0), "iteration 5 dropped");
+        drop(hog);
+        assert!(policy.admit(6, &seg, || 0.0), "iteration 6 admitted");
+        assert!(policy.was_dropped(5), "5's verdict not forgotten");
+        assert!(!policy.was_dropped(6));
+        assert_eq!(policy.dropped_iterations(), 1);
     }
 
     #[test]

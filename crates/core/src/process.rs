@@ -31,16 +31,35 @@
 //! blocking on acknowledgements — the same bounded-buffer behaviour the
 //! thread-mode segment enforces by occupancy, expressed over messages
 //! (the server cannot free ranges in another process's allocator).
+//!
+//! ## API parity with thread mode
+//!
+//! The client implements the full paper surface at parity with
+//! [`crate::DamarisClient`]: `write`/`write_id` returning
+//! [`WriteStatus`], zero-copy [`ProcessClient::alloc`] →
+//! [`ProcessClient::commit`] over the shared mapping, user
+//! [`ProcessClient::signal`]s delivered to the dedicated core
+//! (`KIND_SIGNAL` descriptors → [`ProcessSink::on_signal`]),
+//! [`SkipMode::DropIteration`] admission/exhaustion semantics, and the
+//! lock-free latency histogram behind [`ProcessClient::stats`]. The
+//! recommended way to consume all of it is through the unified
+//! [`crate::facade::SimHandle`] facade: [`ProcessHandle`] bundles a
+//! client with its communicator so simulation code never threads a
+//! [`Comm`] through every call.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
-use damaris_shm::{BlockRef, SharedSegment, ShmFile};
-use damaris_xml::schema::{AllocatorKind, Configuration};
-use damaris_xml::VarId;
+use damaris_shm::{Block, BlockRef, SharedSegment, ShmFile};
+use damaris_xml::schema::{AllocatorKind, Configuration, SkipMode};
+use damaris_xml::{EventId, VarId};
 use mini_mpi::{Comm, Source};
 
+use crate::client::{ClientStats, StatsRecorder, WriteStatus};
 use crate::error::{DamarisError, DamarisResult};
+use crate::facade::{block_digest, check_layout, resolve_var, SimHandle, SimWriter};
+use crate::policy::SkipPolicy;
 
 /// World rank of the dedicated core.
 pub const DEDICATED_RANK: usize = 0;
@@ -58,6 +77,10 @@ const TAG_ACK: u32 = 2;
 const KIND_WRITE: u64 = 1;
 const KIND_END: u64 = 2;
 const KIND_FIN: u64 = 3;
+/// A user signal: `[KIND_SIGNAL, event_id, iteration]` — the process-mode
+/// `damaris_signal`, firing [`ProcessSink::on_signal`] on the dedicated
+/// core.
+const KIND_SIGNAL: u64 = 4;
 
 /// Where the node's segment file lives, given a directory every rank can
 /// derive (e.g. [`mini_mpi::World::spawn_dir`]).
@@ -84,8 +107,8 @@ fn slice_bytes(cfg: &Configuration, clients: usize) -> DamarisResult<usize> {
     Ok(slice)
 }
 
-/// What the dedicated core does with arriving blocks (the process-mode
-/// analogue of a plugin).
+/// What the dedicated core does with arriving blocks and signals (the
+/// process-mode analogue of a plugin).
 pub trait ProcessSink {
     /// One block arrived: variable, iteration, writing client (1-based
     /// world rank), and the block's bytes viewed in place in the mapping.
@@ -93,6 +116,12 @@ pub trait ProcessSink {
     /// Every client ended `iteration` and all its blocks were delivered.
     fn on_iteration_complete(&mut self, iteration: u64) {
         let _ = iteration;
+    }
+    /// A client raised a user event (the process-mode analogue of a
+    /// signal-triggered action; undeclared names never reach here — they
+    /// are filtered at the client edge, as in thread mode).
+    fn on_signal(&mut self, event: EventId, iteration: u64, source: usize) {
+        let _ = (event, iteration, source);
     }
 }
 
@@ -104,6 +133,8 @@ pub struct StatsSink {
     per_var: HashMap<(u64, usize), (u64, f64, f64, f64)>,
     /// Iterations completed, in completion order.
     pub completed: Vec<u64>,
+    /// `(event_index, iteration, source)` of every delivered signal.
+    pub signals: Vec<(usize, u64, usize)>,
 }
 
 impl StatsSink {
@@ -138,6 +169,49 @@ impl ProcessSink for StatsSink {
     fn on_iteration_complete(&mut self, iteration: u64) {
         self.completed.push(iteration);
     }
+
+    fn on_signal(&mut self, event: EventId, iteration: u64, source: usize) {
+        self.signals.push((event.index(), iteration, source));
+    }
+}
+
+/// A [`ProcessSink`] folding consumed blocks into the world-independent
+/// digest [`crate::facade::SimReport`] reports. Blocks are staged per
+/// iteration and folded in only when the iteration *completes* — the
+/// thread-mode launcher computes its digest in an end-of-iteration
+/// plugin, so blocks of never-completed iterations must not count on
+/// either backend or the two worlds' digests would diverge.
+#[derive(Debug, Default)]
+pub struct DigestSink {
+    digest: u64,
+    staged: HashMap<u64, u64>,
+}
+
+impl DigestSink {
+    /// The accumulated order-independent digest (completed iterations).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+impl ProcessSink for DigestSink {
+    fn on_block(&mut self, var: VarId, iteration: u64, source: usize, data: &[u8]) {
+        // `source` is a 1-based world rank; the digest uses 0-based
+        // client indices so it matches the thread-mode plugin.
+        let sum = self.staged.entry(iteration).or_default();
+        *sum = sum.wrapping_add(block_digest(
+            var.index() as u64,
+            iteration,
+            (source - 1) as u64,
+            data,
+        ));
+    }
+
+    fn on_iteration_complete(&mut self, iteration: u64) {
+        if let Some(sum) = self.staged.remove(&iteration) {
+            self.digest = self.digest.wrapping_add(sum);
+        }
+    }
 }
 
 /// Summary returned by [`ProcessServer::serve`].
@@ -149,6 +223,11 @@ pub struct ServeReport {
     pub blocks_received: u64,
     /// Payload bytes consumed out of the shared mapping.
     pub bytes_received: u64,
+    /// Client-iterations the skip policy dropped (announced by clients
+    /// in their end-of-iteration descriptors).
+    pub skipped_client_iterations: u64,
+    /// User signals delivered to the sink.
+    pub signals_delivered: u64,
 }
 
 #[derive(Default)]
@@ -217,11 +296,14 @@ impl ProcessServer {
                     iterations.entry(iteration).or_default().received_writes += 1;
                 }
                 Some(KIND_END) => {
-                    let [_, iteration, writes] = msg[..] else {
+                    let [_, iteration, writes, skipped] = msg[..] else {
                         return Err(DamarisError::InvalidState(format!(
                             "malformed end-of-iteration from rank {source}: {msg:?}"
                         )));
                     };
+                    if skipped != 0 {
+                        report.skipped_client_iterations += 1;
+                    }
                     let state = iterations.entry(iteration).or_default();
                     state.ended_clients += 1;
                     state.announced_writes += writes;
@@ -238,6 +320,15 @@ impl ProcessServer {
                         }
                     }
                 }
+                Some(KIND_SIGNAL) => {
+                    let [_, event_raw, iteration] = msg[..] else {
+                        return Err(DamarisError::InvalidState(format!(
+                            "malformed signal from rank {source}: {msg:?}"
+                        )));
+                    };
+                    sink.on_signal(EventId::from_raw(event_raw as u32), iteration, source);
+                    report.signals_delivered += 1;
+                }
                 Some(KIND_FIN) => finalized += 1,
                 other => {
                     return Err(DamarisError::InvalidState(format!(
@@ -250,8 +341,45 @@ impl ProcessServer {
     }
 }
 
+/// An in-place block being filled by the simulation in process mode (the
+/// zero-copy path over the shared mapping). Obtained from
+/// [`ProcessClient::alloc`], published with [`ProcessClient::commit`].
+pub struct ProcessBlockWriter {
+    var: VarId,
+    iteration: u64,
+    /// `None` when the skip policy dropped the iteration.
+    block: Option<Block>,
+    /// Started at [`ProcessClient::alloc`], so the recorded write time
+    /// covers allocation and in-place fill — same clock placement as the
+    /// thread-mode [`crate::client::BlockWriter`].
+    t0: Instant,
+}
+
+impl SimWriter for ProcessBlockWriter {
+    fn is_skipped(&self) -> bool {
+        self.block.is_none()
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        match &mut self.block {
+            Some(b) => b.as_mut_slice(),
+            None => &mut [],
+        }
+    }
+
+    fn fill_pod<T: damaris_shm::segment::Pod>(&mut self, data: &[T]) {
+        if let Some(b) = &mut self.block {
+            b.write_pod(data);
+        }
+    }
+}
+
 /// The client role: a private allocator over this rank's slice of the
 /// shared file, plus the descriptor protocol to the dedicated core.
+///
+/// This raw layer threads the [`Comm`] through every call; use
+/// [`ProcessHandle`] (or [`crate::Damaris`]) for the paper-shaped
+/// comm-free surface.
 pub struct ProcessClient {
     cfg: Arc<Configuration>,
     seg: SharedSegment,
@@ -263,6 +391,12 @@ pub struct ProcessClient {
     writes_this_iteration: u64,
     /// Highest iteration acknowledged by the server (None before any).
     acked: Option<u64>,
+    /// Backpressure admission, identical policy engine to thread mode.
+    policy: SkipPolicy,
+    /// Lock-free write-latency recorder, identical to thread mode.
+    stats: StatsRecorder,
+    /// Whether `finalize` already ran (it is idempotent).
+    finalized: bool,
 }
 
 impl ProcessClient {
@@ -282,6 +416,7 @@ impl ProcessClient {
             AllocatorKind::FirstFit => Vec::new(),
         };
         let seg = SharedSegment::over_mapping(&shm, base, slice, &classes)?;
+        let policy = SkipPolicy::new(cfg.architecture.skip);
         Ok(ProcessClient {
             cfg: Arc::new(cfg),
             seg,
@@ -289,6 +424,9 @@ impl ProcessClient {
             pending: HashMap::new(),
             writes_this_iteration: 0,
             acked: None,
+            policy,
+            stats: StatsRecorder::new(),
+            finalized: false,
         })
     }
 
@@ -307,84 +445,130 @@ impl ProcessClient {
         self.seg.stats()
     }
 
+    /// Resolve a variable name to its interned id (shared validation
+    /// with thread mode).
+    pub fn var_id(&self, variable: &str) -> DamarisResult<VarId> {
+        resolve_var(&self.cfg, variable)
+    }
+
+    /// Snapshot of this client's timing statistics — the same lock-free
+    /// histogram thread mode reports, so per-rank instrumentation is
+    /// uniform regardless of backend.
+    pub fn stats(&self) -> ClientStats {
+        self.stats.snapshot()
+    }
+
+    /// Iterations dropped by the skip policy so far.
+    pub fn skipped_iterations(&self) -> u64 {
+        self.policy.dropped_iterations()
+    }
+
     /// Publish one variable for one iteration: allocate in the shared
-    /// mapping, one memcpy, one descriptor message.
+    /// mapping, one memcpy, one descriptor message. Under
+    /// [`SkipMode::DropIteration`] an iteration starting above the
+    /// high-watermark (or exhausting the slice mid-iteration) is dropped
+    /// and reported as [`WriteStatus::Skipped`] instead of stalling or
+    /// erroring.
     pub fn write<T: damaris_shm::Pod>(
         &mut self,
         comm: &Comm,
         variable: &str,
         iteration: u64,
         data: &[T],
-    ) -> DamarisResult<()> {
-        let var = self
-            .cfg
-            .registry()
-            .var_id(variable)
-            .ok_or_else(|| DamarisError::UnknownVariable(variable.to_string()))?;
-        let expected = self.cfg.registry().byte_size(var);
+    ) -> DamarisResult<WriteStatus> {
+        let var = self.var_id(variable)?;
+        self.write_id(comm, var, iteration, data)
+    }
+
+    /// [`ProcessClient::write`] with a pre-resolved [`VarId`].
+    pub fn write_id<T: damaris_shm::Pod>(
+        &mut self,
+        comm: &Comm,
+        var: VarId,
+        iteration: u64,
+        data: &[T],
+    ) -> DamarisResult<WriteStatus> {
+        let t0 = Instant::now();
         let bytes = std::mem::size_of_val(data);
-        if bytes != expected {
-            return Err(DamarisError::LayoutMismatch {
-                variable: variable.to_string(),
-                expected,
-                got: bytes,
-            });
-        }
-        // Opportunistically retire acknowledged iterations so the slice
-        // recycles without blocking.
-        self.drain_acks(comm);
-        // On exhaustion, wait on *acknowledgements*, not on the segment
-        // condvar: in process mode every free of this slice happens on
-        // this very thread (ack retirement), so blocking inside the
-        // allocator could never be woken — the ack message is the real
-        // "space freed" signal here.
-        let mut block = loop {
-            match self.seg.allocate(bytes) {
-                Ok(b) => break b,
-                Err(damaris_shm::ShmError::OutOfMemory { .. }) => {
-                    // Acks only ever retire iterations whose END was sent;
-                    // if nothing older than the current iteration is
-                    // staged, no ack can come and the slice genuinely
-                    // cannot hold this iteration's working set.
-                    if !self.pending.keys().any(|&k| k != iteration) {
-                        return Err(DamarisError::InvalidState(format!(
-                            "client slice of {} bytes cannot hold one iteration's blocks \
-                             (writing '{variable}', {bytes} bytes): grow <buffer size> or \
-                             reduce per-iteration data",
-                            self.seg.capacity()
-                        )));
-                    }
-                    self.wait_ack(comm);
-                }
-                Err(e) => return Err(e.into()),
-            }
+        check_layout(&self.cfg, var, bytes)?;
+        let Some(mut block) = self.acquire(comm, var, iteration, bytes)? else {
+            return Ok(WriteStatus::Skipped);
         };
         block.write_pod(data);
-        let offset = (self.base + block.offset()) as u64;
-        let frozen = block.freeze();
+        self.publish(comm, var, iteration, block);
+        self.stats
+            .record_write(t0.elapsed().as_nanos() as u64, bytes as u64);
+        Ok(WriteStatus::Written)
+    }
+
+    /// Zero-copy variant: allocate the block in the shared mapping, let
+    /// the caller fill it in place, then [`ProcessClient::commit`] it.
+    /// The write-timing clock starts here (allocation + fill counted),
+    /// matching thread mode.
+    pub fn alloc(
+        &mut self,
+        comm: &Comm,
+        variable: &str,
+        iteration: u64,
+    ) -> DamarisResult<ProcessBlockWriter> {
+        let t0 = Instant::now();
+        let var = self.var_id(variable)?;
+        let bytes = self.cfg.registry().byte_size(var);
+        let block = self.acquire(comm, var, iteration, bytes)?;
+        Ok(ProcessBlockWriter {
+            var,
+            iteration,
+            block,
+            t0,
+        })
+    }
+
+    /// Publish a block obtained from [`ProcessClient::alloc`].
+    pub fn commit(
+        &mut self,
+        comm: &Comm,
+        writer: ProcessBlockWriter,
+    ) -> DamarisResult<WriteStatus> {
+        match writer.block {
+            None => Ok(WriteStatus::Skipped),
+            Some(block) => {
+                let bytes = block.len();
+                self.publish(comm, writer.var, writer.iteration, block);
+                self.stats
+                    .record_write(writer.t0.elapsed().as_nanos() as u64, bytes as u64);
+                Ok(WriteStatus::Written)
+            }
+        }
+    }
+
+    /// Raise a user event on the dedicated core
+    /// ([`ProcessSink::on_signal`]). Names no `<action>` declares are
+    /// silently dropped at this edge, exactly like thread mode.
+    pub fn signal(&mut self, comm: &Comm, name: &str, iteration: u64) -> DamarisResult<()> {
+        let Some(event) = self.cfg.registry().event_id(name) else {
+            return Ok(());
+        };
         comm.send(
             DEDICATED_RANK,
             TAG_MSG,
-            &[
-                KIND_WRITE,
-                u64::from(var.raw()),
-                iteration,
-                offset,
-                bytes as u64,
-            ],
+            &[KIND_SIGNAL, u64::from(event.raw()), iteration],
         );
-        self.pending.entry(iteration).or_default().push(frozen);
-        self.writes_this_iteration += 1;
         Ok(())
     }
 
     /// Mark `iteration` finished. Blocks while more than [`ACK_WINDOW`]
     /// iterations are staged un-acknowledged.
     pub fn end_iteration(&mut self, comm: &Comm, iteration: u64) -> DamarisResult<()> {
+        let skipped = self.policy.was_dropped(iteration);
         comm.send(
             DEDICATED_RANK,
             TAG_MSG,
-            &[KIND_END, iteration, self.writes_this_iteration],
+            &[
+                KIND_END,
+                iteration,
+                self.writes_this_iteration,
+                u64::from(skipped),
+            ],
         );
         self.writes_this_iteration = 0;
         self.drain_acks(comm);
@@ -396,12 +580,93 @@ impl ProcessClient {
 
     /// Announce that this client is done, then wait for every staged
     /// iteration to be acknowledged (so the slice reads empty).
-    pub fn finalize(mut self, comm: &Comm) -> DamarisResult<()> {
+    /// Idempotent: repeated calls after the first are no-ops.
+    pub fn finalize(&mut self, comm: &Comm) -> DamarisResult<()> {
+        if self.finalized {
+            return Ok(());
+        }
         while !self.pending.is_empty() {
             self.wait_ack(comm);
         }
         comm.send(DEDICATED_RANK, TAG_MSG, &[KIND_FIN]);
+        self.finalized = true;
         Ok(())
+    }
+
+    /// Admission plus allocation: `None` means the skip policy dropped
+    /// the iteration (either at its first write or on mid-iteration
+    /// slice exhaustion in drop mode).
+    fn acquire(
+        &mut self,
+        comm: &Comm,
+        var: VarId,
+        iteration: u64,
+        bytes: usize,
+    ) -> DamarisResult<Option<Block>> {
+        // Opportunistically retire acknowledged iterations so the slice
+        // recycles without blocking.
+        self.drain_acks(comm);
+        // Transport-pressure analogue: how full the bounded staging
+        // window is (the slice occupancy itself is the segment signal).
+        let staged = self.pending.len() as f64 / (ACK_WINDOW + 1) as f64;
+        if !self.policy.admit(iteration, &self.seg, || staged) {
+            self.stats.record_skip();
+            return Ok(None);
+        }
+        loop {
+            match self.seg.allocate(bytes) {
+                Ok(b) => return Ok(Some(b)),
+                Err(damaris_shm::ShmError::OutOfMemory { .. }) => {
+                    if self.policy.mode() == SkipMode::DropIteration {
+                        // §V.C.1: never stall the simulation. One
+                        // non-blocking ack drain; if it retired a staged
+                        // iteration, retry — otherwise lose this
+                        // iteration's remaining data, exactly like the
+                        // thread-mode client on segment exhaustion.
+                        let before = self.pending.len();
+                        self.drain_acks(comm);
+                        if self.pending.len() < before {
+                            continue;
+                        }
+                        self.policy.drop_current(iteration);
+                        self.stats.record_skip();
+                        return Ok(None);
+                    }
+                    // Block mode waits on *acknowledgements*, not on the
+                    // segment condvar: in process mode every free of this
+                    // slice happens on this very thread (ack retirement),
+                    // so blocking inside the allocator could never be
+                    // woken. Acks only ever retire iterations whose END
+                    // was sent; if nothing older than the current
+                    // iteration is staged, no ack can come and the slice
+                    // genuinely cannot hold this iteration's working set.
+                    if !self.pending.keys().any(|&k| k != iteration) {
+                        return Err(DamarisError::InvalidState(format!(
+                            "client slice of {} bytes cannot hold one iteration's blocks \
+                             (writing '{}', {bytes} bytes): grow <buffer size> or \
+                             reduce per-iteration data",
+                            self.seg.capacity(),
+                            self.cfg.var_name(var),
+                        )));
+                    }
+                    self.wait_ack(comm);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn publish(&mut self, comm: &Comm, var: VarId, iteration: u64, block: Block) {
+        let offset = (self.base + block.offset()) as u64;
+        let bytes = block.len() as u64;
+        let frozen = block.freeze();
+        comm.send(
+            DEDICATED_RANK,
+            TAG_MSG,
+            &[KIND_WRITE, u64::from(var.raw()), iteration, offset, bytes],
+        );
+        self.pending.entry(iteration).or_default().push(frozen);
+        self.writes_this_iteration += 1;
     }
 
     fn retire(&mut self, iteration: u64) {
@@ -430,5 +695,92 @@ impl std::fmt::Debug for ProcessClient {
             .field("pending_iterations", &self.pending.len())
             .field("acked", &self.acked)
             .finish()
+    }
+}
+
+/// A [`ProcessClient`] bundled with its communicator: the process-mode
+/// implementation of [`SimHandle`], so simulation code carries one handle
+/// instead of threading a [`Comm`] through every call.
+pub struct ProcessHandle<'a> {
+    client: ProcessClient,
+    comm: &'a Comm,
+}
+
+impl<'a> ProcessHandle<'a> {
+    /// Join the node as a client rank (see [`ProcessClient::new`]) and
+    /// bundle the communicator.
+    pub fn new(comm: &'a Comm, cfg: Configuration, dir: &std::path::Path) -> DamarisResult<Self> {
+        Ok(ProcessHandle {
+            client: ProcessClient::new(comm, cfg, dir)?,
+            comm,
+        })
+    }
+
+    /// The wrapped raw client.
+    pub fn client(&self) -> &ProcessClient {
+        &self.client
+    }
+
+    /// The wrapped raw client, mutably.
+    pub fn client_mut(&mut self) -> &mut ProcessClient {
+        &mut self.client
+    }
+
+    /// The bundled communicator.
+    pub fn comm(&self) -> &Comm {
+        self.comm
+    }
+}
+
+impl SimHandle for ProcessHandle<'_> {
+    type Writer = ProcessBlockWriter;
+
+    fn id(&self) -> usize {
+        self.comm.rank() - 1
+    }
+
+    fn config(&self) -> &Configuration {
+        self.client.config()
+    }
+
+    fn var_id(&self, variable: &str) -> DamarisResult<VarId> {
+        self.client.var_id(variable)
+    }
+
+    fn write_id<T: damaris_shm::segment::Pod>(
+        &mut self,
+        var: VarId,
+        iteration: u64,
+        data: &[T],
+    ) -> DamarisResult<WriteStatus> {
+        self.client.write_id(self.comm, var, iteration, data)
+    }
+
+    fn alloc(&mut self, variable: &str, iteration: u64) -> DamarisResult<Self::Writer> {
+        self.client.alloc(self.comm, variable, iteration)
+    }
+
+    fn commit(&mut self, writer: Self::Writer) -> DamarisResult<WriteStatus> {
+        self.client.commit(self.comm, writer)
+    }
+
+    fn signal(&mut self, name: &str, iteration: u64) -> DamarisResult<()> {
+        self.client.signal(self.comm, name, iteration)
+    }
+
+    fn end_iteration(&mut self, iteration: u64) -> DamarisResult<()> {
+        self.client.end_iteration(self.comm, iteration)
+    }
+
+    fn finalize(&mut self) -> DamarisResult<()> {
+        self.client.finalize(self.comm)
+    }
+
+    fn stats(&self) -> ClientStats {
+        self.client.stats()
+    }
+
+    fn skipped_iterations(&self) -> u64 {
+        self.client.skipped_iterations()
     }
 }

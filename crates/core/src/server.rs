@@ -60,6 +60,13 @@ pub struct ServerShared {
     pub(crate) iterations_completed: AtomicU64,
     /// Skipped client-iterations observed.
     pub(crate) skipped_client_iterations: AtomicU64,
+    /// User signals processed (undeclared names never arrive — the
+    /// client edge filters them).
+    pub(crate) signals_delivered: AtomicU64,
+    /// Blocks consumed off the transport.
+    pub(crate) blocks_received: AtomicU64,
+    /// Payload bytes of those blocks.
+    pub(crate) bytes_received: AtomicU64,
     /// Nanoseconds the dedicated cores spent doing work.
     pub(crate) busy_nanos: AtomicU64,
     /// Nanoseconds the dedicated cores spent idle (waiting for events) —
@@ -97,6 +104,9 @@ impl ServerShared {
             errors: Mutex::new(Vec::new()),
             iterations_completed: AtomicU64::new(0),
             skipped_client_iterations: AtomicU64::new(0),
+            signals_delivered: AtomicU64::new(0),
+            blocks_received: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             idle_nanos: AtomicU64::new(0),
         }
@@ -253,6 +263,10 @@ pub fn server_loop<C: EventConsumer<Event>>(shared: Arc<ServerShared>, mut event
                 source,
                 block,
             } => {
+                shared.blocks_received.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .bytes_received
+                    .fetch_add(block.len() as u64, Ordering::Relaxed);
                 shared.store.lock().insert(StoredBlock {
                     variable,
                     source,
@@ -285,6 +299,7 @@ pub fn server_loop<C: EventConsumer<Event>>(shared: Arc<ServerShared>, mut event
                 source,
                 iteration,
             } => {
+                shared.signals_delivered.fetch_add(1, Ordering::Relaxed);
                 shared.fire_signal(event, source, iteration);
             }
             Event::ClientFinalize { .. } => {

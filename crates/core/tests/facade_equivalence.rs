@@ -1,0 +1,280 @@
+//! Transport equivalence at the **Damaris API** level: one generic
+//! simulation function — `fn simulate<H: SimHandle>(h: &mut H)`, compiled
+//! once, with no per-backend branches — runs unmodified against
+//! `<world kind="threads"/>` and `<world kind="processes"/>` through the
+//! [`Damaris`] facade, and must produce byte-identical client outputs
+//! (including [`WriteStatus`] sequences and [`ClientStats`] counters) and
+//! a field-identical [`SimReport`] (including the order-independent
+//! digest of every block the dedicated core consumed).
+//!
+//! The process world re-executes this test binary once per rank
+//! ([`mini_mpi::World::run_spawned_test`] under the hood), so every
+//! `program` string below must equal its test function's name, and each
+//! test runs the process world *first* — a spawned child becomes its rank
+//! inside that call and exits, never wasting work on the thread world.
+
+use damaris_core::prelude::*;
+use proptest::prelude::*;
+
+fn config(world: &str, clients: usize, buffer: usize, skip: &str) -> Configuration {
+    let xml = format!(
+        r#"<simulation name="facade-equivalence">
+             <architecture>
+               <dedicated cores="1"/>
+               <clients count="{clients}"/>
+               <buffer size="{buffer}"/>
+               <queue capacity="256"/>
+               <world kind="{world}"/>
+               {skip}
+             </architecture>
+             <data>
+               <layout name="row" type="f64" dimensions="64"/>
+               <variable name="u" layout="row"/>
+               <variable name="v" layout="row"/>
+             </data>
+             <actions>
+               <action name="snap" plugin="stats" event="take-snapshot"/>
+             </actions>
+           </simulation>"#
+    );
+    Configuration::from_str(&xml).expect("equivalence config is valid")
+}
+
+/// THE generic driver: everything it does goes through [`SimHandle`];
+/// it cannot know (and never asks) which backend it runs on. All rank
+/// behaviour derives from `input` and `h` alone, because in process mode
+/// it executes inside a re-spawned child.
+fn simulate<H: SimHandle>(h: &mut H, input: &[u8]) -> Vec<u8> {
+    let iterations = u64::from(input[0]);
+    let seed = u64::from(input[1]);
+    let u = h.var_id("u").expect("declared variable resolves");
+    let mut out = Vec::new();
+    for it in 0..iterations {
+        let data: Vec<f64> = (0..64)
+            .map(|i| (seed * 31 + h.id() as u64 * 7 + it * 3) as f64 + i as f64 * 0.5)
+            .collect();
+        // Copy write by name, by pre-resolved id, and the zero-copy
+        // alloc → fill-in-place → commit path.
+        let s1 = h.write("u", it, &data).expect("write u");
+        let s2 = h.write_id(u, it, &data).expect("write_id u");
+        let mut w = h.alloc("v", it).expect("alloc v");
+        assert!(!w.is_skipped());
+        w.fill_pod(&data);
+        let s3 = h.commit(w).expect("commit v");
+        // One declared signal (delivered) and one undeclared (filtered at
+        // the client edge on both backends).
+        h.signal("take-snapshot", it).expect("signal");
+        h.signal("ghost-event", it)
+            .expect("undeclared signal is a no-op");
+        h.end_iteration(it).expect("end iteration");
+        out.extend([s1, s2, s3].map(|s| u8::from(s == WriteStatus::Written)));
+    }
+    h.finalize().expect("finalize");
+    let st = h.stats();
+    out.extend(st.writes.to_le_bytes());
+    out.extend(st.skipped_writes.to_le_bytes());
+    out.extend(st.bytes_written.to_le_bytes());
+    out.extend(h.skipped_iterations().to_le_bytes());
+    out.extend((h.id() as u64).to_le_bytes());
+    out
+}
+
+/// Run `sim` on the processes world first, then the threads world, with
+/// identical configurations apart from `<world kind>`.
+fn run_both(
+    program: &str,
+    clients: usize,
+    buffer: usize,
+    skip: &str,
+    input: &[u8],
+    sim: impl Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync + Copy,
+) -> (SimReport, SimReport) {
+    let processes = Damaris::launch_test(
+        config("processes", clients, buffer, skip),
+        program,
+        input,
+        sim,
+    )
+    .expect("processes world succeeds");
+    let threads = Damaris::launch_test(
+        config("threads", clients, buffer, skip),
+        program,
+        input,
+        sim,
+    )
+    .expect("threads world succeeds");
+    (processes, threads)
+}
+
+fn assert_equivalent(processes: &SimReport, threads: &SimReport) {
+    assert_eq!(
+        processes.outputs, threads.outputs,
+        "per-client outputs (statuses + stats counters) must be byte-identical"
+    );
+    assert_eq!(processes.iterations_completed, threads.iterations_completed);
+    assert_eq!(
+        processes.skipped_client_iterations,
+        threads.skipped_client_iterations
+    );
+    assert_eq!(processes.signals_delivered, threads.signals_delivered);
+    assert_eq!(processes.blocks_received, threads.blocks_received);
+    assert_eq!(processes.bytes_received, threads.bytes_received);
+    assert_eq!(
+        processes.data_digest, threads.data_digest,
+        "the dedicated cores must have consumed byte-identical blocks"
+    );
+}
+
+#[test]
+fn one_driver_both_worlds() {
+    let (processes, threads) = run_both(
+        "one_driver_both_worlds",
+        2,
+        4 << 20,
+        "",
+        &[4, 9],
+        |h, input| simulate(h, input),
+    );
+    assert_equivalent(&processes, &threads);
+    // Sanity beyond mutual equality: the expected absolute numbers.
+    assert_eq!(processes.iterations_completed, 4);
+    assert_eq!(processes.blocks_received, 4 * 3 * 2, "3 blocks × 2 clients");
+    assert_eq!(processes.bytes_received, 4 * 3 * 2 * 512);
+    assert_eq!(processes.signals_delivered, 4 * 2, "declared signals only");
+    assert_eq!(processes.skipped_client_iterations, 0);
+    for out in &processes.outputs {
+        let statuses = &out[..4 * 3];
+        assert!(statuses.iter().all(|&s| s == 1), "everything written");
+    }
+}
+
+/// The §V.C.1 skip semantics, cross-world: one client fills 75 % of its
+/// memory in iteration 0 and opens iteration 1 while iteration 0 is
+/// still staged — above the 0.5 high-watermark, so iteration 1 is
+/// dropped *wholesale* on both backends, deterministically (iteration-0
+/// blocks cannot be reclaimed before `end_iteration(0)` on either
+/// backend, so the occupancy the admission check samples is exact).
+fn skip_sim<H: SimHandle>(h: &mut H, _input: &[u8]) -> Vec<u8> {
+    let data = vec![2.5f64; 64]; // 512 bytes; capacity is 2048
+    let mut statuses = Vec::new();
+    for _ in 0..3 {
+        statuses.push(h.write("u", 0, &data).expect("iteration 0 write"));
+    }
+    // First write of iteration 1 while occupancy is 1536/2048 = 0.75.
+    statuses.push(h.write("u", 1, &data).expect("admission skip, not error"));
+    h.end_iteration(0).expect("end 0");
+    // The drop decision sticks for the whole iteration.
+    statuses.push(h.write("u", 1, &data).expect("sticky skip"));
+    h.end_iteration(1).expect("end 1");
+    h.finalize().expect("finalize");
+    let st = h.stats();
+    let mut out: Vec<u8> = statuses
+        .iter()
+        .map(|&s| u8::from(s == WriteStatus::Written))
+        .collect();
+    out.extend(st.writes.to_le_bytes());
+    out.extend(st.skipped_writes.to_le_bytes());
+    out.extend(h.skipped_iterations().to_le_bytes());
+    out
+}
+
+#[test]
+fn skip_semantics_equivalent_across_worlds() {
+    let (processes, threads) = run_both(
+        "skip_semantics_equivalent_across_worlds",
+        1,
+        2048,
+        r#"<skip mode="drop-iteration" high-watermark="0.5"/>"#,
+        &[],
+        |h, input| skip_sim(h, input),
+    );
+    assert_equivalent(&processes, &threads);
+    assert_eq!(
+        processes.iterations_completed, 2,
+        "skipped iterations still complete"
+    );
+    assert_eq!(processes.skipped_client_iterations, 1);
+    assert_eq!(processes.blocks_received, 3);
+    let out = &processes.outputs[0];
+    assert_eq!(&out[..5], &[1, 1, 1, 0, 0], "W W W S S");
+    let writes = u64::from_le_bytes(out[5..13].try_into().unwrap());
+    let skipped_writes = u64::from_le_bytes(out[13..21].try_into().unwrap());
+    let skipped_iters = u64::from_le_bytes(out[21..29].try_into().unwrap());
+    assert_eq!((writes, skipped_writes, skipped_iters), (3, 2, 1));
+}
+
+/// Mid-iteration exhaustion under drop mode: the slice/segment fits one
+/// 512-byte block (capacity 576), so the iteration is *admitted* (
+/// occupancy 0 at its first write) and runs out of memory on the second
+/// write. Both backends must drop the rest of the iteration and report
+/// [`WriteStatus::Skipped`] — not error (the pre-facade thread client
+/// returned `OutOfMemory` here, diverging from process mode).
+fn exhaustion_sim<H: SimHandle>(h: &mut H, _input: &[u8]) -> Vec<u8> {
+    let data = vec![3.5f64; 64];
+    let s1 = h.write("u", 0, &data).expect("first block fits");
+    let s2 = h
+        .write("u", 0, &data)
+        .expect("exhaustion drops, never errors");
+    let s3 = h.write("u", 0, &data).expect("drop decision sticks");
+    h.end_iteration(0).expect("end 0");
+    h.finalize().expect("finalize");
+    let st = h.stats();
+    let mut out: Vec<u8> = [s1, s2, s3]
+        .iter()
+        .map(|&s| u8::from(s == WriteStatus::Written))
+        .collect();
+    out.extend(st.writes.to_le_bytes());
+    out.extend(st.skipped_writes.to_le_bytes());
+    out.extend(h.skipped_iterations().to_le_bytes());
+    out
+}
+
+#[test]
+fn mid_iteration_exhaustion_drops_on_both_worlds() {
+    let (processes, threads) = run_both(
+        "mid_iteration_exhaustion_drops_on_both_worlds",
+        1,
+        576,
+        r#"<skip mode="drop-iteration" high-watermark="1.0"/>"#,
+        &[],
+        |h, input| exhaustion_sim(h, input),
+    );
+    assert_equivalent(&processes, &threads);
+    assert_eq!(processes.iterations_completed, 1);
+    assert_eq!(processes.skipped_client_iterations, 1);
+    assert_eq!(processes.blocks_received, 1);
+    let out = &processes.outputs[0];
+    assert_eq!(&out[..3], &[1, 0, 0], "W S S");
+    let writes = u64::from_le_bytes(out[3..11].try_into().unwrap());
+    let skipped_writes = u64::from_le_bytes(out[11..19].try_into().unwrap());
+    let skipped_iters = u64::from_le_bytes(out[19..27].try_into().unwrap());
+    assert_eq!((writes, skipped_writes, skipped_iters), (1, 2, 1));
+}
+
+proptest! {
+    // Property: for arbitrary client counts, iteration counts and data
+    // seeds, the generic driver's outputs and the dedicated core's view
+    // are identical across worlds. Spawning real processes is expensive,
+    // so the case count is deliberately small; every case still covers
+    // copy writes, interned-id writes, zero-copy alloc/commit, declared
+    // and undeclared signals, and the full stats counters.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn facade_equivalence_proptest(
+        clients in 1usize..=2,
+        iterations in 1u8..=3,
+        seed in any::<u8>(),
+    ) {
+        let (processes, threads) = run_both(
+            "facade_equivalence_proptest",
+            clients,
+            4 << 20,
+            "",
+            &[iterations, seed],
+            |h, input| simulate(h, input),
+        );
+        assert_equivalent(&processes, &threads);
+        prop_assert_eq!(processes.outputs.len(), clients);
+        prop_assert_eq!(processes.iterations_completed, u64::from(iterations));
+    }
+}

@@ -16,7 +16,7 @@
 //!
 //! Every message is one length-prefixed frame: `[u32 body_len][u8 kind]`
 //! followed by the body. Data frames carry `(ctx, src, tag, payload)` —
-//! exactly the in-process [`Envelope`] — and are demuxed by a per-peer
+//! exactly the in-process `Envelope` — and are demuxed by a per-peer
 //! reader thread into the local rank's mailbox, where the ordinary
 //! matching logic picks them up. Sends go through a per-peer writer
 //! thread (an unbounded channel in between), so `send` keeps its eager,

@@ -1,12 +1,12 @@
 //! World construction, rank mailboxes and the transport seam.
 //!
-//! A world is a set of ranks plus a [`Transport`] that moves envelopes
+//! A world is a set of ranks plus a `Transport` that moves envelopes
 //! between them. Two transports exist:
 //!
-//! * **in-process** ([`Transport::InProc`]) — ranks are OS threads, an
+//! * **in-process** (`Transport::InProc`) — ranks are OS threads, an
 //!   envelope post is a push into the destination's mailbox under its
 //!   lock ([`World::run`]);
-//! * **socket** ([`Transport::Socket`]) — ranks are OS processes connected
+//! * **socket** (`Transport::Socket`) — ranks are OS processes connected
 //!   by a full mesh of Unix-domain sockets (TCP loopback fallback); a post
 //!   hands the envelope to a per-peer writer thread, a per-peer reader
 //!   thread demuxes incoming frames into the local mailbox

@@ -8,7 +8,7 @@
 //! the *same* handful of block sizes. Those sizes become **size classes**:
 //!
 //! * each class owns a bounded lock-free MPMC queue of free offsets
-//!   ([`OffsetQueue`]); a steady-state allocation is one CAS pop, a
+//!   (`OffsetQueue`); a steady-state allocation is one CAS pop, a
 //!   steady-state free (from the dedicated core's garbage collection) is
 //!   one CAS push — no lock on either side;
 //! * each client can additionally hold a tiny [`SlabCache`] of reserved

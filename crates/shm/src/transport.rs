@@ -487,7 +487,7 @@ impl<T: Send> ShardProducer<T> {
 /// first, then steals from any other shard.
 ///
 /// Pops are batched: acquiring a shard's drain guard pulls up to
-/// [`DRAIN_BATCH`] events into a local buffer, amortizing the guard CAS
+/// `DRAIN_BATCH` events into a local buffer, amortizing the guard CAS
 /// and the shard scan to a fraction of an atomic op per event.
 pub struct StealingConsumer<T> {
     inner: Arc<ShardedInner<T>>,

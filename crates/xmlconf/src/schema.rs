@@ -414,6 +414,10 @@ pub struct Architecture {
     /// Cores per node dedicated to data management (≥ 1 for Damaris mode,
     /// 0 selects the synchronous baselines).
     pub dedicated_cores: usize,
+    /// Compute cores (simulation clients) per node (`<clients count="…"/>`).
+    /// Lets one configuration describe the whole node, so launchers
+    /// (`damaris_core::Damaris::launch`) need no out-of-band client count.
+    pub clients: usize,
     /// Shared-memory segment capacity in bytes.
     pub buffer_size: usize,
     /// Shared-memory allocator implementation.
@@ -434,6 +438,7 @@ impl Default for Architecture {
     fn default() -> Self {
         Architecture {
             dedicated_cores: 1,
+            clients: 1,
             buffer_size: 64 << 20,
             allocator: AllocatorKind::default(),
             queue_capacity: 1024,
@@ -673,6 +678,9 @@ impl Configuration {
                     .with_attr("cores", self.architecture.dedicated_cores.to_string()),
             )
             .with_child(
+                Element::new("clients").with_attr("count", self.architecture.clients.to_string()),
+            )
+            .with_child(
                 Element::new("buffer")
                     .with_attr("size", self.architecture.buffer_size.to_string())
                     .with_attr("allocator", self.architecture.allocator.name()),
@@ -800,6 +808,15 @@ fn parse_architecture(el: &Element) -> XmlResult<Architecture> {
             .attr_parse("cores")
             .map_err(XmlError::schema)?
             .unwrap_or(arch.dedicated_cores);
+    }
+    if let Some(c) = el.child("clients") {
+        arch.clients = c
+            .attr_parse("count")
+            .map_err(XmlError::schema)?
+            .unwrap_or(arch.clients);
+        if arch.clients == 0 {
+            return Err(XmlError::schema("<clients count> must be positive"));
+        }
     }
     if let Some(b) = el.child("buffer") {
         arch.buffer_size = b
@@ -1177,6 +1194,25 @@ mod tests {
             r#"<simulation><architecture><world kind="fibers"/></architecture></simulation>"#,
         );
         assert!(bad.unwrap_err().to_string().contains("unknown world kind"));
+    }
+
+    #[test]
+    fn clients_count_parses_and_roundtrips() {
+        let xml = r#"<simulation name="s">
+          <architecture><clients count="7"/></architecture>
+        </simulation>"#;
+        let cfg = Configuration::from_str(xml).unwrap();
+        assert_eq!(cfg.architecture.clients, 7);
+        let back = Configuration::from_str(&cfg.to_xml()).unwrap();
+        assert_eq!(back.architecture.clients, 7);
+        assert_eq!(back, cfg);
+        // Absent element keeps the default of one client.
+        let cfg = Configuration::from_str("<simulation name=\"x\"/>").unwrap();
+        assert_eq!(cfg.architecture.clients, 1);
+        let bad = Configuration::from_str(
+            r#"<simulation><architecture><clients count="0"/></architecture></simulation>"#,
+        );
+        assert!(bad.unwrap_err().to_string().contains("must be positive"));
     }
 
     #[test]

@@ -70,6 +70,28 @@ fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// The instrumented simulation, written once against the [`SimHandle`]
+/// facade: the same function drives a thread-mode client here and would
+/// drive a process-mode rank unchanged (see `examples/process_mode.rs`).
+fn run_rank<H: SimHandle>(h: &mut H) -> ClientStats {
+    let mut sim = Cm1::new(Cm1Config {
+        nx: NX,
+        ny: NY,
+        nz: NZ,
+        seed: h.id() as u64,
+        ..Default::default()
+    });
+    for it in 0..ITERATIONS {
+        sim.step();
+        for (name, values) in sim.fields() {
+            h.write(name, it, values).expect("write");
+        }
+        h.end_iteration(it).expect("end iteration");
+    }
+    h.finalize().expect("finalize");
+    h.stats()
+}
+
 fn damaris_run(out: &std::path::Path) {
     let clients = 7usize; // 8 cores: 7 compute + 1 dedicated
     let node = DamarisNode::builder()
@@ -89,22 +111,8 @@ fn damaris_run(out: &std::path::Path) {
         .clients()
         .map(|client| {
             std::thread::spawn(move || {
-                let mut sim = Cm1::new(Cm1Config {
-                    nx: NX,
-                    ny: NY,
-                    nz: NZ,
-                    seed: client.id() as u64,
-                    ..Default::default()
-                });
-                for it in 0..ITERATIONS {
-                    sim.step();
-                    for (name, values) in sim.fields() {
-                        client.write(name, it, values).expect("write");
-                    }
-                    client.end_iteration(it).expect("end iteration");
-                }
-                client.finalize().expect("finalize");
-                client.stats()
+                let mut h = Damaris::threads(client);
+                run_rank(&mut h)
             })
         })
         .collect();

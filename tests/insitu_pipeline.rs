@@ -12,6 +12,27 @@ const NX: usize = 24;
 const NY: usize = 24;
 const NZ: usize = 16;
 
+/// The simulation loop both tests drive, written once against the
+/// [`SimHandle`] facade (the same function would run a process-mode rank
+/// unchanged).
+fn run_sim<H: SimHandle>(h: &mut H, steps: u64) -> ClientStats {
+    let mut sim = Cm1::new(Cm1Config {
+        nx: NX,
+        ny: NY,
+        nz: NZ,
+        ..Default::default()
+    });
+    for it in 0..steps {
+        sim.step();
+        h.write("theta", it, sim.field("theta").expect("theta"))
+            .expect("write");
+        h.write("w", it, sim.field("w").expect("w")).expect("write");
+        h.end_iteration(it).expect("end");
+    }
+    h.finalize().expect("finalize");
+    h.stats()
+}
+
 fn config() -> String {
     format!(
         r#"<simulation name="cm1-insitu">
@@ -51,23 +72,8 @@ fn analysis_tracks_the_simulation() {
 
     let client = node.client(0).expect("client");
     let worker = std::thread::spawn(move || {
-        let mut sim = Cm1::new(Cm1Config {
-            nx: NX,
-            ny: NY,
-            nz: NZ,
-            ..Default::default()
-        });
-        for it in 0..STEPS {
-            sim.step();
-            client
-                .write("theta", it, sim.field("theta").expect("theta"))
-                .expect("write");
-            client
-                .write("w", it, sim.field("w").expect("w"))
-                .expect("write");
-            client.end_iteration(it).expect("end");
-        }
-        client.finalize().expect("finalize");
+        let mut h = Damaris::threads(client);
+        run_sim(&mut h, STEPS);
     });
     worker.join().expect("sim thread");
     let report = node.shutdown().expect("shutdown");
@@ -125,24 +131,8 @@ fn analysis_cost_stays_off_the_write_path() {
     node.register_plugin(Arc::new(InSituPlugin::new()));
     let client = node.client(0).expect("client");
     let stats = std::thread::spawn(move || {
-        let mut sim = Cm1::new(Cm1Config {
-            nx: NX,
-            ny: NY,
-            nz: NZ,
-            ..Default::default()
-        });
-        for it in 0..STEPS {
-            sim.step();
-            client
-                .write("theta", it, sim.field("theta").expect("theta"))
-                .expect("write");
-            client
-                .write("w", it, sim.field("w").expect("w"))
-                .expect("write");
-            client.end_iteration(it).expect("end");
-        }
-        client.finalize().expect("finalize");
-        client.stats()
+        let mut h = Damaris::threads(client);
+        run_sim(&mut h, STEPS)
     })
     .join()
     .expect("sim thread");
