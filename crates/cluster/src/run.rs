@@ -31,6 +31,14 @@ const FIRSTFIT_ALLOC_SECONDS: f64 = 150e-9;
 /// a slab-cache slot swap or one lock-free class-queue pop, flat in the
 /// client count.
 const SIZECLASS_ALLOC_SECONDS: f64 = 30e-9;
+/// Modeled cost of one variable-size block allocation from the buddy
+/// tier: a validated order-queue pop (occasionally a split chain), flat
+/// in the client count like the class pop but slightly dearer — the
+/// state-word CAS plus the amortized split/merge work
+/// (`benches/amr_alloc.rs` → `BENCH_amr_alloc.json`). The first-fit
+/// baseline pays the mutex *and* an O(holes) scan that mixed-size churn
+/// keeps fragmenting, which is why it also scales with the client count.
+const BUDDY_ALLOC_SECONDS: f64 = 45e-9;
 /// Modeled sim-visible cost of posting one event in the process world:
 /// envelope encode plus hand-off to the per-peer socket writer thread —
 /// the wire write itself is asynchronous, so a post is *cheap* (cheaper
@@ -247,6 +255,7 @@ fn run_damaris(
     let alloc_seconds = match opts.allocator {
         AllocatorKind::FirstFit => FIRSTFIT_ALLOC_SECONDS * compute_cores as f64,
         AllocatorKind::SizeClass => SIZECLASS_ALLOC_SECONDS,
+        AllocatorKind::Buddy => BUDDY_ALLOC_SECONDS,
     };
 
     let mut pfs = Pfs::new(platform.pfs.clone(), seed);
@@ -690,6 +699,27 @@ mod tests {
             sizeclass.alloc_seconds
         );
         assert!(sizeclass.wall_seconds <= firstfit.wall_seconds);
+        // The buddy tier keeps variable-size allocations flat in the
+        // client count too: dearer than an exact class pop (state-word
+        // CAS + amortized split/merge), nowhere near the serialized
+        // first-fit scan.
+        let buddy = run(
+            &p,
+            &w,
+            ranks,
+            Strategy::Damaris(DamarisOptions {
+                allocator: AllocatorKind::Buddy,
+                ..Default::default()
+            }),
+            13,
+        );
+        assert!(buddy.alloc_seconds > sizeclass.alloc_seconds);
+        assert!(
+            firstfit.alloc_seconds > 5.0 * buddy.alloc_seconds,
+            "first-fit {} vs buddy {}: contention model missing",
+            firstfit.alloc_seconds,
+            buddy.alloc_seconds
+        );
         // Baselines have no shared segment at all.
         let fpp = run(&p, &w, ranks, Strategy::FilePerProcess, 13);
         assert_eq!(fpp.alloc_seconds, 0.0);

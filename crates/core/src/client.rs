@@ -303,9 +303,45 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
     /// The write-timing clock starts here, so the §IV.B "time to write"
     /// statistic covers allocation and in-place fill, not just the final
     /// publish.
+    ///
+    /// Variables on a `dimensions="dynamic"` layout have no fixed size —
+    /// use [`DamarisClient::alloc_sized`] with this write's byte count.
     pub fn alloc(&self, variable: &str, iteration: u64) -> DamarisResult<BlockWriter<C>> {
         let t0 = Instant::now();
         let var = self.var_id(variable)?;
+        if self.cfg.registry().is_dynamic(var) {
+            return Err(DamarisError::InvalidState(format!(
+                "variable '{variable}' has a dynamic layout; use alloc_sized with this \
+                 write's byte count"
+            )));
+        }
+        self.alloc_inner(var, iteration, self.cfg.registry().byte_size(var), t0)
+    }
+
+    /// [`DamarisClient::alloc`] with a caller-supplied block length — the
+    /// zero-copy path for variable-size (AMR) workloads on
+    /// `dimensions="dynamic"` layouts. `bytes` must be a whole number of
+    /// elements (and within the layout's `max_size`); fixed layouts
+    /// accept exactly their declared size.
+    pub fn alloc_sized(
+        &self,
+        variable: &str,
+        iteration: u64,
+        bytes: usize,
+    ) -> DamarisResult<BlockWriter<C>> {
+        let t0 = Instant::now();
+        let var = self.var_id(variable)?;
+        check_layout(&self.cfg, var, bytes)?;
+        self.alloc_inner(var, iteration, bytes, t0)
+    }
+
+    fn alloc_inner(
+        &self,
+        var: VarId,
+        iteration: u64,
+        bytes: usize,
+        t0: Instant,
+    ) -> DamarisResult<BlockWriter<C>> {
         if !self
             .policy
             .admit(iteration, self.slab.segment(), || self.producer.pressure())
@@ -319,7 +355,7 @@ impl<C: EventChannel<Event>> DamarisClient<C> {
                 t0,
             });
         }
-        let block = self.allocate_admitted(iteration, self.cfg.registry().byte_size(var))?;
+        let block = self.allocate_admitted(iteration, bytes)?;
         Ok(BlockWriter {
             client: self.clone(),
             var,

@@ -44,6 +44,10 @@ impl fmt::Display for DamarisError {
             DamarisError::Config(e) => write!(f, "configuration: {e}"),
             DamarisError::Shm(e) => write!(f, "shared memory: {e}"),
             DamarisError::UnknownVariable(v) => write!(f, "unknown variable '{v}'"),
+            DamarisError::LayoutMismatch { variable, expected: 0, got } => write!(
+                f,
+                "layout mismatch writing '{variable}': {got} bytes is not a valid size for its dynamic layout"
+            ),
             DamarisError::LayoutMismatch { variable, expected, got } => write!(
                 f,
                 "layout mismatch writing '{variable}': layout holds {expected} bytes, caller provided {got}"

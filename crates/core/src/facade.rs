@@ -58,10 +58,41 @@ pub(crate) fn resolve_var(cfg: &Configuration, variable: &str) -> DamarisResult<
 
 /// Check that `got` bytes match the declared layout of `var`.
 ///
+/// Fixed layouts require the exact precomputed byte size. **Dynamic**
+/// layouts (`dimensions="dynamic"`) accept any caller-supplied extent
+/// that is non-zero, a whole number of elements, and within the layout's
+/// declared `max_size` — the AMR contract, where every write carries its
+/// own block length.
+///
 /// The single construction point of [`DamarisError::LayoutMismatch`],
 /// shared by both backends (see [`resolve_var`]).
 pub(crate) fn check_layout(cfg: &Configuration, var: VarId, got: usize) -> DamarisResult<()> {
-    let expected = cfg.registry().byte_size(var);
+    let reg = cfg.registry();
+    if reg.is_dynamic(var) {
+        let elem = reg.entry(var).elem_type.size_bytes();
+        let max = reg.max_byte_size(var);
+        if got == 0 || !got.is_multiple_of(elem) {
+            // expected = 0 selects the dynamic-specific error message
+            // ("not a valid size for its dynamic layout"), not the
+            // fixed-layout "layout holds N bytes" wording.
+            return Err(DamarisError::LayoutMismatch {
+                variable: cfg.var_name(var).to_string(),
+                expected: 0,
+                got,
+            });
+        }
+        if let Some(m) = max {
+            if got > m {
+                return Err(DamarisError::LayoutMismatch {
+                    variable: cfg.var_name(var).to_string(),
+                    expected: m,
+                    got,
+                });
+            }
+        }
+        return Ok(());
+    }
+    let expected = reg.byte_size(var);
     if got != expected {
         return Err(DamarisError::LayoutMismatch {
             variable: cfg.var_name(var).to_string(),
@@ -162,7 +193,22 @@ pub trait SimHandle {
     /// access the shared memory segment", §III.B). The write-timing
     /// clock starts here, so [`SimHandle::stats`] covers allocation and
     /// fill, not just the final publish.
+    ///
+    /// Only for fixed layouts (the size is the declared one); a
+    /// `dimensions="dynamic"` variable needs [`SimHandle::alloc_sized`].
     fn alloc(&mut self, variable: &str, iteration: u64) -> DamarisResult<Self::Writer>;
+
+    /// [`SimHandle::alloc`] with a caller-supplied block length in bytes
+    /// — the zero-copy path for variable-size (AMR refinement,
+    /// per-step particle counts) workloads on `dimensions="dynamic"`
+    /// layouts. Every write carries its own extent; both backends
+    /// validate it against the element size and the layout's `max_size`.
+    fn alloc_sized(
+        &mut self,
+        variable: &str,
+        iteration: u64,
+        bytes: usize,
+    ) -> DamarisResult<Self::Writer>;
 
     /// Publish a block obtained from [`SimHandle::alloc`] — the paper's
     /// `damaris_commit`.
@@ -239,6 +285,15 @@ impl<C: damaris_shm::transport::EventChannel<crate::event::Event>> SimHandle for
 
     fn alloc(&mut self, variable: &str, iteration: u64) -> DamarisResult<Self::Writer> {
         DamarisClient::alloc(self, variable, iteration)
+    }
+
+    fn alloc_sized(
+        &mut self,
+        variable: &str,
+        iteration: u64,
+        bytes: usize,
+    ) -> DamarisResult<Self::Writer> {
+        DamarisClient::alloc_sized(self, variable, iteration, bytes)
     }
 
     fn commit(&mut self, writer: Self::Writer) -> DamarisResult<WriteStatus> {
@@ -433,6 +488,23 @@ impl SimHandle for Damaris<'_> {
             }
             DamarisInner::Processes(h) => {
                 SimHandle::alloc(h.as_mut(), variable, iteration).map(DamarisWriter::Processes)
+            }
+        }
+    }
+
+    fn alloc_sized(
+        &mut self,
+        variable: &str,
+        iteration: u64,
+        bytes: usize,
+    ) -> DamarisResult<Self::Writer> {
+        match &mut self.inner {
+            DamarisInner::Threads(c) => {
+                SimHandle::alloc_sized(c, variable, iteration, bytes).map(DamarisWriter::Threads)
+            }
+            DamarisInner::Processes(h) => {
+                SimHandle::alloc_sized(h.as_mut(), variable, iteration, bytes)
+                    .map(DamarisWriter::Processes)
             }
         }
     }
@@ -725,6 +797,38 @@ mod tests {
             }
             other => panic!("expected LayoutMismatch, got {other}"),
         }
+    }
+
+    #[test]
+    fn check_layout_dynamic_accepts_caller_extents() {
+        let xml = r#"
+          <simulation name="amr">
+            <architecture><buffer size="1048576" allocator="buddy"/></architecture>
+            <data>
+              <layout name="patch" type="f64" dimensions="dynamic" max_size="8192"/>
+              <layout name="free" type="f32" dimensions="dynamic"/>
+              <variable name="density" layout="patch"/>
+              <variable name="tracer" layout="free"/>
+            </data>
+          </simulation>"#;
+        let cfg = Configuration::from_str(xml).unwrap();
+        let density = cfg.registry().var_id("density").unwrap();
+        let tracer = cfg.registry().var_id("tracer").unwrap();
+        // Any whole-element size within the bound passes.
+        assert!(check_layout(&cfg, density, 8).is_ok());
+        assert!(check_layout(&cfg, density, 8192).is_ok());
+        assert!(check_layout(&cfg, tracer, 4 * 12345).is_ok());
+        // Zero, fractional elements and over-max are all layout errors.
+        for bad in [0usize, 12, 8200] {
+            match check_layout(&cfg, density, bad) {
+                Err(DamarisError::LayoutMismatch { variable, got, .. }) => {
+                    assert_eq!(variable, "density");
+                    assert_eq!(got, bad);
+                }
+                other => panic!("size {bad}: expected LayoutMismatch, got {other:?}"),
+            }
+        }
+        assert!(check_layout(&cfg, tracer, 6).is_err(), "not whole f32s");
     }
 
     #[test]

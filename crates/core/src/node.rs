@@ -119,10 +119,25 @@ impl NodeBuilder {
             std::env::temp_dir().join(format!("damaris-{}-{}", cfg.name, std::process::id()))
         });
         // Size classes come from the declared variable layouts: the block
-        // sizes every iteration reallocates. First-fit remains available
-        // as the measured baseline (and for odd configurations).
-        let segment = match self.allocator.unwrap_or(cfg.architecture.allocator) {
+        // sizes every iteration reallocates. The buddy allocator keeps
+        // those classes and adds per-order queues underneath, so
+        // `dimensions="dynamic"` variables (whose sizes arrive per write)
+        // stay off the first-fit mutex too. The default size-class choice
+        // upgrades itself to buddy when any layout is dynamic — buddy is
+        // a strict superset (classes still serve the fixed layouts), and
+        // without it every variable-size write would silently take the
+        // mutex. First-fit remains available as the measured baseline
+        // (and must be selected explicitly to stay one).
+        let allocator = match self.allocator.unwrap_or(cfg.architecture.allocator) {
+            AllocatorKind::SizeClass if cfg.registry().any_dynamic() => AllocatorKind::Buddy,
+            other => other,
+        };
+        let segment = match allocator {
             AllocatorKind::SizeClass => SharedSegment::with_classes(
+                cfg.architecture.buffer_size,
+                &cfg.registry().distinct_byte_sizes(),
+            )?,
+            AllocatorKind::Buddy => SharedSegment::with_buddy(
                 cfg.architecture.buffer_size,
                 &cfg.registry().distinct_byte_sizes(),
             )?,
@@ -513,6 +528,51 @@ mod tests {
         client.finalize().unwrap();
         node.shutdown().unwrap();
         assert_eq!(stats.summary(0, "u").unwrap().mean, 2.5);
+    }
+
+    #[test]
+    fn dynamic_layouts_upgrade_default_allocator_to_buddy() {
+        // A configuration with a dynamic layout and the *default*
+        // size-class allocator must still serve variable-size writes off
+        // the mutex: the builder upgrades the segment to the buddy tier
+        // (size-class would silently route every AMR write to first-fit).
+        let xml = r#"
+          <simulation name="amr-default">
+            <architecture>
+              <dedicated cores="1"/>
+              <buffer size="1048576"/>
+              <queue capacity="64"/>
+            </architecture>
+            <data>
+              <layout name="row" type="f64" dimensions="64"/>
+              <layout name="patch" type="f64" dimensions="dynamic" max_size="65536"/>
+              <variable name="u" layout="row"/>
+              <variable name="p" layout="patch"/>
+            </data>
+          </simulation>"#;
+        let node = DamarisNode::builder()
+            .config_str(xml)
+            .unwrap()
+            .clients(1)
+            .build()
+            .unwrap();
+        let client = node.client(0).unwrap();
+        for it in 0..3 {
+            // Fixed layout still hits its exact class...
+            client.write("u", it, &[1.0f64; 64]).unwrap();
+            // ...while per-write sizes go through the buddy orders.
+            let cells = 100 + it as usize * 37;
+            client.write("p", it, &vec![2.0f64; cells]).unwrap();
+            client.end_iteration(it).unwrap();
+        }
+        client.finalize().unwrap();
+        let stats = node.segment_stats();
+        assert!(stats.class_hits > 0, "fixed layout served by its class");
+        assert!(
+            stats.buddy_hits > 0,
+            "dynamic writes must hit the buddy tier under the default allocator"
+        );
+        node.shutdown().unwrap();
     }
 
     #[test]

@@ -91,10 +91,13 @@ pub fn segment_path(dir: &std::path::Path) -> std::path::PathBuf {
 fn slice_bytes(cfg: &Configuration, clients: usize) -> DamarisResult<usize> {
     let align = damaris_shm::segment::BLOCK_ALIGN;
     let slice = (cfg.architecture.buffer_size / clients.max(1)) / align * align;
+    // Fixed layouts bound themselves; dynamic layouts count through
+    // their declared `max_size` (an unbounded dynamic layout is checked
+    // per write against the live slice instead).
     let largest = cfg
         .registry()
-        .distinct_byte_sizes()
-        .into_iter()
+        .vars()
+        .filter_map(|(_, e)| e.layout.max_byte_size())
         .max()
         .unwrap_or(0);
     if slice < largest.max(align) {
@@ -411,11 +414,21 @@ impl ProcessClient {
         comm.barrier(); // server created the file before this returns
         let shm = Arc::new(ShmFile::open(segment_path(dir))?);
         let base = (comm.rank() - 1) * slice;
-        let classes = match cfg.architecture.allocator {
-            AllocatorKind::SizeClass => cfg.registry().distinct_byte_sizes(),
-            AllocatorKind::FirstFit => Vec::new(),
+        let classes = cfg.registry().distinct_byte_sizes();
+        // Same dynamic-aware default as `NodeBuilder`: size-class
+        // upgrades to buddy when any layout is dynamic, so variable-size
+        // writes never silently serialize on the slice's first-fit list.
+        let allocator = match cfg.architecture.allocator {
+            AllocatorKind::SizeClass if cfg.registry().any_dynamic() => AllocatorKind::Buddy,
+            other => other,
         };
-        let seg = SharedSegment::over_mapping(&shm, base, slice, &classes)?;
+        let seg = match allocator {
+            AllocatorKind::SizeClass => SharedSegment::over_mapping(&shm, base, slice, &classes)?,
+            AllocatorKind::Buddy => {
+                SharedSegment::over_mapping_with_buddy(&shm, base, slice, &classes)?
+            }
+            AllocatorKind::FirstFit => SharedSegment::over_mapping(&shm, base, slice, &[])?,
+        };
         let policy = SkipPolicy::new(cfg.architecture.skip);
         Ok(ProcessClient {
             cfg: Arc::new(cfg),
@@ -505,6 +518,9 @@ impl ProcessClient {
     /// the caller fill it in place, then [`ProcessClient::commit`] it.
     /// The write-timing clock starts here (allocation + fill counted),
     /// matching thread mode.
+    ///
+    /// Variables on a `dimensions="dynamic"` layout have no fixed size —
+    /// use [`ProcessClient::alloc_sized`] with this write's byte count.
     pub fn alloc(
         &mut self,
         comm: &Comm,
@@ -513,7 +529,35 @@ impl ProcessClient {
     ) -> DamarisResult<ProcessBlockWriter> {
         let t0 = Instant::now();
         let var = self.var_id(variable)?;
+        if self.cfg.registry().is_dynamic(var) {
+            return Err(DamarisError::InvalidState(format!(
+                "variable '{variable}' has a dynamic layout; use alloc_sized with this \
+                 write's byte count"
+            )));
+        }
         let bytes = self.cfg.registry().byte_size(var);
+        let block = self.acquire(comm, var, iteration, bytes)?;
+        Ok(ProcessBlockWriter {
+            var,
+            iteration,
+            block,
+            t0,
+        })
+    }
+
+    /// [`ProcessClient::alloc`] with a caller-supplied block length —
+    /// variable-size (AMR) zero-copy writes over the shared mapping,
+    /// same contract as the thread-mode `alloc_sized`.
+    pub fn alloc_sized(
+        &mut self,
+        comm: &Comm,
+        variable: &str,
+        iteration: u64,
+        bytes: usize,
+    ) -> DamarisResult<ProcessBlockWriter> {
+        let t0 = Instant::now();
+        let var = self.var_id(variable)?;
+        check_layout(&self.cfg, var, bytes)?;
         let block = self.acquire(comm, var, iteration, bytes)?;
         Ok(ProcessBlockWriter {
             var,
@@ -758,6 +802,16 @@ impl SimHandle for ProcessHandle<'_> {
 
     fn alloc(&mut self, variable: &str, iteration: u64) -> DamarisResult<Self::Writer> {
         self.client.alloc(self.comm, variable, iteration)
+    }
+
+    fn alloc_sized(
+        &mut self,
+        variable: &str,
+        iteration: u64,
+        bytes: usize,
+    ) -> DamarisResult<Self::Writer> {
+        self.client
+            .alloc_sized(self.comm, variable, iteration, bytes)
     }
 
     fn commit(&mut self, writer: Self::Writer) -> DamarisResult<WriteStatus> {

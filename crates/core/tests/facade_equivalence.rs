@@ -251,6 +251,245 @@ fn mid_iteration_exhaustion_drops_on_both_worlds() {
     assert_eq!((writes, skipped_writes, skipped_iters), (1, 2, 1));
 }
 
+// ---------------------------------------------------------------------------
+// Variable-size (AMR) workloads: dynamic layouts + the buddy allocator
+// ---------------------------------------------------------------------------
+
+fn amr_config(world: &str, clients: usize, buffer: usize, skip: &str) -> Configuration {
+    // allocator="buddy": odd per-write sizes must stay off the mutex.
+    let max = 8192.min(buffer);
+    let xml = format!(
+        r#"<simulation name="amr-equivalence">
+             <architecture>
+               <dedicated cores="1"/>
+               <clients count="{clients}"/>
+               <buffer size="{buffer}" allocator="buddy"/>
+               <queue capacity="256"/>
+               <world kind="{world}"/>
+               {skip}
+             </architecture>
+             <data>
+               <layout name="patch" type="f64" dimensions="dynamic" max_size="{max}"/>
+               <variable name="density" layout="patch"/>
+             </data>
+           </simulation>"#
+    );
+    Configuration::from_str(&xml).expect("amr config is valid")
+}
+
+/// The generic AMR driver: every (client, iteration) writes a *different*
+/// block size, derived from a seeded RNG (deterministic across worlds:
+/// the seed is a pure function of `input` and the client id, both
+/// identical in a re-executed process rank). Exercises both the copy
+/// path (`write` with a differently-sized slice each call) and the
+/// zero-copy `alloc_sized` → fill → commit path.
+fn amr_sim<H: SimHandle>(h: &mut H, input: &[u8]) -> Vec<u8> {
+    use rand::{rngs::StdRng, RngCore, SeedableRng};
+    let iterations = u64::from(input[0]);
+    let mut rng = StdRng::seed_from_u64(u64::from(input[1]) ^ 0xA3_5C0DE ^ ((h.id() as u64) << 32));
+    let density = h.var_id("density").expect("declared variable resolves");
+    let mut out = Vec::new();
+    for it in 0..iterations {
+        // 1..=512 f64 elements: crosses several buddy orders.
+        let elems = (rng.next_u64() % 512 + 1) as usize;
+        let data: Vec<f64> = (0..elems)
+            .map(|i| (it * 31 + h.id() as u64) as f64 + i as f64 * 0.25)
+            .collect();
+        let s1 = h.write("density", it, &data).expect("copy write");
+        let s2 = h.write_id(density, it, &data).expect("id write");
+        let elems2 = (rng.next_u64() % 512 + 1) as usize;
+        let mut w = h
+            .alloc_sized("density", it, elems2 * 8)
+            .expect("alloc_sized");
+        assert!(!w.is_skipped());
+        w.fill_pod(&vec![h.id() as f64 + it as f64; elems2]);
+        let s3 = h.commit(w).expect("commit");
+        h.end_iteration(it).expect("end iteration");
+        out.extend([s1, s2, s3].map(|s| u8::from(s == WriteStatus::Written)));
+        out.extend((elems as u64).to_le_bytes());
+    }
+    h.finalize().expect("finalize");
+    let st = h.stats();
+    out.extend(st.writes.to_le_bytes());
+    out.extend(st.bytes_written.to_le_bytes());
+    out.extend((h.id() as u64).to_le_bytes());
+    out
+}
+
+fn run_both_amr(
+    program: &str,
+    clients: usize,
+    buffer: usize,
+    skip: &str,
+    input: &[u8],
+    sim: impl Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync + Copy,
+) -> (SimReport, SimReport) {
+    let processes = Damaris::launch_test(
+        amr_config("processes", clients, buffer, skip),
+        program,
+        input,
+        sim,
+    )
+    .expect("processes world succeeds");
+    let threads = Damaris::launch_test(
+        amr_config("threads", clients, buffer, skip),
+        program,
+        input,
+        sim,
+    )
+    .expect("threads world succeeds");
+    (processes, threads)
+}
+
+#[test]
+fn amr_variable_sizes_equivalent_across_worlds() {
+    let (processes, threads) = run_both_amr(
+        "amr_variable_sizes_equivalent_across_worlds",
+        2,
+        4 << 20,
+        "",
+        &[4, 7],
+        |h, input| amr_sim(h, input),
+    );
+    assert_equivalent(&processes, &threads);
+    assert_eq!(processes.iterations_completed, 4);
+    assert_eq!(processes.blocks_received, 4 * 3 * 2, "3 blocks × 2 clients");
+    assert!(processes.bytes_received > 0);
+    assert_ne!(processes.data_digest, 0);
+}
+
+/// §V.C.1 with variable sizes: iteration 0's small blocks fill the
+/// segment to exactly 75 %; iteration 1 opens with *larger* blocks while
+/// iteration 0 is still staged — above the 0.7 high-watermark, so both
+/// worlds drop iteration 1 wholesale (deterministically: a client's
+/// blocks cannot be reclaimed before its `end_iteration`).
+fn amr_pressure_sim<H: SimHandle>(h: &mut H, _input: &[u8]) -> Vec<u8> {
+    let small = vec![1.5f64; 128]; // 1024 bytes; capacity is 4096
+    let large = vec![2.5f64; 256]; // 2048 bytes
+    let mut statuses = Vec::new();
+    for _ in 0..3 {
+        statuses.push(h.write("density", 0, &small).expect("iteration 0 write"));
+    }
+    // First write of iteration 1 at occupancy 3072/4096 = 0.75 ≥ 0.7.
+    statuses.push(h.write("density", 1, &large).expect("skip, not error"));
+    h.end_iteration(0).expect("end 0");
+    statuses.push(h.write("density", 1, &large).expect("sticky skip"));
+    h.end_iteration(1).expect("end 1");
+    h.finalize().expect("finalize");
+    let st = h.stats();
+    let mut out: Vec<u8> = statuses
+        .iter()
+        .map(|&s| u8::from(s == WriteStatus::Written))
+        .collect();
+    out.extend(st.writes.to_le_bytes());
+    out.extend(st.skipped_writes.to_le_bytes());
+    out.extend(h.skipped_iterations().to_le_bytes());
+    out
+}
+
+#[test]
+fn amr_larger_blocks_trip_watermark_on_both_worlds() {
+    let (processes, threads) = run_both_amr(
+        "amr_larger_blocks_trip_watermark_on_both_worlds",
+        1,
+        4096,
+        r#"<skip mode="drop-iteration" high-watermark="0.7"/>"#,
+        &[],
+        |h, input| amr_pressure_sim(h, input),
+    );
+    assert_equivalent(&processes, &threads);
+    assert_eq!(processes.iterations_completed, 2);
+    assert_eq!(processes.skipped_client_iterations, 1);
+    assert_eq!(processes.blocks_received, 3);
+    let out = &processes.outputs[0];
+    assert_eq!(&out[..5], &[1, 1, 1, 0, 0], "W W W S S");
+    let skipped_iters = u64::from_le_bytes(out[21..29].try_into().unwrap());
+    assert_eq!(skipped_iters, 1);
+}
+
+/// Under `SkipMode::Block` the same shape must **fail fast with a sizing
+/// error**: a next-iteration block bigger than the whole slice can never
+/// be satisfied, and blocking on it would hang the simulation. Both
+/// worlds surface `ShmError::RequestTooLarge` from the write itself.
+fn amr_block_mode_sim<H: SimHandle>(h: &mut H, _input: &[u8]) -> Vec<u8> {
+    let small = vec![1.5f64; 128];
+    for _ in 0..3 {
+        h.write("density", 0, &small).expect("iteration 0 write");
+    }
+    // 8192 bytes > the 4096-byte segment/slice: no amount of waiting
+    // frees enough. (The layout declares no max_size, so the layout
+    // check passes and the allocator itself must reject.)
+    let oversized = vec![0.0f64; 1024];
+    let err = h
+        .write("density", 1, &oversized)
+        .expect_err("sizing error, not a hang");
+    let sized = matches!(
+        err,
+        DamarisError::Shm(damaris_shm::ShmError::RequestTooLarge { .. })
+    );
+    h.end_iteration(0).expect("end 0");
+    h.finalize().expect("finalize");
+    vec![u8::from(sized)]
+}
+
+#[test]
+fn amr_block_mode_oversized_fails_fast_on_both_worlds() {
+    let config = |world: &str| {
+        let xml = format!(
+            r#"<simulation name="amr-block">
+                 <architecture>
+                   <dedicated cores="1"/>
+                   <clients count="1"/>
+                   <buffer size="4096" allocator="buddy"/>
+                   <queue capacity="64"/>
+                   <world kind="{world}"/>
+                   <skip mode="block"/>
+                 </architecture>
+                 <data>
+                   <layout name="patch" type="f64" dimensions="dynamic"/>
+                   <variable name="density" layout="patch"/>
+                 </data>
+               </simulation>"#
+        );
+        Configuration::from_str(&xml).expect("block-mode config is valid")
+    };
+    let program = "amr_block_mode_oversized_fails_fast_on_both_worlds";
+    let processes = Damaris::launch_test(config("processes"), program, &[], |h, input| {
+        amr_block_mode_sim(h, input)
+    })
+    .expect("processes world succeeds");
+    let threads = Damaris::launch_test(config("threads"), program, &[], |h, input| {
+        amr_block_mode_sim(h, input)
+    })
+    .expect("threads world succeeds");
+    assert_eq!(processes.outputs, threads.outputs);
+    assert_eq!(processes.outputs[0], vec![1], "RequestTooLarge on both");
+}
+
+proptest! {
+    // Property: for arbitrary seeds, the AMR driver's variable-size
+    // writes produce byte-identical WriteStatus sequences and
+    // field-identical SimReports (including the block digest) across
+    // worlds. Case count small: every case spawns real processes.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn amr_equivalence_proptest(
+        iterations in 1u8..=3,
+        seed in any::<u8>(),
+    ) {
+        let (processes, threads) = run_both_amr(
+            "amr_equivalence_proptest",
+            2,
+            4 << 20,
+            "",
+            &[iterations, seed],
+            |h, input| amr_sim(h, input),
+        );
+        assert_equivalent(&processes, &threads);
+        prop_assert_eq!(processes.iterations_completed, u64::from(iterations));
+    }
+}
+
 proptest! {
     // Property: for arbitrary client counts, iteration counts and data
     // seeds, the generic driver's outputs and the dedicated core's view

@@ -136,6 +136,255 @@ impl OffsetQueue {
 /// strand a meaningful fraction of a large segment.
 const MAX_CLASS_QUEUE: usize = 1024;
 
+/// Smallest buddy order: `2^6 = 64` bytes, one [`crate::segment::BLOCK_ALIGN`]
+/// slot — the allocator's granularity, so no order can be finer.
+pub(crate) const MIN_BUDDY_ORDER: u32 = 6;
+
+/// Cap on cached offsets per buddy order (same rationale as
+/// [`MAX_CLASS_QUEUE`]).
+const MAX_ORDER_QUEUE: usize = 1024;
+
+/// Free-state tag stored in [`BuddyTier::state`] for a free block of
+/// order-index `oi` (0 = not a free buddy block). A byte is plenty: the
+/// largest possible order count is `64 - MIN_BUDDY_ORDER`, so tags top
+/// out at 59 — and the byte-wide table keeps the always-resident state
+/// at 1/64th of the segment instead of 1/8th.
+fn free_tag(oi: usize) -> u8 {
+    (oi + 1) as u8
+}
+
+/// The variable-size tier under the exact size classes: a binary **buddy
+/// allocator** whose per-order free lists are the same lock-free
+/// [`OffsetQueue`]s the classes use.
+///
+/// AMR-style workloads allocate a different block size every iteration;
+/// none of those sizes matches a declared class, so before this tier they
+/// all serialized on the first-fit mutex. Here an odd request rounds up
+/// to the nearest power-of-two *order*; a steady-state allocation is one
+/// validated CAS pop from that order's queue, a free is a merge attempt
+/// plus one CAS push — no lock on either side.
+///
+/// ## How split/merge stays lock-free
+///
+/// A Vyukov queue cannot remove an arbitrary element, which classic
+/// eager buddy merging needs ("take my buddy off its free list"). The
+/// tier instead keeps an authoritative per-slot **state word** next to
+/// the queues: a block is free iff the state at its start offset holds
+/// its order's tag, and *claiming* a block (by an allocator popping it,
+/// or by its buddy merging with it) is one CAS of that word back to 0.
+/// Queue entries are merely hints; a pop whose CAS fails discards the
+/// stale entry and tries the next. Exactly one claimant can win each
+/// published free, so blocks are never double-allocated and never merged
+/// while live.
+///
+/// Offsets are always aligned to their block size (the segment carves
+/// fresh chunks size-aligned and splits/merges preserve alignment), so a
+/// block's buddy is at `offset ^ size` — the classic XOR trick over a
+/// tree rooted at segment offset 0.
+pub(crate) struct BuddyTier {
+    /// `queues[oi]` holds free offsets of size `2^(MIN_BUDDY_ORDER + oi)`.
+    queues: Box<[OffsetQueue]>,
+    /// One state byte per `BLOCK_ALIGN` slot; the byte at a free buddy
+    /// block's starting slot holds `free_tag(order_index)`.
+    state: Box<[std::sync::atomic::AtomicU8]>,
+    /// Segment capacity in bytes (merge bounds check).
+    capacity: usize,
+    pub(crate) hits: std::sync::atomic::AtomicU64,
+    pub(crate) splits: std::sync::atomic::AtomicU64,
+    pub(crate) merges: std::sync::atomic::AtomicU64,
+}
+
+impl BuddyTier {
+    /// Build the tier for a segment of `capacity` bytes (already
+    /// `BLOCK_ALIGN`-rounded). Orders run from 64 bytes up to the largest
+    /// power of two that fits the capacity.
+    pub(crate) fn new(capacity: usize) -> Self {
+        let max_order = capacity.ilog2().max(MIN_BUDDY_ORDER);
+        let orders = (max_order - MIN_BUDDY_ORDER + 1) as usize;
+        let queues = (0..orders)
+            .map(|oi| {
+                let size = 1usize << (MIN_BUDDY_ORDER as usize + oi);
+                OffsetQueue::with_capacity((capacity / size).clamp(2, MAX_ORDER_QUEUE))
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let state = (0..capacity >> MIN_BUDDY_ORDER)
+            .map(|_| std::sync::atomic::AtomicU8::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        BuddyTier {
+            queues,
+            state,
+            capacity,
+            hits: std::sync::atomic::AtomicU64::new(0),
+            splits: std::sync::atomic::AtomicU64::new(0),
+            merges: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Disabled tier (first-fit or pure size-class segments).
+    pub(crate) fn none() -> Self {
+        BuddyTier {
+            queues: Box::new([]),
+            state: Box::new([]),
+            capacity: 0,
+            hits: std::sync::atomic::AtomicU64::new(0),
+            splits: std::sync::atomic::AtomicU64::new(0),
+            merges: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the tier is configured.
+    pub(crate) fn enabled(&self) -> bool {
+        !self.queues.is_empty()
+    }
+
+    /// Number of configured orders.
+    pub(crate) fn order_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Byte size served by order-index `oi`.
+    pub(crate) fn size_of(&self, oi: usize) -> usize {
+        1usize << (MIN_BUDDY_ORDER as usize + oi)
+    }
+
+    /// The order-index whose blocks serve an (align-rounded, non-zero)
+    /// request of `alloc_len` bytes, or `None` when the tier is disabled
+    /// or the power-of-two rounding overflows/exceeds the largest order —
+    /// those requests stay on the first-fit path, which reports
+    /// `RequestTooLarge`/`OutOfMemory` as appropriate.
+    pub(crate) fn order_index(&self, alloc_len: usize) -> Option<usize> {
+        if !self.enabled() {
+            return None;
+        }
+        // checked: a near-usize::MAX request must surface as a miss (and
+        // then RequestTooLarge upstream), not overflow to 0 or panic.
+        let size = alloc_len
+            .checked_next_power_of_two()?
+            .max(1 << MIN_BUDDY_ORDER);
+        let oi = (size.ilog2() - MIN_BUDDY_ORDER) as usize;
+        (oi < self.queues.len()).then_some(oi)
+    }
+
+    /// Whether `offset` can be a buddy block of `len` bytes (power-of-two
+    /// length within the configured orders, offset aligned to it) — the
+    /// release-path guard routing frees to this tier.
+    pub(crate) fn owns(&self, offset: usize, len: usize) -> bool {
+        self.enabled()
+            && len.is_power_of_two()
+            && len >= (1 << MIN_BUDDY_ORDER)
+            && ((len.ilog2() - MIN_BUDDY_ORDER) as usize) < self.queues.len()
+            && offset.is_multiple_of(len)
+    }
+
+    /// Validated pop: discard entries whose block was since claimed by a
+    /// merge (the queue is a hint, the state word is the truth).
+    fn pop_order(&self, oi: usize) -> Option<usize> {
+        loop {
+            let offset = self.queues[oi].pop()?;
+            if self.state[offset >> MIN_BUDDY_ORDER]
+                .compare_exchange(free_tag(oi), 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(offset);
+            }
+        }
+    }
+
+    /// Pop one free block of exactly order `oi` — no splitting (the
+    /// magazine warm path must not cascade splits for speculation).
+    pub(crate) fn pop_exact(&self, oi: usize) -> Option<usize> {
+        self.pop_order(oi)
+    }
+
+    /// Allocate one order-`oi` block from the free queues: exact order
+    /// first, then split a larger free block down. `None` = every order
+    /// missed (caller carves from the segment's first-fit list).
+    ///
+    /// Split siblings whose order queue is full land in `spill` (see
+    /// [`BuddyTier::free_into`]); the caller **must** return those
+    /// ranges to the segment's coalescing free list or they leak.
+    pub(crate) fn alloc(&self, oi: usize, spill: &mut Vec<(usize, usize)>) -> Option<usize> {
+        if let Some(offset) = self.pop_order(oi) {
+            return Some(offset);
+        }
+        for higher in oi + 1..self.queues.len() {
+            let Some(offset) = self.pop_order(higher) else {
+                continue;
+            };
+            // Split down: keep the lowest 2^oi bytes, publish the upper
+            // halves (sizes 2^oi, 2^(oi+1), …, 2^(higher-1)) as free.
+            for m in oi..higher {
+                self.free_into(offset + self.size_of(m), m, spill);
+            }
+            self.splits
+                .fetch_add((higher - oi) as u64, Ordering::Relaxed);
+            return Some(offset);
+        }
+        None
+    }
+
+    /// Free one order-`oi` block, eagerly merging with its buddy while
+    /// the buddy is also free. When the target order queue is full
+    /// (rare), the (possibly merged) range is pushed onto `spill` — the
+    /// caller owns it and must hand it to the segment's coalescing free
+    /// list; dropping it would leak the range out of every tier.
+    pub(crate) fn free_into(
+        &self,
+        mut offset: usize,
+        mut oi: usize,
+        spill: &mut Vec<(usize, usize)>,
+    ) {
+        loop {
+            let size = self.size_of(oi);
+            if oi + 1 < self.queues.len() {
+                let buddy = offset ^ size;
+                if buddy + size <= self.capacity
+                    && self.state[buddy >> MIN_BUDDY_ORDER]
+                        .compare_exchange(free_tag(oi), 0, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    // Claimed the buddy (its queue entry turns stale);
+                    // retry one order up with the combined block.
+                    self.merges.fetch_add(1, Ordering::Relaxed);
+                    offset = offset.min(buddy);
+                    oi += 1;
+                    continue;
+                }
+            }
+            // Publish free *before* enqueueing so a pop can validate.
+            self.state[offset >> MIN_BUDDY_ORDER].store(free_tag(oi), Ordering::Release);
+            if self.queues[oi].push(offset).is_ok() {
+                return;
+            }
+            // Queue full: withdraw the publication and spill the range to
+            // the caller — unless a concurrent freer of the buddy already
+            // claimed it for a merge (then it's theirs).
+            if self.state[offset >> MIN_BUDDY_ORDER]
+                .compare_exchange(free_tag(oi), 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                spill.push((offset, size));
+            }
+            return;
+        }
+    }
+
+    /// Drain every free buddy block: `(offset, len)` pairs destined for
+    /// the coalescing free list (pressure path and diagnostics — the
+    /// buddy analogue of [`SizeClasses::drain`]).
+    pub(crate) fn drain(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for oi in 0..self.queues.len() {
+            while let Some(offset) = self.pop_order(oi) {
+                out.push((offset, self.size_of(oi)));
+            }
+        }
+        out
+    }
+}
+
 /// The segment's segregated free lists: one [`OffsetQueue`] per declared
 /// block size.
 pub(crate) struct SizeClasses {
@@ -216,34 +465,37 @@ impl SizeClasses {
     }
 }
 
-/// Cached offsets per class held by one [`SlabCache`].
+/// Cached offsets per tier (size class or buddy order) held by one
+/// [`SlabCache`].
 pub(crate) const SLAB_SLOTS_PER_CLASS: usize = 2;
 
 /// The slot array of one [`SlabCache`], shared (via `Weak`) with the
 /// owning segment so its pressure path can raid parked reservations
-/// before reporting out-of-memory. `slots[ci * SLAB_SLOTS_PER_CLASS + j]`
-/// holds `offset + 1` (0 = empty); every access is an atomic swap/CAS, so
-/// the owner handing blocks out and the segment raiding race safely.
+/// before reporting out-of-memory. Tiers are indexed classes-first, then
+/// buddy orders: `slots[ti * SLAB_SLOTS_PER_CLASS + j]` holds
+/// `offset + 1` (0 = empty); every access is an atomic swap/CAS, so the
+/// owner handing blocks out and the segment raiding race safely.
 pub(crate) struct CacheSlots {
     slots: Box<[AtomicUsize]>,
 }
 
 impl CacheSlots {
-    fn new(classes: usize) -> Self {
+    fn new(tiers: usize) -> Self {
         CacheSlots {
-            slots: (0..classes * SLAB_SLOTS_PER_CLASS)
+            slots: (0..tiers * SLAB_SLOTS_PER_CLASS)
                 .map(|_| AtomicUsize::new(0))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
         }
     }
 
-    fn class_slots(&self, ci: usize) -> &[AtomicUsize] {
-        &self.slots[ci * SLAB_SLOTS_PER_CLASS..(ci + 1) * SLAB_SLOTS_PER_CLASS]
+    fn tier_slots(&self, ti: usize) -> &[AtomicUsize] {
+        &self.slots[ti * SLAB_SLOTS_PER_CLASS..(ti + 1) * SLAB_SLOTS_PER_CLASS]
     }
 
-    /// Take every parked offset, yielding `(class_index, offset)` pairs —
-    /// the segment's raid-under-pressure hook.
+    /// Take every parked offset, yielding `(tier_index, offset)` pairs
+    /// (tier < class count = class, else buddy order) — the segment's
+    /// raid-under-pressure hook.
     pub(crate) fn drain(&self, out: &mut Vec<(usize, usize)>) {
         for (idx, slot) in self.slots.iter().enumerate() {
             let v = slot.swap(0, Ordering::Acquire);
@@ -274,10 +526,13 @@ pub struct SlabCache {
 }
 
 impl SlabCache {
-    /// Build a cache fronting `segment`'s size classes. A segment with no
-    /// classes yields an empty cache that simply forwards to the segment.
+    /// Build a cache fronting `segment`'s size classes and buddy orders.
+    /// A segment with neither yields an empty cache that simply forwards
+    /// to the segment.
     pub fn new(segment: &crate::SharedSegment) -> Self {
-        let slots = std::sync::Arc::new(CacheSlots::new(segment.class_count()));
+        let slots = std::sync::Arc::new(CacheSlots::new(
+            segment.class_count() + segment.buddy_order_count(),
+        ));
         segment.register_cache(std::sync::Arc::downgrade(&slots));
         SlabCache {
             seg: segment.clone(),
@@ -299,11 +554,11 @@ impl SlabCache {
     }
 
     fn class_slots(&self, ci: usize) -> &[AtomicUsize] {
-        self.slots.class_slots(ci)
+        self.slots.tier_slots(ci)
     }
 
-    fn stash(&self, ci: usize, offset: usize) -> bool {
-        for slot in self.class_slots(ci) {
+    fn stash(&self, ti: usize, offset: usize) -> bool {
+        for slot in self.slots.tier_slots(ti) {
             if slot
                 .compare_exchange(0, offset + 1, Ordering::Release, Ordering::Relaxed)
                 .is_ok()
@@ -332,11 +587,39 @@ impl SlabCache {
         Some(self.seg.adopt_reserved(ci, off, len))
     }
 
-    /// Allocate `len` bytes: local slot → shared class queue → segment
-    /// free list (same failure modes as [`crate::SharedSegment::allocate`]).
+    /// The per-order magazine in front of the buddy tier: same slot-swap
+    /// fast path [`SlabCache::take_cached`] gives the size classes, so an
+    /// AMR client reallocating the same odd size twice in a row does not
+    /// even touch the shared order queue.
+    fn take_cached_buddy(&self, len: usize, alloc_len: usize) -> Option<crate::Block> {
+        let oi = self.seg.buddy_order_index(alloc_len)?;
+        let ti = self.seg.class_count() + oi;
+        for slot in self.slots.tier_slots(ti) {
+            let v = slot.swap(0, Ordering::Acquire);
+            if v != 0 {
+                return Some(self.seg.adopt_buddy_reserved(oi, v - 1, len));
+            }
+        }
+        let off = self.seg.buddy_alloc_reserved(oi)?;
+        // Warm the magazine from the exact order only (no speculative
+        // splitting of larger free blocks for a block nobody asked for).
+        if let Some(extra) = self.seg.buddy_pop_exact_reserved(oi) {
+            if !self.stash(ti, extra) {
+                self.seg.return_buddy_reserved(oi, extra);
+            }
+        }
+        Some(self.seg.adopt_buddy_reserved(oi, off, len))
+    }
+
+    /// Allocate `len` bytes: local slot → shared class/order queue →
+    /// segment free list (same failure modes as
+    /// [`crate::SharedSegment::allocate`]).
     pub fn allocate(&self, len: usize) -> Result<crate::Block, crate::ShmError> {
         if let Some(alloc_len) = crate::segment::class_len(len) {
             if let Some(block) = self.take_cached(len, alloc_len) {
+                return Ok(block);
+            }
+            if let Some(block) = self.take_cached_buddy(len, alloc_len) {
                 return Ok(block);
             }
         }
@@ -351,6 +634,9 @@ impl SlabCache {
     ) -> Result<crate::Block, crate::ShmError> {
         if let Some(alloc_len) = crate::segment::class_len(len) {
             if let Some(block) = self.take_cached(len, alloc_len) {
+                return Ok(block);
+            }
+            if let Some(block) = self.take_cached_buddy(len, alloc_len) {
                 return Ok(block);
             }
         }
@@ -405,11 +691,20 @@ impl SlabCache {
     /// shutdown, once no further writes can arrive). The cache remains
     /// usable and will re-warm on the next allocation.
     pub fn flush(&self) {
-        for ci in 0..self.seg.class_count() {
+        let classes = self.seg.class_count();
+        for ci in 0..classes {
             for slot in self.class_slots(ci) {
                 let v = slot.swap(0, Ordering::Acquire);
                 if v != 0 {
                     self.seg.return_reserved(ci, v - 1);
+                }
+            }
+        }
+        for oi in 0..self.seg.buddy_order_count() {
+            for slot in self.slots.tier_slots(classes + oi) {
+                let v = slot.swap(0, Ordering::Acquire);
+                if v != 0 {
+                    self.seg.return_buddy_reserved(oi, v - 1);
                 }
             }
         }

@@ -11,10 +11,12 @@
 //!
 //! Two pieces implement that design:
 //!
-//! * [`SharedSegment`] — a fixed-capacity memory region with a two-tier
+//! * [`SharedSegment`] — a fixed-capacity memory region with a tiered
 //!   allocator: lock-free size-class free lists (seeded from the declared
 //!   variable layouts, see [`SharedSegment::with_classes`] and the
-//!   per-client [`SlabCache`]) over a first-fit, coalescing fallback
+//!   per-client [`SlabCache`]), an optional lock-free buddy tier for
+//!   variable-size AMR-style requests ([`SharedSegment::with_buddy`]),
+//!   and a first-fit, coalescing fallback
 //!   list. Compute cores [`SharedSegment::allocate`] a [`Block`], write
 //!   their variable into it (one memcpy — *the only copy in the whole
 //!   pipeline*), then [`Block::freeze`] it into an immutable,

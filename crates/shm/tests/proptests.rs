@@ -304,6 +304,89 @@ proptest! {
         drop(cache);
     }
 
+    /// Buddy-tier invariants under mixed-size churn (the AMR shape: no
+    /// two requests need share a size): the allocator never hands out
+    /// overlapping ranges, every allocation is conserved exactly —
+    /// `used_bytes` equals the sum of the live blocks' buddy-rounded
+    /// sizes, however many splits and merges happened in between — and
+    /// after draining every block the tier merges back to the root: one
+    /// hole spanning the whole capacity.
+    #[test]
+    fn buddy_disjoint_conserving_and_merges_to_root(ops in ops_strategy()) {
+        let capacity = 1 << 16;
+        let seg = SharedSegment::with_buddy(capacity, &[]).unwrap();
+        // (block, footprint): footprint measured as the used_bytes delta
+        // the allocation caused (single-threaded, so exact).
+        let mut live: Vec<(Block, usize)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    let before = seg.used_bytes();
+                    if let Ok(b) = seg.allocate(size) {
+                        let footprint = seg.used_bytes() - before;
+                        // A buddy-served request occupies its power-of-two
+                        // order; the fragmentation fallback occupies the
+                        // plain 64-rounded length. Nothing else is legal.
+                        let rounded = size.div_ceil(64) * 64;
+                        let pow2 = size.next_power_of_two().max(64);
+                        prop_assert!(footprint == pow2 || footprint == rounded,
+                            "footprint {footprint} for request {size}");
+                        let (s, e) = (b.offset(), b.offset() + b.len());
+                        for (other, _) in &live {
+                            let (os, oe) = (other.offset(), other.offset() + other.len());
+                            prop_assert!(e <= os || oe <= s,
+                                "overlap: [{s},{e}) vs [{os},{oe})");
+                        }
+                        live.push((b, footprint));
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        live.swap_remove(idx);
+                    }
+                }
+            }
+            // Split/merge conservation of bytes: however many splits and
+            // merges happened, the accounting must equal exactly the sum
+            // of the live blocks' footprints at every step.
+            let expected: usize = live.iter().map(|(_, f)| f).sum();
+            prop_assert_eq!(seg.used_bytes(), expected,
+                "conservation broken with {} live blocks", live.len());
+        }
+        drop(live);
+        prop_assert_eq!(seg.used_bytes(), 0);
+        prop_assert_eq!(seg.largest_free_block(), seg.capacity(),
+            "full drain must merge back to the root");
+    }
+
+    /// Frozen-block data written through the buddy fast path reads back
+    /// intact while mixed-size churn splits, merges and reuses the
+    /// neighbouring ranges.
+    #[test]
+    fn buddy_blocks_keep_data_under_mixed_churn(
+        sizes in proptest::collection::vec(1usize..1500, 1..40),
+    ) {
+        let seg = SharedSegment::with_buddy(1 << 16, &[]).unwrap();
+        let mut kept: Vec<(u8, damaris_shm::BlockRef)> = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let fill = (i % 251) as u8;
+            let mut b = seg.allocate(size).unwrap();
+            b.as_mut_slice().fill(fill);
+            let r = b.freeze();
+            if i % 2 == 0 {
+                kept.push((fill, r));
+            } // odd ones drop immediately → order queues → merged/reused
+        }
+        for (fill, r) in &kept {
+            prop_assert!(r.as_slice().iter().all(|b| b == fill),
+                "buddy churn corrupted a live block");
+        }
+        drop(kept);
+        prop_assert_eq!(seg.used_bytes(), 0);
+        prop_assert_eq!(seg.largest_free_block(), seg.capacity());
+    }
+
     /// Frozen-block data written through the classed fast path reads back
     /// intact while unrelated alloc/free churn reuses neighbouring slots.
     #[test]

@@ -80,7 +80,8 @@ pub struct VarEntry {
     /// The resolved layout (concrete extents).
     pub layout: Layout,
     /// Precomputed `layout.byte_size()` — the exact shared-memory block
-    /// size every write of this variable allocates.
+    /// size every write of this variable allocates. 0 for variables on
+    /// dynamic layouts, whose sizes arrive with each write.
     pub byte_size: usize,
     /// Element type of the layout.
     pub elem_type: ElemType,
@@ -177,9 +178,21 @@ impl VarRegistry {
         &self.entry(id).layout
     }
 
-    /// Precomputed block byte size of an interned variable.
+    /// Precomputed block byte size of an interned variable (0 for
+    /// dynamic layouts — see [`VarRegistry::is_dynamic`]).
     pub fn byte_size(&self, id: VarId) -> usize {
         self.entry(id).byte_size
+    }
+
+    /// Whether the variable's layout is dynamic (per-write extents).
+    pub fn is_dynamic(&self, id: VarId) -> bool {
+        self.entry(id).layout.is_dynamic()
+    }
+
+    /// Upper bound on one block of this variable, in bytes (`None` for a
+    /// dynamic layout without a declared `max_size`).
+    pub fn max_byte_size(&self, id: VarId) -> Option<usize> {
+        self.entry(id).layout.max_byte_size()
     }
 
     /// All entries in id order.
@@ -190,13 +203,26 @@ impl VarRegistry {
             .map(|(i, e)| (VarId(i as u32), e))
     }
 
-    /// Distinct block byte sizes across all variables — the seed for the
-    /// shared-memory segment's size-class allocator.
+    /// Distinct block byte sizes across all fixed-layout variables — the
+    /// seed for the shared-memory segment's size-class allocator.
+    /// Dynamic layouts contribute nothing here: their per-write sizes are
+    /// served by the buddy tier, not by an exact class.
     pub fn distinct_byte_sizes(&self) -> Vec<usize> {
-        let mut sizes: Vec<usize> = self.vars.iter().map(|e| e.byte_size).collect();
+        let mut sizes: Vec<usize> = self
+            .vars
+            .iter()
+            .map(|e| e.byte_size)
+            .filter(|&s| s > 0)
+            .collect();
         sizes.sort_unstable();
         sizes.dedup();
         sizes
+    }
+
+    /// Whether any variable uses a dynamic layout (callers then want the
+    /// buddy allocator).
+    pub fn any_dynamic(&self) -> bool {
+        self.vars.iter().any(|e| e.layout.is_dynamic())
     }
 
     /// Resolve a user-event name declared by some `<action event="…">`.

@@ -118,25 +118,58 @@ impl fmt::Display for ElemType {
 ///
 /// Dimension expressions may reference `<parameter>` values by name; they are
 /// resolved at load time so consumers always see concrete extents.
+///
+/// A layout may instead be **dynamic** (`dimensions="dynamic"`): its
+/// variables carry a caller-supplied extent on every write — the AMR
+/// shape, where block sizes change per iteration and per rank. Dynamic
+/// layouts have no fixed byte size ([`Layout::byte_size`] reports 0); an
+/// optional `max_size="…"` attribute bounds one block in bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Layout {
     /// Layout name referenced by variables.
     pub name: String,
     /// Element type of the block.
     pub elem_type: ElemType,
-    /// Concrete extents, slowest-varying first (C order).
+    /// Concrete extents, slowest-varying first (C order). Empty for
+    /// dynamic layouts (extents arrive per write).
     pub dimensions: Vec<usize>,
+    /// Upper bound on one block, in bytes (`max_size="…"`); only
+    /// meaningful on dynamic layouts. `None` = bounded by the buffer.
+    pub max_bytes: Option<usize>,
 }
 
 impl Layout {
-    /// Number of elements in one block of this layout.
-    pub fn element_count(&self) -> usize {
-        self.dimensions.iter().product()
+    /// Whether extents are caller-supplied per write instead of fixed
+    /// (`dimensions="dynamic"`).
+    pub fn is_dynamic(&self) -> bool {
+        self.dimensions.is_empty()
     }
 
-    /// Number of bytes in one block of this layout.
+    /// Number of elements in one block of this layout (0 for dynamic
+    /// layouts — the count arrives with each write).
+    pub fn element_count(&self) -> usize {
+        if self.is_dynamic() {
+            0
+        } else {
+            self.dimensions.iter().product()
+        }
+    }
+
+    /// Number of bytes in one block of this layout (0 for dynamic
+    /// layouts).
     pub fn byte_size(&self) -> usize {
         self.element_count() * self.elem_type.size_bytes()
+    }
+
+    /// The largest block one write of this layout may occupy, in bytes:
+    /// the fixed size, or `max_size` for dynamic layouts (`None` when a
+    /// dynamic layout declares no bound).
+    pub fn max_byte_size(&self) -> Option<usize> {
+        if self.is_dynamic() {
+            self.max_bytes
+        } else {
+            Some(self.byte_size())
+        }
     }
 }
 
@@ -329,12 +362,22 @@ impl fmt::Display for QueueKind {
 pub enum AllocatorKind {
     /// Lock-free size-class free lists seeded from the declared variable
     /// layouts, first-fit fallback for odd sizes. Steady-state write
-    /// allocations take no lock. The default.
+    /// allocations take no lock. The default. Node builders upgrade this
+    /// choice to [`AllocatorKind::Buddy`] when any layout is
+    /// `dimensions="dynamic"` — otherwise every variable-size write
+    /// would silently serialize on the first-fit mutex.
     #[default]
     SizeClass,
     /// The classic single-mutex first-fit coalescing free list (the
     /// baseline the write-path benchmark measures against).
     FirstFit,
+    /// The size-class queues plus a lock-free buddy tier underneath:
+    /// variable-size requests (AMR refinement, per-step particle counts)
+    /// round up to a power-of-two order and allocate/free through
+    /// per-order queues with split/merge, instead of falling through to
+    /// the first-fit mutex. Pick this for `dimensions="dynamic"`
+    /// workloads.
+    Buddy,
 }
 
 impl AllocatorKind {
@@ -343,6 +386,7 @@ impl AllocatorKind {
         Ok(match s.trim() {
             "size-class" => AllocatorKind::SizeClass,
             "first-fit" => AllocatorKind::FirstFit,
+            "buddy" => AllocatorKind::Buddy,
             other => {
                 return Err(XmlError::schema(format!(
                     "unknown allocator kind '{other}'"
@@ -356,6 +400,7 @@ impl AllocatorKind {
         match self {
             AllocatorKind::SizeClass => "size-class",
             AllocatorKind::FirstFit => "first-fit",
+            AllocatorKind::Buddy => "buddy",
         }
     }
 }
@@ -569,7 +614,7 @@ impl Configuration {
                     v.name, v.layout
                 ))
             })?;
-            if layout.dimensions.is_empty() || layout.element_count() == 0 {
+            if !layout.is_dynamic() && layout.element_count() == 0 {
                 return Err(XmlError::schema(format!(
                     "layout '{}' has an empty extent",
                     layout.name
@@ -583,13 +628,13 @@ impl Configuration {
                     )));
                 }
             }
-            if layout.byte_size() > self.architecture.buffer_size {
-                return Err(XmlError::schema(format!(
-                    "variable '{}' ({} bytes) cannot fit the {}-byte shared buffer",
-                    v.name,
-                    layout.byte_size(),
-                    self.architecture.buffer_size
-                )));
+            if let Some(max) = layout.max_byte_size() {
+                if max > self.architecture.buffer_size {
+                    return Err(XmlError::schema(format!(
+                        "variable '{}' ({} bytes) cannot fit the {}-byte shared buffer",
+                        v.name, max, self.architecture.buffer_size
+                    )));
+                }
             }
         }
         let mut names = std::collections::BTreeSet::new();
@@ -716,13 +761,20 @@ impl Configuration {
             );
         }
         for layout in self.layouts.values() {
-            let dims: Vec<String> = layout.dimensions.iter().map(|d| d.to_string()).collect();
-            data = data.with_child(
-                Element::new("layout")
-                    .with_attr("name", &layout.name)
-                    .with_attr("type", layout.elem_type.name())
-                    .with_attr("dimensions", dims.join(",")),
-            );
+            let dims = if layout.is_dynamic() {
+                "dynamic".to_string()
+            } else {
+                let dims: Vec<String> = layout.dimensions.iter().map(|d| d.to_string()).collect();
+                dims.join(",")
+            };
+            let mut le = Element::new("layout")
+                .with_attr("name", &layout.name)
+                .with_attr("type", layout.elem_type.name())
+                .with_attr("dimensions", dims);
+            if let Some(max) = layout.max_bytes {
+                le = le.with_attr("max_size", max.to_string());
+            }
+            data = data.with_child(le);
         }
         for mesh in self.meshes.values() {
             let mut m = Element::new("mesh")
@@ -871,6 +923,36 @@ fn parse_layout(el: &Element, params: &BTreeMap<String, usize>) -> XmlResult<Lay
     let name = required_attr(el, "name")?;
     let elem_type = ElemType::parse(&required_attr(el, "type")?)?;
     let dims_attr = required_attr(el, "dimensions")?;
+    let max_bytes = el
+        .attr_parse::<usize>("max_size")
+        .map_err(XmlError::schema)?;
+    if dims_attr.trim() == "dynamic" {
+        // Variable-size layout: extents arrive with every write.
+        if let Some(max) = max_bytes {
+            if max == 0 {
+                return Err(XmlError::schema(format!(
+                    "layout '{name}': max_size must be positive"
+                )));
+            }
+            if !max.is_multiple_of(elem_type.size_bytes()) {
+                return Err(XmlError::schema(format!(
+                    "layout '{name}': max_size {max} is not a whole number of {} elements",
+                    elem_type.name()
+                )));
+            }
+        }
+        return Ok(Layout {
+            name,
+            elem_type,
+            dimensions: Vec::new(),
+            max_bytes,
+        });
+    }
+    if max_bytes.is_some() {
+        return Err(XmlError::schema(format!(
+            "layout '{name}': max_size only applies to dimensions=\"dynamic\""
+        )));
+    }
     let mut dimensions = Vec::new();
     for token in dims_attr.split(',') {
         let token = token.trim();
@@ -894,6 +976,7 @@ fn parse_layout(el: &Element, params: &BTreeMap<String, usize>) -> XmlResult<Lay
         name,
         elem_type,
         dimensions,
+        max_bytes: None,
     })
 }
 
@@ -1171,6 +1254,84 @@ mod tests {
             r#"<simulation><architecture><buffer size="1" allocator="bump"/></architecture></simulation>"#,
         );
         assert!(bad.unwrap_err().to_string().contains("unknown allocator"));
+    }
+
+    #[test]
+    fn buddy_allocator_parses_and_roundtrips() {
+        let xml = r#"<simulation name="s">
+          <architecture><buffer size="4096" allocator="buddy"/></architecture>
+        </simulation>"#;
+        let cfg = Configuration::from_str(xml).unwrap();
+        assert_eq!(cfg.architecture.allocator, AllocatorKind::Buddy);
+        let back = Configuration::from_str(&cfg.to_xml()).unwrap();
+        assert_eq!(back.architecture.allocator, AllocatorKind::Buddy);
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn dynamic_layout_parses_and_roundtrips() {
+        let xml = r#"<simulation name="amr">
+          <architecture><buffer size="1048576" allocator="buddy"/></architecture>
+          <data>
+            <layout name="patch" type="f64" dimensions="dynamic" max_size="65536"/>
+            <layout name="free" type="f32" dimensions="dynamic"/>
+            <variable name="density" layout="patch"/>
+            <variable name="tracer" layout="free"/>
+          </data>
+        </simulation>"#;
+        let cfg = Configuration::from_str(xml).unwrap();
+        let patch = &cfg.layouts["patch"];
+        assert!(patch.is_dynamic());
+        assert_eq!(patch.byte_size(), 0, "no fixed size");
+        assert_eq!(patch.element_count(), 0);
+        assert_eq!(patch.max_byte_size(), Some(65536));
+        assert_eq!(cfg.layouts["free"].max_byte_size(), None);
+        // Round trip preserves the dynamic form and the bound.
+        let back = Configuration::from_str(&cfg.to_xml()).unwrap();
+        assert_eq!(back, cfg);
+        // Registry: dynamic variables intern but seed no size class.
+        let reg = cfg.registry();
+        let density = reg.var_id("density").unwrap();
+        assert!(reg.is_dynamic(density));
+        assert_eq!(reg.byte_size(density), 0);
+        assert_eq!(reg.max_byte_size(density), Some(65536));
+        assert!(reg.any_dynamic());
+        assert!(reg.distinct_byte_sizes().is_empty());
+    }
+
+    #[test]
+    fn dynamic_layout_bad_forms_rejected() {
+        // max_size on a fixed layout is meaningless.
+        let bad = r#"<simulation><data>
+            <layout name="l" type="f64" dimensions="8" max_size="64"/>
+        </data></simulation>"#;
+        assert!(Configuration::from_str(bad)
+            .unwrap_err()
+            .to_string()
+            .contains("only applies"));
+        // A zero or non-whole-element bound is rejected.
+        let bad = r#"<simulation><data>
+            <layout name="l" type="f64" dimensions="dynamic" max_size="0"/>
+        </data></simulation>"#;
+        assert!(Configuration::from_str(bad).is_err());
+        let bad = r#"<simulation><data>
+            <layout name="l" type="f64" dimensions="dynamic" max_size="100"/>
+        </data></simulation>"#;
+        assert!(Configuration::from_str(bad)
+            .unwrap_err()
+            .to_string()
+            .contains("whole number"));
+        // A dynamic bound larger than the buffer cannot ever be written.
+        let bad = r#"<simulation>
+          <architecture><buffer size="1024"/></architecture>
+          <data>
+            <layout name="l" type="f64" dimensions="dynamic" max_size="4096"/>
+            <variable name="u" layout="l"/>
+          </data></simulation>"#;
+        assert!(Configuration::from_str(bad)
+            .unwrap_err()
+            .to_string()
+            .contains("cannot fit"));
     }
 
     #[test]
