@@ -33,14 +33,20 @@ impl Codec for XorDelta {
     }
 
     fn encode(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(input, &mut out);
+        out
+    }
+
+    fn encode_into(&self, input: &[u8], out: &mut Vec<u8>) {
         let w = self.width;
-        let mut out = input.to_vec();
+        out.clear();
+        out.extend_from_slice(input);
         // Only full words participate; trailing remainder stays verbatim.
         let full = input.len() - input.len() % w;
         for i in w..full {
             out[i] = input[i] ^ input[i - w];
         }
-        out
     }
 
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {

@@ -44,7 +44,7 @@ pub mod shuffle;
 
 pub use delta::XorDelta;
 pub use lzss::Lzss;
-pub use pipeline::Pipeline;
+pub use pipeline::{EncodeScratch, Pipeline};
 pub use rle::Rle;
 pub use shuffle::Shuffle;
 
@@ -80,6 +80,20 @@ pub trait Codec: Send + Sync {
 
     /// Compress/transform `input`.
     fn encode(&self, input: &[u8]) -> Vec<u8>;
+
+    /// Compress/transform `input` into `out`, reusing `out`'s capacity.
+    ///
+    /// `out` is cleared first; its allocation is kept, so a caller that
+    /// feeds same-sized blocks through a long-lived buffer (the storage
+    /// pipeline's per-variable scratch) stops allocating once capacity has
+    /// been established. The default implementation falls back to
+    /// [`Codec::encode`] and copies; the built-in codecs override it to
+    /// write in place.
+    fn encode_into(&self, input: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        let encoded = self.encode(input);
+        out.extend_from_slice(&encoded);
+    }
 
     /// Invert [`Codec::encode`]. Errors on corrupt input; never panics.
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError>;

@@ -41,73 +41,102 @@ impl Codec for Lzss {
     }
 
     fn encode(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        self.encode_into(input, &mut out);
+        out
+    }
+
+    fn encode_into(&self, input: &[u8], out: &mut Vec<u8>) {
         let n = input.len();
-        let mut out = Vec::with_capacity(n / 2 + 16);
+        out.clear();
+        out.reserve(n / 2 + 16);
         // head[h] = most recent position with hash h; prev[i % WINDOW] chains.
-        let mut head = vec![usize::MAX; HASH_SIZE];
-        let mut prev = vec![usize::MAX; WINDOW];
-
-        let mut i = 0;
-        let mut flag_pos = 0usize;
-        let mut flag_bit = 8u8; // forces a new flag byte immediately
-        let mut flags = 0u8;
-
-        macro_rules! emit_flag {
-            ($is_match:expr) => {
-                if flag_bit == 8 {
-                    // Start a new flag byte; tokens follow it immediately.
-                    out.push(0);
-                    flag_pos = out.len() - 1;
-                    flags = 0;
-                    flag_bit = 0;
-                }
-                if $is_match {
-                    flags |= 1 << flag_bit;
-                }
-                flag_bit += 1;
-                out[flag_pos] = flags;
-            };
+        // The tables are thread-local so steady-state encodes do not
+        // allocate; they are reset on entry, which keeps the output a pure
+        // function of `input` (cross-world byte-identity depends on this).
+        thread_local! {
+            static TABLES: std::cell::RefCell<(Vec<usize>, Vec<usize>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
         }
+        TABLES.with(|t| {
+            let mut t = t.borrow_mut();
+            let (head, prev) = &mut *t;
+            head.resize(HASH_SIZE, usize::MAX);
+            head.fill(usize::MAX);
+            prev.resize(WINDOW, usize::MAX);
+            prev.fill(usize::MAX);
 
-        while i < n {
-            let mut best_len = 0usize;
-            let mut best_off = 0usize;
-            if i + MIN_MATCH <= n {
-                let h = hash3(&input[i..]);
-                let mut cand = head[h];
-                let mut chain = 0;
-                while cand != usize::MAX && chain < MAX_CHAIN {
-                    if i > cand && i - cand <= WINDOW {
-                        let max_len = (n - i).min(MAX_MATCH);
-                        let mut l = 0;
-                        while l < max_len && input[cand + l] == input[i + l] {
-                            l += 1;
-                        }
-                        if l > best_len {
-                            best_len = l;
-                            best_off = i - cand;
-                            if l == MAX_MATCH {
-                                break;
-                            }
-                        }
-                    } else if i <= cand || i - cand > WINDOW {
-                        break; // chain left the window
+            let mut i = 0;
+            let mut flag_pos = 0usize;
+            let mut flag_bit = 8u8; // forces a new flag byte immediately
+            let mut flags = 0u8;
+
+            macro_rules! emit_flag {
+                ($is_match:expr) => {
+                    if flag_bit == 8 {
+                        // Start a new flag byte; tokens follow it immediately.
+                        out.push(0);
+                        flag_pos = out.len() - 1;
+                        flags = 0;
+                        flag_bit = 0;
                     }
-                    cand = prev[cand % WINDOW];
-                    chain += 1;
-                }
+                    if $is_match {
+                        flags |= 1 << flag_bit;
+                    }
+                    flag_bit += 1;
+                    out[flag_pos] = flags;
+                };
             }
 
-            if best_len >= MIN_MATCH {
-                emit_flag!(true);
-                let off = best_off; // 1..=WINDOW
-                debug_assert!((1..=WINDOW).contains(&off));
-                let o = off - 1; // 0..=4095, 12 bits
-                out.push((o & 0xff) as u8);
-                out.push((((o >> 8) as u8) << 4) | ((best_len - MIN_MATCH) as u8));
-                // Index every position inside the match.
-                let end = i + best_len;
-                while i < end {
+            while i < n {
+                let mut best_len = 0usize;
+                let mut best_off = 0usize;
+                if i + MIN_MATCH <= n {
+                    let h = hash3(&input[i..]);
+                    let mut cand = head[h];
+                    let mut chain = 0;
+                    while cand != usize::MAX && chain < MAX_CHAIN {
+                        if i > cand && i - cand <= WINDOW {
+                            let max_len = (n - i).min(MAX_MATCH);
+                            let mut l = 0;
+                            while l < max_len && input[cand + l] == input[i + l] {
+                                l += 1;
+                            }
+                            if l > best_len {
+                                best_len = l;
+                                best_off = i - cand;
+                                if l == MAX_MATCH {
+                                    break;
+                                }
+                            }
+                        } else if i <= cand || i - cand > WINDOW {
+                            break; // chain left the window
+                        }
+                        cand = prev[cand % WINDOW];
+                        chain += 1;
+                    }
+                }
+
+                if best_len >= MIN_MATCH {
+                    emit_flag!(true);
+                    let off = best_off; // 1..=WINDOW
+                    debug_assert!((1..=WINDOW).contains(&off));
+                    let o = off - 1; // 0..=4095, 12 bits
+                    out.push((o & 0xff) as u8);
+                    out.push((((o >> 8) as u8) << 4) | ((best_len - MIN_MATCH) as u8));
+                    // Index every position inside the match.
+                    let end = i + best_len;
+                    while i < end {
+                        if i + MIN_MATCH <= n {
+                            let h = hash3(&input[i..]);
+                            prev[i % WINDOW] = head[h];
+                            head[h] = i;
+                        }
+                        i += 1;
+                    }
+                } else {
+                    emit_flag!(false);
+                    out.push(input[i]);
                     if i + MIN_MATCH <= n {
                         let h = hash3(&input[i..]);
                         prev[i % WINDOW] = head[h];
@@ -115,18 +144,8 @@ impl Codec for Lzss {
                     }
                     i += 1;
                 }
-            } else {
-                emit_flag!(false);
-                out.push(input[i]);
-                if i + MIN_MATCH <= n {
-                    let h = hash3(&input[i..]);
-                    prev[i % WINDOW] = head[h];
-                    head[h] = i;
-                }
-                i += 1;
             }
-        }
-        out
+        });
     }
 
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {

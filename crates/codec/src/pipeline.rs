@@ -108,6 +108,74 @@ impl Pipeline {
     pub fn default_f32() -> Self {
         Pipeline::from_spec("xor-delta4,shuffle4,rle,lzss").expect("builtin spec is valid")
     }
+
+    /// Encode through caller-owned scratch buffers, returning a slice into
+    /// `scratch` that is valid until the next call.
+    ///
+    /// Stages ping-pong between the two scratch buffers via
+    /// [`Codec::encode_into`], so after a warm-up encode has sized the
+    /// buffers, steady-state encodes of same-sized blocks perform **no heap
+    /// allocation** — the property the Damaris storage pipeline relies on to
+    /// keep the dedicated core's compression stage allocation-free
+    /// (observable through [`EncodeScratch::grows`]).
+    pub fn encode_with<'a>(&self, input: &[u8], scratch: &'a mut EncodeScratch) -> &'a [u8] {
+        let cap_before = scratch.a.capacity() + scratch.b.capacity();
+        self.stages[0].encode_into(input, &mut scratch.a);
+        let mut in_a = true;
+        for stage in &self.stages[1..] {
+            if in_a {
+                stage.encode_into(&scratch.a, &mut scratch.b);
+            } else {
+                stage.encode_into(&scratch.b, &mut scratch.a);
+            }
+            in_a = !in_a;
+        }
+        scratch.encodes += 1;
+        if scratch.a.capacity() + scratch.b.capacity() > cap_before {
+            scratch.grows += 1;
+        }
+        if in_a {
+            &scratch.a
+        } else {
+            &scratch.b
+        }
+    }
+}
+
+/// Reusable ping-pong buffers for [`Pipeline::encode_with`].
+///
+/// Keep one per (variable, pipeline) and the encode path stops allocating
+/// once the buffers have grown to the working-set size; the counters let
+/// callers assert that reuse (`grows` stays flat while `encodes` climbs).
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    a: Vec<u8>,
+    b: Vec<u8>,
+    grows: u64,
+    encodes: u64,
+}
+
+impl EncodeScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total encodes performed through this scratch.
+    pub fn encodes(&self) -> u64 {
+        self.encodes
+    }
+
+    /// Encodes that had to grow a scratch buffer. Stops increasing once the
+    /// buffers reach the steady-state working size.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Bytes currently held across both buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        self.a.capacity() + self.b.capacity()
+    }
 }
 
 impl Codec for Pipeline {
@@ -237,6 +305,32 @@ mod tests {
         let p = Pipeline::default_f64();
         let enc = p.encode(&data);
         assert!(compression_ratio(data.len(), enc.len()) > 100.0);
+    }
+
+    #[test]
+    fn encode_with_matches_encode_and_stops_growing() {
+        let data = cm1_like_field(8 * 1024);
+        let mut scratch = EncodeScratch::new();
+        for spec in ["rle", "lzss", "xor-delta8,shuffle8,rle,lzss"] {
+            let p = Pipeline::from_spec(spec).unwrap();
+            assert_eq!(
+                p.encode_with(&data, &mut scratch),
+                p.encode(&data),
+                "spec {spec}"
+            );
+        }
+        // Warmed up: further encodes of same-sized data never grow scratch.
+        let p = Pipeline::default_f64();
+        let _ = p.encode_with(&data, &mut scratch);
+        let grows = scratch.grows();
+        let cap = scratch.capacity_bytes();
+        for _ in 0..16 {
+            let enc = p.encode_with(&data, &mut scratch);
+            assert_eq!(p.decode(enc).unwrap(), data);
+        }
+        assert_eq!(scratch.grows(), grows, "steady state must not reallocate");
+        assert_eq!(scratch.capacity_bytes(), cap);
+        assert!(scratch.encodes() >= 20);
     }
 
     #[test]

@@ -20,6 +20,12 @@ impl Codec for Rle {
 
     fn encode(&self, input: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(input.len() / 4 + 16);
+        self.encode_into(input, &mut out);
+        out
+    }
+
+    fn encode_into(&self, input: &[u8], out: &mut Vec<u8>) {
+        out.clear();
         let n = input.len();
         let mut i = 0;
         while i < n {
@@ -54,7 +60,6 @@ impl Codec for Rle {
                 out.extend_from_slice(&input[start..i]);
             }
         }
-        out
     }
 
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {

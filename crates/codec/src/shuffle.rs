@@ -31,17 +31,23 @@ impl Codec for Shuffle {
     }
 
     fn encode(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len());
+        self.encode_into(input, &mut out);
+        out
+    }
+
+    fn encode_into(&self, input: &[u8], out: &mut Vec<u8>) {
         let w = self.width;
         let n = input.len() / w;
         let full = n * w;
-        let mut out = Vec::with_capacity(input.len());
+        out.clear();
+        out.reserve(input.len());
         for k in 0..w {
             for i in 0..n {
                 out.push(input[i * w + k]);
             }
         }
         out.extend_from_slice(&input[full..]);
-        out
     }
 
     fn decode(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {

@@ -1,6 +1,6 @@
 //! Property tests: every codec and pipeline round-trips arbitrary bytes.
 
-use codec::{Codec, Lzss, Pipeline, Rle, Shuffle, XorDelta};
+use codec::{Codec, EncodeScratch, Lzss, Pipeline, Rle, Shuffle, XorDelta};
 use proptest::prelude::*;
 
 fn arbitrary_bytes() -> impl Strategy<Value = Vec<u8>> {
@@ -21,7 +21,45 @@ fn structured_bytes() -> impl Strategy<Value = Vec<u8>> {
     .prop_map(|chunks| chunks.concat())
 }
 
+/// Any stage token [`Pipeline::from_spec`] accepts: the fixed coders,
+/// the `xor-delta` shorthand, and every legal width of the parametric
+/// transforms.
+fn arbitrary_stage() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("rle".to_string()),
+        Just("lzss".to_string()),
+        Just("xor-delta".to_string()),
+        (1usize..=16).prop_map(|w| format!("xor-delta{w}")),
+        (1usize..=16).prop_map(|w| format!("shuffle{w}")),
+    ]
+}
+
+/// Arbitrary chains of arbitrary stages — the whole spec space the XML
+/// `codec="…"` attribute can name.
+fn arbitrary_spec() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arbitrary_stage(), 1..=4).prop_map(|stages| stages.join(","))
+}
+
 proptest! {
+    /// Every pipeline `from_spec` can build round-trips adversarial
+    /// input, and the allocation-free `encode_with` path (what the
+    /// storage pipeline runs on the dedicated core) produces the same
+    /// bytes as the plain `encode`.
+    #[test]
+    fn any_spec_combination_roundtrips(spec in arbitrary_spec(), data in arbitrary_bytes()) {
+        let p = Pipeline::from_spec(&spec).unwrap();
+        let packed = p.encode(&data);
+        prop_assert_eq!(p.decode(&packed).unwrap(), data.clone(), "spec {}", p.spec());
+        let mut scratch = EncodeScratch::new();
+        prop_assert_eq!(p.encode_with(&data, &mut scratch), packed.as_slice(), "spec {}", p.spec());
+    }
+
+    #[test]
+    fn any_spec_combination_roundtrips_structured(spec in arbitrary_spec(), data in structured_bytes()) {
+        let p = Pipeline::from_spec(&spec).unwrap();
+        prop_assert_eq!(p.decode(&p.encode(&data)).unwrap(), data, "spec {}", p.spec());
+    }
+
     #[test]
     fn rle_roundtrip(data in arbitrary_bytes()) {
         let c = Rle;

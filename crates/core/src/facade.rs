@@ -37,8 +37,8 @@ use mini_mpi::World;
 use crate::client::{ClientStats, DamarisClient, WriteStatus};
 use crate::error::{DamarisError, DamarisResult};
 use crate::node::DamarisNode;
-use crate::plugins::FnPlugin;
-use crate::process::{DigestSink, ProcessHandle, ProcessServer, DEDICATED_RANK};
+use crate::plugins::{FnPlugin, Plugin, StorageSink};
+use crate::process::{DigestSink, ProcessHandle, ProcessServer, ProcessSink, DEDICATED_RANK};
 
 // ---------------------------------------------------------------------------
 // Shared validation (used by both backends)
@@ -425,7 +425,7 @@ impl<'a> Damaris<'a> {
     where
         F: Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync,
     {
-        launch_impl(cfg, program, input, false, sim)
+        Damaris::launcher(cfg, program).input(input).launch(sim)
     }
 
     /// [`Damaris::launch`] for call sites inside `#[test]` functions:
@@ -441,7 +441,128 @@ impl<'a> Damaris<'a> {
     where
         F: Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync,
     {
-        launch_impl(cfg, program, input, true, sim)
+        Damaris::launcher(cfg, program)
+            .input(input)
+            .test_harness()
+            .launch(sim)
+    }
+
+    /// Start configuring a launch: attach custom plugins (thread world)
+    /// and sink factories (process world) before running the simulation.
+    /// See [`Launcher`].
+    pub fn launcher(cfg: Configuration, program: &str) -> Launcher {
+        Launcher {
+            cfg,
+            program: program.to_string(),
+            input: Vec::new(),
+            test_harness: false,
+            plugins: Vec::new(),
+            sinks: Vec::new(),
+        }
+    }
+}
+
+/// A factory producing one process-mode sink per launch (the dedicated
+/// core may live in a re-executed child, so sinks travel as closures that
+/// build them there, not as instances).
+type SinkFactory = Box<dyn Fn() -> Box<dyn ProcessSink> + Send + Sync>;
+
+/// Configured [`Damaris::launch`]: the one construction point extended
+/// with custom data-management services for either world.
+///
+/// * [`Launcher::with_plugin`] registers a [`Plugin`] on the thread-mode
+///   node — the dedicated-core services of `<world kind="threads"/>`.
+/// * [`Launcher::with_sink`] registers a [`ProcessSink`] factory fanned
+///   out on the process-mode dedicated core (rank 0 of
+///   `<world kind="processes"/>`). Factories, not instances: the
+///   dedicated core is a re-executed child, which rebuilds this
+///   `Launcher` identically and constructs the sink there.
+///
+/// Whichever set does not match `<world kind="…"/>` is ignored, so one
+/// call site can carry both and run unmodified on either world. A
+/// declared `<store>` wires the storage pipeline automatically in both
+/// worlds — no builder call needed.
+///
+/// ```no_run
+/// use damaris_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let cfg = Configuration::from_str("<simulation name=\"s\"/>").unwrap();
+/// let report = Damaris::launcher(cfg, "my-sim")
+///     .with_plugin(Arc::new(StatsPlugin::new()))
+///     .with_sink(StatsSink::default)
+///     .launch(|h, _| {
+///         h.finalize().unwrap();
+///         Vec::new()
+///     })
+///     .unwrap();
+/// assert_eq!(report.signals_delivered, 0);
+/// ```
+pub struct Launcher {
+    cfg: Configuration,
+    program: String,
+    input: Vec<u8>,
+    test_harness: bool,
+    plugins: Vec<Arc<dyn Plugin>>,
+    sinks: Vec<SinkFactory>,
+}
+
+impl Launcher {
+    /// Opaque bytes handed to every client's simulation function (travel
+    /// to process-mode children alongside the configuration).
+    pub fn input(mut self, input: &[u8]) -> Self {
+        self.input = input.to_vec();
+        self
+    }
+
+    /// Re-execute process-mode children through the libtest harness; the
+    /// program string must then be the `#[test]` function's full path
+    /// (see [`Damaris::launch_test`]).
+    pub fn test_harness(mut self) -> Self {
+        self.test_harness = true;
+        self
+    }
+
+    /// Register a data-management plugin on the thread-mode node
+    /// (replaces any auto-registered built-in of the same name; ignored
+    /// by process worlds).
+    pub fn with_plugin(mut self, plugin: Arc<dyn Plugin>) -> Self {
+        self.plugins.push(plugin);
+        self
+    }
+
+    /// Register a sink factory for the process-mode dedicated core; every
+    /// registered sink sees each block and iteration boundary, after the
+    /// built-in digest (and storage, when `<store>` is declared). Ignored
+    /// by thread worlds.
+    pub fn with_sink<S, G>(mut self, make: G) -> Self
+    where
+        S: ProcessSink + 'static,
+        G: Fn() -> S + Send + Sync + 'static,
+    {
+        self.sinks.push(Box::new(move || Box::new(make())));
+        self
+    }
+
+    /// Stand up whichever world the configuration names and run `sim`
+    /// once per client (see [`Damaris::launch`] for the lifecycle).
+    pub fn launch<F>(self, sim: F) -> DamarisResult<SimReport>
+    where
+        F: Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync,
+    {
+        match self.cfg.architecture.world {
+            damaris_xml::schema::WorldKind::Threads => {
+                launch_threads(self.cfg, &self.input, &self.plugins, sim)
+            }
+            damaris_xml::schema::WorldKind::Processes => launch_processes(
+                self.cfg,
+                &self.program,
+                &self.input,
+                self.test_harness,
+                &self.sinks,
+                sim,
+            ),
+        }
     }
 }
 
@@ -608,29 +729,19 @@ fn decode_wire(wire: &[u8]) -> (Configuration, &[u8]) {
     (cfg, &wire[8 + len..])
 }
 
-fn launch_impl<F>(
+fn launch_threads<F>(
     cfg: Configuration,
-    program: &str,
     input: &[u8],
-    test_harness: bool,
+    plugins: &[Arc<dyn Plugin>],
     sim: F,
 ) -> DamarisResult<SimReport>
 where
     F: Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync,
 {
-    match cfg.architecture.world {
-        damaris_xml::schema::WorldKind::Threads => launch_threads(cfg, input, sim),
-        damaris_xml::schema::WorldKind::Processes => {
-            launch_processes(cfg, program, input, test_harness, sim)
-        }
-    }
-}
-
-fn launch_threads<F>(cfg: Configuration, input: &[u8], sim: F) -> DamarisResult<SimReport>
-where
-    F: Fn(&mut Damaris<'_>, &[u8]) -> Vec<u8> + Send + Sync,
-{
     let node = DamarisNode::builder().config(cfg).build()?;
+    for plugin in plugins {
+        node.register_plugin(plugin.clone());
+    }
     let digest = Arc::new(AtomicU64::new(0));
     let d = digest.clone();
     node.register_plugin(Arc::new(FnPlugin::new("__launch-digest", move |ctx| {
@@ -679,11 +790,52 @@ where
     })
 }
 
+/// Fans every server callback out to the built-in digest, the optional
+/// storage pipeline, and any user sinks, in that order.
+struct FanoutSink<'a> {
+    digest: &'a mut DigestSink,
+    storage: Option<&'a mut StorageSink>,
+    extras: &'a mut [Box<dyn ProcessSink>],
+}
+
+impl ProcessSink for FanoutSink<'_> {
+    fn on_block(&mut self, var: VarId, iteration: u64, source: usize, data: &[u8]) {
+        self.digest.on_block(var, iteration, source, data);
+        if let Some(s) = self.storage.as_mut() {
+            s.on_block(var, iteration, source, data);
+        }
+        for e in self.extras.iter_mut() {
+            e.on_block(var, iteration, source, data);
+        }
+    }
+
+    fn on_iteration_complete(&mut self, iteration: u64) {
+        self.digest.on_iteration_complete(iteration);
+        if let Some(s) = self.storage.as_mut() {
+            s.on_iteration_complete(iteration);
+        }
+        for e in self.extras.iter_mut() {
+            e.on_iteration_complete(iteration);
+        }
+    }
+
+    fn on_signal(&mut self, event: damaris_xml::EventId, iteration: u64, source: usize) {
+        self.digest.on_signal(event, iteration, source);
+        if let Some(s) = self.storage.as_mut() {
+            s.on_signal(event, iteration, source);
+        }
+        for e in self.extras.iter_mut() {
+            e.on_signal(event, iteration, source);
+        }
+    }
+}
+
 fn launch_processes<F>(
     cfg: Configuration,
     program: &str,
     input: &[u8],
     test_harness: bool,
+    sinks: &[SinkFactory],
     sim: F,
 ) -> DamarisResult<SimReport>
 where
@@ -695,14 +847,39 @@ where
         // All rank behaviour derives from the wire bytes: in a
         // re-executed child the surrounding scope's captures (cfg,
         // input) may belong to a *different* invocation of the caller.
+        // (The sink factories are safe to use: the child re-executes the
+        // same call site, reconstructing an identical `Launcher`.)
         let (cfg, input) = decode_wire(wire);
         let dir = World::spawn_dir().expect("rank runs inside a spawned world");
         if comm.rank() == DEDICATED_RANK {
+            // A declared <store> wires the storage pipeline onto the
+            // dedicated core, exactly like the thread world's
+            // auto-registered StoragePlugin (node id 0; files land in
+            // the spawn dir unless <store path> says otherwise).
+            let mut storage = if cfg.architecture.store.is_some() {
+                Some(StorageSink::new(&cfg, 0, &dir).expect("storage pipeline starts"))
+            } else {
+                None
+            };
             let server = ProcessServer::new(comm, cfg, &dir).expect("dedicated core starts");
             let mut sink = DigestSink::default();
+            let mut extras: Vec<Box<dyn ProcessSink>> = sinks.iter().map(|f| f()).collect();
+            let mut fanout = FanoutSink {
+                digest: &mut sink,
+                storage: storage.as_mut(),
+                extras: &mut extras,
+            };
             let report = server
-                .serve(comm, &mut sink)
+                .serve(comm, &mut fanout)
                 .expect("dedicated core serves");
+            if let Some(mut s) = storage {
+                s.finish().expect("storage pipeline finishes");
+                assert!(
+                    s.errors().is_empty(),
+                    "storage pipeline errors: {:?}",
+                    s.errors()
+                );
+            }
             let words = [
                 report.iterations_completed,
                 report.skipped_client_iterations,

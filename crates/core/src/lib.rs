@@ -109,18 +109,20 @@ pub mod store;
 
 pub use client::{DamarisClient, WriteStatus};
 pub use error::{DamarisError, DamarisResult};
-pub use facade::{Damaris, DamarisWriter, SimHandle, SimReport, SimWriter};
+pub use facade::{Damaris, DamarisWriter, Launcher, SimHandle, SimReport, SimWriter};
 pub use node::{DamarisNode, NodeBuilder};
-pub use plugins::Plugin;
+pub use plugins::{Plugin, StorageEngine, StoragePlugin, StorageSink, StorageStats};
 pub use process::{ProcessClient, ProcessHandle, ProcessServer, ProcessSink};
 
 /// One-stop imports for applications embedding Damaris.
 pub mod prelude {
     pub use crate::client::{ClientStats, DamarisClient, WriteStatus};
     pub use crate::error::{DamarisError, DamarisResult};
-    pub use crate::facade::{Damaris, DamarisWriter, SimHandle, SimReport, SimWriter};
+    pub use crate::facade::{Damaris, DamarisWriter, Launcher, SimHandle, SimReport, SimWriter};
     pub use crate::node::{DamarisNode, NodeBuilder};
-    pub use crate::plugins::{FnPlugin, Plugin};
+    pub use crate::plugins::{
+        FnPlugin, Plugin, StatsPlugin, StorageEngine, StoragePlugin, StorageSink, StorageStats,
+    };
     pub use crate::process::{ProcessClient, ProcessHandle, ProcessServer, ProcessSink, StatsSink};
     pub use damaris_xml::schema::Configuration;
     pub use damaris_xml::{EventId, VarId};

@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use crate::client::{DamarisClient, StatsRecorder};
 use crate::error::{DamarisError, DamarisResult};
 use crate::event::Event;
-use crate::plugins::{CompressPlugin, H5Writer, Plugin, StatsPlugin};
+use crate::plugins::{CompressPlugin, H5Writer, Plugin, StatsPlugin, StoragePlugin};
 use crate::policy::SkipPolicy;
 use crate::server::{server_loop, ServerShared};
 
@@ -156,9 +156,17 @@ impl NodeBuilder {
             n_clients,
             output_dir.clone(),
         ));
-        // Auto-register built-in plugins referenced by declared actions.
+        // Auto-register built-in plugins. A declared `<store>` drives the
+        // storage pipeline regardless of `<action>` blocks (registered
+        // first, so the action loop's existence check never duplicates
+        // it); the others are pulled in by the actions referencing them.
         {
             let mut plugins = shared.plugins.write();
+            if cfg.architecture.store.is_some() {
+                let storage = StoragePlugin::new(&cfg, self.node_id, &output_dir)
+                    .map_err(DamarisError::InvalidState)?;
+                plugins.push(Arc::new(storage));
+            }
             for action in &cfg.actions {
                 let exists = plugins.iter().any(|p| p.name() == action.plugin);
                 if exists {
@@ -168,6 +176,10 @@ impl NodeBuilder {
                     "hdf5" => Some(Arc::new(H5Writer::new())),
                     "compress" => Some(Arc::new(CompressPlugin::new())),
                     "stats" => Some(Arc::new(StatsPlugin::new())),
+                    "storage" => Some(Arc::new(
+                        StoragePlugin::new(&cfg, self.node_id, &output_dir)
+                            .map_err(DamarisError::InvalidState)?,
+                    )),
                     _ => None,
                 };
                 if let Some(p) = builtin {
@@ -355,6 +367,16 @@ impl<C: EventChannel<Event>> DamarisNode<C> {
         // slab caches' reservations so occupancy reads 0 on an idle node.
         for client in &self.clients {
             client.slab.flush();
+        }
+        // Let plugins close their long-lived resources (the storage
+        // pipeline finishes and syncs its per-node file here).
+        for plugin in self.shared.plugins.read().iter() {
+            if let Err(msg) = plugin.on_finalize() {
+                self.shared
+                    .errors
+                    .lock()
+                    .push(format!("plugin '{}' at finalize: {msg}", plugin.name()));
+            }
         }
         Ok(NodeReport {
             iterations_completed: self

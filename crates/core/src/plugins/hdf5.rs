@@ -7,10 +7,10 @@
 
 use std::path::PathBuf;
 
-use h5lite::{Dtype, FileWriter};
+use h5lite::FileWriter;
 use parking_lot::Mutex;
 
-use super::{IterationCtx, Plugin};
+use super::{elem_dtype, IterationCtx, Plugin};
 
 /// Record of one file written by the plugin.
 #[derive(Debug, Clone)]
@@ -57,22 +57,6 @@ impl H5Writer {
             w.iter().map(|f| f.logical_bytes).sum(),
             w.iter().map(|f| f.stored_bytes).sum(),
         )
-    }
-}
-
-fn elem_dtype(t: damaris_xml::schema::ElemType) -> Dtype {
-    use damaris_xml::schema::ElemType as E;
-    match t {
-        E::I8 => Dtype::I8,
-        E::I16 => Dtype::I16,
-        E::I32 => Dtype::I32,
-        E::I64 => Dtype::I64,
-        E::U8 => Dtype::U8,
-        E::U16 => Dtype::U16,
-        E::U32 => Dtype::U32,
-        E::U64 => Dtype::U64,
-        E::F32 => Dtype::F32,
-        E::F64 => Dtype::F64,
     }
 }
 

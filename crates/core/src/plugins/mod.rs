@@ -17,21 +17,45 @@
 //! * [`CompressPlugin`] (`plugin="compress"`) — runs a [`codec::Pipeline`]
 //!   over blocks in the dedicated core's spare time (§IV.D's 600 %);
 //! * [`StatsPlugin`] (`plugin="stats"`) — streaming min/max/mean/σ per
-//!   variable, the "statistical analysis" plugin class.
+//!   variable, the "statistical analysis" plugin class;
+//! * [`StoragePlugin`] (`plugin="storage"`) — the real storage pipeline
+//!   behind `<store type="h5lite">`: per-variable codec compression into
+//!   one chunked h5lite file per node, fsync'd off the hot path (see
+//!   [`storage`](self::StorageEngine)).
 
 mod compress;
 mod hdf5;
 mod stats;
+mod storage;
 
 pub use compress::CompressPlugin;
 pub use hdf5::H5Writer;
 pub use stats::{StatsPlugin, VariableSummary};
+pub use storage::{StorageEngine, StoragePlugin, StorageSink, StorageStats};
 
 use std::path::Path;
 
 use damaris_xml::schema::{Action, Configuration};
 
 use crate::store::StoredBlock;
+
+/// Map a configuration element type onto its h5lite on-disk dtype.
+pub(crate) fn elem_dtype(t: damaris_xml::schema::ElemType) -> h5lite::Dtype {
+    use damaris_xml::schema::ElemType as E;
+    use h5lite::Dtype;
+    match t {
+        E::I8 => Dtype::I8,
+        E::I16 => Dtype::I16,
+        E::I32 => Dtype::I32,
+        E::I64 => Dtype::I64,
+        E::U8 => Dtype::U8,
+        E::U16 => Dtype::U16,
+        E::U32 => Dtype::U32,
+        E::U64 => Dtype::U64,
+        E::F32 => Dtype::F32,
+        E::F64 => Dtype::F64,
+    }
+}
 
 /// Everything a plugin sees when an iteration completes on this node.
 pub struct IterationCtx<'a> {
@@ -85,6 +109,15 @@ pub trait Plugin: Send + Sync {
 
     /// Called when a client raises a matching user event.
     fn on_signal(&self, _ctx: &SignalCtx<'_>) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Called once at node shutdown, after every client finalized and the
+    /// dedicated cores drained — the place to close files and release
+    /// long-lived resources (the storage pipeline finishes and syncs its
+    /// per-node file here). Errors are collected into the node report's
+    /// plugin errors, never fatal.
+    fn on_finalize(&self) -> Result<(), String> {
         Ok(())
     }
 }

@@ -466,6 +466,90 @@ fn amr_block_mode_oversized_fails_fast_on_both_worlds() {
     assert_eq!(processes.outputs[0], vec![1], "RequestTooLarge on both");
 }
 
+// ---------------------------------------------------------------------------
+// The storage pipeline: `<store>` must produce equivalent files per world
+// ---------------------------------------------------------------------------
+
+fn store_config(world: &str, dir: &std::path::Path) -> Configuration {
+    // The path must be deterministic (no PIDs): process-mode children
+    // re-derive it from the configuration on the wire. Distinct per
+    // world so the two runs cannot clobber each other's file.
+    let xml = format!(
+        r#"<simulation name="store-eq">
+             <architecture>
+               <dedicated cores="1"/>
+               <clients count="2"/>
+               <buffer size="4194304"/>
+               <queue capacity="256"/>
+               <world kind="{world}"/>
+               <store type="h5lite" path="{}" chunk_rows="4"/>
+             </architecture>
+             <data>
+               <layout name="grid" type="f64" dimensions="8,16"/>
+               <variable name="u" layout="grid" codec="xor-delta8,shuffle8,rle,lzss"/>
+               <variable name="v" layout="grid"/>
+             </data>
+           </simulation>"#,
+        dir.display()
+    );
+    Configuration::from_str(&xml).expect("store config is valid")
+}
+
+fn store_sim<H: SimHandle>(h: &mut H, input: &[u8]) -> Vec<u8> {
+    let iterations = u64::from(input[0]);
+    for it in 0..iterations {
+        let data: Vec<f64> = (0..128)
+            .map(|i| 300.0 + h.id() as f64 + it as f64 * 0.01 + (i % 16) as f64 * 0.125)
+            .collect();
+        h.write("u", it, &data).expect("write u");
+        h.write("v", it, &data).expect("write v");
+        h.end_iteration(it).expect("end iteration");
+    }
+    h.finalize().expect("finalize");
+    Vec::new()
+}
+
+/// The §IV.D pipeline is world-independent: the same simulation under
+/// `<store>` leaves **byte-identical** per-node files whether the
+/// dedicated core is a thread or a separate process — same dataset tree,
+/// same chunking, same codec streams (the codecs are deterministic),
+/// same footer.
+#[test]
+fn store_produces_byte_identical_files_across_worlds() {
+    let base = std::env::temp_dir().join("damaris-store-eq");
+    let pdir = base.join("processes");
+    let tdir = base.join("threads");
+    let program = "store_produces_byte_identical_files_across_worlds";
+    let processes =
+        Damaris::launch_test(store_config("processes", &pdir), program, &[4], |h, i| {
+            store_sim(h, i)
+        })
+        .expect("processes world succeeds");
+    let threads = Damaris::launch_test(store_config("threads", &tdir), program, &[4], |h, i| {
+        store_sim(h, i)
+    })
+    .expect("threads world succeeds");
+    assert_equivalent(&processes, &threads);
+
+    let pfile = pdir.join("store-eq_node0.dh5");
+    let tfile = tdir.join("store-eq_node0.dh5");
+    let pbytes = std::fs::read(&pfile).expect("process world wrote its per-node file");
+    let tbytes = std::fs::read(&tfile).expect("thread world wrote its per-node file");
+    assert_eq!(pbytes, tbytes, "per-node files must be byte-identical");
+
+    // And the shared bytes decode back to the simulation's data.
+    let mut r = h5lite::FileReader::open(&pfile).expect("file opens");
+    let expect: Vec<f64> = (0..128)
+        .map(|i| 300.0 + 1.0 + 3.0 * 0.01 + (i % 16) as f64 * 0.125)
+        .collect();
+    assert_eq!(
+        r.read_pod::<f64>("it000003/u/rank1").expect("codec decode"),
+        expect
+    );
+    assert_eq!(r.read_pod::<f64>("it000003/v/rank1").unwrap(), expect);
+    std::fs::remove_dir_all(&base).ok();
+}
+
 proptest! {
     // Property: for arbitrary seeds, the AMR driver's variable-size
     // writes produce byte-identical WriteStatus sequences and

@@ -48,7 +48,7 @@ pub use dtype::Dtype;
 pub use error::{H5Error, H5Result};
 pub use meta::{AttrValue, DatasetMeta, FileMeta, GroupMeta, Layout};
 pub use reader::FileReader;
-pub use writer::{DatasetBuilder, FileWriter};
+pub use writer::{DatasetBuilder, FileStats, FileWriter};
 
 /// Magic bytes opening every h5lite file.
 pub const MAGIC: &[u8; 8] = b"DH5LITE\0";

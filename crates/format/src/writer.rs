@@ -4,7 +4,8 @@ use std::collections::BTreeMap;
 use std::io::{Seek, Write};
 use std::path::Path;
 
-use codec::{Codec, Pipeline};
+use codec::pipeline::EncodeScratch;
+use codec::Pipeline;
 
 use crate::dtype::{Dtype, H5Pod};
 use crate::error::{H5Error, H5Result};
@@ -43,6 +44,26 @@ impl FileWriter<std::io::BufWriter<std::fs::File>> {
         let f = std::fs::File::create(path)?;
         FileWriter::new(std::io::BufWriter::new(f))
     }
+
+    /// Push buffered dataset bytes to the OS and `fsync` them, without
+    /// finishing the file. The durability half of the storage pipeline's
+    /// background flusher: data written so far survives a crash of the
+    /// process (the file only becomes *readable* after
+    /// [`FileWriter::finish`], matching HDF5 semantics).
+    pub fn sync_data(&mut self) -> H5Result<()> {
+        self.w.flush()?;
+        self.w.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Like [`FileWriter::finish`], but additionally `fsync`s file contents
+    /// and metadata to disk before returning — the durability knob
+    /// `finish` deliberately omits (it only flushes userspace buffers).
+    pub fn finish_synced(&mut self) -> H5Result<FileStats> {
+        let stats = self.finish()?;
+        self.w.get_ref().sync_all()?;
+        Ok(stats)
+    }
 }
 
 impl<W: Write + Seek> FileWriter<W> {
@@ -60,6 +81,17 @@ impl<W: Write + Seek> FileWriter<W> {
             logical_bytes: 0,
             finished: false,
         })
+    }
+
+    /// Push buffered bytes to the underlying sink without any `fsync`.
+    ///
+    /// The cheap half of the durability split: the writing thread flushes
+    /// its userspace buffer, while a background flusher `fsync`s through a
+    /// duplicated file handle (see [`FileWriter::sync_data`], which does
+    /// both on one thread).
+    pub fn flush(&mut self) -> H5Result<()> {
+        self.w.flush()?;
+        Ok(())
     }
 
     fn check_open(&self) -> H5Result<()> {
@@ -182,15 +214,23 @@ pub struct DatasetBuilder<'a, W: Write + Seek> {
     path: String,
     dtype: Dtype,
     shape: Vec<u64>,
-    pipeline: Option<Pipeline>,
+    pipeline: Option<std::sync::Arc<Pipeline>>,
     rows_per_chunk: Option<u64>,
 }
 
 impl<'a, W: Write + Seek> DatasetBuilder<'a, W> {
     /// Compress every stored extent with the given codec pipeline spec.
     pub fn with_codec(mut self, spec: &str) -> H5Result<Self> {
-        self.pipeline = Some(Pipeline::from_spec(spec)?);
+        self.pipeline = Some(std::sync::Arc::new(Pipeline::from_spec(spec)?));
         Ok(self)
+    }
+
+    /// Compress with a pre-built pipeline, shared across datasets — the
+    /// storage pipeline's steady-state path, which must not re-parse the
+    /// spec (and re-allocate the stage boxes) on every dataset.
+    pub fn with_pipeline(mut self, pipeline: std::sync::Arc<Pipeline>) -> Self {
+        self.pipeline = Some(pipeline);
+        self
     }
 
     /// Chunk along the slowest dimension, `rows` rows per chunk.
@@ -221,8 +261,36 @@ impl<'a, W: Write + Seek> DatasetBuilder<'a, W> {
         self.write_bytes(bytes)
     }
 
+    /// [`DatasetBuilder::write_pod`] through caller-owned codec scratch
+    /// (see [`DatasetBuilder::write_bytes_with`]).
+    pub fn write_pod_with<T: H5Pod>(self, data: &[T], scratch: &mut EncodeScratch) -> H5Result<()> {
+        if T::DTYPE != self.dtype {
+            return Err(H5Error::TypeMismatch(format!(
+                "dataset '{}' is {}, write_pod called with {}",
+                self.path,
+                self.dtype,
+                T::DTYPE
+            )));
+        }
+        // SAFETY: H5Pod types have no padding and no invalid bit patterns.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
+        };
+        self.write_bytes_with(bytes, scratch)
+    }
+
     /// Write the dataset from raw little-endian bytes.
     pub fn write_bytes(self, bytes: &[u8]) -> H5Result<()> {
+        let mut scratch = EncodeScratch::new();
+        self.write_bytes_with(bytes, &mut scratch)
+    }
+
+    /// Like [`DatasetBuilder::write_bytes`], but codec encoding runs
+    /// through caller-owned scratch buffers. A long-lived scratch makes
+    /// steady-state writes allocation-free on the codec path — what the
+    /// storage pipeline's per-variable scratch relies on. Uncompressed
+    /// datasets append straight from `bytes` with no copy at all.
+    pub fn write_bytes_with(self, bytes: &[u8], scratch: &mut EncodeScratch) -> H5Result<()> {
         let expect = self.shape.iter().product::<u64>() * self.dtype.size_bytes() as u64;
         if bytes.len() as u64 != expect {
             return Err(H5Error::TypeMismatch(format!(
@@ -238,17 +306,16 @@ impl<'a, W: Write + Seek> DatasetBuilder<'a, W> {
             .as_ref()
             .map(|p| p.spec().to_string())
             .unwrap_or_default();
-        let encode = |b: &[u8]| -> Vec<u8> {
-            match &self.pipeline {
-                Some(p) => p.encode(b),
-                None => b.to_vec(),
-            }
-        };
 
         let layout = match self.rows_per_chunk {
             None => {
-                let stored = encode(bytes);
-                let (offset, stored_len) = self.fw.append_extent(&stored)?;
+                let (offset, stored_len) = match &self.pipeline {
+                    Some(p) => {
+                        let stored = p.encode_with(bytes, scratch);
+                        self.fw.append_extent(stored)?
+                    }
+                    None => self.fw.append_extent(bytes)?,
+                };
                 Layout::Contiguous { offset, stored_len }
             }
             Some(rows) => {
@@ -257,8 +324,14 @@ impl<'a, W: Write + Seek> DatasetBuilder<'a, W> {
                 let chunk_bytes = (rows as usize).saturating_mul(row_bytes.max(1)).max(1);
                 let mut chunks = Vec::new();
                 for chunk in bytes.chunks(chunk_bytes) {
-                    let stored = encode(chunk);
-                    chunks.push(self.fw.append_extent(&stored)?);
+                    let extent = match &self.pipeline {
+                        Some(p) => {
+                            let stored = p.encode_with(chunk, scratch);
+                            self.fw.append_extent(stored)?
+                        }
+                        None => self.fw.append_extent(chunk)?,
+                    };
+                    chunks.push(extent);
                 }
                 Layout::Chunked {
                     rows_per_chunk: rows,
@@ -373,6 +446,58 @@ mod tests {
         assert_eq!(stats.logical_bytes, 64 * 1024);
         assert!(stats.stored_bytes < 2048, "stored {}", stats.stored_bytes);
         assert_eq!(stats.datasets, 1);
+    }
+
+    #[test]
+    fn scratch_write_matches_plain_write_and_reuses() {
+        let data: Vec<f64> = (0..4096).map(|i| 300.0 + (i % 7) as f64).collect();
+        let write = |use_scratch: bool, scratch: &mut EncodeScratch| {
+            let mut c = Cursor::new(Vec::new());
+            let mut w = FileWriter::new(&mut c).unwrap();
+            for it in 0..4 {
+                let b = w
+                    .dataset(&format!("it{it}/d"), Dtype::F64, &[64, 64])
+                    .unwrap()
+                    .with_codec("xor-delta8,shuffle8,rle")
+                    .unwrap()
+                    .chunked(16)
+                    .unwrap();
+                if use_scratch {
+                    b.write_pod_with(&data, scratch).unwrap();
+                } else {
+                    b.write_pod(&data).unwrap();
+                }
+            }
+            w.finish().unwrap();
+            c.into_inner()
+        };
+        let mut scratch = EncodeScratch::new();
+        let plain = write(false, &mut EncodeScratch::new());
+        let scratched = write(true, &mut scratch);
+        assert_eq!(plain, scratched, "scratch path must be byte-identical");
+        // A second file through the same scratch stays allocation-free.
+        let grows = scratch.grows();
+        let _ = write(true, &mut scratch);
+        assert_eq!(scratch.grows(), grows, "warmed scratch must not grow");
+    }
+
+    #[test]
+    fn durable_finish_on_disk() {
+        let dir = std::env::temp_dir().join(format!("h5lite-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("durable.dh5");
+        let mut w = FileWriter::create(&path).unwrap();
+        w.dataset("d", Dtype::U8, &[4])
+            .unwrap()
+            .write_pod(&[1u8, 2, 3, 4])
+            .unwrap();
+        w.sync_data().unwrap(); // mid-run durability point
+        let stats = w.finish_synced().unwrap();
+        assert_eq!(stats.datasets, 1);
+        assert!(w.finish().is_err(), "already finished");
+        let mut r = crate::FileReader::open(&path).unwrap();
+        assert_eq!(r.read_pod::<u8>("d").unwrap(), vec![1, 2, 3, 4]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

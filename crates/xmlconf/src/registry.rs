@@ -87,6 +87,9 @@ pub struct VarEntry {
     pub elem_type: ElemType,
     /// Whether storage plugins persist this variable.
     pub store: bool,
+    /// Compression pipeline spec (`codec="…"`), validated at load time;
+    /// `None` = store raw bytes.
+    pub codec: Option<String>,
 }
 
 /// Immutable interning table built from a validated configuration.
@@ -119,6 +122,7 @@ impl VarRegistry {
                 byte_size: layout.byte_size(),
                 elem_type: layout.elem_type,
                 store: v.store,
+                codec: v.codec.clone(),
             });
         }
         let mut events = Vec::new();

@@ -4,6 +4,7 @@
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json
                               [--threshold 0.25] [--strict]
+                              [--bound "metric<=1.10"] [--bound "metric>=4.0"]
 
 Both files must be records produced by the `damaris_bench` bench targets
 (`BENCH_transport.json`, `BENCH_write_path.json`, …): an object with a
@@ -26,6 +27,14 @@ baseline usually comes from a different box than the CI runner), so:
 Missing samples and missing metrics (layout changes) always fail, so a
 bench cannot silently drop coverage. Metrics measured as 0 in the
 baseline are skipped.
+
+`--bound "metric<=VAL"` / `--bound "metric>=VAL"` (repeatable) add
+absolute acceptance bounds checked against CURRENT only — for
+machine-independent invariants such as a deterministic compression
+factor or a within-run overhead ratio, where the claim itself (not
+drift from a baseline) is what CI must enforce. A bound whose metric
+appears in no current sample fails, so a renamed metric cannot
+silently disarm its gate.
 
 Stdlib only; exit code 0 = pass, 1 = regression, 2 = usage/parse error.
 """
@@ -62,6 +71,41 @@ def direction(metric, strict):
     return None  # uninterpreted metric: informational only
 
 
+def parse_bound(spec):
+    """Split "metric<=1.10" / "metric>=4.0" into (metric, op, limit)."""
+    for op in ("<=", ">="):
+        if op in spec:
+            metric, _, limit = spec.partition(op)
+            try:
+                return metric.strip(), op, float(limit)
+            except ValueError:
+                break
+    raise argparse.ArgumentTypeError(
+        f"bound must look like 'metric<=1.10' or 'metric>=4.0', got {spec!r}"
+    )
+
+
+def check_bounds(bounds, samples, failures):
+    for metric, op, limit in bounds:
+        found = False
+        for sample in samples:
+            if metric not in sample:
+                continue
+            found = True
+            val = sample[metric]
+            ok = val <= limit if op == "<=" else val >= limit
+            if not ok:
+                ident = ", ".join(
+                    f"{k}={v}" for k, v in sample_key(sample)
+                )
+                failures.append(
+                    f"{ident}: bound violated: {metric} = {val:g}, "
+                    f"required {op} {limit:g}"
+                )
+        if not found:
+            failures.append(f"bound has no matching metric: {metric} {op} {limit:g}")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Compare a bench JSON against its committed baseline."
@@ -73,6 +117,14 @@ def main(argv):
         "--strict",
         action="store_true",
         help="also gate absolute metrics (same-machine baselines only)",
+    )
+    parser.add_argument(
+        "--bound",
+        action="append",
+        default=[],
+        type=parse_bound,
+        metavar="METRIC<=VAL",
+        help="absolute acceptance bound on the current JSON (repeatable)",
     )
     args = parser.parse_args(argv[1:])
 
@@ -119,6 +171,9 @@ def main(argv):
                     f"{ident}: {metric} {base_val:g} -> {cur_val:g} "
                     f"({delta * 100:+.0f}% worse, limit {args.threshold * 100:.0f}%)"
                 )
+
+    check_bounds(args.bound, current.get("samples", []), failures)
+    checked += len(args.bound)
 
     name = current.get("benchmark", args.current)
     if failures:
