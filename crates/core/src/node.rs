@@ -160,12 +160,16 @@ impl NodeBuilder {
         // storage pipeline regardless of `<action>` blocks (registered
         // first, so the action loop's existence check never duplicates
         // it); the others are pulled in by the actions referencing them.
+        let mut storage: Option<Arc<StoragePlugin>> = None;
         {
             let mut plugins = shared.plugins.write();
             if cfg.architecture.store.is_some() {
-                let storage = StoragePlugin::new(&cfg, self.node_id, &output_dir)
-                    .map_err(DamarisError::InvalidState)?;
-                plugins.push(Arc::new(storage));
+                let plugin = Arc::new(
+                    StoragePlugin::new(&cfg, self.node_id, &output_dir)
+                        .map_err(DamarisError::InvalidState)?,
+                );
+                storage = Some(plugin.clone());
+                plugins.push(plugin);
             }
             for action in &cfg.actions {
                 let exists = plugins.iter().any(|p| p.name() == action.plugin);
@@ -239,6 +243,7 @@ impl NodeBuilder {
             server_handles: Mutex::new(server_handles),
             clients,
             output_dir,
+            storage,
         })
     }
 }
@@ -278,6 +283,10 @@ pub struct DamarisNode<C: EventChannel<Event> = AnyTransport<Event>> {
     server_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     clients: Vec<DamarisClient<C>>,
     output_dir: PathBuf,
+    /// The auto-registered storage plugin, when `<store>` is declared —
+    /// kept so callers can observe the pipeline without digging through
+    /// the plugin list.
+    storage: Option<Arc<StoragePlugin>>,
 }
 
 impl DamarisNode {
@@ -320,6 +329,14 @@ impl<C: EventChannel<Event>> DamarisNode<C> {
     /// Current shared-segment occupancy in `[0, 1]`.
     pub fn segment_occupancy(&self) -> f64 {
         self.segment.occupancy()
+    }
+
+    /// Counter snapshot of the auto-registered storage pipeline — the
+    /// per-stage timings ([`crate::plugins::StorageStats`]) that make the
+    /// encode/write overlap observable. `None` when the configuration
+    /// declares no `<store>`.
+    pub fn storage_stats(&self) -> Option<crate::plugins::StorageStats> {
+        self.storage.as_ref().map(|s| s.stats())
     }
 
     /// Lifetime counters of the shared segment (allocations, class hits,

@@ -5,16 +5,27 @@
 //! time — "we leveraged the idle time of dedicated cores to compress the
 //! data prior to writing it" (~600 % compression on CM1 data) — while the
 //! client-visible write cost stays the shared-memory copy alone. This
-//! module is that path made real:
+//! module is that path made real, parallel and overlapped:
 //!
-//! * [`StorageEngine`] — the shared implementation. At every iteration
-//!   completion it drains the iteration's blocks **zero-copy out of the
-//!   shared segment**, runs each variable's [`codec::Pipeline`] through a
-//!   per-variable [`EncodeScratch`] (steady-state encodes reuse the same
-//!   two buffers — no per-iteration allocation on the codec path), and
-//!   appends chunked datasets to **one h5lite file per node**
-//!   (`{simulation}_node{id}.dh5`, datasets at
+//! * [`StorageEngine`] — the shared implementation. Every handed-off
+//!   iteration runs each variable's [`codec::Pipeline`] over the
+//!   iteration's blocks, then appends chunked datasets to **one h5lite
+//!   file per node** (`{simulation}_node{id}.dh5`, datasets at
 //!   `it{iteration:06}/{variable}/rank{client}`).
+//! * **Encode workers** (`<store workers="N">`, default = available
+//!   cores − clients, min 1): with N ≥ 2 a fixed pool of worker threads
+//!   fans the iteration's `(variable, source)` blocks out for chunked
+//!   encoding, each worker owning its own [`EncodeScratch`] out of a
+//!   [`codec::ScratchPool`] (steady-state encodes stay allocation-free
+//!   per worker). Results are reassembled in block order before the
+//!   append, so the file is **byte-identical** to the serial engine's.
+//! * **Double-buffered staging**: [`StoragePlugin`] / [`StorageSink`]
+//!   hand the drained block set to the engine's stager thread through a
+//!   rendezvous channel and return immediately — iteration N encodes and
+//!   writes while the simulation fills N+1. The rendezvous bounds the
+//!   overlap to one in-flight iteration: handing off N+1 blocks until N
+//!   finished, so shared-memory blocks are released at most one
+//!   iteration later than the serial engine released them.
 //! * Durability is split off the write path: the writing thread only
 //!   flushes its userspace buffer; a background **flusher thread**
 //!   `fsync`s through a duplicated file handle
@@ -22,19 +33,15 @@
 //!   of requests into one sync). [`StorageEngine::finish`] closes the
 //!   file with [`h5lite::FileWriter::finish_synced`] when
 //!   `<store sync="true">` (the default).
-//! * [`StoragePlugin`] wraps the engine as a thread-mode [`Plugin`]
-//!   (auto-registered by [`crate::NodeBuilder`] when the configuration
-//!   declares `<store>`); [`StorageSink`] wraps it as a process-mode
-//!   [`ProcessSink`] (wired by [`crate::Damaris`]'s launcher). Both
-//!   worlds run the same bytes through the same engine, so a `<store>`
-//!   run produces equivalent files regardless of where the dedicated
-//!   core lives.
+//! * [`StorageStats`] carries per-stage timings (drain / encode / append
+//!   / sync nanoseconds, worker busy time) so the overlap is observable,
+//!   not asserted.
 //!
 //! Configured from the XML surface:
 //!
 //! ```xml
 //! <architecture>
-//!   <store type="h5lite" path="out" sync="true" chunk_rows="64"/>
+//!   <store type="h5lite" path="out" sync="true" chunk_rows="64" workers="4"/>
 //! </architecture>
 //! <data>
 //!   <variable name="u" layout="row" codec="xor-delta8,shuffle8,rle"/>
@@ -47,9 +54,11 @@ use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
-use codec::pipeline::EncodeScratch;
+use codec::pipeline::{EncodeScratch, ScratchPool};
 use codec::Pipeline;
+use damaris_shm::BlockRef;
 use damaris_xml::schema::Configuration;
 use damaris_xml::VarId;
 use h5lite::{FileStats, FileWriter};
@@ -62,11 +71,17 @@ use crate::process::ProcessSink;
 ///
 /// `scratch_grows` is the zero-allocation witness: every codec encode
 /// that had to grow a scratch buffer counts once, so a warmed pipeline
-/// holds it constant while `encodes` keeps climbing.
+/// holds it constant while `encodes` keeps climbing. The `*_ns` fields
+/// time the pipeline stages, making the overlap measurable: a healthy
+/// hand-off path shows `drain_ns` (the dedicated core's event-path cost)
+/// far below `encode_ns + append_ns` (the work the stager absorbed).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StorageStats {
     /// Iterations stored (at least one dataset appended).
     pub iterations: u64,
+    /// Iterations handed to the engine that stored nothing (no blocks,
+    /// or only `store="false"` variables). No file is created for them.
+    pub skipped_iterations: u64,
     /// Datasets appended (one per stored block).
     pub datasets: u64,
     /// Logical payload bytes consumed out of shared memory.
@@ -81,6 +96,35 @@ pub struct StorageStats {
     /// `fsync`s the flusher completed (≤ `flush_requests`: a backlog is
     /// coalesced into one sync).
     pub syncs: u64,
+    /// Nanoseconds the event path (plugin/sink) spent handing iterations
+    /// to the stager — includes the backpressure wait when the previous
+    /// iteration is still in flight.
+    pub drain_ns: u64,
+    /// Nanoseconds of the encode stage (fan-out + collect, wall time).
+    pub encode_ns: u64,
+    /// Nanoseconds of the append stage (dataset appends + userspace
+    /// flush).
+    pub append_ns: u64,
+    /// Nanoseconds the flusher spent in `fsync`.
+    pub sync_ns: u64,
+    /// Summed nanoseconds encode workers (or the inline encoder when
+    /// `workers == 1`) spent busy on chunks.
+    pub worker_busy_ns: u64,
+    /// Effective encode worker count.
+    pub workers: u64,
+}
+
+impl StorageStats {
+    /// Fraction of the encode stage's wall time the workers were busy,
+    /// averaged over the pool — 1.0 means perfect utilisation, 1/N means
+    /// the fan-out degenerated to one worker. 0.0 before any encode ran.
+    pub fn worker_busy_frac(&self) -> f64 {
+        let denom = self.encode_ns.saturating_mul(self.workers.max(1));
+        if denom == 0 {
+            return 0.0;
+        }
+        self.worker_busy_ns as f64 / denom as f64
+    }
 }
 
 /// Per-variable state resolved once at engine construction, so the
@@ -99,8 +143,32 @@ struct VarState {
     /// Pre-built compression pipeline, shared with every dataset builder
     /// (no per-dataset spec re-parse).
     pipeline: Option<Arc<Pipeline>>,
-    /// Reused encode scratch — the no-steady-state-allocation guarantee.
+    /// Reused encode scratch for the inline (`workers == 1`) path — the
+    /// no-steady-state-allocation guarantee.
     scratch: EncodeScratch,
+}
+
+impl VarState {
+    /// The dataset shape for a write of `len` bytes: the declared extents,
+    /// or a 1-D shape derived from the byte count for dynamic layouts.
+    fn shape_for<'a>(&'a self, len: usize, dyn_shape: &'a mut [u64; 1]) -> &'a [u64] {
+        if self.shape.is_empty() {
+            dyn_shape[0] = (len / self.elem_bytes.max(1)) as u64;
+            dyn_shape
+        } else {
+            &self.shape
+        }
+    }
+
+    /// Bytes per chunk under `chunk_rows`-row chunking — the same
+    /// boundary [`h5lite`]'s `DatasetBuilder` derives, so pre-encoded
+    /// chunks line up with the inline path byte for byte.
+    fn chunk_bytes_for(&self, shape: &[u64], chunk_rows: u64) -> usize {
+        let row_bytes = shape[1..].iter().product::<u64>() as usize * self.dtype.size_bytes();
+        (chunk_rows as usize)
+            .saturating_mul(row_bytes.max(1))
+            .max(1)
+    }
 }
 
 /// Background fsync thread over a duplicated file handle. The writing
@@ -112,7 +180,7 @@ struct Flusher {
 }
 
 impl Flusher {
-    fn spawn(file: File, syncs: Arc<AtomicU64>) -> std::io::Result<Self> {
+    fn spawn(file: File, syncs: Arc<AtomicU64>, sync_ns: Arc<AtomicU64>) -> std::io::Result<Self> {
         let (tx, rx) = mpsc::channel::<()>();
         let handle = std::thread::Builder::new()
             .name("damaris-storage-flusher".into())
@@ -120,8 +188,10 @@ impl Flusher {
                 while rx.recv().is_ok() {
                     // Coalesce the backlog into one fsync.
                     while rx.try_recv().is_ok() {}
+                    let t0 = Instant::now();
                     if file.sync_data().is_ok() {
                         syncs.fetch_add(1, Ordering::Relaxed);
+                        sync_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     }
                 }
             })?;
@@ -149,10 +219,198 @@ impl Drop for Flusher {
     }
 }
 
-/// The shared storage implementation behind [`StoragePlugin`] (thread
-/// world) and [`StorageSink`] (process world). See the module docs for
-/// the pipeline it realizes.
-pub struct StorageEngine {
+/// One block's encoded chunks, concatenated — pooled and reused across
+/// iterations so the parallel encode stage stops allocating once buffers
+/// reach the working-set size.
+#[derive(Default)]
+struct EncodedChunks {
+    buf: Vec<u8>,
+    lens: Vec<usize>,
+}
+
+impl EncodedChunks {
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.lens.clear();
+    }
+
+    fn push_chunk(&mut self, enc: &[u8]) {
+        self.buf.extend_from_slice(enc);
+        self.lens.push(enc.len());
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.lens.iter().scan(0usize, |pos, &len| {
+            let chunk = &self.buf[*pos..*pos + len];
+            *pos += len;
+            Some(chunk)
+        })
+    }
+}
+
+/// A raw input view shipped to an encode worker. Not a self-contained
+/// owner — see the safety contract on [`EngineCore::process_iteration`]:
+/// the dispatcher keeps the bytes alive until every dispatched task's
+/// result (or the pool's shutdown) has been observed.
+struct SendSlice {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the pointee is plain bytes; the dispatch protocol above
+// guarantees the pointee outlives every access from the worker.
+unsafe impl Send for SendSlice {}
+
+struct EncodeTask {
+    /// Index into the dispatching iteration's block list, for in-order
+    /// reassembly.
+    seq: u32,
+    pipeline: Arc<Pipeline>,
+    input: SendSlice,
+    chunk_bytes: usize,
+    /// Pooled output buffer, carried with the task so workers never
+    /// allocate on the steady-state path.
+    out: EncodedChunks,
+}
+
+struct EncodeDone {
+    seq: u32,
+    out: EncodedChunks,
+    busy_ns: u64,
+    encodes: u64,
+    grows: u64,
+}
+
+/// Fixed pool of encode worker threads. Tasks are dealt round-robin over
+/// per-worker channels; results funnel back over one channel and are
+/// reassembled by `seq`. Each worker checks one [`EncodeScratch`] out of
+/// a shared [`ScratchPool`] for its lifetime.
+struct EncodePool {
+    task_txs: Vec<mpsc::Sender<EncodeTask>>,
+    done_rx: Mutex<mpsc::Receiver<EncodeDone>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl EncodePool {
+    fn spawn(n: usize) -> std::io::Result<Self> {
+        let (done_tx, done_rx) = mpsc::channel::<EncodeDone>();
+        let scratches = Arc::new(Mutex::new(ScratchPool::with_capacity(n)));
+        let mut task_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = mpsc::channel::<EncodeTask>();
+            let done_tx = done_tx.clone();
+            let scratches = scratches.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("damaris-encode-{i}"))
+                .spawn(move || {
+                    let mut scratch = scratches.lock().take();
+                    while let Ok(mut task) = rx.recv() {
+                        let t0 = Instant::now();
+                        let (e0, g0) = (scratch.encodes(), scratch.grows());
+                        // SAFETY: per the dispatch protocol the input
+                        // outlives this task; it is only read here,
+                        // before the EncodeDone send.
+                        let data =
+                            unsafe { std::slice::from_raw_parts(task.input.ptr, task.input.len) };
+                        task.out.clear();
+                        for chunk in data.chunks(task.chunk_bytes) {
+                            let enc = task.pipeline.encode_with(chunk, &mut scratch);
+                            task.out.push_chunk(enc);
+                        }
+                        let msg = EncodeDone {
+                            seq: task.seq,
+                            out: std::mem::take(&mut task.out),
+                            busy_ns: t0.elapsed().as_nanos() as u64,
+                            encodes: scratch.encodes() - e0,
+                            grows: scratch.grows() - g0,
+                        };
+                        drop(task); // drop the input view before signalling
+                        if done_tx.send(msg).is_err() {
+                            break;
+                        }
+                    }
+                    scratches.lock().put(scratch);
+                })?;
+            task_txs.push(tx);
+            handles.push(handle);
+        }
+        Ok(EncodePool {
+            task_txs,
+            done_rx: Mutex::new(done_rx),
+            handles: Mutex::new(handles),
+        })
+    }
+}
+
+impl Drop for EncodePool {
+    fn drop(&mut self) {
+        // Closing the task channels ends the worker loops.
+        self.task_txs.clear();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A staged block's payload: a zero-copy shared-memory reference in
+/// thread mode, an owned copy in process mode (the socket server only
+/// borrows its mapping during `on_block`).
+pub enum StagedData {
+    /// Shared-segment view; dropping it after the append releases the
+    /// block back to the allocator.
+    Shm(BlockRef),
+    /// Owned copy, recycled through the engine's buffer pool.
+    Owned(Vec<u8>),
+}
+
+impl StagedData {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            StagedData::Shm(b) => b.as_slice(),
+            StagedData::Owned(v) => v,
+        }
+    }
+}
+
+impl std::fmt::Debug for StagedData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StagedData::Shm(b) => write!(f, "Shm({} bytes)", b.len()),
+            StagedData::Owned(v) => write!(f, "Owned({} bytes)", v.len()),
+        }
+    }
+}
+
+/// One iteration's drained blocks, ordered by `(variable, source)`.
+type StagedSet = Vec<(VarId, usize, StagedData)>;
+
+struct StagedIteration {
+    iteration: u64,
+    blocks: StagedSet,
+}
+
+/// The stager thread handle: a rendezvous channel (capacity 0) plus the
+/// join handle. The zero capacity is the backpressure bound — a send
+/// only completes when the stager is ready, so at most one iteration is
+/// ever in flight.
+struct Stager {
+    tx: Option<mpsc::SyncSender<StagedIteration>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Stager {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Writer-side state shared between the synchronous path and the stager
+/// thread.
+struct EngineCore {
     root: PathBuf,
     sync: bool,
     chunk_rows: u64,
@@ -164,11 +422,280 @@ pub struct StorageEngine {
     writer: Option<FileWriter<BufWriter<File>>>,
     flusher: Option<Flusher>,
     syncs: Arc<AtomicU64>,
+    sync_ns: Arc<AtomicU64>,
     iterations: u64,
+    skipped_iterations: u64,
     datasets: u64,
     raw_bytes: u64,
     flush_requests: u64,
+    encode_ns: u64,
+    append_ns: u64,
+    worker_busy_ns: u64,
+    /// Encode/grow counts reported back by pool workers (worker scratches
+    /// are not visible here, so deltas ride on each result).
+    pool_encodes: u64,
+    pool_grows: u64,
+    /// Recycled parallel-encode output buffers.
+    chunk_bufs: Vec<EncodedChunks>,
     file_stats: Option<FileStats>,
+}
+
+impl EngineCore {
+    fn file_path(&self) -> PathBuf {
+        self.root
+            .join(format!("{}_node{}.dh5", self.simulation, self.node_id))
+    }
+
+    fn open_writer(&mut self) -> Result<(), String> {
+        if self.writer.is_some() {
+            return Ok(());
+        }
+        let path = self.file_path();
+        std::fs::create_dir_all(&self.root)
+            .map_err(|e| format!("creating {:?}: {e}", self.root))?;
+        let file = File::create(&path).map_err(|e| format!("creating {path:?}: {e}"))?;
+        if self.sync {
+            let dup = file
+                .try_clone()
+                .map_err(|e| format!("duplicating handle of {path:?}: {e}"))?;
+            self.flusher = Some(
+                Flusher::spawn(dup, self.syncs.clone(), self.sync_ns.clone())
+                    .map_err(|e| format!("spawning storage flusher: {e}"))?,
+            );
+        }
+        let mut w =
+            FileWriter::new(BufWriter::new(file)).map_err(|e| format!("opening {path:?}: {e}"))?;
+        w.set_attr("", "simulation", self.simulation.as_str())
+            .map_err(|e| e.to_string())?;
+        w.set_attr("", "node", self.node_id as i64)
+            .map_err(|e| e.to_string())?;
+        self.writer = Some(w);
+        Ok(())
+    }
+
+    /// Store one iteration's blocks (ordered by `(variable, source)`),
+    /// two-phase: encode every codec'd block's chunks (fanned out to
+    /// `pool` when present, inline otherwise), then append everything in
+    /// block order so the file bytes never depend on the worker count.
+    ///
+    /// Safety contract of the fan-out: tasks carry raw views of
+    /// `blocks`' payloads, so this function never returns between
+    /// dispatching a task and observing its result (or the closure of
+    /// the result channel, which proves every worker — and thus every
+    /// queued task holding a view — is gone).
+    fn process_iteration(
+        &mut self,
+        pool: Option<&EncodePool>,
+        iteration: u64,
+        blocks: &[(VarId, usize, &[u8])],
+    ) -> Result<(), String> {
+        let stored = |vars: &[VarState], var: VarId| -> bool {
+            vars.get(var.index()).is_some_and(|v| v.store)
+        };
+        if !blocks.iter().any(|&(var, _, _)| stored(&self.vars, var)) {
+            // Nothing to persist: count the skip, create no file.
+            self.skipped_iterations += 1;
+            return Ok(());
+        }
+        self.open_writer()?;
+
+        // Phase A: encode. `encoded[i]` holds block i's chunks when block
+        // i is a stored, codec'd variable.
+        let t_enc = Instant::now();
+        let mut encoded: Vec<Option<EncodedChunks>> = Vec::with_capacity(blocks.len());
+        encoded.resize_with(blocks.len(), || None);
+        match pool {
+            Some(pool) => {
+                let n = pool.task_txs.len();
+                let mut dispatched = 0usize;
+                let mut send_failed = false;
+                for (i, &(var, _, data)) in blocks.iter().enumerate() {
+                    let Some(v) = self.vars.get(var.index()) else {
+                        continue;
+                    };
+                    let Some(p) = (if v.store { v.pipeline.clone() } else { None }) else {
+                        continue;
+                    };
+                    let mut dyn_shape = [0u64; 1];
+                    let chunk_bytes =
+                        v.chunk_bytes_for(v.shape_for(data.len(), &mut dyn_shape), self.chunk_rows);
+                    let mut out = self.chunk_bufs.pop().unwrap_or_default();
+                    out.clear();
+                    let task = EncodeTask {
+                        seq: i as u32,
+                        pipeline: p,
+                        input: SendSlice {
+                            ptr: data.as_ptr(),
+                            len: data.len(),
+                        },
+                        chunk_bytes,
+                        out,
+                    };
+                    if pool.task_txs[dispatched % n].send(task).is_err() {
+                        send_failed = true;
+                        break;
+                    }
+                    dispatched += 1;
+                }
+                // Collect every dispatched result before any fallible
+                // step — the tasks borrow `blocks`' bytes.
+                let rx = pool.done_rx.lock();
+                let mut recv_failed = false;
+                for _ in 0..dispatched {
+                    match rx.recv() {
+                        Ok(done) => {
+                            self.worker_busy_ns += done.busy_ns;
+                            self.pool_encodes += done.encodes;
+                            self.pool_grows += done.grows;
+                            encoded[done.seq as usize] = Some(done.out);
+                        }
+                        Err(_) => {
+                            recv_failed = true;
+                            break;
+                        }
+                    }
+                }
+                drop(rx);
+                if send_failed || recv_failed {
+                    // The result channel only closes when every worker
+                    // exited, which also dropped any still-queued tasks.
+                    return Err("storage encode worker pool shut down unexpectedly".into());
+                }
+            }
+            None => {
+                for (i, &(var, _, data)) in blocks.iter().enumerate() {
+                    let Some(v) = self.vars.get_mut(var.index()) else {
+                        continue;
+                    };
+                    let Some(p) = (if v.store { v.pipeline.clone() } else { None }) else {
+                        continue;
+                    };
+                    let t0 = Instant::now();
+                    let mut dyn_shape = [0u64; 1];
+                    let chunk_bytes =
+                        v.chunk_bytes_for(v.shape_for(data.len(), &mut dyn_shape), self.chunk_rows);
+                    let mut out = self.chunk_bufs.pop().unwrap_or_default();
+                    out.clear();
+                    for chunk in data.chunks(chunk_bytes) {
+                        let enc = p.encode_with(chunk, &mut v.scratch);
+                        out.push_chunk(enc);
+                    }
+                    self.worker_busy_ns += t0.elapsed().as_nanos() as u64;
+                    encoded[i] = Some(out);
+                }
+            }
+        }
+        self.encode_ns += t_enc.elapsed().as_nanos() as u64;
+
+        // Phase B: append in block order — codec'd blocks from their
+        // pre-encoded chunks, raw blocks straight from the payload.
+        let t_app = Instant::now();
+        for (i, &(var, source, data)) in blocks.iter().enumerate() {
+            if !stored(&self.vars, var) {
+                continue;
+            }
+            let vs = &mut self.vars[var.index()];
+            let mut dyn_shape = [0u64; 1];
+            let shape = vs.shape_for(data.len(), &mut dyn_shape);
+            let ds_path = format!("it{iteration:06}/{}/rank{source}", vs.name);
+            let w = self.writer.as_mut().expect("writer opened above");
+            let mut b = w
+                .dataset(&ds_path, vs.dtype, shape)
+                .map_err(|e| format!("dataset {ds_path}: {e}"))?
+                .chunked(self.chunk_rows)
+                .map_err(|e| e.to_string())?;
+            if let Some(p) = &vs.pipeline {
+                b = b.with_pipeline(p.clone());
+            }
+            match encoded[i].take() {
+                Some(out) => {
+                    b.write_encoded_chunks(data.len() as u64, out.iter())
+                        .map_err(|e| format!("writing {ds_path}: {e}"))?;
+                    self.chunk_bufs.push(out);
+                }
+                None => b
+                    .write_bytes_with(data, &mut vs.scratch)
+                    .map_err(|e| format!("writing {ds_path}: {e}"))?,
+            }
+            self.datasets += 1;
+            self.raw_bytes += data.len() as u64;
+        }
+        self.iterations += 1;
+        // Cheap half on this thread: push userspace buffers to the OS.
+        // The expensive fsync runs on the flusher.
+        let w = self.writer.as_mut().expect("writer opened above");
+        w.flush().map_err(|e| e.to_string())?;
+        if let Some(f) = &self.flusher {
+            f.request();
+            self.flush_requests += 1;
+        }
+        self.append_ns += t_app.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    fn stats_locked(&self, workers: usize, drain_ns: u64) -> StorageStats {
+        let (mut encodes, mut scratch_grows) = (self.pool_encodes, self.pool_grows);
+        for v in &self.vars {
+            encodes += v.scratch.encodes();
+            scratch_grows += v.scratch.grows();
+        }
+        StorageStats {
+            iterations: self.iterations,
+            skipped_iterations: self.skipped_iterations,
+            datasets: self.datasets,
+            raw_bytes: self.raw_bytes,
+            encodes,
+            scratch_grows,
+            flush_requests: self.flush_requests,
+            syncs: self.syncs.load(Ordering::Relaxed),
+            drain_ns,
+            encode_ns: self.encode_ns,
+            append_ns: self.append_ns,
+            sync_ns: self.sync_ns.load(Ordering::Relaxed),
+            worker_busy_ns: self.worker_busy_ns,
+            workers: workers as u64,
+        }
+    }
+
+    fn finish(&mut self) -> Result<Option<FileStats>, String> {
+        // Join the flusher first so no fsync races the footer write.
+        self.flusher.take();
+        let Some(mut w) = self.writer.take() else {
+            return Ok(self.file_stats);
+        };
+        let stats = if self.sync {
+            w.finish_synced()
+        } else {
+            w.finish()
+        }
+        .map_err(|e| format!("finishing {:?}: {e}", self.file_path()))?;
+        self.file_stats = Some(stats);
+        Ok(Some(stats))
+    }
+}
+
+impl Drop for EngineCore {
+    fn drop(&mut self) {
+        // Best-effort close so a dropped engine still leaves a readable
+        // file; explicit `finish` is the checked path.
+        let _ = self.finish();
+    }
+}
+
+/// The shared storage implementation behind [`StoragePlugin`] (thread
+/// world) and [`StorageSink`] (process world). See the module docs for
+/// the pipeline it realizes.
+pub struct StorageEngine {
+    core: Arc<Mutex<EngineCore>>,
+    pool: Option<Arc<EncodePool>>,
+    workers: usize,
+    drain_ns: Arc<AtomicU64>,
+    stage_errors: Arc<Mutex<Vec<String>>>,
+    /// Recycled process-mode staging buffers ([`StagedData::Owned`]).
+    spare_bufs: Arc<Mutex<Vec<Vec<u8>>>>,
+    /// Recycled staged-set vectors.
+    spare_sets: Arc<Mutex<Vec<StagedSet>>>,
+    stager: Option<Stager>,
 }
 
 impl StorageEngine {
@@ -176,8 +703,12 @@ impl StorageEngine {
     /// apply when absent) and the per-variable `codec` attributes.
     ///
     /// `fallback_dir` hosts the per-node file when `<store>` declares no
-    /// `path`. Codec specs were validated at configuration load, so a
-    /// failure here means the configuration bypassed validation.
+    /// `path`. The worker count comes from `<store workers="N">`, or
+    /// defaults to the cores the dedicated-core placement leaves idle
+    /// (available cores − clients, min 1); with one worker encoding runs
+    /// inline on the storing thread and no pool is spawned. Codec specs
+    /// were validated at configuration load, so a failure here means the
+    /// configuration bypassed validation.
     pub fn new(cfg: &Configuration, node_id: usize, fallback_dir: &Path) -> Result<Self, String> {
         let store = cfg.architecture.store.clone().unwrap_or_default();
         let root = store
@@ -208,163 +739,202 @@ impl StorageEngine {
                 scratch: EncodeScratch::new(),
             });
         }
+        let workers = match store.workers {
+            Some(n) => n as usize,
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .saturating_sub(cfg.architecture.clients)
+                .max(1),
+        };
+        let pool = if workers >= 2 {
+            Some(Arc::new(EncodePool::spawn(workers).map_err(|e| {
+                format!("spawning {workers} storage encode workers: {e}")
+            })?))
+        } else {
+            None
+        };
         Ok(StorageEngine {
-            root,
-            sync: store.sync,
-            chunk_rows: store.chunk_rows,
-            node_id,
-            simulation: cfg.name.clone(),
-            vars,
-            writer: None,
-            flusher: None,
-            syncs: Arc::new(AtomicU64::new(0)),
-            iterations: 0,
-            datasets: 0,
-            raw_bytes: 0,
-            flush_requests: 0,
-            file_stats: None,
+            core: Arc::new(Mutex::new(EngineCore {
+                root,
+                sync: store.sync,
+                chunk_rows: store.chunk_rows,
+                node_id,
+                simulation: cfg.name.clone(),
+                vars,
+                writer: None,
+                flusher: None,
+                syncs: Arc::new(AtomicU64::new(0)),
+                sync_ns: Arc::new(AtomicU64::new(0)),
+                iterations: 0,
+                skipped_iterations: 0,
+                datasets: 0,
+                raw_bytes: 0,
+                flush_requests: 0,
+                encode_ns: 0,
+                append_ns: 0,
+                worker_busy_ns: 0,
+                pool_encodes: 0,
+                pool_grows: 0,
+                chunk_bufs: Vec::new(),
+                file_stats: None,
+            })),
+            pool,
+            workers,
+            drain_ns: Arc::new(AtomicU64::new(0)),
+            stage_errors: Arc::new(Mutex::new(Vec::new())),
+            spare_bufs: Arc::new(Mutex::new(Vec::new())),
+            spare_sets: Arc::new(Mutex::new(Vec::new())),
+            stager: None,
         })
     }
 
     /// Path of this node's file (created lazily on the first stored
     /// iteration).
     pub fn file_path(&self) -> PathBuf {
-        self.root
-            .join(format!("{}_node{}.dh5", self.simulation, self.node_id))
+        self.core.lock().file_path()
     }
 
-    /// Counter snapshot (scratch counters summed over all variables).
+    /// Effective encode worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Counter snapshot (scratch counters summed over all variables and
+    /// pool workers).
     pub fn stats(&self) -> StorageStats {
-        let (mut encodes, mut scratch_grows) = (0, 0);
-        for v in &self.vars {
-            encodes += v.scratch.encodes();
-            scratch_grows += v.scratch.grows();
-        }
-        StorageStats {
-            iterations: self.iterations,
-            datasets: self.datasets,
-            raw_bytes: self.raw_bytes,
-            encodes,
-            scratch_grows,
-            flush_requests: self.flush_requests,
-            syncs: self.syncs.load(Ordering::Relaxed),
-        }
+        self.core
+            .lock()
+            .stats_locked(self.workers, self.drain_ns.load(Ordering::Relaxed))
     }
 
     /// File summary from [`StorageEngine::finish`], if it ran and a file
     /// was written.
     pub fn file_stats(&self) -> Option<FileStats> {
-        self.file_stats
+        self.core.lock().file_stats
     }
 
-    fn open_writer(&mut self) -> Result<(), String> {
-        if self.writer.is_some() {
-            return Ok(());
-        }
-        let path = self.file_path();
-        std::fs::create_dir_all(&self.root)
-            .map_err(|e| format!("creating {:?}: {e}", self.root))?;
-        let file = File::create(&path).map_err(|e| format!("creating {path:?}: {e}"))?;
-        if self.sync {
-            let dup = file
-                .try_clone()
-                .map_err(|e| format!("duplicating handle of {path:?}: {e}"))?;
-            self.flusher = Some(
-                Flusher::spawn(dup, self.syncs.clone())
-                    .map_err(|e| format!("spawning storage flusher: {e}"))?,
-            );
-        }
-        let mut w =
-            FileWriter::new(BufWriter::new(file)).map_err(|e| format!("opening {path:?}: {e}"))?;
-        w.set_attr("", "simulation", self.simulation.as_str())
-            .map_err(|e| e.to_string())?;
-        w.set_attr("", "node", self.node_id as i64)
-            .map_err(|e| e.to_string())?;
-        self.writer = Some(w);
-        Ok(())
-    }
-
-    /// Store one completed iteration: `blocks` yields
-    /// `(variable, 0-based client, payload)` views — in thread mode
-    /// straight out of the shared segment, zero-copy. Blocks must arrive
-    /// ordered by `(variable, client)` for cross-world file equivalence.
+    /// Store one completed iteration synchronously: `blocks` yields
+    /// `(variable, 0-based client, payload)` views, **ordered by
+    /// `(variable, client)`** for cross-world file equivalence. Encoding
+    /// still fans out to the worker pool; the call returns after the
+    /// append. The overlapped path is [`StorageEngine::submit_iteration`].
     pub fn store_iteration<'b, I>(&mut self, iteration: u64, blocks: I) -> Result<(), String>
     where
         I: IntoIterator<Item = (VarId, usize, &'b [u8])>,
     {
-        let mut wrote = false;
-        for (var, source, data) in blocks {
-            match self.vars.get(var.index()) {
-                Some(v) if v.store => {}
-                _ => continue,
-            }
-            if !wrote {
-                // First stored block of the iteration: make sure the
-                // file exists (lazy, so all-skipped runs leave none).
-                self.open_writer()?;
-                wrote = true;
-            }
-            let vs = &mut self.vars[var.index()];
-            let dyn_shape = [(data.len() / vs.elem_bytes.max(1)) as u64];
-            let shape: &[u64] = if vs.shape.is_empty() {
-                &dyn_shape
-            } else {
-                &vs.shape
-            };
-            let ds_path = format!("it{iteration:06}/{}/rank{source}", vs.name);
-            let w = self.writer.as_mut().expect("writer opened above");
-            let mut b = w
-                .dataset(&ds_path, vs.dtype, shape)
-                .map_err(|e| format!("dataset {ds_path}: {e}"))?
-                .chunked(self.chunk_rows)
-                .map_err(|e| e.to_string())?;
-            if let Some(p) = &vs.pipeline {
-                b = b.with_pipeline(p.clone());
-            }
-            b.write_bytes_with(data, &mut vs.scratch)
-                .map_err(|e| format!("writing {ds_path}: {e}"))?;
-            self.datasets += 1;
-            self.raw_bytes += data.len() as u64;
-        }
-        if wrote {
-            self.iterations += 1;
-            // Cheap half on this thread: push userspace buffers to the
-            // OS. The expensive fsync runs on the flusher.
-            let w = self.writer.as_mut().expect("writer opened above");
-            w.flush().map_err(|e| e.to_string())?;
-            if let Some(f) = &self.flusher {
-                f.request();
-                self.flush_requests += 1;
-            }
-        }
-        Ok(())
+        let views: Vec<(VarId, usize, &[u8])> = blocks.into_iter().collect();
+        self.core
+            .lock()
+            .process_iteration(self.pool.as_deref(), iteration, &views)
     }
 
-    /// Close the per-node file: stop the flusher, write the footer and —
-    /// when `<store sync>` holds (the default) — `fsync` everything
-    /// ([`h5lite::FileWriter::finish_synced`]). Idempotent; returns
-    /// `None` when no iteration ever stored data.
-    pub fn finish(&mut self) -> Result<Option<FileStats>, String> {
-        // Join the flusher first so no fsync races the footer write.
-        self.flusher.take();
-        let Some(mut w) = self.writer.take() else {
-            return Ok(self.file_stats);
-        };
-        let stats = if self.sync {
-            w.finish_synced()
+    /// Hand one completed iteration to the stager thread and return as
+    /// soon as it accepts — the double-buffered path. The rendezvous
+    /// hand-off blocks only while the *previous* iteration is still
+    /// encoding/writing, bounding the pipeline to one in-flight
+    /// iteration. Blocks must be ordered by `(variable, client)`.
+    ///
+    /// Errors from previously staged iterations surface on the next
+    /// submit (or at [`StorageEngine::finish`]).
+    pub fn submit_iteration(&mut self, iteration: u64, blocks: StagedSet) -> Result<(), String> {
+        let t0 = Instant::now();
+        self.ensure_stager();
+        let tx = self
+            .stager
+            .as_ref()
+            .and_then(|s| s.tx.as_ref())
+            .expect("stager running");
+        tx.send(StagedIteration { iteration, blocks })
+            .map_err(|_| "storage stager thread exited".to_string())?;
+        self.drain_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let mut errs = self.stage_errors.lock();
+        if errs.is_empty() {
+            Ok(())
         } else {
-            w.finish()
+            Err(errs.drain(..).collect::<Vec<_>>().join("; "))
         }
-        .map_err(|e| format!("finishing {:?}: {e}", self.file_path()))?;
-        self.file_stats = Some(stats);
-        Ok(Some(stats))
+    }
+
+    fn ensure_stager(&mut self) {
+        if self.stager.is_some() {
+            return;
+        }
+        let (tx, rx) = mpsc::sync_channel::<StagedIteration>(0);
+        let core = self.core.clone();
+        let pool = self.pool.clone();
+        let errors = self.stage_errors.clone();
+        let spare_bufs = self.spare_bufs.clone();
+        let spare_sets = self.spare_sets.clone();
+        let handle = std::thread::Builder::new()
+            .name("damaris-storage-stager".into())
+            .spawn(move || {
+                while let Ok(mut staged) = rx.recv() {
+                    let views: Vec<(VarId, usize, &[u8])> = staged
+                        .blocks
+                        .iter()
+                        .map(|(var, source, data)| (*var, *source, data.as_slice()))
+                        .collect();
+                    let res =
+                        core.lock()
+                            .process_iteration(pool.as_deref(), staged.iteration, &views);
+                    drop(views);
+                    if let Err(e) = res {
+                        errors
+                            .lock()
+                            .push(format!("iteration {}: {e}", staged.iteration));
+                    }
+                    // Recycle: owned buffers back to the pool, shm refs
+                    // dropped (releasing the blocks — at most one
+                    // iteration after the serial engine would have).
+                    for (_, _, data) in staged.blocks.drain(..) {
+                        if let StagedData::Owned(buf) = data {
+                            spare_bufs.lock().push(buf);
+                        }
+                    }
+                    spare_sets.lock().push(staged.blocks);
+                }
+            })
+            .expect("spawning storage stager thread");
+        self.stager = Some(Stager {
+            tx: Some(tx),
+            handle: Some(handle),
+        });
+    }
+
+    /// A recycled staged-set vector (empty), for building the next
+    /// iteration's hand-off without allocating.
+    fn take_staging_set(&self) -> StagedSet {
+        self.spare_sets.lock().pop().unwrap_or_default()
+    }
+
+    /// A recycled staging byte buffer (cleared), for process-mode block
+    /// copies.
+    fn take_staging_buf(&self) -> Vec<u8> {
+        let mut buf = self.spare_bufs.lock().pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Close the per-node file: drain the stager, stop the flusher, write
+    /// the footer and — when `<store sync>` holds (the default) — `fsync`
+    /// everything ([`h5lite::FileWriter::finish_synced`]). Idempotent;
+    /// returns `None` when no iteration ever stored data. Errors queued
+    /// by staged iterations surface here.
+    pub fn finish(&mut self) -> Result<Option<FileStats>, String> {
+        // Joining the stager drains any in-flight iteration first.
+        self.stager.take();
+        let errs: Vec<String> = self.stage_errors.lock().drain(..).collect();
+        if !errs.is_empty() {
+            return Err(errs.join("; "));
+        }
+        self.core.lock().finish()
     }
 }
 
 impl Drop for StorageEngine {
     fn drop(&mut self) {
-        // Best-effort close so a dropped engine still leaves a readable
-        // file; explicit `finish` is the checked path.
         let _ = self.finish();
     }
 }
@@ -373,8 +943,7 @@ impl std::fmt::Debug for StorageEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StorageEngine")
             .field("file", &self.file_path())
-            .field("sync", &self.sync)
-            .field("chunk_rows", &self.chunk_rows)
+            .field("workers", &self.workers)
             .field("stats", &self.stats())
             .finish()
     }
@@ -384,6 +953,13 @@ impl std::fmt::Debug for StorageEngine {
 /// `storage`, fired at every iteration completion on the dedicated core
 /// and finished (footer + fsync) at node shutdown via
 /// [`Plugin::on_finalize`].
+///
+/// `on_iteration` only *hands off* the iteration (cloning the blocks'
+/// shared-memory refs and passing them to the stager), so the dedicated
+/// core's event loop is back to draining queues while the engine encodes
+/// and writes — the overlap [`StorageStats::drain_ns`] versus
+/// [`StorageStats::encode_ns`]`+`[`StorageStats::append_ns`] makes
+/// visible.
 ///
 /// [`crate::NodeBuilder`] registers one automatically when the
 /// configuration declares `<store>`; an `<action plugin="storage">` can
@@ -423,17 +999,19 @@ impl Plugin for StoragePlugin {
     }
 
     fn on_iteration(&self, ctx: &IterationCtx<'_>) -> Result<(), String> {
-        if ctx.blocks.is_empty() {
-            return Ok(());
-        }
-        // ctx.blocks is ordered by (variable, source) and views shared
-        // memory in place — the zero-copy drain.
-        self.engine.lock().store_iteration(
-            ctx.iteration,
+        // ctx.blocks is ordered by (variable, source); cloning a BlockRef
+        // is one atomic increment, so the drain is a constant-time pass
+        // before the rendezvous hand-off. Empty iterations still go
+        // through so the engine's skip counter stays consistent across
+        // worlds.
+        let mut engine = self.engine.lock();
+        let mut set = engine.take_staging_set();
+        set.extend(
             ctx.blocks
                 .iter()
-                .map(|b| (b.variable, b.source, b.data.as_slice())),
-        )
+                .map(|b| (b.variable, b.source, StagedData::Shm(b.data.clone()))),
+        );
+        engine.submit_iteration(ctx.iteration, set)
     }
 
     fn on_finalize(&self) -> Result<(), String> {
@@ -441,29 +1019,20 @@ impl Plugin for StoragePlugin {
     }
 }
 
-/// One staged block of a not-yet-complete iteration (process mode).
-struct StagedBlock {
-    var: VarId,
-    /// 0-based client index (already converted from the 1-based world
-    /// rank, so dataset names match thread mode).
-    source: usize,
-    buf: Vec<u8>,
-}
-
 /// Process-mode face of the storage pipeline: a [`ProcessSink`] staging
 /// each iteration's blocks (copies — the shared mapping is only borrowed
-/// during [`ProcessSink::on_block`]) and running them through the shared
-/// [`StorageEngine`] when the iteration completes, sorted by
+/// during [`ProcessSink::on_block`]) and handing them to the shared
+/// [`StorageEngine`]'s stager when the iteration completes, sorted by
 /// `(variable, client)` so the file matches the thread world's.
 ///
-/// Staging buffers are pooled and reused across iterations. Errors are
-/// collected ([`StorageSink::errors`]) rather than panicking the
-/// dedicated-core process mid-serve. Call [`StorageSink::finish`] after
-/// [`crate::ProcessServer::serve`] returns.
+/// Staging buffers are pooled and reused across iterations; the
+/// one-in-flight bound keeps the pool at roughly two iterations' worth.
+/// Errors are collected ([`StorageSink::errors`]) rather than panicking
+/// the dedicated-core process mid-serve. Call [`StorageSink::finish`]
+/// after [`crate::ProcessServer::serve`] returns.
 pub struct StorageSink {
     engine: StorageEngine,
-    staged: BTreeMap<u64, Vec<StagedBlock>>,
-    spare: Vec<Vec<u8>>,
+    staged: BTreeMap<u64, StagedSet>,
     errors: Vec<String>,
 }
 
@@ -473,7 +1042,6 @@ impl StorageSink {
         Ok(StorageSink {
             engine: StorageEngine::new(cfg, node_id, fallback_dir)?,
             staged: BTreeMap::new(),
-            spare: Vec::new(),
             errors: Vec::new(),
         })
     }
@@ -495,7 +1063,13 @@ impl StorageSink {
 
     /// Close the per-node file (see [`StorageEngine::finish`]).
     pub fn finish(&mut self) -> Result<Option<FileStats>, String> {
-        self.engine.finish()
+        match self.engine.finish() {
+            Ok(stats) => Ok(stats),
+            Err(e) => {
+                self.errors.push(e.clone());
+                Err(e)
+            }
+        }
     }
 }
 
@@ -511,30 +1085,25 @@ impl std::fmt::Debug for StorageSink {
 
 impl ProcessSink for StorageSink {
     fn on_block(&mut self, var: VarId, iteration: u64, source: usize, data: &[u8]) {
-        let mut buf = self.spare.pop().unwrap_or_default();
-        buf.clear();
+        let mut buf = self.engine.take_staging_buf();
         buf.extend_from_slice(data);
-        self.staged.entry(iteration).or_default().push(StagedBlock {
-            var,
-            source: source.saturating_sub(1),
-            buf,
-        });
+        let set = self
+            .staged
+            .entry(iteration)
+            .or_insert_with(|| self.engine.take_staging_set());
+        // 1-based world ranks become 0-based client indices, so dataset
+        // names match thread mode.
+        set.push((var, source.saturating_sub(1), StagedData::Owned(buf)));
     }
 
     fn on_iteration_complete(&mut self, iteration: u64) {
-        let Some(mut blocks) = self.staged.remove(&iteration) else {
-            return;
-        };
-        blocks.sort_by_key(|b| (b.var.raw(), b.source));
-        let res = self.engine.store_iteration(
-            iteration,
-            blocks.iter().map(|b| (b.var, b.source, b.buf.as_slice())),
-        );
-        if let Err(msg) = res {
+        let mut blocks = self
+            .staged
+            .remove(&iteration)
+            .unwrap_or_else(|| self.engine.take_staging_set());
+        blocks.sort_by_key(|&(var, source, _)| (var.raw(), source));
+        if let Err(msg) = self.engine.submit_iteration(iteration, blocks) {
             self.errors.push(format!("iteration {iteration}: {msg}"));
-        }
-        for b in blocks {
-            self.spare.push(b.buf);
         }
     }
 }
@@ -611,6 +1180,9 @@ mod tests {
             counters.encodes > 0,
             "codec'd variable went through scratch"
         );
+        assert!(counters.encode_ns > 0, "encode stage timed");
+        assert!(counters.append_ns > 0, "append stage timed");
+        assert!(counters.workers >= 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -675,16 +1247,136 @@ mod tests {
     }
 
     #[test]
-    fn empty_run_leaves_no_file() {
+    fn empty_and_all_skipped_iterations_count_skips_and_leave_no_file() {
         let cfg = config(r#"<store type="h5lite"/>"#, "");
         let dir = tmpdir("empty");
         let mut engine = StorageEngine::new(&cfg, 0, &dir).unwrap();
+        // A fully empty iteration…
         engine
             .store_iteration(0, std::iter::empty::<(VarId, usize, &[u8])>())
             .unwrap();
+        let s = engine.stats();
+        assert_eq!(s.iterations, 0, "empty iteration must not count as stored");
+        assert_eq!(s.skipped_iterations, 1);
+        // …and the same through the asynchronous hand-off path.
+        engine.submit_iteration(1, Vec::new()).unwrap();
+        engine.finish().unwrap();
+        let s = engine.stats();
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.skipped_iterations, 2);
+        assert!(!engine.file_path().exists(), "skips create no file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_store_false_iteration_is_a_skip_not_a_store() {
+        // Regression guard: an iteration whose every block is
+        // store="false" must bump the skip counter, not `iterations`,
+        // and must not create the file.
+        let cfg = config(
+            r#"<store type="h5lite"/>"#,
+            r#"<variable name="ghost" layout="l" store="false"/>"#,
+        );
+        let dir = tmpdir("allskip");
+        let mut engine = StorageEngine::new(&cfg, 0, &dir).unwrap();
+        let ghost = cfg.registry().var_id("ghost").unwrap();
+        let bytes = bytes_of(&field(0.0));
+        engine
+            .store_iteration(0, [(ghost, 0usize, bytes.as_slice())])
+            .unwrap();
+        let s = engine.stats();
+        assert_eq!((s.iterations, s.skipped_iterations, s.datasets), (0, 1, 0));
         assert_eq!(engine.finish().unwrap(), None);
         assert!(!engine.file_path().exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn submitted_iterations_match_synchronous_store_byte_for_byte() {
+        // The overlapped hand-off path must write the same file the
+        // synchronous path writes, and recycle its staged sets.
+        let cfg = config(r#"<store type="h5lite" chunk_rows="2"/>"#, "");
+        let u = cfg.registry().var_id("u").unwrap();
+        let raw = cfg.registry().var_id("raw").unwrap();
+
+        let dir_sync = tmpdir("submit-sync");
+        let mut sync_engine = StorageEngine::new(&cfg, 0, &dir_sync).unwrap();
+        let dir_sub = tmpdir("submit-async");
+        let mut sub_engine = StorageEngine::new(&cfg, 0, &dir_sub).unwrap();
+        for it in 0..6u64 {
+            let a = bytes_of(&field(it as f64));
+            let b = bytes_of(&field(it as f64 + 0.5));
+            sync_engine
+                .store_iteration(it, [(u, 0usize, a.as_slice()), (raw, 1usize, b.as_slice())])
+                .unwrap();
+            let mut set = sub_engine.take_staging_set();
+            set.push((u, 0, StagedData::Owned(a)));
+            set.push((raw, 1, StagedData::Owned(b)));
+            sub_engine.submit_iteration(it, set).unwrap();
+        }
+        sync_engine.finish().unwrap().unwrap();
+        sub_engine.finish().unwrap().unwrap();
+        let sync_bytes = std::fs::read(sync_engine.file_path()).unwrap();
+        let sub_bytes = std::fs::read(sub_engine.file_path()).unwrap();
+        assert_eq!(
+            sync_bytes, sub_bytes,
+            "hand-off path must be byte-identical"
+        );
+        let s = sub_engine.stats();
+        assert_eq!(s.iterations, 6);
+        assert!(s.drain_ns > 0, "hand-off path was timed");
+        std::fs::remove_dir_all(&dir_sync).ok();
+        std::fs::remove_dir_all(&dir_sub).ok();
+    }
+
+    #[test]
+    fn parallel_workers_write_byte_identical_files() {
+        // workers=1 (inline) vs workers=3 (pool) over a mix of codec'd,
+        // raw and dynamic blocks: files must match byte for byte.
+        let arch = |workers: &str| {
+            format!(
+                r#"<buffer size="1048576" allocator="buddy"/>
+                   <store type="h5lite" chunk_rows="2"{workers}/>"#
+            )
+        };
+        let vars = r#"<layout name="patch" type="f64" dimensions="dynamic" max_size="8192"/>
+                      <variable name="amr" layout="patch" codec="xor-delta8,rle"/>"#;
+        let make = |workers: &str, tag: &str| {
+            let cfg = config(&arch(workers), vars);
+            let dir = tmpdir(tag);
+            (StorageEngine::new(&cfg, 0, &dir).unwrap(), cfg, dir)
+        };
+        let (mut serial, cfg, dir_a) = make(r#" workers="1""#, "wrk1");
+        let (mut parallel, _, dir_b) = make(r#" workers="3""#, "wrk3");
+        assert_eq!(serial.workers(), 1);
+        assert_eq!(parallel.workers(), 3);
+        let u = cfg.registry().var_id("u").unwrap();
+        let raw = cfg.registry().var_id("raw").unwrap();
+        let amr = cfg.registry().var_id("amr").unwrap();
+        for it in 0..5u64 {
+            let a = bytes_of(&field(it as f64));
+            let b = bytes_of(&field(it as f64 * 3.0));
+            let c = bytes_of(&(0..17 + it).map(|i| i as f64).collect::<Vec<_>>());
+            let blocks = [
+                (u, 0usize, a.as_slice()),
+                (u, 1usize, a.as_slice()),
+                (raw, 0usize, b.as_slice()),
+                (amr, 1usize, c.as_slice()),
+            ];
+            serial.store_iteration(it, blocks).unwrap();
+            parallel.store_iteration(it, blocks).unwrap();
+        }
+        serial.finish().unwrap().unwrap();
+        parallel.finish().unwrap().unwrap();
+        let sa = std::fs::read(serial.file_path()).unwrap();
+        let sb = std::fs::read(parallel.file_path()).unwrap();
+        assert_eq!(sa, sb, "worker count must not change file bytes");
+        let ps = parallel.stats();
+        assert_eq!(ps.workers, 3);
+        assert!(ps.worker_busy_ns > 0, "pool workers did the encoding");
+        assert!(ps.encodes >= 5 * 3, "worker encodes counted in stats");
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 
     #[test]
@@ -720,6 +1412,8 @@ mod tests {
         plugin.on_iteration(&ctx).unwrap();
         plugin.on_finalize().unwrap();
         assert!(plugin.file_stats().is_some());
+        let stats = plugin.stats();
+        assert!(stats.drain_ns > 0, "hand-off timed on the event path");
         let mut r = h5lite::FileReader::open(plugin.file_path()).unwrap();
         assert_eq!(r.read_pod::<f64>("it000009/u/rank1").unwrap(), data);
         std::fs::remove_dir_all(&dir).ok();
@@ -742,8 +1436,15 @@ mod tests {
             sink.on_iteration_complete(it);
         }
         assert!(sink.errors().is_empty(), "{:?}", sink.errors());
-        assert_eq!(sink.spare.len(), 3, "staging buffers pooled");
         sink.finish().unwrap().unwrap();
+        // One-in-flight staging: the pool never needs more than two
+        // iterations' worth of buffers (3 per iteration here), and all
+        // of them are back in the pool after finish.
+        let pooled = sink.engine.spare_bufs.lock().len();
+        assert!(
+            (3..=6).contains(&pooled),
+            "staging buffers pooled and bounded, got {pooled}"
+        );
         let mut r = h5lite::FileReader::open(sink.file_path()).unwrap();
         // 1-based rank 1 becomes rank0, matching thread mode.
         assert_eq!(r.read_pod::<f64>("it000000/u/rank0").unwrap(), a);

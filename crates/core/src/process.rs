@@ -22,8 +22,13 @@
 //! slice per client; each client lays a private allocator
 //! ([`damaris_shm::SharedSegment::over_mapping`]) over its slice, so
 //! allocation never needs cross-process coordination. A write is: carve a
-//! block, one memcpy into the mapping, send a descriptor (§IV.B's "the
-//! time to write … is the time required to write in shared-memory").
+//! block, one memcpy into the mapping, append a 3-word descriptor to the
+//! iteration's envelope (§IV.B's "the time to write … is the time
+//! required to write in shared-memory"). Descriptors are **coalesced**:
+//! `end_iteration` flushes the whole client-iteration — every write
+//! descriptor plus the end marker — as one framed message, so the socket
+//! carries one envelope per client per iteration instead of one message
+//! per block.
 //!
 //! Flow control is iteration-grained: the server acknowledges an
 //! iteration once every client has ended it and its blocks are consumed;
@@ -79,8 +84,21 @@ const KIND_END: u64 = 2;
 const KIND_FIN: u64 = 3;
 /// A user signal: `[KIND_SIGNAL, event_id, iteration]` — the process-mode
 /// `damaris_signal`, firing [`ProcessSink::on_signal`] on the dedicated
-/// core.
+/// core. Signals stay their own immediate messages (they are
+/// order-independent with respect to writes), everything else coalesces
+/// into the iteration envelope.
 const KIND_SIGNAL: u64 = 4;
+/// One client-iteration coalesced into a single framed envelope:
+/// `[KIND_BATCH, iteration, writes, skipped, (var, offset, len) × writes]`
+/// — flushed on `end_iteration`, replacing `writes` individual
+/// [`KIND_WRITE`] descriptors plus the [`KIND_END`] marker with **one
+/// message per client per iteration**. The server still understands the
+/// unbatched kinds, so both framings interoperate.
+const KIND_BATCH: u64 = 5;
+
+/// Words of the [`KIND_BATCH`] envelope header preceding the descriptor
+/// triples.
+const BATCH_HEADER: usize = 4;
 
 /// Where the node's segment file lives, given a directory every rank can
 /// derive (e.g. [`mini_mpi::World::spawn_dir`]).
@@ -281,6 +299,31 @@ impl ProcessServer {
         let mut report = ServeReport::default();
         let mut iterations: HashMap<u64, IterationState> = HashMap::new();
         let mut finalized = 0usize;
+        // One client finished `iteration` (announcing `writes` blocks,
+        // `skipped != 0` when its skip policy dropped the iteration);
+        // completes the iteration and acks every client once all ended it.
+        let note_end = |iterations: &mut HashMap<u64, IterationState>,
+                        report: &mut ServeReport,
+                        sink: &mut dyn ProcessSink,
+                        iteration: u64,
+                        writes: u64,
+                        skipped: u64| {
+            if skipped != 0 {
+                report.skipped_client_iterations += 1;
+            }
+            let state = iterations.entry(iteration).or_default();
+            state.ended_clients += 1;
+            state.announced_writes += writes;
+            if state.ended_clients == clients {
+                debug_assert_eq!(state.received_writes, state.announced_writes);
+                iterations.remove(&iteration);
+                sink.on_iteration_complete(iteration);
+                report.iterations_completed += 1;
+                for client in 1..=clients {
+                    comm.send(client, TAG_ACK, &[iteration]);
+                }
+            }
+        };
         while finalized < clients {
             let (msg, source) = comm.recv_with_source::<u64>(Source::Any, TAG_MSG);
             match msg.first().copied() {
@@ -298,30 +341,57 @@ impl ProcessServer {
                     report.bytes_received += len;
                     iterations.entry(iteration).or_default().received_writes += 1;
                 }
+                Some(KIND_BATCH) => {
+                    // The whole client-iteration in one envelope: header
+                    // plus 3-word write descriptors, consumed in the
+                    // client's publish order before the END effect.
+                    let ok = msg.len() >= BATCH_HEADER
+                        && (msg.len() - BATCH_HEADER) as u64 == msg[2].saturating_mul(3);
+                    if !ok {
+                        return Err(DamarisError::InvalidState(format!(
+                            "malformed iteration envelope from rank {source}: \
+                             {} words announcing {:?} writes",
+                            msg.len(),
+                            msg.get(2),
+                        )));
+                    }
+                    let (iteration, writes, skipped) = (msg[1], msg[2], msg[3]);
+                    for desc in msg[BATCH_HEADER..].chunks_exact(3) {
+                        let (var_raw, offset, len) = (desc[0], desc[1], desc[2]);
+                        let var = VarId::from_raw(var_raw as u32);
+                        self.shm.with_bytes(offset as usize, len as usize, |bytes| {
+                            sink.on_block(var, iteration, source, bytes)
+                        });
+                        report.blocks_received += 1;
+                        report.bytes_received += len;
+                        iterations.entry(iteration).or_default().received_writes += 1;
+                    }
+                    note_end(
+                        &mut iterations,
+                        &mut report,
+                        sink,
+                        iteration,
+                        writes,
+                        skipped,
+                    );
+                }
                 Some(KIND_END) => {
                     let [_, iteration, writes, skipped] = msg[..] else {
                         return Err(DamarisError::InvalidState(format!(
                             "malformed end-of-iteration from rank {source}: {msg:?}"
                         )));
                     };
-                    if skipped != 0 {
-                        report.skipped_client_iterations += 1;
-                    }
-                    let state = iterations.entry(iteration).or_default();
-                    state.ended_clients += 1;
-                    state.announced_writes += writes;
-                    if state.ended_clients == clients {
-                        // FIFO per (source, tag) guarantees each client's
-                        // writes precede its END, so everything announced
-                        // has been consumed; this is a pure sanity check.
-                        debug_assert_eq!(state.received_writes, state.announced_writes);
-                        iterations.remove(&iteration);
-                        sink.on_iteration_complete(iteration);
-                        report.iterations_completed += 1;
-                        for client in 1..=clients {
-                            comm.send(client, TAG_ACK, &[iteration]);
-                        }
-                    }
+                    // FIFO per (source, tag) guarantees each client's
+                    // unbatched writes precede its END, so everything
+                    // announced has been consumed by `note_end`'s check.
+                    note_end(
+                        &mut iterations,
+                        &mut report,
+                        sink,
+                        iteration,
+                        writes,
+                        skipped,
+                    );
                 }
                 Some(KIND_SIGNAL) => {
                     let [_, event_raw, iteration] = msg[..] else {
@@ -390,6 +460,12 @@ pub struct ProcessClient {
     base: usize,
     /// Blocks alive until the server acknowledges their iteration.
     pending: HashMap<u64, Vec<BlockRef>>,
+    /// The open iteration's coalesced [`KIND_BATCH`] envelope:
+    /// [`BATCH_HEADER`] placeholder words followed by one `(var, offset,
+    /// len)` triple per publish, flushed by `end_iteration` as a single
+    /// message. Cleared but never shrunk, so steady-state publishing
+    /// stops allocating once it reaches the working-set size.
+    batch: Vec<u64>,
     /// Writes published for the currently open iteration.
     writes_this_iteration: u64,
     /// Highest iteration acknowledged by the server (None before any).
@@ -435,6 +511,7 @@ impl ProcessClient {
             seg,
             base,
             pending: HashMap::new(),
+            batch: Vec::new(),
             writes_this_iteration: 0,
             acked: None,
             policy,
@@ -508,7 +585,7 @@ impl ProcessClient {
             return Ok(WriteStatus::Skipped);
         };
         block.write_pod(data);
-        self.publish(comm, var, iteration, block);
+        self.publish(var, iteration, block);
         self.stats
             .record_write(t0.elapsed().as_nanos() as u64, bytes as u64);
         Ok(WriteStatus::Written)
@@ -567,17 +644,20 @@ impl ProcessClient {
         })
     }
 
-    /// Publish a block obtained from [`ProcessClient::alloc`].
+    /// Publish a block obtained from [`ProcessClient::alloc`]. The
+    /// descriptor joins the iteration's coalesced envelope (no message
+    /// until `end_iteration`); the communicator is kept in the signature
+    /// for surface stability.
     pub fn commit(
         &mut self,
-        comm: &Comm,
+        _comm: &Comm,
         writer: ProcessBlockWriter,
     ) -> DamarisResult<WriteStatus> {
         match writer.block {
             None => Ok(WriteStatus::Skipped),
             Some(block) => {
                 let bytes = block.len();
-                self.publish(comm, writer.var, writer.iteration, block);
+                self.publish(writer.var, writer.iteration, block);
                 self.stats
                     .record_write(writer.t0.elapsed().as_nanos() as u64, bytes as u64);
                 Ok(WriteStatus::Written)
@@ -600,20 +680,23 @@ impl ProcessClient {
         Ok(())
     }
 
-    /// Mark `iteration` finished. Blocks while more than [`ACK_WINDOW`]
+    /// Mark `iteration` finished: flush the iteration's coalesced batch
+    /// envelope (all of its write descriptors plus the end-of-iteration
+    /// marker in one message). Blocks while more than `ACK_WINDOW`
     /// iterations are staged un-acknowledged.
     pub fn end_iteration(&mut self, comm: &Comm, iteration: u64) -> DamarisResult<()> {
         let skipped = self.policy.was_dropped(iteration);
-        comm.send(
-            DEDICATED_RANK,
-            TAG_MSG,
-            &[
-                KIND_END,
-                iteration,
-                self.writes_this_iteration,
-                u64::from(skipped),
-            ],
-        );
+        if self.batch.is_empty() {
+            self.batch.resize(BATCH_HEADER, 0);
+        }
+        self.batch[..BATCH_HEADER].copy_from_slice(&[
+            KIND_BATCH,
+            iteration,
+            self.writes_this_iteration,
+            u64::from(skipped),
+        ]);
+        comm.send(DEDICATED_RANK, TAG_MSG, &self.batch);
+        self.batch.clear();
         self.writes_this_iteration = 0;
         self.drain_acks(comm);
         while self.pending.len() as u64 > ACK_WINDOW {
@@ -700,15 +783,17 @@ impl ProcessClient {
         }
     }
 
-    fn publish(&mut self, comm: &Comm, var: VarId, iteration: u64, block: Block) {
+    fn publish(&mut self, var: VarId, iteration: u64, block: Block) {
         let offset = (self.base + block.offset()) as u64;
         let bytes = block.len() as u64;
         let frozen = block.freeze();
-        comm.send(
-            DEDICATED_RANK,
-            TAG_MSG,
-            &[KIND_WRITE, u64::from(var.raw()), iteration, offset, bytes],
-        );
+        // No message yet: the descriptor joins the iteration's envelope,
+        // sent once by `end_iteration`.
+        if self.batch.is_empty() {
+            self.batch.resize(BATCH_HEADER, 0);
+        }
+        self.batch
+            .extend_from_slice(&[u64::from(var.raw()), offset, bytes]);
         self.pending.entry(iteration).or_default().push(frozen);
         self.writes_this_iteration += 1;
     }

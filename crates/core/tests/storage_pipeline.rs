@@ -130,6 +130,47 @@ fn live_store_run_writes_one_decodable_file_per_node() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The double-buffered staging hand-off (§IV.D overlap): the dedicated
+/// core's event path pays only the hand-off into the engine thread, not
+/// the encode + append themselves — provable from the per-stage timings
+/// the engine keeps. `drain_ns` (what `on_iteration` spent submitting,
+/// including any one-in-flight backpressure) must stay below the
+/// encode + append time it overlapped with.
+#[test]
+fn store_event_path_pays_handoff_not_encode() {
+    let dir = tmpdir("overlap");
+    let (report, storage) = run_store_sim(store_config(&dir), 40);
+    assert_eq!(report.iterations_completed, 40);
+
+    let st = storage.stats();
+    // All three pipeline stages really ran and were timed.
+    assert!(st.drain_ns > 0, "hand-off was timed: {st:?}");
+    assert!(st.encode_ns > 0, "encode stage was timed: {st:?}");
+    assert!(st.append_ns > 0, "append stage was timed: {st:?}");
+    assert!(st.sync_ns > 0, "background fsync was timed: {st:?}");
+    // The event path handed off instead of encoding: across 40
+    // iterations the submit side spent less time than the engine
+    // thread's encode + append it overlapped with.
+    assert!(
+        st.drain_ns < st.encode_ns + st.append_ns,
+        "hand-off cost exceeds the work it overlaps: {st:?}"
+    );
+    // The encode stage reports its worker pool (1 = inline on small
+    // hosts) and its busy time.
+    assert!(st.workers >= 1, "{st:?}");
+    assert!(st.worker_busy_ns > 0, "{st:?}");
+    let frac = st.worker_busy_frac();
+    assert!(
+        frac > 0.0 && frac <= 1.0 + f64::EPSILON,
+        "busy fraction {frac} out of range: {st:?}"
+    );
+
+    // Overlap must not change what lands on disk.
+    let mut r = h5lite::FileReader::open(storage.file_path()).unwrap();
+    assert_eq!(r.read_pod::<f64>("it000039/u/rank1").unwrap(), field(1, 39));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn plain_launch_auto_registers_the_storage_pipeline() {
     let dir = tmpdir("auto");

@@ -352,6 +352,79 @@ impl<'a, W: Write + Seek> DatasetBuilder<'a, W> {
         );
         Ok(())
     }
+
+    /// Append a dataset whose chunks were already encoded elsewhere — the
+    /// reassembly half of a parallel encode stage. Workers run
+    /// [`Pipeline::encode_with`] over the same chunk boundaries
+    /// [`DatasetBuilder::write_bytes_with`] would use (`rows_per_chunk`
+    /// rows of the slowest dimension), and the writer thread appends the
+    /// results here in order, producing a file byte-identical to the
+    /// serial path.
+    ///
+    /// `logical_len` is the *uncompressed* byte length the chunks decode
+    /// to; it must match the dataset shape, and the chunk count must match
+    /// the chunking the shape implies. Requires both a pipeline (for the
+    /// codec spec recorded in metadata) and `chunked(...)`.
+    pub fn write_encoded_chunks<'b>(
+        self,
+        logical_len: u64,
+        encoded: impl IntoIterator<Item = &'b [u8]>,
+    ) -> H5Result<()> {
+        let expect = self.shape.iter().product::<u64>() * self.dtype.size_bytes() as u64;
+        if logical_len != expect {
+            return Err(H5Error::TypeMismatch(format!(
+                "dataset '{}' with shape {:?} of {} needs {expect} logical bytes, got {}",
+                self.path, self.shape, self.dtype, logical_len
+            )));
+        }
+        let codec_spec = match &self.pipeline {
+            Some(p) => p.spec().to_string(),
+            None => {
+                return Err(H5Error::InvalidState(format!(
+                    "dataset '{}': write_encoded_chunks needs a codec pipeline",
+                    self.path
+                )))
+            }
+        };
+        let rows = match self.rows_per_chunk {
+            Some(rows) => rows,
+            None => {
+                return Err(H5Error::InvalidState(format!(
+                    "dataset '{}': write_encoded_chunks needs chunked(...)",
+                    self.path
+                )))
+            }
+        };
+        let row_bytes = self.shape[1..].iter().product::<u64>() as usize * self.dtype.size_bytes();
+        let chunk_bytes = (rows as usize).saturating_mul(row_bytes.max(1)).max(1) as u64;
+        let want_chunks = logical_len.div_ceil(chunk_bytes).max(1);
+        let mut chunks = Vec::new();
+        for enc in encoded {
+            chunks.push(self.fw.append_extent(enc)?);
+        }
+        if chunks.len() as u64 != want_chunks {
+            return Err(H5Error::InvalidState(format!(
+                "dataset '{}': expected {want_chunks} encoded chunks, got {}",
+                self.path,
+                chunks.len()
+            )));
+        }
+        self.fw.logical_bytes += logical_len;
+        self.fw.meta.datasets.insert(
+            self.path,
+            DatasetMeta {
+                dtype: self.dtype,
+                shape: self.shape,
+                layout: Layout::Chunked {
+                    rows_per_chunk: rows,
+                    chunks,
+                },
+                codec_spec,
+                attrs: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -498,6 +571,72 @@ mod tests {
         let mut r = crate::FileReader::open(&path).unwrap();
         assert_eq!(r.read_pod::<u8>("d").unwrap(), vec![1, 2, 3, 4]);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_encoded_chunks_match_inline_encode_byte_for_byte() {
+        let data: Vec<u8> = (0..100u32)
+            .flat_map(|i| (300.0 + (i % 7) as f64).to_le_bytes())
+            .collect();
+        let pipeline = std::sync::Arc::new(Pipeline::from_spec("xor-delta8,rle").unwrap());
+
+        // Inline path: the builder encodes chunk by chunk itself.
+        let mut c_inline = Cursor::new(Vec::new());
+        let mut w = FileWriter::new(&mut c_inline).unwrap();
+        w.dataset("d", Dtype::F64, &[10, 10])
+            .unwrap()
+            .with_pipeline(pipeline.clone())
+            .chunked(3)
+            .unwrap()
+            .write_bytes(&data)
+            .unwrap();
+        w.finish().unwrap();
+
+        // Parallel path: chunks encoded "elsewhere" over the same
+        // boundaries (3 rows × 10 cols × 8 bytes), appended pre-encoded.
+        let mut scratch = EncodeScratch::new();
+        let encoded: Vec<Vec<u8>> = data
+            .chunks(3 * 10 * 8)
+            .map(|chunk| pipeline.encode_with(chunk, &mut scratch).to_vec())
+            .collect();
+        let mut c_pre = Cursor::new(Vec::new());
+        let mut w = FileWriter::new(&mut c_pre).unwrap();
+        w.dataset("d", Dtype::F64, &[10, 10])
+            .unwrap()
+            .with_pipeline(pipeline.clone())
+            .chunked(3)
+            .unwrap()
+            .write_encoded_chunks(data.len() as u64, encoded.iter().map(|v| v.as_slice()))
+            .unwrap();
+        w.finish().unwrap();
+
+        assert_eq!(c_inline.into_inner(), c_pre.into_inner());
+
+        // Guard rails: wrong chunk count, missing pipeline, missing chunking.
+        let mut w = new_writer();
+        assert!(w
+            .dataset("d", Dtype::F64, &[10, 10])
+            .unwrap()
+            .with_pipeline(pipeline.clone())
+            .chunked(3)
+            .unwrap()
+            .write_encoded_chunks(800, std::iter::empty())
+            .is_err());
+        let mut w = new_writer();
+        assert!(w
+            .dataset("d", Dtype::F64, &[10, 10])
+            .unwrap()
+            .chunked(3)
+            .unwrap()
+            .write_encoded_chunks(800, std::iter::empty())
+            .is_err());
+        let mut w = new_writer();
+        assert!(w
+            .dataset("d", Dtype::F64, &[10, 10])
+            .unwrap()
+            .with_pipeline(pipeline)
+            .write_encoded_chunks(800, std::iter::empty())
+            .is_err());
     }
 
     #[test]

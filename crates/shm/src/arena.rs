@@ -192,6 +192,7 @@ pub(crate) struct BuddyTier {
     pub(crate) hits: std::sync::atomic::AtomicU64,
     pub(crate) splits: std::sync::atomic::AtomicU64,
     pub(crate) merges: std::sync::atomic::AtomicU64,
+    pub(crate) tq_hits: std::sync::atomic::AtomicU64,
 }
 
 impl BuddyTier {
@@ -219,6 +220,7 @@ impl BuddyTier {
             hits: std::sync::atomic::AtomicU64::new(0),
             splits: std::sync::atomic::AtomicU64::new(0),
             merges: std::sync::atomic::AtomicU64::new(0),
+            tq_hits: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -231,6 +233,7 @@ impl BuddyTier {
             hits: std::sync::atomic::AtomicU64::new(0),
             splits: std::sync::atomic::AtomicU64::new(0),
             merges: std::sync::atomic::AtomicU64::new(0),
+            tq_hits: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -276,6 +279,56 @@ impl BuddyTier {
             && len >= (1 << MIN_BUDDY_ORDER)
             && ((len.ilog2() - MIN_BUDDY_ORDER) as usize) < self.queues.len()
             && offset.is_multiple_of(len)
+    }
+
+    /// Three-quarter fit: the byte length actually consumed when an
+    /// order-`oi` parent serves `alloc_len` as a `3·2^(k-2)`-byte block
+    /// (`2^k` = parent size), or `None` when the request needs more than
+    /// three quarters of the parent or the quarter would drop below the
+    /// minimum order. The pure power-of-two family wastes up to ~100 %
+    /// of the payload (a `2^k + 64`-byte request burns nearly `2^k` of
+    /// padding); admitting the `2^(k-1) + 2^(k-2)` sizes in between caps
+    /// internal fragmentation at ~33 %.
+    pub(crate) fn tq_len(&self, oi: usize, alloc_len: usize) -> Option<usize> {
+        let quarter = self.size_of(oi) / 4;
+        (quarter >= (1 << MIN_BUDDY_ORDER) && alloc_len <= 3 * quarter).then_some(3 * quarter)
+    }
+
+    /// Allocation-side half of the three-quarter family: publish the top
+    /// quarter of the order-`oi` parent at `offset` as free (the caller
+    /// keeps the lowest `3·parent/4` bytes). The quarter's buddy is
+    /// inside the live block, so it cannot merge away while the block
+    /// lives.
+    pub(crate) fn trim_tq(&self, offset: usize, oi: usize, spill: &mut Vec<(usize, usize)>) {
+        let quarter = self.size_of(oi) / 4;
+        self.free_into(offset + 3 * quarter, oi - 2, spill);
+        self.tq_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether `(offset, len)` has the shape of a live three-quarter
+    /// block (`len = 3·2^(k-2)` at a parent-aligned offset within the
+    /// configured orders) — the release-path guard routing such frees to
+    /// [`BuddyTier::free_tq_into`].
+    pub(crate) fn owns_tq(&self, offset: usize, len: usize) -> bool {
+        if !self.enabled() || len == 0 || !len.is_multiple_of(3) {
+            return false;
+        }
+        let quarter = len / 3;
+        quarter.is_power_of_two()
+            && quarter >= (1 << MIN_BUDDY_ORDER)
+            && ((quarter.ilog2() - MIN_BUDDY_ORDER) as usize + 2) < self.queues.len()
+            && offset.is_multiple_of(4 * quarter)
+    }
+
+    /// Free a three-quarter block: the half first (it cannot merge while
+    /// the quarter beside it is still being freed), then the quarter,
+    /// which eagerly re-merges up through the parent when the trimmed
+    /// sibling is still free — restoring the full power-of-two block.
+    pub(crate) fn free_tq_into(&self, offset: usize, len: usize, spill: &mut Vec<(usize, usize)>) {
+        let quarter = len / 3;
+        let qoi = (quarter.ilog2() - MIN_BUDDY_ORDER) as usize;
+        self.free_into(offset, qoi + 1, spill);
+        self.free_into(offset + 2 * quarter, qoi, spill);
     }
 
     /// Validated pop: discard entries whose block was since claimed by a
@@ -597,7 +650,7 @@ impl SlabCache {
         for slot in self.slots.tier_slots(ti) {
             let v = slot.swap(0, Ordering::Acquire);
             if v != 0 {
-                return Some(self.seg.adopt_buddy_reserved(oi, v - 1, len));
+                return Some(self.seg.adopt_buddy_reserved(oi, v - 1, len, alloc_len));
             }
         }
         let off = self.seg.buddy_alloc_reserved(oi)?;
@@ -608,7 +661,7 @@ impl SlabCache {
                 self.seg.return_buddy_reserved(oi, extra);
             }
         }
-        Some(self.seg.adopt_buddy_reserved(oi, off, len))
+        Some(self.seg.adopt_buddy_reserved(oi, off, len, alloc_len))
     }
 
     /// Allocate `len` bytes: local slot → shared class/order queue →

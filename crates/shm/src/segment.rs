@@ -102,6 +102,10 @@ pub struct SegmentStats {
     /// Variable-size allocations served by the buddy tier without the
     /// free-list mutex (order-queue or per-order magazine hits).
     pub buddy_hits: u64,
+    /// Variable-size allocations served as a three-quarter fit: the
+    /// parent order's top quarter trimmed straight back to the free
+    /// pool, capping internal fragmentation near 33 %.
+    pub buddy_tq_hits: u64,
     /// Buddy blocks split out of a larger free block (one count per
     /// halving step).
     pub buddy_splits: u64,
@@ -298,6 +302,15 @@ impl SegmentInner {
             self.dispose_spill(spill);
             self.signal_release();
             return;
+        } else if self.buddy.owns_tq(offset, len) {
+            // A three-quarter block decomposes into its half + quarter;
+            // the quarter re-merges through the parent when the sibling
+            // trimmed at allocation time is still free.
+            let mut spill = Vec::new();
+            self.buddy.free_tq_into(offset, len, &mut spill);
+            self.dispose_spill(spill);
+            self.signal_release();
+            return;
         }
         let mut fl = self.state.lock();
         fl.free(offset, len);
@@ -370,6 +383,14 @@ impl SegmentInner {
         let try_fit = |this: &Self, fl: &mut FreeList| -> Option<(usize, usize)> {
             if let Some(oi) = buddy_oi {
                 if let Some(off) = this.carve_buddy(fl, oi) {
+                    if let Some(tq) = this.buddy.tq_len(oi, alloc_len) {
+                        let mut spill = Vec::new();
+                        this.buddy.trim_tq(off, oi, &mut spill);
+                        for (s, s_len) in spill {
+                            fl.free(s, s_len);
+                        }
+                        return Some((off, tq));
+                    }
                     return Some((off, this.buddy.size_of(oi)));
                 }
             }
@@ -637,9 +658,15 @@ impl SharedSegment {
         if let Some(oi) = buddy_oi {
             let mut spill = Vec::new();
             let popped = self.inner.buddy.alloc(oi, &mut spill);
+            let mut size = self.inner.buddy.size_of(oi);
+            if let (Some(offset), Some(tq)) = (popped, self.inner.buddy.tq_len(oi, alloc_len)) {
+                // Three-quarter fit: hand the parent's top quarter
+                // straight back, capping internal fragmentation at ~33 %.
+                self.inner.buddy.trim_tq(offset, oi, &mut spill);
+                size = tq;
+            }
             self.inner.dispose_spill(spill);
             if let Some(offset) = popped {
-                let size = self.inner.buddy.size_of(oi);
                 self.note_alloc(size);
                 self.inner.buddy.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(self.block(offset, len, size));
@@ -686,9 +713,13 @@ impl SharedSegment {
         if let Some(oi) = buddy_oi {
             let mut spill = Vec::new();
             let popped = self.inner.buddy.alloc(oi, &mut spill);
+            let mut size = self.inner.buddy.size_of(oi);
+            if let (Some(offset), Some(tq)) = (popped, self.inner.buddy.tq_len(oi, alloc_len)) {
+                self.inner.buddy.trim_tq(offset, oi, &mut spill);
+                size = tq;
+            }
             self.inner.dispose_spill(spill);
             if let Some(offset) = popped {
-                let size = self.inner.buddy.size_of(oi);
                 self.note_alloc(size);
                 self.inner.buddy.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(self.block(offset, len, size));
@@ -715,12 +746,16 @@ impl SharedSegment {
                 // Holding `fl` already, so spills coalesce in place.
                 let mut spill = Vec::new();
                 let popped = self.inner.buddy.alloc(oi, &mut spill);
+                let mut size = self.inner.buddy.size_of(oi);
+                if let (Some(offset), Some(tq)) = (popped, self.inner.buddy.tq_len(oi, alloc_len)) {
+                    self.inner.buddy.trim_tq(offset, oi, &mut spill);
+                    size = tq;
+                }
                 for (off, spilled_len) in spill {
                     fl.free(off, spilled_len);
                 }
                 if let Some(offset) = popped {
                     drop(fl);
-                    let size = self.inner.buddy.size_of(oi);
                     self.note_alloc(size);
                     self.inner.buddy.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(self.block(offset, len, size));
@@ -889,10 +924,29 @@ impl SharedSegment {
     }
 
     /// Turn a reserved buddy offset into a live [`Block`] (bytes already
-    /// counted as used).
-    pub(crate) fn adopt_buddy_reserved(&self, oi: usize, offset: usize, len: usize) -> Block {
-        let alloc_len = self.inner.buddy.size_of(oi);
-        debug_assert!(len <= alloc_len);
+    /// counted as used). When the request fits in three quarters of the
+    /// reserved order, the top quarter is trimmed back to the free pool
+    /// and the used accounting is adjusted down.
+    pub(crate) fn adopt_buddy_reserved(
+        &self,
+        oi: usize,
+        offset: usize,
+        len: usize,
+        request_len: usize,
+    ) -> Block {
+        let full = self.inner.buddy.size_of(oi);
+        debug_assert!(len <= full);
+        let alloc_len = match self.inner.buddy.tq_len(oi, request_len) {
+            Some(tq) => {
+                let mut spill = Vec::new();
+                self.inner.buddy.trim_tq(offset, oi, &mut spill);
+                self.inner.dispose_spill(spill);
+                self.inner.used.fetch_sub(full - tq, Ordering::Relaxed);
+                self.inner.signal_release();
+                tq
+            }
+            None => full,
+        };
         self.inner.allocations.fetch_add(1, Ordering::Relaxed);
         self.inner.buddy.hits.fetch_add(1, Ordering::Relaxed);
         self.block(offset, len, alloc_len)
@@ -955,6 +1009,7 @@ impl SharedSegment {
             frees: self.inner.frees.load(Ordering::Relaxed),
             class_hits: self.inner.class_hits.load(Ordering::Relaxed),
             buddy_hits: self.inner.buddy.hits.load(Ordering::Relaxed),
+            buddy_tq_hits: self.inner.buddy.tq_hits.load(Ordering::Relaxed),
             buddy_splits: self.inner.buddy.splits.load(Ordering::Relaxed),
             buddy_merges: self.inner.buddy.merges.load(Ordering::Relaxed),
         }
@@ -1608,6 +1663,41 @@ mod tests {
         assert_eq!(seg.stats().buddy_hits, 1, "merged parent served it");
         drop(big);
         assert_eq!(seg.used_bytes(), 0);
+        assert_eq!(seg.largest_free_block(), seg.capacity());
+    }
+
+    #[test]
+    fn buddy_three_quarter_fit_trims_and_remerges() {
+        // 1244 rounds to 1280, one order below 2048: the three-quarter
+        // family serves it as 1536 (1024 + 512), handing the top quarter
+        // straight back instead of wasting it.
+        let seg = SharedSegment::with_buddy(1 << 14, &[]).unwrap();
+        let b = seg.allocate(1244).unwrap();
+        assert_eq!(seg.used_bytes(), 1536, "3/4 of the 2048 order");
+        assert_eq!(seg.stats().buddy_tq_hits, 1, "trim counted");
+        // The trimmed quarter is immediately allocatable.
+        let q = seg.allocate(500).unwrap();
+        assert_eq!(seg.used_bytes(), 1536 + 512);
+        drop(q);
+        // Releasing decomposes half + quarter and merges all the way
+        // back to the root hole.
+        drop(b);
+        assert_eq!(seg.used_bytes(), 0);
+        assert_eq!(seg.largest_free_block(), seg.capacity());
+    }
+
+    #[test]
+    fn buddy_three_quarter_fit_round_trips_through_slab_cache() {
+        // The per-order magazine reserves the full parent; adoption must
+        // trim the quarter and adjust the used accounting back down.
+        let seg = SharedSegment::with_buddy(1 << 14, &[]).unwrap();
+        let cache = crate::SlabCache::new(&seg);
+        let b = cache.allocate(1244).unwrap();
+        assert_eq!(b.len(), 1244);
+        assert_eq!(seg.stats().buddy_tq_hits, 1);
+        drop(b);
+        drop(cache);
+        assert_eq!(seg.used_bytes(), 0, "cache drop returns reservations");
         assert_eq!(seg.largest_free_block(), seg.capacity());
     }
 

@@ -325,12 +325,24 @@ proptest! {
                     if let Ok(b) = seg.allocate(size) {
                         let footprint = seg.used_bytes() - before;
                         // A buddy-served request occupies its power-of-two
-                        // order; the fragmentation fallback occupies the
-                        // plain 64-rounded length. Nothing else is legal.
+                        // order or the three-quarter trim of that order
+                        // (2^k + 2^(k-1)); the fragmentation fallback
+                        // occupies the plain 64-rounded length. Nothing
+                        // else is legal.
                         let rounded = size.div_ceil(64) * 64;
-                        let pow2 = size.next_power_of_two().max(64);
-                        prop_assert!(footprint == pow2 || footprint == rounded,
+                        let pow2 = rounded.next_power_of_two().max(64);
+                        let tq = 3 * (pow2 / 4);
+                        let tq_legal = pow2 / 4 >= 64 && rounded <= tq;
+                        prop_assert!(footprint == pow2
+                                || footprint == rounded
+                                || (tq_legal && footprint == tq),
                             "footprint {footprint} for request {size}");
+                        // The three-quarter family caps internal
+                        // fragmentation: strictly less than a third of
+                        // every footprint is padding.
+                        prop_assert!(3 * (footprint - rounded) < footprint.max(1),
+                            "fragmentation {} of footprint {footprint} for request {size}",
+                            footprint - rounded);
                         let (s, e) = (b.offset(), b.offset() + b.len());
                         for (other, _) in &live {
                             let (os, oe) = (other.offset(), other.offset() + other.len());

@@ -469,6 +469,11 @@ pub struct StoreConfig {
     /// Rows per chunk for chunked datasets, along the slowest-varying
     /// dimension (`chunk_rows="…"`, default 64).
     pub chunk_rows: u64,
+    /// Encode worker threads inside the storage engine (`workers="N"`,
+    /// must be ≥ 1). `None` = auto: available cores minus the configured
+    /// clients, at least 1 — the cores the dedicated-core placement leaves
+    /// idle on the node.
+    pub workers: Option<u32>,
 }
 
 impl Default for StoreConfig {
@@ -478,6 +483,7 @@ impl Default for StoreConfig {
             path: None,
             sync: true,
             chunk_rows: 64,
+            workers: None,
         }
     }
 }
@@ -826,6 +832,9 @@ impl Configuration {
                 .with_attr("type", store.kind.name())
                 .with_attr("sync", if store.sync { "true" } else { "false" })
                 .with_attr("chunk_rows", store.chunk_rows.to_string());
+            if let Some(workers) = store.workers {
+                se = se.with_attr("workers", workers.to_string());
+            }
             if let Some(path) = &store.path {
                 se = se.with_attr("path", path);
             }
@@ -1014,6 +1023,10 @@ fn parse_architecture(el: &Element) -> XmlResult<Architecture> {
             .unwrap_or(store.chunk_rows);
         if store.chunk_rows == 0 {
             return Err(XmlError::schema("<store chunk_rows> must be ≥ 1"));
+        }
+        store.workers = s.attr_parse("workers").map_err(XmlError::schema)?;
+        if store.workers == Some(0) {
+            return Err(XmlError::schema("<store workers> must be ≥ 1"));
         }
         arch.store = Some(store);
     }
@@ -1534,7 +1547,7 @@ mod tests {
         let xml = r#"<simulation name="s">
           <architecture>
             <buffer size="1048576"/>
-            <store type="h5lite" path="out/h5" sync="false" chunk_rows="32"/>
+            <store type="h5lite" path="out/h5" sync="false" chunk_rows="32" workers="4"/>
           </architecture>
           <data>
             <layout name="row" type="f64" dimensions="64"/>
@@ -1548,6 +1561,7 @@ mod tests {
         assert_eq!(store.path.as_deref(), Some("out/h5"));
         assert!(!store.sync);
         assert_eq!(store.chunk_rows, 32);
+        assert_eq!(store.workers, Some(4));
         assert_eq!(
             cfg.variables[0].codec.as_deref(),
             Some("xor-delta8,shuffle8,rle")
@@ -1577,6 +1591,7 @@ mod tests {
         assert_eq!(store, StoreConfig::default());
         assert!(store.sync);
         assert_eq!(store.chunk_rows, 64);
+        assert_eq!(store.workers, None, "workers defaults to auto");
         // No <store> element means no storage pipeline.
         let cfg = Configuration::from_str("<simulation name=\"x\"/>").unwrap();
         assert!(cfg.architecture.store.is_none());
@@ -1593,6 +1608,14 @@ mod tests {
             (
                 r#"<simulation><architecture><store chunk_rows="0"/></architecture></simulation>"#,
                 "chunk_rows",
+            ),
+            (
+                r#"<simulation><architecture><store workers="0"/></architecture></simulation>"#,
+                "workers",
+            ),
+            (
+                r#"<simulation><architecture><store workers="many"/></architecture></simulation>"#,
+                "workers",
             ),
         ] {
             let err = Configuration::from_str(xml).unwrap_err();
