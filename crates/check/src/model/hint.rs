@@ -1,0 +1,9 @@
+//! Model-mode replacement for `std::hint`: a spin-loop hint is a real
+//! scheduling yield so spinning cannot starve the thread being waited on.
+
+use crate::model::rt;
+
+/// Yield to the scheduler (model equivalent of a pause instruction).
+pub fn spin_loop() {
+    rt::yield_now();
+}

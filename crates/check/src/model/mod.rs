@@ -1,0 +1,314 @@
+//! The model checker's public API.
+//!
+//! A *model* is a closure that builds a small bounded instance of a
+//! concurrent protocol out of [`sync`] primitives and [`thread`] handles,
+//! runs it, and asserts its invariants. [`Builder::check`] executes the
+//! closure many times under a deterministic scheduler:
+//!
+//! - [`Builder::exhaustive`] — DFS over the tree of scheduler decisions
+//!   (which thread runs at each step, which store a weak load observes),
+//!   bounded by a context-switch (preemption) budget. Explores *every*
+//!   schedule within the bound.
+//! - [`Builder::random`] — seeded PCT-style randomized scheduling for
+//!   models too large to exhaust; deterministic for a given seed.
+//! - [`Builder::replay`] — re-run one exact schedule from a failure
+//!   report (regression pinning).
+//!
+//! Failures — assertion panics, deadlock (all threads blocked), and step
+//! budget exhaustion (livelock) — come back as a [`Failure`] carrying the
+//! [`Schedule`] that reproduces them.
+//!
+//! ```
+//! use damaris_sync::model::{self, sync::{AtomicUsize, Ordering}};
+//! use std::sync::Arc;
+//!
+//! model::model(|| {
+//!     let v = Arc::new(AtomicUsize::new(0));
+//!     let v2 = v.clone();
+//!     let t = model::thread::spawn(move || v2.fetch_add(1, Ordering::Relaxed));
+//!     v.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(v.load(Ordering::Relaxed), 2); // RMWs cannot lose updates
+//! });
+//! ```
+
+pub(crate) mod rt;
+
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+pub use rt::FailureKind;
+
+use rt::{Decision, ExecCfg, Rng64};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// A replayable schedule: the chosen branch at every scheduler decision
+/// of one execution. Print it with `{}` and pin it with [`Schedule::from_str`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule(pub Vec<u32>);
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.0 {
+            if !first {
+                f.write_str(".")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(Schedule(Vec::new()));
+        }
+        s.split('.')
+            .map(|p| p.parse::<u32>())
+            .collect::<Result<Vec<_>, _>>()
+            .map(Schedule)
+    }
+}
+
+/// One failing execution: why it failed and how to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The decision vector reproducing it via [`Builder::replay`].
+    pub schedule: Schedule,
+    /// For randomized runs, the per-execution seed that produced it.
+    pub seed: Option<u64>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FailureKind::Panic(msg) => write!(f, "assertion failure: {msg}")?,
+            FailureKind::Deadlock(what) => write!(f, "deadlock: {what}")?,
+            FailureKind::StepLimit => write!(f, "step budget exhausted (livelock?)")?,
+        }
+        write!(f, "\n  replay schedule: {}", self.schedule)?;
+        if let Some(seed) = self.seed {
+            write!(f, "\n  random seed: {seed:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a [`Builder::check`] run.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of schedules (executions) explored.
+    pub executions: u64,
+    /// True when the exploration finished (DFS exhausted the tree within
+    /// the bounds / all randomized iterations ran) rather than stopping
+    /// at [`Builder::max_executions`] or at a failure.
+    pub complete: bool,
+    /// The first failure found, if any.
+    pub failure: Option<Failure>,
+}
+
+enum Mode {
+    Exhaustive,
+    Random { iterations: u64, seed: u64 },
+    Replay(Schedule),
+}
+
+/// Configures and runs a model exploration.
+pub struct Builder {
+    mode: Mode,
+    max_preemptions: usize,
+    max_steps: usize,
+    max_executions: u64,
+}
+
+impl Builder {
+    /// Bounded-exhaustive DFS with the default preemption budget.
+    pub fn exhaustive() -> Self {
+        Builder {
+            mode: Mode::Exhaustive,
+            max_preemptions: 2,
+            max_steps: 20_000,
+            max_executions: 2_000_000,
+        }
+    }
+
+    /// Seeded randomized exploration of `iterations` schedules.
+    pub fn random(iterations: u64, seed: u64) -> Self {
+        Builder {
+            mode: Mode::Random { iterations, seed },
+            max_preemptions: usize::MAX,
+            max_steps: 20_000,
+            max_executions: u64::MAX,
+        }
+    }
+
+    /// Re-run one pinned schedule (from [`Failure::schedule`]).
+    pub fn replay(schedule: Schedule) -> Self {
+        Builder {
+            mode: Mode::Replay(schedule),
+            max_preemptions: usize::MAX,
+            max_steps: 20_000,
+            max_executions: 1,
+        }
+    }
+
+    /// Cap the number of preemptive context switches per execution
+    /// (exhaustive mode). Voluntary switches (blocking, yielding,
+    /// finishing) are free.
+    pub fn preemption_bound(mut self, n: usize) -> Self {
+        self.max_preemptions = n;
+        self
+    }
+
+    /// Cap the number of scheduling points per execution; exceeding it
+    /// reports [`FailureKind::StepLimit`].
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Cap the total number of executions explored (safety valve; a
+    /// truncated exploration returns `complete: false`).
+    pub fn max_executions(mut self, n: u64) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Explore `f` under this configuration.
+    pub fn check<F>(self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let cfg = ExecCfg {
+            max_preemptions: self.max_preemptions,
+            max_steps: self.max_steps,
+        };
+        match self.mode {
+            Mode::Replay(schedule) => {
+                let (decisions, kind) = rt::run_once(&f, &schedule.0, None, &cfg);
+                Report {
+                    executions: 1,
+                    complete: true,
+                    failure: kind.map(|kind| Failure {
+                        kind,
+                        schedule: chosen(&decisions),
+                        seed: None,
+                    }),
+                }
+            }
+            Mode::Random { iterations, seed } => {
+                for i in 0..iterations {
+                    // Derive a per-execution seed so each iteration is
+                    // independently replayable.
+                    let exec_seed = Rng64::new(seed ^ i.wrapping_mul(0x9e37_79b9)).next();
+                    let (decisions, kind) =
+                        rt::run_once(&f, &[], Some(Rng64::new(exec_seed)), &cfg);
+                    if let Some(kind) = kind {
+                        return Report {
+                            executions: i + 1,
+                            complete: false,
+                            failure: Some(Failure {
+                                kind,
+                                schedule: chosen(&decisions),
+                                seed: Some(exec_seed),
+                            }),
+                        };
+                    }
+                }
+                Report {
+                    executions: iterations,
+                    complete: true,
+                    failure: None,
+                }
+            }
+            Mode::Exhaustive => {
+                let mut prefix: Vec<u32> = Vec::new();
+                let mut executions = 0u64;
+                loop {
+                    let (decisions, kind) = rt::run_once(&f, &prefix, None, &cfg);
+                    executions += 1;
+                    if let Some(kind) = kind {
+                        return Report {
+                            executions,
+                            complete: false,
+                            failure: Some(Failure {
+                                kind,
+                                schedule: chosen(&decisions),
+                                seed: None,
+                            }),
+                        };
+                    }
+                    // Backtrack: deepest decision with an untried branch
+                    // becomes the new forced prefix (lexicographic DFS
+                    // over the decision tree).
+                    match next_prefix(&decisions) {
+                        None => {
+                            return Report {
+                                executions,
+                                complete: true,
+                                failure: None,
+                            }
+                        }
+                        Some(p) => prefix = p,
+                    }
+                    if executions >= self.max_executions {
+                        return Report {
+                            executions,
+                            complete: false,
+                            failure: None,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn chosen(decisions: &[Decision]) -> Schedule {
+    Schedule(decisions.iter().map(|d| d.chosen).collect())
+}
+
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<u32>> {
+    let mut i = decisions.len();
+    while i > 0 {
+        i -= 1;
+        if decisions[i].chosen + 1 < decisions[i].arity {
+            let mut p: Vec<u32> = decisions[..i].iter().map(|d| d.chosen).collect();
+            p.push(decisions[i].chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Exhaustively explore `f` with the default bounds, panicking (with the
+/// replay schedule) on the first failure. The loom-shaped entry point.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = Builder::exhaustive().check(f);
+    if let Some(failure) = &report.failure {
+        panic!(
+            "model failed after {} execution(s): {failure}",
+            report.executions
+        );
+    }
+    assert!(
+        report.complete,
+        "model exploration truncated at {} executions; raise max_executions or shrink the model",
+        report.executions
+    );
+    report
+}

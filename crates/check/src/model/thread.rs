@@ -1,0 +1,54 @@
+//! Model-mode replacement for `std::thread`: spawn/join map onto model
+//! threads driven by the checker's scheduler, and `yield_now`/`sleep`
+//! become scheduling hints (model time does not advance).
+
+use crate::model::rt;
+use std::marker::PhantomData;
+use std::time::Duration;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: rt::Tid,
+    _t: PhantomData<T>,
+}
+
+/// Spawn a model thread; it becomes runnable immediately and actually
+/// runs when the scheduler picks it. Everything the parent did so far
+/// happens-before the child's first step.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    JoinHandle {
+        tid: rt::spawn_thread(f),
+        _t: PhantomData,
+    }
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Block (in model time) until the thread finishes; its final view
+    /// joins the joiner's. Mirrors `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match rt::join_thread(self.tid) {
+            Some(boxed) => Ok(*boxed
+                .downcast::<T>()
+                .expect("join result type matches spawn closure")),
+            // The thread finished without storing a result, which only
+            // happens on the abort path — and aborts unwind the joiner
+            // before reaching here.
+            None => unreachable!("joined thread finished without a result"),
+        }
+    }
+}
+
+/// Ask the scheduler to run someone else; the backbone of spin loops in
+/// models (guarantees progress, so bounded models terminate).
+pub fn yield_now() {
+    rt::yield_now();
+}
+
+/// Model time does not advance: sleeping is just a yield.
+pub fn sleep(_dur: Duration) {
+    rt::yield_now();
+}

@@ -28,21 +28,32 @@ fn note_alloc() {
     });
 }
 
+// SAFETY: defers every allocation verbatim to `System` (only counting
+// calls on the side), so all `GlobalAlloc` contracts are `System`'s own.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards its arguments unchanged to `System`; the caller's
+    // layout/pointer obligations pass straight through.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         note_alloc();
-        System.alloc(layout)
+        // SAFETY: same contract as ours, forwarded verbatim.
+        unsafe { System.alloc(layout) }
     }
+    // SAFETY: forwarded verbatim to `System`, as above.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         note_alloc();
-        System.alloc_zeroed(layout)
+        // SAFETY: same contract as ours, forwarded verbatim.
+        unsafe { System.alloc_zeroed(layout) }
     }
+    // SAFETY: forwarded verbatim to `System`, as above.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         note_alloc();
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: same contract as ours, forwarded verbatim.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
+    // SAFETY: forwarded verbatim to `System`, as above.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: same contract as ours, forwarded verbatim.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 

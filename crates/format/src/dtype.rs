@@ -98,6 +98,8 @@ pub unsafe trait H5Pod: Copy + 'static {
 
 macro_rules! impl_h5pod {
     ($($t:ty => $d:expr),*) => { $(
+        // SAFETY: primitive numeric types are Copy, have no padding
+        // bytes, and every bit pattern is a valid value.
         unsafe impl H5Pod for $t { const DTYPE: Dtype = $d; }
     )* };
 }

@@ -37,6 +37,10 @@
 //! assert_eq!(r.attr("cm1/it0", "time").unwrap().as_f64(), Some(0.25));
 //! ```
 
+// Every operation inside an `unsafe fn` must state its own `unsafe {}`
+// block (with its SAFETY comment — enforced by scripts/unsafe_audit.py).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod dtype;
 pub mod error;
 pub mod meta;

@@ -1,4 +1,5 @@
 //! Integration test for the `dh5dump` inspection tool.
+#![cfg(not(miri))] // spawns the dh5dump binary: no subprocesses under Miri
 
 use std::process::Command;
 

@@ -11,7 +11,11 @@ use bytes::Bytes;
 pub unsafe trait MpiData: Copy + Send + 'static {}
 
 macro_rules! impl_mpidata {
-    ($($t:ty),*) => { $( unsafe impl MpiData for $t {} )* };
+    ($($t:ty),*) => { $(
+        // SAFETY: primitive numeric types are Copy, have no padding
+        // bytes, and every bit pattern is a valid value.
+        unsafe impl MpiData for $t {}
+    )* };
 }
 impl_mpidata!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
 

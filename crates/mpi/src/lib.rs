@@ -44,6 +44,10 @@
 //! assert_eq!(sums, vec![10, 10, 10, 10]);
 //! ```
 
+// Every operation inside an `unsafe fn` must state its own `unsafe {}`
+// block (with its SAFETY comment — enforced by scripts/unsafe_audit.py).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod comm;
 pub mod datatype;
 pub mod socket;

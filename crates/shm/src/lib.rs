@@ -57,6 +57,10 @@
 //! assert_eq!(seg.used_bytes(), 0);
 //! ```
 
+// Every operation inside an `unsafe fn` must state its own `unsafe {}`
+// block (with its SAFETY comment — enforced by scripts/unsafe_audit.py).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod arena;
 pub mod error;
 pub mod mapping;

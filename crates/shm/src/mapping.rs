@@ -237,11 +237,15 @@ mod tests {
     }
 
     #[test]
+    // Real mmap/libc syscalls: outside Miri's interpreter.
+    #[cfg_attr(miri, ignore)]
     fn create_write_open_read() {
         let path = unique_path("rw");
         let shm = ShmFile::create(&path, 4096).unwrap();
         assert_eq!(shm.len(), 4096);
         // Write through one mapping…
+        // SAFETY: offset 128 + 12 bytes is inside the 4096-byte mapping
+        // and nothing else touches the file during the test.
         unsafe { std::ptr::copy_nonoverlapping(b"hello shared".as_ptr(), shm.base().add(128), 12) };
         // …and read it back through an independent mapping of the file,
         // as a second process would.
@@ -254,6 +258,8 @@ mod tests {
     }
 
     #[test]
+    // Real mmap/libc syscalls: outside Miri's interpreter.
+    #[cfg_attr(miri, ignore)]
     fn bounds_are_enforced() {
         let path = unique_path("bounds");
         let shm = ShmFile::create(&path, 256).unwrap();
@@ -263,6 +269,8 @@ mod tests {
     }
 
     #[test]
+    // Real mmap/libc syscalls: outside Miri's interpreter.
+    #[cfg_attr(miri, ignore)]
     fn zero_and_missing_rejected() {
         assert!(matches!(
             ShmFile::create(unique_path("zero"), 0),

@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use damaris_sync::{Condvar, Mutex};
 
 use crate::error::{RecvError, SendError, TryRecvError, TrySendError};
 

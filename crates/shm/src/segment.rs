@@ -42,11 +42,10 @@
 //!    exactly as with any `Send` value.
 
 use std::mem::ManuallyDrop;
-use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use damaris_sync::{fence, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
 
 use crate::arena::{BuddyTier, CacheSlots, SizeClasses};
 use crate::error::ShmError;
@@ -76,7 +75,11 @@ const BLOCKED_ALLOC_FAILSAFE: Duration = Duration::from_millis(250);
 pub unsafe trait Pod: Copy + 'static {}
 
 macro_rules! impl_pod {
-    ($($t:ty),*) => { $( unsafe impl Pod for $t {} )* };
+    ($($t:ty),*) => { $(
+        // SAFETY: primitive numeric types are Copy, have no padding
+        // bytes, and every bit pattern is a valid value.
+        unsafe impl Pod for $t {}
+    )* };
 }
 impl_pod!(i8, i16, i32, i64, u8, u16, u32, u64, f32, f64);
 
@@ -337,6 +340,13 @@ impl SegmentInner {
     /// registered but not yet slept — it holds the lock from its
     /// generation read until `Condvar::wait` releases it, so the notify
     /// cannot fire in that window and be lost.
+    ///
+    /// Both SeqCst sites are load-bearing: the gen bump / waiters load
+    /// here and the waiter's gen re-read form a Dekker-style store/load
+    /// pattern over two locations, which Release/Acquire cannot order.
+    /// Model-checked by `eventcount_no_lost_wakeup`; downgrading the
+    /// waiter's re-read is caught as a deadlock by
+    /// `seeded_relaxed_gen_bug_is_caught` (crates/check/tests/models.rs).
     fn signal_release(&self) {
         self.release_gen.fetch_add(1, Ordering::SeqCst);
         if self.waiters.load(Ordering::SeqCst) > 0 {
@@ -777,6 +787,11 @@ impl SharedSegment {
             // immediately; otherwise the registered waiter count makes
             // the next `signal_release` take the lock and notify, which
             // cannot race ahead of the `wait` below (we still hold `fl`).
+            // SeqCst on the register and re-read is required (Dekker with
+            // `signal_release`): `eventcount_no_lost_wakeup` proves the
+            // protocol, and `seeded_relaxed_gen_bug_is_caught` shows this
+            // exact load at Relaxed sleeping through a lost wakeup
+            // (crates/check/tests/models.rs).
             let timed_out = if self.inner.release_gen.load(Ordering::SeqCst) == gen {
                 self.inner
                     .space_freed

@@ -12,9 +12,9 @@
 //! guards on top so cloned client handles and work-stealing consumers
 //! serialize their access without a real lock.
 
+use damaris_sync::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Pads/aligns a value to a cache line so head and tail counters (and the
 /// hot counters of neighbouring shards) never share a line — the classic
@@ -87,14 +87,24 @@ impl<T> SpscRing<T> {
     /// Must not be called concurrently with another `try_push` on the same
     /// ring (single producer). The caller enforces this.
     pub fn try_push(&self, value: T) -> Result<(), T> {
+        // Orderings model-checked by `spsc_no_loss_no_duplication`
+        // (crates/check/tests/models.rs): tail is ours (Relaxed); the
+        // Acquire on head pairs with the consumer's Release so a reused
+        // slot is observed empty before we overwrite it.
         let tail = self.tail.load(Ordering::Relaxed);
         let head = self.head.load(Ordering::Acquire);
         if tail.wrapping_sub(head) >= self.buf.len() {
             return Err(value);
         }
+        // SAFETY: the not-full check above plus the single-producer
+        // contract give exclusive access to this slot, and the consumer's
+        // head Release (acquired above) ordered its last read of the slot
+        // before this write.
         unsafe {
             (*self.buf[tail & self.mask].get()).write(value);
         }
+        // Release publishes the slot write; downgrading it to Relaxed is
+        // caught by `spsc_relaxed_tail_publication_is_caught`.
         self.tail.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
@@ -107,11 +117,17 @@ impl<T> SpscRing<T> {
     /// drain guard provides the required mutual exclusion and the
     /// Acquire/Release ordering that makes consumer hand-off sound).
     pub fn try_pop(&self) -> Option<T> {
+        // Mirror image of `try_push`, same model test: the Acquire on
+        // tail pairs with the producer's Release to make the slot write
+        // visible; the Release on head re-publishes the emptied slot.
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Acquire);
         if head == tail {
             return None;
         }
+        // SAFETY: head != tail means the producer initialized this slot,
+        // and its tail Release (acquired above) published the write; the
+        // single-consumer contract makes this the only read of it.
         let value = unsafe { (*self.buf[head & self.mask].get()).assume_init_read() };
         self.head.store(head.wrapping_add(1), Ordering::Release);
         Some(value)
@@ -169,6 +185,9 @@ mod tests {
     }
 
     #[test]
+    // 100k spins of real threading: minutes of interpreter time under
+    // Miri; the model checker covers the interleavings instead.
+    #[cfg_attr(miri, ignore)]
     fn concurrent_producer_consumer_no_loss() {
         const N: usize = 100_000;
         let r = Arc::new(SpscRing::with_capacity(64));
@@ -182,7 +201,7 @@ mod tests {
                             Ok(()) => break,
                             Err(back) => {
                                 v = back;
-                                std::hint::spin_loop();
+                                damaris_sync::hint::spin_loop();
                             }
                         }
                     }
@@ -194,7 +213,7 @@ mod tests {
             if let Some(v) = r.try_pop() {
                 seen.push(v);
             } else {
-                std::hint::spin_loop();
+                damaris_sync::hint::spin_loop();
             }
         }
         p.join().unwrap();

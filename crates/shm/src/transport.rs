@@ -23,11 +23,10 @@
 //! [`AnyTransport`] packages the two behind one concrete type so callers
 //! can pick at runtime from the XML `<queue kind="…">` attribute.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use damaris_sync::{AtomicBool, AtomicUsize, Condvar, Mutex, Ordering};
 
 use crate::error::{RecvError, SendError, TryRecvError, TrySendError};
 use crate::queue::MessageQueue;
@@ -265,8 +264,12 @@ impl<T: Send> ShardedChannel<T> {
     }
 
     fn total_len(&self) -> usize {
+        // Diagnostic snapshot only — never feeds the drained verdict, so
+        // Relaxed suffices (the verdict path in `all_drained` keeps its
+        // SeqCst load; see `push_guard_send_vs_close` in
+        // crates/check/tests/models.rs).
         let queued: usize = self.inner.shards.iter().map(|s| s.ring.len()).sum();
-        queued + self.inner.orphan_count.load(Ordering::SeqCst)
+        queued + self.inner.orphan_count.load(Ordering::Relaxed)
     }
 }
 
@@ -377,9 +380,13 @@ impl<T: Send> ShardProducer<T> {
         // logical client sends from two cloned handles at once. SeqCst:
         // the guard store must precede the `closed` load in the single
         // total order, or `all_drained`'s guard scan could miss a
-        // mid-push producer on weakly-ordered hardware.
+        // mid-push producer on weakly-ordered hardware. The handshake is
+        // model-checked by `push_guard_send_vs_close`; weakening the
+        // `closed` load below loses an accepted event, caught by
+        // `push_guard_relaxed_closed_check_is_caught`
+        // (crates/check/tests/models.rs).
         while shard.push_guard.swap(true, Ordering::SeqCst) {
-            std::hint::spin_loop();
+            damaris_sync::hint::spin_loop();
         }
         if self.inner.closed.load(Ordering::SeqCst) {
             shard.push_guard.store(false, Ordering::Release);
@@ -451,7 +458,7 @@ impl<T: Send> ShardProducer<T> {
             // slot within microseconds.
             if spins < 64 {
                 spins += 1;
-                std::hint::spin_loop();
+                damaris_sync::hint::spin_loop();
                 continue;
             }
             self.inner.sleeping_producers.fetch_add(1, Ordering::SeqCst);
@@ -604,12 +611,12 @@ impl<T: Send> StealingConsumer<T> {
                 }
                 // Items remain but another consumer holds the guards;
                 // loop again rather than sleeping.
-                std::hint::spin_loop();
+                damaris_sync::hint::spin_loop();
                 continue;
             }
             if spins < 64 {
                 spins += 1;
-                std::hint::spin_loop();
+                damaris_sync::hint::spin_loop();
                 continue;
             }
             // Register as sleeping, then re-scan before actually waiting

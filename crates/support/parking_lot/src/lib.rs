@@ -151,6 +151,10 @@ impl Condvar {
         guard: &mut MutexGuard<'a, T>,
         f: impl FnOnce(sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T>,
     ) {
+        // SAFETY: `guard.0` is a valid initialized guard; the value read
+        // out is moved into `f`, which returns a replacement written back
+        // before anyone can observe the gap, so no guard is ever dropped
+        // twice or leaked (`f` never unwinds, per the doc above).
         unsafe {
             let inner = std::ptr::read(&guard.0);
             let inner = f(inner);

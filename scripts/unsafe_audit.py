@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Audit: every `unsafe` site in crates/ must carry a SAFETY comment.
+
+Scans all Rust sources under crates/ (in-tree shims under crates/support/
+included) for `unsafe` blocks, `unsafe fn` declarations, and
+`unsafe impl` blocks, and fails (exit 1) listing every site that does not
+have a `// SAFETY:` (or `Safety:`) comment either on the same line, in
+the contiguous comment/attribute block immediately above it, or — for
+`unsafe fn` — a `# Safety` section in its doc comment.
+
+Run from the repo root:  python3 scripts/unsafe_audit.py
+CI runs this on every push (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# `unsafe` as a code token. Excludes lint-config mentions such as
+# `unsafe_op_in_unsafe_fn` via the word boundary and the attr filter below.
+UNSAFE_RE = re.compile(r"\bunsafe\b")
+SAFETY_RE = re.compile(r"(?://|/\*)[/!]?\s*SAFETY\b|#\s*Safety\b", re.IGNORECASE)
+
+# How far above an unsafe site its justification may start: the whole
+# contiguous run of comments/attributes is searched, so this only bounds
+# degenerate files.
+MAX_LOOKBACK = 40
+
+
+def is_comment(line: str) -> bool:
+    s = line.strip()
+    return s.startswith("//") or s.startswith("/*") or s.startswith("*")
+
+
+def is_attr_or_blank(line: str) -> bool:
+    s = line.strip()
+    return s == "" or s.startswith("#[") or s.startswith("#![")
+
+
+# A code line that does not terminate its statement: the `unsafe` on the
+# next line belongs to it, so the justification may sit above this line.
+CONTINUATION_RE = re.compile(r"[=(,.&|+\-*/<>]\s*$")
+
+
+def has_safety_above(lines: list[str], idx: int) -> bool:
+    """Search the contiguous comment/attribute block above lines[idx]."""
+    for back in range(1, MAX_LOOKBACK + 1):
+        i = idx - back
+        if i < 0:
+            return False
+        line = lines[i]
+        if is_comment(line):
+            if SAFETY_RE.search(line):
+                return True
+            continue
+        if is_attr_or_blank(line):
+            # Attributes sit between a doc comment and its item; blanks
+            # end the block except between attrs.
+            if line.strip() == "":
+                return False
+            continue
+        # One SAFETY comment conventionally covers an adjacent group of
+        # `unsafe impl` lines (e.g. Send + Sync for the same type).
+        if line.strip().startswith("unsafe impl"):
+            continue
+        # The statement the `unsafe` belongs to starts higher up.
+        if CONTINUATION_RE.search(line.rstrip()):
+            continue
+        return False
+    return False
+
+
+def audit_file(path: Path) -> list[tuple[int, str]]:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    missing = []
+    for idx, line in enumerate(lines):
+        if is_comment(line):
+            continue
+        stripped = line.strip()
+        # Lint configuration, not an unsafe site.
+        if "unsafe_op_in_unsafe_fn" in stripped or "unsafe_code" in stripped:
+            continue
+        m = UNSAFE_RE.search(line)
+        if not m:
+            continue
+        # `unsafe` inside a trailing comment only.
+        comment_pos = line.find("//")
+        if 0 <= comment_pos < m.start():
+            continue
+        if SAFETY_RE.search(line):  # same-line justification
+            continue
+        if has_safety_above(lines, idx):
+            continue
+        missing.append((idx + 1, stripped))
+    return missing
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    failures = 0
+    sites = 0
+    for path in sorted((root / "crates").rglob("*.rs")):
+        if "target" in path.parts:
+            continue
+        text = path.read_text(encoding="utf-8")
+        if "unsafe" not in text:
+            continue
+        missing = audit_file(path)
+        sites += len(UNSAFE_RE.findall(text))
+        for lineno, snippet in missing:
+            rel = path.relative_to(root)
+            print(f"{rel}:{lineno}: unsafe without SAFETY comment: {snippet}")
+            failures += 1
+    if failures:
+        print(
+            f"\nunsafe audit FAILED: {failures} site(s) lack a SAFETY comment.\n"
+            "Add a `// SAFETY: <why the invariants hold>` comment directly\n"
+            "above each (or a `# Safety` doc section on an `unsafe fn`)."
+        )
+        return 1
+    print("unsafe audit passed: every unsafe site carries a SAFETY comment.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
