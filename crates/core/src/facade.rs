@@ -37,7 +37,7 @@ use mini_mpi::World;
 use crate::client::{ClientStats, DamarisClient, WriteStatus};
 use crate::error::{DamarisError, DamarisResult};
 use crate::node::DamarisNode;
-use crate::plugins::{FnPlugin, Plugin, StorageSink};
+use crate::plugins::{FnPlugin, Plugin, ServeSink, StorageSink};
 use crate::process::{DigestSink, ProcessHandle, ProcessServer, ProcessSink, DEDICATED_RANK};
 
 // ---------------------------------------------------------------------------
@@ -791,10 +791,12 @@ where
 }
 
 /// Fans every server callback out to the built-in digest, the optional
-/// storage pipeline, and any user sinks, in that order.
+/// storage pipeline, the optional streaming tier, and any user sinks, in
+/// that order.
 struct FanoutSink<'a> {
     digest: &'a mut DigestSink,
     storage: Option<&'a mut StorageSink>,
+    serve: Option<&'a mut ServeSink>,
     extras: &'a mut [Box<dyn ProcessSink>],
 }
 
@@ -802,6 +804,9 @@ impl ProcessSink for FanoutSink<'_> {
     fn on_block(&mut self, var: VarId, iteration: u64, source: usize, data: &[u8]) {
         self.digest.on_block(var, iteration, source, data);
         if let Some(s) = self.storage.as_mut() {
+            s.on_block(var, iteration, source, data);
+        }
+        if let Some(s) = self.serve.as_mut() {
             s.on_block(var, iteration, source, data);
         }
         for e in self.extras.iter_mut() {
@@ -814,6 +819,9 @@ impl ProcessSink for FanoutSink<'_> {
         if let Some(s) = self.storage.as_mut() {
             s.on_iteration_complete(iteration);
         }
+        if let Some(s) = self.serve.as_mut() {
+            s.on_iteration_complete(iteration);
+        }
         for e in self.extras.iter_mut() {
             e.on_iteration_complete(iteration);
         }
@@ -822,6 +830,9 @@ impl ProcessSink for FanoutSink<'_> {
     fn on_signal(&mut self, event: damaris_xml::EventId, iteration: u64, source: usize) {
         self.digest.on_signal(event, iteration, source);
         if let Some(s) = self.storage.as_mut() {
+            s.on_signal(event, iteration, source);
+        }
+        if let Some(s) = self.serve.as_mut() {
             s.on_signal(event, iteration, source);
         }
         for e in self.extras.iter_mut() {
@@ -861,12 +872,20 @@ where
             } else {
                 None
             };
+            // A declared <serve> runs the streaming tier on the dedicated
+            // rank, mirroring the thread world's ServePlugin.
+            let mut serve = if cfg.architecture.serve.is_some() {
+                Some(ServeSink::new(&cfg, &dir).expect("streaming tier starts"))
+            } else {
+                None
+            };
             let server = ProcessServer::new(comm, cfg, &dir).expect("dedicated core starts");
             let mut sink = DigestSink::default();
             let mut extras: Vec<Box<dyn ProcessSink>> = sinks.iter().map(|f| f()).collect();
             let mut fanout = FanoutSink {
                 digest: &mut sink,
                 storage: storage.as_mut(),
+                serve: serve.as_mut(),
                 extras: &mut extras,
             };
             let report = server
@@ -879,6 +898,9 @@ where
                     "storage pipeline errors: {:?}",
                     s.errors()
                 );
+            }
+            if let Some(mut s) = serve {
+                s.finish();
             }
             let words = [
                 report.iterations_completed,

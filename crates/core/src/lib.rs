@@ -111,7 +111,9 @@ pub use client::{DamarisClient, WriteStatus};
 pub use error::{DamarisError, DamarisResult};
 pub use facade::{Damaris, DamarisWriter, Launcher, SimHandle, SimReport, SimWriter};
 pub use node::{DamarisNode, NodeBuilder};
-pub use plugins::{Plugin, StorageEngine, StoragePlugin, StorageSink, StorageStats};
+pub use plugins::{
+    Plugin, ServePlugin, ServeSink, StorageEngine, StoragePlugin, StorageSink, StorageStats,
+};
 pub use process::{ProcessClient, ProcessHandle, ProcessServer, ProcessSink};
 
 /// One-stop imports for applications embedding Damaris.
@@ -121,7 +123,8 @@ pub mod prelude {
     pub use crate::facade::{Damaris, DamarisWriter, Launcher, SimHandle, SimReport, SimWriter};
     pub use crate::node::{DamarisNode, NodeBuilder};
     pub use crate::plugins::{
-        FnPlugin, Plugin, StatsPlugin, StorageEngine, StoragePlugin, StorageSink, StorageStats,
+        FnPlugin, Plugin, ServePlugin, ServeSink, StatsPlugin, StorageEngine, StoragePlugin,
+        StorageSink, StorageStats,
     };
     pub use crate::process::{ProcessClient, ProcessHandle, ProcessServer, ProcessSink, StatsSink};
     pub use damaris_xml::schema::Configuration;

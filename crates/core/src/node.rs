@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use crate::client::{DamarisClient, StatsRecorder};
 use crate::error::{DamarisError, DamarisResult};
 use crate::event::Event;
-use crate::plugins::{CompressPlugin, H5Writer, Plugin, StatsPlugin, StoragePlugin};
+use crate::plugins::{CompressPlugin, H5Writer, Plugin, ServePlugin, StatsPlugin, StoragePlugin};
 use crate::policy::SkipPolicy;
 use crate::server::{server_loop, ServerShared};
 
@@ -161,6 +161,7 @@ impl NodeBuilder {
         // first, so the action loop's existence check never duplicates
         // it); the others are pulled in by the actions referencing them.
         let mut storage: Option<Arc<StoragePlugin>> = None;
+        let mut serve: Option<Arc<ServePlugin>> = None;
         {
             let mut plugins = shared.plugins.write();
             if cfg.architecture.store.is_some() {
@@ -169,6 +170,13 @@ impl NodeBuilder {
                         .map_err(DamarisError::InvalidState)?,
                 );
                 storage = Some(plugin.clone());
+                plugins.push(plugin);
+            }
+            if cfg.architecture.serve.is_some() {
+                let plugin = Arc::new(
+                    ServePlugin::new(&cfg, &output_dir).map_err(DamarisError::InvalidState)?,
+                );
+                serve = Some(plugin.clone());
                 plugins.push(plugin);
             }
             for action in &cfg.actions {
@@ -244,6 +252,7 @@ impl NodeBuilder {
             clients,
             output_dir,
             storage,
+            serve,
         })
     }
 }
@@ -287,6 +296,8 @@ pub struct DamarisNode<C: EventChannel<Event> = AnyTransport<Event>> {
     /// kept so callers can observe the pipeline without digging through
     /// the plugin list.
     storage: Option<Arc<StoragePlugin>>,
+    /// The auto-registered streaming server, when `<serve>` is declared.
+    serve: Option<Arc<ServePlugin>>,
 }
 
 impl DamarisNode {
@@ -337,6 +348,19 @@ impl<C: EventChannel<Event>> DamarisNode<C> {
     /// declares no `<store>`.
     pub fn storage_stats(&self) -> Option<crate::plugins::StorageStats> {
         self.storage.as_ref().map(|s| s.stats())
+    }
+
+    /// Counter snapshot of the auto-registered streaming server
+    /// (subscribers, frames, lag events, publish-path timings). `None`
+    /// when the configuration declares no `<serve>`.
+    pub fn serve_stats(&self) -> Option<damaris_serve::ServeStats> {
+        self.serve.as_ref().map(|s| s.stats())
+    }
+
+    /// Bound address of the streaming server (resolves an ephemeral
+    /// `listen="…:0"` port). `None` without a `<serve>` element.
+    pub fn serve_addr(&self) -> Option<std::net::SocketAddr> {
+        self.serve.as_ref().map(|s| s.local_addr())
     }
 
     /// Lifetime counters of the shared segment (allocations, class hits,

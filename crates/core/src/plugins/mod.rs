@@ -21,15 +21,21 @@
 //! * [`StoragePlugin`] (`plugin="storage"`) — the real storage pipeline
 //!   behind `<store type="h5lite">`: per-variable codec compression into
 //!   one chunked h5lite file per node, fsync'd off the hot path (see
-//!   [`storage`](self::StorageEngine)).
+//!   [`storage`](self::StorageEngine));
+//! * [`ServePlugin`] (`plugin="serve"`) — the subscriber streaming tier
+//!   behind `<serve listen="…">`: every completed iteration is published
+//!   to concurrent TCP subscribers with bounded per-subscriber queues
+//!   (see `damaris_serve`).
 
 mod compress;
 mod hdf5;
+mod serve;
 mod stats;
 mod storage;
 
 pub use compress::CompressPlugin;
 pub use hdf5::H5Writer;
+pub use serve::{ServePlugin, ServeSink};
 pub use stats::{StatsPlugin, VariableSummary};
 pub use storage::{StorageEngine, StoragePlugin, StorageSink, StorageStats};
 

@@ -46,6 +46,9 @@ pub struct ServerShared {
     pub(crate) n_clients: usize,
     pub(crate) output_dir: PathBuf,
     pub(crate) store: Mutex<VariableStore>,
+    /// Completed iterations kept in the store for subscriber catch-up
+    /// (`<serve retain>`); 0 without a serving tier — reclaim at once.
+    retain_window: usize,
     progress: Mutex<HashMap<u64, IterProgress>>,
     /// Actions per interned user event, precomputed so a signal dispatch
     /// is an index instead of a scan over every declared action.
@@ -90,12 +93,19 @@ impl ServerShared {
                 }
             }
         }
+        let retain_window = cfg
+            .architecture
+            .serve
+            .as_ref()
+            .map(|s| s.retain as usize)
+            .unwrap_or(0);
         ServerShared {
             cfg,
             node_id,
             n_clients,
             output_dir,
             store: Mutex::new(VariableStore::new()),
+            retain_window,
             progress: Mutex::new(HashMap::new()),
             signal_actions,
             plugins: RwLock::new(Vec::new()),
@@ -224,9 +234,9 @@ impl ServerShared {
     /// Fire-and-collect if iteration `it` became complete. Returns true if
     /// this call fired it.
     fn maybe_complete(&self, it: u64) -> bool {
-        let blocks = {
+        let (blocks, expired) = {
             let mut progress = self.progress.lock();
-            let store = self.store.lock();
+            let mut store = self.store.lock();
             let Some(p) = progress.get_mut(&it) else {
                 return false;
             };
@@ -234,12 +244,19 @@ impl ServerShared {
                 return false;
             }
             p.fired = true;
-            drop(store);
             progress.remove(&it);
-            self.store.lock().remove_iteration(it)
+            // Completed iterations stay indexed for the retain window so a
+            // late subscriber's snapshot catch-up cannot race collection;
+            // with no serving tier the window is 0 and this degenerates to
+            // the old remove-on-completion behavior.
+            store.mark_complete(it);
+            let blocks = store.snapshot(it);
+            (blocks, store.gc_completed(self.retain_window))
         };
+        drop(expired);
         self.fire_iteration(it, &blocks);
-        // `blocks` dropped here: shared memory reclaimed.
+        // `blocks` dropped here: with retain 0 the shared memory is
+        // reclaimed now; otherwise when the iteration leaves the window.
         true
     }
 }

@@ -579,6 +579,194 @@ fn store_parallel_workers_byte_identical_across_worlds() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+// ---------------------------------------------------------------------------
+// The streaming tier: `<serve>` must deliver equivalent frames per world
+// ---------------------------------------------------------------------------
+
+fn serve_config(world: &str, dir: &std::path::Path) -> Configuration {
+    // `addr_file` publishes the ephemeral port; `queue_frames` is
+    // generous so the captured stream never enters the lag path and
+    // `retain` keeps iteration 0 alive for catch-up.
+    let xml = format!(
+        r#"<simulation name="serve-eq">
+             <architecture>
+               <dedicated cores="1"/>
+               <clients count="2"/>
+               <buffer size="4194304"/>
+               <queue capacity="256"/>
+               <world kind="{world}"/>
+               <serve listen="127.0.0.1:0" queue_frames="1024" retain="8"
+                      addr_file="{}/addr"/>
+             </architecture>
+             <data>
+               <layout name="row" type="f64" dimensions="64"/>
+               <variable name="u" layout="row"/>
+               <variable name="v" layout="row"/>
+             </data>
+           </simulation>"#,
+        dir.display()
+    );
+    Configuration::from_str(&xml).expect("serve config is valid")
+}
+
+/// Generic driver for the streaming equivalence run. `input` carries the
+/// coordination directory (it must survive the process-mode re-exec, so
+/// it rides the wire, not a closure capture). Iteration 0 is published
+/// *before* the gate: its delivery — live, or via the snapshot catch-up
+/// if the server processes SUBSCRIBE late — proves the subscription is
+/// active, and only then does the subscriber write `<dir>/go` to release
+/// iterations 1..=3. That makes full capture of 1..=3 deterministic on
+/// both backends without a protocol-level acknowledgment.
+fn serve_sim<H: SimHandle>(h: &mut H, input: &[u8]) -> Vec<u8> {
+    let dir = std::path::Path::new(std::str::from_utf8(input).expect("utf-8 dir"));
+    let id = h.id() as f64;
+    fn write_iter<H: SimHandle>(h: &mut H, id: f64, it: u64) {
+        let mk = |base: f64| -> Vec<f64> {
+            (0..64)
+                .map(|i| base + id * 10.0 + it as f64 + i as f64 * 0.25)
+                .collect()
+        };
+        h.write("u", it, &mk(100.0)).expect("write u");
+        h.write("v", it, &mk(200.0)).expect("write v");
+        h.end_iteration(it).expect("end iteration");
+    }
+    write_iter(h, id, 0);
+    let go = dir.join("go");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !go.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "subscriber never opened the gate"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    for it in 1..=3u64 {
+        write_iter(h, id, it);
+    }
+    h.finalize().expect("finalize");
+    Vec::new()
+}
+
+/// What one subscriber observed: every DATA payload keyed by
+/// `(iteration, variable, source)`, plus each ITER-END's block count.
+type Captured = (
+    std::collections::BTreeMap<(u64, String, u64), Vec<u8>>,
+    Vec<(u64, u64)>,
+);
+
+/// Poll for the server's `addr` file, connect, subscribe to everything,
+/// wait for iteration 0 (proof the subscription is live), open the
+/// simulation's gate, and record the stream through iteration 3.
+fn capture_stream(dir: &std::path::Path) -> Captured {
+    use damaris_serve::{Subscriber, SubscriberEvent};
+    let addr_file = dir.join("addr");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let addr = loop {
+        // Written via tmp + rename, so a readable file is a complete one.
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            break s
+                .trim()
+                .parse::<std::net::SocketAddr>()
+                .expect("addr parses");
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never published its address"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    let mut sub = Subscriber::connect(addr).expect("subscriber connects");
+    assert_eq!(sub.simulation(), "serve-eq");
+    sub.subscribe(&[]).expect("subscribe to all");
+
+    let mut data = std::collections::BTreeMap::new();
+    let mut ends = Vec::new();
+    let mut gated = false;
+    loop {
+        match sub.next_event().expect("stream stays healthy") {
+            SubscriberEvent::Data {
+                variable,
+                iteration,
+                source,
+                bytes,
+            } => {
+                let prev = data.insert((iteration, variable, source), bytes);
+                assert!(prev.is_none(), "no frame is delivered twice");
+            }
+            SubscriberEvent::IterationEnd { iteration, blocks } => {
+                ends.push((iteration, blocks));
+                if iteration == 0 {
+                    // Subscription confirmed end-to-end: release 1..=3.
+                    std::fs::write(dir.join("go"), b"go").expect("open the gate");
+                    gated = true;
+                }
+                if iteration == 3 {
+                    break;
+                }
+            }
+            SubscriberEvent::Lag { .. } => panic!("generous queue must not lag"),
+            SubscriberEvent::Bye => panic!("BYE at iteration {ends:?}, gate {gated}"),
+        }
+    }
+    let _ = sub.bye();
+    (data, ends)
+}
+
+/// The streaming tier is world-independent: a subscriber watching the
+/// thread world's in-process server and one watching the process world's
+/// out-of-process server observe **byte-identical** DATA payloads and
+/// identical iteration boundaries, frame for frame.
+#[test]
+fn serve_frames_byte_identical_across_worlds() {
+    let base = std::env::temp_dir().join("damaris-serve-eq");
+    // Process-mode children re-execute this function from the top; only
+    // the parent may touch the coordination directory or run a
+    // subscriber (children exit inside `launch_test`).
+    let is_parent = mini_mpi::World::spawn_dir().is_none();
+    if is_parent {
+        std::fs::remove_dir_all(&base).ok();
+    }
+    let program = "serve_frames_byte_identical_across_worlds";
+    let mut captures = Vec::new();
+    for world in ["processes", "threads"] {
+        let dir = base.join(world);
+        if is_parent {
+            std::fs::create_dir_all(&dir).expect("coordination dir");
+        }
+        let watcher = is_parent.then(|| {
+            let d = dir.clone();
+            std::thread::spawn(move || capture_stream(&d))
+        });
+        let input = dir.to_str().expect("utf-8 tmpdir").as_bytes().to_vec();
+        Damaris::launch_test(serve_config(world, &dir), program, &input, |h, i| {
+            serve_sim(h, i)
+        })
+        .expect("world succeeds");
+        captures.push(
+            watcher
+                .expect("parent past launch")
+                .join()
+                .expect("capture"),
+        );
+    }
+    let (pdata, pends) = &captures[0];
+    let (tdata, tends) = &captures[1];
+    assert_eq!(pdata, tdata, "DATA payloads must be byte-identical");
+    assert_eq!(pends, tends, "iteration boundaries must agree");
+
+    // Sanity beyond mutual equality: full coverage and exact bytes.
+    assert_eq!(pdata.len(), 4 * 2 * 2, "4 iterations × 2 vars × 2 clients");
+    assert_eq!(pends, &[(0, 4), (1, 4), (2, 4), (3, 4)]);
+    for (&(it, ref var, source), bytes) in pdata {
+        let base = if var == "u" { 100.0 } else { 200.0 };
+        let expect: Vec<u8> = (0..64)
+            .flat_map(|i| (base + source as f64 * 10.0 + it as f64 + i as f64 * 0.25).to_le_bytes())
+            .collect();
+        assert_eq!(bytes, &expect, "{var} it{it} rank{source}");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
 proptest! {
     // Property: for arbitrary seeds, the AMR driver's variable-size
     // writes produce byte-identical WriteStatus sequences and

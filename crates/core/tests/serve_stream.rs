@@ -1,0 +1,269 @@
+//! End-to-end tests of the subscriber streaming tier through a live
+//! `DamarisNode`: a `<serve>` element in the XML must stand up a TCP
+//! endpoint beside the dedicated core, publish every completed iteration
+//! to connected subscribers, and — per the lag policy — never let a slow
+//! consumer stall `end_iteration` on the compute side.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use damaris_core::prelude::*;
+use damaris_serve::{Subscriber, SubscriberEvent};
+
+fn serve_config(queue_frames: u32) -> Configuration {
+    let xml = format!(
+        r#"<simulation name="streamsim">
+             <architecture>
+               <dedicated cores="1"/>
+               <clients count="1"/>
+               <buffer size="4194304"/>
+               <queue capacity="256"/>
+               <world kind="threads"/>
+               <serve listen="127.0.0.1:0" queue_frames="{queue_frames}"/>
+             </architecture>
+             <data>
+               <layout name="row" type="f64" dimensions="256"/>
+               <variable name="u" layout="row"/>
+               <variable name="v" layout="row"/>
+             </data>
+           </simulation>"#
+    );
+    Configuration::from_str(&xml).expect("serve config is valid")
+}
+
+fn field(var: &str, iteration: u64) -> Vec<f64> {
+    let base = if var == "u" { 100.0 } else { 200.0 };
+    (0..256)
+        .map(|i| base + iteration as f64 * 0.5 + i as f64 * 0.125)
+        .collect()
+}
+
+fn as_f64(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Drain blocking events until the given iteration's ITER-END arrives,
+/// collecting every DATA payload seen on the way.
+fn read_until_iter_end(
+    sub: &mut Subscriber,
+    target: u64,
+    data: &mut BTreeMap<(u64, String, u64), Vec<u8>>,
+) -> u64 {
+    loop {
+        match sub.next_event().expect("subscriber stream stays healthy") {
+            SubscriberEvent::Data {
+                variable,
+                iteration,
+                source,
+                bytes,
+            } => {
+                let prev = data.insert((iteration, variable, source), bytes);
+                assert!(prev.is_none(), "no frame is delivered twice");
+            }
+            SubscriberEvent::IterationEnd { iteration, blocks } if iteration == target => {
+                return blocks;
+            }
+            SubscriberEvent::IterationEnd { .. } => {}
+            other => panic!("unexpected event before it{target} end: {other:?}"),
+        }
+    }
+}
+
+/// A live node with `<serve>`: the subscriber receives every iteration's
+/// blocks byte-identical to what the compute core wrote, framed by
+/// ITER-END boundaries, and the node reports streaming stats.
+#[test]
+fn live_node_streams_every_iteration_to_a_subscriber() {
+    let node = DamarisNode::builder()
+        .config(serve_config(64))
+        .clients(1)
+        .build()
+        .expect("node with <serve> builds");
+    let addr = node.serve_addr().expect("streaming tier bound an endpoint");
+    let mut sub = Subscriber::connect(addr).expect("subscriber connects");
+    assert_eq!(sub.simulation(), "streamsim");
+    sub.subscribe(&[]).expect("subscribe to all variables");
+
+    let client = node.client(0).unwrap();
+    let mut frames = BTreeMap::new();
+    for it in 0..3u64 {
+        client.write("u", it, &field("u", it)).unwrap();
+        client.write("v", it, &field("v", it)).unwrap();
+        client.end_iteration(it).unwrap();
+        let blocks = read_until_iter_end(&mut sub, it, &mut frames);
+        assert_eq!(blocks, 2, "2 variables × 1 client per iteration");
+    }
+    client.finalize().unwrap();
+
+    assert_eq!(frames.len(), 3 * 2, "every block of every iteration");
+    for it in 0..3u64 {
+        for var in ["u", "v"] {
+            let bytes = &frames[&(it, var.to_string(), 0)];
+            assert_eq!(as_f64(bytes), field(var, it), "{var} it{it}");
+        }
+    }
+
+    let stats = node.serve_stats().expect("serve stats exposed");
+    assert_eq!(stats.iterations_published, 3);
+    assert_eq!(stats.data_frames_published, 6);
+    assert_eq!(stats.subscribers_connected, 1);
+    assert_eq!(stats.frames_dropped, 0, "fast consumer never lags");
+
+    // Graceful shutdown drains the connection with a BYE.
+    let report = node.shutdown().expect("node shuts down");
+    assert!(
+        report.plugin_errors.is_empty(),
+        "{:?}",
+        report.plugin_errors
+    );
+    loop {
+        match sub.next_event().expect("drain until BYE") {
+            SubscriberEvent::Bye => break,
+            _ => continue,
+        }
+    }
+}
+
+/// Satellite: slow-consumer injection. A subscriber that stops reading
+/// must never stall the compute side — `end_iteration` stays fast while
+/// the server drops whole iterations from the stalled queue — and once
+/// the consumer resumes it gets an explicit LAG frame, then clean
+/// whole-iteration delivery again.
+#[test]
+fn stalled_subscriber_never_stalls_end_iteration() {
+    let node = DamarisNode::builder()
+        .config(serve_config(4))
+        .clients(1)
+        .build()
+        .expect("node with <serve> builds");
+    let addr = node.serve_addr().unwrap();
+    let mut sub = Subscriber::connect(addr).expect("subscriber connects");
+    sub.subscribe(&[]).expect("subscribe");
+
+    // Confirm the link once, then go silent.
+    let client = node.client(0).unwrap();
+    client.write("u", 0, &field("u", 0)).unwrap();
+    client.write("v", 0, &field("v", 0)).unwrap();
+    client.end_iteration(0).unwrap();
+    let mut warmup = BTreeMap::new();
+    read_until_iter_end(&mut sub, 0, &mut warmup);
+
+    // Stall phase: 60 iterations into a queue of 4 frames, never read.
+    // The publisher must stay wait-free: each end_iteration is bounded
+    // and the overflow turns into dropped frames, not backpressure.
+    let mut worst = Duration::ZERO;
+    for it in 1..=60u64 {
+        client.write("u", it, &field("u", it)).unwrap();
+        client.write("v", it, &field("v", it)).unwrap();
+        let t0 = Instant::now();
+        client.end_iteration(it).unwrap();
+        worst = worst.max(t0.elapsed());
+    }
+    assert!(
+        worst < Duration::from_secs(1),
+        "end_iteration stalled behind a dead subscriber: {worst:?}"
+    );
+
+    // Wait until the dedicated core has published everything it will.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while node.serve_stats().unwrap().iterations_published < 61 {
+        assert!(Instant::now() < deadline, "publishes did not complete");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stats = node.serve_stats().unwrap();
+    assert!(
+        stats.frames_dropped > 0,
+        "overflow must drop, got {stats:?}"
+    );
+    assert!(
+        stats.publish_ns_max < 50_000_000,
+        "publish must stay wait-free: {stats:?}"
+    );
+
+    // Resume: drain while fresh iterations keep arriving; the first
+    // frame of the resumed stream is a LAG notice, and after it only
+    // whole iterations are delivered. The tiny queue may overflow again
+    // while draining, so further LAG/resume cycles are legitimate.
+    let mut lags: Vec<(u64, u64)> = Vec::new();
+    let mut resumed: BTreeMap<(u64, String, u64), Vec<u8>> = BTreeMap::new();
+    let mut ends = Vec::new();
+    'outer: for it in 61..=120u64 {
+        client.write("u", it, &field("u", it)).unwrap();
+        client.write("v", it, &field("v", it)).unwrap();
+        client.end_iteration(it).unwrap();
+        loop {
+            match sub.try_next().expect("stream healthy") {
+                None => break,
+                Some(SubscriberEvent::Lag {
+                    dropped_frames,
+                    resume_iteration,
+                }) => lags.push((dropped_frames, resume_iteration)),
+                Some(SubscriberEvent::Data {
+                    variable,
+                    iteration,
+                    source,
+                    bytes,
+                }) => {
+                    resumed.insert((iteration, variable, source), bytes);
+                }
+                Some(SubscriberEvent::IterationEnd { iteration, .. }) => {
+                    ends.push(iteration);
+                    if !lags.is_empty() && ends.len() >= 3 {
+                        break 'outer;
+                    }
+                }
+                Some(other) => panic!("unexpected event: {other:?}"),
+            }
+        }
+    }
+    client.finalize().unwrap();
+
+    assert!(!lags.is_empty(), "LAG frame delivered on resume");
+    for &(dropped, resume_at) in &lags {
+        assert!(dropped > 0, "LAG carries the dropped-frame count");
+        assert!(resume_at > 0, "LAG names the resumption iteration");
+    }
+    // Whole-iteration delivery: every iteration bounded by an ITER-END
+    // has both of its variables present, byte-exact.
+    for &it in &ends {
+        for var in ["u", "v"] {
+            let bytes = resumed
+                .get(&(it, var.to_string(), 0))
+                .unwrap_or_else(|| panic!("{var} missing from delivered it{it}"));
+            assert_eq!(as_f64(bytes), field(var, it), "{var} it{it}");
+        }
+    }
+
+    let stats = node.serve_stats().unwrap();
+    assert!(stats.lag_events >= 1, "{stats:?}");
+    node.shutdown().expect("node shuts down");
+}
+
+/// Without `<serve>` the tier stays dark: no listener, no stats.
+#[test]
+fn node_without_serve_exposes_no_streaming_endpoint() {
+    let xml = r#"<simulation name="dark">
+         <architecture>
+           <dedicated cores="1"/>
+           <buffer size="1048576"/>
+           <queue capacity="64"/>
+         </architecture>
+         <data>
+           <layout name="row" type="f64" dimensions="16"/>
+           <variable name="u" layout="row"/>
+         </data>
+       </simulation>"#;
+    let node = DamarisNode::builder()
+        .config_str(xml)
+        .unwrap()
+        .clients(1)
+        .build()
+        .unwrap();
+    assert!(node.serve_addr().is_none());
+    assert!(node.serve_stats().is_none());
+    node.client(0).unwrap().finalize().unwrap();
+    node.shutdown().unwrap();
+}

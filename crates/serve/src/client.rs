@@ -1,0 +1,199 @@
+//! The subscriber client library (`serve::Subscriber`).
+//!
+//! A thin, dependency-free consumer of the frame protocol: connect, read
+//! HELLO, send SUBSCRIBE, then pull [`SubscriberEvent`]s — blocking
+//! ([`Subscriber::next_event`]) or polled ([`Subscriber::try_next`], for
+//! callers multiplexing many subscriptions on a few threads).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{decode, encode_bye, encode_subscribe, Message, PROTOCOL_VERSION};
+
+/// What a subscriber receives from the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscriberEvent {
+    /// One block of one subscribed variable.
+    Data {
+        /// Variable name.
+        variable: String,
+        /// Simulation time step.
+        iteration: u64,
+        /// Writing client rank, 0-based (identical across worlds).
+        source: u64,
+        /// Block payload bytes.
+        bytes: Vec<u8>,
+    },
+    /// All of an iteration's frames have been delivered.
+    IterationEnd {
+        /// The completed iteration.
+        iteration: u64,
+        /// DATA frames the server published for it (before any
+        /// per-subscriber filtering).
+        blocks: u64,
+    },
+    /// This subscriber fell behind; iterations were dropped
+    /// (drop-to-latest — the publisher never blocks).
+    Lag {
+        /// DATA frames missed.
+        dropped_frames: u64,
+        /// First iteration delivered after the gap.
+        resume_iteration: u64,
+    },
+    /// The server is closing the stream.
+    Bye,
+}
+
+/// A connected subscriber. See the crate docs for a usage example.
+pub struct Subscriber {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    simulation: String,
+    nonblocking: bool,
+}
+
+fn proto_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+impl Subscriber {
+    /// Connect and read the server's HELLO (blocking).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Subscriber> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut sub = Subscriber {
+            stream,
+            buf: Vec::new(),
+            simulation: String::new(),
+            nonblocking: false,
+        };
+        match sub.read_message_blocking()? {
+            Message::Hello {
+                version,
+                simulation,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(proto_err("protocol version mismatch"));
+                }
+                sub.simulation = simulation;
+            }
+            _ => return Err(proto_err("expected HELLO")),
+        }
+        Ok(sub)
+    }
+
+    /// Simulation name announced by the server.
+    pub fn simulation(&self) -> &str {
+        &self.simulation
+    }
+
+    /// Subscribe to the named variables (empty = every variable). A late
+    /// subscriber first receives a snapshot of the most recent completed
+    /// iteration, then the live stream.
+    pub fn subscribe(&mut self, vars: &[&str]) -> io::Result<()> {
+        self.write_all_ignoring_wouldblock(&encode_subscribe(vars))
+    }
+
+    /// Tell the server we are leaving, without waiting for its BYE.
+    pub fn bye(&mut self) -> io::Result<()> {
+        self.write_all_ignoring_wouldblock(&encode_bye())
+    }
+
+    /// Next event, blocking until one arrives. `Err(UnexpectedEof)` when
+    /// the server goes away without a BYE.
+    pub fn next_event(&mut self) -> io::Result<SubscriberEvent> {
+        if self.nonblocking {
+            self.stream.set_nonblocking(false)?;
+            self.nonblocking = false;
+        }
+        let msg = self.read_message_blocking()?;
+        Self::to_event(msg)
+    }
+
+    /// Poll for an event without blocking; `Ok(None)` when nothing is
+    /// ready yet.
+    pub fn try_next(&mut self) -> io::Result<Option<SubscriberEvent>> {
+        if !self.nonblocking {
+            self.stream.set_nonblocking(true)?;
+            self.nonblocking = true;
+        }
+        loop {
+            if let Some((msg, used)) = decode(&self.buf)? {
+                self.buf.drain(..used);
+                return Self::to_event(msg).map(Some);
+            }
+            let mut chunk = [0u8; 16 << 10];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn to_event(msg: Message) -> io::Result<SubscriberEvent> {
+        Ok(match msg {
+            Message::Data {
+                variable,
+                iteration,
+                source,
+                bytes,
+            } => SubscriberEvent::Data {
+                variable,
+                iteration,
+                source,
+                bytes,
+            },
+            Message::IterEnd { iteration, blocks } => {
+                SubscriberEvent::IterationEnd { iteration, blocks }
+            }
+            Message::Lag {
+                dropped_frames,
+                resume_iteration,
+            } => SubscriberEvent::Lag {
+                dropped_frames,
+                resume_iteration,
+            },
+            Message::Bye => SubscriberEvent::Bye,
+            Message::Hello { .. } | Message::Subscribe { .. } => {
+                return Err(proto_err("unexpected frame mid-stream"))
+            }
+        })
+    }
+
+    fn read_message_blocking(&mut self) -> io::Result<Message> {
+        loop {
+            if let Some((msg, used)) = decode(&self.buf)? {
+                self.buf.drain(..used);
+                return Ok(msg);
+            }
+            let mut chunk = [0u8; 16 << 10];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Write a small control frame even if the stream is in nonblocking
+    /// mode (spin briefly on WouldBlock — control frames are tens of
+    /// bytes, far below any socket buffer).
+    fn write_all_ignoring_wouldblock(&mut self, mut bytes: &[u8]) -> io::Result<()> {
+        while !bytes.is_empty() {
+            match self.stream.write(bytes) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => bytes = &bytes[n..],
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,467 @@
+//! Wire protocol for the subscriber streaming tier.
+//!
+//! Every message is one length-prefixed frame, little-endian throughout:
+//!
+//! ```text
+//! [u32 len] [u8 kind] [body …]          len counts kind + body
+//! ```
+//!
+//! | kind | name      | direction | body |
+//! |------|-----------|-----------|------|
+//! | 1    | HELLO     | S → C     | `u32 version`, `u16 n`, simulation name |
+//! | 2    | SUBSCRIBE | C → S     | `u16 count`, count × (`u16 n`, var name); 0 = all |
+//! | 3    | DATA      | S → C     | `u16 n`, var name, `u64 iteration`, `u64 source`, `u64 len`, bytes |
+//! | 4    | ITER_END  | S → C     | `u64 iteration`, `u64 blocks` |
+//! | 5    | LAG       | S → C     | `u64 dropped_frames`, `u64 resume_iteration` |
+//! | 6    | BYE       | both      | empty |
+//!
+//! Frames are decoded from a byte buffer without copying the payload until
+//! a complete frame is present; the length field is validated against
+//! [`MAX_FRAME`] *before* any allocation (the mini-mpi rule: never trust a
+//! peer-supplied length).
+
+use std::io;
+use std::sync::Arc;
+
+use damaris_shm::BlockRef;
+
+/// Protocol version carried in HELLO.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame's `len` field (kind + body). A frame claiming
+/// more than this is a protocol error, not an allocation request.
+pub const MAX_FRAME: usize = 256 << 20;
+
+pub(crate) const KIND_HELLO: u8 = 1;
+pub(crate) const KIND_SUBSCRIBE: u8 = 2;
+pub(crate) const KIND_DATA: u8 = 3;
+pub(crate) const KIND_ITER_END: u8 = 4;
+pub(crate) const KIND_LAG: u8 = 5;
+pub(crate) const KIND_BYE: u8 = 6;
+
+/// A DATA frame's payload: either a zero-copy view into the shared
+/// segment (thread world — the bytes stay in shm until the last
+/// subscriber frame referencing them is sent) or an owned copy (process
+/// mode, where the sink only sees borrowed views of the mapping).
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Refcounted view into the shared segment.
+    Shm(BlockRef),
+    /// Owned bytes, shared between subscriber queues.
+    Owned(Arc<Vec<u8>>),
+}
+
+impl Payload {
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Shm(b) => b.as_slice(),
+            Payload::Owned(v) => v,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One encoded outbound frame: pre-built header bytes plus an optional
+/// out-of-line payload. Shared as `Arc<Frame>` across subscriber queues so
+/// a 1000-way fan-out clones one refcount, not one buffer.
+#[derive(Debug)]
+pub struct Frame {
+    header: Vec<u8>,
+    payload: Option<Payload>,
+}
+
+fn header(kind: u8, body_capacity: usize) -> Vec<u8> {
+    let mut h = Vec::with_capacity(5 + body_capacity);
+    h.extend_from_slice(&[0, 0, 0, 0, kind]);
+    h
+}
+
+/// Patch the length prefix once the full frame size is known.
+fn seal(mut h: Vec<u8>, payload_len: usize) -> Vec<u8> {
+    let len = (h.len() - 4 + payload_len) as u32;
+    h[..4].copy_from_slice(&len.to_le_bytes());
+    h
+}
+
+fn push_str(h: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "name too long for the wire");
+    h.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    h.extend_from_slice(s.as_bytes());
+}
+
+impl Frame {
+    /// Server greeting.
+    pub fn hello(simulation: &str) -> Frame {
+        let mut h = header(KIND_HELLO, 6 + simulation.len());
+        h.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        push_str(&mut h, simulation);
+        Frame {
+            header: seal(h, 0),
+            payload: None,
+        }
+    }
+
+    /// One block of one variable at one iteration.
+    pub fn data(variable: &str, iteration: u64, source: u64, payload: Payload) -> Frame {
+        let mut h = header(KIND_DATA, 26 + variable.len());
+        push_str(&mut h, variable);
+        h.extend_from_slice(&iteration.to_le_bytes());
+        h.extend_from_slice(&source.to_le_bytes());
+        h.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        Frame {
+            header: seal(h, payload.len()),
+            payload: Some(payload),
+        }
+    }
+
+    /// Iteration boundary; `blocks` is the published DATA frame count.
+    pub fn iter_end(iteration: u64, blocks: u64) -> Frame {
+        let mut h = header(KIND_ITER_END, 16);
+        h.extend_from_slice(&iteration.to_le_bytes());
+        h.extend_from_slice(&blocks.to_le_bytes());
+        Frame {
+            header: seal(h, 0),
+            payload: None,
+        }
+    }
+
+    /// Slow-consumer notice: `dropped_frames` DATA frames were skipped;
+    /// the live stream resumes at `resume_iteration`.
+    pub fn lag(dropped_frames: u64, resume_iteration: u64) -> Frame {
+        let mut h = header(KIND_LAG, 16);
+        h.extend_from_slice(&dropped_frames.to_le_bytes());
+        h.extend_from_slice(&resume_iteration.to_le_bytes());
+        Frame {
+            header: seal(h, 0),
+            payload: None,
+        }
+    }
+
+    /// Clean close (either direction).
+    pub fn bye() -> Frame {
+        Frame {
+            header: seal(header(KIND_BYE, 0), 0),
+            payload: None,
+        }
+    }
+
+    /// Header bytes (length prefix, kind, fixed fields).
+    pub fn header_bytes(&self) -> &[u8] {
+        &self.header
+    }
+
+    /// Out-of-line payload bytes (empty slice for header-only frames).
+    pub fn payload_bytes(&self) -> &[u8] {
+        self.payload.as_ref().map(Payload::as_slice).unwrap_or(&[])
+    }
+
+    /// Total wire size of the frame.
+    pub fn wire_len(&self) -> usize {
+        self.header.len() + self.payload.as_ref().map(Payload::len).unwrap_or(0)
+    }
+
+    /// True for DATA frames (the only kind the lag policy may drop).
+    pub fn is_data(&self) -> bool {
+        self.header[4] == KIND_DATA
+    }
+}
+
+/// Encode a client SUBSCRIBE frame. An empty list subscribes to every
+/// variable.
+pub fn encode_subscribe(vars: &[&str]) -> Vec<u8> {
+    let mut h = header(
+        KIND_SUBSCRIBE,
+        2 + vars.iter().map(|v| 2 + v.len()).sum::<usize>(),
+    );
+    h.extend_from_slice(&(vars.len() as u16).to_le_bytes());
+    for v in vars {
+        push_str(&mut h, v);
+    }
+    seal(h, 0)
+}
+
+/// Encode a BYE frame as raw bytes (client side).
+pub fn encode_bye() -> Vec<u8> {
+    seal(header(KIND_BYE, 0), 0)
+}
+
+/// A decoded inbound message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Server greeting.
+    Hello {
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        version: u32,
+        /// Simulation name from the configuration.
+        simulation: String,
+    },
+    /// Client subscription request; empty = all variables.
+    Subscribe {
+        /// Requested variable names.
+        vars: Vec<String>,
+    },
+    /// One block of one variable.
+    Data {
+        /// Variable name.
+        variable: String,
+        /// Simulation time step.
+        iteration: u64,
+        /// Writing client rank (0-based, identical across worlds).
+        source: u64,
+        /// Block payload.
+        bytes: Vec<u8>,
+    },
+    /// Iteration boundary.
+    IterEnd {
+        /// Completed iteration.
+        iteration: u64,
+        /// DATA frames published for it.
+        blocks: u64,
+    },
+    /// The subscriber fell behind and iterations were dropped.
+    Lag {
+        /// DATA frames this subscriber missed.
+        dropped_frames: u64,
+        /// First iteration delivered after the gap.
+        resume_iteration: u64,
+    },
+    /// Clean close.
+    Bye,
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed frame: {what}"),
+    )
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(bad("truncated body"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| bad("name is not utf-8"))
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(bad("trailing bytes in body"));
+        }
+        Ok(())
+    }
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a complete frame,
+/// `Ok(Some((message, consumed)))` on success, and an error for malformed
+/// or oversized frames (the connection should be dropped).
+pub fn decode(buf: &[u8]) -> io::Result<Option<(Message, usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(bad("length out of range"));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let kind = buf[4];
+    let mut r = Reader {
+        buf: &buf[5..4 + len],
+        pos: 0,
+    };
+    let msg = match kind {
+        KIND_HELLO => {
+            let version = r.u32()?;
+            let simulation = r.string()?;
+            Message::Hello {
+                version,
+                simulation,
+            }
+        }
+        KIND_SUBSCRIBE => {
+            let count = r.u16()? as usize;
+            let mut vars = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                vars.push(r.string()?);
+            }
+            Message::Subscribe { vars }
+        }
+        KIND_DATA => {
+            let variable = r.string()?;
+            let iteration = r.u64()?;
+            let source = r.u64()?;
+            let n = r.u64()? as usize;
+            let bytes = r.take(n)?.to_vec();
+            Message::Data {
+                variable,
+                iteration,
+                source,
+                bytes,
+            }
+        }
+        KIND_ITER_END => Message::IterEnd {
+            iteration: r.u64()?,
+            blocks: r.u64()?,
+        },
+        KIND_LAG => Message::Lag {
+            dropped_frames: r.u64()?,
+            resume_iteration: r.u64()?,
+        },
+        KIND_BYE => Message::Bye,
+        other => return Err(bad(&format!("unknown kind {other}"))),
+    };
+    r.done()?;
+    Ok(Some((msg, 4 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire(f: &Frame) -> Vec<u8> {
+        let mut v = f.header_bytes().to_vec();
+        v.extend_from_slice(f.payload_bytes());
+        v
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let cases: Vec<(Frame, Message)> = vec![
+            (
+                Frame::hello("sim"),
+                Message::Hello {
+                    version: PROTOCOL_VERSION,
+                    simulation: "sim".into(),
+                },
+            ),
+            (
+                Frame::data("u", 7, 3, Payload::Owned(Arc::new(vec![1, 2, 3]))),
+                Message::Data {
+                    variable: "u".into(),
+                    iteration: 7,
+                    source: 3,
+                    bytes: vec![1, 2, 3],
+                },
+            ),
+            (
+                Frame::iter_end(7, 16),
+                Message::IterEnd {
+                    iteration: 7,
+                    blocks: 16,
+                },
+            ),
+            (
+                Frame::lag(40, 9),
+                Message::Lag {
+                    dropped_frames: 40,
+                    resume_iteration: 9,
+                },
+            ),
+            (Frame::bye(), Message::Bye),
+        ];
+        for (frame, want) in cases {
+            let bytes = wire(&frame);
+            assert_eq!(frame.wire_len(), bytes.len());
+            let (got, used) = decode(&bytes).unwrap().expect("complete");
+            assert_eq!(used, bytes.len());
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn subscribe_encodes_and_decodes() {
+        let bytes = encode_subscribe(&["u", "pressure"]);
+        let (msg, used) = decode(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(
+            msg,
+            Message::Subscribe {
+                vars: vec!["u".into(), "pressure".into()]
+            }
+        );
+        let (msg, _) = decode(&encode_subscribe(&[])).unwrap().unwrap();
+        assert_eq!(msg, Message::Subscribe { vars: vec![] });
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let bytes = wire(&Frame::data(
+            "v",
+            1,
+            0,
+            Payload::Owned(Arc::new(vec![9; 64])),
+        ));
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).unwrap().is_none(), "cut at {cut}");
+        }
+        // Two frames back to back: the first decode consumes exactly one.
+        let mut two = bytes.clone();
+        two.extend_from_slice(&wire(&Frame::bye()));
+        let (_, used) = decode(&two).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        let (msg, _) = decode(&two[used..]).unwrap().unwrap();
+        assert_eq!(msg, Message::Bye);
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected_before_allocation() {
+        // Oversized length claim.
+        let mut b = Vec::new();
+        b.extend_from_slice(&(u32::MAX).to_le_bytes());
+        b.push(KIND_BYE);
+        assert!(decode(&b).is_err());
+        // Zero-length frame (no kind byte).
+        assert!(decode(&0u32.to_le_bytes()).is_err());
+        // Unknown kind.
+        let mut b = Vec::new();
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.push(99);
+        assert!(decode(&b).is_err());
+        // Truncated body: DATA claiming more payload than the frame holds.
+        let mut b = Vec::new();
+        b.extend_from_slice(&12u32.to_le_bytes());
+        b.push(KIND_DATA);
+        b.extend_from_slice(&1u16.to_le_bytes());
+        b.push(b'u');
+        b.extend_from_slice(&[0; 8]);
+        assert!(decode(&b).is_err());
+    }
+}

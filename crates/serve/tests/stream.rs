@@ -1,0 +1,241 @@
+//! End-to-end tests of the streaming server against the client library:
+//! live fan-out, snapshot catch-up, variable filtering, and the lag
+//! policy under a stalled consumer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use damaris_serve::{
+    Payload, PublishBlock, ServeOptions, StreamServer, Subscriber, SubscriberEvent,
+};
+
+fn opts(queue_frames: usize) -> ServeOptions {
+    ServeOptions {
+        listen: "127.0.0.1:0".to_string(),
+        queue_frames,
+        simulation: "stream-test".to_string(),
+        addr_file: None,
+    }
+}
+
+fn owned(bytes: Vec<u8>) -> Payload {
+    Payload::Owned(Arc::new(bytes))
+}
+
+fn block(var: &str, source: u64, bytes: Vec<u8>) -> PublishBlock {
+    PublishBlock {
+        variable: var.to_string(),
+        source,
+        payload: owned(bytes),
+    }
+}
+
+/// Read events until (and including) the given iteration's boundary.
+fn read_iteration(sub: &mut Subscriber, iteration: u64) -> Vec<SubscriberEvent> {
+    let mut out = Vec::new();
+    loop {
+        let ev = sub.next_event().expect("stream alive");
+        let done = matches!(
+            &ev,
+            SubscriberEvent::IterationEnd { iteration: it, .. } if *it == iteration
+        );
+        out.push(ev);
+        if done {
+            return out;
+        }
+    }
+}
+
+#[test]
+fn live_stream_reaches_subscriber_and_ends_with_bye() {
+    let server = StreamServer::bind(opts(64)).unwrap();
+    let mut sub = Subscriber::connect(server.local_addr()).unwrap();
+    assert_eq!(sub.simulation(), "stream-test");
+    sub.subscribe(&[]).unwrap();
+
+    // Iteration 0 may arrive live or as catch-up, depending on when the
+    // poll thread registers the subscription — either way, exactly once.
+    server.publish(
+        0,
+        vec![block("u", 0, vec![1; 16]), block("u", 1, vec![2; 16])],
+    );
+    let it0 = read_iteration(&mut sub, 0);
+    assert_eq!(it0.len(), 3, "two DATA + one ITER_END: {it0:?}");
+    assert!(matches!(
+        &it0[0],
+        SubscriberEvent::Data { variable, iteration: 0, source: 0, bytes }
+            if variable == "u" && bytes == &vec![1; 16]
+    ));
+    assert!(matches!(
+        &it0[2],
+        SubscriberEvent::IterationEnd {
+            iteration: 0,
+            blocks: 2
+        }
+    ));
+
+    // Once iteration 0 arrived the subscription is registered, so later
+    // iterations stream live and in order.
+    server.publish(1, vec![block("u", 0, vec![3; 8])]);
+    server.publish(2, vec![block("u", 0, vec![4; 8])]);
+    let it1 = read_iteration(&mut sub, 1);
+    assert_eq!(it1.len(), 2);
+    let it2 = read_iteration(&mut sub, 2);
+    assert!(matches!(
+        &it2[0],
+        SubscriberEvent::Data { iteration: 2, bytes, .. } if bytes == &vec![4; 8]
+    ));
+
+    let stats = server.stats();
+    assert_eq!(stats.iterations_published, 3);
+    assert_eq!(stats.subscribers_peak, 1);
+    assert_eq!(stats.frames_dropped, 0);
+
+    server.shutdown(Duration::from_secs(5));
+    assert_eq!(sub.next_event().unwrap(), SubscriberEvent::Bye);
+}
+
+#[test]
+fn late_joiner_catches_up_from_latest_snapshot_only() {
+    let server = StreamServer::bind(opts(64)).unwrap();
+    // Two iterations pass before anyone is listening.
+    server.publish(0, vec![block("u", 0, vec![0xaa; 32])]);
+    server.publish(1, vec![block("u", 0, vec![0xbb; 32])]);
+
+    let mut sub = Subscriber::connect(server.local_addr()).unwrap();
+    sub.subscribe(&[]).unwrap();
+    // Catch-up is the most recent completed iteration — 1, not 0.
+    let caught = read_iteration(&mut sub, 1);
+    assert_eq!(caught.len(), 2);
+    assert!(matches!(
+        &caught[0],
+        SubscriberEvent::Data { iteration: 1, bytes, .. } if bytes == &vec![0xbb; 32]
+    ));
+
+    // Then the live stream continues.
+    server.publish(2, vec![block("u", 0, vec![0xcc; 32])]);
+    let live = read_iteration(&mut sub, 2);
+    assert!(matches!(
+        &live[0],
+        SubscriberEvent::Data { iteration: 2, bytes, .. } if bytes == &vec![0xcc; 32]
+    ));
+    assert_eq!(server.stats().snapshots_served, 1);
+    server.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn subscription_filters_variables_but_boundaries_keep_full_counts() {
+    let server = StreamServer::bind(opts(64)).unwrap();
+    server.publish(
+        0,
+        vec![
+            block("u", 0, vec![1; 8]),
+            block("v", 0, vec![2; 8]),
+            block("v", 1, vec![3; 8]),
+        ],
+    );
+    let mut sub = Subscriber::connect(server.local_addr()).unwrap();
+    sub.subscribe(&["v"]).unwrap();
+    let events = read_iteration(&mut sub, 0);
+    let datas: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            SubscriberEvent::Data {
+                variable, source, ..
+            } => Some((variable.clone(), *source)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(datas, vec![("v".to_string(), 0), ("v".to_string(), 1)]);
+    // The boundary advertises the published count, not the filtered one.
+    assert!(matches!(
+        events.last().unwrap(),
+        SubscriberEvent::IterationEnd { blocks: 3, .. }
+    ));
+    server.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn stalled_consumer_lags_and_resumes_without_blocking_publisher() {
+    const BLOCK: usize = 256 << 10;
+    let server = StreamServer::bind(opts(4)).unwrap();
+    let mut sub = Subscriber::connect(server.local_addr()).unwrap();
+    sub.subscribe(&[]).unwrap();
+    server.publish(0, vec![block("u", 0, vec![0; 64])]);
+    let _ = read_iteration(&mut sub, 0); // subscription confirmed
+
+    // Stop reading and bury the subscriber: far more bytes than the
+    // socket buffers + 4-frame queue can hold.
+    for it in 1..=80u64 {
+        server.publish(it, vec![block("u", 0, vec![it as u8; BLOCK])]);
+    }
+    let stats = server.stats();
+    assert!(
+        stats.frames_dropped > 0,
+        "a stalled consumer must shed load: {stats:?}"
+    );
+    // The lag policy promise: publish never blocks on a dead socket. A
+    // blocked publisher would show seconds here, not microseconds (50 ms
+    // leaves room for a noisy CI scheduler).
+    assert!(
+        stats.publish_ns_max < 50_000_000,
+        "publish path not bounded: max {} ns",
+        stats.publish_ns_max
+    );
+
+    // Resume reading while fresh iterations arrive: the stream comes
+    // back with an explicit LAG, then whole iterations only.
+    let mut events = Vec::new();
+    for it in 81..=120u64 {
+        server.publish(it, vec![block("u", 0, vec![it as u8; 1024])]);
+        while let Some(ev) = sub.try_next().expect("stream alive") {
+            events.push(ev);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    server.shutdown(Duration::from_secs(5));
+    loop {
+        match sub.try_next() {
+            Ok(Some(SubscriberEvent::Bye)) => break,
+            Ok(Some(ev)) => events.push(ev),
+            Ok(None) => std::thread::sleep(Duration::from_millis(1)),
+            Err(_) => break,
+        }
+    }
+
+    let lag = events
+        .iter()
+        .find_map(|e| match e {
+            SubscriberEvent::Lag {
+                dropped_frames,
+                resume_iteration,
+            } => Some((*dropped_frames, *resume_iteration)),
+            _ => None,
+        })
+        .expect("an explicit LAG frame must precede the resumed stream");
+    assert!(lag.0 > 0, "LAG reports what was missed");
+    assert!(lag.1 > 1, "stream resumed past the dropped prefix");
+
+    // Drop-to-latest delivers whole iterations or nothing: every DATA
+    // run is terminated by its own iteration's boundary.
+    let mut current: Option<u64> = None;
+    for ev in &events {
+        match ev {
+            SubscriberEvent::Data { iteration, .. } => {
+                assert!(
+                    current.is_none() || current == Some(*iteration),
+                    "interleaved iterations: {events:?}"
+                );
+                current = Some(*iteration);
+            }
+            SubscriberEvent::IterationEnd { iteration, .. } => {
+                if let Some(cur) = current {
+                    assert_eq!(cur, *iteration, "boundary closes its own iteration");
+                }
+                current = None;
+            }
+            SubscriberEvent::Lag { .. } | SubscriberEvent::Bye => {}
+        }
+    }
+    assert!(server.stats().lag_events >= 1);
+}

@@ -488,6 +488,46 @@ impl Default for StoreConfig {
     }
 }
 
+/// Subscriber streaming tier configuration (`<serve>` inside
+/// `<architecture>`).
+///
+/// When present, the dedicated core runs a TCP streaming server
+/// (`damaris_serve`) beside the storage pipeline: every completed
+/// iteration's blocks are published as length-prefixed DATA frames to all
+/// connected subscribers, with per-subscriber bounded send queues
+/// (drop-to-latest + LAG frame for slow consumers — the publisher never
+/// blocks) and snapshot catch-up of the most recent completed iteration
+/// for late joiners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address (`listen="addr:port"`). Port 0 picks an ephemeral
+    /// port; see `addr_file` for discovery.
+    pub listen: String,
+    /// Per-subscriber bounded send queue, in frames (`queue_frames="N"`,
+    /// must be ≥ 1). A publish that does not fit drops the whole
+    /// iteration for that subscriber and schedules a LAG frame.
+    pub queue_frames: u32,
+    /// Completed iterations retained in the `VariableStore` for snapshot
+    /// catch-up (`retain="N"`, must be ≥ 1). Older completed iterations
+    /// are garbage-collected as usual.
+    pub retain: u64,
+    /// Optional file the server writes its bound address to
+    /// (`addr_file="…"`); relative paths resolve against the node's
+    /// output directory. Lets dashboards discover an ephemeral port.
+    pub addr_file: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            queue_frames: 256,
+            retain: 1,
+            addr_file: None,
+        }
+    }
+}
+
 /// How the node's ranks are realized (`<world kind="…">`): threads in one
 /// address space, or separate OS processes over the socket transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -557,6 +597,9 @@ pub struct Architecture {
     /// Dedicated-core storage pipeline (`<store type="h5lite" …/>`);
     /// `None` = no live storage.
     pub store: Option<StoreConfig>,
+    /// Subscriber streaming tier (`<serve listen="addr:port" …/>`);
+    /// `None` = no serving.
+    pub serve: Option<ServeConfig>,
 }
 
 impl Default for Architecture {
@@ -571,6 +614,7 @@ impl Default for Architecture {
             world: WorldKind::default(),
             skip: SkipConfig::default(),
             store: None,
+            serve: None,
         }
     }
 }
@@ -840,6 +884,16 @@ impl Configuration {
             }
             arch = arch.with_child(se);
         }
+        if let Some(serve) = &self.architecture.serve {
+            let mut se = Element::new("serve")
+                .with_attr("listen", &serve.listen)
+                .with_attr("queue_frames", serve.queue_frames.to_string())
+                .with_attr("retain", serve.retain.to_string());
+            if let Some(path) = &serve.addr_file {
+                se = se.with_attr("addr_file", path);
+            }
+            arch = arch.with_child(se);
+        }
         let arch = arch.with_child(
             Element::new("skip")
                 .with_attr(
@@ -1029,6 +1083,33 @@ fn parse_architecture(el: &Element) -> XmlResult<Architecture> {
             return Err(XmlError::schema("<store workers> must be ≥ 1"));
         }
         arch.store = Some(store);
+    }
+    if let Some(s) = el.child("serve") {
+        let mut serve = ServeConfig::default();
+        if let Some(listen) = s.attr("listen") {
+            if listen.trim().is_empty() || !listen.contains(':') {
+                return Err(XmlError::schema(format!(
+                    "<serve listen> must be addr:port, got '{listen}'"
+                )));
+            }
+            serve.listen = listen.to_string();
+        }
+        serve.queue_frames = s
+            .attr_parse("queue_frames")
+            .map_err(XmlError::schema)?
+            .unwrap_or(serve.queue_frames);
+        if serve.queue_frames == 0 {
+            return Err(XmlError::schema("<serve queue_frames> must be ≥ 1"));
+        }
+        serve.retain = s
+            .attr_parse("retain")
+            .map_err(XmlError::schema)?
+            .unwrap_or(serve.retain);
+        if serve.retain == 0 {
+            return Err(XmlError::schema("<serve retain> must be ≥ 1"));
+        }
+        serve.addr_file = s.attr("addr_file").map(Into::into);
+        arch.serve = Some(serve);
     }
     if let Some(s) = el.child("skip") {
         let mode = match s.attr("mode").unwrap_or("block") {
@@ -1616,6 +1697,71 @@ mod tests {
             (
                 r#"<simulation><architecture><store workers="many"/></architecture></simulation>"#,
                 "workers",
+            ),
+        ] {
+            let err = Configuration::from_str(xml).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn serve_config_parses_and_roundtrips() {
+        let xml = r#"
+        <simulation name="stream">
+          <architecture>
+            <buffer size="1048576"/>
+            <serve listen="0.0.0.0:7070" queue_frames="32" retain="3" addr_file="serve.addr"/>
+          </architecture>
+        </simulation>"#;
+        let cfg = Configuration::from_str(xml).unwrap();
+        let serve = cfg.architecture.serve.as_ref().unwrap();
+        assert_eq!(serve.listen, "0.0.0.0:7070");
+        assert_eq!(serve.queue_frames, 32);
+        assert_eq!(serve.retain, 3);
+        assert_eq!(serve.addr_file.as_deref(), Some("serve.addr"));
+        // Everything survives serialize → parse.
+        let back = Configuration::from_str(&cfg.to_xml()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn serve_defaults_and_bad_forms() {
+        // Bare <serve/> gets the defaults: ephemeral loopback port,
+        // 256-frame queues, one retained iteration.
+        let cfg = Configuration::from_str(
+            r#"<simulation><architecture><serve/></architecture></simulation>"#,
+        )
+        .unwrap();
+        let serve = cfg.architecture.serve.unwrap();
+        assert_eq!(serve, ServeConfig::default());
+        assert_eq!(serve.listen, "127.0.0.1:0");
+        assert_eq!(serve.queue_frames, 256);
+        assert_eq!(serve.retain, 1);
+        assert_eq!(serve.addr_file, None);
+        // No <serve> element means no streaming tier.
+        let cfg = Configuration::from_str("<simulation name=\"x\"/>").unwrap();
+        assert!(cfg.architecture.serve.is_none());
+        // Junk forms are rejected.
+        for (xml, needle) in [
+            (
+                r#"<simulation><architecture><serve listen="nocolon"/></architecture></simulation>"#,
+                "listen",
+            ),
+            (
+                r#"<simulation><architecture><serve listen=""/></architecture></simulation>"#,
+                "listen",
+            ),
+            (
+                r#"<simulation><architecture><serve queue_frames="0"/></architecture></simulation>"#,
+                "queue_frames",
+            ),
+            (
+                r#"<simulation><architecture><serve queue_frames="lots"/></architecture></simulation>"#,
+                "queue_frames",
+            ),
+            (
+                r#"<simulation><architecture><serve retain="0"/></architecture></simulation>"#,
+                "retain",
             ),
         ] {
             let err = Configuration::from_str(xml).unwrap_err();

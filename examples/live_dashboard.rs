@@ -1,0 +1,157 @@
+//! Live dashboard consumer: watch a running simulation over the
+//! subscriber streaming tier.
+//!
+//! One SMP "node" with 2 compute cores runs a toy heat field while the
+//! `<serve>` element stands up a TCP endpoint beside the dedicated core.
+//! A dashboard thread — which could just as well be a separate process on
+//! another machine — connects with [`damaris::serve::Subscriber`],
+//! subscribes to the `temperature` variable only, and renders a one-line
+//! summary (min/mean/max plus a sparkline) per iteration as frames
+//! arrive. The compute loop never waits for it: a dashboard that falls
+//! behind is lagged past (LAG frame), never a source of backpressure.
+//!
+//! Run with: `cargo run --release --example live_dashboard`
+
+use damaris::core::prelude::*;
+use damaris::serve::{Subscriber, SubscriberEvent};
+
+const CONFIG: &str = r#"
+<simulation name="dashboard">
+  <architecture>
+    <dedicated cores="1"/>
+    <buffer size="8388608"/>
+    <queue capacity="256"/>
+    <serve listen="127.0.0.1:0" queue_frames="64"/>
+  </architecture>
+  <data>
+    <parameter name="n" value="64"/>
+    <layout name="grid" type="f64" dimensions="n,n"/>
+    <variable name="temperature" layout="grid" unit="K"/>
+    <variable name="pressure" layout="grid" unit="Pa"/>
+  </data>
+</simulation>"#;
+
+const N: usize = 64;
+const ITERATIONS: u64 = 20;
+
+/// The dashboard: subscribe to one variable and print a rolling summary.
+fn dashboard(addr: std::net::SocketAddr) {
+    let mut sub = Subscriber::connect(addr).expect("dashboard connects");
+    println!("dashboard: attached to '{}' at {addr}", sub.simulation());
+    // Only temperature — the server filters pressure frames out for us.
+    sub.subscribe(&["temperature"]).expect("subscribe");
+    let spark = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    loop {
+        match sub.next_event().expect("stream healthy") {
+            SubscriberEvent::Data {
+                variable,
+                iteration,
+                source,
+                bytes,
+            } => {
+                let field: Vec<f64> = bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                let (mut lo, mut hi, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+                for &v in &field {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                    sum += v;
+                }
+                let mean = sum / field.len() as f64;
+                // Sparkline over one row through the middle of the grid.
+                let row = &field[N * (N / 2)..N * (N / 2) + N];
+                let line: String = row
+                    .iter()
+                    .step_by(8)
+                    .map(|&v| {
+                        let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
+                        spark[(t * (spark.len() - 1) as f64).round() as usize]
+                    })
+                    .collect();
+                println!(
+                    "  it {iteration:>3} {variable} rank{source}: \
+                     min {lo:7.2} mean {mean:7.2} max {hi:7.2}  {line}"
+                );
+            }
+            SubscriberEvent::IterationEnd { .. } => {}
+            SubscriberEvent::Lag {
+                dropped_frames,
+                resume_iteration,
+            } => println!(
+                "  (lagged: {dropped_frames} frames dropped, resuming at it {resume_iteration})"
+            ),
+            SubscriberEvent::Bye => {
+                println!("dashboard: simulation finished, detaching");
+                break;
+            }
+        }
+    }
+}
+
+/// A blob of heat diffusing across the grid, drifting with time.
+fn temperature(rank: usize, it: u64) -> Vec<f64> {
+    let (cx, cy) = (
+        N as f64 * (0.25 + 0.5 * (it as f64 / ITERATIONS as f64)),
+        N as f64 * (0.35 + 0.3 * rank as f64),
+    );
+    (0..N * N)
+        .map(|i| {
+            let (x, y) = ((i % N) as f64, (i / N) as f64);
+            let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+            280.0 + 60.0 * (-d2 / 80.0).exp()
+        })
+        .collect()
+}
+
+fn main() {
+    let node = DamarisNode::builder()
+        .config_str(CONFIG)
+        .expect("valid configuration")
+        .clients(2)
+        .output_dir(std::env::temp_dir().join("damaris-dashboard"))
+        .build()
+        .expect("node starts");
+
+    // The streaming tier was auto-registered from <serve>; hand its
+    // (ephemeral) address to the dashboard.
+    let addr = node.serve_addr().expect("streaming tier bound");
+    let dash = std::thread::spawn(move || dashboard(addr));
+
+    // The simulation: entirely unaware of the dashboard.
+    std::thread::scope(|scope| {
+        for client in node.clients() {
+            scope.spawn(move || {
+                let rank = client.id();
+                for it in 0..ITERATIONS {
+                    client
+                        .write("temperature", it, &temperature(rank, it))
+                        .expect("write temperature");
+                    client
+                        .write("pressure", it, &vec![101_325.0f64; N * N])
+                        .expect("write pressure");
+                    client.end_iteration(it).expect("end iteration");
+                    // A compute phase, so the stream is visibly "live".
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                client.finalize().expect("finalize");
+            });
+        }
+    });
+
+    let stats = node.serve_stats().expect("serve stats");
+    let report = node.shutdown().expect("clean shutdown");
+    dash.join().expect("dashboard thread");
+    println!(
+        "served {} iterations as {} DATA frames ({} bytes on the wire) to {} subscriber(s)",
+        stats.iterations_published,
+        stats.data_frames_published,
+        stats.bytes_sent,
+        stats.subscribers_connected,
+    );
+    println!(
+        "simulation: {} iterations, {} blocks received",
+        report.iterations_completed, report.blocks_received
+    );
+}

@@ -26,7 +26,10 @@ baseline usually comes from a different box than the CI runner), so:
 
 Missing samples and missing metrics (layout changes) always fail, so a
 bench cannot silently drop coverage. Metrics measured as 0 in the
-baseline are skipped.
+baseline are skipped. A file whose "samples" array carries no measured
+metric at all (a bench that crashed mid-write, or an empty baseline)
+makes every comparison vacuous: that is a hard failure in gating mode
+and a loud stderr warning under --report-only.
 
 `--bound "metric<=VAL"` / `--bound "metric>=VAL"` (repeatable) add
 absolute acceptance bounds checked against CURRENT only — for
@@ -147,6 +150,27 @@ def main(argv):
         print(f"cannot load bench JSON: {e}", file=sys.stderr)
         return 2
 
+    # An empty sample set passes every per-sample check below by never
+    # running any of them — catch that before it reads as a green gate.
+    def has_metrics(samples):
+        return any(is_metric(v) for s in samples for v in s.values())
+
+    name = current.get("benchmark", args.current)
+    vacuous = []
+    if not has_metrics(current.get("samples", [])):
+        vacuous.append(f"current '{args.current}' contains no measured samples")
+    if not has_metrics(baseline.get("samples", [])):
+        vacuous.append(f"baseline '{args.baseline}' contains no measured samples")
+    if vacuous:
+        for msg in vacuous:
+            print(
+                f"WARNING: {msg} — every regression check on '{name}' is vacuous",
+                file=sys.stderr,
+            )
+        if not args.report_only:
+            print(f"bench '{name}': empty sample set fails in gating mode")
+            return 1
+
     base_by_key = {sample_key(s): s for s in baseline.get("samples", [])}
     cur_by_key = {sample_key(s): s for s in current.get("samples", [])}
 
@@ -185,7 +209,6 @@ def main(argv):
     check_bounds(args.bound, current.get("samples", []), failures)
     checked += len(args.bound)
 
-    name = current.get("benchmark", args.current)
     if failures:
         print(f"bench regression in '{name}' ({len(failures)} failures):")
         for f in failures:

@@ -24,6 +24,8 @@
 //! * [`h5`] — `h5lite`, an HDF5-like hierarchical file format.
 //! * [`core`] — the middleware itself: client API, dedicated-core server,
 //!   plugins, iteration-skip policy, I/O schedulers, synchronous baselines.
+//! * [`serve`] — the subscriber streaming tier: completed iterations served
+//!   live over TCP to many concurrent consumers (`<serve listen="…"/>`).
 //! * [`apps`] — CM1-like and Nek5000-like proxy applications.
 //! * [`insitu`] — in-situ analysis kernels and the VisIt-style synchronous
 //!   coupling used as the usability baseline.
@@ -77,6 +79,7 @@
 pub use cluster_sim as cluster;
 pub use codec;
 pub use damaris_core as core;
+pub use damaris_serve as serve;
 pub use damaris_shm as shm;
 pub use damaris_xml as xml;
 pub use h5lite as h5;
