@@ -147,6 +147,12 @@ pub struct DamarisOptions {
     /// `mini_mpi::World::run_spawned` + `damaris_core::process`, with
     /// costs calibrated from `BENCH_mpi_transport.json`).
     pub world: WorldKind,
+    /// Heartbeat failure detection on the process-world links
+    /// (`<world heartbeat_ms="…"/>`): every sequenced frame is retained
+    /// for retransmission until acked, which taxes each post slightly
+    /// (mirrors `mini_mpi`'s reliable mode; the CI bench gate holds the
+    /// tax under 5 % of the post cost). Irrelevant in the thread world.
+    pub heartbeat: bool,
 }
 
 impl Default for DamarisOptions {
@@ -161,6 +167,7 @@ impl Default for DamarisOptions {
             transport: TransportKind::Mutex,
             allocator: AllocatorKind::SizeClass,
             world: WorldKind::Threads,
+            heartbeat: false,
         }
     }
 }
@@ -185,6 +192,7 @@ impl DamarisOptions {
             },
             allocator: arch.allocator,
             world: arch.world,
+            heartbeat: arch.heartbeat_ms.unwrap_or(0) > 0,
             ..Default::default()
         }
     }

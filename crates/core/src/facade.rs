@@ -711,6 +711,14 @@ pub struct SimReport {
     /// of iterations that never complete (a client skips
     /// `end_iteration`) are excluded on both backends.
     pub data_digest: u64,
+    /// World ranks of clients that died mid-run and were survived in
+    /// degraded mode (ascending; requires the process world with
+    /// `<world heartbeat_ms="…">`). Always empty for the thread world.
+    /// A dead client's entry in [`SimReport::outputs`] is empty.
+    pub dead_ranks: Vec<usize>,
+    /// Whether the run completed in degraded mode (at least one client
+    /// died and the dedicated core closed its staged iterations).
+    pub degraded: bool,
 }
 
 fn encode_wire(cfg: &Configuration, input: &[u8]) -> Vec<u8> {
@@ -787,6 +795,8 @@ where
         blocks_received: report.blocks_received,
         bytes_received: report.bytes_received,
         data_digest: digest.load(Ordering::Relaxed),
+        dead_ranks: Vec::new(),
+        degraded: false,
     })
 }
 
@@ -902,14 +912,16 @@ where
             if let Some(mut s) = serve {
                 s.finish();
             }
-            let words = [
+            let mut words = vec![
                 report.iterations_completed,
                 report.skipped_client_iterations,
                 report.signals_delivered,
                 report.blocks_received,
                 report.bytes_received,
                 sink.digest(),
+                report.dead_ranks.len() as u64,
             ];
+            words.extend(report.dead_ranks.iter().map(|&r| r as u64));
             words.iter().flat_map(|w| w.to_le_bytes()).collect()
         } else {
             let handle = ProcessHandle::new(comm, cfg, &dir).expect("client joins the node");
@@ -919,25 +931,64 @@ where
             out
         }
     };
-    let result = if test_harness {
-        World::run_spawned_test(size, program, &wire, rank_program)
-    } else {
-        World::run_spawned(size, program, &wire, rank_program)
+    // Seed-list rendezvous and the heartbeat mesh come straight from the
+    // configuration (`<world seeds="…" heartbeat_ms="…"/>`).
+    let opts = mini_mpi::SpawnOptions {
+        harness_args: test_harness,
+        seeds: cfg.architecture.seeds.clone(),
+        heartbeat_ms: cfg.architecture.heartbeat_ms.unwrap_or(0),
+        heartbeat_timeout_ms: cfg.architecture.heartbeat_timeout_ms.unwrap_or(10_000),
+        ..mini_mpi::SpawnOptions::default()
     };
-    let mut outputs =
-        result.map_err(|e| DamarisError::InvalidState(format!("process world failed: {e}")))?;
-    let server = outputs.remove(DEDICATED_RANK);
+    let outcome = World::run_spawned_outcome(size, program, &wire, opts, rank_program)
+        .map_err(|e| DamarisError::InvalidState(format!("process world failed: {e}")))?;
+    let mut results = outcome.results;
+    let server = results.remove(DEDICATED_RANK).ok_or_else(|| {
+        DamarisError::InvalidState(format!(
+            "process world failed: dedicated core died ({})",
+            outcome.failures.join("; ")
+        ))
+    })?;
     let words: Vec<u64> = server
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
         .collect();
-    let [iterations_completed, skipped_client_iterations, signals_delivered, blocks_received, bytes_received, data_digest] =
-        words[..]
-    else {
+    if words.len() < 7 || words.len() != 7 + words[6] as usize {
         return Err(DamarisError::InvalidState(
             "malformed dedicated-core report".into(),
         ));
+    }
+    let [iterations_completed, skipped_client_iterations, signals_delivered, blocks_received, bytes_received, data_digest, _dead_count] =
+        words[..7]
+    else {
+        unreachable!("length checked above");
     };
+    let dead_ranks: Vec<usize> = words[7..].iter().map(|&w| w as usize).collect();
+    // A failed rank is tolerable only when the dedicated core itself
+    // declared it dead and finished degraded; anything else (a client
+    // that panicked but said goodbye, a failure the server never saw)
+    // still fails the launch.
+    let unexplained: Vec<&String> = outcome
+        .failures
+        .iter()
+        .filter(|line| {
+            !dead_ranks
+                .iter()
+                .any(|r| line.starts_with(&format!("rank {r}:")))
+        })
+        .collect();
+    if !unexplained.is_empty() {
+        return Err(DamarisError::InvalidState(format!(
+            "process world failed: {}",
+            unexplained
+                .into_iter()
+                .cloned()
+                .collect::<Vec<_>>()
+                .join("; ")
+        )));
+    }
+    // Dead clients have no output; keep client order with empty slots.
+    let outputs: Vec<Vec<u8>> = results.into_iter().map(Option::unwrap_or_default).collect();
     Ok(SimReport {
         outputs,
         iterations_completed,
@@ -946,6 +997,8 @@ where
         blocks_received,
         bytes_received,
         data_digest,
+        degraded: !dead_ranks.is_empty(),
+        dead_ranks,
     })
 }
 

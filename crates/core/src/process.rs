@@ -249,13 +249,55 @@ pub struct ServeReport {
     pub skipped_client_iterations: u64,
     /// User signals delivered to the sink.
     pub signals_delivered: u64,
+    /// World ranks of clients that died mid-run (reliable heartbeat mesh
+    /// only — see [`mini_mpi::SpawnOptions::heartbeat_ms`]); ascending.
+    pub dead_ranks: Vec<usize>,
+    /// Whether the serve ran in degraded mode: at least one client died
+    /// and its staged iterations were closed without it (a dead client
+    /// counts as "ended" for every iteration, so survivors keep
+    /// completing instead of wedging the node).
+    pub degraded: bool,
 }
 
 #[derive(Default)]
 struct IterationState {
-    ended_clients: usize,
+    /// World ranks (1-based clients) that ended this iteration.
+    ended: std::collections::BTreeSet<usize>,
     announced_writes: u64,
     received_writes: u64,
+}
+
+/// Complete `iteration` if every client has either ended it or died:
+/// fire the sink callback, count it, and acknowledge the survivors.
+fn try_complete_iteration(
+    comm: &Comm,
+    clients: usize,
+    dead: &std::collections::BTreeSet<usize>,
+    iterations: &mut HashMap<u64, IterationState>,
+    report: &mut ServeReport,
+    sink: &mut dyn ProcessSink,
+    iteration: u64,
+) {
+    let Some(state) = iterations.get(&iteration) else {
+        return;
+    };
+    if !(1..=clients).all(|c| state.ended.contains(&c) || dead.contains(&c)) {
+        return;
+    }
+    if dead.is_empty() {
+        // A dead client may have announced writes whose unbatched
+        // descriptors never arrived; only the fault-free path promises
+        // announced == received.
+        debug_assert_eq!(state.received_writes, state.announced_writes);
+    }
+    iterations.remove(&iteration);
+    sink.on_iteration_complete(iteration);
+    report.iterations_completed += 1;
+    for client in 1..=clients {
+        if !dead.contains(&client) {
+            comm.send(client, TAG_ACK, &[iteration]);
+        }
+    }
 }
 
 /// The dedicated-core role: owns the segment file, consumes descriptors,
@@ -292,40 +334,65 @@ impl ProcessServer {
         &self.cfg
     }
 
-    /// Serve until every client finalizes; blocks are handed to `sink`
-    /// as views into the shared mapping (no copies).
+    /// Serve until every client finalizes **or dies**; blocks are handed
+    /// to `sink` as views into the shared mapping (no copies).
+    ///
+    /// With the reliable heartbeat mesh, a client crash does not wedge
+    /// the node: the dead rank is recorded in
+    /// [`ServeReport::dead_ranks`], it counts as "ended" for every
+    /// staged and future iteration, and the survivors' iterations keep
+    /// completing ([`ServeReport::degraded`]). In the legacy EOF-only
+    /// mesh a death still poisons the mailbox and this call panics, as
+    /// before.
     pub fn serve(&self, comm: &Comm, sink: &mut dyn ProcessSink) -> DamarisResult<ServeReport> {
         let clients = comm.size() - 1;
         let mut report = ServeReport::default();
         let mut iterations: HashMap<u64, IterationState> = HashMap::new();
-        let mut finalized = 0usize;
+        let mut finalized: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        let mut dead: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         // One client finished `iteration` (announcing `writes` blocks,
-        // `skipped != 0` when its skip policy dropped the iteration);
-        // completes the iteration and acks every client once all ended it.
+        // `skipped != 0` when its skip policy dropped the iteration).
         let note_end = |iterations: &mut HashMap<u64, IterationState>,
                         report: &mut ServeReport,
-                        sink: &mut dyn ProcessSink,
                         iteration: u64,
                         writes: u64,
-                        skipped: u64| {
+                        skipped: u64,
+                        source: usize| {
             if skipped != 0 {
                 report.skipped_client_iterations += 1;
             }
             let state = iterations.entry(iteration).or_default();
-            state.ended_clients += 1;
+            state.ended.insert(source);
             state.announced_writes += writes;
-            if state.ended_clients == clients {
-                debug_assert_eq!(state.received_writes, state.announced_writes);
-                iterations.remove(&iteration);
-                sink.on_iteration_complete(iteration);
-                report.iterations_completed += 1;
-                for client in 1..=clients {
-                    comm.send(client, TAG_ACK, &[iteration]);
-                }
-            }
         };
-        while finalized < clients {
-            let (msg, source) = comm.recv_with_source::<u64>(Source::Any, TAG_MSG);
+        while (1..=clients).any(|c| !finalized.contains(&c) && !dead.contains(&c)) {
+            let known_dead: Vec<usize> = dead.iter().copied().collect();
+            let (msg, source) = match comm.recv_any_or_death::<u64>(TAG_MSG, &known_dead) {
+                Ok(pair) => pair,
+                Err(newly_dead) => {
+                    // Degraded mode: close the dead ranks' staged
+                    // iterations and keep serving the survivors.
+                    for rank in newly_dead {
+                        if rank != DEDICATED_RANK && rank <= clients {
+                            dead.insert(rank);
+                        }
+                    }
+                    report.degraded = true;
+                    let staged: Vec<u64> = iterations.keys().copied().collect();
+                    for iteration in staged {
+                        try_complete_iteration(
+                            comm,
+                            clients,
+                            &dead,
+                            &mut iterations,
+                            &mut report,
+                            sink,
+                            iteration,
+                        );
+                    }
+                    continue;
+                }
+            };
             match msg.first().copied() {
                 Some(KIND_WRITE) => {
                     let [_, var_raw, iteration, offset, len] = msg[..] else {
@@ -369,10 +436,19 @@ impl ProcessServer {
                     note_end(
                         &mut iterations,
                         &mut report,
-                        sink,
                         iteration,
                         writes,
                         skipped,
+                        source,
+                    );
+                    try_complete_iteration(
+                        comm,
+                        clients,
+                        &dead,
+                        &mut iterations,
+                        &mut report,
+                        sink,
+                        iteration,
                     );
                 }
                 Some(KIND_END) => {
@@ -383,14 +459,23 @@ impl ProcessServer {
                     };
                     // FIFO per (source, tag) guarantees each client's
                     // unbatched writes precede its END, so everything
-                    // announced has been consumed by `note_end`'s check.
+                    // announced has been consumed by the completion check.
                     note_end(
+                        &mut iterations,
+                        &mut report,
+                        iteration,
+                        writes,
+                        skipped,
+                        source,
+                    );
+                    try_complete_iteration(
+                        comm,
+                        clients,
+                        &dead,
                         &mut iterations,
                         &mut report,
                         sink,
                         iteration,
-                        writes,
-                        skipped,
                     );
                 }
                 Some(KIND_SIGNAL) => {
@@ -402,7 +487,9 @@ impl ProcessServer {
                     sink.on_signal(EventId::from_raw(event_raw as u32), iteration, source);
                     report.signals_delivered += 1;
                 }
-                Some(KIND_FIN) => finalized += 1,
+                Some(KIND_FIN) => {
+                    finalized.insert(source);
+                }
                 other => {
                     return Err(DamarisError::InvalidState(format!(
                         "unknown process-mode message kind {other:?} from rank {source}"
@@ -410,6 +497,8 @@ impl ProcessServer {
                 }
             }
         }
+        report.dead_ranks = dead.into_iter().collect();
+        report.degraded = !report.dead_ranks.is_empty();
         Ok(report)
     }
 }

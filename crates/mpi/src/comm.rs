@@ -135,6 +135,33 @@ impl Comm {
         self.traffic.set(t);
     }
 
+    /// Dead-rank check for plain (non-degraded-aware) receives: a receive
+    /// that can never be satisfied must fail loudly instead of
+    /// deadlocking. For a specific source that means the source itself is
+    /// dead; for an any-source receive *any* dead member fails the call,
+    /// because collectives built on any-source gathers (e.g. `barrier`)
+    /// would otherwise wait forever for the dead member's contribution.
+    /// Degraded-mode servers use [`Comm::recv_any_or_death`] instead.
+    fn check_dead(&self, dead: &std::collections::BTreeSet<usize>, src: Source) {
+        if dead.is_empty() {
+            return;
+        }
+        match src {
+            Source::Rank(r) => {
+                if dead.contains(&self.members[r]) {
+                    panic!("mini-mpi: receive failed: rank {r} died");
+                }
+            }
+            Source::Any => {
+                for (r, w) in self.members.iter().enumerate() {
+                    if r != self.rank && dead.contains(w) {
+                        panic!("mini-mpi: receive failed: rank {r} died (any-source receive)");
+                    }
+                }
+            }
+        }
+    }
+
     fn wait_match(&self, src: Source, tag: u64) -> (usize, Bytes) {
         let mailbox = self.world.mailbox(self.members[self.rank]);
         let mut st = mailbox.state.lock();
@@ -151,6 +178,9 @@ impl Comm {
                 drop(st);
                 panic!("mini-mpi: receive failed: {reason}");
             }
+            // Buffered messages (above) win over death: anything already
+            // delivered is still receivable after the sender died.
+            self.check_dead(&st.dead, src);
             mailbox.arrived.wait(&mut st);
         }
     }
@@ -204,6 +234,63 @@ impl Comm {
     pub fn try_recv<T: MpiData>(&self, src: Source, tag: u32) -> Option<(Vec<T>, usize)> {
         let (from, payload) = self.try_match(src, tag as u64)?;
         Some((from_bytes(&payload), from))
+    }
+
+    /// Communicator-relative ranks currently known dead (heartbeat /
+    /// membership layer), ascending. Empty in worlds without heartbeats
+    /// and in thread worlds.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        let dead = self.world.mailbox(self.members[self.rank]).dead_snapshot();
+        if dead.is_empty() {
+            return Vec::new();
+        }
+        self.members
+            .iter()
+            .enumerate()
+            .filter_map(|(r, w)| dead.contains(w).then_some(r))
+            .collect()
+    }
+
+    /// Degraded-mode any-source receive: block until either a matching
+    /// message arrives (`Ok((data, source))`, exactly like
+    /// [`Comm::recv_with_source`] with [`Source::Any`]) or a member *not
+    /// already listed in `known_dead`* is declared dead
+    /// (`Err(newly_dead)`, communicator-relative ranks, ascending).
+    ///
+    /// Messages already delivered always win over a death report, so a
+    /// dead rank's in-flight traffic is fully drained before the caller
+    /// learns of the death. This is the receive primitive for servers
+    /// that must keep serving survivors — a plain any-source [`Comm::recv`]
+    /// fails loudly on the first death instead.
+    pub fn recv_any_or_death<T: MpiData>(
+        &self,
+        tag: u32,
+        known_dead: &[usize],
+    ) -> Result<(Vec<T>, usize), Vec<usize>> {
+        let mailbox = self.world.mailbox(self.members[self.rank]);
+        let mut st = mailbox.state.lock();
+        loop {
+            if let Some((from, payload)) = st.pop(self.ctx, Source::Any, tag as u64) {
+                drop(st);
+                self.note_received(&payload);
+                return Ok((from_bytes(&payload), from));
+            }
+            if let Some(reason) = st.poisoned.clone() {
+                drop(st);
+                panic!("mini-mpi: receive failed: {reason}");
+            }
+            let newly: Vec<usize> = self
+                .members
+                .iter()
+                .enumerate()
+                .filter(|&(r, w)| r != self.rank && st.dead.contains(w) && !known_dead.contains(&r))
+                .map(|(r, _)| r)
+                .collect();
+            if !newly.is_empty() {
+                return Err(newly);
+            }
+            mailbox.arrived.wait(&mut st);
+        }
     }
 
     // ------------------------------------------------------------------

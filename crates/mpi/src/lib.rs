@@ -51,14 +51,15 @@
 pub mod comm;
 pub mod datatype;
 pub mod socket;
+pub mod testutil;
 pub mod world;
 
 pub use comm::{Comm, Traffic};
 pub use datatype::MpiData;
-pub use world::World;
+pub use world::{SpawnOutcome, World};
 
 /// Knobs for [`World::run_spawned_with`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SpawnOptions {
     /// Re-execute children with `--exact <program> --nocapture` so a
     /// libtest harness runs only the calling test (use
@@ -70,6 +71,48 @@ pub struct SpawnOptions {
     /// How long the parent waits for all ranks before killing stragglers
     /// and reporting [`SpawnError::Timeout`].
     pub timeout: std::time::Duration,
+    /// Seed-list rendezvous: a comma-separated `host:port,…` list. When
+    /// set, ranks bootstrap by dialing the first seed, where rank 0 runs
+    /// an in-process registry handing out the full peer table, and the
+    /// mesh runs over TCP — no shared filesystem directory is needed for
+    /// rendezvous. A port of `0` is resolved to a free port by the
+    /// parent before spawning. `None` keeps the shared-dir rendezvous.
+    pub seeds: Option<String>,
+    /// Where rank 0's registry actually binds when it differs from the
+    /// advertised seed (e.g. a fault-injection proxy fronts the seed
+    /// address). Defaults to the first seed.
+    pub registry_bind: Option<String>,
+    /// Heartbeat interval in milliseconds. `0` (the default) keeps the
+    /// legacy failure semantics: rank death is detected only by EOF and
+    /// poisons every receive. Any positive value enables the reliable
+    /// mesh: periodic PING/PONG per peer link, sequence-numbered frames
+    /// with retransmit-on-reconnect, bounded redial-with-backoff, and a
+    /// membership broadcast that marks dead ranks instead of poisoning
+    /// the mailbox (see `Comm::dead_ranks`).
+    pub heartbeat_ms: u64,
+    /// How long a silent peer link may go without any inbound frame
+    /// before the peer is declared dead (only meaningful with
+    /// `heartbeat_ms > 0`).
+    pub heartbeat_timeout_ms: u64,
+    /// Called with `(rank, pid)` as each child process spawns; lets test
+    /// harnesses (e.g. the fault-injection proxy) address rank processes
+    /// by pid for kill/stop schedules.
+    pub on_spawn: Option<std::sync::Arc<dyn Fn(usize, u32) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for SpawnOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpawnOptions")
+            .field("harness_args", &self.harness_args)
+            .field("tcp", &self.tcp)
+            .field("timeout", &self.timeout)
+            .field("seeds", &self.seeds)
+            .field("registry_bind", &self.registry_bind)
+            .field("heartbeat_ms", &self.heartbeat_ms)
+            .field("heartbeat_timeout_ms", &self.heartbeat_timeout_ms)
+            .field("on_spawn", &self.on_spawn.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for SpawnOptions {
@@ -78,6 +121,11 @@ impl Default for SpawnOptions {
             harness_args: false,
             tcp: false,
             timeout: std::time::Duration::from_secs(120),
+            seeds: None,
+            registry_bind: None,
+            heartbeat_ms: 0,
+            heartbeat_timeout_ms: 10_000,
+            on_spawn: None,
         }
     }
 }

@@ -1,52 +1,87 @@
-//! Multi-process transport: Unix-domain sockets (TCP loopback fallback),
-//! rendezvous, framing, and the `run_spawned` process orchestration.
+//! Multi-process transport: rendezvous (shared-dir or seed-list
+//! registry), framing, the reliable heartbeat mesh, and the `run_spawned`
+//! process orchestration.
 //!
 //! ## Rendezvous
 //!
-//! The parent creates a temporary directory and re-executes the current
-//! binary once per rank with `MINI_MPI_{DIR,RANK,SIZE,PROGRAM,INPUT}` in
-//! the environment. Every rank binds a listener in the directory
-//! (`r<k>.sock` for UDS, `r<k>.port` holding a TCP loopback port when UDS
-//! is unavailable or forced off), connects to every lower rank, and
-//! accepts one connection from every higher rank — a full mesh. Peers
-//! identify themselves with a `Hello` frame immediately after connecting,
-//! so accept order does not matter.
+//! Two bootstrap paths build the same full mesh:
+//!
+//! * **Shared-dir** (the default): the parent creates a temporary
+//!   directory and re-executes the current binary once per rank with
+//!   `MINI_MPI_{DIR,RANK,SIZE,PROGRAM,INPUT}` in the environment. Every
+//!   rank binds a listener in the directory (`r<k>.sock` for UDS,
+//!   `r<k>.port` holding a TCP loopback port when UDS is unavailable or
+//!   forced off), connects to every lower rank, and accepts one
+//!   connection from every higher rank. Peers identify themselves with a
+//!   `Hello` frame immediately after connecting, so accept order does
+//!   not matter.
+//! * **Seed-list** (`MINI_MPI_SEEDS`, [`crate::SpawnOptions::seeds`]): no
+//!   shared filesystem is needed for rendezvous. Every rank binds a TCP
+//!   data listener on an ephemeral port, dials the first seed address,
+//!   and sends a `Register` frame carrying its rank and data address.
+//!   Rank 0 runs a tiny in-process registry on
+//!   `MINI_MPI_REGISTRY_BIND` (default: the first seed): it collects all
+//!   `size` registrations and answers each with a `Table` frame holding
+//!   the complete peer table; the mesh is then dialed directly over TCP.
+//!   Rank 0 registers through the seed address like everyone else, so a
+//!   fault-injection proxy fronting the seed observes (and can reroute)
+//!   every link.
 //!
 //! ## Framing
 //!
 //! Every message is one length-prefixed frame: `[u32 body_len][u8 kind]`
-//! followed by the body. Data frames carry `(ctx, src, tag, payload)` —
-//! exactly the in-process `Envelope` — and are demuxed by a per-peer
-//! reader thread into the local rank's mailbox, where the ordinary
-//! matching logic picks them up. Sends go through a per-peer writer
-//! thread (an unbounded channel in between), so `send` keeps its eager,
-//! never-blocking semantics even when a socket back-pressures.
+//! followed by the body. Data frames carry `(seq, ctx, src, tag,
+//! payload)` — the in-process `Envelope` plus a per-link sequence number
+//! — and are demuxed by a per-peer reader thread into the local rank's
+//! mailbox. Sends go through a per-peer writer thread (a queue in
+//! between), so `send` keeps its eager, never-blocking semantics even
+//! when a socket back-pressures.
 //!
-//! ## Teardown and failure semantics
+//! ## Failure semantics
+//!
+//! With `heartbeat_ms == 0` (the legacy default) death detection is
+//! EOF-only: an end-of-stream without a preceding `Goodbye` poisons the
+//! local mailbox and every pending and future receive fails with
+//! "rank N died". With `heartbeat_ms > 0` the mesh is *reliable*:
+//!
+//! * every link exchanges periodic `Ping`/`Pong` frames; a peer silent
+//!   for longer than the configured timeout is declared dead;
+//! * sequenced frames (`Data`, `Goodbye`, `Death`) are buffered until
+//!   acknowledged (acks piggyback on `Ping`/`Pong`), so a transient
+//!   socket failure is survived by a bounded redial-with-backoff plus a
+//!   `Reconnect`/`ReconnectAck` handshake that retransmits exactly the
+//!   unacknowledged suffix — no envelope is lost or duplicated;
+//! * a rank that detects a death relays a sequenced `Death` frame to
+//!   every other live peer (an eager reliable broadcast): with
+//!   crash-stop failures and per-link retransmission every survivor
+//!   converges on the identical membership view;
+//! * a death marks the rank dead in the mailbox instead of poisoning
+//!   it: receives that can never complete fail loudly, but traffic among
+//!   survivors keeps flowing (degraded mode — see
+//!   [`crate::Comm::recv_any_or_death`]).
+//!
+//! ## Teardown
 //!
 //! When a rank's program finishes it reports its result to the parent
 //! over an out-of-band control connection, flushes a `Goodbye` frame to
-//! every peer, and only closes its sockets after receiving every peer's
-//! `Goodbye` — a teardown barrier that guarantees no rank observes an
-//! end-of-stream while envelopes are still in flight. An EOF *without* a
-//! preceding `Goodbye` therefore means the peer died: the local mailbox
-//! is poisoned and every pending and future receive fails with
-//! "rank N died" instead of deadlocking. The parent collects exit
-//! statuses and per-rank results, and reports any failed rank.
+//! every peer, and only closes its sockets after receiving every live
+//! peer's `Goodbye` — a teardown barrier that guarantees no rank
+//! observes an end-of-stream while envelopes are still in flight.
 
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
 use crate::comm::Comm;
-use crate::world::{Envelope, Mailbox, Transport, WorldInner};
+use crate::world::{Envelope, Mailbox, SpawnOutcome, Transport, WorldInner};
 use crate::{SpawnError, SpawnOptions};
 
 pub(crate) const ENV_DIR: &str = "MINI_MPI_DIR";
@@ -55,6 +90,10 @@ const ENV_SIZE: &str = "MINI_MPI_SIZE";
 const ENV_PROGRAM: &str = "MINI_MPI_PROGRAM";
 const ENV_INPUT: &str = "MINI_MPI_INPUT";
 const ENV_TCP: &str = "MINI_MPI_TCP";
+const ENV_SEEDS: &str = "MINI_MPI_SEEDS";
+const ENV_REGISTRY_BIND: &str = "MINI_MPI_REGISTRY_BIND";
+const ENV_HB_MS: &str = "MINI_MPI_HB_MS";
+const ENV_HB_TIMEOUT_MS: &str = "MINI_MPI_HB_TIMEOUT_MS";
 
 /// How long a rank retries connecting to a peer's endpoint before giving
 /// up (covers slow process startup under load).
@@ -62,12 +101,20 @@ const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
 /// How long a finished rank waits for peers' goodbyes before closing its
 /// sockets anyway (a dead peer must not wedge survivors in teardown).
 const GOODBYE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Redial schedule after a transient socket failure (dialer side of a
+/// reliable link): one attempt after each backoff, then the peer is
+/// declared dead.
+const RECONNECT_BACKOFF_MS: [u64; 4] = [25, 50, 100, 200];
+/// Upper bound on how long an acceptor-side link waits after an EOF
+/// without goodbye for the dialer to reconnect before declaring the peer
+/// dead (the effective window is `min(heartbeat timeout, this)`).
+const EOF_DEATH_WINDOW_CAP: Duration = Duration::from_secs(2);
 
 // ---------------------------------------------------------------------------
 // Stream / listener abstraction (UDS with TCP loopback fallback)
 // ---------------------------------------------------------------------------
 
-enum Stream {
+pub(crate) enum Stream {
     Unix(UnixStream),
     Tcp(TcpStream),
 }
@@ -85,6 +132,20 @@ impl Stream {
             Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
             Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
         };
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(nb),
+            Stream::Tcp(s) => s.set_nonblocking(nb),
+        }
     }
 }
 
@@ -123,6 +184,13 @@ impl Listener {
             Listener::Unix(l) => Stream::Unix(l.accept()?.0),
             Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
         })
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
     }
 }
 
@@ -183,14 +251,58 @@ fn connect_endpoint(dir: &Path, name: &str, deadline: Instant) -> io::Result<Str
     }
 }
 
+/// Dial a `host:port` address, retrying until `deadline` (the peer may
+/// not have bound yet).
+pub(crate) fn tcp_connect_retry(addr: &str, deadline: Instant) -> io::Result<Stream> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(Stream::Tcp(s)),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("cannot reach {addr}: {e}"),
+                    ));
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Resolve a trailing `:0` in a `host:port` address to a concrete free
+/// port by briefly binding a listener there. Used by the parent so every
+/// child is handed the same concrete seed address.
+pub(crate) fn resolve_port_zero(addr: &str) -> io::Result<String> {
+    let Some((host, port)) = addr.rsplit_once(':') else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("seed address '{addr}' is not host:port"),
+        ));
+    };
+    if port != "0" {
+        return Ok(addr.to_string());
+    }
+    let l = TcpListener::bind((host, 0))?;
+    let port = l.local_addr()?.port();
+    Ok(format!("{host}:{port}"))
+}
+
 // ---------------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------------
 
-const KIND_DATA: u8 = 0;
+pub(crate) const KIND_DATA: u8 = 0;
 const KIND_GOODBYE: u8 = 1;
 const KIND_HELLO: u8 = 2;
 const KIND_RESULT: u8 = 3;
+const KIND_PING: u8 = 4;
+const KIND_PONG: u8 = 5;
+const KIND_DEATH: u8 = 6;
+const KIND_RECONNECT: u8 = 7;
+const KIND_RECONNECT_ACK: u8 = 8;
+const KIND_REGISTER: u8 = 9;
+const KIND_TABLE: u8 = 10;
 
 /// Upper bound on a frame body. The length prefix is untrusted input
 /// (a corrupted byte or a desynced stream after a partial write must
@@ -198,21 +310,42 @@ const KIND_RESULT: u8 = 3;
 /// larger fails as a malformed frame and poisons the mailbox cleanly.
 /// Generous for this workspace's messages — a send above this limit is
 /// rejected at the writer, not silently truncated.
-const MAX_FRAME_BODY: usize = 256 << 20;
+pub(crate) const MAX_FRAME_BODY: usize = 256 << 20;
 
-enum Frame {
-    Data(Envelope),
-    Goodbye,
+#[derive(Clone)]
+pub(crate) enum Frame {
+    /// Sequenced envelope (the payload of every `Comm` send).
+    Data { seq: u64, env: Envelope },
+    /// Sequenced teardown marker.
+    Goodbye { seq: u64 },
+    /// Link identification, first frame on a fresh mesh connection.
     Hello { rank: u32 },
+    /// Rank result, reported on the parent control connection.
     Result { rank: u32, data: Vec<u8> },
+    /// Heartbeat probe; `acked` piggybacks the sender's receive cursor.
+    Ping { acked: u64 },
+    /// Heartbeat reply; `acked` piggybacks the sender's receive cursor.
+    Pong { acked: u64 },
+    /// Sequenced membership broadcast: `rank` has been declared dead.
+    Death { seq: u64, rank: u32 },
+    /// First frame on a redialed connection: identifies the dialer and
+    /// the next sequence number it expects to receive.
+    Reconnect { rank: u32, next_expected: u64 },
+    /// Acceptor's answer carrying its own receive cursor; both sides then
+    /// retransmit exactly their unacknowledged suffix.
+    ReconnectAck { next_expected: u64 },
+    /// Seed-list bootstrap: a rank announces its data address.
+    Register { rank: u32, addr: String },
+    /// Seed-list bootstrap: the registry's complete peer table.
+    Table { addrs: Vec<String> },
 }
 
-fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
-    if let Frame::Data(env) = frame {
+pub(crate) fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    if let Frame::Data { seq, env } = frame {
         // Hot path: fixed-size header on the stack, payload written
         // directly from its shared buffer — no per-frame allocation, no
         // full-payload copy.
-        let body_len = 24 + env.payload.len();
+        let body_len = 32 + env.payload.len();
         if body_len > MAX_FRAME_BODY {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -222,21 +355,25 @@ fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
                 ),
             ));
         }
-        let mut head = [0u8; 5 + 24];
+        let mut head = [0u8; 5 + 32];
         head[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
         head[4] = KIND_DATA;
-        head[5..13].copy_from_slice(&env.ctx.to_le_bytes());
-        head[13..17].copy_from_slice(&(env.src as u32).to_le_bytes());
-        head[17..25].copy_from_slice(&env.tag.to_le_bytes());
-        head[25..29].copy_from_slice(&(env.payload.len() as u32).to_le_bytes());
+        head[5..13].copy_from_slice(&seq.to_le_bytes());
+        head[13..21].copy_from_slice(&env.ctx.to_le_bytes());
+        head[21..25].copy_from_slice(&(env.src as u32).to_le_bytes());
+        head[25..33].copy_from_slice(&env.tag.to_le_bytes());
+        head[33..37].copy_from_slice(&(env.payload.len() as u32).to_le_bytes());
         w.write_all(&head)?;
         w.write_all(&env.payload)?;
         return w.flush();
     }
     let mut body = Vec::new();
     let kind = match frame {
-        Frame::Data(_) => unreachable!("handled above"),
-        Frame::Goodbye => KIND_GOODBYE,
+        Frame::Data { .. } => unreachable!("handled above"),
+        Frame::Goodbye { seq } => {
+            body.extend_from_slice(&seq.to_le_bytes());
+            KIND_GOODBYE
+        }
         Frame::Hello { rank } => {
             body.extend_from_slice(&rank.to_le_bytes());
             KIND_HELLO
@@ -246,6 +383,45 @@ fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
             body.extend_from_slice(&(data.len() as u32).to_le_bytes());
             body.extend_from_slice(data);
             KIND_RESULT
+        }
+        Frame::Ping { acked } => {
+            body.extend_from_slice(&acked.to_le_bytes());
+            KIND_PING
+        }
+        Frame::Pong { acked } => {
+            body.extend_from_slice(&acked.to_le_bytes());
+            KIND_PONG
+        }
+        Frame::Death { seq, rank } => {
+            body.extend_from_slice(&seq.to_le_bytes());
+            body.extend_from_slice(&rank.to_le_bytes());
+            KIND_DEATH
+        }
+        Frame::Reconnect {
+            rank,
+            next_expected,
+        } => {
+            body.extend_from_slice(&rank.to_le_bytes());
+            body.extend_from_slice(&next_expected.to_le_bytes());
+            KIND_RECONNECT
+        }
+        Frame::ReconnectAck { next_expected } => {
+            body.extend_from_slice(&next_expected.to_le_bytes());
+            KIND_RECONNECT_ACK
+        }
+        Frame::Register { rank, addr } => {
+            body.extend_from_slice(&rank.to_le_bytes());
+            body.extend_from_slice(&(addr.len() as u32).to_le_bytes());
+            body.extend_from_slice(addr.as_bytes());
+            KIND_REGISTER
+        }
+        Frame::Table { addrs } => {
+            body.extend_from_slice(&(addrs.len() as u32).to_le_bytes());
+            for addr in addrs {
+                body.extend_from_slice(&(addr.len() as u32).to_le_bytes());
+                body.extend_from_slice(addr.as_bytes());
+            }
+            KIND_TABLE
         }
     };
     if body.len() > MAX_FRAME_BODY {
@@ -270,7 +446,19 @@ fn read_u64(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
 }
 
-fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+fn read_string(buf: &[u8], at: usize) -> Option<(String, usize)> {
+    if buf.len() < at + 4 {
+        return None;
+    }
+    let len = read_u32(buf, at) as usize;
+    if buf.len() < at + 4 + len {
+        return None;
+    }
+    let s = String::from_utf8(buf[at + 4..at + 4 + len].to_vec()).ok()?;
+    Some((s, at + 4 + len))
+}
+
+pub(crate) fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
     let mut head = [0u8; 5];
     r.read_exact(&mut head)?;
     let body_len = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
@@ -289,24 +477,35 @@ fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
     let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
     match kind {
         KIND_DATA => {
-            if body.len() < 24 {
+            if body.len() < 32 {
                 return Err(bad("short data frame"));
             }
-            let ctx = read_u64(&body, 0);
-            let src = read_u32(&body, 8) as usize;
-            let tag = read_u64(&body, 12);
-            let len = read_u32(&body, 20) as usize;
-            if body.len() != 24 + len {
+            let seq = read_u64(&body, 0);
+            let ctx = read_u64(&body, 8);
+            let src = read_u32(&body, 16) as usize;
+            let tag = read_u64(&body, 20);
+            let len = read_u32(&body, 28) as usize;
+            if body.len() != 32 + len {
                 return Err(bad("data frame length mismatch"));
             }
-            Ok(Frame::Data(Envelope {
-                ctx,
-                src,
-                tag,
-                payload: Bytes::copy_from_slice(&body[24..]),
-            }))
+            Ok(Frame::Data {
+                seq,
+                env: Envelope {
+                    ctx,
+                    src,
+                    tag,
+                    payload: Bytes::copy_from_slice(&body[32..]),
+                },
+            })
         }
-        KIND_GOODBYE => Ok(Frame::Goodbye),
+        KIND_GOODBYE => {
+            if body.len() != 8 {
+                return Err(bad("bad goodbye frame"));
+            }
+            Ok(Frame::Goodbye {
+                seq: read_u64(&body, 0),
+            })
+        }
         KIND_HELLO => {
             if body.len() != 4 {
                 return Err(bad("bad hello frame"));
@@ -329,7 +528,660 @@ fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
                 data: body[8..].to_vec(),
             })
         }
+        KIND_PING => {
+            if body.len() != 8 {
+                return Err(bad("bad ping frame"));
+            }
+            Ok(Frame::Ping {
+                acked: read_u64(&body, 0),
+            })
+        }
+        KIND_PONG => {
+            if body.len() != 8 {
+                return Err(bad("bad pong frame"));
+            }
+            Ok(Frame::Pong {
+                acked: read_u64(&body, 0),
+            })
+        }
+        KIND_DEATH => {
+            if body.len() != 12 {
+                return Err(bad("bad death frame"));
+            }
+            Ok(Frame::Death {
+                seq: read_u64(&body, 0),
+                rank: read_u32(&body, 8),
+            })
+        }
+        KIND_RECONNECT => {
+            if body.len() != 12 {
+                return Err(bad("bad reconnect frame"));
+            }
+            Ok(Frame::Reconnect {
+                rank: read_u32(&body, 0),
+                next_expected: read_u64(&body, 4),
+            })
+        }
+        KIND_RECONNECT_ACK => {
+            if body.len() != 8 {
+                return Err(bad("bad reconnect-ack frame"));
+            }
+            Ok(Frame::ReconnectAck {
+                next_expected: read_u64(&body, 0),
+            })
+        }
+        KIND_REGISTER => {
+            if body.len() < 8 {
+                return Err(bad("short register frame"));
+            }
+            let rank = read_u32(&body, 0);
+            let Some((addr, end)) = read_string(&body, 4) else {
+                return Err(bad("bad register frame"));
+            };
+            if end != body.len() {
+                return Err(bad("register frame length mismatch"));
+            }
+            Ok(Frame::Register { rank, addr })
+        }
+        KIND_TABLE => {
+            if body.len() < 4 {
+                return Err(bad("short table frame"));
+            }
+            let n = read_u32(&body, 0) as usize;
+            let mut addrs = Vec::with_capacity(n.min(4096));
+            let mut at = 4;
+            for _ in 0..n {
+                let Some((addr, next)) = read_string(&body, at) else {
+                    return Err(bad("bad table frame"));
+                };
+                addrs.push(addr);
+                at = next;
+            }
+            if at != body.len() {
+                return Err(bad("table frame length mismatch"));
+            }
+            Ok(Frame::Table { addrs })
+        }
         other => Err(bad(&format!("unknown frame kind {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Peer links
+// ---------------------------------------------------------------------------
+
+/// Per-link send-side state, guarded by `Link::q`.
+struct LinkQ {
+    /// Unsequenced control frames (pings, pongs, reconnect acks); always
+    /// written before sequenced traffic.
+    ctrl: VecDeque<Frame>,
+    /// Sequenced frames not yet acknowledged by the peer. The first
+    /// `sent` entries are on the current stream; the rest await
+    /// transmission (or retransmission after a reconnect).
+    unacked: VecDeque<(u64, Frame)>,
+    /// How many of `unacked` have been written to the current stream.
+    sent: usize,
+    /// Next outgoing sequence number.
+    next_seq_out: u64,
+    /// The live connection's write half; `None` while the link is down.
+    stream: Option<Stream>,
+    /// Bumped on every (re)connection, so a stale reader or writer error
+    /// cannot tear down a fresh stream.
+    generation: u64,
+    /// Local teardown: the writer exits once the queues are drained.
+    closed: bool,
+}
+
+/// One peer link: queue, receive cursor, liveness bookkeeping.
+struct Link {
+    peer: usize,
+    q: Mutex<LinkQ>,
+    cv: Condvar,
+    /// Receive cursor: sequence number expected next from this peer.
+    /// Frames below it are duplicates (dropped after a retransmit).
+    next_expected_in: AtomicU64,
+    /// Milliseconds (mesh epoch) of the last inbound frame.
+    last_heard: AtomicU64,
+    /// Milliseconds+1 of an EOF-without-goodbye awaiting reconnect;
+    /// 0 = none pending.
+    eof_at: AtomicU64,
+    dead: AtomicBool,
+    goodbye_seen: AtomicBool,
+}
+
+impl Link {
+    fn new(peer: usize) -> Link {
+        Link {
+            peer,
+            q: Mutex::new(LinkQ {
+                ctrl: VecDeque::new(),
+                unacked: VecDeque::new(),
+                sent: 0,
+                next_seq_out: 0,
+                stream: None,
+                generation: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            next_expected_in: AtomicU64::new(0),
+            last_heard: AtomicU64::new(0),
+            eof_at: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            goodbye_seen: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Mesh-wide shared state: every reader/writer/monitor thread holds an
+/// `Arc<Mesh>`.
+struct Mesh {
+    rank: usize,
+    mailbox: Arc<Mailbox>,
+    links: Vec<Option<Arc<Link>>>,
+    /// Reliable mode: heartbeats, acks/retransmits, reconnect, death
+    /// marking. Off (legacy): EOF-only detection, mailbox poisoning.
+    reliable: bool,
+    hb_interval: Duration,
+    hb_timeout: Duration,
+    epoch: Instant,
+    /// Teardown-barrier wakeups (goodbye arrivals, deaths, poisons).
+    goodbye_mu: Mutex<()>,
+    goodbye_cv: Condvar,
+    /// Seed-mode peer table for redials; `None` entries in dir mode.
+    peer_addrs: Vec<Option<String>>,
+    /// Shared-dir rendezvous root (redial target in dir mode; also the
+    /// parent control endpoint).
+    dir: PathBuf,
+}
+
+impl Mesh {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Is this rank the dialing side of the link to `peer`? Mesh setup
+    /// dials every lower rank, so redials follow the same orientation.
+    fn dialer_of(&self, peer: usize) -> bool {
+        peer < self.rank
+    }
+
+    /// Enqueue a sequenced frame (Data/Goodbye/Death). Silently dropped
+    /// when the peer is already dead.
+    fn send_seq(&self, link: &Link, build: impl FnOnce(u64) -> Frame) {
+        if link.dead.load(Ordering::Acquire) {
+            return;
+        }
+        let mut q = link.q.lock();
+        let seq = q.next_seq_out;
+        q.next_seq_out += 1;
+        q.unacked.push_back((seq, build(seq)));
+        drop(q);
+        link.cv.notify_all();
+    }
+
+    /// Enqueue an unsequenced control frame. `front` jumps the control
+    /// queue (used for `ReconnectAck`, which must be the first frame on
+    /// a fresh stream).
+    fn send_ctrl(&self, link: &Link, frame: Frame, front: bool) {
+        if link.dead.load(Ordering::Acquire) {
+            return;
+        }
+        let mut q = link.q.lock();
+        if front {
+            q.ctrl.push_front(frame);
+        } else {
+            q.ctrl.push_back(frame);
+        }
+        drop(q);
+        link.cv.notify_all();
+    }
+
+    /// Drop retransmit-buffered frames the peer has acknowledged
+    /// (its receive cursor is `acked`: everything below is delivered).
+    fn apply_ack(&self, link: &Link, acked: u64) {
+        let mut q = link.q.lock();
+        while let Some(&(seq, _)) = q.unacked.front() {
+            if seq >= acked {
+                break;
+            }
+            q.unacked.pop_front();
+            q.sent = q.sent.saturating_sub(1);
+        }
+    }
+
+    /// Receive-side sequencing: accept exactly the expected frame, drop
+    /// retransmitted duplicates, treat a gap as stream corruption.
+    fn accept_seq(&self, link: &Link, seq: u64) -> bool {
+        let expected = link.next_expected_in.load(Ordering::Acquire);
+        if seq == expected {
+            link.next_expected_in.store(expected + 1, Ordering::Release);
+            true
+        } else if seq < expected {
+            false // duplicate of an already-delivered frame
+        } else {
+            self.mailbox.poison(format!(
+                "rank {} stream desynchronized (got seq {seq}, expected {expected})",
+                link.peer
+            ));
+            self.goodbye_cv.notify_all();
+            false
+        }
+    }
+
+    /// Idempotently declare `link`'s peer dead: mark the mailbox, wake
+    /// everything blocked on the link, and eagerly relay a sequenced
+    /// `Death` frame to every other live peer so all survivors converge
+    /// on the same membership view.
+    fn declare_dead(&self, link: &Link, reason: &str) {
+        if link.dead.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        eprintln!(
+            "mini-mpi rank {}: declared rank {} dead ({reason})",
+            self.rank, link.peer
+        );
+        {
+            let mut q = link.q.lock();
+            if let Some(s) = &q.stream {
+                s.shutdown();
+            }
+            q.stream = None;
+        }
+        self.mailbox.mark_dead(link.peer);
+        link.cv.notify_all();
+        self.goodbye_cv.notify_all();
+        let dead_rank = link.peer as u32;
+        for other in self.links.iter().flatten() {
+            if other.peer != link.peer {
+                self.send_seq(other, |seq| Frame::Death {
+                    seq,
+                    rank: dead_rank,
+                });
+            }
+        }
+    }
+
+    /// A peer relayed a death report. Reports about ourselves are
+    /// ignored (we are demonstrably alive; the reporter may sit on the
+    /// other side of a partition).
+    fn death_reported(&self, rank: usize, from: usize) {
+        if rank == self.rank || rank >= self.links.len() {
+            return;
+        }
+        if let Some(link) = &self.links[rank] {
+            self.declare_dead(link, &format!("reported dead by rank {from}"));
+        }
+    }
+
+    /// Reader-side EOF/error handling.
+    fn reader_lost(&self, link: &Link, my_gen: u64, err: &io::Error) {
+        if link.goodbye_seen.load(Ordering::Acquire) || link.dead.load(Ordering::Acquire) {
+            return; // clean teardown or already-handled death
+        }
+        if !self.reliable {
+            // Legacy semantics: any EOF before goodbye is a death and
+            // poisons every receive.
+            let reason = if err.kind() == io::ErrorKind::UnexpectedEof {
+                format!("rank {} died (connection closed before goodbye)", link.peer)
+            } else {
+                format!("rank {} died ({err})", link.peer)
+            };
+            self.mailbox.poison(reason);
+            self.goodbye_cv.notify_all();
+            return;
+        }
+        // Reliable: arm the reconnect window and wake the writer (the
+        // dialer side redials; the acceptor side waits for a Reconnect,
+        // bounded by the monitor's EOF window).
+        {
+            let mut q = link.q.lock();
+            if q.generation == my_gen {
+                q.stream = None;
+                q.sent = 0;
+            }
+        }
+        link.eof_at
+            .compare_exchange(0, self.now_ms() + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .ok();
+        link.cv.notify_all();
+    }
+
+    /// Install a fresh stream on `link` (reconnect handshake, either
+    /// side): prune frames the peer acknowledged, rewind the send cursor
+    /// so the unacknowledged suffix is retransmitted, bump the
+    /// generation, and hand back the new generation id.
+    fn install_stream(
+        &self,
+        link: &Link,
+        stream: Stream,
+        peer_next_expected: u64,
+    ) -> io::Result<u64> {
+        let write_half = stream.try_clone()?;
+        let mut q = link.q.lock();
+        while let Some(&(seq, _)) = q.unacked.front() {
+            if seq >= peer_next_expected {
+                break;
+            }
+            q.unacked.pop_front();
+        }
+        q.sent = 0;
+        q.generation += 1;
+        let gen = q.generation;
+        q.stream = Some(write_half);
+        drop(q);
+        link.eof_at.store(0, Ordering::Release);
+        link.last_heard.store(self.now_ms(), Ordering::Release);
+        link.cv.notify_all();
+        Ok(gen)
+    }
+
+    /// Dialer-side redial with bounded backoff. Returns `false` when the
+    /// retries are exhausted (caller declares the peer dead).
+    fn redial(self: &Arc<Self>, link: &Arc<Link>) -> bool {
+        for backoff in RECONNECT_BACKOFF_MS {
+            std::thread::sleep(Duration::from_millis(backoff));
+            if link.dead.load(Ordering::Acquire) || link.q.lock().closed {
+                return true; // resolved elsewhere; nothing left to do
+            }
+            let deadline = Instant::now() + Duration::from_millis(250);
+            let dial = match &self.peer_addrs[link.peer] {
+                Some(addr) => tcp_connect_retry(addr, deadline),
+                None => connect_endpoint(&self.dir, &format!("r{}", link.peer), deadline),
+            };
+            let Ok(mut s) = dial else { continue };
+            if write_frame(
+                &mut s,
+                &Frame::Reconnect {
+                    rank: self.rank as u32,
+                    next_expected: link.next_expected_in.load(Ordering::Acquire),
+                },
+            )
+            .is_err()
+            {
+                continue;
+            }
+            let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+            let peer_next = loop {
+                match read_frame(&mut s) {
+                    Ok(Frame::ReconnectAck { next_expected }) => break Some(next_expected),
+                    // The peer's writer may slip a heartbeat in first.
+                    Ok(Frame::Ping { acked }) | Ok(Frame::Pong { acked }) => {
+                        self.apply_ack(link, acked);
+                    }
+                    Ok(_) | Err(_) => break None,
+                }
+            };
+            let Some(peer_next) = peer_next else { continue };
+            let _ = s.set_read_timeout(None);
+            let Ok(gen) = self.install_stream(link, s.try_clone().ok().unwrap_or(s), peer_next)
+            else {
+                continue;
+            };
+            // `install_stream` cloned a write half; this clone reads.
+            let read_half = {
+                let q = link.q.lock();
+                q.stream.as_ref().and_then(|st| st.try_clone().ok())
+            };
+            if let Some(read_half) = read_half {
+                spawn_reader(self.clone(), link.clone(), read_half, gen);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Per-link reader thread body: demux inbound frames until goodbye,
+/// EOF, or death.
+fn spawn_reader(mesh: Arc<Mesh>, link: Arc<Link>, mut stream: Stream, my_gen: u64) {
+    let name = format!("mini-mpi-r{}-from-{}", mesh.rank, link.peer);
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || loop {
+            match read_frame(&mut stream) {
+                Ok(frame) => {
+                    link.last_heard.store(mesh.now_ms(), Ordering::Release);
+                    match frame {
+                        Frame::Data { seq, env } => {
+                            if mesh.accept_seq(&link, seq) {
+                                mesh.mailbox.push(env);
+                            }
+                        }
+                        Frame::Goodbye { seq } => {
+                            if mesh.accept_seq(&link, seq) {
+                                link.goodbye_seen.store(true, Ordering::Release);
+                                mesh.goodbye_cv.notify_all();
+                                return;
+                            }
+                        }
+                        Frame::Death { seq, rank } => {
+                            if mesh.accept_seq(&link, seq) {
+                                mesh.death_reported(rank as usize, link.peer);
+                            }
+                        }
+                        Frame::Ping { acked } => {
+                            mesh.apply_ack(&link, acked);
+                            let pong = Frame::Pong {
+                                acked: link.next_expected_in.load(Ordering::Acquire),
+                            };
+                            mesh.send_ctrl(&link, pong, false);
+                        }
+                        Frame::Pong { acked } => mesh.apply_ack(&link, acked),
+                        Frame::Hello { .. }
+                        | Frame::Result { .. }
+                        | Frame::Reconnect { .. }
+                        | Frame::ReconnectAck { .. }
+                        | Frame::Register { .. }
+                        | Frame::Table { .. } => {
+                            mesh.mailbox.poison(format!(
+                                "rank {} sent an unexpected control frame",
+                                link.peer
+                            ));
+                            mesh.goodbye_cv.notify_all();
+                            return;
+                        }
+                    }
+                }
+                Err(e) => {
+                    mesh.reader_lost(&link, my_gen, &e);
+                    return;
+                }
+            }
+        })
+        .expect("failed to spawn reader thread");
+}
+
+/// Per-link writer thread body: drains the control queue and the
+/// unacknowledged suffix onto the live stream; redials (dialer side) or
+/// parks (acceptor side) while the link is down.
+fn writer_loop(mesh: &Arc<Mesh>, link: &Arc<Link>) {
+    let mut cur_gen: u64 = u64::MAX;
+    let mut cur: Option<Stream> = None;
+    'outer: loop {
+        let mut batch: Vec<Frame> = Vec::new();
+        let mut want_redial = false;
+        {
+            let mut q = link.q.lock();
+            loop {
+                if link.dead.load(Ordering::Acquire) {
+                    return;
+                }
+                if q.stream.is_none() {
+                    if q.closed {
+                        return; // teardown with a down link: give up
+                    }
+                    if mesh.reliable && mesh.dialer_of(link.peer) {
+                        want_redial = true;
+                        break;
+                    }
+                    // Acceptor side: a Reconnect install (or death) wakes us.
+                    link.cv.wait(&mut q);
+                    continue;
+                }
+                if !q.ctrl.is_empty() || q.sent < q.unacked.len() {
+                    break;
+                }
+                if q.closed {
+                    return; // drained: every queued frame is on the wire
+                }
+                link.cv.wait(&mut q);
+            }
+            if !want_redial {
+                if q.generation != cur_gen || cur.is_none() {
+                    cur_gen = q.generation;
+                    cur = q.stream.as_ref().and_then(|s| s.try_clone().ok());
+                    if cur.is_none() {
+                        q.stream = None;
+                        q.sent = 0;
+                        continue 'outer;
+                    }
+                }
+                batch.extend(q.ctrl.drain(..));
+                let upto = q.unacked.len();
+                for i in q.sent..upto {
+                    batch.push(q.unacked[i].1.clone());
+                }
+                q.sent = upto;
+                if !mesh.reliable {
+                    // Legacy mode has no acks: nothing is ever
+                    // retransmitted, so the buffer is dropped as soon as
+                    // frames are handed to the wire.
+                    q.unacked.clear();
+                    q.sent = 0;
+                }
+            }
+        }
+        if want_redial {
+            if !mesh.redial(link) {
+                mesh.declare_dead(link, "reconnect retries exhausted");
+                return;
+            }
+            cur = None;
+            continue;
+        }
+        let Some(stream) = cur.as_mut() else { continue };
+        let mut error = None;
+        for frame in &batch {
+            if let Err(e) = write_frame(stream, frame) {
+                error = Some(e);
+                break;
+            }
+        }
+        let Some(e) = error else { continue };
+        if !mesh.reliable {
+            mesh.mailbox
+                .poison(format!("rank {} died (write failed: {e})", link.peer));
+            mesh.goodbye_cv.notify_all();
+            return;
+        }
+        let mut q = link.q.lock();
+        if q.generation == cur_gen {
+            q.stream = None;
+            q.sent = 0;
+        }
+        drop(q);
+        cur = None;
+    }
+}
+
+/// Heartbeat monitor: pings every live link each interval, declares
+/// peers dead on silence beyond the timeout or an expired
+/// EOF-without-goodbye reconnect window.
+fn monitor_loop(mesh: &Arc<Mesh>, stop: &AtomicBool) {
+    let eof_window = mesh.hb_timeout.min(EOF_DEATH_WINDOW_CAP).as_millis() as u64;
+    let timeout_ms = mesh.hb_timeout.as_millis() as u64;
+    let tick = mesh
+        .hb_interval
+        .min(Duration::from_millis(200))
+        .max(Duration::from_millis(5));
+    let mut last_ping: u64 = 0;
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        let now = mesh.now_ms();
+        let ping_due = now.saturating_sub(last_ping) >= mesh.hb_interval.as_millis() as u64;
+        if ping_due {
+            last_ping = now;
+        }
+        for link in mesh.links.iter().flatten() {
+            if link.dead.load(Ordering::Acquire) || link.goodbye_seen.load(Ordering::Acquire) {
+                continue;
+            }
+            let up = link.q.lock().stream.is_some();
+            if ping_due && up {
+                let ping = Frame::Ping {
+                    acked: link.next_expected_in.load(Ordering::Acquire),
+                };
+                mesh.send_ctrl(link, ping, false);
+            }
+            if now.saturating_sub(link.last_heard.load(Ordering::Acquire)) > timeout_ms {
+                mesh.declare_dead(link, &format!("heartbeat timeout ({timeout_ms} ms silent)"));
+                continue;
+            }
+            let eof = link.eof_at.load(Ordering::Acquire);
+            if eof != 0 && !up && now.saturating_sub(eof - 1) > eof_window {
+                mesh.declare_dead(link, "connection closed before goodbye");
+            }
+        }
+    }
+}
+
+/// Reconnect acceptor: after mesh setup the listener moves here; each
+/// inbound connection opens with a `Reconnect` frame identifying the
+/// dialer, and the link's unacknowledged suffix is retransmitted on the
+/// fresh stream.
+fn accept_loop(mesh: &Arc<Mesh>, listener: Listener, stop: &AtomicBool) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok(stream) => {
+                let _ = stream.set_nonblocking(false);
+                let mesh = mesh.clone();
+                let _ = std::thread::Builder::new()
+                    .name(format!("mini-mpi-reconnect-{}", mesh.rank))
+                    .spawn(move || {
+                        let mut stream = stream;
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                        let Ok(Frame::Reconnect {
+                            rank,
+                            next_expected,
+                        }) = read_frame(&mut stream)
+                        else {
+                            return;
+                        };
+                        let _ = stream.set_read_timeout(None);
+                        let peer = rank as usize;
+                        if peer >= mesh.links.len() {
+                            return;
+                        }
+                        let Some(link) = mesh.links[peer].clone() else {
+                            return;
+                        };
+                        if link.dead.load(Ordering::Acquire) {
+                            stream.shutdown();
+                            return;
+                        }
+                        let Ok(read_half) = stream.try_clone() else {
+                            return;
+                        };
+                        let Ok(gen) = mesh.install_stream(&link, stream, next_expected) else {
+                            return;
+                        };
+                        // First frame on the fresh stream: our receive
+                        // cursor, so the dialer prunes and retransmits.
+                        let ack = Frame::ReconnectAck {
+                            next_expected: link.next_expected_in.load(Ordering::Acquire),
+                        };
+                        mesh.send_ctrl(&link, ack, true);
+                        spawn_reader(mesh.clone(), link, read_half, gen);
+                    });
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
     }
 }
 
@@ -337,209 +1189,308 @@ fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
 // Peer mesh
 // ---------------------------------------------------------------------------
 
-enum WireMsg {
-    Data(Envelope),
-    Goodbye,
-}
-
-struct GoodbyeState {
-    received: usize,
-    /// First observed peer failure, if any.
-    dead: Option<String>,
-}
-
-/// One rank's view of a socket world: the local mailbox plus per-peer
-/// writer channels. Reader and writer threads hold clones of the shared
-/// pieces; the struct itself lives inside [`WorldInner`].
+/// One rank's view of a socket world: the shared mesh plus the worker
+/// threads joined at teardown. Lives inside [`WorldInner`].
 pub(crate) struct SocketPeers {
-    rank: usize,
-    mailbox: Arc<Mailbox>,
-    senders: Vec<Option<mpsc::Sender<WireMsg>>>,
-    writer_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    goodbyes: Arc<(Mutex<GoodbyeState>, Condvar)>,
-    streams: Vec<Option<Stream>>,
+    mesh: Arc<Mesh>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Mesh configuration decoded from the child environment.
+struct MeshOpts {
+    force_tcp: bool,
+    seeds: Option<String>,
+    registry_bind: Option<String>,
+    heartbeat_ms: u64,
+    heartbeat_timeout_ms: u64,
+}
+
+/// Rank 0's in-process registry: collect `size` `Register` frames, then
+/// answer every registrant with the complete `Table`.
+fn run_registry(bind: &str, size: usize) -> io::Result<()> {
+    let listener = TcpListener::bind(bind)?;
+    let mut conns: Vec<Stream> = Vec::with_capacity(size);
+    let mut addrs: Vec<Option<String>> = vec![None; size];
+    let mut registered = 0usize;
+    while registered < size {
+        let (s, _) = listener.accept()?;
+        let mut s = Stream::Tcp(s);
+        let _ = s.set_read_timeout(Some(CONNECT_TIMEOUT));
+        match read_frame(&mut s) {
+            Ok(Frame::Register { rank, addr }) => {
+                let rank = rank as usize;
+                if rank >= size || addrs[rank].is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("registry: duplicate or out-of-range rank {rank}"),
+                    ));
+                }
+                addrs[rank] = Some(addr);
+                registered += 1;
+                conns.push(s);
+            }
+            _ => { /* stray connection; ignore */ }
+        }
+    }
+    let table: Vec<String> = addrs.into_iter().map(|a| a.unwrap()).collect();
+    for mut s in conns {
+        write_frame(
+            &mut s,
+            &Frame::Table {
+                addrs: table.clone(),
+            },
+        )?;
+    }
+    Ok(())
 }
 
 impl SocketPeers {
     pub(crate) fn rank(&self) -> usize {
-        self.rank
+        self.mesh.rank
     }
 
     pub(crate) fn mailbox(&self) -> &Mailbox {
-        &self.mailbox
+        &self.mesh.mailbox
     }
 
     /// Enqueue an envelope for `dest` (own rank: direct mailbox push).
     /// Panics if the world is already poisoned — a send to (or via) a
-    /// dead mesh must fail loudly, exactly like a receive.
+    /// dead mesh must fail loudly, exactly like a receive. A send to a
+    /// rank declared dead by the membership layer is silently dropped
+    /// (degraded mode: survivors keep working).
     pub(crate) fn post(&self, dest: usize, env: Envelope) {
-        if let Some(reason) = self.mailbox.is_poisoned() {
+        if let Some(reason) = self.mesh.mailbox.is_poisoned() {
             panic!("mini-mpi: send failed: {reason}");
         }
-        if dest == self.rank {
-            self.mailbox.push(env);
+        if dest == self.mesh.rank {
+            self.mesh.mailbox.push(env);
             return;
         }
-        let sender = self.senders[dest]
+        let link = self.mesh.links[dest]
             .as_ref()
-            .expect("non-self peer must have a writer");
-        if sender.send(WireMsg::Data(env)).is_err() {
-            let reason = self
-                .mailbox
-                .is_poisoned()
-                .unwrap_or_else(|| format!("rank {dest} unreachable (writer gone)"));
-            panic!("mini-mpi: send failed: {reason}");
+            .expect("non-self peer must have a link");
+        if link.dead.load(Ordering::Acquire) {
+            return;
         }
+        self.mesh.send_seq(link, |seq| Frame::Data { seq, env });
     }
 
-    /// Establish the full mesh for `rank` of `size` inside `dir`.
-    fn connect(dir: &Path, rank: usize, size: usize, force_tcp: bool) -> io::Result<SocketPeers> {
+    /// Establish the full mesh for `rank` of `size`: shared-dir
+    /// rendezvous by default, seed-list registry bootstrap when
+    /// `opts.seeds` is set.
+    fn connect(dir: &Path, rank: usize, size: usize, opts: &MeshOpts) -> io::Result<SocketPeers> {
         let deadline = Instant::now() + CONNECT_TIMEOUT;
-        let listener = bind_endpoint(dir, &format!("r{rank}"), force_tcp)?;
+        let mut registry_thread = None;
+        let mut peer_addrs: Vec<Option<String>> = vec![None; size];
         let mut streams: Vec<Option<Stream>> = (0..size).map(|_| None).collect();
-        // Connect to every lower rank, identifying ourselves.
-        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
-            let mut s = connect_endpoint(dir, &format!("r{peer}"), deadline)?;
-            write_frame(&mut s, &Frame::Hello { rank: rank as u32 })?;
-            *slot = Some(s);
-        }
-        // Accept one connection from every higher rank.
-        for _ in rank + 1..size {
-            let mut s = listener.accept()?;
-            match read_frame(&mut s)? {
-                Frame::Hello { rank: peer } => {
-                    let peer = peer as usize;
-                    if peer <= rank || peer >= size || streams[peer].is_some() {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("unexpected hello from rank {peer}"),
-                        ));
-                    }
-                    streams[peer] = Some(s);
-                }
+
+        let listener = if let Some(seeds) = &opts.seeds {
+            // --- Seed-list bootstrap -----------------------------------
+            let seed = seeds
+                .split(',')
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "empty seed list"))?
+                .to_string();
+            let data_listener = TcpListener::bind(("127.0.0.1", 0))?;
+            let my_addr = format!("127.0.0.1:{}", data_listener.local_addr()?.port());
+            if rank == 0 {
+                let bind = opts.registry_bind.clone().unwrap_or_else(|| seed.clone());
+                let sz = size;
+                registry_thread = Some(
+                    std::thread::Builder::new()
+                        .name("mini-mpi-registry".into())
+                        .spawn(move || {
+                            if let Err(e) = run_registry(&bind, sz) {
+                                eprintln!("mini-mpi registry: {e}");
+                            }
+                        })
+                        .expect("failed to spawn registry thread"),
+                );
+            }
+            // Every rank — rank 0 included — registers through the seed
+            // address, so a proxy fronting it observes every link.
+            let mut reg = tcp_connect_retry(&seed, deadline)?;
+            write_frame(
+                &mut reg,
+                &Frame::Register {
+                    rank: rank as u32,
+                    addr: my_addr,
+                },
+            )?;
+            reg.set_read_timeout(Some(CONNECT_TIMEOUT))?;
+            let table = match read_frame(&mut reg)? {
+                Frame::Table { addrs } if addrs.len() == size => addrs,
                 _ => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        "expected hello frame",
+                        "registry handed back a malformed peer table",
                     ))
                 }
+            };
+            drop(reg);
+            for (peer, addr) in table.into_iter().enumerate() {
+                if peer != rank {
+                    peer_addrs[peer] = Some(addr);
+                }
             }
-        }
+            // Mesh over the table: dial every lower rank, accept from
+            // every higher rank.
+            for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+                let addr = peer_addrs[peer].as_deref().unwrap();
+                let mut s = tcp_connect_retry(addr, deadline)?;
+                write_frame(&mut s, &Frame::Hello { rank: rank as u32 })?;
+                *slot = Some(s);
+            }
+            let listener = Listener::Tcp(data_listener);
+            accept_higher(&listener, rank, size, &mut streams)?;
+            listener
+        } else {
+            // --- Shared-dir rendezvous ---------------------------------
+            let listener = bind_endpoint(dir, &format!("r{rank}"), opts.force_tcp)?;
+            for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+                let mut s = connect_endpoint(dir, &format!("r{peer}"), deadline)?;
+                write_frame(&mut s, &Frame::Hello { rank: rank as u32 })?;
+                *slot = Some(s);
+            }
+            accept_higher(&listener, rank, size, &mut streams)?;
+            listener
+        };
 
-        let mailbox = Arc::new(Mailbox::new());
-        let goodbyes = Arc::new((
-            Mutex::new(GoodbyeState {
-                received: 0,
-                dead: None,
-            }),
-            Condvar::new(),
-        ));
-        let mut senders: Vec<Option<mpsc::Sender<WireMsg>>> = (0..size).map(|_| None).collect();
-        let mut writer_handles = Vec::new();
-        for (peer, slot) in streams.iter_mut().enumerate() {
+        let reliable = opts.heartbeat_ms > 0;
+        let mesh = Arc::new(Mesh {
+            rank,
+            mailbox: Arc::new(Mailbox::new()),
+            links: (0..size)
+                .map(|p| (p != rank).then(|| Arc::new(Link::new(p))))
+                .collect(),
+            reliable,
+            hb_interval: Duration::from_millis(opts.heartbeat_ms.max(1)),
+            hb_timeout: Duration::from_millis(opts.heartbeat_timeout_ms.max(1)),
+            epoch: Instant::now(),
+            goodbye_mu: Mutex::new(()),
+            goodbye_cv: Condvar::new(),
+            peer_addrs,
+            dir: dir.to_path_buf(),
+        });
+
+        let mut threads = Vec::new();
+        for (peer, slot) in streams.into_iter().enumerate() {
             let Some(stream) = slot else { continue };
-            // Writer thread: owns a clone of the stream's write half,
-            // drains the channel, stops after Goodbye (or channel close).
-            let (tx, rx) = mpsc::channel::<WireMsg>();
-            let mut write_half = stream.try_clone()?;
-            let mb = mailbox.clone();
-            writer_handles.push(
+            let link = mesh.links[peer].as_ref().unwrap().clone();
+            let gen = mesh
+                .install_stream(&link, stream.try_clone()?, 0)
+                .unwrap_or(1);
+            spawn_reader(mesh.clone(), link.clone(), stream, gen);
+            let mesh2 = mesh.clone();
+            threads.push(
                 std::thread::Builder::new()
                     .name(format!("mini-mpi-w{rank}-to-{peer}"))
-                    .spawn(move || {
-                        for msg in rx {
-                            let frame = match msg {
-                                WireMsg::Data(env) => Frame::Data(env),
-                                WireMsg::Goodbye => Frame::Goodbye,
-                            };
-                            let last = matches!(frame, Frame::Goodbye);
-                            if let Err(e) = write_frame(&mut write_half, &frame) {
-                                mb.poison(format!("rank {peer} died (write failed: {e})"));
-                                return;
-                            }
-                            if last {
-                                return;
-                            }
-                        }
-                    })
+                    .spawn(move || writer_loop(&mesh2, &link))
                     .expect("failed to spawn writer thread"),
             );
-            senders[peer] = Some(tx);
-            // Reader thread: demux incoming frames into the mailbox until
-            // Goodbye; an earlier EOF/error means the peer died.
-            let mut read_half = stream.try_clone()?;
-            let mb = mailbox.clone();
-            let gb = goodbyes.clone();
-            std::thread::Builder::new()
-                .name(format!("mini-mpi-r{rank}-from-{peer}"))
-                .spawn(move || loop {
-                    match read_frame(&mut read_half) {
-                        Ok(Frame::Data(env)) => mb.push(env),
-                        Ok(Frame::Goodbye) => {
-                            let (lock, cvar) = &*gb;
-                            lock.lock().received += 1;
-                            cvar.notify_all();
-                            return;
-                        }
-                        Ok(_) => {
-                            let reason = format!("rank {peer} sent an unexpected control frame");
-                            mb.poison(reason.clone());
-                            let (lock, cvar) = &*gb;
-                            lock.lock().dead.get_or_insert(reason);
-                            cvar.notify_all();
-                            return;
-                        }
-                        Err(e) => {
-                            let reason = if e.kind() == io::ErrorKind::UnexpectedEof {
-                                format!("rank {peer} died (connection closed before goodbye)")
-                            } else {
-                                format!("rank {peer} died ({e})")
-                            };
-                            mb.poison(reason.clone());
-                            let (lock, cvar) = &*gb;
-                            lock.lock().dead.get_or_insert(reason);
-                            cvar.notify_all();
-                            return;
-                        }
-                    }
-                })
-                .expect("failed to spawn reader thread");
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        if reliable {
+            let mesh2 = mesh.clone();
+            let stop2 = stop.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mini-mpi-monitor-{rank}"))
+                    .spawn(move || monitor_loop(&mesh2, &stop2))
+                    .expect("failed to spawn monitor thread"),
+            );
+            let mesh2 = mesh.clone();
+            let stop2 = stop.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mini-mpi-accept-{rank}"))
+                    .spawn(move || accept_loop(&mesh2, listener, &stop2))
+                    .expect("failed to spawn accept thread"),
+            );
+        }
+        if let Some(h) = registry_thread {
+            threads.push(h);
         }
         Ok(SocketPeers {
-            rank,
-            mailbox,
-            senders,
-            writer_handles: Mutex::new(writer_handles),
-            goodbyes,
-            streams: streams.into_iter().collect(),
+            mesh,
+            threads: Mutex::new(threads),
+            stop,
         })
     }
 
-    /// Teardown barrier: flush a goodbye to every peer, join the writers
-    /// (all queued envelopes are on the wire), then wait until every peer's
-    /// goodbye arrived — or a peer is known dead, or the timeout expires —
-    /// before the sockets may be closed.
+    /// Teardown barrier: flush a goodbye to every live peer, wait until
+    /// every live peer's goodbye arrived (dead peers are excused, a
+    /// poisoned legacy mesh gives up, the timeout bounds everything),
+    /// then drain the writers and close the sockets.
     fn shutdown(&self) {
-        for sender in self.senders.iter().flatten() {
-            let _ = sender.send(WireMsg::Goodbye);
+        let mesh = &self.mesh;
+        for link in mesh.links.iter().flatten() {
+            mesh.send_seq(link, |seq| Frame::Goodbye { seq });
         }
-        for handle in self.writer_handles.lock().drain(..) {
-            let _ = handle.join();
-        }
-        let expected = self.senders.iter().flatten().count();
-        let (lock, cvar) = &*self.goodbyes;
-        let mut st = lock.lock();
         let deadline = Instant::now() + GOODBYE_TIMEOUT;
-        while st.received < expected && st.dead.is_none() {
-            if cvar.wait_until(&mut st, deadline).timed_out() {
-                break;
+        {
+            let mut g = mesh.goodbye_mu.lock();
+            loop {
+                let all = mesh.links.iter().flatten().all(|l| {
+                    l.goodbye_seen.load(Ordering::Acquire) || l.dead.load(Ordering::Acquire)
+                });
+                if all || mesh.mailbox.is_poisoned().is_some() {
+                    break;
+                }
+                if mesh.goodbye_cv.wait_until(&mut g, deadline).timed_out() {
+                    break;
+                }
             }
         }
-        drop(st);
-        for stream in self.streams.iter().flatten() {
-            stream.shutdown();
+        for link in mesh.links.iter().flatten() {
+            link.q.lock().closed = true;
+            link.cv.notify_all();
+        }
+        self.stop.store(true, Ordering::Release);
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+        for link in mesh.links.iter().flatten() {
+            let q = link.q.lock();
+            if let Some(s) = &q.stream {
+                s.shutdown();
+            }
         }
     }
+}
+
+/// Accept one mesh connection from every rank above `rank`, validating
+/// the identifying `Hello`.
+fn accept_higher(
+    listener: &Listener,
+    rank: usize,
+    size: usize,
+    streams: &mut [Option<Stream>],
+) -> io::Result<()> {
+    for _ in rank + 1..size {
+        let mut s = listener.accept()?;
+        match read_frame(&mut s)? {
+            Frame::Hello { rank: peer } => {
+                let peer = peer as usize;
+                if peer <= rank || peer >= size || streams[peer].is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected hello from rank {peer}"),
+                    ));
+                }
+                streams[peer] = Some(s);
+            }
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "expected hello frame",
+                ))
+            }
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -554,6 +1505,10 @@ pub(crate) struct ChildEnv {
     pub program: String,
     pub input: Vec<u8>,
     pub tcp: bool,
+    pub seeds: Option<String>,
+    pub registry_bind: Option<String>,
+    pub heartbeat_ms: u64,
+    pub heartbeat_timeout_ms: u64,
 }
 
 /// Decode the child-side environment, if present.
@@ -564,6 +1519,18 @@ pub(crate) fn child_env() -> Option<ChildEnv> {
     let program = std::env::var(ENV_PROGRAM).ok()?;
     let input = hex_decode(&std::env::var(ENV_INPUT).unwrap_or_default())?;
     let tcp = std::env::var(ENV_TCP).is_ok_and(|v| v == "1");
+    let seeds = std::env::var(ENV_SEEDS).ok().filter(|s| !s.is_empty());
+    let registry_bind = std::env::var(ENV_REGISTRY_BIND)
+        .ok()
+        .filter(|s| !s.is_empty());
+    let heartbeat_ms = std::env::var(ENV_HB_MS)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let heartbeat_timeout_ms = std::env::var(ENV_HB_TIMEOUT_MS)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
     Some(ChildEnv {
         dir,
         rank,
@@ -571,6 +1538,10 @@ pub(crate) fn child_env() -> Option<ChildEnv> {
         program,
         input,
         tcp,
+        seeds,
+        registry_bind,
+        heartbeat_ms,
+        heartbeat_timeout_ms,
     })
 }
 
@@ -591,9 +1562,10 @@ fn hex_decode(s: &str) -> Option<Vec<u8>> {
         .collect()
 }
 
-/// Entry point shared by all `run_spawned*` flavours: dispatches to the
-/// child path when the rank environment is present, otherwise spawns and
-/// supervises the children.
+/// Entry point shared by the all-or-nothing `run_spawned*` flavours:
+/// dispatches to the child path when the rank environment is present,
+/// otherwise spawns and supervises the children. Any failed rank turns
+/// the whole world into [`SpawnError::RanksFailed`].
 pub(crate) fn run_spawned_impl<F>(
     size: usize,
     program: &str,
@@ -601,6 +1573,29 @@ pub(crate) fn run_spawned_impl<F>(
     opts: SpawnOptions,
     f: F,
 ) -> Result<Vec<Vec<u8>>, SpawnError>
+where
+    F: FnOnce(&mut Comm, &[u8]) -> Vec<u8>,
+{
+    let outcome = run_spawned_outcome_impl(size, program, input, opts, f)?;
+    if !outcome.failures.is_empty() {
+        return Err(SpawnError::RanksFailed(outcome.failures));
+    }
+    Ok(outcome
+        .results
+        .into_iter()
+        .map(|r| r.expect("no failures recorded, so every slot is filled"))
+        .collect())
+}
+
+/// Failure-tolerant entry point: per-rank result slots plus failure
+/// descriptions (see [`crate::World::run_spawned_outcome`]).
+pub(crate) fn run_spawned_outcome_impl<F>(
+    size: usize,
+    program: &str,
+    input: &[u8],
+    opts: SpawnOptions,
+    f: F,
+) -> Result<SpawnOutcome, SpawnError>
 where
     F: FnOnce(&mut Comm, &[u8]) -> Vec<u8>,
 {
@@ -641,14 +1636,21 @@ where
     ) {
         fail(format!("control hello failed: {e}"));
     }
-    let peers = match SocketPeers::connect(&env.dir, env.rank, env.size, env.tcp) {
+    let mesh_opts = MeshOpts {
+        force_tcp: env.tcp,
+        seeds: env.seeds.clone(),
+        registry_bind: env.registry_bind.clone(),
+        heartbeat_ms: env.heartbeat_ms,
+        heartbeat_timeout_ms: env.heartbeat_timeout_ms,
+    };
+    let peers = match SocketPeers::connect(&env.dir, env.rank, env.size, &mesh_opts) {
         Ok(p) => p,
         Err(e) => fail(format!("rendezvous failed: {e}")),
     };
     let inner = Arc::new(WorldInner {
         transport: Transport::Socket(peers),
-        bytes_sent: std::sync::atomic::AtomicU64::new(0),
-        messages_sent: std::sync::atomic::AtomicU64::new(0),
+        bytes_sent: AtomicU64::new(0),
+        messages_sent: AtomicU64::new(0),
     });
     let members: Arc<Vec<usize>> = Arc::new((0..env.size).collect());
     let mut comm = Comm::new_world(inner.clone(), env.rank, members);
@@ -685,7 +1687,7 @@ fn parent_main(
     program: &str,
     input: &[u8],
     opts: SpawnOptions,
-) -> Result<Vec<Vec<u8>>, SpawnError> {
+) -> Result<SpawnOutcome, SpawnError> {
     static SPAWN_SEQ: AtomicUsize = AtomicUsize::new(0);
     let dir = std::env::temp_dir().join(format!(
         "mini-mpi-{}-{}",
@@ -694,6 +1696,29 @@ fn parent_main(
     ));
     std::fs::create_dir_all(&dir).map_err(SpawnError::Io)?;
     let cleanup = DirCleanup(dir.clone());
+
+    // Resolve a `:0` seed to a concrete free port up front, so every
+    // child dials the same address.
+    let seeds = match &opts.seeds {
+        Some(list) => {
+            let mut resolved = Vec::new();
+            for seed in list.split(',').filter(|s| !s.is_empty()) {
+                resolved.push(resolve_port_zero(seed).map_err(SpawnError::Io)?);
+            }
+            if resolved.is_empty() {
+                return Err(SpawnError::Io(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "empty seed list",
+                )));
+            }
+            Some(resolved.join(","))
+        }
+        None => None,
+    };
+    let registry_bind = match &opts.registry_bind {
+        Some(addr) => Some(resolve_port_zero(addr).map_err(SpawnError::Io)?),
+        None => None,
+    };
 
     let listener = bind_endpoint(&dir, "control", opts.tcp).map_err(SpawnError::Io)?;
     let results: Arc<Mutex<Vec<Option<Vec<u8>>>>> = Arc::new(Mutex::new(vec![None; size]));
@@ -745,17 +1770,34 @@ fn parent_main(
         if opts.tcp {
             cmd.env(ENV_TCP, "1");
         }
+        if let Some(seeds) = &seeds {
+            cmd.env(ENV_SEEDS, seeds);
+        }
+        if let Some(bind) = &registry_bind {
+            cmd.env(ENV_REGISTRY_BIND, bind);
+        }
+        if opts.heartbeat_ms > 0 {
+            cmd.env(ENV_HB_MS, opts.heartbeat_ms.to_string());
+            cmd.env(ENV_HB_TIMEOUT_MS, opts.heartbeat_timeout_ms.to_string());
+        }
         if opts.harness_args {
             cmd.args(["--exact", program, "--nocapture", "--test-threads", "1"]);
         }
         match cmd.spawn() {
-            Ok(child) => children.push(Some(child)),
+            Ok(child) => {
+                if let Some(hook) = &opts.on_spawn {
+                    hook(rank, child.id());
+                }
+                children.push(Some(child));
+            }
             Err(e) => {
                 // Kill whatever already started, then report.
                 for c in children.iter_mut().flatten() {
                     let _ = c.kill();
                 }
-                stop_control(&stop, &dir, accept_handle);
+                if let Err(se) = stop_control(&stop, &dir, accept_handle) {
+                    eprintln!("mini-mpi: {se}");
+                }
                 drop(cleanup);
                 return Err(SpawnError::Io(e));
             }
@@ -796,18 +1838,20 @@ fn parent_main(
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    stop_control(&stop, &dir, accept_handle);
+    if let Err(e) = stop_control(&stop, &dir, accept_handle) {
+        eprintln!("mini-mpi: {e}");
+    }
 
     let results = Arc::try_unwrap(results)
         .map(|m| m.into_inner())
         .unwrap_or_default();
     let mut failed = Vec::new();
-    let mut ok = Vec::with_capacity(size);
+    let mut slots: Vec<Option<Vec<u8>>> = Vec::with_capacity(size);
     for (rank, status) in statuses.iter().enumerate() {
         let status_ok = status.map(|s| s.success()).unwrap_or(false);
         let result = results.get(rank).cloned().flatten();
         match (result, status_ok) {
-            (Some(data), true) => ok.push(data),
+            (Some(data), true) => slots.push(Some(data)),
             (result, _) => {
                 let status = match status {
                     Some(s) => format!("exit {}", s.code().map_or(-1, |c| c)),
@@ -819,6 +1863,7 @@ fn parent_main(
                     "result but bad exit"
                 };
                 failed.push(format!("rank {rank}: {status}, {what}"));
+                slots.push(None);
             }
         }
     }
@@ -829,24 +1874,53 @@ fn parent_main(
             failed,
         });
     }
-    if !failed.is_empty() {
-        return Err(SpawnError::RanksFailed(failed));
-    }
-    Ok(ok)
+    Ok(SpawnOutcome {
+        results: slots,
+        failures: failed,
+    })
 }
 
 /// Unblock and join the control accept loop.
-fn stop_control(stop: &AtomicBool, dir: &Path, handle: std::thread::JoinHandle<()>) {
+///
+/// The accept call blocks until a connection arrives, so a throwaway
+/// connection is dialed to wake it. Both phases are bounded by explicit
+/// deadlines: the dial retries for up to 2 s (transient ECONNREFUSED
+/// under backlog pressure), and if the thread still has not finished
+/// shortly after, a *named* error is returned instead of silently
+/// leaking a wedged accept thread (the pre-fix behaviour; the listener
+/// then dies with the process, but the caller at least knows).
+fn stop_control(
+    stop: &AtomicBool,
+    dir: &Path,
+    handle: std::thread::JoinHandle<()>,
+) -> io::Result<()> {
     stop.store(true, Ordering::Release);
-    // A throwaway connection unblocks the (blocking) accept call. Retry
-    // briefly (transient ECONNREFUSED under backlog pressure); if it
-    // still fails, leak the thread rather than joining a blocked accept
-    // forever — the listener dies with the process.
-    match connect_endpoint(dir, "control", Instant::now() + Duration::from_secs(2)) {
+    let unblock = connect_endpoint(dir, "control", Instant::now() + Duration::from_secs(2));
+    match unblock {
         Ok(_) => {
             let _ = handle.join();
+            Ok(())
         }
-        Err(_) => drop(handle),
+        Err(e) => {
+            // The thread may have exited on its own (accept error path);
+            // poll briefly before declaring it wedged.
+            let poll_deadline = Instant::now() + Duration::from_millis(500);
+            while Instant::now() < poll_deadline {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                    return Ok(());
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            drop(handle);
+            Err(io::Error::new(
+                e.kind(),
+                format!(
+                    "control accept thread wedged: unblock connection failed \
+                     within its 2s deadline ({e}); thread leaked"
+                ),
+            ))
+        }
     }
 }
 
@@ -875,17 +1949,37 @@ mod tests {
     #[test]
     fn frame_roundtrip() {
         let frames = [
-            Frame::Data(Envelope {
-                ctx: 7,
-                src: 3,
-                tag: (1 << 63) | 42,
-                payload: Bytes::copy_from_slice(b"hello"),
-            }),
-            Frame::Goodbye,
+            Frame::Data {
+                seq: 11,
+                env: Envelope {
+                    ctx: 7,
+                    src: 3,
+                    tag: (1 << 63) | 42,
+                    payload: Bytes::copy_from_slice(b"hello"),
+                },
+            },
+            Frame::Goodbye { seq: 99 },
             Frame::Hello { rank: 9 },
             Frame::Result {
                 rank: 2,
                 data: vec![1, 2, 3],
+            },
+            Frame::Ping { acked: 17 },
+            Frame::Pong { acked: 18 },
+            Frame::Death { seq: 5, rank: 3 },
+            Frame::Reconnect {
+                rank: 4,
+                next_expected: 1234,
+            },
+            Frame::ReconnectAck {
+                next_expected: 4321,
+            },
+            Frame::Register {
+                rank: 1,
+                addr: "127.0.0.1:9999".into(),
+            },
+            Frame::Table {
+                addrs: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
             },
         ];
         for frame in &frames {
@@ -893,15 +1987,39 @@ mod tests {
             write_frame(&mut buf, frame).unwrap();
             let mut cursor = &buf[..];
             match (frame, read_frame(&mut cursor).unwrap()) {
-                (Frame::Data(a), Frame::Data(b)) => {
-                    assert_eq!((a.ctx, a.src, a.tag), (b.ctx, b.src, b.tag));
+                (Frame::Data { seq: s1, env: a }, Frame::Data { seq: s2, env: b }) => {
+                    assert_eq!((s1, a.ctx, a.src, a.tag), (&s2, b.ctx, b.src, b.tag));
                     assert_eq!(&a.payload[..], &b.payload[..]);
                 }
-                (Frame::Goodbye, Frame::Goodbye) => {}
+                (Frame::Goodbye { seq: a }, Frame::Goodbye { seq: b }) => assert_eq!(a, &b),
                 (Frame::Hello { rank: a }, Frame::Hello { rank: b }) => assert_eq!(a, &b),
                 (Frame::Result { rank, data }, Frame::Result { rank: r, data: d }) => {
                     assert_eq!((rank, data), (&r, &d));
                 }
+                (Frame::Ping { acked: a }, Frame::Ping { acked: b }) => assert_eq!(a, &b),
+                (Frame::Pong { acked: a }, Frame::Pong { acked: b }) => assert_eq!(a, &b),
+                (Frame::Death { seq: s1, rank: r1 }, Frame::Death { seq: s2, rank: r2 }) => {
+                    assert_eq!((s1, r1), (&s2, &r2))
+                }
+                (
+                    Frame::Reconnect {
+                        rank: r1,
+                        next_expected: n1,
+                    },
+                    Frame::Reconnect {
+                        rank: r2,
+                        next_expected: n2,
+                    },
+                ) => assert_eq!((r1, n1), (&r2, &n2)),
+                (
+                    Frame::ReconnectAck { next_expected: a },
+                    Frame::ReconnectAck { next_expected: b },
+                ) => assert_eq!(a, &b),
+                (
+                    Frame::Register { rank: r1, addr: a1 },
+                    Frame::Register { rank: r2, addr: a2 },
+                ) => assert_eq!((r1, a1), (&r2, &a2)),
+                (Frame::Table { addrs: a }, Frame::Table { addrs: b }) => assert_eq!(a, &b),
                 _ => panic!("frame kind changed across the wire"),
             }
             assert!(cursor.is_empty(), "frame must consume exactly its bytes");
@@ -913,17 +2031,92 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(
             &mut buf,
-            &Frame::Data(Envelope {
-                ctx: 0,
-                src: 0,
-                tag: 0,
-                payload: Bytes::copy_from_slice(&[1, 2, 3, 4]),
-            }),
+            &Frame::Data {
+                seq: 0,
+                env: Envelope {
+                    ctx: 0,
+                    src: 0,
+                    tag: 0,
+                    payload: Bytes::copy_from_slice(&[1, 2, 3, 4]),
+                },
+            },
         )
         .unwrap();
         for cut in 1..buf.len() {
             let mut cursor = &buf[..cut];
             assert!(read_frame(&mut cursor).is_err(), "cut at {cut} must fail");
         }
+        // Control frames too: a truncated register/table must not parse.
+        for frame in [
+            Frame::Register {
+                rank: 0,
+                addr: "127.0.0.1:80".into(),
+            },
+            Frame::Table {
+                addrs: vec!["127.0.0.1:80".into()],
+            },
+        ] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &frame).unwrap();
+            for cut in 1..buf.len() {
+                let mut cursor = &buf[..cut];
+                assert!(read_frame(&mut cursor).is_err(), "cut at {cut} must fail");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_port_zero_resolves_only_zero() {
+        assert_eq!(
+            resolve_port_zero("127.0.0.1:8080").unwrap(),
+            "127.0.0.1:8080"
+        );
+        let resolved = resolve_port_zero("127.0.0.1:0").unwrap();
+        assert!(resolved.starts_with("127.0.0.1:"));
+        assert_ne!(resolved, "127.0.0.1:0");
+        assert!(resolve_port_zero("no-port-here").is_err());
+    }
+
+    #[test]
+    fn stop_control_joins_finished_thread_even_without_unblock() {
+        // The accept thread already exited (listener error path): even
+        // though no control endpoint exists to dial, stop_control must
+        // notice the finished thread and join it cleanly.
+        let dir = std::env::temp_dir().join(format!("mini-mpi-sc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let _cleanup = DirCleanup(dir.clone());
+        let stop = AtomicBool::new(false);
+        let handle = std::thread::spawn(|| {});
+        // No endpoint bound in `dir`: connect_endpoint fails at its 2 s
+        // deadline, then the finished-thread poll must succeed.
+        assert!(stop_control(&stop, &dir, handle).is_ok());
+        assert!(stop.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn stop_control_reports_wedged_thread_with_named_error() {
+        // Regression test for the PR 3 bug: a wedged accept thread used
+        // to be dropped silently. Now the failure is named and bounded
+        // by a deadline (2 s dial + 0.5 s poll).
+        let dir = std::env::temp_dir().join(format!("mini-mpi-scw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let _cleanup = DirCleanup(dir.clone());
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            // Wedged forever (until the test process exits).
+            let _ = rx.recv();
+        });
+        let started = Instant::now();
+        let err = stop_control(&stop, &dir, handle).unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "must be bounded"
+        );
+        assert!(
+            err.to_string().contains("control accept thread wedged"),
+            "error must name the leak: {err}"
+        );
+        drop(tx); // release the thread so the test process can exit cleanly
     }
 }

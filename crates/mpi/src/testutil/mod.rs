@@ -1,0 +1,433 @@
+//! Deterministic fault injection for the socket world.
+//!
+//! Test-only infrastructure (no `cfg(test)` gate so integration tests in
+//! other crates can use it; nothing here runs unless constructed):
+//!
+//! * [`FaultProxy`] — an in-process TCP proxy that fronts the seed-list
+//!   registry of a spawned world. Because every rank registers through
+//!   the seed address, the proxy observes every `Register` frame and
+//!   rewrites the advertised data address to a per-rank forwarder it
+//!   owns, so **every mesh link flows through the proxy** and can be
+//!   manipulated deterministically: dropped once (transient failure),
+//!   black-holed (network partition: the connection stays open but all
+//!   frames are silently swallowed), or delayed per frame.
+//! * [`PidMap`] — records `(rank, pid)` pairs via the
+//!   [`crate::SpawnOptions::on_spawn`] hook so tests can `SIGKILL` /
+//!   `SIGSTOP` / `SIGCONT` individual rank processes.
+//! * [`free_loopback_addr`] — a concrete free `127.0.0.1:<port>`.
+//!
+//! Fault schedules are expressed in *protocol* terms — "after the 3rd
+//! data frame from rank 2 to rank 0" — not wall-clock terms, which keeps
+//! the tests deterministic on loaded CI machines.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::socket::{
+    read_frame, resolve_port_zero, tcp_connect_retry, write_frame, Frame, KIND_DATA, MAX_FRAME_BODY,
+};
+
+/// A concrete free loopback address (`127.0.0.1:<port>`), suitable for
+/// [`crate::SpawnOptions::seeds`]. The port is bound and released, so a
+/// parallel process could in principle steal it; in practice spawn
+/// follows immediately.
+pub fn free_loopback_addr() -> io::Result<String> {
+    resolve_port_zero("127.0.0.1:0")
+}
+
+/// Rank-to-pid registry fed by the [`crate::SpawnOptions::on_spawn`]
+/// hook; lets tests signal individual rank processes.
+#[derive(Clone, Default)]
+pub struct PidMap {
+    inner: Arc<Mutex<BTreeMap<usize, u32>>>,
+}
+
+impl PidMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The hook to plug into [`crate::SpawnOptions::on_spawn`].
+    pub fn hook(&self) -> Arc<dyn Fn(usize, u32) + Send + Sync> {
+        let inner = self.inner.clone();
+        Arc::new(move |rank, pid| {
+            inner.lock().insert(rank, pid);
+        })
+    }
+
+    /// The recorded pid of `rank`, if it has spawned yet.
+    pub fn pid(&self, rank: usize) -> Option<u32> {
+        self.inner.lock().get(&rank).copied()
+    }
+
+    /// Block until `rank`'s pid is recorded (the spawn hook fires as the
+    /// parent loops over ranks, racing the caller).
+    pub fn wait_pid(&self, rank: usize, timeout: Duration) -> Option<u32> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(pid) = self.pid(rank) {
+                return Some(pid);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Send `sig` (a `kill -s` name: `KILL`, `STOP`, `CONT`, …) to the
+    /// process of `rank`. Returns `false` if the rank has no recorded
+    /// pid or the signal could not be delivered.
+    pub fn signal(&self, rank: usize, sig: &str) -> bool {
+        let Some(pid) = self.pid(rank) else {
+            return false;
+        };
+        std::process::Command::new("kill")
+            .args(["-s", sig, &pid.to_string()])
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false)
+    }
+
+    /// `SIGKILL` the process of `rank` (crash-stop failure).
+    pub fn kill(&self, rank: usize) -> bool {
+        self.signal(rank, "KILL")
+    }
+}
+
+/// What to do to a link once its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Close both halves of the proxied connection once (transient
+    /// failure). With heartbeats enabled the dialer redials through the
+    /// proxy and the link resumes; without, both ends see a fatal EOF.
+    Drop,
+    /// Silently swallow every subsequent frame in both directions while
+    /// keeping the connection open (network partition). Reconnect
+    /// attempts on a black-holed link are swallowed too.
+    BlackHole,
+    /// Sleep this long before forwarding each dialer-to-listener frame.
+    Delay(Duration),
+}
+
+/// One scheduled fault on the mesh link between ranks `low` and `high`.
+///
+/// Links are identified by their endpoint pair: `low` is the listener
+/// side and `high` the dialer side (rank `h` dials every rank below it,
+/// so `high > low` always). The trigger counts `Data` frames flowing
+/// dialer-to-listener: the fault fires immediately before the
+/// `(after_data + 1)`-th such frame would be forwarded (`after_data ==
+/// 0` fires before any application data crosses, right after the
+/// handshake).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFault {
+    /// Listener-side rank (the lower endpoint).
+    pub low: usize,
+    /// Dialer-side rank (the higher endpoint).
+    pub high: usize,
+    /// How many dialer-to-listener `Data` frames pass before firing.
+    pub after_data: usize,
+    /// What happens when the trigger fires.
+    pub action: FaultAction,
+}
+
+struct FaultSlot {
+    fault: LinkFault,
+    triggered: bool,
+}
+
+struct ProxyShared {
+    registry_addr: String,
+    faults: Mutex<Vec<FaultSlot>>,
+    blackholed: Mutex<BTreeSet<(usize, usize)>>,
+    data_counts: Mutex<BTreeMap<(usize, usize), usize>>,
+    stop: AtomicBool,
+}
+
+impl ProxyShared {
+    fn is_blackholed(&self, low: usize, high: usize) -> bool {
+        self.blackholed.lock().contains(&(low, high))
+    }
+
+    /// Check (and consume) a fault due for link `(low, high)` given that
+    /// `seen` data frames have already been forwarded.
+    fn due_fault(&self, low: usize, high: usize, seen: usize) -> Option<FaultAction> {
+        let mut faults = self.faults.lock();
+        for slot in faults.iter_mut() {
+            if !slot.triggered
+                && slot.fault.low == low
+                && slot.fault.high == high
+                && seen >= slot.fault.after_data
+            {
+                slot.triggered = true;
+                if slot.fault.action == FaultAction::BlackHole {
+                    self.blackholed.lock().insert((low, high));
+                }
+                return Some(slot.fault.action);
+            }
+        }
+        None
+    }
+}
+
+/// Deterministic TCP fault proxy for seed-list worlds; see the module
+/// docs. Construct it, point [`crate::SpawnOptions::seeds`] at
+/// [`FaultProxy::seeds`] and [`crate::SpawnOptions::registry_bind`] at
+/// [`FaultProxy::registry_bind`], and every mesh link of the spawned
+/// world is routed through the proxy.
+pub struct FaultProxy {
+    seed_addr: String,
+    shared: Arc<ProxyShared>,
+}
+
+impl FaultProxy {
+    /// Bind the proxy and schedule `faults`.
+    pub fn new(faults: Vec<LinkFault>) -> io::Result<FaultProxy> {
+        let registry_addr = resolve_port_zero("127.0.0.1:0")?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let seed_addr = format!("127.0.0.1:{}", listener.local_addr()?.port());
+        let shared = Arc::new(ProxyShared {
+            registry_addr,
+            faults: Mutex::new(
+                faults
+                    .into_iter()
+                    .map(|fault| FaultSlot {
+                        fault,
+                        triggered: false,
+                    })
+                    .collect(),
+            ),
+            blackholed: Mutex::new(BTreeSet::new()),
+            data_counts: Mutex::new(BTreeMap::new()),
+            stop: AtomicBool::new(false),
+        });
+        listener.set_nonblocking(true)?;
+        let accept_shared = shared.clone();
+        std::thread::Builder::new()
+            .name("fault-proxy-seed".into())
+            .spawn(move || seed_accept_loop(listener, accept_shared))
+            .expect("failed to spawn fault-proxy accept thread");
+        Ok(FaultProxy { seed_addr, shared })
+    }
+
+    /// The address to advertise as the world's seed list.
+    pub fn seeds(&self) -> String {
+        self.seed_addr.clone()
+    }
+
+    /// Where rank 0's registry must actually bind (the proxy dials this
+    /// address and relays registrations to it).
+    pub fn registry_bind(&self) -> String {
+        self.shared.registry_addr.clone()
+    }
+
+    /// Black-hole the `(low, high)` link right now (in addition to any
+    /// scheduled faults); subsequent frames and reconnects are swallowed.
+    pub fn black_hole_now(&self, low: usize, high: usize) {
+        self.shared.blackholed.lock().insert((low, high));
+    }
+
+    /// How many dialer-to-listener `Data` frames the proxy has forwarded
+    /// (or swallowed) on the `(low, high)` link so far.
+    pub fn data_frames_seen(&self, low: usize, high: usize) -> usize {
+        self.shared
+            .data_counts
+            .lock()
+            .get(&(low, high))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Accept registration connections on the public seed address.
+fn seed_accept_loop(listener: TcpListener, shared: Arc<ProxyShared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_register(stream, shared);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One rank registering: rewrite its advertised data address to a fresh
+/// forwarder, relay the registration to the real registry, and pipe the
+/// peer table back.
+fn handle_register(mut client: TcpStream, shared: Arc<ProxyShared>) -> io::Result<()> {
+    client.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let Frame::Register { rank, addr } = read_frame(&mut client)? else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected a register frame on the seed address",
+        ));
+    };
+    // The forwarder owns this rank's advertised identity: every dialer
+    // (initial mesh connect and later reconnects) lands here.
+    let forwarder = TcpListener::bind("127.0.0.1:0")?;
+    let fwd_addr = format!("127.0.0.1:{}", forwarder.local_addr()?.port());
+    forwarder.set_nonblocking(true)?;
+    {
+        let shared = shared.clone();
+        let real_addr = addr.clone();
+        std::thread::Builder::new()
+            .name(format!("fault-proxy-fwd-{rank}"))
+            .spawn(move || forwarder_loop(forwarder, rank as usize, real_addr, shared))
+            .expect("failed to spawn forwarder thread");
+    }
+    let mut upstream = tcp_connect_retry(
+        &shared.registry_addr,
+        Instant::now() + Duration::from_secs(30),
+    )?;
+    write_frame(
+        &mut upstream,
+        &Frame::Register {
+            rank,
+            addr: fwd_addr,
+        },
+    )?;
+    // The table only arrives once every rank has registered.
+    let table = read_frame(&mut upstream)?;
+    write_frame(&mut client, &table)
+}
+
+/// Accept mesh connections destined for rank `low`'s data listener.
+fn forwarder_loop(listener: TcpListener, low: usize, real_addr: String, shared: Arc<ProxyShared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = shared.clone();
+                let real_addr = real_addr.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_link(stream, low, &real_addr, shared);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One proxied mesh connection: sniff the dialer's identity from the
+/// handshake frame, then relay frames in both directions, applying any
+/// scheduled fault on the dialer-to-listener flow.
+fn handle_link(
+    mut dialer: TcpStream,
+    low: usize,
+    real_addr: &str,
+    shared: Arc<ProxyShared>,
+) -> io::Result<()> {
+    dialer.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let handshake = read_frame(&mut dialer)?;
+    let high = match &handshake {
+        Frame::Hello { rank } | Frame::Reconnect { rank, .. } => *rank as usize,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected a hello or reconnect handshake",
+            ))
+        }
+    };
+    dialer.set_read_timeout(None)?;
+    if shared.is_blackholed(low, high) {
+        // Partitioned: swallow everything (including this reconnect
+        // attempt) while keeping the connection open.
+        let mut sink = [0u8; 4096];
+        while dialer.read(&mut sink).map(|n| n > 0).unwrap_or(false) {}
+        return Ok(());
+    }
+    let mut upstream = TcpStream::connect(real_addr)?;
+    write_frame(&mut upstream, &handshake)?;
+
+    // Listener-to-dialer direction: verbatim unless black-holed.
+    {
+        let mut from = upstream.try_clone()?;
+        let mut to = dialer.try_clone()?;
+        let shared = shared.clone();
+        std::thread::spawn(move || {
+            while let Ok((head, body)) = read_raw_frame(&mut from) {
+                if shared.is_blackholed(low, high) {
+                    continue;
+                }
+                if write_raw_frame(&mut to, &head, &body).is_err() {
+                    break;
+                }
+            }
+            let _ = to.shutdown(Shutdown::Both);
+        });
+    }
+
+    // Dialer-to-listener direction: count data frames, fire faults.
+    while let Ok((head, body)) = read_raw_frame(&mut dialer) {
+        if head[4] == KIND_DATA {
+            let seen = shared
+                .data_counts
+                .lock()
+                .get(&(low, high))
+                .copied()
+                .unwrap_or(0);
+            match shared.due_fault(low, high, seen) {
+                Some(FaultAction::Drop) => {
+                    let _ = dialer.shutdown(Shutdown::Both);
+                    let _ = upstream.shutdown(Shutdown::Both);
+                    return Ok(());
+                }
+                Some(FaultAction::BlackHole) | None => {}
+                Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            }
+            *shared.data_counts.lock().entry((low, high)).or_insert(0) += 1;
+        }
+        if shared.is_blackholed(low, high) {
+            continue;
+        }
+        if write_raw_frame(&mut upstream, &head, &body).is_err() {
+            break;
+        }
+    }
+    let _ = upstream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// Read one frame without decoding it: the 5-byte `[len][kind]` head
+/// plus the raw body, forwarded verbatim.
+fn read_raw_frame(r: &mut impl Read) -> io::Result<([u8; 5], Vec<u8>)> {
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    if len > MAX_FRAME_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized frame through proxy",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok((head, body))
+}
+
+fn write_raw_frame(w: &mut impl Write, head: &[u8; 5], body: &[u8]) -> io::Result<()> {
+    w.write_all(head)?;
+    w.write_all(body)?;
+    w.flush()
+}

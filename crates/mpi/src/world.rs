@@ -16,7 +16,7 @@
 //! [`crate::comm::Comm`], so rank programs behave identically (and move
 //! identical [`crate::Traffic`] volumes) on either transport.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -29,6 +29,7 @@ use crate::{Source, SpawnError, SpawnOptions};
 
 /// A message in flight: communicator context, source (communicator-relative
 /// rank), tag, payload.
+#[derive(Clone)]
 pub(crate) struct Envelope {
     pub ctx: u64,
     pub src: usize,
@@ -62,6 +63,10 @@ pub(crate) struct MailState {
     /// Set when a peer process died or a socket broke: every pending and
     /// future receive fails loudly instead of deadlocking.
     pub poisoned: Option<String>,
+    /// World ranks known dead via the heartbeat/membership layer. Unlike
+    /// `poisoned`, a dead rank is survivable: receives targeting it fail,
+    /// but traffic among survivors keeps flowing (degraded mode).
+    pub dead: BTreeSet<usize>,
 }
 
 impl Mailbox {
@@ -72,6 +77,7 @@ impl Mailbox {
                 any_index: HashMap::new(),
                 next_seq: 0,
                 poisoned: None,
+                dead: BTreeSet::new(),
             }),
             arrived: Condvar::new(),
             poisoned_hint: std::sync::atomic::AtomicBool::new(false),
@@ -103,6 +109,20 @@ impl Mailbox {
             return None;
         }
         self.state.lock().poisoned.clone()
+    }
+
+    /// Record that `world_rank` died (heartbeat/membership layer) and wake
+    /// every waiter so blocked receives can re-evaluate. Idempotent.
+    pub(crate) fn mark_dead(&self, world_rank: usize) {
+        let mut st = self.state.lock();
+        st.dead.insert(world_rank);
+        drop(st);
+        self.arrived.notify_all();
+    }
+
+    /// Snapshot of the dead world ranks, in ascending order.
+    pub(crate) fn dead_snapshot(&self) -> Vec<usize> {
+        self.state.lock().dead.iter().copied().collect()
     }
 }
 
@@ -197,6 +217,34 @@ impl WorldInner {
                 peers.mailbox()
             }
         }
+    }
+}
+
+/// Per-rank outcome of a spawned world that tolerates rank failures.
+///
+/// Returned by [`World::run_spawned_outcome`]: instead of turning any
+/// failed rank into a [`SpawnError::RanksFailed`] for the whole world,
+/// each rank's result slot is `None` when that rank died or exited
+/// abnormally, with one human-readable line per failure in `failures`.
+/// This is the parent-side half of degraded mode: with heartbeats enabled
+/// the surviving ranks finish and report normally while the dead rank's
+/// slot stays empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpawnOutcome {
+    /// Result bytes per rank; `None` where the rank failed.
+    pub results: Vec<Option<Vec<u8>>>,
+    /// One line per failed rank, e.g. `"rank 2: exit 137, no result"`.
+    pub failures: Vec<String>,
+}
+
+impl SpawnOutcome {
+    /// Ranks (world ids) that produced no result.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(r, slot)| slot.is_none().then_some(r))
+            .collect()
     }
 }
 
@@ -327,7 +375,8 @@ impl World {
     }
 
     /// [`World::run_spawned`] with explicit [`SpawnOptions`] (force the
-    /// TCP fallback, adjust the timeout, …).
+    /// TCP fallback, seed-list rendezvous, heartbeats, adjust the
+    /// timeout, …).
     pub fn run_spawned_with<F>(
         size: usize,
         program: &str,
@@ -339,6 +388,27 @@ impl World {
         F: FnOnce(&mut Comm, &[u8]) -> Vec<u8>,
     {
         socket::run_spawned_impl(size, program, input, opts, f)
+    }
+
+    /// Failure-tolerant spawned world: like [`World::run_spawned_with`],
+    /// but a dying rank does not fail the call. The returned
+    /// [`SpawnOutcome`] carries `None` in each failed rank's slot plus a
+    /// description per failure; `Err` is reserved for orchestration
+    /// failures (I/O, timeout, program mismatch). Combine with
+    /// [`SpawnOptions::heartbeat_ms`] so the *surviving* ranks detect the
+    /// death, agree on membership and run to completion instead of
+    /// aborting.
+    pub fn run_spawned_outcome<F>(
+        size: usize,
+        program: &str,
+        input: &[u8],
+        opts: SpawnOptions,
+        f: F,
+    ) -> Result<SpawnOutcome, SpawnError>
+    where
+        F: FnOnce(&mut Comm, &[u8]) -> Vec<u8>,
+    {
+        socket::run_spawned_outcome_impl(size, program, input, opts, f)
     }
 
     /// Whether this process is a spawned rank of a socket world (useful to

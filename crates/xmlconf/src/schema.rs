@@ -592,6 +592,20 @@ pub struct Architecture {
     /// Rank realization: threads in one process, or one OS process per
     /// rank over the socket transport.
     pub world: WorldKind,
+    /// Seed-list rendezvous for the process world (`<world
+    /// seeds="host:port,…"/>`): ranks bootstrap via a registry on the
+    /// first seed instead of a shared directory. `None` keeps shared-dir
+    /// rendezvous. Ignored for the thread world.
+    pub seeds: Option<String>,
+    /// Heartbeat interval in milliseconds for the process world
+    /// (`<world heartbeat_ms="…"/>`). `None`/0 keeps the legacy
+    /// EOF-only failure detection; a positive value enables the reliable
+    /// mesh (PING/PONG, reconnect, membership broadcast).
+    pub heartbeat_ms: Option<u64>,
+    /// How long a silent peer link may stay silent before the peer is
+    /// declared dead (`<world heartbeat_timeout_ms="…"/>`); only
+    /// meaningful with a positive heartbeat interval.
+    pub heartbeat_timeout_ms: Option<u64>,
     /// Backpressure policy.
     pub skip: SkipConfig,
     /// Dedicated-core storage pipeline (`<store type="h5lite" …/>`);
@@ -612,6 +626,9 @@ impl Default for Architecture {
             queue_capacity: 1024,
             queue_kind: QueueKind::default(),
             world: WorldKind::default(),
+            seeds: None,
+            heartbeat_ms: None,
+            heartbeat_timeout_ms: None,
             skip: SkipConfig::default(),
             store: None,
             serve: None,
@@ -870,7 +887,20 @@ impl Configuration {
                     .with_attr("capacity", self.architecture.queue_capacity.to_string())
                     .with_attr("kind", self.architecture.queue_kind.name()),
             )
-            .with_child(Element::new("world").with_attr("kind", self.architecture.world.name()));
+            .with_child({
+                let mut we =
+                    Element::new("world").with_attr("kind", self.architecture.world.name());
+                if let Some(seeds) = &self.architecture.seeds {
+                    we = we.with_attr("seeds", seeds);
+                }
+                if let Some(hb) = self.architecture.heartbeat_ms {
+                    we = we.with_attr("heartbeat_ms", hb.to_string());
+                }
+                if let Some(t) = self.architecture.heartbeat_timeout_ms {
+                    we = we.with_attr("heartbeat_timeout_ms", t.to_string());
+                }
+                we
+            });
         if let Some(store) = &self.architecture.store {
             let mut se = Element::new("store")
                 .with_attr("type", store.kind.name())
@@ -1058,6 +1088,30 @@ fn parse_architecture(el: &Element) -> XmlResult<Architecture> {
     if let Some(w) = el.child("world") {
         if let Some(kind) = w.attr("kind") {
             arch.world = WorldKind::parse(kind)?;
+        }
+        if let Some(seeds) = w.attr("seeds") {
+            if seeds.trim().is_empty()
+                || seeds
+                    .split(',')
+                    .any(|s| s.trim().is_empty() || !s.contains(':'))
+            {
+                return Err(XmlError::schema(format!(
+                    "<world seeds> must be a comma-separated host:port list, got '{seeds}'"
+                )));
+            }
+            arch.seeds = Some(seeds.to_string());
+        }
+        arch.heartbeat_ms = w.attr_parse("heartbeat_ms").map_err(XmlError::schema)?;
+        arch.heartbeat_timeout_ms = w
+            .attr_parse("heartbeat_timeout_ms")
+            .map_err(XmlError::schema)?;
+        if arch.heartbeat_timeout_ms == Some(0) {
+            return Err(XmlError::schema("<world heartbeat_timeout_ms> must be ≥ 1"));
+        }
+        if arch.heartbeat_timeout_ms.is_some() && arch.heartbeat_ms.unwrap_or(0) == 0 {
+            return Err(XmlError::schema(
+                "<world heartbeat_timeout_ms> requires a positive heartbeat_ms",
+            ));
         }
     }
     if let Some(s) = el.child("store") {
@@ -1568,6 +1622,55 @@ mod tests {
             r#"<simulation><architecture><world kind="fibers"/></architecture></simulation>"#,
         );
         assert!(bad.unwrap_err().to_string().contains("unknown world kind"));
+    }
+
+    #[test]
+    fn world_seeds_and_heartbeat_parse_and_roundtrip() {
+        let xml = r#"<simulation name="s">
+          <architecture>
+            <world kind="processes" seeds="127.0.0.1:7000,10.0.0.2:7000"
+                   heartbeat_ms="250" heartbeat_timeout_ms="3000"/>
+          </architecture>
+        </simulation>"#;
+        let cfg = Configuration::from_str(xml).unwrap();
+        assert_eq!(cfg.architecture.world, WorldKind::Processes);
+        assert_eq!(
+            cfg.architecture.seeds.as_deref(),
+            Some("127.0.0.1:7000,10.0.0.2:7000")
+        );
+        assert_eq!(cfg.architecture.heartbeat_ms, Some(250));
+        assert_eq!(cfg.architecture.heartbeat_timeout_ms, Some(3000));
+        let back = Configuration::from_str(&cfg.to_xml()).unwrap();
+        assert_eq!(back, cfg, "seed/heartbeat attrs must round-trip");
+
+        // Absent attributes stay None (and are not emitted).
+        let cfg = Configuration::from_str("<simulation name=\"x\"/>").unwrap();
+        assert_eq!(cfg.architecture.seeds, None);
+        assert_eq!(cfg.architecture.heartbeat_ms, None);
+        assert_eq!(cfg.architecture.heartbeat_timeout_ms, None);
+        assert!(!cfg.to_xml().contains("seeds"));
+
+        // A seed list without host:port shape is rejected.
+        let bad = Configuration::from_str(
+            r#"<simulation><architecture><world seeds="nohostport"/></architecture></simulation>"#,
+        );
+        assert!(bad.unwrap_err().to_string().contains("host:port"));
+        // A timeout without a heartbeat interval is meaningless.
+        let bad = Configuration::from_str(
+            r#"<simulation><architecture>
+              <world heartbeat_timeout_ms="100"/>
+            </architecture></simulation>"#,
+        );
+        assert!(bad
+            .unwrap_err()
+            .to_string()
+            .contains("requires a positive heartbeat_ms"));
+        let bad = Configuration::from_str(
+            r#"<simulation><architecture>
+              <world heartbeat_ms="100" heartbeat_timeout_ms="0"/>
+            </architecture></simulation>"#,
+        );
+        assert!(bad.unwrap_err().to_string().contains("must be ≥ 1"));
     }
 
     #[test]
