@@ -19,6 +19,12 @@
 //!   shared filesystem is needed for rendezvous. Every rank binds a TCP
 //!   data listener on an ephemeral port, dials the first seed address,
 //!   and sends a `Register` frame carrying its rank and data address.
+//!   With a loopback seed everything stays on `127.0.0.1`; with any
+//!   other seed host the data listener binds `0.0.0.0` and the rank
+//!   advertises the local IP of its registration connection (the
+//!   interface routed toward the seed) so peers on other hosts dial a
+//!   routable address — `MINI_MPI_ADVERTISE_IP` overrides the detected
+//!   IP for multi-homed or NATed hosts.
 //!   Rank 0 runs a tiny in-process registry on
 //!   `MINI_MPI_REGISTRY_BIND` (default: the first seed): it collects all
 //!   `size` registrations and answers each with a `Table` frame holding
@@ -92,6 +98,7 @@ const ENV_INPUT: &str = "MINI_MPI_INPUT";
 const ENV_TCP: &str = "MINI_MPI_TCP";
 const ENV_SEEDS: &str = "MINI_MPI_SEEDS";
 const ENV_REGISTRY_BIND: &str = "MINI_MPI_REGISTRY_BIND";
+const ENV_ADVERTISE_IP: &str = "MINI_MPI_ADVERTISE_IP";
 const ENV_HB_MS: &str = "MINI_MPI_HB_MS";
 const ENV_HB_TIMEOUT_MS: &str = "MINI_MPI_HB_TIMEOUT_MS";
 
@@ -750,21 +757,32 @@ impl Mesh {
     }
 
     /// Receive-side sequencing: accept exactly the expected frame, drop
-    /// retransmitted duplicates, treat a gap as stream corruption.
+    /// retransmitted duplicates, treat a gap as stream corruption. The
+    /// cursor advances via compare-exchange so that when a stale reader
+    /// (replaced stream, not yet torn down) races the live one over a
+    /// retransmitted frame, exactly one of them delivers it — the loser
+    /// re-reads the cursor and sees a duplicate.
     fn accept_seq(&self, link: &Link, seq: u64) -> bool {
-        let expected = link.next_expected_in.load(Ordering::Acquire);
-        if seq == expected {
-            link.next_expected_in.store(expected + 1, Ordering::Release);
-            true
-        } else if seq < expected {
-            false // duplicate of an already-delivered frame
-        } else {
-            self.mailbox.poison(format!(
-                "rank {} stream desynchronized (got seq {seq}, expected {expected})",
-                link.peer
-            ));
-            self.goodbye_cv.notify_all();
-            false
+        loop {
+            let expected = link.next_expected_in.load(Ordering::Acquire);
+            if seq < expected {
+                return false; // duplicate of an already-delivered frame
+            }
+            if seq > expected {
+                self.mailbox.poison(format!(
+                    "rank {} stream desynchronized (got seq {seq}, expected {expected})",
+                    link.peer
+                ));
+                self.goodbye_cv.notify_all();
+                return false;
+            }
+            if link
+                .next_expected_in
+                .compare_exchange(expected, expected + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return true;
+            }
         }
     }
 
@@ -832,13 +850,17 @@ impl Mesh {
         }
         // Reliable: arm the reconnect window and wake the writer (the
         // dialer side redials; the acceptor side waits for a Reconnect,
-        // bounded by the monitor's EOF window).
+        // bounded by the monitor's EOF window). A stale reader — its
+        // stream was already replaced by a reconnect — must not touch
+        // anything: clearing the fresh stream or arming the EOF window
+        // here would sabotage the link that just recovered.
         {
             let mut q = link.q.lock();
-            if q.generation == my_gen {
-                q.stream = None;
-                q.sent = 0;
+            if q.generation != my_gen {
+                return;
             }
+            q.stream = None;
+            q.sent = 0;
         }
         link.eof_at
             .compare_exchange(0, self.now_ms() + 1, Ordering::AcqRel, Ordering::Relaxed)
@@ -858,6 +880,13 @@ impl Mesh {
     ) -> io::Result<u64> {
         let write_half = stream.try_clone()?;
         let mut q = link.q.lock();
+        // Force any reader still blocked on the replaced stream (a
+        // delayed or black-holed-but-open socket never EOFs on its own)
+        // off the wire: were it left running, a late frame on the stale
+        // socket would race the fresh reader for the receive cursor.
+        if let Some(old) = q.stream.take() {
+            old.shutdown();
+        }
         while let Some(&(seq, _)) = q.unacked.front() {
             if seq >= peer_next_expected {
                 break;
@@ -948,10 +977,18 @@ fn spawn_reader(mesh: Arc<Mesh>, link: Arc<Link>, mut stream: Stream, my_gen: u6
                             }
                         }
                         Frame::Goodbye { seq } => {
+                            // Do NOT exit here: the peer that sent this
+                            // goodbye is parked in its teardown barrier
+                            // and keeps heartbeat-monitoring us until
+                            // *our* goodbye arrives. If this reader died
+                            // now, its pings would go unanswered and a
+                            // perfectly live rank would be declared dead
+                            // whenever ranks finish further apart than
+                            // the heartbeat timeout. Keep serving
+                            // Ping→Pong (and acks) until EOF/teardown.
                             if mesh.accept_seq(&link, seq) {
                                 link.goodbye_seen.store(true, Ordering::Release);
                                 mesh.goodbye_cv.notify_all();
-                                return;
                             }
                         }
                         Frame::Death { seq, rank } => {
@@ -1076,7 +1113,12 @@ fn writer_loop(mesh: &Arc<Mesh>, link: &Arc<Link>) {
         }
         let mut q = link.q.lock();
         if q.generation == cur_gen {
-            q.stream = None;
+            // Shut the socket down (not just drop our clone): the reader
+            // may be blocked on the same fd without having seen an error
+            // yet, and must not survive into the next generation.
+            if let Some(s) = q.stream.take() {
+                s.shutdown();
+            }
             q.sent = 0;
         }
         drop(q);
@@ -1202,6 +1244,10 @@ struct MeshOpts {
     force_tcp: bool,
     seeds: Option<String>,
     registry_bind: Option<String>,
+    /// Seed-list mode: the IP to advertise in the `Register` frame when
+    /// the interface auto-detection (the registration connection's local
+    /// address) picks the wrong one — multi-homed hosts, NAT.
+    advertise_ip: Option<String>,
     heartbeat_ms: u64,
     heartbeat_timeout_ms: u64,
 }
@@ -1210,7 +1256,7 @@ struct MeshOpts {
 /// answer every registrant with the complete `Table`.
 fn run_registry(bind: &str, size: usize) -> io::Result<()> {
     let listener = TcpListener::bind(bind)?;
-    let mut conns: Vec<Stream> = Vec::with_capacity(size);
+    let mut conns: Vec<(usize, Stream)> = Vec::with_capacity(size);
     let mut addrs: Vec<Option<String>> = vec![None; size];
     let mut registered = 0usize;
     while registered < size {
@@ -1228,19 +1274,25 @@ fn run_registry(bind: &str, size: usize) -> io::Result<()> {
                 }
                 addrs[rank] = Some(addr);
                 registered += 1;
-                conns.push(s);
+                conns.push((rank, s));
             }
-            _ => { /* stray connection; ignore */ }
+            _ => s.shutdown(), // stray connection: close it, don't hold it open
         }
     }
     let table: Vec<String> = addrs.into_iter().map(|a| a.unwrap()).collect();
-    for mut s in conns {
-        write_frame(
+    for (rank, mut s) in conns {
+        // A registrant that died after registering must not stall every
+        // *other* rank's bootstrap at the connect timeout: log, skip the
+        // broken connection, keep handing the table to the rest. (The
+        // death itself is the heartbeat layer's business, not ours.)
+        if let Err(e) = write_frame(
             &mut s,
             &Frame::Table {
                 addrs: table.clone(),
             },
-        )?;
+        ) {
+            eprintln!("mini-mpi registry: table write to rank {rank} failed ({e}); continuing");
+        }
     }
     Ok(())
 }
@@ -1293,8 +1345,18 @@ impl SocketPeers {
                 .filter(|s| !s.is_empty())
                 .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "empty seed list"))?
                 .to_string();
-            let data_listener = TcpListener::bind(("127.0.0.1", 0))?;
-            let my_addr = format!("127.0.0.1:{}", data_listener.local_addr()?.port());
+            // A loopback seed is a single-host world and stays entirely
+            // on 127.0.0.1. Any other seed host means peers may live on
+            // other hosts: bind the data listener on every interface and
+            // advertise a routable address — by default the local IP of
+            // the registration connection (the interface actually routed
+            // toward the seed), overridable with `MINI_MPI_ADVERTISE_IP`
+            // for multi-homed or NATed hosts.
+            let seed_host = seed.rsplit_once(':').map(|(h, _)| h).unwrap_or("");
+            let single_host = matches!(seed_host, "127.0.0.1" | "localhost" | "::1" | "[::1]");
+            let bind_ip = if single_host { "127.0.0.1" } else { "0.0.0.0" };
+            let data_listener = TcpListener::bind((bind_ip, 0))?;
+            let data_port = data_listener.local_addr()?.port();
             if rank == 0 {
                 let bind = opts.registry_bind.clone().unwrap_or_else(|| seed.clone());
                 let sz = size;
@@ -1312,6 +1374,15 @@ impl SocketPeers {
             // Every rank — rank 0 included — registers through the seed
             // address, so a proxy fronting it observes every link.
             let mut reg = tcp_connect_retry(&seed, deadline)?;
+            let advertise_ip = match &opts.advertise_ip {
+                Some(ip) => ip.clone(),
+                None if single_host => "127.0.0.1".to_string(),
+                None => match &reg {
+                    Stream::Tcp(s) => s.local_addr()?.ip().to_string(),
+                    Stream::Unix(_) => "127.0.0.1".to_string(),
+                },
+            };
+            let my_addr = format!("{advertise_ip}:{data_port}");
             write_frame(
                 &mut reg,
                 &Frame::Register {
@@ -1507,6 +1578,7 @@ pub(crate) struct ChildEnv {
     pub tcp: bool,
     pub seeds: Option<String>,
     pub registry_bind: Option<String>,
+    pub advertise_ip: Option<String>,
     pub heartbeat_ms: u64,
     pub heartbeat_timeout_ms: u64,
 }
@@ -1521,6 +1593,9 @@ pub(crate) fn child_env() -> Option<ChildEnv> {
     let tcp = std::env::var(ENV_TCP).is_ok_and(|v| v == "1");
     let seeds = std::env::var(ENV_SEEDS).ok().filter(|s| !s.is_empty());
     let registry_bind = std::env::var(ENV_REGISTRY_BIND)
+        .ok()
+        .filter(|s| !s.is_empty());
+    let advertise_ip = std::env::var(ENV_ADVERTISE_IP)
         .ok()
         .filter(|s| !s.is_empty());
     let heartbeat_ms = std::env::var(ENV_HB_MS)
@@ -1540,6 +1615,7 @@ pub(crate) fn child_env() -> Option<ChildEnv> {
         tcp,
         seeds,
         registry_bind,
+        advertise_ip,
         heartbeat_ms,
         heartbeat_timeout_ms,
     })
@@ -1640,6 +1716,7 @@ where
         force_tcp: env.tcp,
         seeds: env.seeds.clone(),
         registry_bind: env.registry_bind.clone(),
+        advertise_ip: env.advertise_ip.clone(),
         heartbeat_ms: env.heartbeat_ms,
         heartbeat_timeout_ms: env.heartbeat_timeout_ms,
     };

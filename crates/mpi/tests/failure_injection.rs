@@ -9,6 +9,7 @@
 //! function name, and child behaviour derives only from the input
 //! bytes).
 
+use std::sync::{Arc, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use mini_mpi::testutil::{FaultAction, FaultProxy, LinkFault, PidMap};
@@ -472,6 +473,110 @@ fn stalled_rank_is_not_declared_dead() {
     )
     .expect("a short stall must not fail the world");
     assert_eq!(out.len(), 3);
+}
+
+/// Ranks finishing far apart — skew of several heartbeat timeouts — must
+/// not poison the survivors: the finished rank parks in its teardown
+/// barrier and keeps heartbeat-monitoring every link whose goodbye it
+/// has not yet received, so the still-working ranks must keep answering
+/// its pings after seeing *its* goodbye. Regression test: the reader
+/// thread used to exit on an inbound Goodbye, going silent on that link;
+/// the finished rank then falsely declared every still-working peer dead
+/// at the heartbeat timeout and abandoned its teardown barrier ~450 ms
+/// before the workers were done (observable as rank 0's process exiting
+/// long before ranks 1/2) instead of holding the barrier until their
+/// goodbyes arrived.
+#[test]
+fn skewed_finish_times_are_not_deaths() {
+    let pids = PidMap::new();
+    // Per-rank process-exit instants, recorded by watcher threads
+    // polling /proc/<pid> (the parent reaps children every few ms, so
+    // the entry disappears promptly on exit).
+    let exits: Arc<StdMutex<[Option<Instant>; 3]>> = Arc::new(StdMutex::new([None; 3]));
+    let watchers: Vec<_> = (0..3)
+        .map(|rank| {
+            let pids = pids.clone();
+            let exits = exits.clone();
+            std::thread::spawn(move || {
+                let Some(pid) = pids.wait_pid(rank, Duration::from_secs(20)) else {
+                    return;
+                };
+                let proc_path = format!("/proc/{pid}");
+                while std::path::Path::new(&proc_path).exists() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                exits.lock().unwrap()[rank] = Some(Instant::now());
+            })
+        })
+        .collect();
+    let opts = SpawnOptions {
+        harness_args: true,
+        seeds: Some("127.0.0.1:0".into()),
+        heartbeat_ms: 25,
+        heartbeat_timeout_ms: 150,
+        timeout: Duration::from_secs(30),
+        on_spawn: Some(pids.hook()),
+        ..SpawnOptions::default()
+    };
+    let out = World::run_spawned_with(
+        3,
+        "skewed_finish_times_are_not_deaths",
+        &[],
+        opts,
+        |comm, _| {
+            // Warm-up exchange so every link carries traffic once.
+            for peer in 0..comm.size() {
+                if peer != comm.rank() {
+                    comm.send(peer, 1, &[comm.rank() as u64]);
+                }
+            }
+            for peer in 0..comm.size() {
+                if peer != comm.rank() {
+                    let _ = comm.recv::<u64>(Source::Rank(peer), 1);
+                }
+            }
+            if comm.rank() == 0 {
+                // Finish immediately: goodbye goes out while the others
+                // keep working for ~4x the heartbeat timeout.
+                return le_u64s(&[0]);
+            }
+            let other = 3 - comm.rank();
+            for round in 0..12u64 {
+                comm.send(other, 2, &[round]);
+                assert_eq!(comm.recv::<u64>(Source::Rank(other), 2)[0], round);
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            assert!(
+                comm.dead_ranks().is_empty(),
+                "rank {}: an early-finished rank must not get anyone declared dead: {:?}",
+                comm.rank(),
+                comm.dead_ranks()
+            );
+            le_u64s(&[comm.rank() as u64])
+        },
+    )
+    .expect("skewed finish times must stay a clean run");
+    assert_eq!(from_le_u64s(&out[1]), vec![1]);
+    assert_eq!(from_le_u64s(&out[2]), vec![2]);
+    for w in watchers {
+        w.join().unwrap();
+    }
+    let exits = exits.lock().unwrap();
+    let rank0 = exits[0].expect("rank 0 exit must be recorded");
+    let last = exits
+        .iter()
+        .map(|e| e.expect("every exit must be recorded"))
+        .max()
+        .unwrap();
+    // Rank 0 holds the teardown barrier until ranks 1/2 say goodbye
+    // (~600 ms after its own finish), so all three processes exit close
+    // together. Pre-fix, rank 0 bailed out ~450 ms early.
+    let gap = last.duration_since(rank0);
+    assert!(
+        gap < Duration::from_millis(300),
+        "rank 0 left the teardown barrier {gap:?} before the workers \
+         finished — it must wait for their goodbyes, not declare them dead"
+    );
 }
 
 proptest! {
